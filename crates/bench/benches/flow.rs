@@ -1,0 +1,46 @@
+//! Criterion benchmarks of complete flow runs: one per configuration on a
+//! small AES instance, plus the Pin-3-D-baseline-vs-enhanced pair. These
+//! are the "how long does a full implementation take" numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero3d::flow::{run_flow, Config, FlowOptions};
+use hetero3d::netgen::Benchmark;
+
+fn quick_options() -> FlowOptions {
+    let mut o = FlowOptions::default();
+    o.placer.iterations = 8;
+    o
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let netlist = Benchmark::Aes.generate(0.02, 3);
+    let options = quick_options();
+
+    for config in Config::ALL {
+        let label = format!("flow_{config}")
+            .replace(' ', "_")
+            .replace(['(', ')', '+'], "");
+        c.bench_function(&label, |b| {
+            b.iter(|| std::hint::black_box(run_flow(&netlist, config, 1.2, &options).sta.wns))
+        });
+    }
+
+    let baseline = FlowOptions {
+        enable_timing_partition: false,
+        enable_3d_cts: false,
+        enable_repartition: false,
+        ..quick_options()
+    };
+    c.bench_function("flow_hetero_pin3d_baseline", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_flow(&netlist, Config::Hetero3d, 1.2, &baseline).sta.wns)
+        })
+    });
+}
+
+criterion_group! {
+    name = flow;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flow
+}
+criterion_main!(flow);

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the flow's heavy kernels: FM min-cut,
+//! STA, global placement, global routing and CTS on a fixed mid-size
+//! netlist. These track the cost of the algorithms the ECO loop re-runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero3d::netgen::Benchmark;
+use hetero3d::partition::{min_cut, PartitionConfig};
+use hetero3d::place::{global_place, Floorplan, PlacerConfig};
+use hetero3d::route::{global_route, RouteConfig};
+use hetero3d::sta::{analyze, ClockSpec, Parasitics, TimingContext};
+use hetero3d::tech::{Library, Tier, TierStack};
+
+fn bench_kernels(c: &mut Criterion) {
+    let netlist = Benchmark::Netcard.generate(0.05, 3);
+    let stack = TierStack::two_d(Library::twelve_track());
+    let tiers = vec![Tier::Bottom; netlist.cell_count()];
+    let fp = Floorplan::new(&netlist, &stack, &tiers, 0.7);
+    let placement = global_place(&netlist, &fp, &PlacerConfig::default());
+    let parasitics = Parasitics::zero_wire(&netlist);
+    let areas: Vec<f64> = netlist
+        .cells()
+        .map(|(_, cell)| if cell.class.is_gate() { 1.0 } else { 0.0 })
+        .collect();
+    let locked = vec![false; netlist.cell_count()];
+
+    c.bench_function("sta_full_pass", |b| {
+        b.iter(|| {
+            let ctx = TimingContext {
+                netlist: &netlist,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(1.0),
+            };
+            std::hint::black_box(analyze(&ctx).wns)
+        })
+    });
+
+    c.bench_function("fm_min_cut", |b| {
+        b.iter(|| {
+            let mut t = vec![Tier::Bottom; netlist.cell_count()];
+            std::hint::black_box(min_cut(
+                &netlist,
+                &areas,
+                &locked,
+                &mut t,
+                &PartitionConfig::default(),
+            ))
+        })
+    });
+
+    c.bench_function("global_place", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                global_place(&netlist, &fp, &PlacerConfig::default()).hpwl(&netlist),
+            )
+        })
+    });
+
+    c.bench_function("global_route", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                global_route(&netlist, &placement, &tiers, &stack, &RouteConfig::default())
+                    .total_wirelength_um,
+            )
+        })
+    });
+
+    c.bench_function("cts_flat", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                hetero3d::cts::synthesize(
+                    &netlist,
+                    &placement,
+                    &tiers,
+                    &stack,
+                    hetero3d::cts::CtsMode::Flat2d,
+                    &hetero3d::cts::CtsConfig::default(),
+                )
+                .buffer_count(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(kernels);

@@ -1,0 +1,95 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary accepts `--scale <f64>` (netlist size relative to the
+//! workspace defaults; 0.06 keeps a full run within seconds per config)
+//! and `--seed <u64>`, prints its table to stdout and mirrors it into
+//! `results/<name>.txt`.
+
+use hetero3d::flow::FlowOptions;
+use std::fs;
+use std::path::PathBuf;
+
+/// Parsed command-line arguments of a regeneration binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Netlist scale factor.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Output directory (default `results/`).
+    pub out_dir: PathBuf,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 0.06,
+            seed: 7,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Parses `--scale`, `--seed` and `--out` from `std::env::args`.
+#[must_use]
+pub fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                if let Ok(v) = args[i + 1].parse() {
+                    out.scale = v;
+                }
+                i += 2;
+            }
+            "--seed" => {
+                if let Ok(v) = args[i + 1].parse() {
+                    out.seed = v;
+                }
+                i += 2;
+            }
+            "--out" => {
+                out.out_dir = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// The flow options used by every regeneration binary (slightly reduced
+/// placer effort relative to the library default, for runtime).
+#[must_use]
+pub fn bench_options() -> FlowOptions {
+    let mut o = FlowOptions::default();
+    o.placer.iterations = 12;
+    o
+}
+
+/// Prints `content` and mirrors it to `<out_dir>/<name>`.
+///
+/// # Panics
+///
+/// Panics if the output directory cannot be created or written.
+pub fn emit(args: &BenchArgs, name: &str, content: &str) {
+    println!("{content}");
+    fs::create_dir_all(&args.out_dir).expect("create results dir");
+    let path = args.out_dir.join(name);
+    fs::write(&path, content).expect("write result file");
+    eprintln!("[saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = BenchArgs::default();
+        assert!(a.scale > 0.0);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The FO-4 boundary-cell experiments of Fig. 2 / Tables II–III.
+//!
+//! Two arrangements are characterized:
+//!
+//! * **Heterogeneity at the driver output** (Fig. 2a): the driver sits on
+//!   one tier, its four load inverters on the other. The driver's output
+//!   slew — and therefore the loads' input slew — shifts with the foreign
+//!   load capacitance.
+//! * **Heterogeneity at the driver input** (Fig. 2b): driver and loads
+//!   share a tier, but the signal feeding the driver comes from the other
+//!   tier and therefore swings to a different supply. Delay shifts are
+//!   small and sign-opposed between the two directions; leakage is wildly
+//!   asymmetric (an under-driven PMOS gate leaks exponentially more).
+//!
+//! Each experiment returns an [`Fo4Measurement`]; the bench binaries format
+//! them into the paper's Tables II and III.
+
+use crate::inverter::{Inverter, TechFlavor};
+use crate::sim::{ChainSim, Stage};
+
+/// Measured quantities of one FO-4 boundary case. Times in ns, power in µW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fo4Measurement {
+    /// Gate swing seen by the driver, volts ("Driver VG" in Table III).
+    pub driver_vg: f64,
+    /// 10–90 % rise slew at the driver output, ns.
+    pub rise_slew_ns: f64,
+    /// 90–10 % fall slew at the driver output, ns.
+    pub fall_slew_ns: f64,
+    /// Input-50 % to output-50 % rising delay, ns.
+    pub rise_delay_ns: f64,
+    /// Input-50 % to output-50 % falling delay, ns.
+    pub fall_delay_ns: f64,
+    /// Static leakage power of driver + loads, µW.
+    pub leakage_uw: f64,
+    /// Average total power over one switching cycle, µW.
+    pub total_power_uw: f64,
+}
+
+impl Fo4Measurement {
+    /// Percent change of each metric relative to `baseline`, in the order
+    /// (rise slew, fall slew, rise delay, fall delay, leakage, total).
+    #[must_use]
+    pub fn percent_delta(&self, baseline: &Fo4Measurement) -> [f64; 6] {
+        let pct = |a: f64, b: f64| (a - b) / b * 100.0;
+        [
+            pct(self.rise_slew_ns, baseline.rise_slew_ns),
+            pct(self.fall_slew_ns, baseline.fall_slew_ns),
+            pct(self.rise_delay_ns, baseline.rise_delay_ns),
+            pct(self.fall_delay_ns, baseline.fall_delay_ns),
+            pct(self.leakage_uw, baseline.leakage_uw),
+            pct(self.total_power_uw, baseline.total_power_uw),
+        ]
+    }
+}
+
+/// Simulation window (ns): one rising edge at 0.1 ns, one falling edge at
+/// half the window.
+const WINDOW_NS: f64 = 2.0;
+/// Stimulus ramp, ns.
+const RAMP_NS: f64 = 0.02;
+
+/// Runs one *heterogeneity at driver output* case (Fig. 2a): the driver is
+/// `driver` flavor, the four loads are `load` flavor.
+#[must_use]
+pub fn driver_output_case(driver: TechFlavor, load: TechFlavor) -> Fo4Measurement {
+    let drv = Inverter::new(driver, 1.0);
+    let ld = Inverter::new(load, 1.0);
+    let sim = ChainSim::fo4(drv, ld);
+    measure(&sim, 1, drv.vdd)
+}
+
+/// Runs one *heterogeneity at driver input* case (Fig. 2b): the signal
+/// source is `source` flavor; the driver and its four loads are `driver`
+/// flavor.
+#[must_use]
+pub fn driver_input_case(source: TechFlavor, driver: TechFlavor) -> Fo4Measurement {
+    let src = Inverter::new(source, 1.0);
+    let drv = Inverter::new(driver, 1.0);
+    let stages = vec![
+        // Shaping stage in the source tier produces a realistic edge that
+        // swings to the source tier's supply.
+        Stage { inv: src, parallel: 1.0, extra_load_ff: 0.0 },
+        Stage { inv: drv, parallel: 1.0, extra_load_ff: 6.0 },
+        Stage { inv: drv, parallel: 4.0, extra_load_ff: 0.0 },
+        Stage { inv: drv, parallel: 16.0, extra_load_ff: 0.0 },
+    ];
+    let sim = ChainSim::new(stages, src.vdd);
+    measure(&sim, 1, src.vdd)
+}
+
+/// Measures the stage at `driver_idx`: slews and delays at its output,
+/// leakage of driver + loads, average cycle power of the whole structure.
+fn measure(sim: &ChainSim, driver_idx: usize, input_vdd: f64) -> Fo4Measurement {
+    let (waves, stage_energy_fj) = sim.run_with_stage_energy(WINDOW_NS, RAMP_NS);
+    let input = &waves[driver_idx - 1];
+    let output = &waves[driver_idx];
+    let out_vdd = sim.stages()[driver_idx].inv.vdd;
+
+    // The stimulus rises at 0.1 ns -> shaping output falls -> driver
+    // output rises. The falling stimulus edge at WINDOW/2 produces the
+    // opposite pair.
+    let rise_slew = output
+        .slew(out_vdd, true, 0.0)
+        .expect("driver output must rise in window");
+    let fall_slew = output
+        .slew(out_vdd, false, WINDOW_NS * 0.45)
+        .expect("driver output must fall in window");
+    let rise_delay = input
+        .delay_to(input_vdd, false, output, out_vdd, true, 0.0)
+        .expect("rising transition present");
+    let fall_delay = input
+        .delay_to(input_vdd, true, output, out_vdd, false, WINDOW_NS * 0.45)
+        .expect("falling transition present");
+
+    // Static leakage: settle the chain with the stimulus low and sum the
+    // DC supply power of the driver and load stages, following the gate
+    // voltages down the chain.
+    // Leakage and total power are measured on the *driver* stage (the
+    // cell under test) as in the paper: Table II's boundary changes the
+    // driver's load, Table III changes its gate swing. The load and
+    // termination stages exist to shape realistic waveforms.
+    let mut leakage_uw = 0.0;
+    let mut vg = 0.0;
+    for i in 0..=driver_idx {
+        let op = sim.dc_operating_point(i, vg);
+        if i == driver_idx {
+            leakage_uw = op.static_power_uw;
+        }
+        vg = op.vout;
+    }
+
+    // Average driver power: one rise + one fall per window; fJ/ns ≡ µW.
+    let total_power_uw = stage_energy_fj[driver_idx] / WINDOW_NS;
+
+    Fo4Measurement {
+        driver_vg: input_vdd,
+        rise_slew_ns: rise_slew,
+        fall_slew_ns: fall_slew,
+        rise_delay_ns: rise_delay,
+        fall_delay_ns: fall_delay,
+        leakage_uw,
+        total_power_uw,
+    }
+}
+
+/// The four driver-output cases of Table II, in the paper's column order:
+/// (fast,fast), (fast,slow), (slow,slow), (slow,fast).
+#[must_use]
+pub fn table2_cases() -> [Fo4Measurement; 4] {
+    [
+        driver_output_case(TechFlavor::Fast, TechFlavor::Fast),
+        driver_output_case(TechFlavor::Fast, TechFlavor::Slow),
+        driver_output_case(TechFlavor::Slow, TechFlavor::Slow),
+        driver_output_case(TechFlavor::Slow, TechFlavor::Fast),
+    ]
+}
+
+/// The four driver-input cases of Table III, in the paper's column order:
+/// (fast,fast), (slow source → fast), (slow,slow), (fast source → slow).
+#[must_use]
+pub fn table3_cases() -> [Fo4Measurement; 4] {
+    [
+        driver_input_case(TechFlavor::Fast, TechFlavor::Fast),
+        driver_input_case(TechFlavor::Slow, TechFlavor::Fast),
+        driver_input_case(TechFlavor::Slow, TechFlavor::Slow),
+        driver_input_case(TechFlavor::Fast, TechFlavor::Slow),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cases_have_sane_magnitudes() {
+        let m = driver_output_case(TechFlavor::Fast, TechFlavor::Fast);
+        assert!(m.rise_delay_ns > 0.0 && m.rise_delay_ns < 0.2);
+        assert!(m.rise_slew_ns > 0.0 && m.rise_slew_ns < 0.5);
+        assert!(m.leakage_uw > 0.0);
+        assert!(m.total_power_uw > m.leakage_uw);
+    }
+
+    #[test]
+    fn slow_loads_speed_up_a_fast_driver() {
+        // Table II, Case-II vs Case-I: slow loads have smaller input caps,
+        // so slews and delays *decrease* (negative deltas in the paper).
+        let base = driver_output_case(TechFlavor::Fast, TechFlavor::Fast);
+        let hetero = driver_output_case(TechFlavor::Fast, TechFlavor::Slow);
+        let d = hetero.percent_delta(&base);
+        assert!(d[0] < 0.0, "rise slew delta {}", d[0]);
+        assert!(d[2] < 0.0, "rise delay delta {}", d[2]);
+    }
+
+    #[test]
+    fn fast_loads_slow_down_a_slow_driver() {
+        // Table II, Case-IV vs Case-III: positive deltas.
+        let base = driver_output_case(TechFlavor::Slow, TechFlavor::Slow);
+        let hetero = driver_output_case(TechFlavor::Slow, TechFlavor::Fast);
+        let d = hetero.percent_delta(&base);
+        assert!(d[0] > 0.0, "rise slew delta {}", d[0]);
+        assert!(d[2] > 0.0, "rise delay delta {}", d[2]);
+    }
+
+    #[test]
+    fn slew_deltas_stay_within_characterized_band() {
+        // The paper's acceptance criterion: boundary slews move <= ~15 %.
+        for (base, hetero) in [
+            (
+                driver_output_case(TechFlavor::Fast, TechFlavor::Fast),
+                driver_output_case(TechFlavor::Fast, TechFlavor::Slow),
+            ),
+            (
+                driver_output_case(TechFlavor::Slow, TechFlavor::Slow),
+                driver_output_case(TechFlavor::Slow, TechFlavor::Fast),
+            ),
+        ] {
+            let d = hetero.percent_delta(&base);
+            assert!(d[0].abs() < 30.0, "rise slew delta {}", d[0]);
+            assert!(d[1].abs() < 30.0, "fall slew delta {}", d[1]);
+        }
+    }
+
+    #[test]
+    fn underdriven_input_blows_up_leakage() {
+        // Table III: slow-tier signal into fast-tier FO4 -> leakage up by
+        // a large factor; delays shift only a few percent.
+        let base = driver_input_case(TechFlavor::Fast, TechFlavor::Fast);
+        let hetero = driver_input_case(TechFlavor::Slow, TechFlavor::Fast);
+        let d = hetero.percent_delta(&base);
+        assert!(d[4] > 100.0, "leakage delta {} should be large", d[4]);
+        assert!(d[2] > 0.0, "rise delay should increase, got {}", d[2]);
+        assert!(hetero.driver_vg < base.driver_vg);
+    }
+
+    #[test]
+    fn overdriven_input_reduces_leakage() {
+        // Table III opposite direction: fast-tier signal into slow FO4.
+        let base = driver_input_case(TechFlavor::Slow, TechFlavor::Slow);
+        let hetero = driver_input_case(TechFlavor::Fast, TechFlavor::Slow);
+        let d = hetero.percent_delta(&base);
+        assert!(d[4] < 0.0, "leakage delta {} should be negative", d[4]);
+        assert!(d[2] < 0.0, "rise delay should decrease, got {}", d[2]);
+    }
+}

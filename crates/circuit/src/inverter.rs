@@ -1,0 +1,136 @@
+use crate::mosfet::{Mosfet, MosfetKind, MosfetParams};
+use m3d_tech::CornerParams;
+
+/// Which of the two heterogeneous technologies an inverter belongs to.
+///
+/// `Fast` is the 12-track 0.90 V corner, `Slow` the 9-track 0.81 V corner —
+/// the same parameters the [`m3d_tech`] libraries are generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechFlavor {
+    /// 12-track, 0.90 V, low-Vt.
+    Fast,
+    /// 9-track, 0.81 V, high-Vt.
+    Slow,
+}
+
+impl TechFlavor {
+    /// The corner parameters behind this flavor.
+    #[must_use]
+    pub fn corner(self) -> CornerParams {
+        match self {
+            TechFlavor::Fast => CornerParams::twelve_track(),
+            TechFlavor::Slow => CornerParams::nine_track(),
+        }
+    }
+}
+
+impl std::fmt::Display for TechFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TechFlavor::Fast => f.write_str("fast"),
+            TechFlavor::Slow => f.write_str("slow"),
+        }
+    }
+}
+
+/// A CMOS inverter: PMOS pull-up + NMOS pull-down with gate and drain
+/// parasitics, powered by its tier's supply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inverter {
+    /// Pull-down device.
+    pub nmos: Mosfet,
+    /// Pull-up device (width-doubled for mobility matching).
+    pub pmos: Mosfet,
+    /// Supply voltage of this inverter's tier, volts.
+    pub vdd: f64,
+    /// Input (gate) capacitance, fF.
+    pub cin_ff: f64,
+    /// Output (drain) parasitic capacitance, fF.
+    pub cout_ff: f64,
+    /// Technology flavor, for reporting.
+    pub flavor: TechFlavor,
+}
+
+impl Inverter {
+    /// Builds an inverter of the given flavor and drive width.
+    #[must_use]
+    pub fn new(flavor: TechFlavor, width: f64) -> Self {
+        let c = flavor.corner();
+        let w = width * c.width_factor;
+        let nmos = Mosfet::new(MosfetKind::Nmos, MosfetParams::nm28(c.vth, w));
+        // PMOS at 2x width compensates hole mobility; same Vth magnitude.
+        let pmos = Mosfet::new(MosfetKind::Pmos, MosfetParams::nm28(c.vth, 2.0 * w));
+        Inverter {
+            nmos,
+            pmos,
+            vdd: c.vdd,
+            cin_ff: c.unit_gate_cap_ff * w * 3.0, // NMOS + 2x PMOS gates.
+            cout_ff: c.unit_parasitic_cap_ff * w * 3.0,
+            flavor,
+        }
+    }
+
+    /// Net current *into* the output node (mA) for gate voltage `vg` and
+    /// output voltage `vout`: PMOS charging minus NMOS discharging.
+    #[must_use]
+    pub fn output_current_ma(&self, vg: f64, vout: f64) -> f64 {
+        let i_up = self.pmos.current(vg, vout, self.vdd, 0.0);
+        let i_down = self.nmos.current(vg, vout, self.vdd, 0.0);
+        i_up - i_down
+    }
+
+    /// Current drawn from the supply rail (through the PMOS), mA.
+    #[must_use]
+    pub fn supply_current_ma(&self, vg: f64, vout: f64) -> f64 {
+        self.pmos.current(vg, vout, self.vdd, 0.0)
+    }
+
+    /// Logic switching threshold: the paper's functionality condition
+    /// requires the cross-tier input swing to clear this.
+    #[must_use]
+    pub fn switching_threshold(&self) -> f64 {
+        self.vdd * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_inverter_sources_more_current() {
+        let fast = Inverter::new(TechFlavor::Fast, 1.0);
+        let slow = Inverter::new(TechFlavor::Slow, 1.0);
+        // Mid-swing drive comparison.
+        let i_fast = -fast.output_current_ma(fast.vdd, fast.vdd * 0.5);
+        let i_slow = -slow.output_current_ma(slow.vdd, slow.vdd * 0.5);
+        assert!(i_fast > i_slow);
+    }
+
+    #[test]
+    fn output_current_signs() {
+        let inv = Inverter::new(TechFlavor::Fast, 1.0);
+        // Gate low -> output pulled up (positive current into node).
+        assert!(inv.output_current_ma(0.0, 0.45) > 0.0);
+        // Gate high -> output pulled down.
+        assert!(inv.output_current_ma(0.9, 0.45) < 0.0);
+    }
+
+    #[test]
+    fn slow_flavor_has_smaller_caps() {
+        let fast = Inverter::new(TechFlavor::Fast, 1.0);
+        let slow = Inverter::new(TechFlavor::Slow, 1.0);
+        assert!(slow.cin_ff < fast.cin_ff);
+        assert!(slow.cout_ff < fast.cout_ff);
+    }
+
+    #[test]
+    fn cross_tier_swing_clears_switching_threshold() {
+        // 0.81 V input high must register on a 0.90 V gate: the paper's
+        // V_DDH - V_DDL < Vth condition.
+        let fast = Inverter::new(TechFlavor::Fast, 1.0);
+        let slow = Inverter::new(TechFlavor::Slow, 1.0);
+        assert!(slow.vdd > fast.switching_threshold());
+        assert!(fast.vdd > slow.switching_threshold());
+    }
+}

@@ -1,0 +1,37 @@
+//! Transistor-level transient simulation — the workspace's HSPICE substitute.
+//!
+//! Section II-B of the paper characterizes the two heterogeneity boundary
+//! conditions of an FO-4 inverter (Fig. 2) with SPICE on encrypted foundry
+//! models. Those models are proprietary, so this crate implements a small
+//! circuit simulator from first principles:
+//!
+//! * [`Mosfet`] — Sakurai–Newton alpha-power-law device with linear /
+//!   saturation / subthreshold regions,
+//! * [`Inverter`] — a CMOS inverter built from two devices plus parasitics,
+//! * [`ChainSim`] — fixed-timestep transient analysis of an inverter chain
+//!   with per-stage supply voltages (the heterogeneous ingredient),
+//! * [`Waveform`] — slew / delay / crossing measurements,
+//! * [`fo4`] — the two boundary experiments that regenerate Tables II–III.
+//!
+//! # Examples
+//!
+//! ```
+//! use m3d_circuit::{fo4, TechFlavor};
+//!
+//! // Heterogeneity at the driver output: fast driver, slow loads.
+//! let m = fo4::driver_output_case(TechFlavor::Fast, TechFlavor::Slow);
+//! assert!(m.rise_delay_ns > 0.0);
+//! assert!(m.leakage_uw > 0.0);
+//! ```
+
+mod inverter;
+mod mosfet;
+mod sim;
+mod waveform;
+
+pub mod fo4;
+
+pub use inverter::{Inverter, TechFlavor};
+pub use mosfet::{Mosfet, MosfetKind, MosfetParams};
+pub use sim::{ChainSim, DcOperatingPoint};
+pub use waveform::Waveform;

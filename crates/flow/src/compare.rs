@@ -1,0 +1,162 @@
+use crate::config::{Config, FlowOptions};
+use crate::flow::{find_fmax, run_flow, Implementation};
+use crate::ppac::{percent_delta, DeltaRow, Ppac};
+use m3d_cost::CostModel;
+use m3d_netlist::Netlist;
+
+/// Five-way comparison of one netlist across all configurations at the
+/// iso-performance target (Tables VI and VII).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Design name.
+    pub design: String,
+    /// The iso-performance frequency target (the 12-track 2-D fmax), GHz.
+    pub target_ghz: f64,
+    /// The heterogeneous implementation's metrics (Table VI).
+    pub hetero: Ppac,
+    /// Metrics of every homogeneous configuration.
+    pub homogeneous: Vec<Ppac>,
+    /// Table VII columns: hetero vs each homogeneous configuration.
+    pub deltas: Vec<DeltaRow>,
+    /// The heterogeneous implementation itself (for deep-dive reports).
+    pub hetero_implementation: Implementation,
+    /// The homogeneous implementations (same order as `homogeneous`).
+    pub implementations: Vec<Implementation>,
+}
+
+/// Runs the full evaluation methodology on one netlist:
+///
+/// 1. sweep the 12-track 2-D implementation to its fmax,
+/// 2. implement all five configurations at that frequency,
+/// 3. compute PPAC and the Table VII percent deltas.
+///
+/// This is the expensive entry point — a full run executes the flow seven
+/// or more times.
+#[must_use]
+pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostModel) -> Comparison {
+    let (target_ghz, base_imp) = find_fmax(netlist, Config::TwoD12T, options, 1.0);
+
+    let mut homogeneous = Vec::new();
+    let mut implementations = Vec::new();
+    for config in Config::HOMOGENEOUS {
+        let imp = if config == Config::TwoD12T {
+            base_imp.clone()
+        } else {
+            run_flow(netlist, config, target_ghz, options)
+        };
+        homogeneous.push(imp.ppac(cost));
+        implementations.push(imp);
+    }
+    let hetero_implementation = run_flow(netlist, Config::Hetero3d, target_ghz, options);
+    let hetero = hetero_implementation.ppac(cost);
+    let deltas = homogeneous
+        .iter()
+        .map(|h| percent_delta(&hetero, h))
+        .collect();
+
+    Comparison {
+        design: netlist.name.clone(),
+        target_ghz,
+        hetero,
+        homogeneous,
+        deltas,
+        hetero_implementation,
+        implementations,
+    }
+}
+
+/// Table V: the same heterogeneous design through the Pin-3-D baseline
+/// flow and the enhanced Hetero-Pin-3-D flow.
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// Frequency both flows ran at, GHz.
+    pub frequency_ghz: f64,
+    /// Metrics from the unmodified Pin-3-D flow.
+    pub pin3d: Ppac,
+    /// Metrics from the enhanced flow.
+    pub hetero_pin3d: Ppac,
+    /// The baseline implementation.
+    pub pin3d_implementation: Implementation,
+    /// The enhanced implementation.
+    pub hetero_implementation: Implementation,
+}
+
+/// Runs the Table V experiment: heterogeneous configuration under the
+/// baseline flow (no timing partitioning, legacy CTS, no ECO) vs the
+/// enhanced flow, at the same frequency.
+#[must_use]
+pub fn pin3d_baseline_comparison(
+    netlist: &Netlist,
+    frequency_ghz: f64,
+    options: &FlowOptions,
+    cost: &CostModel,
+) -> BaselineComparison {
+    let baseline_options = FlowOptions {
+        enable_timing_partition: false,
+        enable_3d_cts: false,
+        enable_repartition: false,
+        ..options.clone()
+    };
+    let pin3d_implementation = run_flow(netlist, Config::Hetero3d, frequency_ghz, &baseline_options);
+    let hetero_implementation = run_flow(netlist, Config::Hetero3d, frequency_ghz, options);
+    BaselineComparison {
+        frequency_ghz,
+        pin3d: pin3d_implementation.ppac(cost),
+        hetero_pin3d: hetero_implementation.ppac(cost),
+        pin3d_implementation,
+        hetero_implementation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netgen::Benchmark;
+
+    fn quick_options() -> FlowOptions {
+        let mut o = FlowOptions::default();
+        o.placer.iterations = 6;
+        o
+    }
+
+    #[test]
+    fn baseline_comparison_shows_enhancement_value() {
+        // Table V's experiment: at a frequency where the plain Pin-3-D
+        // flow misses timing, the enhanced flow recovers most of the WNS
+        // and cuts power.
+        let n = Benchmark::Cpu.generate(0.015, 41);
+        let cmp = pin3d_baseline_comparison(&n, 1.6, &quick_options(), &CostModel::default());
+        assert!(
+            cmp.pin3d.wns_ns < -0.02,
+            "baseline should violate at 1.6 GHz: {}",
+            cmp.pin3d.wns_ns
+        );
+        assert!(
+            cmp.hetero_pin3d.wns_ns > cmp.pin3d.wns_ns + 0.02,
+            "enhanced WNS {} vs baseline {}",
+            cmp.hetero_pin3d.wns_ns,
+            cmp.pin3d.wns_ns
+        );
+        assert!(
+            cmp.hetero_pin3d.total_power_mw < cmp.pin3d.total_power_mw,
+            "enhanced power {} vs baseline {}",
+            cmp.hetero_pin3d.total_power_mw,
+            cmp.pin3d.total_power_mw
+        );
+        assert_eq!(cmp.frequency_ghz, 1.6);
+    }
+
+    #[test]
+    fn five_way_comparison_produces_all_rows() {
+        let n = Benchmark::Aes.generate(0.012, 41);
+        let cmp = compare_configs(&n, &quick_options(), &CostModel::default());
+        assert_eq!(cmp.homogeneous.len(), 4);
+        assert_eq!(cmp.deltas.len(), 4);
+        assert!(cmp.target_ghz > 0.0);
+        assert_eq!(cmp.hetero.config, Config::Hetero3d);
+        // Iso-performance: every implementation ran at the same target.
+        for p in &cmp.homogeneous {
+            assert!((p.frequency_ghz - cmp.target_ghz).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+use m3d_cts::CtsConfig;
+use m3d_place::PlacerConfig;
+use m3d_route::RouteConfig;
+use m3d_tech::{Library, TierStack};
+use std::fmt;
+
+/// The five technology/design configurations of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Config {
+    /// (b) 9-track 2-D: slow & small.
+    TwoD9T,
+    /// (a) 12-track 2-D: fast & large — the iso-performance baseline.
+    TwoD12T,
+    /// (c) 9-track homogeneous 3-D.
+    ThreeD9T,
+    /// (d) 12-track homogeneous 3-D.
+    ThreeD12T,
+    /// (e) 9+12-track heterogeneous 3-D: the paper's proposal.
+    Hetero3d,
+}
+
+impl Config {
+    /// All five configurations, in Fig. 1 order.
+    pub const ALL: [Config; 5] = [
+        Config::TwoD12T,
+        Config::TwoD9T,
+        Config::ThreeD12T,
+        Config::ThreeD9T,
+        Config::Hetero3d,
+    ];
+
+    /// The four homogeneous comparison configurations (Table VII columns).
+    pub const HOMOGENEOUS: [Config; 4] = [
+        Config::TwoD9T,
+        Config::TwoD12T,
+        Config::ThreeD9T,
+        Config::ThreeD12T,
+    ];
+
+    /// Builds the technology stack for this configuration.
+    #[must_use]
+    pub fn stack(self) -> TierStack {
+        match self {
+            Config::TwoD9T => TierStack::two_d(Library::nine_track()),
+            Config::TwoD12T => TierStack::two_d(Library::twelve_track()),
+            Config::ThreeD9T => TierStack::homogeneous_3d(Library::nine_track()),
+            Config::ThreeD12T => TierStack::homogeneous_3d(Library::twelve_track()),
+            Config::Hetero3d => TierStack::heterogeneous(),
+        }
+    }
+
+    /// Returns `true` for the two-tier configurations.
+    #[must_use]
+    pub fn is_3d(self) -> bool {
+        matches!(self, Config::ThreeD9T | Config::ThreeD12T | Config::Hetero3d)
+    }
+
+    /// Returns `true` for the heterogeneous configuration.
+    #[must_use]
+    pub fn is_heterogeneous(self) -> bool {
+        self == Config::Hetero3d
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Config::TwoD9T => "2D 9-Track",
+            Config::TwoD12T => "2D 12-Track",
+            Config::ThreeD9T => "M3D 9-Track",
+            Config::ThreeD12T => "M3D 12-Track",
+            Config::Hetero3d => "Hetero 3D (9+12)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Knobs of a flow run.
+///
+/// The three `enable_*` flags distinguish the Pin-3-D baseline from the
+/// enhanced heterogeneous flow (Table V): the baseline runs with all three
+/// disabled, the Hetero-Pin-3-D flow with all three enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOptions {
+    /// Target standard-cell utilization.
+    pub utilization: f64,
+    /// Seed forwarded to placement/partitioning.
+    pub seed: u64,
+    /// Global-placement parameters.
+    pub placer: PlacerConfig,
+    /// Global-routing parameters.
+    pub route: RouteConfig,
+    /// CTS parameters.
+    pub cts: CtsConfig,
+    /// Fraction of cell area the timing-based partitioner may lock to the
+    /// fast tier (the paper uses 20–30 %).
+    pub timing_partition_cap: f64,
+    /// Enable timing-based partitioning (heterogeneous enhancement #1).
+    pub enable_timing_partition: bool,
+    /// Enable 3-D (COVER-cell) clock tree synthesis (enhancement #2).
+    pub enable_3d_cts: bool,
+    /// Enable the repartitioning ECO (enhancement #3, Algorithm 1).
+    pub enable_repartition: bool,
+    /// Toggle rate at primary inputs for power analysis.
+    pub input_activity: f64,
+    /// Fanout cap for pre-placement buffering.
+    pub max_fanout: usize,
+    /// Placement-bin count per axis for bin-based FM.
+    pub partition_bins: usize,
+    /// Timing-met tolerance: |WNS| within this fraction of the period.
+    pub wns_tolerance: f64,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            utilization: 0.7,
+            seed: 1,
+            placer: PlacerConfig::default(),
+            route: RouteConfig::default(),
+            cts: CtsConfig::default(),
+            timing_partition_cap: 0.28,
+            enable_timing_partition: true,
+            enable_3d_cts: true,
+            enable_repartition: true,
+            input_activity: 0.15,
+            max_fanout: 24,
+            partition_bins: 8,
+            wns_tolerance: 0.07,
+        }
+    }
+}
+
+impl FlowOptions {
+    /// The Pin-3-D baseline: min-cut partitioning only, legacy clock tree,
+    /// no repartitioning — the left column of Table V.
+    #[must_use]
+    pub fn pin3d_baseline() -> Self {
+        FlowOptions {
+            enable_timing_partition: false,
+            enable_3d_cts: false,
+            enable_repartition: false,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_map_to_expected_stacks() {
+        assert!(!Config::TwoD9T.stack().is_3d());
+        assert!(Config::ThreeD12T.stack().is_3d());
+        assert!(!Config::ThreeD12T.stack().is_heterogeneous());
+        assert!(Config::Hetero3d.stack().is_heterogeneous());
+        assert_eq!(Config::TwoD9T.stack().library(m3d_tech::Tier::Bottom).vdd, 0.81);
+    }
+
+    #[test]
+    fn baseline_disables_all_enhancements() {
+        let b = FlowOptions::pin3d_baseline();
+        assert!(!b.enable_timing_partition);
+        assert!(!b.enable_3d_cts);
+        assert!(!b.enable_repartition);
+        let full = FlowOptions::default();
+        assert!(full.enable_timing_partition && full.enable_3d_cts && full.enable_repartition);
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let mut names: Vec<String> = Config::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! The Hetero-Pin-3-D flow: RTL-to-GDS-equivalent implementation of the
+//! paper's five design configurations and its enhanced heterogeneous flow.
+//!
+//! This crate is the paper's primary contribution, assembled from the
+//! workspace substrates:
+//!
+//! * the five configurations of Fig. 1 ([`Config`]): 9-track 2-D,
+//!   12-track 2-D, 9-track 3-D, 12-track 3-D, and the heterogeneous
+//!   9+12-track 3-D,
+//! * the **pseudo-3-D stage** (flat 2-D implementation in the fast
+//!   technology at the halved 3-D footprint),
+//! * **timing-based partitioning** + bin-based FM min-cut,
+//! * tier legalization, 3-D global routing, COVER-cell 3-D CTS,
+//! * post-route optimization (upsizing to close timing, downsizing
+//!   non-critical cells for power),
+//! * the **repartitioning ECO** (Algorithm 1),
+//! * sign-off STA/power and the PPAC roll-up ([`Ppac`]) including die
+//!   cost, PDP and PPC,
+//! * the fmax sweep used to set the iso-performance target
+//!   ([`find_fmax`]), and five-way comparison helpers ([`compare`]).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use m3d_flow::{run_flow, Config, FlowOptions};
+//! use m3d_netgen::Benchmark;
+//!
+//! let netlist = Benchmark::Aes.generate(0.1, 1);
+//! let imp = run_flow(&netlist, Config::Hetero3d, 1.5, &FlowOptions::default());
+//! let ppac = imp.ppac(&m3d_cost::CostModel::default());
+//! println!("PPC = {:.3}", ppac.ppc);
+//! ```
+
+mod compare;
+mod config;
+#[allow(clippy::module_inception)]
+mod flow;
+mod ppac;
+
+pub use compare::{compare_configs, pin3d_baseline_comparison, BaselineComparison, Comparison};
+pub use config::{Config, FlowOptions};
+pub use flow::{find_fmax, run_flow, Implementation};
+pub use ppac::{percent_delta, DeltaRow, Ppac};

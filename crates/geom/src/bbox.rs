@@ -1,0 +1,173 @@
+use crate::{Point, Rect};
+
+/// An accumulating bounding box over a set of points.
+///
+/// The workhorse of wirelength estimation: add every pin location of a net
+/// and read the half-perimeter wirelength with [`BBox::hpwl`].
+///
+/// # Examples
+///
+/// ```
+/// use m3d_geom::{BBox, Point};
+///
+/// let bbox: BBox = [Point::new(0.0, 0.0), Point::new(2.0, 3.0)].into_iter().collect();
+/// assert_eq!(bbox.hpwl(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+    count: usize,
+}
+
+impl BBox {
+    /// Creates an empty bounding box (contains no points; `hpwl` is zero).
+    #[must_use]
+    pub fn new() -> Self {
+        BBox {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Adds a point to the box.
+    pub fn add(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+        self.count += 1;
+    }
+
+    /// Number of points added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if no points have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Half-perimeter wirelength: `width + height` of the box. Zero for
+    /// empty or single-point boxes.
+    #[must_use]
+    pub fn hpwl(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.max_x - self.min_x) + (self.max_y - self.min_y)
+        }
+    }
+
+    /// Width of the box (zero when fewer than two points).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.max_x - self.min_x
+        }
+    }
+
+    /// Height of the box (zero when fewer than two points).
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.max_y - self.min_y
+        }
+    }
+
+    /// Converts into a [`Rect`], or `None` when empty.
+    #[must_use]
+    pub fn to_rect(&self) -> Option<Rect> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(Rect::new(self.min_x, self.min_y, self.max_x, self.max_y))
+        }
+    }
+
+    /// Center of the box, or `None` when empty.
+    #[must_use]
+    pub fn center(&self) -> Option<Point> {
+        self.to_rect().map(|r| r.center())
+    }
+}
+
+impl Default for BBox {
+    fn default() -> Self {
+        BBox::new()
+    }
+}
+
+impl FromIterator<Point> for BBox {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut bbox = BBox::new();
+        for p in iter {
+            bbox.add(p);
+        }
+        bbox
+    }
+}
+
+impl Extend<Point> for BBox {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        for p in iter {
+            self.add(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_has_zero_hpwl() {
+        let b = BBox::new();
+        assert!(b.is_empty());
+        assert_eq!(b.hpwl(), 0.0);
+        assert!(b.to_rect().is_none());
+        assert!(b.center().is_none());
+    }
+
+    #[test]
+    fn single_point_has_zero_hpwl() {
+        let mut b = BBox::new();
+        b.add(Point::new(5.0, 5.0));
+        assert_eq!(b.hpwl(), 0.0);
+        assert_eq!(b.len(), 1);
+        assert!(b.to_rect().is_some());
+    }
+
+    #[test]
+    fn hpwl_matches_manual_calc() {
+        let b: BBox = [
+            Point::new(1.0, 1.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 6.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(b.hpwl(), 3.0 + 5.0);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut b = BBox::new();
+        b.extend([Point::ORIGIN, Point::new(1.0, 1.0)]);
+        b.extend([Point::new(-1.0, 0.0)]);
+        assert_eq!(b.hpwl(), 2.0 + 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle in microns, defined by its lower-left and
+/// upper-right corners.
+///
+/// Used for die outlines, macro footprints, placement rows and routing bins.
+/// A `Rect` is always normalized: `llx <= urx` and `lly <= ury` (enforced by
+/// [`Rect::new`]).
+///
+/// # Examples
+///
+/// ```
+/// use m3d_geom::{Point, Rect};
+///
+/// let die = Rect::new(0.0, 0.0, 100.0, 50.0);
+/// assert_eq!(die.area(), 5000.0);
+/// assert!(die.contains(Point::new(10.0, 10.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    llx: f64,
+    lly: f64,
+    urx: f64,
+    ury: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; corners are normalized so the result is always
+    /// well-formed even if the arguments are swapped.
+    #[must_use]
+    pub fn new(llx: f64, lly: f64, urx: f64, ury: f64) -> Self {
+        Rect {
+            llx: llx.min(urx),
+            lly: lly.min(ury),
+            urx: llx.max(urx),
+            ury: lly.max(ury),
+        }
+    }
+
+    /// Creates a rectangle from its lower-left corner and a size.
+    #[must_use]
+    pub fn with_size(ll: Point, width: f64, height: f64) -> Self {
+        Rect::new(ll.x, ll.y, ll.x + width.abs(), ll.y + height.abs())
+    }
+
+    /// Lower-left x coordinate.
+    #[must_use]
+    pub fn llx(&self) -> f64 {
+        self.llx
+    }
+
+    /// Lower-left y coordinate.
+    #[must_use]
+    pub fn lly(&self) -> f64 {
+        self.lly
+    }
+
+    /// Upper-right x coordinate.
+    #[must_use]
+    pub fn urx(&self) -> f64 {
+        self.urx
+    }
+
+    /// Upper-right y coordinate.
+    #[must_use]
+    pub fn ury(&self) -> f64 {
+        self.ury
+    }
+
+    /// Width (x extent).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.urx - self.llx
+    }
+
+    /// Height (y extent).
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.ury - self.lly
+    }
+
+    /// Area in square microns.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new((self.llx + self.urx) * 0.5, (self.lly + self.ury) * 0.5)
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.llx && p.x <= self.urx && p.y >= self.lly && p.y <= self.ury
+    }
+
+    /// Returns `true` if `other` lies entirely inside (or on the boundary of)
+    /// `self`.
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.llx >= self.llx && other.urx <= self.urx && other.lly >= self.lly && other.ury <= self.ury
+    }
+
+    /// Intersection area with `other`; zero if they do not overlap.
+    #[must_use]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.urx.min(other.urx) - self.llx.max(other.llx)).max(0.0);
+        let h = (self.ury.min(other.ury) - self.lly.max(other.lly)).max(0.0);
+        w * h
+    }
+
+    /// Returns `true` if the rectangles overlap with positive area (touching
+    /// edges do not count as overlap).
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.overlap_area(other) > 0.0
+    }
+
+    /// Smallest rectangle covering both `self` and `other`.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.llx.min(other.llx),
+            self.lly.min(other.lly),
+            self.urx.max(other.urx),
+            self.ury.max(other.ury),
+        )
+    }
+
+    /// Rectangle grown by `margin` on every side (shrunk for negative
+    /// margins, collapsing to a degenerate rectangle at the center if the
+    /// margin exceeds half the extent).
+    #[must_use]
+    pub fn inflated(&self, margin: f64) -> Rect {
+        let cx = self.center();
+        let hw = (self.width() * 0.5 + margin).max(0.0);
+        let hh = (self.height() * 0.5 + margin).max(0.0);
+        Rect::new(cx.x - hw, cx.y - hh, cx.x + hw, cx.y + hh)
+    }
+
+    /// The point inside the rectangle closest to `p`.
+    #[must_use]
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(
+            crate::clamp(p.x, self.llx, self.urx),
+            crate::clamp(p.y, self.lly, self.ury),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3},{:.3} .. {:.3},{:.3}]",
+            self.llx, self.lly, self.urx, self.ury
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_normalized() {
+        let r = Rect::new(10.0, 20.0, 0.0, 5.0);
+        assert_eq!(r.llx(), 0.0);
+        assert_eq!(r.lly(), 5.0);
+        assert_eq!(r.urx(), 10.0);
+        assert_eq!(r.ury(), 20.0);
+    }
+
+    #[test]
+    fn overlap_area_of_disjoint_rects_is_zero() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn overlap_area_of_nested_rects_is_inner_area() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(2.0, 2.0, 4.0, 5.0);
+        assert_eq!(outer.overlap_area(&inner), inner.area());
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(5.0, -2.0, 6.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn clamp_point_projects_onto_rect() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(r.clamp_point(Point::new(-5.0, 5.0)), Point::new(0.0, 5.0));
+        assert_eq!(r.clamp_point(Point::new(3.0, 20.0)), Point::new(3.0, 10.0));
+        let inside = Point::new(4.0, 4.0);
+        assert_eq!(r.clamp_point(inside), inside);
+    }
+
+    #[test]
+    fn inflate_and_deflate() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(r.inflated(1.0).area(), 144.0);
+        assert_eq!(r.inflated(-20.0).area(), 0.0);
+    }
+
+    #[test]
+    fn touching_edges_do_not_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&b));
+    }
+}

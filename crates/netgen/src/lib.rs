@@ -1,0 +1,39 @@
+//! Workload generators for the paper's four benchmark netlists.
+//!
+//! The paper evaluates on AES (cell-dominant), LDPC (wire-dominant),
+//! Netcard (large, flat) and a commercial Cortex-A7-class CPU (general
+//! purpose, 40 % of the footprint in cache macros). Those RTLs are either
+//! proprietary or require a synthesis stack fed by a commercial library,
+//! so this crate *generates* gate-level netlists with the same structural
+//! signatures — the properties the paper's conclusions actually rest on:
+//!
+//! * **AES** — many identical bit-slice blocks with high locality; timing
+//!   paths are symmetric across slices (which is exactly why the paper
+//!   finds AES benefits least from timing-based partitioning),
+//! * **LDPC** — a bipartite XOR-heavy graph with near-zero locality:
+//!   global wiring dominates,
+//! * **Netcard** — a large flat mix of medium-locality logic,
+//! * **CPU** — heterogeneous blocks with very different logic depths
+//!   (ALU/FPU deep, control shallow) plus SRAM cache macros.
+//!
+//! All generators are deterministic given a seed, and take a `scale`
+//! factor so tests can run on tiny instances while benches use
+//! paper-class sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use m3d_netgen::Benchmark;
+//!
+//! let netlist = Benchmark::Aes.generate(0.05, 42);
+//! assert!(netlist.validate().is_ok());
+//! assert!(netlist.gate_count() > 100);
+//! ```
+
+mod benchmarks;
+mod builder;
+mod spec;
+
+pub use benchmarks::Benchmark;
+pub use builder::generate;
+pub use spec::{BlockSpec, DesignSpec, SramSpec};

@@ -1,0 +1,144 @@
+/// Specification of one functional block of generated logic.
+///
+/// A block is a cluster of registers plus `depth` levels of combinational
+/// logic. `locality` controls how often a gate input stays inside the
+/// block (high locality → short wires, low → chip-spanning nets), and
+/// `xor_bias` skews the gate mix toward XOR trees (parity-style logic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSpec {
+    /// Block name (becomes the hierarchy tag prefix).
+    pub name: String,
+    /// Combinational gates per instance.
+    pub gates: usize,
+    /// Logic depth in levels (sets the block's timing criticality).
+    pub depth: usize,
+    /// Registers per instance.
+    pub registers: usize,
+    /// Probability that a gate input comes from this block, `0..=1`.
+    pub locality: f64,
+    /// Extra weight on XOR/XNOR gates, `0..=1`.
+    pub xor_bias: f64,
+    /// Number of identical instances (AES bit-slices use 16–128).
+    pub replicate: usize,
+}
+
+impl BlockSpec {
+    /// Convenience constructor with single instance and no XOR bias.
+    #[must_use]
+    pub fn new(name: impl Into<String>, gates: usize, depth: usize, registers: usize, locality: f64) -> Self {
+        BlockSpec {
+            name: name.into(),
+            gates,
+            depth,
+            registers,
+            locality,
+            xor_bias: 0.0,
+            replicate: 1,
+        }
+    }
+
+    /// Sets the XOR bias.
+    #[must_use]
+    pub fn with_xor_bias(mut self, bias: f64) -> Self {
+        self.xor_bias = bias;
+        self
+    }
+
+    /// Sets the replication count.
+    #[must_use]
+    pub fn replicated(mut self, count: usize) -> Self {
+        self.replicate = count;
+        self
+    }
+
+    /// Total gates across all replicas.
+    #[must_use]
+    pub fn total_gates(&self) -> usize {
+        self.gates * self.replicate
+    }
+}
+
+/// Specification of one SRAM macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramSpec {
+    /// Instance name.
+    pub name: String,
+    /// Storage bits (sets physical size via [`m3d_netlist::MacroSpec::sram`]).
+    pub bits: u64,
+    /// Data/address input pins.
+    pub inputs: usize,
+    /// Data output pins.
+    pub outputs: usize,
+    /// Block the macro's interface logic lives in (index into
+    /// [`DesignSpec::blocks`]).
+    pub block: usize,
+}
+
+/// Full design specification consumed by [`crate::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Design name.
+    pub name: String,
+    /// Primary input count (excluding the clock).
+    pub primary_inputs: usize,
+    /// Primary output count.
+    pub primary_outputs: usize,
+    /// Functional blocks.
+    pub blocks: Vec<BlockSpec>,
+    /// SRAM macros.
+    pub srams: Vec<SramSpec>,
+}
+
+impl DesignSpec {
+    /// Total combinational gates across blocks (registers excluded).
+    #[must_use]
+    pub fn total_gates(&self) -> usize {
+        self.blocks.iter().map(BlockSpec::total_gates).sum()
+    }
+
+    /// Scales every block's gate/register counts by `scale`, keeping at
+    /// least a handful of gates per block so tiny test instances remain
+    /// structurally valid.
+    #[must_use]
+    pub fn scaled(mut self, scale: f64) -> Self {
+        for b in &mut self.blocks {
+            b.gates = ((b.gates as f64 * scale).round() as usize).max(8);
+            b.registers = ((b.registers as f64 * scale).round() as usize).max(2);
+            b.depth = b.depth.max(2);
+        }
+        for s in &mut self.srams {
+            s.bits = ((s.bits as f64 * scale).round() as u64).max(256);
+        }
+        self.primary_inputs = ((self.primary_inputs as f64 * scale.sqrt()).round() as usize).max(4);
+        self.primary_outputs =
+            ((self.primary_outputs as f64 * scale.sqrt()).round() as usize).max(4);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_respects_minimums() {
+        let spec = DesignSpec {
+            name: "t".into(),
+            primary_inputs: 64,
+            primary_outputs: 64,
+            blocks: vec![BlockSpec::new("b", 1000, 10, 100, 0.5)],
+            srams: vec![],
+        };
+        let tiny = spec.clone().scaled(0.001);
+        assert!(tiny.blocks[0].gates >= 8);
+        assert!(tiny.blocks[0].registers >= 2);
+        let half = spec.scaled(0.5);
+        assert_eq!(half.blocks[0].gates, 500);
+    }
+
+    #[test]
+    fn replication_multiplies_totals() {
+        let b = BlockSpec::new("s", 90, 16, 4, 0.9).replicated(128);
+        assert_eq!(b.total_gates(), 11520);
+    }
+}

@@ -1,0 +1,574 @@
+use crate::cell::{Cell, CellClass, CellId, MacroSpec};
+use crate::net::{Net, NetId, PinRef};
+use crate::stats::NetlistStats;
+use m3d_tech::{CellKind, Drive};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateNetlistError {
+    /// A net has no driver pin.
+    UndrivenNet(String),
+    /// A gate input pin is unconnected.
+    UnconnectedPin(String, u8),
+    /// The combinational logic contains a cycle through the named cell.
+    CombinationalCycle(String),
+    /// A sequential cell is not connected to the clock net.
+    UnclockedRegister(String),
+}
+
+impl fmt::Display for ValidateNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateNetlistError::UndrivenNet(n) => write!(f, "net `{n}` has no driver"),
+            ValidateNetlistError::UnconnectedPin(c, p) => {
+                write!(f, "cell `{c}` input pin {p} is unconnected")
+            }
+            ValidateNetlistError::CombinationalCycle(c) => {
+                write!(f, "combinational cycle through cell `{c}`")
+            }
+            ValidateNetlistError::UnclockedRegister(c) => {
+                write!(f, "sequential cell `{c}` has no clock connection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateNetlistError {}
+
+/// A gate-level netlist: cells, nets, hierarchy blocks and a clock.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    blocks: Vec<String>,
+    clock: Option<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with a default hierarchy block `"top"`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+            blocks: vec!["top".to_string()],
+            clock: None,
+        }
+    }
+
+    // ---- construction -------------------------------------------------
+
+    /// Registers a hierarchy block and returns its tag.
+    pub fn add_block(&mut self, name: impl Into<String>) -> u16 {
+        self.blocks.push(name.into());
+        (self.blocks.len() - 1) as u16
+    }
+
+    /// Name of block `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag is unknown.
+    #[must_use]
+    pub fn block_name(&self, tag: u16) -> &str {
+        &self.blocks[tag as usize]
+    }
+
+    /// Number of hierarchy blocks (including the default `"top"`).
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Adds a standard-cell gate. Sequential gates get one extra input pin
+    /// for the clock (always the last pin).
+    pub fn add_gate(&mut self, name: impl Into<String>, kind: CellKind, drive: Drive, block: u16) -> CellId {
+        let n_in = kind.input_count() + usize::from(kind.is_sequential());
+        self.push_cell(Cell {
+            name: name.into(),
+            class: CellClass::Gate { kind, drive },
+            block,
+            inputs: vec![None; n_in],
+            outputs: vec![None; 1],
+            fixed: false,
+        })
+    }
+
+    /// Adds a hard macro with `n_inputs` data inputs, `n_outputs` outputs,
+    /// plus a trailing clock pin. Macros are fixed (not moved by placement).
+    pub fn add_macro(
+        &mut self,
+        name: impl Into<String>,
+        spec: MacroSpec,
+        n_inputs: usize,
+        n_outputs: usize,
+        block: u16,
+    ) -> CellId {
+        self.push_cell(Cell {
+            name: name.into(),
+            class: CellClass::Macro(spec),
+            block,
+            inputs: vec![None; n_inputs + 1],
+            outputs: vec![None; n_outputs],
+            fixed: true,
+        })
+    }
+
+    /// Adds a primary input port (one output pin, no inputs).
+    pub fn add_input(&mut self, name: impl Into<String>) -> CellId {
+        self.push_cell(Cell {
+            name: name.into(),
+            class: CellClass::PrimaryInput,
+            block: 0,
+            inputs: Vec::new(),
+            outputs: vec![None; 1],
+            fixed: false,
+        })
+    }
+
+    /// Adds a primary output port (one input pin, no outputs).
+    pub fn add_output(&mut self, name: impl Into<String>) -> CellId {
+        self.push_cell(Cell {
+            name: name.into(),
+            class: CellClass::PrimaryOutput,
+            block: 0,
+            inputs: vec![None; 1],
+            outputs: Vec::new(),
+            fixed: false,
+        })
+    }
+
+    fn push_cell(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        id
+    }
+
+    /// Creates a net driven by output pin `pin` of `driver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin index is out of range or already drives a net.
+    pub fn add_net(&mut self, name: impl Into<String>, driver: CellId, pin: u8) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        let mut net = Net::new(name);
+        net.driver = Some(PinRef::new(driver, pin));
+        let slot = &mut self.cells[driver.index()].outputs[pin as usize];
+        assert!(slot.is_none(), "output pin already drives a net");
+        *slot = Some(id);
+        self.nets.push(net);
+        id
+    }
+
+    /// Connects input pin `pin` of `sink` to `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin index is out of range or already connected.
+    pub fn connect(&mut self, net: NetId, sink: CellId, pin: u8) {
+        let slot = &mut self.cells[sink.index()].inputs[pin as usize];
+        assert!(slot.is_none(), "input pin already connected");
+        *slot = Some(net);
+        self.nets[net.index()].sinks.push(PinRef::new(sink, pin));
+    }
+
+    /// Marks `net` as the clock net.
+    pub fn set_clock(&mut self, net: NetId) {
+        if let Some(old) = self.clock {
+            self.nets[old.index()].is_clock = false;
+        }
+        self.nets[net.index()].is_clock = true;
+        self.clock = Some(net);
+    }
+
+    /// The clock net, if defined.
+    #[must_use]
+    pub fn clock(&self) -> Option<NetId> {
+        self.clock
+    }
+
+    /// Changes the drive strength of a gate (cell sizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not a gate.
+    pub fn set_drive(&mut self, cell: CellId, drive: Drive) {
+        match &mut self.cells[cell.index()].class {
+            CellClass::Gate { drive: d, .. } => *d = drive,
+            _ => panic!("set_drive on a non-gate cell"),
+        }
+    }
+
+    // ---- access --------------------------------------------------------
+
+    /// The cell behind `id`.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Mutable access to a cell.
+    pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        &mut self.cells[id.index()]
+    }
+
+    /// The net behind `id`.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Mutable access to a net.
+    pub fn net_mut(&mut self, id: NetId) -> &mut Net {
+        &mut self.nets[id.index()]
+    }
+
+    /// Number of cells (gates + macros + ports).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of standard-cell gates.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.class.is_gate()).count()
+    }
+
+    /// Number of hard macros.
+    #[must_use]
+    pub fn macro_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.class.is_macro()).count()
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Iterates over `(CellId, &Cell)` pairs.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Iterates over `(NetId, &Net)` pairs.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Ids of all sequential cells (DFFs and macros).
+    #[must_use]
+    pub fn sequential_cells(&self) -> Vec<CellId> {
+        self.cells()
+            .filter(|(_, c)| c.is_sequential() || c.class.is_macro())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Is `pin` the clock pin of `cell` (the trailing input of a
+    /// sequential gate or macro)?
+    #[must_use]
+    pub fn is_clock_pin(&self, cell: CellId, pin: u8) -> bool {
+        let c = self.cell(cell);
+        let clocked = c.is_sequential() || c.class.is_macro();
+        clocked && pin as usize == c.inputs.len() - 1
+    }
+
+    /// Computes summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats::compute(self)
+    }
+
+    // ---- validation & ordering ------------------------------------------
+
+    /// Checks structural invariants: every net driven, every input pin
+    /// connected, registers clocked (when a clock net exists), and no
+    /// combinational cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ValidateNetlistError> {
+        for net in &self.nets {
+            if net.driver.is_none() {
+                return Err(ValidateNetlistError::UndrivenNet(net.name.clone()));
+            }
+        }
+        for cell in &self.cells {
+            for (pin, slot) in cell.inputs.iter().enumerate() {
+                if slot.is_none() {
+                    return Err(ValidateNetlistError::UnconnectedPin(
+                        cell.name.clone(),
+                        pin as u8,
+                    ));
+                }
+            }
+        }
+        if self.clock.is_some() {
+            for (id, cell) in self.cells() {
+                if cell.is_sequential() {
+                    let clk_pin = cell.inputs.len() - 1;
+                    let net = cell.inputs[clk_pin];
+                    let clocked = net.is_some_and(|n| self.net(n).is_clock) || {
+                        // Clock may arrive through a clock-buffer tree.
+                        net.is_some_and(|n| self.net_in_clock_tree(n))
+                    };
+                    if !clocked {
+                        return Err(ValidateNetlistError::UnclockedRegister(
+                            self.cell(id).name.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        self.combinational_order().map(|_| ())
+    }
+
+    /// Walks driver chains of clock buffers/inverters back to the clock net.
+    fn net_in_clock_tree(&self, mut net: NetId) -> bool {
+        for _ in 0..64 {
+            if self.net(net).is_clock {
+                return true;
+            }
+            let Some(drv) = self.net(net).driver else {
+                return false;
+            };
+            let cell = self.cell(drv.cell);
+            match cell.class.gate_kind() {
+                Some(k) if k.is_clock_cell() => match cell.inputs.first().copied().flatten() {
+                    Some(up) => net = up,
+                    None => return false,
+                },
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Topological order of the *combinational* gates (Kahn's algorithm).
+    /// Sequential cells, macros and ports act as sources/sinks and are not
+    /// included in the returned order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateNetlistError::CombinationalCycle`] if the
+    /// combinational logic is cyclic.
+    pub fn combinational_order(&self) -> Result<Vec<CellId>, ValidateNetlistError> {
+        let n = self.cells.len();
+        let is_comb =
+            |c: &Cell| c.class.is_gate() && !c.is_sequential();
+        let mut indegree = vec![0u32; n];
+        for cell in &self.cells {
+            if !is_comb(cell) {
+                continue;
+            }
+        }
+        // Count combinational predecessors for each combinational gate.
+        for (i, cell) in self.cells.iter().enumerate() {
+            if !is_comb(cell) {
+                continue;
+            }
+            let mut deg = 0;
+            for net in cell.input_nets() {
+                if let Some(drv) = self.net(net).driver {
+                    if is_comb(self.cell(drv.cell)) {
+                        deg += 1;
+                    }
+                }
+            }
+            indegree[i] = deg;
+        }
+        let mut queue: VecDeque<usize> = (0..n)
+            .filter(|&i| is_comb(&self.cells[i]) && indegree[i] == 0)
+            .collect();
+        let mut order = Vec::new();
+        while let Some(i) = queue.pop_front() {
+            order.push(CellId(i as u32));
+            for net in self.cells[i].output_nets() {
+                for sink in &self.net(net).sinks {
+                    let j = sink.cell.index();
+                    if is_comb(&self.cells[j]) {
+                        indegree[j] -= 1;
+                        if indegree[j] == 0 {
+                            queue.push_back(j);
+                        }
+                    }
+                }
+            }
+        }
+        let comb_total = self.cells.iter().filter(|c| is_comb(c)).count();
+        if order.len() != comb_total {
+            // Find a cell still carrying indegree for the error message.
+            let culprit = (0..n)
+                .find(|&i| is_comb(&self.cells[i]) && indegree[i] > 0)
+                .map(|i| self.cells[i].name.clone())
+                .unwrap_or_default();
+            return Err(ValidateNetlistError::CombinationalCycle(culprit));
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// inv chain: in -> INV -> INV -> out
+    fn chain() -> Netlist {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let g1 = n.add_gate("g1", CellKind::Inv, Drive::X1, 0);
+        let g2 = n.add_gate("g2", CellKind::Inv, Drive::X1, 0);
+        let y = n.add_output("y");
+        let na = n.add_net("na", a, 0);
+        let n1 = n.add_net("n1", g1, 0);
+        let n2 = n.add_net("n2", g2, 0);
+        n.connect(na, g1, 0);
+        n.connect(n1, g2, 0);
+        n.connect(n2, y, 0);
+        n
+    }
+
+    #[test]
+    fn chain_is_valid_and_ordered() {
+        let n = chain();
+        assert!(n.validate().is_ok());
+        let order = n.combinational_order().unwrap();
+        assert_eq!(order.len(), 2);
+        // g1 must precede g2.
+        assert!(n.cell(order[0]).name == "g1");
+    }
+
+    #[test]
+    fn unconnected_pin_is_detected() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let g = n.add_gate("g", CellKind::Nand2, Drive::X1, 0);
+        let na = n.add_net("na", a, 0);
+        n.connect(na, g, 0);
+        // pin 1 left dangling
+        let _ny = n.add_net("ny", g, 0);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::UnconnectedPin(_, 1))
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_is_detected() {
+        let mut n = Netlist::new("cyc");
+        let g1 = n.add_gate("g1", CellKind::Inv, Drive::X1, 0);
+        let g2 = n.add_gate("g2", CellKind::Inv, Drive::X1, 0);
+        let n1 = n.add_net("n1", g1, 0);
+        let n2 = n.add_net("n2", g2, 0);
+        n.connect(n1, g2, 0);
+        n.connect(n2, g1, 0);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn register_breaks_cycles() {
+        let mut n = Netlist::new("loop");
+        let clk_in = n.add_input("clk");
+        let ff = n.add_gate("ff", CellKind::Dff, Drive::X1, 0);
+        let g = n.add_gate("g", CellKind::Inv, Drive::X1, 0);
+        let clk = n.add_net("clk", clk_in, 0);
+        n.set_clock(clk);
+        let q = n.add_net("q", ff, 0);
+        let d = n.add_net("d", g, 0);
+        n.connect(q, g, 0);
+        n.connect(d, ff, 0); // data
+        n.connect(clk, ff, 1); // clock pin
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn unclocked_register_is_detected() {
+        let mut n = Netlist::new("noclk");
+        let a = n.add_input("a");
+        let b = n.add_input("b"); // pretend data used as clock
+        let ff = n.add_gate("ff", CellKind::Dff, Drive::X1, 0);
+        let na = n.add_net("na", a, 0);
+        let nb = n.add_net("nb", b, 0);
+        let clk_src = n.add_input("clk");
+        let clk = n.add_net("clk", clk_src, 0);
+        n.set_clock(clk);
+        n.connect(na, ff, 0);
+        n.connect(nb, ff, 1); // wrong net on the clock pin
+        let _q = n.add_net("q", ff, 0);
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateNetlistError::UnclockedRegister(_))
+        ));
+    }
+
+    #[test]
+    fn clock_through_buffer_is_accepted() {
+        let mut n = Netlist::new("buffered");
+        let clk_in = n.add_input("clk");
+        let clk = n.add_net("clk", clk_in, 0);
+        n.set_clock(clk);
+        let buf = n.add_gate("cb", CellKind::ClkBuf, Drive::X4, 0);
+        n.connect(clk, buf, 0);
+        let clk_b = n.add_net("clk_b", buf, 0);
+        let ff = n.add_gate("ff", CellKind::Dff, Drive::X1, 0);
+        let d_src = n.add_input("d");
+        let d = n.add_net("d", d_src, 0);
+        n.connect(d, ff, 0);
+        n.connect(clk_b, ff, 1);
+        let _q = n.add_net("q", ff, 0);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn counts_and_iterators() {
+        let n = chain();
+        assert_eq!(n.cell_count(), 4);
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.macro_count(), 0);
+        assert_eq!(n.net_count(), 3);
+        assert_eq!(n.cell_ids().count(), 4);
+        assert_eq!(n.nets().count(), 3);
+    }
+
+    #[test]
+    fn set_drive_changes_gate() {
+        let mut n = chain();
+        let g1 = n.cells().find(|(_, c)| c.name == "g1").unwrap().0;
+        n.set_drive(g1, Drive::X8);
+        assert_eq!(n.cell(g1).class.gate_drive(), Some(Drive::X8));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut n = Netlist::new("dup");
+        let a = n.add_input("a");
+        let g = n.add_gate("g", CellKind::Inv, Drive::X1, 0);
+        let na = n.add_net("na", a, 0);
+        n.connect(na, g, 0);
+        n.connect(na, g, 0);
+    }
+}

@@ -1,0 +1,168 @@
+use crate::netlist::Netlist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a netlist: composition, connectivity and fanout.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::Netlist;
+/// use m3d_tech::{CellKind, Drive};
+///
+/// let mut n = Netlist::new("tiny");
+/// let a = n.add_input("a");
+/// let g = n.add_gate("g", CellKind::Buf, Drive::X1, 0);
+/// let na = n.add_net("na", a, 0);
+/// n.connect(na, g, 0);
+/// let _ = n.add_net("ny", g, 0);
+/// let stats = n.stats();
+/// assert_eq!(stats.gates, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Standard-cell gate instances.
+    pub gates: usize,
+    /// Sequential gate instances (DFFs).
+    pub registers: usize,
+    /// Hard macros.
+    pub macros: usize,
+    /// Primary inputs.
+    pub primary_inputs: usize,
+    /// Primary outputs.
+    pub primary_outputs: usize,
+    /// Signal nets (clock excluded).
+    pub signal_nets: usize,
+    /// Total pins across all nets.
+    pub pins: usize,
+    /// Average signal-net fanout.
+    pub avg_fanout: f64,
+    /// Maximum signal-net fanout.
+    pub max_fanout: usize,
+    /// Gate count per kind name.
+    pub kind_histogram: BTreeMap<String, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    #[must_use]
+    pub fn compute(netlist: &Netlist) -> Self {
+        let mut gates = 0;
+        let mut registers = 0;
+        let mut macros = 0;
+        let mut primary_inputs = 0;
+        let mut primary_outputs = 0;
+        let mut kind_histogram = BTreeMap::new();
+        for (_, cell) in netlist.cells() {
+            match &cell.class {
+                crate::cell::CellClass::Gate { kind, .. } => {
+                    gates += 1;
+                    if kind.is_sequential() {
+                        registers += 1;
+                    }
+                    *kind_histogram.entry(kind.to_string()).or_insert(0) += 1;
+                }
+                crate::cell::CellClass::Macro(_) => macros += 1,
+                crate::cell::CellClass::PrimaryInput => primary_inputs += 1,
+                crate::cell::CellClass::PrimaryOutput => primary_outputs += 1,
+            }
+        }
+        let mut signal_nets = 0;
+        let mut pins = 0;
+        let mut fanout_sum = 0usize;
+        let mut max_fanout = 0;
+        for (_, net) in netlist.nets() {
+            pins += net.degree();
+            if net.is_clock {
+                continue;
+            }
+            signal_nets += 1;
+            fanout_sum += net.fanout();
+            max_fanout = max_fanout.max(net.fanout());
+        }
+        NetlistStats {
+            gates,
+            registers,
+            macros,
+            primary_inputs,
+            primary_outputs,
+            signal_nets,
+            pins,
+            avg_fanout: if signal_nets > 0 {
+                fanout_sum as f64 / signal_nets as f64
+            } else {
+                0.0
+            },
+            max_fanout,
+            kind_histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gates: {} (registers: {}), macros: {}, io: {}+{}",
+            self.gates, self.registers, self.macros, self.primary_inputs, self.primary_outputs
+        )?;
+        write!(
+            f,
+            "nets: {}, pins: {}, fanout avg {:.2} max {}",
+            self.signal_nets, self.pins, self.avg_fanout, self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_tech::{CellKind, Drive};
+
+    #[test]
+    fn stats_on_small_design() {
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate("g", CellKind::Nand2, Drive::X1, 0);
+        let y = n.add_output("y");
+        let na = n.add_net("na", a, 0);
+        let nb = n.add_net("nb", b, 0);
+        let ny = n.add_net("ny", g, 0);
+        n.connect(na, g, 0);
+        n.connect(nb, g, 1);
+        n.connect(ny, y, 0);
+
+        let s = n.stats();
+        assert_eq!(s.gates, 1);
+        assert_eq!(s.registers, 0);
+        assert_eq!(s.primary_inputs, 2);
+        assert_eq!(s.primary_outputs, 1);
+        assert_eq!(s.signal_nets, 3);
+        assert_eq!(s.pins, 6);
+        assert_eq!(s.max_fanout, 1);
+        assert_eq!(s.kind_histogram.get("NAND2"), Some(&1));
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn clock_net_is_excluded_from_fanout() {
+        let mut n = Netlist::new("clk");
+        let c = n.add_input("clk");
+        let clk = n.add_net("clk", c, 0);
+        n.set_clock(clk);
+        let d = n.add_input("d");
+        let nd = n.add_net("nd", d, 0);
+        for i in 0..4 {
+            let ff = n.add_gate(format!("ff{i}"), CellKind::Dff, Drive::X1, 0);
+            n.connect(nd, ff, 0);
+            n.connect(clk, ff, 1);
+            let _ = n.add_net(format!("q{i}"), ff, 0);
+        }
+        let s = n.stats();
+        // nd has fanout 4; the clock net (also fanout 4) is excluded.
+        assert_eq!(s.max_fanout, 4);
+        assert_eq!(s.registers, 4);
+        assert_eq!(s.signal_nets, 1 + 4); // nd + four q nets
+    }
+}

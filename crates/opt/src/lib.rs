@@ -1,0 +1,335 @@
+//! In-place netlist optimization: cell sizing and buffer insertion.
+//!
+//! These are the knobs the commercial flow turns during `optDesign`-style
+//! steps and that the paper's methodology leans on ("additional cell
+//! sizing and buffer insertion ... to overcome PPA degradation"):
+//!
+//! * [`resize_for_timing`] — upsizes gates with negative slack, iterating
+//!   while WNS improves,
+//! * [`resize_for_power`] — downsizes gates with comfortable slack,
+//!   verifying after each batch and rolling back batches that create
+//!   violations,
+//! * [`insert_buffers`] — splits high-fanout nets with buffer trees
+//!   (placing new buffers at sink centroids).
+//!
+//! All functions take an `evaluate` closure that runs STA on the current
+//! netlist, so the optimization loops stay decoupled from how the caller
+//! builds parasitics and clocks.
+
+use m3d_geom::Point;
+use m3d_netlist::{CellId, NetId, Netlist};
+use m3d_sta::StaResult;
+use m3d_tech::{CellKind, Drive};
+
+/// Outcome of a sizing loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResizeOutcome {
+    /// Sizing rounds executed.
+    pub rounds: usize,
+    /// Cells whose drive changed (net, after rollbacks).
+    pub cells_changed: usize,
+    /// WNS before, ns.
+    pub initial_wns: f64,
+    /// WNS after, ns.
+    pub final_wns: f64,
+}
+
+/// Upsizes gates on violating paths until WNS stops improving.
+///
+/// Each round upsizes every gate whose cell criticality is below
+/// `slack_floor` (default callers use 0.0) by one drive step, then
+/// re-evaluates; rounds that do not improve WNS are rolled back and the
+/// loop stops.
+pub fn resize_for_timing(
+    netlist: &mut Netlist,
+    slack_floor: f64,
+    max_rounds: usize,
+    mut evaluate: impl FnMut(&Netlist) -> StaResult,
+) -> ResizeOutcome {
+    let mut result = evaluate(netlist);
+    let initial_wns = result.wns;
+    let mut rounds = 0;
+    let mut cells_changed = 0usize;
+
+    while rounds < max_rounds && result.wns < 0.0 {
+        rounds += 1;
+        // Selective sizing: only the most critical cone (worst half of the
+        // violating slack range) — blanket upsizing of every violating
+        // cell explodes area the way no commercial optimizer would.
+        let threshold = slack_floor.min(result.wns * 0.5);
+        let mut batch: Vec<(CellId, Drive)> = Vec::new();
+        for (id, cell) in netlist.cells() {
+            let Some(kind) = cell.class.gate_kind() else {
+                continue;
+            };
+            if kind.is_clock_cell() {
+                continue;
+            }
+            if result.cell_criticality(id) < threshold {
+                if let Some(up) = cell.class.gate_drive().and_then(Drive::upsized) {
+                    batch.push((id, up));
+                }
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let before: Vec<(CellId, Drive)> = batch
+            .iter()
+            .map(|(id, _)| (*id, netlist.cell(*id).class.gate_drive().expect("gate")))
+            .collect();
+        for &(id, up) in &batch {
+            netlist.set_drive(id, up);
+        }
+        let new_result = evaluate(netlist);
+        // Accept on WNS improvement, or on meaningful TNS improvement —
+        // the tool keeps pushing the whole violating population even when
+        // the single worst path is stuck (the paper's "over-correction"
+        // behavior of slow libraries at aggressive targets).
+        let wns_better = new_result.wns > result.wns + 1e-9;
+        let tns_better = new_result.tns > result.tns - result.tns.abs() * 0.02 + 1e-9;
+        if wns_better || tns_better {
+            cells_changed += batch.len();
+            result = new_result;
+        } else {
+            for &(id, old) in &before {
+                netlist.set_drive(id, old);
+            }
+            break;
+        }
+    }
+
+    ResizeOutcome {
+        rounds,
+        cells_changed,
+        initial_wns,
+        final_wns: result.wns,
+    }
+}
+
+/// Downsizes gates whose slack exceeds `slack_margin`, in batches,
+/// verifying WNS does not degrade below `wns_floor` (typically the current
+/// WNS minus a small tolerance). Batches that violate are rolled back.
+pub fn resize_for_power(
+    netlist: &mut Netlist,
+    slack_margin: f64,
+    max_rounds: usize,
+    mut evaluate: impl FnMut(&Netlist) -> StaResult,
+) -> ResizeOutcome {
+    let mut result = evaluate(netlist);
+    let initial_wns = result.wns;
+    let wns_floor = result.wns - 0.002;
+    let mut rounds = 0;
+    let mut cells_changed = 0usize;
+
+    while rounds < max_rounds {
+        rounds += 1;
+        let mut batch: Vec<(CellId, Drive)> = Vec::new();
+        for (id, cell) in netlist.cells() {
+            let Some(kind) = cell.class.gate_kind() else {
+                continue;
+            };
+            if kind.is_clock_cell() || kind.is_sequential() {
+                continue;
+            }
+            if result.cell_criticality(id) > slack_margin {
+                if let Some(down) = cell.class.gate_drive().and_then(Drive::downsized) {
+                    batch.push((id, down));
+                }
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let before: Vec<(CellId, Drive)> = batch
+            .iter()
+            .map(|(id, _)| (*id, netlist.cell(*id).class.gate_drive().expect("gate")))
+            .collect();
+        for &(id, down) in &batch {
+            netlist.set_drive(id, down);
+        }
+        let new_result = evaluate(netlist);
+        if new_result.wns >= wns_floor {
+            cells_changed += batch.len();
+            result = new_result;
+        } else {
+            for &(id, old) in &before {
+                netlist.set_drive(id, old);
+            }
+            break;
+        }
+    }
+
+    ResizeOutcome {
+        rounds,
+        cells_changed,
+        initial_wns,
+        final_wns: result.wns,
+    }
+}
+
+/// Splits every signal net with fanout above `max_fanout` by inserting a
+/// buffer per sink group of `max_fanout`, placed at the group's centroid.
+///
+/// `positions` is extended with the new buffers' locations; the caller's
+/// tier assignment must likewise be extended (new buffers inherit the
+/// driver's tier — the helper returns the new cells and their driver so
+/// the caller can do that).
+///
+/// Returns `(new_buffer, driver_cell)` pairs.
+pub fn insert_buffers(
+    netlist: &mut Netlist,
+    positions: &mut Vec<Point>,
+    max_fanout: usize,
+) -> Vec<(CellId, CellId)> {
+    let max_fanout = max_fanout.max(2);
+    let mut inserted = Vec::new();
+    let net_ids: Vec<NetId> = netlist.net_ids().collect();
+    for net_id in net_ids {
+        let net = netlist.net(net_id);
+        if net.is_clock || net.fanout() <= max_fanout {
+            continue;
+        }
+        let Some(driver) = net.driver else { continue };
+        let sinks = net.sinks.clone();
+        // Group sinks beyond the first `max_fanout` into buffered chunks.
+        let (keep, spill) = sinks.split_at(max_fanout.min(sinks.len()));
+        if spill.is_empty() {
+            continue;
+        }
+        // Rebuild the net's sink list with only the kept sinks.
+        {
+            let net_mut = netlist.net_mut(net_id);
+            net_mut.sinks = keep.to_vec();
+        }
+        for (gi, group) in spill.chunks(max_fanout).enumerate() {
+            let buf = netlist.add_gate(
+                format!("fobuf_{}_{}", net_id.index(), gi),
+                CellKind::Buf,
+                Drive::X4,
+                0,
+            );
+            // Buffer input from the original net.
+            netlist.connect(net_id, buf, 0);
+            let new_net = netlist.add_net(format!("fonet_{}_{}", net_id.index(), gi), buf, 0);
+            // Re-point the group's sinks at the new net (their input slots
+            // still reference net_id; patch them).
+            for pin in group {
+                let cell = netlist.cell_mut(pin.cell);
+                cell.inputs[pin.pin as usize] = Some(new_net);
+                netlist.net_mut(new_net).sinks.push(*pin);
+            }
+            // Position: centroid of the group's sinks.
+            let centroid = group
+                .iter()
+                .fold(Point::ORIGIN, |acc, p| acc + positions[p.cell.index()])
+                / group.len() as f64;
+            positions.push(centroid);
+            inserted.push((buf, driver.cell));
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_sta::{analyze, ClockSpec, Parasitics, TimingContext};
+    use m3d_tech::{Library, Tier, TierStack};
+
+    fn evaluate(netlist: &Netlist, period: f64) -> StaResult {
+        let stack = TierStack::two_d(Library::twelve_track());
+        let tiers = vec![Tier::Bottom; netlist.cell_count()];
+        let parasitics = Parasitics::zero_wire(netlist);
+        analyze(&TimingContext {
+            netlist,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(period),
+        })
+    }
+
+    #[test]
+    fn upsizing_improves_wns_on_tight_budget() {
+        // Use a macro-free design (macro access delay is unfixable by
+        // sizing) and set the period for a mild ~12 % violation.
+        let mut n = m3d_netgen::Benchmark::Netcard.generate(0.015, 13);
+        let loose = evaluate(&n, 10.0);
+        let period = (10.0 - loose.wns) * 0.88;
+        let before = evaluate(&n, period);
+        assert!(before.wns < 0.0, "want a violating start: {}", before.wns);
+        let outcome = resize_for_timing(&mut n, 0.0, 4, |nl| evaluate(nl, period));
+        assert!(
+            outcome.final_wns > outcome.initial_wns,
+            "{} -> {}",
+            outcome.initial_wns,
+            outcome.final_wns
+        );
+        assert!(outcome.cells_changed > 0);
+    }
+
+    #[test]
+    fn downsizing_preserves_timing() {
+        let mut n = m3d_netgen::Benchmark::Aes.generate(0.02, 13);
+        let period = 2.0; // loose
+        let before = evaluate(&n, period);
+        assert!(before.wns > 0.0);
+        let outcome = resize_for_power(&mut n, 0.3, 3, |nl| evaluate(nl, period));
+        let after = evaluate(&n, period);
+        assert!(after.wns >= before.wns - 0.01, "wns {} -> {}", before.wns, after.wns);
+        // With X1 default drives nothing can shrink; the call must still
+        // be safe and report zero changes.
+        assert!(outcome.cells_changed == 0 || outcome.final_wns >= -0.01);
+    }
+
+    #[test]
+    fn downsizing_reduces_oversized_design() {
+        let mut n = m3d_netgen::Benchmark::Aes.generate(0.02, 13);
+        // Blanket-upsize everything first.
+        let gates: Vec<CellId> = n
+            .cells()
+            .filter(|(_, c)| c.class.is_gate() && !c.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        for id in &gates {
+            n.set_drive(*id, Drive::X8);
+        }
+        let outcome = resize_for_power(&mut n, 0.2, 5, |nl| evaluate(nl, 2.0));
+        assert!(outcome.cells_changed > gates.len() / 2);
+    }
+
+    #[test]
+    fn buffer_insertion_caps_fanout() {
+        let mut n = m3d_netgen::Benchmark::Ldpc.generate(0.02, 13);
+        let before_max = n.stats().max_fanout;
+        assert!(before_max > 16, "LDPC should have high fanout: {before_max}");
+        let mut positions = vec![Point::ORIGIN; n.cell_count()];
+        let inserted = insert_buffers(&mut n, &mut positions, 16);
+        assert!(!inserted.is_empty());
+        assert_eq!(positions.len(), n.cell_count());
+        n.validate().expect("still valid after buffering");
+        // All original nets now obey the cap; buffer nets may cascade but
+        // each individual net obeys it too.
+        for (_, net) in n.nets() {
+            if !net.is_clock {
+                assert!(
+                    net.fanout() <= 16 + 1,
+                    "net {} fanout {}",
+                    net.name,
+                    net.fanout()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_insertion_is_noop_below_cap() {
+        let mut n = m3d_netgen::Benchmark::Aes.generate(0.01, 13);
+        let mut positions = vec![Point::ORIGIN; n.cell_count()];
+        let cells_before = n.cell_count();
+        let inserted = insert_buffers(&mut n, &mut positions, 10_000);
+        assert!(inserted.is_empty());
+        assert_eq!(n.cell_count(), cells_before);
+    }
+}

@@ -1,0 +1,527 @@
+use m3d_geom::Point;
+use m3d_netlist::{CellClass, Netlist};
+use m3d_tech::Tier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fiduccia–Mattheyses parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionConfig {
+    /// Maximum relative area unbalance `|A0 − A1| / total` allowed.
+    pub balance_tolerance: f64,
+    /// Maximum FM passes (each pass visits every free cell once).
+    pub passes: usize,
+    /// Seed for the initial random balanced assignment of free cells.
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            balance_tolerance: 0.08,
+            passes: 6,
+            seed: 1,
+        }
+    }
+}
+
+/// Classic FM min-cut bipartitioning with area balancing.
+///
+/// `areas` gives each cell's area (use the pseudo-3-D/fast-library area:
+/// partitioning happens before the 9-track shrink, exactly as in the
+/// paper's flow). `locked` cells keep whatever tier `tiers` holds on
+/// entry — the timing-driven pre-assignment locks critical cells to the
+/// fast tier this way. Free cells are re-seeded into a balanced random
+/// split first.
+///
+/// Returns the final cut size.
+pub fn min_cut(
+    netlist: &Netlist,
+    areas: &[f64],
+    locked: &[bool],
+    tiers: &mut [Tier],
+    config: &PartitionConfig,
+) -> usize {
+    seed_balanced(netlist, areas, locked, tiers, config.seed);
+    let total: f64 = areas.iter().sum();
+    let tol = config.balance_tolerance;
+    let balance_ok = |tier_area: &[f64; 2], from: Tier, to: Tier, a: f64| {
+        let mut ta = *tier_area;
+        ta[from.index()] -= a;
+        ta[to.index()] += a;
+        (ta[0] - ta[1]).abs() / total.max(1e-12) <= tol
+    };
+    run_fm(netlist, areas, locked, tiers, config.passes, balance_ok)
+}
+
+/// Bin-based FM min-cut (Section III-A1): like [`min_cut`] but the area
+/// balance is enforced *per placement bin*, so the partition stays
+/// consistent with the pseudo-3-D placement (each bin contributes half its
+/// area to each tier and tier legalization barely perturbs the placement).
+pub fn bin_min_cut(
+    netlist: &Netlist,
+    positions: &[Point],
+    die: m3d_geom::Rect,
+    bins: usize,
+    areas: &[f64],
+    locked: &[bool],
+    tiers: &mut [Tier],
+    config: &PartitionConfig,
+) -> usize {
+    seed_balanced(netlist, areas, locked, tiers, config.seed);
+    let grid = m3d_geom::BinGrid::new(die, bins.max(1), bins.max(1));
+    let bin_of: Vec<usize> = positions
+        .iter()
+        .map(|&p| {
+            let (x, y) = grid.bin_of(p);
+            y * grid.nx() + x
+        })
+        .collect();
+    let n_bins = grid.nx() * grid.ny();
+
+    // Per-bin totals and per-bin per-tier areas.
+    let mut bin_total = vec![0.0_f64; n_bins];
+    let mut bin_tier = vec![[0.0_f64; 2]; n_bins];
+    for (i, &b) in bin_of.iter().enumerate() {
+        bin_total[b] += areas[i];
+        bin_tier[b][tiers[i].index()] += areas[i];
+    }
+    // Per-bin balance is intentionally looser than the global tolerance:
+    // bins hold few cells, so exact halves are not achievable.
+    let tol = config.balance_tolerance.max(0.05) + 0.25;
+    let bin_of_ref = &bin_of;
+    let bin_total_ref = &bin_total;
+    let bin_tier_cell = std::cell::RefCell::new(bin_tier);
+    let can_move = |cell: usize, from: Tier, to: Tier| {
+        let b = bin_of_ref[cell];
+        let mut bt = bin_tier_cell.borrow()[b];
+        bt[from.index()] -= areas[cell];
+        bt[to.index()] += areas[cell];
+        let total = bin_total_ref[b].max(1e-12);
+        (bt[0] - bt[1]).abs() / total <= tol
+    };
+    let on_move = |cell: usize, from: Tier, to: Tier| {
+        let b = bin_of_ref[cell];
+        let mut bt = bin_tier_cell.borrow_mut();
+        bt[b][from.index()] -= areas[cell];
+        bt[b][to.index()] += areas[cell];
+    };
+    run_fm_with(netlist, areas, locked, tiers, config.passes, can_move, on_move)
+}
+
+/// Seeds free cells into a random balanced split (locked cells untouched).
+fn seed_balanced(
+    netlist: &Netlist,
+    areas: &[f64],
+    locked: &[bool],
+    tiers: &mut [Tier],
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tier_area = [0.0_f64; 2];
+    for (i, &l) in locked.iter().enumerate() {
+        if l {
+            tier_area[tiers[i].index()] += areas[i];
+        }
+    }
+    // Ports are conceptually on both tiers (bump/pad); keep them bottom.
+    for (id, cell) in netlist.cells() {
+        let i = id.index();
+        if locked[i] {
+            continue;
+        }
+        if cell.class.is_port() {
+            tiers[i] = Tier::Bottom;
+            continue;
+        }
+        // Assign to the lighter side with some randomness.
+        let lighter = if tier_area[0] <= tier_area[1] {
+            Tier::Bottom
+        } else {
+            Tier::Top
+        };
+        let choice = if rng.gen_bool(0.75) { lighter } else { lighter.other() };
+        tiers[i] = choice;
+        tier_area[choice.index()] += areas[i];
+    }
+}
+
+/// Runs FM passes with a global balance predicate.
+fn run_fm(
+    netlist: &Netlist,
+    areas: &[f64],
+    locked: &[bool],
+    tiers: &mut [Tier],
+    passes: usize,
+    balance_ok: impl Fn(&[f64; 2], Tier, Tier, f64) -> bool,
+) -> usize {
+    let tier_area = std::cell::RefCell::new({
+        let mut ta = [0.0_f64; 2];
+        for (i, &t) in tiers.iter().enumerate() {
+            ta[t.index()] += areas[i];
+        }
+        ta
+    });
+    let can_move = |cell: usize, from: Tier, to: Tier| {
+        balance_ok(&tier_area.borrow(), from, to, areas[cell])
+    };
+    let on_move = |cell: usize, from: Tier, to: Tier| {
+        let mut ta = tier_area.borrow_mut();
+        ta[from.index()] -= areas[cell];
+        ta[to.index()] += areas[cell];
+    };
+    run_fm_with(netlist, areas, locked, tiers, passes, can_move, on_move)
+}
+
+/// The FM engine: gain buckets, tentative move sequence, best-prefix
+/// rollback; repeated for `passes` passes or until no pass improves.
+fn run_fm_with(
+    netlist: &Netlist,
+    _areas: &[f64],
+    locked: &[bool],
+    tiers: &mut [Tier],
+    passes: usize,
+    can_move: impl Fn(usize, Tier, Tier) -> bool,
+    on_move: impl Fn(usize, Tier, Tier),
+) -> usize {
+    let n = netlist.cell_count();
+    // Movable = not locked, not a port, not a macro (macros sit on the
+    // bottom tier per the flow).
+    let movable: Vec<bool> = netlist
+        .cells()
+        .map(|(id, c)| {
+            !locked[id.index()] && matches!(c.class, CellClass::Gate { .. })
+        })
+        .collect();
+
+    // Net pin lists (signal nets only), as cell indices.
+    let nets: Vec<Vec<usize>> = netlist
+        .nets()
+        .map(|(_, net)| {
+            if net.is_clock {
+                Vec::new()
+            } else {
+                net.cells().map(|c| c.index()).collect()
+            }
+        })
+        .collect();
+    // Cell -> incident net indices.
+    let mut cell_nets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (ni, pins) in nets.iter().enumerate() {
+        for &c in pins {
+            cell_nets[c].push(ni as u32);
+        }
+    }
+
+    let cut_of = |tiers: &[Tier]| -> usize {
+        nets.iter()
+            .filter(|pins| {
+                let mut seen = [false, false];
+                for &c in pins.iter() {
+                    seen[tiers[c].index()] = true;
+                }
+                seen[0] && seen[1]
+            })
+            .count()
+    };
+
+    let max_deg = cell_nets.iter().map(Vec::len).max().unwrap_or(1).max(1) as i64;
+    let mut best_cut = cut_of(tiers);
+
+    for _pass in 0..passes {
+        // Per-net side counts.
+        let mut side_count: Vec<[i32; 2]> = nets
+            .iter()
+            .map(|pins| {
+                let mut sc = [0, 0];
+                for &c in pins {
+                    sc[tiers[c].index()] += 1;
+                }
+                sc
+            })
+            .collect();
+
+        // Initial gains.
+        let gain_of = |cell: usize, tiers: &[Tier], side_count: &[[i32; 2]]| -> i64 {
+            let from = tiers[cell].index();
+            let to = 1 - from;
+            let mut g = 0i64;
+            for &ni in &cell_nets[cell] {
+                let sc = side_count[ni as usize];
+                if sc[from] == 1 {
+                    g += 1; // moving uncuts this net
+                }
+                if sc[to] == 0 {
+                    g -= 1; // moving cuts this net
+                }
+            }
+            g
+        };
+
+        let mut gains: Vec<i64> = (0..n)
+            .map(|c| {
+                if movable[c] {
+                    gain_of(c, tiers, &side_count)
+                } else {
+                    i64::MIN
+                }
+            })
+            .collect();
+
+        // Bucket structure: gains in [-max_deg, +max_deg].
+        let offset = max_deg;
+        let nbuckets = (2 * max_deg + 1) as usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nbuckets];
+        for c in 0..n {
+            if movable[c] {
+                buckets[(gains[c] + offset) as usize].push(c as u32);
+            }
+        }
+        let mut in_bucket: Vec<bool> = movable.clone();
+        let mut locked_pass = vec![false; n];
+
+        let start_cut = cut_of(tiers);
+        let mut cur_cut = start_cut as i64;
+        let mut best_prefix_cut = cur_cut;
+        let mut best_prefix_len = 0usize;
+        let mut moves: Vec<usize> = Vec::new();
+        let mut top = nbuckets as i64 - 1;
+
+        loop {
+            // Find the highest-gain admissible cell.
+            let mut chosen = None;
+            'outer: while top >= 0 {
+                // Drain stale entries lazily.
+                while let Some(&cand) = buckets[top as usize].last() {
+                    let c = cand as usize;
+                    if !in_bucket[c]
+                        || locked_pass[c]
+                        || gains[c] + offset != top
+                    {
+                        buckets[top as usize].pop();
+                        continue;
+                    }
+                    let from = tiers[c];
+                    if can_move(c, from, from.other()) {
+                        chosen = Some(c);
+                        break 'outer;
+                    }
+                    // Not movable under balance right now: drop from this
+                    // bucket; it may come back after other moves.
+                    buckets[top as usize].pop();
+                    in_bucket[c] = false;
+                    continue;
+                }
+                top -= 1;
+            }
+            let Some(c) = chosen else { break };
+            buckets[top as usize].pop();
+            in_bucket[c] = false;
+            locked_pass[c] = true;
+
+            let from = tiers[c];
+            let to = from.other();
+            cur_cut -= gains[c];
+            tiers[c] = to;
+            on_move(c, from, to);
+            moves.push(c);
+
+            // Update side counts and neighbor gains.
+            for &ni in &cell_nets[c] {
+                let ni = ni as usize;
+                let sc = &mut side_count[ni];
+                sc[from.index()] -= 1;
+                sc[to.index()] += 1;
+                for &nb in &nets[ni] {
+                    if nb == c || !movable[nb] || locked_pass[nb] {
+                        continue;
+                    }
+                    let g = gain_of(nb, tiers, &side_count);
+                    if g != gains[nb] {
+                        gains[nb] = g;
+                        let bucket = (g + offset) as usize;
+                        buckets[bucket].push(nb as u32);
+                        in_bucket[nb] = true;
+                        if (bucket as i64) > top {
+                            top = bucket as i64;
+                        }
+                    }
+                }
+            }
+
+            if cur_cut < best_prefix_cut {
+                best_prefix_cut = cur_cut;
+                best_prefix_len = moves.len();
+            }
+        }
+
+        // Roll back to the best prefix.
+        for &c in moves.iter().skip(best_prefix_len).rev() {
+            let cur = tiers[c];
+            tiers[c] = cur.other();
+            on_move(c, cur, cur.other());
+        }
+
+        let new_cut = cut_of(tiers);
+        if new_cut >= best_cut {
+            best_cut = best_cut.min(new_cut);
+            break;
+        }
+        best_cut = new_cut;
+    }
+    best_cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut_size;
+
+    fn areas_of(n: &Netlist) -> Vec<f64> {
+        n.cells()
+            .map(|(_, c)| if c.class.is_gate() { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn fm_improves_over_random_split() {
+        let n = m3d_netgen::Benchmark::Aes.generate(0.03, 9);
+        let areas = areas_of(&n);
+        let locked = vec![false; n.cell_count()];
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        seed_balanced(&n, &areas, &locked, &mut tiers, 42);
+        let random_cut = cut_size(&n, &tiers);
+
+        let mut tiers2 = vec![Tier::Bottom; n.cell_count()];
+        let fm_cut = min_cut(&n, &areas, &locked, &mut tiers2, &PartitionConfig::default());
+        assert!(
+            fm_cut < random_cut / 2,
+            "FM cut {fm_cut} vs random {random_cut}"
+        );
+        assert_eq!(fm_cut, cut_size(&n, &tiers2));
+    }
+
+    #[test]
+    fn fm_respects_balance() {
+        let n = m3d_netgen::Benchmark::Netcard.generate(0.02, 9);
+        let areas = areas_of(&n);
+        let locked = vec![false; n.cell_count()];
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        let config = PartitionConfig {
+            balance_tolerance: 0.08,
+            ..Default::default()
+        };
+        min_cut(&n, &areas, &locked, &mut tiers, &config);
+        let u = crate::unbalance(&areas, &tiers);
+        assert!(u <= 0.1, "unbalance {u}");
+    }
+
+    #[test]
+    fn locked_cells_do_not_move() {
+        let n = m3d_netgen::Benchmark::Aes.generate(0.02, 9);
+        let areas = areas_of(&n);
+        let mut locked = vec![false; n.cell_count()];
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        // Lock every 5th gate to the top tier.
+        for (id, cell) in n.cells() {
+            if cell.class.is_gate() && id.index() % 5 == 0 {
+                locked[id.index()] = true;
+                tiers[id.index()] = Tier::Top;
+            }
+        }
+        let snapshot = tiers.clone();
+        min_cut(&n, &areas, &locked, &mut tiers, &PartitionConfig::default());
+        for i in 0..tiers.len() {
+            if locked[i] {
+                assert_eq!(tiers[i], snapshot[i], "locked cell {i} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn fm_is_deterministic() {
+        let n = m3d_netgen::Benchmark::Ldpc.generate(0.015, 3);
+        let areas = areas_of(&n);
+        let locked = vec![false; n.cell_count()];
+        let mut a = vec![Tier::Bottom; n.cell_count()];
+        let mut b = vec![Tier::Bottom; n.cell_count()];
+        let c1 = min_cut(&n, &areas, &locked, &mut a, &PartitionConfig::default());
+        let c2 = min_cut(&n, &areas, &locked, &mut b, &PartitionConfig::default());
+        assert_eq!(c1, c2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bin_fm_keeps_bins_balanced() {
+        let n = m3d_netgen::Benchmark::Aes.generate(0.02, 9);
+        let areas = areas_of(&n);
+        let locked = vec![false; n.cell_count()];
+        let die = m3d_geom::Rect::new(0.0, 0.0, 100.0, 100.0);
+        // Synthetic positions: hash cells around the die.
+        let positions: Vec<Point> = (0..n.cell_count())
+            .map(|i| {
+                Point::new(
+                    (i as f64 * 37.3) % 100.0,
+                    (i as f64 * 53.7) % 100.0,
+                )
+            })
+            .collect();
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        let cut = bin_min_cut(
+            &n,
+            &positions,
+            die,
+            4,
+            &areas,
+            &locked,
+            &mut tiers,
+            &PartitionConfig::default(),
+        );
+        assert!(cut > 0);
+        // Check each bin's balance is not absurd.
+        let grid = m3d_geom::BinGrid::new(die, 4, 4);
+        let mut bin_tier = vec![[0.0_f64; 2]; 16];
+        let mut bin_total = vec![0.0_f64; 16];
+        for (id, cell) in n.cells() {
+            if !cell.class.is_gate() {
+                continue;
+            }
+            let (x, y) = grid.bin_of(positions[id.index()]);
+            let b = y * 4 + x;
+            bin_tier[b][tiers[id.index()].index()] += areas[id.index()];
+            bin_total[b] += areas[id.index()];
+        }
+        for b in 0..16 {
+            if bin_total[b] < 20.0 {
+                continue; // tiny bins can be lopsided
+            }
+            let u = (bin_tier[b][0] - bin_tier[b][1]).abs() / bin_total[b];
+            assert!(u <= 0.55, "bin {b} unbalance {u}");
+        }
+    }
+
+    #[test]
+    fn global_balance_from_bin_balance() {
+        // If every bin is balanced, the global split is balanced too.
+        let n = m3d_netgen::Benchmark::Netcard.generate(0.015, 9);
+        let areas = areas_of(&n);
+        let locked = vec![false; n.cell_count()];
+        let die = m3d_geom::Rect::new(0.0, 0.0, 100.0, 100.0);
+        let positions: Vec<Point> = (0..n.cell_count())
+            .map(|i| Point::new((i as f64 * 17.9) % 100.0, (i as f64 * 71.3) % 100.0))
+            .collect();
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        bin_min_cut(
+            &n,
+            &positions,
+            die,
+            6,
+            &areas,
+            &locked,
+            &mut tiers,
+            &PartitionConfig::default(),
+        );
+        let u = crate::unbalance(&areas, &tiers);
+        assert!(u < 0.3, "global unbalance {u}");
+    }
+}

@@ -1,0 +1,276 @@
+use crate::floorplan::Floorplan;
+use crate::placement::Placement;
+use m3d_geom::Rect;
+use m3d_netlist::{CellClass, Netlist};
+use m3d_tech::{Tier, TierStack};
+
+/// Tetris row legalization.
+///
+/// Cells of each tier are snapped onto that tier's rows (row height = the
+/// tier library's cell height — 0.81 µm for 9-track, 1.08 µm for 12-track)
+/// without overlaps, skipping macro keep-outs. Cells are processed in
+/// left-to-right order and packed at per-row frontiers, choosing the row
+/// that minimizes displacement — the classic Tetris heuristic.
+///
+/// Ports and macros are left untouched.
+#[must_use]
+pub fn legalize(
+    netlist: &Netlist,
+    placement: &Placement,
+    fp: &Floorplan,
+    stack: &TierStack,
+    tiers: &[Tier],
+) -> Placement {
+    let mut out = placement.clone();
+    for tier in Tier::BOTH {
+        legalize_tier(netlist, &mut out, fp, stack, tiers, tier);
+        if !stack.is_3d() {
+            break;
+        }
+    }
+    out
+}
+
+struct Row {
+    y_center: f64,
+    frontier: f64,
+    obstacles: Vec<(f64, f64)>, // sorted x-intervals
+}
+
+fn legalize_tier(
+    netlist: &Netlist,
+    placement: &mut Placement,
+    fp: &Floorplan,
+    stack: &TierStack,
+    tiers: &[Tier],
+    tier: Tier,
+) {
+    let lib = stack.library(tier);
+    let row_h = lib.cell_height_um;
+    let die = fp.die;
+    let n_rows = ((die.height() / row_h).floor() as usize).max(1);
+    let keepouts = fp.keepouts(tier);
+
+    let mut rows: Vec<Row> = (0..n_rows)
+        .map(|r| {
+            let y0 = die.lly() + r as f64 * row_h;
+            let band = Rect::new(die.llx(), y0, die.urx(), y0 + row_h);
+            let mut obstacles: Vec<(f64, f64)> = keepouts
+                .iter()
+                .filter(|k| k.intersects(&band))
+                .map(|k| (k.llx(), k.urx()))
+                .collect();
+            obstacles.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            Row {
+                y_center: y0 + row_h * 0.5,
+                frontier: die.llx(),
+                obstacles,
+            }
+        })
+        .collect();
+
+    // Movable gates on this tier, sorted by desired x.
+    let mut cells: Vec<(usize, f64)> = netlist
+        .cells()
+        .filter(|(id, c)| {
+            !c.fixed && c.class.is_gate() && tiers[id.index()] == tier
+        })
+        .map(|(id, c)| {
+            let w = match &c.class {
+                CellClass::Gate { kind, drive } => {
+                    lib.cell(*kind, *drive).map_or(0.3, |m| m.width_um)
+                }
+                _ => 0.3,
+            };
+            (id.index(), w)
+        })
+        .collect();
+    cells.sort_by(|a, b| {
+        placement.positions[a.0]
+            .x
+            .partial_cmp(&placement.positions[b.0].x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let search_span = 24usize;
+    for (idx, width) in cells {
+        let desired = placement.positions[idx];
+        let ideal_row = (((desired.y - die.lly()) / row_h).floor() as isize)
+            .clamp(0, n_rows as isize - 1) as usize;
+        let lo = ideal_row.saturating_sub(search_span);
+        let hi = (ideal_row + search_span).min(n_rows - 1);
+        let mut best: Option<(usize, f64, f64)> = None; // (row, x, cost)
+        for (r, row) in rows.iter().enumerate().take(hi + 1).skip(lo) {
+            let mut x = row.frontier.max(desired.x - width * 0.5);
+            // Skip obstacles.
+            for &(ox0, ox1) in &row.obstacles {
+                if x < ox1 && x + width > ox0 {
+                    x = ox1;
+                }
+            }
+            if x + width > die.urx() {
+                continue;
+            }
+            let cost = (x + width * 0.5 - desired.x).abs() + (row.y_center - desired.y).abs();
+            if best.is_none_or(|(_, _, c)| cost < c) {
+                best = Some((r, x, cost));
+            }
+        }
+        // Fallback: the emptiest row anywhere, clamped into the die (a
+        // local overlap beats a cell escaping the outline when every
+        // nearby row is saturated).
+        let (r, x) = match best {
+            Some((r, x, _)) => (r, x),
+            None => {
+                let (r, row) = rows
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.frontier
+                            .partial_cmp(&b.1.frontier)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("at least one row");
+                (r, row.frontier.min(die.urx() - width).max(die.llx()))
+            }
+        };
+        placement.positions[idx] = m3d_geom::Point::new(x + width * 0.5, rows[r].y_center);
+        rows[r].frontier = x + width;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{global_place, PlacerConfig};
+    use m3d_tech::Library;
+
+    fn legal_setup(
+        bench: m3d_netgen::Benchmark,
+        stack: TierStack,
+        split: bool,
+    ) -> (Netlist, Vec<Tier>, Floorplan, Placement) {
+        let n = bench.generate(0.02, 4);
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        if split {
+            for (i, t) in tiers.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *t = Tier::Top;
+                }
+            }
+        }
+        let fp = Floorplan::new(&n, &stack, &tiers, 0.65);
+        let p = global_place(&n, &fp, &PlacerConfig::default());
+        let legal = legalize(&n, &p, &fp, &stack, &tiers);
+        (n, tiers, fp, legal)
+    }
+
+    fn check_no_overlaps(
+        n: &Netlist,
+        tiers: &[Tier],
+        stack: &TierStack,
+        p: &Placement,
+        tier: Tier,
+    ) {
+        let lib = stack.library(tier);
+        let mut rects: Vec<Rect> = Vec::new();
+        for (id, c) in n.cells() {
+            if !c.class.is_gate() || c.fixed || tiers[id.index()] != tier {
+                continue;
+            }
+            let (kind, drive) = (c.class.gate_kind().unwrap(), c.class.gate_drive().unwrap());
+            let m = lib.cell(kind, drive).unwrap();
+            let pos = p.positions[id.index()];
+            rects.push(Rect::new(
+                pos.x - m.width_um * 0.5 + 1e-6,
+                pos.y - m.height_um * 0.5 + 1e-6,
+                pos.x + m.width_um * 0.5 - 1e-6,
+                pos.y + m.height_um * 0.5 - 1e-6,
+            ));
+        }
+        // Sort by y then x; only same-row neighbors can overlap.
+        rects.sort_by(|a, b| {
+            (a.lly(), a.llx())
+                .partial_cmp(&(b.lly(), b.llx()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for w in rects.windows(2) {
+            assert!(
+                !w[0].intersects(&w[1]),
+                "overlap between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn two_d_legalization_is_overlap_free() {
+        let stack = TierStack::two_d(Library::twelve_track());
+        let (n, tiers, _fp, legal) = legal_setup(m3d_netgen::Benchmark::Aes, stack.clone(), false);
+        check_no_overlaps(&n, &tiers, &stack, &legal, Tier::Bottom);
+    }
+
+    #[test]
+    fn hetero_legalization_respects_both_row_heights() {
+        let stack = TierStack::heterogeneous();
+        let (n, tiers, fp, legal) = legal_setup(m3d_netgen::Benchmark::Aes, stack.clone(), true);
+        check_no_overlaps(&n, &tiers, &stack, &legal, Tier::Bottom);
+        check_no_overlaps(&n, &tiers, &stack, &legal, Tier::Top);
+        // Row pitch check: every top-tier gate sits at a 9T row center.
+        let row_h = stack.library(Tier::Top).cell_height_um;
+        for (id, c) in n.cells() {
+            if c.class.is_gate() && !c.fixed && tiers[id.index()] == Tier::Top {
+                let y = legal.positions[id.index()].y - fp.die.lly();
+                let frac = (y / row_h) - (y / row_h).floor();
+                assert!(
+                    (frac - 0.5).abs() < 1e-6,
+                    "cell off-row at y={y}, frac {frac}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legalization_keeps_cells_out_of_macros() {
+        let stack = TierStack::two_d(Library::twelve_track());
+        let (n, tiers, fp, legal) = legal_setup(m3d_netgen::Benchmark::Cpu, stack.clone(), false);
+        let keepouts = fp.keepouts(Tier::Bottom);
+        assert!(!keepouts.is_empty());
+        let lib = stack.library(Tier::Bottom);
+        for (id, c) in n.cells() {
+            if !c.class.is_gate() || c.fixed || tiers[id.index()] != Tier::Bottom {
+                continue;
+            }
+            let (kind, drive) = (c.class.gate_kind().unwrap(), c.class.gate_drive().unwrap());
+            let m = lib.cell(kind, drive).unwrap();
+            let pos = legal.positions[id.index()];
+            let r = Rect::new(
+                pos.x - m.width_um * 0.5 + 1e-6,
+                pos.y - m.height_um * 0.5 + 1e-6,
+                pos.x + m.width_um * 0.5 - 1e-6,
+                pos.y + m.height_um * 0.5 - 1e-6,
+            );
+            for k in &keepouts {
+                assert!(!r.intersects(k), "cell {id:?} inside macro keepout");
+            }
+        }
+    }
+
+    #[test]
+    fn legalization_displacement_is_bounded() {
+        let stack = TierStack::two_d(Library::twelve_track());
+        let n = m3d_netgen::Benchmark::Aes.generate(0.02, 4);
+        let tiers = vec![Tier::Bottom; n.cell_count()];
+        let fp = Floorplan::new(&n, &stack, &tiers, 0.65);
+        let p = global_place(&n, &fp, &PlacerConfig::default());
+        let legal = legalize(&n, &p, &fp, &stack, &tiers);
+        // Legalized wirelength should stay within ~2x of global HPWL.
+        let before = p.hpwl(&n);
+        let after = legal.hpwl(&n);
+        assert!(
+            after < 2.0 * before + 100.0,
+            "legalization blew up wirelength: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+use crate::router::RoutingResult;
+use m3d_netlist::Netlist;
+use m3d_place::Placement;
+use m3d_sta::{NetModel, Parasitics};
+use m3d_tech::TierStack;
+
+/// Extracts per-net RC from routing results (or, when `routing` is `None`,
+/// from placement Steiner estimates — the pre-route mode used during the
+/// pseudo-3-D stage).
+///
+/// Model per net:
+/// * length = routed length, or Steiner estimate of the pin positions,
+/// * C = length × c̄ (average intermediate-layer capacitance per µm),
+/// * wire delay = 0.5·R·C (distributed Elmore) + MIV hops.
+#[must_use]
+pub fn extract_parasitics(
+    netlist: &Netlist,
+    placement: &Placement,
+    stack: &TierStack,
+    routing: Option<&RoutingResult>,
+) -> Parasitics {
+    let per_um = stack.metal.estimate_rc_per_um();
+    let miv = stack.metal.miv;
+    let models = netlist
+        .nets()
+        .map(|(id, net)| {
+            if net.is_clock || net.degree() < 2 {
+                return NetModel::default();
+            }
+            let (length, mivs) = match routing {
+                Some(r) => {
+                    let rn = r.nets[id.index()];
+                    (rn.length_um, rn.mivs)
+                }
+                None => (placement.net_steiner(netlist, id), 0),
+            };
+            let r_kohm = per_um.r_kohm * length + miv.r_kohm * mivs as f64;
+            let c_ff = per_um.c_ff * length + miv.c_ff * mivs as f64;
+            NetModel {
+                wire_cap_ff: c_ff,
+                // Distributed line: Elmore ≈ R·C/2; kΩ·fF = ps.
+                wire_delay_ns: 0.5 * r_kohm * c_ff * 1e-3,
+            }
+        })
+        .collect();
+    Parasitics::from_models(netlist, models)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{global_route, RouteConfig};
+    use m3d_place::{global_place, Floorplan, PlacerConfig};
+    use m3d_tech::{Library, Tier};
+
+    fn setup() -> (Netlist, Vec<Tier>, Placement, TierStack) {
+        let n = m3d_netgen::Benchmark::Aes.generate(0.02, 21);
+        let stack = TierStack::two_d(Library::twelve_track());
+        let tiers = vec![Tier::Bottom; n.cell_count()];
+        let fp = Floorplan::new(&n, &stack, &tiers, 0.7);
+        let p = global_place(&n, &fp, &PlacerConfig::default());
+        (n, tiers, p, stack)
+    }
+
+    #[test]
+    fn preroute_extraction_is_positive() {
+        let (n, _t, p, stack) = setup();
+        let par = extract_parasitics(&n, &p, &stack, None);
+        assert!(par.total_wire_cap_ff() > 0.0);
+        // Every multi-pin signal net gets nonzero cap.
+        for (id, net) in n.nets() {
+            if !net.is_clock && net.degree() >= 2 {
+                assert!(par.net(id).wire_cap_ff >= 0.0);
+                assert!(par.net(id).wire_delay_ns >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn postroute_cap_tracks_routed_length() {
+        let (n, tiers, p, stack) = setup();
+        let routed = global_route(&n, &p, &tiers, &stack, &RouteConfig::default());
+        let pre = extract_parasitics(&n, &p, &stack, None);
+        let post = extract_parasitics(&n, &p, &stack, Some(&routed));
+        // Routed lengths >= Steiner estimates overall.
+        assert!(post.total_wire_cap_ff() >= 0.8 * pre.total_wire_cap_ff());
+    }
+
+    #[test]
+    fn longer_placement_means_more_delay() {
+        let (n, _t, p, stack) = setup();
+        // Scale positions 3x apart (spread the die).
+        let mut far = p.clone();
+        for q in &mut far.positions {
+            *q = *q * 3.0;
+        }
+        let near = extract_parasitics(&n, &p, &stack, None);
+        let spread = extract_parasitics(&n, &far, &stack, None);
+        assert!(spread.total_wire_cap_ff() > 2.0 * near.total_wire_cap_ff());
+    }
+
+    #[test]
+    fn clock_nets_are_skipped() {
+        let (n, _t, p, stack) = setup();
+        let par = extract_parasitics(&n, &p, &stack, None);
+        let clk = n.clock().expect("generated designs have a clock");
+        assert_eq!(par.net(clk).wire_cap_ff, 0.0);
+    }
+}

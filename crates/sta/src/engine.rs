@@ -1,0 +1,589 @@
+use crate::context::TimingContext;
+use m3d_netlist::{CellClass, CellId, NetId};
+
+/// Result of one full timing analysis.
+///
+/// All vectors are indexed by cell id. For combinational gates, `arrival` /
+/// `required` / `slack` refer to the cell's output pin; for endpoints
+/// (registers, macros, primary outputs) they refer to the data input pin,
+/// so `slack[cell]` is always "the worst slack of any path through this
+/// cell" — the paper's cell-based criticality metric with complete
+/// coverage.
+#[derive(Debug, Clone)]
+pub struct StaResult {
+    /// Worst arrival time at the reference pin, ns.
+    pub arrival: Vec<f64>,
+    /// Propagated slew at the reference pin, ns.
+    pub slew: Vec<f64>,
+    /// Required arrival time, ns (`+inf` for cells with no timed fanout).
+    pub required: Vec<f64>,
+    /// `required − arrival` per cell, ns.
+    pub slack: Vec<f64>,
+    /// Worst negative slack over all endpoints, ns (positive when all
+    /// endpoints meet timing).
+    pub wns: f64,
+    /// Total negative slack over all endpoints, ns (zero or negative).
+    pub tns: f64,
+    /// Number of timing endpoints.
+    pub endpoints: usize,
+    /// Number of endpoints with negative slack.
+    pub violations: usize,
+    /// Clock period the analysis ran at, ns.
+    pub period_ns: f64,
+    /// Endpoint cells, worst slack first.
+    pub critical_endpoints: Vec<CellId>,
+    /// For each cell, which input pin produced the worst arrival (used for
+    /// path backtracking). `u8::MAX` when not applicable.
+    pub worst_input: Vec<u8>,
+    /// Per-cell endpoint slack (`NaN` for cells that are not endpoints):
+    /// `rat − data-pin arrival`.
+    pub endpoint_slack: Vec<f64>,
+}
+
+impl StaResult {
+    /// The paper's *effective delay*: `clock period − worst slack`.
+    #[must_use]
+    pub fn effective_delay_ns(&self) -> f64 {
+        self.period_ns - self.wns
+    }
+
+    /// Cell-based criticality: worst slack among all paths through `cell`.
+    #[must_use]
+    pub fn cell_criticality(&self, cell: CellId) -> f64 {
+        self.slack[cell.index()]
+    }
+
+    /// Returns `true` when WNS is within `tolerance_fraction` of the
+    /// period — the paper's timing-met condition (WNS ≳ −7 % of period).
+    #[must_use]
+    pub fn timing_met(&self, tolerance_fraction: f64) -> bool {
+        self.wns >= -tolerance_fraction * self.period_ns
+    }
+}
+
+/// Capacitive load on a net: wire capacitance plus every sink pin.
+fn net_load_ff(ctx: &TimingContext<'_>, net: NetId) -> f64 {
+    let mut load = ctx.parasitics.net(net).wire_cap_ff;
+    for sink in &ctx.netlist.net(net).sinks {
+        let cell = ctx.netlist.cell(sink.cell);
+        load += match &cell.class {
+            CellClass::Gate { kind, drive } => ctx
+                .library(sink.cell.index())
+                .cell(*kind, *drive)
+                .map_or(1.0, |c| c.input_cap_ff),
+            CellClass::Macro(spec) => spec.input_cap_ff,
+            CellClass::PrimaryOutput => ctx.clock.output_load_ff,
+            CellClass::PrimaryInput => 0.0,
+        };
+    }
+    load
+}
+
+/// Runs a full forward (arrival/slew) and backward (required) propagation.
+///
+/// Clock nets are excluded from data timing; sequential cells launch at
+/// their clock latency + clk→Q and capture at `period + latency − setup`.
+#[must_use]
+pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
+    let netlist = ctx.netlist;
+    let n = netlist.cell_count();
+    let period = ctx.clock.period_ns;
+
+    let mut arrival = vec![0.0_f64; n];
+    let mut slew = vec![ctx.clock.input_slew_ns; n];
+    let mut required = vec![f64::INFINITY; n];
+    let mut worst_input = vec![u8::MAX; n];
+
+    // Cache per-net loads (signal nets only).
+    let mut net_load = vec![0.0_f64; netlist.net_count()];
+    for (id, net) in netlist.nets() {
+        if !net.is_clock {
+            net_load[id.index()] = net_load_ff(ctx, id);
+        }
+    }
+
+    // ---- launch points -------------------------------------------------
+    for (id, cell) in netlist.cells() {
+        let i = id.index();
+        match &cell.class {
+            CellClass::PrimaryInput => {
+                arrival[i] = ctx.clock.virtual_io_latency_ns;
+                slew[i] = ctx.clock.input_slew_ns;
+            }
+            CellClass::Gate { kind, drive } if kind.is_sequential() => {
+                let lib = ctx.library(i);
+                let cell_master = lib.cell(*kind, *drive);
+                let (clk_q, out_slew) = match cell_master {
+                    Some(m) => {
+                        let load = cell
+                            .outputs
+                            .first()
+                            .copied()
+                            .flatten()
+                            .map_or(0.0, |net| net_load[net.index()]);
+                        (
+                            m.clk_to_q_ns + m.delay(0.02, load) * 0.3,
+                            m.output_slew(0.02, load),
+                        )
+                    }
+                    None => (0.1, 0.05),
+                };
+                arrival[i] = ctx.clock.latency(i) + clk_q;
+                slew[i] = out_slew;
+            }
+            CellClass::Macro(spec) => {
+                arrival[i] = ctx.clock.latency(i) + spec.access_delay_ns;
+                slew[i] = 0.08;
+            }
+            _ => {}
+        }
+    }
+
+    // ---- forward pass over combinational gates -------------------------
+    let order = netlist
+        .combinational_order()
+        .expect("netlist validated before timing");
+    for &id in &order {
+        let i = id.index();
+        let cell = netlist.cell(id);
+        let (kind, drive) = match &cell.class {
+            CellClass::Gate { kind, drive } => (*kind, *drive),
+            _ => unreachable!("combinational order yields gates"),
+        };
+        let lib = ctx.library(i);
+        let master = lib.cell(kind, drive);
+        let load = cell
+            .outputs
+            .first()
+            .copied()
+            .flatten()
+            .map_or(0.0, |net| net_load[net.index()]);
+
+        let mut best_at = 0.0_f64;
+        let mut best_pin = u8::MAX;
+        let mut best_slew = ctx.clock.input_slew_ns;
+        for (pin, slot) in cell.inputs.iter().enumerate() {
+            let Some(net) = slot else { continue };
+            if netlist.net(*net).is_clock {
+                continue;
+            }
+            let Some(drv) = netlist.net(*net).driver else {
+                continue;
+            };
+            let j = drv.cell.index();
+            let wire = ctx.parasitics.net(*net).wire_delay_ns;
+            let at_in = arrival[j] + wire;
+            let slew_in = slew[j];
+            let (arc_delay, out_slew) = match master {
+                Some(m) => (m.delay(slew_in, load), m.output_slew(slew_in, load)),
+                None => (0.0, slew_in),
+            };
+            let at_out = at_in + arc_delay;
+            if at_out > best_at || best_pin == u8::MAX {
+                best_at = at_out;
+                best_pin = pin as u8;
+                best_slew = out_slew;
+            }
+        }
+        arrival[i] = best_at;
+        slew[i] = best_slew;
+        worst_input[i] = best_pin;
+    }
+
+    // ---- endpoint arrivals, required times ------------------------------
+    let mut endpoints_v: Vec<(CellId, f64)> = Vec::new();
+    let mut endpoint_rat = vec![f64::INFINITY; n];
+    let mut endpoint_slack = vec![f64::NAN; n];
+    let mut wns = f64::INFINITY;
+    let mut tns = 0.0;
+    let mut violations = 0usize;
+
+    // Helper: arrival at a data input pin of an endpoint.
+    fn input_arrival(
+        ctx: &TimingContext<'_>,
+        arrival: &[f64],
+        cell: CellId,
+        pin: usize,
+    ) -> f64 {
+        let c = ctx.netlist.cell(cell);
+        let Some(Some(net)) = c.inputs.get(pin) else {
+            return 0.0;
+        };
+        if ctx.netlist.net(*net).is_clock {
+            return 0.0;
+        }
+        let Some(drv) = ctx.netlist.net(*net).driver else {
+            return 0.0;
+        };
+        arrival[drv.cell.index()] + ctx.parasitics.net(*net).wire_delay_ns
+    }
+
+    for (id, cell) in netlist.cells() {
+        let i = id.index();
+        let (is_endpoint, setup, data_pins) = match &cell.class {
+            CellClass::Gate { kind, drive } if kind.is_sequential() => {
+                let setup = ctx
+                    .library(i)
+                    .cell(*kind, *drive)
+                    .map_or(0.03, |m| m.setup_ns);
+                (true, setup, cell.inputs.len().saturating_sub(1))
+            }
+            CellClass::Macro(spec) => (true, spec.setup_ns, cell.inputs.len().saturating_sub(1)),
+            CellClass::PrimaryOutput => (true, 0.0, cell.inputs.len()),
+            _ => (false, 0.0, 0),
+        };
+        if !is_endpoint {
+            continue;
+        }
+        let io_latency = if matches!(cell.class, CellClass::PrimaryOutput) {
+            ctx.clock.virtual_io_latency_ns
+        } else {
+            ctx.clock.latency(i)
+        };
+        let rat = period + io_latency - setup;
+        let mut worst_at = 0.0_f64;
+        for pin in 0..data_pins {
+            worst_at = worst_at.max(input_arrival(ctx, &arrival, id, pin));
+        }
+        // Endpoint quantities live in their own vectors so launch
+        // arrivals (Q-pin) are not clobbered for registers/macros.
+        endpoint_rat[i] = rat;
+        endpoint_slack[i] = rat - worst_at;
+        if matches!(cell.class, CellClass::PrimaryOutput) {
+            // POs have no launch side; reuse the shared vectors.
+            arrival[i] = worst_at;
+            required[i] = rat;
+        }
+        let s = rat - worst_at;
+        if s < wns {
+            wns = s;
+        }
+        if s < 0.0 {
+            tns += s;
+            violations += 1;
+        }
+        endpoints_v.push((id, s));
+    }
+    if endpoints_v.is_empty() {
+        wns = 0.0;
+    }
+
+    // ---- backward pass: required times on combinational outputs ---------
+    // required(output of cell) = min over sinks of:
+    //   endpoint: rat(endpoint) - wire
+    //   comb sink: required(sink output) - arc_delay(sink via that pin) - wire
+    for &id in order.iter().rev() {
+        let i = id.index();
+        let cell = netlist.cell(id);
+        let Some(out_net) = cell.outputs.first().copied().flatten() else {
+            continue;
+        };
+        let mut rat = f64::INFINITY;
+        let wire = ctx.parasitics.net(out_net).wire_delay_ns;
+        for sink in &netlist.net(out_net).sinks {
+            let j = sink.cell.index();
+            let sink_cell = netlist.cell(sink.cell);
+            let candidate = match &sink_cell.class {
+                CellClass::Gate { kind, drive } if !kind.is_sequential() => {
+                    let load = sink_cell
+                        .outputs
+                        .first()
+                        .copied()
+                        .flatten()
+                        .map_or(0.0, |net| net_load[net.index()]);
+                    let arc = ctx
+                        .library(j)
+                        .cell(*kind, *drive)
+                        .map_or(0.0, |m| m.delay(slew[i], load));
+                    required[j] - arc
+                }
+                // Endpoint sinks (registers on D, macros, POs) carry their
+                // own RAT.
+                _ => endpoint_rat[j],
+            };
+            rat = rat.min(candidate - wire);
+        }
+        required[i] = rat;
+    }
+    // Launch cells (registers' Q, macros' outputs, PIs): required from
+    // their fanout, same formula, so that their slack is also defined.
+    for (id, cell) in netlist.cells() {
+        let i = id.index();
+        let is_launch = matches!(&cell.class, CellClass::PrimaryInput)
+            || cell.is_sequential()
+            || cell.class.is_macro();
+        if !is_launch {
+            continue;
+        }
+        let mut rat = f64::INFINITY;
+        for out_net in cell.output_nets() {
+            if netlist.net(out_net).is_clock {
+                continue;
+            }
+            let wire = ctx.parasitics.net(out_net).wire_delay_ns;
+            for sink in &netlist.net(out_net).sinks {
+                let j = sink.cell.index();
+                let sink_cell = netlist.cell(sink.cell);
+                let candidate = match &sink_cell.class {
+                    CellClass::Gate { kind, drive } if !kind.is_sequential() => {
+                        let load = sink_cell
+                            .outputs
+                            .first()
+                            .copied()
+                            .flatten()
+                            .map_or(0.0, |net| net_load[net.index()]);
+                        let arc = ctx
+                            .library(j)
+                            .cell(*kind, *drive)
+                            .map_or(0.0, |m| m.delay(slew[i], load));
+                        required[j] - arc
+                    }
+                    _ => endpoint_rat[j],
+                };
+                rat = rat.min(candidate - wire);
+            }
+        }
+        required[i] = rat;
+    }
+
+    // Per-cell worst slack through the cell: launch/output side, min'd
+    // with the endpoint (data-capture) side where one exists.
+    let slack: Vec<f64> = (0..n)
+        .map(|i| {
+            let launch = required[i] - arrival[i];
+            if endpoint_slack[i].is_nan() {
+                launch
+            } else {
+                launch.min(endpoint_slack[i])
+            }
+        })
+        .collect();
+
+    endpoints_v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let critical_endpoints = endpoints_v.iter().map(|&(id, _)| id).collect();
+
+    StaResult {
+        arrival,
+        slew,
+        required,
+        slack,
+        wns,
+        tns,
+        endpoints: endpoints_v.len(),
+        violations,
+        period_ns: period,
+        critical_endpoints,
+        worst_input,
+        endpoint_slack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ClockSpec, Parasitics};
+    use m3d_netlist::Netlist;
+    use m3d_tech::{CellKind, Drive, Library, Tier, TierStack};
+
+    /// clk -> [FF] -> inv chain (depth d) -> [FF]
+    fn pipeline(depth: usize) -> Netlist {
+        let mut n = Netlist::new("pipe");
+        let clk_in = n.add_input("clk");
+        let clk = n.add_net("clk", clk_in, 0);
+        n.set_clock(clk);
+        let ff1 = n.add_gate("ff1", CellKind::Dff, Drive::X1, 0);
+        n.connect(clk, ff1, 1);
+        let mut prev = n.add_net("q1", ff1, 0);
+        for i in 0..depth {
+            let g = n.add_gate(format!("g{i}"), CellKind::Inv, Drive::X1, 0);
+            n.connect(prev, g, 0);
+            prev = n.add_net(format!("n{i}"), g, 0);
+        }
+        let ff2 = n.add_gate("ff2", CellKind::Dff, Drive::X1, 0);
+        n.connect(prev, ff2, 0);
+        n.connect(clk, ff2, 1);
+        let q2 = n.add_net("q2", ff2, 0);
+        let po = n.add_output("y");
+        n.connect(q2, po, 0);
+        // ff1 data input: tie to a primary input.
+        let d_in = n.add_input("d");
+        let nd = n.add_net("nd", d_in, 0);
+        n.connect(nd, ff1, 0);
+        n
+    }
+
+    fn run(netlist: &Netlist, period: f64) -> StaResult {
+        let stack = TierStack::two_d(Library::twelve_track());
+        let tiers = vec![Tier::Bottom; netlist.cell_count()];
+        let parasitics = Parasitics::zero_wire(netlist);
+        let ctx = TimingContext {
+            netlist,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(period),
+        };
+        analyze(&ctx)
+    }
+
+    #[test]
+    fn deep_pipeline_fails_short_period() {
+        let n = pipeline(40);
+        let fast = run(&n, 10.0);
+        assert!(fast.wns > 0.0, "40 inverters fit easily in 10 ns");
+        let slow = run(&n, 0.05);
+        assert!(slow.wns < 0.0, "40 inverters cannot fit in 50 ps");
+        assert!(slow.tns < 0.0);
+        assert!(slow.violations > 0);
+    }
+
+    #[test]
+    fn wns_scales_with_depth() {
+        let shallow = run(&pipeline(5), 0.3);
+        let deep = run(&pipeline(30), 0.3);
+        assert!(deep.wns < shallow.wns);
+    }
+
+    #[test]
+    fn slack_decreases_along_critical_chain() {
+        // In a pure chain, every inverter lies on the single path, so all
+        // cells share (approximately) the same worst slack.
+        let n = pipeline(10);
+        let r = run(&n, 0.2);
+        let slacks: Vec<f64> = n
+            .cells()
+            .filter(|(_, c)| c.class.gate_kind() == Some(CellKind::Inv))
+            .map(|(id, _)| r.cell_criticality(id))
+            .collect();
+        let min = slacks.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = slacks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (max - min).abs() < 0.02,
+            "chain cells should share slack: {min} vs {max}"
+        );
+        // And it should equal (approximately) the endpoint's WNS.
+        assert!((min - r.wns).abs() < 0.05);
+    }
+
+    #[test]
+    fn slow_library_has_worse_slack() {
+        let n = pipeline(20);
+        let fast = run(&n, 0.4);
+
+        let stack = TierStack::two_d(Library::nine_track());
+        let tiers = vec![Tier::Bottom; n.cell_count()];
+        let parasitics = Parasitics::zero_wire(&n);
+        let ctx = TimingContext {
+            netlist: &n,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(0.4),
+        };
+        let slow = analyze(&ctx);
+        assert!(slow.wns < fast.wns);
+    }
+
+    #[test]
+    fn hetero_assignment_interpolates() {
+        let n = pipeline(20);
+        let stack = TierStack::heterogeneous();
+        let parasitics = Parasitics::zero_wire(&n);
+        let all_fast = vec![Tier::Bottom; n.cell_count()];
+        let all_slow = vec![Tier::Top; n.cell_count()];
+        let mut mixed = vec![Tier::Bottom; n.cell_count()];
+        for (i, t) in mixed.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *t = Tier::Top;
+            }
+        }
+        let wns_of = |tiers: &Vec<Tier>| {
+            analyze(&TimingContext {
+                netlist: &n,
+                stack: &stack,
+                tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(0.4),
+            })
+            .wns
+        };
+        let f = wns_of(&all_fast);
+        let s = wns_of(&all_slow);
+        let m = wns_of(&mixed);
+        assert!(f > m && m > s, "fast {f} > mixed {m} > slow {s}");
+    }
+
+    #[test]
+    fn wire_delay_reduces_slack() {
+        let n = pipeline(10);
+        let stack = TierStack::two_d(Library::twelve_track());
+        let tiers = vec![Tier::Bottom; n.cell_count()];
+        let mut parasitics = Parasitics::zero_wire(&n);
+        for id in n.net_ids() {
+            parasitics.net_mut(id).wire_delay_ns = 0.02;
+            parasitics.net_mut(id).wire_cap_ff = 5.0;
+        }
+        let ideal = run(&n, 0.4);
+        let ctx = TimingContext {
+            netlist: &n,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(0.4),
+        };
+        let wired = analyze(&ctx);
+        assert!(wired.wns < ideal.wns);
+    }
+
+    #[test]
+    fn effective_delay_matches_definition() {
+        let n = pipeline(10);
+        let r = run(&n, 0.5);
+        assert!((r.effective_delay_ns() - (0.5 - r.wns)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_latency_shifts_capture() {
+        let n = pipeline(10);
+        let stack = TierStack::two_d(Library::twelve_track());
+        let tiers = vec![Tier::Bottom; n.cell_count()];
+        let parasitics = Parasitics::zero_wire(&n);
+        // Give the capture FF extra clock latency -> more time -> better WNS.
+        let mut clock = ClockSpec::with_period(0.2);
+        clock.latency_ns = vec![0.0; n.cell_count()];
+        let ff2 = n.cells().find(|(_, c)| c.name == "ff2").unwrap().0;
+        clock.latency_ns[ff2.index()] = 0.1;
+        let ctx = TimingContext {
+            netlist: &n,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock,
+        };
+        let skewed = analyze(&ctx);
+        let base = run(&n, 0.2);
+        // Extra capture latency relaxes the register-to-register path (the
+        // downstream PO path tightens instead, so compare the endpoint).
+        assert!(
+            skewed.endpoint_slack[ff2.index()] > base.endpoint_slack[ff2.index()]
+        );
+    }
+
+    #[test]
+    fn generated_benchmark_times_cleanly() {
+        let n = m3d_netgen::Benchmark::Cpu.generate(0.02, 3);
+        let r = run(&n, 2.0);
+        assert!(r.endpoints > 0);
+        assert!(r.wns.is_finite());
+        assert!(!r.critical_endpoints.is_empty());
+    }
+
+    #[test]
+    fn timing_met_tolerance() {
+        let n = pipeline(10);
+        let r = run(&n, 10.0);
+        assert!(r.timing_met(0.0));
+        let tight = run(&n, 0.01);
+        assert!(!tight.timing_met(0.07));
+    }
+}

@@ -1,0 +1,119 @@
+//! Heterogeneity compatibility checks (Section II-B of the paper).
+//!
+//! Two libraries can share a monolithic stack without level shifters only
+//! if (a) the voltage difference is small relative to the higher supply and
+//! the threshold voltages, and (b) their characterized slew ranges overlap
+//! enough that boundary-cell slews stay inside the tables.
+
+use crate::library::Library;
+
+/// The paper's level-shifter rule: shifters are required when
+/// `VDDH − VDDL ≥ 0.3 × VDDH`.
+///
+/// # Examples
+///
+/// ```
+/// // 0.90 V vs 0.81 V: 10 % difference, no shifters needed.
+/// assert!(!m3d_tech::needs_level_shifter(0.90, 0.81));
+/// // 0.90 V vs 0.55 V: 39 % difference, shifters required.
+/// assert!(m3d_tech::needs_level_shifter(0.90, 0.55));
+/// ```
+#[must_use]
+pub fn needs_level_shifter(vdd_a: f64, vdd_b: f64) -> bool {
+    let vddh = vdd_a.max(vdd_b);
+    let vddl = vdd_a.min(vdd_b);
+    (vddh - vddl) >= 0.3 * vddh
+}
+
+/// Fraction of the union of two characterized slew ranges covered by their
+/// intersection, on a log scale (slew tables are log-spaced).
+///
+/// 1.0 means identical ranges; 0.0 means disjoint.
+#[must_use]
+pub fn slew_range_overlap(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (a0, a1) = (a.0.max(1e-9).ln(), a.1.max(1e-9).ln());
+    let (b0, b1) = (b.0.max(1e-9).ln(), b.1.max(1e-9).ln());
+    let inter = (a1.min(b1) - a0.max(b0)).max(0.0);
+    let union = (a1.max(b1) - a0.min(b0)).max(f64::MIN_POSITIVE);
+    inter / union
+}
+
+/// Result of checking whether two libraries may be combined in a
+/// heterogeneous monolithic stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryCheck {
+    /// `VDDH − VDDL` in volts.
+    pub voltage_delta: f64,
+    /// Whether the level-shifter rule fires.
+    pub needs_level_shifter: bool,
+    /// Whether the signal voltage margin holds: `Vth > VDDH − VDDL`
+    /// guarantees logic levels register correctly across the boundary.
+    pub threshold_margin_ok: bool,
+    /// Log-scale characterized-slew-range overlap, 0..1.
+    pub slew_overlap: f64,
+}
+
+impl BoundaryCheck {
+    /// Runs the Section II-B compatibility checks on two libraries.
+    #[must_use]
+    pub fn check(a: &Library, b: &Library) -> Self {
+        let vddh = a.vdd.max(b.vdd);
+        let vddl = a.vdd.min(b.vdd);
+        let min_vth = a.vth.min(b.vth);
+        BoundaryCheck {
+            voltage_delta: vddh - vddl,
+            needs_level_shifter: needs_level_shifter(a.vdd, b.vdd),
+            threshold_margin_ok: min_vth > (vddh - vddl),
+            slew_overlap: slew_range_overlap(a.slew_range(), b.slew_range()),
+        }
+    }
+
+    /// `true` if the pair can be used heterogeneously without shifters and
+    /// with adequate table coverage (the paper's acceptance criterion).
+    #[must_use]
+    pub fn compatible(&self) -> bool {
+        !self.needs_level_shifter && self.threshold_margin_ok && self.slew_overlap > 0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_library_pair_is_compatible() {
+        let a = Library::twelve_track();
+        let b = Library::nine_track();
+        let check = BoundaryCheck::check(&a, &b);
+        assert!(!check.needs_level_shifter);
+        assert!(check.threshold_margin_ok);
+        assert!(check.slew_overlap > 0.99);
+        assert!(check.compatible());
+        assert!((check.voltage_delta - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifter_rule_boundary() {
+        // Exactly at 30 % -> shifters required (>= rule).
+        assert!(needs_level_shifter(1.0, 0.7));
+        assert!(!needs_level_shifter(1.0, 0.71));
+        // Order-independent.
+        assert_eq!(needs_level_shifter(0.7, 1.0), needs_level_shifter(1.0, 0.7));
+    }
+
+    #[test]
+    fn overlap_metrics() {
+        assert_eq!(slew_range_overlap((0.01, 1.0), (0.01, 1.0)), 1.0);
+        assert_eq!(slew_range_overlap((0.01, 0.1), (0.2, 1.0)), 0.0);
+        let partial = slew_range_overlap((0.01, 0.5), (0.05, 1.0));
+        assert!(partial > 0.0 && partial < 1.0);
+    }
+
+    #[test]
+    fn self_check_is_perfectly_compatible() {
+        let a = Library::twelve_track();
+        let check = BoundaryCheck::check(&a, &a);
+        assert_eq!(check.voltage_delta, 0.0);
+        assert!(check.compatible());
+    }
+}

@@ -1,0 +1,237 @@
+use crate::THERMAL_VOLTAGE;
+
+/// Physical parameters of one technology corner (one track-height library).
+///
+/// These are the knobs from which everything else — drive resistance, pin
+/// capacitance, leakage, NLDM tables — is derived. The two corners shipped
+/// with this crate ([`CornerParams::twelve_track`] and
+/// [`CornerParams::nine_track`]) reproduce the qualitative contrasts of the
+/// paper's foundry 28 nm 12-track and 9-track libraries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerParams {
+    /// Corner name, e.g. `"28nm_12T"`.
+    pub name: &'static str,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Effective threshold voltage in volts (averaged NMOS/PMOS magnitude).
+    pub vth: f64,
+    /// Velocity-saturation exponent of the alpha-power law.
+    pub alpha: f64,
+    /// Effective transistor width factor relative to the 12-track cell
+    /// (taller cells fit wider devices → more drive, more capacitance).
+    pub width_factor: f64,
+    /// Cell height in microns (`tracks × M1 pitch`).
+    pub cell_height_um: f64,
+    /// Placement site width in microns (shared across track variants).
+    pub site_width_um: f64,
+    /// Saturation current of a unit-width device at the reference
+    /// overdrive, in mA (calibrates absolute delay).
+    pub i_sat_ma: f64,
+    /// Gate capacitance of a unit-width X1 inverter input, in fF.
+    pub unit_gate_cap_ff: f64,
+    /// Parasitic (self-load) output capacitance of a unit inverter, in fF.
+    pub unit_parasitic_cap_ff: f64,
+    /// Subthreshold slope factor `n` (leakage ∝ exp(−Vth / (n·vT))).
+    pub subthreshold_n: f64,
+    /// Leakage prefactor for a unit-width device, in µA.
+    pub leak_prefactor_ua: f64,
+}
+
+impl CornerParams {
+    /// The fast, large, leaky 12-track corner at 0.90 V.
+    #[must_use]
+    pub fn twelve_track() -> Self {
+        CornerParams {
+            name: "28nm_12T",
+            vdd: 0.90,
+            vth: 0.32,
+            alpha: 1.3,
+            width_factor: 1.0,
+            // 12 tracks x 90 nm M1 pitch.
+            cell_height_um: 1.08,
+            site_width_um: 0.152,
+            i_sat_ma: 0.25,
+            unit_gate_cap_ff: 0.90,
+            unit_parasitic_cap_ff: 0.55,
+            subthreshold_n: 1.5,
+            leak_prefactor_ua: 310.0,
+        }
+    }
+
+    /// The slow, small, low-leakage 9-track corner at 0.81 V.
+    #[must_use]
+    pub fn nine_track() -> Self {
+        CornerParams {
+            name: "28nm_9T",
+            vdd: 0.81,
+            vth: 0.43,
+            alpha: 1.3,
+            width_factor: 0.55,
+            // 9 tracks x 90 nm M1 pitch: exactly 75 % of the 12T height.
+            cell_height_um: 0.81,
+            site_width_um: 0.152,
+            i_sat_ma: 0.25,
+            unit_gate_cap_ff: 0.90,
+            unit_parasitic_cap_ff: 0.55,
+            subthreshold_n: 1.5,
+            leak_prefactor_ua: 310.0,
+        }
+    }
+}
+
+/// Alpha-power-law device model: closed-form delay, slew and leakage used to
+/// generate NLDM tables and by the [`m3d_circuit`](https://docs.rs)
+/// transient simulator's operating-point checks.
+///
+/// The model is Sakurai–Newton: drive current `I ∝ W·(VDD − Vth)^α`, stage
+/// delay `t ≈ C·VDD / I`, with an input-slew correction and a subthreshold
+/// exponential for leakage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    params: CornerParams,
+}
+
+impl DeviceModel {
+    /// Wraps a corner's parameters.
+    #[must_use]
+    pub fn new(params: CornerParams) -> Self {
+        DeviceModel { params }
+    }
+
+    /// The underlying corner parameters.
+    #[must_use]
+    pub fn params(&self) -> &CornerParams {
+        &self.params
+    }
+
+    /// Saturation drive current in mA for a device of `width` units driven
+    /// at gate voltage `vg` (volts). Returns the subthreshold current when
+    /// `vg` is below threshold.
+    #[must_use]
+    pub fn drive_current_ma(&self, width: f64, vg: f64) -> f64 {
+        let p = &self.params;
+        let overdrive = vg - p.vth;
+        if overdrive <= 0.0 {
+            return self.subthreshold_current_ma(width, vg);
+        }
+        // Normalize so that vg == vdd(12T ref overdrive) gives i_sat.
+        let ref_overdrive: f64 = 0.58; // 0.90 V - 0.32 V, the 12T reference.
+        p.i_sat_ma * width * (overdrive / ref_overdrive).powf(p.alpha)
+    }
+
+    /// Subthreshold leakage current in mA for gate voltage `vg`.
+    #[must_use]
+    pub fn subthreshold_current_ma(&self, width: f64, vg: f64) -> f64 {
+        let p = &self.params;
+        let n_vt = p.subthreshold_n * THERMAL_VOLTAGE;
+        p.leak_prefactor_ua * 1e-3 * width * ((vg - p.vth) / n_vt).exp()
+    }
+
+    /// Equivalent switching resistance (kΩ) of a gate with drive `width`,
+    /// powered at `vdd` (volts). `R ≈ VDD / I_d` with the usual 0.69
+    /// folded into the delay equation instead.
+    #[must_use]
+    pub fn drive_resistance_kohm(&self, width: f64, vdd: f64) -> f64 {
+        vdd / self.drive_current_ma(width, vdd)
+    }
+
+    /// 50 %-to-50 % stage delay (ns) of a gate with drive `width` charging
+    /// `load_ff` under input slew `slew_ns`.
+    ///
+    /// `delay = 0.69·R·C + k_slew·slew` — the canonical RC + slew-degradation
+    /// form that NLDM tables encode.
+    #[must_use]
+    pub fn stage_delay_ns(&self, width: f64, slew_ns: f64, load_ff: f64) -> f64 {
+        let p = &self.params;
+        let r_kohm = self.drive_resistance_kohm(width, p.vdd);
+        let c_total = load_ff + p.unit_parasitic_cap_ff * width;
+        // kΩ · fF = ps; /1000 → ns.
+        0.69 * r_kohm * c_total * 1e-3 + 0.12 * slew_ns
+    }
+
+    /// 10 %-to-90 % output slew (ns) for the same conditions.
+    #[must_use]
+    pub fn output_slew_ns(&self, width: f64, slew_ns: f64, load_ff: f64) -> f64 {
+        let p = &self.params;
+        let r_kohm = self.drive_resistance_kohm(width, p.vdd);
+        let c_total = load_ff + p.unit_parasitic_cap_ff * width;
+        2.2 * r_kohm * c_total * 1e-3 * 0.5 + 0.08 * slew_ns
+    }
+
+    /// Static leakage power (µW) of a gate with drive `width` at its
+    /// nominal supply: `P = VDD · I_off`, with the device off (`vg = 0`).
+    #[must_use]
+    pub fn leakage_uw(&self, width: f64) -> f64 {
+        let p = &self.params;
+        // mA * V = mW; * 1000 → µW.
+        self.subthreshold_current_ma(width, 0.0) * p.vdd * 1000.0
+    }
+
+    /// Input pin capacitance (fF) of a gate with drive `width`.
+    #[must_use]
+    pub fn input_cap_ff(&self, width: f64) -> f64 {
+        self.params.unit_gate_cap_ff * self.params.width_factor * width
+    }
+
+    /// Internal switching energy (fJ) dissipated per output transition:
+    /// short-circuit plus internal node charging, modeled as a fraction of
+    /// the self-load `C·V²` energy.
+    #[must_use]
+    pub fn internal_energy_fj(&self, width: f64) -> f64 {
+        let p = &self.params;
+        let c_self = p.unit_parasitic_cap_ff * p.width_factor * width;
+        0.5 * c_self * p.vdd * p.vdd * 1.3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_corner_drives_harder_than_slow() {
+        let fast = DeviceModel::new(CornerParams::twelve_track());
+        let slow = DeviceModel::new(CornerParams::nine_track());
+        let i_fast = fast.drive_current_ma(1.0, fast.params().vdd);
+        let i_slow = slow.drive_current_ma(slow.params().width_factor, slow.params().vdd);
+        assert!(i_fast > 1.5 * i_slow);
+    }
+
+    #[test]
+    fn delay_increases_with_load_and_slew() {
+        let m = DeviceModel::new(CornerParams::twelve_track());
+        let base = m.stage_delay_ns(1.0, 0.02, 2.0);
+        assert!(m.stage_delay_ns(1.0, 0.02, 4.0) > base);
+        assert!(m.stage_delay_ns(1.0, 0.10, 2.0) > base);
+        // Bigger drive is faster.
+        assert!(m.stage_delay_ns(4.0, 0.02, 2.0) < base);
+    }
+
+    #[test]
+    fn subthreshold_current_is_exponential_in_vth() {
+        let fast = DeviceModel::new(CornerParams::twelve_track());
+        let slow = DeviceModel::new(CornerParams::nine_track());
+        let ratio = fast.leakage_uw(1.0) / slow.leakage_uw(1.0);
+        // delta-Vth of 100 mV at n*vT ≈ 39 mV → ~13x; width factor adds more.
+        assert!(ratio > 8.0, "leakage ratio {ratio}");
+    }
+
+    #[test]
+    fn below_threshold_gate_voltage_yields_leakage_not_drive() {
+        let m = DeviceModel::new(CornerParams::twelve_track());
+        let on = m.drive_current_ma(1.0, 0.9);
+        let off = m.drive_current_ma(1.0, 0.1);
+        assert!(on / off > 100.0);
+    }
+
+    #[test]
+    fn partially_on_input_leaks_much_more() {
+        // The Table III effect: driving a 0.90 V gate with a 0.81 V "high"
+        // leaves 90 mV of PMOS gate overdrive → leakage blows up.
+        let m = DeviceModel::new(CornerParams::twelve_track());
+        let fully_off = m.subthreshold_current_ma(1.0, 0.0);
+        // PMOS with Vgs = -(0.9-0.81) = -0.09 -> effective gate drive 0.09 V
+        let partially_off = m.subthreshold_current_ma(1.0, 0.09);
+        assert!(partially_off / fully_off > 5.0);
+    }
+}

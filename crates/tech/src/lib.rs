@@ -1,0 +1,81 @@
+//! Technology substrate: standard-cell libraries, delay tables and BEOL.
+//!
+//! The paper demonstrates heterogeneous monolithic 3-D integration using two
+//! multi-track variants of a commercial foundry 28 nm node: a **12-track**
+//! library (fast, large, power-hungry, 0.90 V) and a **9-track** library
+//! (slow, 25 % smaller, frugal, 0.81 V). The foundry libraries are
+//! proprietary, so this crate *generates* equivalent libraries from an
+//! alpha-power-law transistor model ([`DeviceModel`]): every cell carries
+//! NLDM-style delay/slew lookup tables ([`Lut2d`]), pin capacitances,
+//! leakage and internal switching energy, all derived from a handful of
+//! physical parameters in [`CornerParams`].
+//!
+//! The crate also models the shared back-end-of-line ([`MetalStack`],
+//! [`Miv`]) and the heterogeneity "quirks" of Section II-B of the paper:
+//! characterized slew-range overlap between libraries and the level-shifter
+//! voltage rule `VDDH − VDDL < 0.3 · VDDH`.
+//!
+//! # Examples
+//!
+//! ```
+//! use m3d_tech::{Library, CellKind, Drive};
+//!
+//! let fast = Library::twelve_track();
+//! let slow = Library::nine_track();
+//! let inv_fast = fast.cell(CellKind::Inv, Drive::X1).expect("INV_X1");
+//! let inv_slow = slow.cell(CellKind::Inv, Drive::X1).expect("INV_X1");
+//! // 9-track cells are 25 % smaller and slower.
+//! assert!(inv_slow.area_um2 < inv_fast.area_um2);
+//! assert!(!m3d_tech::needs_level_shifter(fast.vdd, slow.vdd));
+//! ```
+
+mod beol;
+mod cell;
+mod compat;
+mod device;
+mod library;
+mod lut;
+mod tier;
+
+pub use beol::{MetalLayer, MetalStack, Miv, WireRc};
+pub use cell::{CellKind, Drive, MasterCell, TimingArc};
+pub use compat::{needs_level_shifter, slew_range_overlap, BoundaryCheck};
+pub use device::{CornerParams, DeviceModel};
+pub use library::{Library, TrackHeight};
+pub use lut::Lut2d;
+pub use tier::{Tier, TierStack};
+
+/// Boltzmann thermal voltage at 300 K, in volts.
+pub const THERMAL_VOLTAGE: f64 = 0.02585;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libraries_reproduce_paper_contrasts() {
+        let fast = Library::twelve_track();
+        let slow = Library::nine_track();
+
+        // Area: 9-track cell area is exactly 75 % of 12-track (height 9/12,
+        // same widths) -- the paper's "25 % smaller" claim.
+        let inv_f = fast.cell(CellKind::Inv, Drive::X1).unwrap();
+        let inv_s = slow.cell(CellKind::Inv, Drive::X1).unwrap();
+        assert!((inv_s.area_um2 / inv_f.area_um2 - 0.75).abs() < 1e-9);
+
+        // Speed: a 9-track FO4 stage is roughly 2x slower.
+        let d_f = inv_f.delay(0.02, 4.0 * inv_f.input_cap_ff);
+        let d_s = inv_s.delay(0.02, 4.0 * inv_s.input_cap_ff);
+        let ratio = d_s / d_f;
+        assert!(
+            (1.3..3.0).contains(&ratio),
+            "slow/fast FO4 ratio {ratio} outside expected band"
+        );
+
+        // Leakage: fast library leaks >10x more (low-Vt vs high-Vt flavor).
+        assert!(inv_f.leakage_uw / inv_s.leakage_uw > 10.0);
+
+        // Voltages satisfy the no-level-shifter rule.
+        assert!(!needs_level_shifter(fast.vdd, slow.vdd));
+    }
+}

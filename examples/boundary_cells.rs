@@ -1,0 +1,54 @@
+//! Boundary-cell study: reproduce the Section II-B analysis — when can
+//! two libraries share a monolithic stack without level shifters, and
+//! what happens to an FO-4 stage at the tier boundary?
+//!
+//! ```sh
+//! cargo run --release --example boundary_cells
+//! ```
+
+use hetero3d::circuit::{fo4, TechFlavor};
+use hetero3d::tech::{needs_level_shifter, BoundaryCheck, Library};
+
+fn main() {
+    // 1. The level-shifter rule: VDDH - VDDL < 0.3 x VDDH.
+    let fast = Library::twelve_track();
+    let slow = Library::nine_track();
+    println!(
+        "12-track @{:.2} V  +  9-track @{:.2} V:",
+        fast.vdd, slow.vdd
+    );
+    let check = BoundaryCheck::check(&fast, &slow);
+    println!("  voltage delta        : {:.2} V", check.voltage_delta);
+    println!("  needs level shifters : {}", check.needs_level_shifter);
+    println!("  threshold margin ok  : {}", check.threshold_margin_ok);
+    println!("  slew-range overlap   : {:.0} %", check.slew_overlap * 100.0);
+    println!("  compatible           : {}\n", check.compatible());
+
+    // A hypothetical 0.9 V / 0.55 V pair would NOT work:
+    println!(
+        "0.90 V + 0.55 V would need shifters: {}\n",
+        needs_level_shifter(0.90, 0.55)
+    );
+
+    // 2. Heterogeneity at the driver output (Fig. 2a / Table II): a fast
+    //    driver sees smaller loads when its fanout moves to the slow die.
+    let base = fo4::driver_output_case(TechFlavor::Fast, TechFlavor::Fast);
+    let hetero = fo4::driver_output_case(TechFlavor::Fast, TechFlavor::Slow);
+    let d = hetero.percent_delta(&base);
+    println!("fast driver, loads moved to the slow die:");
+    println!("  rise delay {:+.1} %, fall slew {:+.1} %, leakage {:+.1} %", d[2], d[1], d[4]);
+
+    // 3. Heterogeneity at the driver input (Fig. 2b / Table III): the
+    //    infamous leakage blow-up when a 0.81 V swing drives a 0.90 V gate.
+    let base = fo4::driver_input_case(TechFlavor::Fast, TechFlavor::Fast);
+    let hetero = fo4::driver_input_case(TechFlavor::Slow, TechFlavor::Fast);
+    let d = hetero.percent_delta(&base);
+    println!("\nslow-tier signal into a fast-tier FO4 (driver VG {:.2} V -> {:.2} V):", base.driver_vg, hetero.driver_vg);
+    println!("  rise delay {:+.1} %, leakage {:+.1} %  <- the PMOS never fully turns off", d[2], d[4]);
+
+    let base = fo4::driver_input_case(TechFlavor::Slow, TechFlavor::Slow);
+    let hetero = fo4::driver_input_case(TechFlavor::Fast, TechFlavor::Slow);
+    let d = hetero.percent_delta(&base);
+    println!("\nfast-tier signal into a slow-tier FO4 (overdriven gate):");
+    println!("  rise delay {:+.1} %, leakage {:+.1} %  <- faster AND leaks less", d[2], d[4]);
+}

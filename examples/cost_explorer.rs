@@ -1,0 +1,62 @@
+//! Cost-model exploration: sweep die area through the Table IV model and
+//! find where heterogeneous 3-D becomes cheaper than 2-D — the economic
+//! argument of Section II.
+//!
+//! ```sh
+//! cargo run --release --example cost_explorer
+//! ```
+
+use hetero3d::cost::{pdp_pj, ppc, CostModel};
+
+fn main() {
+    let m = CostModel::default();
+    println!(
+        "wafer costs: 2-D {:.2} C', 3-D {:.2} C' (two FEOLs + integration)\n",
+        m.wafer_cost_2d(),
+        m.wafer_cost_3d()
+    );
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>9}",
+        "2D mm2", "2D cost e-6C'", "3D cost e-6C'", "het cost e-6C'", "het/2D"
+    );
+    let mut crossover = None;
+    for i in 0..60 {
+        let area = 0.05 * 1.15_f64.powi(i);
+        if area > 40.0 {
+            break;
+        }
+        let c2 = m.die_cost(area, false);
+        let c3 = m.die_cost(area / 2.0, true);
+        // Heterogeneous: 12.5 % silicon saving -> footprint 0.875x.
+        let ch = m.die_cost(area / 2.0 * 0.875, true);
+        if i % 6 == 0 {
+            println!(
+                "{:>10.2} {:>14.3} {:>14.3} {:>14.3} {:>9.3}",
+                area,
+                c2 * 1e6,
+                c3 * 1e6,
+                ch * 1e6,
+                ch / c2
+            );
+        }
+        if crossover.is_none() && ch < c2 {
+            crossover = Some(area);
+        }
+    }
+    match crossover {
+        Some(a) => println!(
+            "\nheterogeneous 3-D is cheaper than 2-D for all die sizes >= {a:.2} mm2-equivalent\n(and for smaller dies too, wherever the yield term is negligible)"
+        ),
+        None => println!("\nno crossover in range"),
+    }
+
+    // The composite metrics at a hypothetical operating point.
+    let (freq, power) = (1.2, 190.0);
+    let die = m.die_cost(0.195, true) * 1e6;
+    println!(
+        "\nexample operating point: {freq} GHz @ {power} mW, die {die:.2}e-6 C'\n  PDP = {:.1} pJ, PPC = {:.3} GHz/(mW x 1e-6 C')",
+        pdp_pj(power, 1.0 / freq),
+        ppc(freq, power, die)
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: generate a benchmark netlist, implement it as a
+//! heterogeneous monolithic 3-D IC, and print the paper's PPAC metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hetero3d::cost::CostModel;
+use hetero3d::flow::{run_flow, Config, FlowOptions};
+use hetero3d::netgen::Benchmark;
+use hetero3d::report::format_ppac;
+use hetero3d::tech::Tier;
+
+fn main() {
+    // 1. A workload: an AES-class netlist at 5 % of the default size so
+    //    the example finishes in a couple of seconds.
+    let netlist = Benchmark::Aes.generate(0.05, 42);
+    println!(
+        "generated `{}`: {} gates, {} nets ({})",
+        netlist.name,
+        netlist.gate_count(),
+        netlist.net_count(),
+        Benchmark::Aes.description()
+    );
+
+    // 2. Implement it heterogeneously: 12-track @0.90 V bottom die,
+    //    9-track @0.81 V top die, timing-based partitioning, 3-D clock
+    //    tree and the repartitioning ECO all enabled by default.
+    let imp = run_flow(&netlist, Config::Hetero3d, 1.2, &FlowOptions::default());
+
+    // 3. Inspect the outcome.
+    let bottom = imp.tiers.iter().filter(|t| **t == Tier::Bottom).count();
+    let top = imp.tiers.iter().filter(|t| **t == Tier::Top).count();
+    println!(
+        "placed {bottom} cells on the fast 12T die, {top} on the small 9T die; \
+         {} MIVs cross between them",
+        imp.routing.total_mivs
+    );
+    if let Some(eco) = &imp.eco {
+        println!(
+            "repartitioning ECO moved {} cells to the fast die (WNS {:+.3} -> {:+.3} ns)",
+            eco.cells_moved, eco.initial_wns, eco.final_wns
+        );
+    }
+
+    // 4. The PPAC roll-up (Table VI's rows).
+    let ppac = imp.ppac(&CostModel::default());
+    println!("\n{}", format_ppac(&ppac).render());
+}

@@ -1,0 +1,5 @@
+//! Workspace-level facade for examples and integration tests.
+//!
+//! Everything re-exported here comes from the [`hetero3d`] facade crate; see
+//! that crate for the library documentation.
+pub use hetero3d::*;

@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: partitioning balance & cut accounting, legalization
+//! legality, STA monotonicity, LUT interpolation bounds, cost-model
+//! monotonicity, geometry algebra, and generator validity across the
+//! parameter space.
+
+use hetero3d::cost::CostModel;
+use hetero3d::geom::{steiner, BBox, Point, Rect};
+use hetero3d::netgen::{generate, BlockSpec, DesignSpec};
+use hetero3d::partition::{cut_size, min_cut, tier_areas, PartitionConfig};
+use hetero3d::sta::{analyze, ClockSpec, Parasitics, TimingContext};
+use hetero3d::tech::{Library, Lut2d, Tier, TierStack};
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 2..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hpwl_lower_bounds_rmst(pins in arb_points(12)) {
+        let hpwl = steiner::hpwl(&pins);
+        let rmst = steiner::rmst(&pins);
+        prop_assert!(rmst + 1e-9 >= hpwl, "rmst {rmst} < hpwl {hpwl}");
+        // Steiner estimate sits between 2/3 RMST and RMST (or equals HPWL
+        // for small nets).
+        let est = steiner::steiner_estimate(&pins);
+        prop_assert!(est <= rmst + 1e-9);
+        prop_assert!(est >= hpwl * 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn bbox_contains_all_points(pins in arb_points(16)) {
+        let bbox: BBox = pins.iter().copied().collect();
+        let rect = bbox.to_rect().expect("non-empty");
+        for p in &pins {
+            prop_assert!(rect.contains(*p));
+        }
+        prop_assert!((bbox.hpwl() - (rect.width() + rect.height())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_overlap_is_symmetric_and_bounded(
+        a in (-100.0..100.0f64, -100.0..100.0f64, 1.0..50.0f64, 1.0..50.0f64),
+        b in (-100.0..100.0f64, -100.0..100.0f64, 1.0..50.0f64, 1.0..50.0f64),
+    ) {
+        let ra = Rect::with_size(Point::new(a.0, a.1), a.2, a.3);
+        let rb = Rect::with_size(Point::new(b.0, b.1), b.2, b.3);
+        let ov = ra.overlap_area(&rb);
+        prop_assert!((ov - rb.overlap_area(&ra)).abs() < 1e-9);
+        prop_assert!(ov <= ra.area().min(rb.area()) + 1e-9);
+        prop_assert!(ov >= 0.0);
+    }
+
+    #[test]
+    fn lut_lookup_stays_within_table_range(
+        slew in 0.0001..5.0f64,
+        load in 0.01..1000.0f64,
+    ) {
+        let lut = Lut2d::from_fn(
+            vec![0.002, 0.02, 0.2, 2.0],
+            vec![0.2, 2.0, 20.0, 200.0],
+            |s, l| 0.01 + 3.0 * s + 0.002 * l,
+        );
+        let v = lut.lookup(slew, load);
+        // Clamped bilinear interpolation of a monotone function is
+        // bounded by the corner values.
+        let lo = lut.lookup(0.002, 0.2);
+        let hi = lut.lookup(2.0, 200.0);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{lo} <= {v} <= {hi}");
+    }
+
+    #[test]
+    fn die_cost_is_monotone_in_area(a in 0.05..10.0f64, factor in 1.01..3.0f64) {
+        let m = CostModel::default();
+        prop_assert!(m.die_cost(a * factor, false) > m.die_cost(a, false));
+        prop_assert!(m.die_cost(a * factor, true) > m.die_cost(a, true));
+        // Yield is a probability and decreases with area.
+        prop_assert!(m.die_yield_2d(a) <= 1.0);
+        prop_assert!(m.die_yield_2d(a * factor) < m.die_yield_2d(a));
+    }
+
+    #[test]
+    fn generated_netlists_always_validate(
+        gates in 30usize..300,
+        depth in 2usize..20,
+        regs in 4usize..40,
+        locality in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let spec = DesignSpec {
+            name: "prop".into(),
+            primary_inputs: 8,
+            primary_outputs: 8,
+            blocks: vec![BlockSpec::new("b", gates, depth, regs, locality)],
+            srams: vec![],
+        };
+        let n = generate(&spec, seed);
+        prop_assert!(n.validate().is_ok());
+        prop_assert!(n.stats().registers == regs);
+        // No dangling combinational nets.
+        for (_, net) in n.nets() {
+            prop_assert!(net.fanout() > 0 || net.is_clock);
+        }
+    }
+}
+
+proptest! {
+    // Heavier properties with fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fm_partition_respects_balance_and_counts_cut(seed in 0u64..50) {
+        let n = hetero3d::netgen::Benchmark::Aes.generate(0.015, seed);
+        let areas: Vec<f64> = n
+            .cells()
+            .map(|(_, c)| if c.class.is_gate() { 1.0 } else { 0.0 })
+            .collect();
+        let locked = vec![false; n.cell_count()];
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        let config = PartitionConfig { seed, ..Default::default() };
+        let cut = min_cut(&n, &areas, &locked, &mut tiers, &config);
+        // Reported cut equals independently recomputed cut.
+        prop_assert_eq!(cut, cut_size(&n, &tiers));
+        // Balance within tolerance (plus slack for lumpy areas).
+        let [a, b] = tier_areas(&areas, &tiers);
+        let unb = (a - b).abs() / (a + b);
+        prop_assert!(unb <= config.balance_tolerance + 0.02, "unbalance {unb}");
+    }
+
+    #[test]
+    fn sta_arrivals_are_monotone_under_added_wire(seed in 0u64..20) {
+        let n = hetero3d::netgen::Benchmark::Netcard.generate(0.01, seed);
+        let stack = TierStack::two_d(Library::twelve_track());
+        let tiers = vec![Tier::Bottom; n.cell_count()];
+        let zero = Parasitics::zero_wire(&n);
+        let mut wired = Parasitics::zero_wire(&n);
+        for id in n.net_ids() {
+            wired.net_mut(id).wire_delay_ns = 0.01;
+            wired.net_mut(id).wire_cap_ff = 2.0;
+        }
+        let run = |p: &Parasitics| {
+            analyze(&TimingContext {
+                netlist: &n,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: p,
+                clock: ClockSpec::with_period(1.0),
+            })
+        };
+        let fast = run(&zero);
+        let slow = run(&wired);
+        // Adding wire delay/cap can only worsen (or preserve) WNS/TNS.
+        prop_assert!(slow.wns <= fast.wns + 1e-9);
+        prop_assert!(slow.tns <= fast.tns + 1e-9);
+    }
+}

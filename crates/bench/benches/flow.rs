@@ -1,9 +1,16 @@
 //! Criterion benchmarks of complete flow runs: one per configuration on a
-//! small AES instance, plus the Pin-3-D-baseline-vs-enhanced pair. These
-//! are the "how long does a full implementation take" numbers.
+//! small AES instance, the Pin-3-D-baseline-vs-enhanced pair, and the
+//! parallel-engine speedup harness — `compare_configs` timed sequentially
+//! (`threads = 1`) and with the parallel engine (`threads = 8`), with the
+//! measured speedup printed alongside the raw numbers. The results are
+//! bit-identical at both settings (enforced by `tests/determinism.rs`);
+//! this harness regression-tests that the parallelism actually pays.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use hetero3d::flow::{run_flow, Config, FlowOptions};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetero3d::cost::CostModel;
+use hetero3d::flow::{compare_configs, run_flow, Config, FlowOptions};
 use hetero3d::netgen::Benchmark;
 
 fn quick_options() -> FlowOptions {
@@ -21,7 +28,7 @@ fn bench_flow(c: &mut Criterion) {
             .replace(' ', "_")
             .replace(['(', ')', '+'], "");
         c.bench_function(&label, |b| {
-            b.iter(|| std::hint::black_box(run_flow(&netlist, config, 1.2, &options).sta.wns))
+            b.iter(|| black_box(run_flow(&netlist, config, 1.2, &options).sta.wns))
         });
     }
 
@@ -32,15 +39,56 @@ fn bench_flow(c: &mut Criterion) {
         ..quick_options()
     };
     c.bench_function("flow_hetero_pin3d_baseline", |b| {
-        b.iter(|| {
-            std::hint::black_box(run_flow(&netlist, Config::Hetero3d, 1.2, &baseline).sta.wns)
-        })
+        b.iter(|| black_box(run_flow(&netlist, Config::Hetero3d, 1.2, &baseline).sta.wns))
     });
+}
+
+/// Sequential vs parallel `compare_configs` on AES: the headline speedup
+/// number for the deterministic parallel engine.
+fn bench_compare_speedup(c: &mut Criterion) {
+    let netlist = Benchmark::Aes.generate(0.02, 3);
+    let cost = CostModel::default();
+    let with_threads = |threads: usize| FlowOptions {
+        threads,
+        ..quick_options()
+    };
+
+    let seq = with_threads(1);
+    let par = with_threads(8);
+    c.bench_function("compare_configs_aes_seq_t1", |b| {
+        b.iter(|| black_box(compare_configs(&netlist, &seq, &cost).target_ghz))
+    });
+    c.bench_function("compare_configs_aes_par_t8", |b| {
+        b.iter(|| black_box(compare_configs(&netlist, &par, &cost).target_ghz))
+    });
+
+    // Direct speedup readout: median of 5 timed runs per setting, after a
+    // warm-up run each.
+    let median = |options: &FlowOptions| -> f64 {
+        black_box(compare_configs(&netlist, options, &cost).target_ghz);
+        let mut t: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(compare_configs(&netlist, options, &cost).target_ghz);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        t.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        t[t.len() / 2]
+    };
+    let t_seq = median(&seq);
+    let t_par = median(&par);
+    println!(
+        "compare_configs AES speedup: {:.3} s (t=1) / {:.3} s (t=8) = {:.2}x",
+        t_seq,
+        t_par,
+        t_seq / t_par
+    );
 }
 
 criterion_group! {
     name = flow;
     config = Criterion::default().sample_size(10);
-    targets = bench_flow
+    targets = bench_flow, bench_compare_speedup
 }
 criterion_main!(flow);

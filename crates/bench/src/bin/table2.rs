@@ -39,7 +39,8 @@ fn main() {
     );
     let d_12 = cases[1].percent_delta(&cases[0]);
     let d_34 = cases[3].percent_delta(&cases[2]);
-    let rows: [(&str, fn(&fo4::Fo4Measurement) -> f64, usize, f64); 6] = [
+    type MetricOf = fn(&fo4::Fo4Measurement) -> f64;
+    let rows: [(&str, MetricOf, usize, f64); 6] = [
         ("Rise Slew", |m| m.rise_slew_ns * 1e3, 0, 1.0),
         ("Fall Slew", |m| m.fall_slew_ns * 1e3, 1, 1.0),
         ("Rise Del.", |m| m.rise_delay_ns * 1e3, 2, 1.0),

@@ -44,7 +44,8 @@ fn main() {
         cases[3].driver_vg,
         ""
     );
-    let rows: [(&str, fn(&fo4::Fo4Measurement) -> f64, usize); 6] = [
+    type MetricOf = fn(&fo4::Fo4Measurement) -> f64;
+    let rows: [(&str, MetricOf, usize); 6] = [
         ("Rise Slew", |m| m.rise_slew_ns * 1e3, 0),
         ("Fall Slew", |m| m.fall_slew_ns * 1e3, 1),
         ("Rise Del.", |m| m.rise_delay_ns * 1e3, 2),

@@ -25,6 +25,7 @@
 //! | [`power`] | `m3d-power` | activity propagation, power roll-up |
 //! | [`cost`] | `m3d-cost` | Table IV cost model, PDP, PPC |
 //! | [`opt`] | `m3d-opt` | sizing, buffering |
+//! | [`par`] | `m3d-par` | deterministic parallel primitives |
 //! | [`flow`] | `m3d-flow` | the five configurations + Hetero-Pin-3D flow |
 //! | [`report`] | `m3d-report` | paper tables, Table VIII dives, SVG figures |
 //!
@@ -49,6 +50,7 @@ pub use m3d_geom as geom;
 pub use m3d_netgen as netgen;
 pub use m3d_netlist as netlist;
 pub use m3d_opt as opt;
+pub use m3d_par as par;
 pub use m3d_partition as partition;
 pub use m3d_place as place;
 pub use m3d_power as power;

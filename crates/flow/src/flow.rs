@@ -601,9 +601,23 @@ fn implement_2d(
     }
 }
 
+/// Fixed ladder of period multipliers evaluated around the Newton
+/// estimate during the fmax sweep. Constant (never derived from the
+/// worker count) so the candidate set — and with it the sweep's result —
+/// is identical at any thread count.
+const FMAX_LADDER: [f64; 5] = [1.18, 1.08, 1.0, 0.92, 0.85];
+
 /// Sweeps the clock target to find the maximum achievable frequency of a
 /// configuration — the paper's criterion: WNS no worse than ~`tolerance ×
 /// period` (5–7 %).
+///
+/// Structure: one sequential probe run at `start_ghz` yields a Newton
+/// period estimate (`period - 0.85 × WNS`); a fixed ladder of candidate
+/// periods around that estimate is then implemented **concurrently**
+/// (`options.threads` workers). The winner is the highest-frequency
+/// candidate that met timing, chosen by scanning candidates in ladder
+/// order — a rule that depends only on the (deterministic) per-candidate
+/// results, never on completion order.
 ///
 /// Returns `(fmax_ghz, implementation_at_fmax)`.
 #[must_use]
@@ -613,31 +627,39 @@ pub fn find_fmax(
     options: &FlowOptions,
     start_ghz: f64,
 ) -> (f64, Implementation) {
-    let mut period = 1.0 / start_ghz.max(0.05);
-    let mut best: Option<(f64, Implementation)> = None;
-    for _ in 0..5 {
-        let imp = run_flow(netlist, config, 1.0 / period, options);
-        let wns = imp.sta.wns;
-        let met = imp.sta.timing_met(options.wns_tolerance);
-        if met {
-            match &best {
-                Some((f, _)) if *f >= 1.0 / period => {}
-                _ => best = Some((1.0 / period, imp)),
-            }
+    let start_period = 1.0 / start_ghz.max(0.05);
+    let probe = run_flow(netlist, config, 1.0 / start_period, options);
+    let estimate = (start_period - probe.sta.wns * 0.85).max(0.02);
+
+    let periods: Vec<f64> = FMAX_LADDER.iter().map(|m| (estimate * m).max(0.02)).collect();
+    let rungs = m3d_par::par_invoke(
+        options.threads,
+        periods
+            .iter()
+            .map(|&p| move || run_flow(netlist, config, 1.0 / p, options))
+            .collect(),
+    );
+
+    // Highest met frequency among the probe and the ladder. Candidate
+    // order is fixed, and ties are impossible (all periods differ), so the
+    // selection is thread-count invariant.
+    let mut best: Option<Implementation> = None;
+    for imp in rungs.iter().chain(std::iter::once(&probe)) {
+        if imp.sta.timing_met(options.wns_tolerance)
+            && best.as_ref().is_none_or(|b| imp.frequency_ghz > b.frequency_ghz)
+        {
+            best = Some(imp.clone());
         }
-        // Newton-ish update: shift the period by most of the slack.
-        let new_period = (period - wns * 0.85).max(0.02);
-        if (new_period - period).abs() < 0.01 * period {
-            break;
-        }
-        period = new_period;
     }
     match best {
-        Some((f, imp)) => (f, imp),
+        Some(imp) => (imp.frequency_ghz, imp),
         None => {
-            // Never met: report the most relaxed attempt.
-            let imp = run_flow(netlist, config, 1.0 / period, options);
-            (1.0 / period, imp)
+            // Never met: take one more Newton step from the most relaxed
+            // rung and report that attempt (mirrors the paper's "report
+            // the most relaxed implementation" behaviour).
+            let relaxed = (periods[0] - rungs[0].sta.wns * 0.85).max(0.02);
+            let imp = run_flow(netlist, config, 1.0 / relaxed, options);
+            (1.0 / relaxed, imp)
         }
     }
 }

@@ -111,7 +111,7 @@ pub fn generate(spec: &DesignSpec, seed: u64) -> Netlist {
             for g in 0..count {
                 let kind = pick_kind(&mut rng, b.xor_bias);
                 let id = n.add_gate(
-                    format!("{}_g{}", n.block_name(ctx.tag).to_string(), made + g),
+                    format!("{}_g{}", n.block_name(ctx.tag), made + g),
                     kind,
                     Drive::X1,
                     ctx.tag,
@@ -128,7 +128,7 @@ pub fn generate(spec: &DesignSpec, seed: u64) -> Netlist {
                     mark(&mut consumed, src);
                 }
                 let out = n.add_net(
-                    format!("{}_n{}", n.block_name(ctx.tag).to_string(), made + g),
+                    format!("{}_n{}", n.block_name(ctx.tag), made + g),
                     id,
                     0,
                 );

@@ -95,7 +95,7 @@ pub enum EcoStop {
 /// `evaluate` runs timing under the given assignment; `areas` is per-cell
 /// area used for the unbalance bookkeeping.
 pub fn repartition_eco(
-    tiers: &mut Vec<Tier>,
+    tiers: &mut [Tier],
     areas: &[f64],
     fast: Tier,
     config: &EcoConfig,

@@ -58,6 +58,7 @@ pub fn min_cut(
 /// balance is enforced *per placement bin*, so the partition stays
 /// consistent with the pseudo-3-D placement (each bin contributes half its
 /// area to each tier and tier legalization barely perturbs the placement).
+#[allow(clippy::too_many_arguments)]
 pub fn bin_min_cut(
     netlist: &Netlist,
     positions: &[Point],
@@ -175,6 +176,12 @@ fn run_fm(
 
 /// The FM engine: gain buckets, tentative move sequence, best-prefix
 /// rollback; repeated for `passes` passes or until no pass improves.
+///
+/// The per-pass setup — net pin lists, side counts, initial gains, cut
+/// evaluation — is embarrassingly parallel and runs on `m3d_par` workers
+/// for large designs; each item's value is independent, so the scattered
+/// results are identical to the sequential loops. The move sequence itself
+/// stays sequential: it *defines* the deterministic order of the pass.
 fn run_fm_with(
     netlist: &Netlist,
     _areas: &[f64],
@@ -185,6 +192,8 @@ fn run_fm_with(
     on_move: impl Fn(usize, Tier, Tier),
 ) -> usize {
     let n = netlist.cell_count();
+    let threads = m3d_par::resolve(0);
+    let parallel = threads > 1 && n >= m3d_par::PAR_THRESHOLD;
     // Movable = not locked, not a port, not a macro (macros sit on the
     // bottom tier per the flow).
     let movable: Vec<bool> = netlist
@@ -195,17 +204,21 @@ fn run_fm_with(
         .collect();
 
     // Net pin lists (signal nets only), as cell indices.
-    let nets: Vec<Vec<usize>> = netlist
-        .nets()
-        .map(|(_, net)| {
-            if net.is_clock {
-                Vec::new()
-            } else {
-                net.cells().map(|c| c.index()).collect()
-            }
-        })
-        .collect();
-    // Cell -> incident net indices.
+    let net_pins = |k: usize| -> Vec<usize> {
+        let net = netlist.net(m3d_netlist::NetId::from_index(k));
+        if net.is_clock {
+            Vec::new()
+        } else {
+            net.cells().map(|c| c.index()).collect()
+        }
+    };
+    let nets: Vec<Vec<usize>> = if parallel {
+        m3d_par::par_map_indices(threads, netlist.net_count(), net_pins)
+    } else {
+        (0..netlist.net_count()).map(net_pins).collect()
+    };
+    // Cell -> incident net indices (sequential: push order over nets is
+    // part of the deterministic gain-update order).
     let mut cell_nets: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (ni, pins) in nets.iter().enumerate() {
         for &c in pins {
@@ -213,16 +226,24 @@ fn run_fm_with(
         }
     }
 
+    let nets_ref = &nets;
     let cut_of = |tiers: &[Tier]| -> usize {
-        nets.iter()
-            .filter(|pins| {
-                let mut seen = [false, false];
-                for &c in pins.iter() {
-                    seen[tiers[c].index()] = true;
-                }
-                seen[0] && seen[1]
+        let is_cut = |pins: &[usize]| {
+            let mut seen = [false, false];
+            for &c in pins {
+                seen[tiers[c].index()] = true;
+            }
+            seen[0] && seen[1]
+        };
+        if parallel {
+            m3d_par::par_ranges(threads, nets_ref.len(), |r| {
+                r.filter(|&ni| is_cut(&nets_ref[ni])).count()
             })
-            .count()
+            .into_iter()
+            .sum()
+        } else {
+            nets_ref.iter().filter(|pins| is_cut(pins)).count()
+        }
     };
 
     let max_deg = cell_nets.iter().map(Vec::len).max().unwrap_or(1).max(1) as i64;
@@ -230,16 +251,19 @@ fn run_fm_with(
 
     for _pass in 0..passes {
         // Per-net side counts.
-        let mut side_count: Vec<[i32; 2]> = nets
-            .iter()
-            .map(|pins| {
-                let mut sc = [0, 0];
-                for &c in pins {
-                    sc[tiers[c].index()] += 1;
-                }
-                sc
-            })
-            .collect();
+        let side_count_of = |pins: &Vec<usize>, tiers: &[Tier]| -> [i32; 2] {
+            let mut sc = [0, 0];
+            for &c in pins {
+                sc[tiers[c].index()] += 1;
+            }
+            sc
+        };
+        let mut side_count: Vec<[i32; 2]> = if parallel {
+            let tiers_ref = &*tiers;
+            m3d_par::par_map(threads, nets_ref, |_, pins| side_count_of(pins, tiers_ref))
+        } else {
+            nets_ref.iter().map(|pins| side_count_of(pins, tiers)).collect()
+        };
 
         // Initial gains.
         let gain_of = |cell: usize, tiers: &[Tier], side_count: &[[i32; 2]]| -> i64 {
@@ -258,15 +282,20 @@ fn run_fm_with(
             g
         };
 
-        let mut gains: Vec<i64> = (0..n)
-            .map(|c| {
-                if movable[c] {
-                    gain_of(c, tiers, &side_count)
-                } else {
-                    i64::MIN
-                }
-            })
-            .collect();
+        let initial_gain = |c: usize, tiers: &[Tier], side_count: &[[i32; 2]]| -> i64 {
+            if movable[c] {
+                gain_of(c, tiers, side_count)
+            } else {
+                i64::MIN
+            }
+        };
+        let mut gains: Vec<i64> = if parallel {
+            let tiers_ref = &*tiers;
+            let side_count_ref = &side_count;
+            m3d_par::par_map_indices(threads, n, |c| initial_gain(c, tiers_ref, side_count_ref))
+        } else {
+            (0..n).map(|c| initial_gain(c, tiers, &side_count)).collect()
+        };
 
         // Bucket structure: gains in [-max_deg, +max_deg].
         let offset = max_deg;
@@ -481,7 +510,7 @@ mod tests {
         // Check each bin's balance is not absurd.
         let grid = m3d_geom::BinGrid::new(die, 4, 4);
         let mut bin_tier = vec![[0.0_f64; 2]; 16];
-        let mut bin_total = vec![0.0_f64; 16];
+        let mut bin_total = [0.0_f64; 16];
         for (id, cell) in n.cells() {
             if !cell.class.is_gate() {
                 continue;

@@ -117,37 +117,83 @@ fn place_loop(
         })
         .collect();
 
+    // Worker count for the inner kernels. The choice is a function of the
+    // *design size* only (never of the machine), so the same code path —
+    // and the same chunk decomposition — runs at every thread count,
+    // keeping float accumulation orders fixed.
+    let eff_threads = if n >= m3d_par::PAR_THRESHOLD { 0 } else { 1 };
+
+    // Relaxation connectivity, built once: per-net pin lists/weights and
+    // the cell → net incidence in net-index order. The incidence order IS
+    // the accumulation order of the centroid gather below, so per-cell
+    // float sums are reproduced exactly regardless of how many workers
+    // computed the per-net centroids.
+    let mut net_cells: Vec<Vec<usize>> = Vec::with_capacity(netlist.net_count());
+    let mut net_w: Vec<f64> = Vec::with_capacity(netlist.net_count());
+    for (_, net) in netlist.nets() {
+        if net.is_clock || net.degree() < 2 {
+            net_cells.push(Vec::new());
+            net_w.push(0.0);
+        } else {
+            net_cells.push(net.cells().map(|c| c.index()).collect());
+            net_w.push(1.0 / (net.degree() as f64 - 1.0));
+        }
+    }
+    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (ni, pins) in net_cells.iter().enumerate() {
+        for &c in pins {
+            incidence[c].push(ni as u32);
+        }
+    }
+
     for iter in 0..iterations {
         // --- net-centroid relaxation --------------------------------
+        // Two deterministic parallel phases: (1) each net's centroid from
+        // the snapshot, (2) each cell's weighted gather over its incident
+        // nets (fixed order) and damped move. No cross-item dependencies
+        // in either phase.
         for _ in 0..config.relax_sweeps {
             let snapshot = placement.positions.clone();
-            let mut sum = vec![Point::ORIGIN; n];
-            let mut weight = vec![0.0_f64; n];
-            for (_, net) in netlist.nets() {
-                if net.is_clock || net.degree() < 2 {
-                    continue;
+            let snap = &snapshot;
+            let centroids: Vec<Point> = m3d_par::par_map(eff_threads, &net_cells, |_, pins| {
+                if pins.is_empty() {
+                    return Point::ORIGIN;
                 }
-                let w = 1.0 / (net.degree() as f64 - 1.0);
                 let mut centroid = Point::ORIGIN;
                 let mut count = 0.0;
-                for c in net.cells() {
-                    centroid += snapshot[c.index()];
+                for &c in pins {
+                    centroid += snap[c];
                     count += 1.0;
                 }
-                centroid = centroid / count;
-                for c in net.cells() {
-                    sum[c.index()] += centroid * w;
-                    weight[c.index()] += w;
+                centroid / count
+            });
+            let centroids_ref = &centroids;
+            let incidence_ref = &incidence;
+            let net_w_ref = &net_w;
+            let fixed_ref = &fixed;
+            let moved: Vec<Option<Point>> = m3d_par::par_map_indices(eff_threads, n, |i| {
+                if fixed_ref[i] {
+                    return None;
                 }
-            }
-            for i in 0..n {
-                if fixed[i] || weight[i] == 0.0 {
-                    continue;
+                let mut sum = Point::ORIGIN;
+                let mut weight = 0.0_f64;
+                for &ni in &incidence_ref[i] {
+                    let ni = ni as usize;
+                    sum += centroids_ref[ni] * net_w_ref[ni];
+                    weight += net_w_ref[ni];
                 }
-                let target = sum[i] / weight[i];
+                if weight == 0.0 {
+                    return None;
+                }
+                let target = sum / weight;
                 // Damped move toward the connectivity centroid.
-                let cur = placement.positions[i];
-                placement.positions[i] = cur + (target - cur) * 0.7;
+                let cur = snap[i];
+                Some(cur + (target - cur) * 0.7)
+            });
+            for (i, m) in moved.into_iter().enumerate() {
+                if let Some(p) = m {
+                    placement.positions[i] = p;
+                }
             }
             placement.clamp_to_die();
         }
@@ -166,30 +212,51 @@ fn place_loop(
                 (die.lly(), die.height())
             };
             let coord = |p: Point| if axis == 0 { p.x } else { p.y };
-            let mut fill = vec![1e-9_f64; k];
-            for i in 0..n {
-                if areas[i] == 0.0 {
-                    continue;
+            // Histogram fill: per-chunk partial histograms merged in
+            // chunk-index order. The chunk boundaries are a function of
+            // `n` alone, so the summation order is fixed at any thread
+            // count.
+            let positions = &placement.positions;
+            let areas_ref = &areas;
+            let partials = m3d_par::par_ranges(eff_threads, n, |range| {
+                let mut part = vec![0.0_f64; k];
+                for i in range {
+                    if areas_ref[i] == 0.0 {
+                        continue;
+                    }
+                    let f = ((coord(positions[i]) - lo) / span).clamp(0.0, 0.999_999);
+                    part[(f * k as f64) as usize] += areas_ref[i];
                 }
-                let f = ((coord(placement.positions[i]) - lo) / span).clamp(0.0, 0.999_999);
-                fill[(f * k as f64) as usize] += areas[i];
+                part
+            });
+            let mut fill = vec![1e-9_f64; k];
+            for part in partials {
+                for (b, v) in part.into_iter().enumerate() {
+                    fill[b] += v;
+                }
             }
             let total: f64 = fill.iter().sum();
             let mut cum = vec![0.0_f64; k + 1];
             for i in 0..k {
                 cum[i + 1] = cum[i] + fill[i];
             }
-            for i in 0..n {
-                if fixed[i] {
-                    continue;
+            let fill_ref = &fill;
+            let cum_ref = &cum;
+            let fixed_ref = &fixed;
+            let new_coords: Vec<Option<f64>> = m3d_par::par_map_indices(eff_threads, n, |i| {
+                if fixed_ref[i] {
+                    return None;
                 }
-                let c = coord(placement.positions[i]);
+                let c = coord(positions[i]);
                 let f = ((c - lo) / span).clamp(0.0, 0.999_999);
                 let bin = (f * k as f64) as usize;
                 let frac = f * k as f64 - bin as f64;
-                let new_f = (cum[bin] + frac * fill[bin]) / total;
+                let new_f = (cum_ref[bin] + frac * fill_ref[bin]) / total;
                 let target = lo + new_f * span;
-                let moved = c + (target - c) * lambda;
+                Some(c + (target - c) * lambda)
+            });
+            for (i, c) in new_coords.into_iter().enumerate() {
+                let Some(moved) = c else { continue };
                 if axis == 0 {
                     placement.positions[i].x = moved;
                 } else {
@@ -199,8 +266,8 @@ fn place_loop(
         }
         // Small jitter breaks exact coincidences so Tetris rows pack well.
         if iter + 1 == iterations {
-            for i in 0..n {
-                if !fixed[i] {
+            for (i, &fix) in fixed.iter().enumerate() {
+                if !fix {
                     placement.positions[i] += Point::new(
                         rng.gen_range(-0.2..0.2),
                         rng.gen_range(-0.2..0.2),

@@ -33,8 +33,56 @@ pub fn legalize(
 
 struct Row {
     y_center: f64,
-    frontier: f64,
-    obstacles: Vec<(f64, f64)>, // sorted x-intervals
+    /// Sorted, disjoint free x-intervals (die minus keepouts minus already
+    /// placed cells). Interval bookkeeping — rather than a single packing
+    /// frontier — means a slot skipped for one cell stays available for a
+    /// later one, so rows only reject a cell when they are genuinely full.
+    free: Vec<(f64, f64)>,
+}
+
+/// Best slot for a cell of `width` wanting its center at `desired_x`:
+/// `(interval index, left edge, x-displacement)`. Scans outward from the
+/// interval containing `desired_x`; displacement grows monotonically with
+/// distance on each side, so the first fitting interval per side is that
+/// side's optimum.
+fn best_slot(free: &[(f64, f64)], desired_x: f64, width: f64) -> Option<(usize, f64, f64)> {
+    let p = free.partition_point(|&(s, _)| s <= desired_x);
+    let mut best: Option<(usize, f64, f64)> = None;
+    for i in (0..p).rev() {
+        let (s, e) = free[i];
+        if e - s >= width {
+            let x = (desired_x - width * 0.5).clamp(s, e - width);
+            best = Some((i, x, (x + width * 0.5 - desired_x).abs()));
+            break;
+        }
+    }
+    for (i, &(s, e)) in free.iter().enumerate().skip(p) {
+        if e - s >= width {
+            let x = (desired_x - width * 0.5).clamp(s, e - width);
+            let dx = (x + width * 0.5 - desired_x).abs();
+            if best.is_none_or(|(_, _, b)| dx < b) {
+                best = Some((i, x, dx));
+            }
+            break;
+        }
+    }
+    best
+}
+
+/// Carves `[x, x + width)` out of `row.free[slot]`, keeping the interval
+/// list sorted and disjoint.
+fn occupy(row: &mut Row, slot: usize, x: f64, width: f64) {
+    let (s, e) = row.free[slot];
+    let eps = 1e-9;
+    row.free.remove(slot);
+    let mut at = slot;
+    if x - s > eps {
+        row.free.insert(at, (s, x));
+        at += 1;
+    }
+    if e - (x + width) > eps {
+        row.free.insert(at, (x + width, e));
+    }
 }
 
 fn legalize_tier(
@@ -61,10 +109,20 @@ fn legalize_tier(
                 .map(|k| (k.llx(), k.urx()))
                 .collect();
             obstacles.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut free = Vec::new();
+            let mut x = die.llx();
+            for &(ox0, ox1) in &obstacles {
+                if ox0 > x {
+                    free.push((x, ox0.min(die.urx())));
+                }
+                x = x.max(ox1);
+            }
+            if x < die.urx() {
+                free.push((x, die.urx()));
+            }
             Row {
                 y_center: y0 + row_h * 0.5,
-                frontier: die.llx(),
-                obstacles,
+                free,
             }
         })
         .collect();
@@ -99,43 +157,59 @@ fn legalize_tier(
             .clamp(0, n_rows as isize - 1) as usize;
         let lo = ideal_row.saturating_sub(search_span);
         let hi = (ideal_row + search_span).min(n_rows - 1);
-        let mut best: Option<(usize, f64, f64)> = None; // (row, x, cost)
-        for (r, row) in rows.iter().enumerate().take(hi + 1).skip(lo) {
-            let mut x = row.frontier.max(desired.x - width * 0.5);
-            // Skip obstacles.
-            for &(ox0, ox1) in &row.obstacles {
-                if x < ox1 && x + width > ox0 {
-                    x = ox1;
+        let mut best: Option<(usize, usize, f64, f64)> = None; // (row, slot, x, cost)
+        let consider = |range: std::ops::Range<usize>, best: &mut Option<(usize, usize, f64, f64)>| {
+            for r in range {
+                let row = &rows[r];
+                let dy = (row.y_center - desired.y).abs();
+                if let Some((slot, x, dx)) = best_slot(&row.free, desired.x, width) {
+                    let cost = dx + dy;
+                    if best.is_none_or(|(_, _, _, c)| cost < c) {
+                        *best = Some((r, slot, x, cost));
+                    }
                 }
             }
-            if x + width > die.urx() {
-                continue;
+        };
+        consider(lo..hi + 1, &mut best);
+        if best.is_none() {
+            // Every nearby row is full; widen to the whole die.
+            consider(0..n_rows, &mut best);
+        }
+        match best {
+            Some((r, slot, x, _)) => {
+                placement.positions[idx] = m3d_geom::Point::new(x + width * 0.5, rows[r].y_center);
+                occupy(&mut rows[r], slot, x, width);
             }
-            let cost = (x + width * 0.5 - desired.x).abs() + (row.y_center - desired.y).abs();
-            if best.is_none_or(|(_, _, c)| cost < c) {
-                best = Some((r, x, cost));
+            None => {
+                // No free slot fits the cell anywhere: true capacity
+                // exhaustion. Overlap minimally into the largest remaining
+                // gap (a bounded local overlap beats a cell escaping the
+                // die outline).
+                let mut widest: Option<(f64, usize, usize)> = None;
+                for (r, row) in rows.iter().enumerate() {
+                    for (slot, &(s, e)) in row.free.iter().enumerate() {
+                        let len = e - s;
+                        if widest.is_none_or(|(best_len, _, _)| len > best_len) {
+                            widest = Some((len, r, slot));
+                        }
+                    }
+                }
+                let (r, slot) = widest.map_or((ideal_row, usize::MAX), |(_, r, s)| (r, s));
+                if slot == usize::MAX {
+                    // Not even a gap left; pin to the die edge of the
+                    // ideal row.
+                    let x = (desired.x - width * 0.5).clamp(die.llx(), die.urx() - width);
+                    placement.positions[idx] =
+                        m3d_geom::Point::new(x + width * 0.5, rows[ideal_row].y_center);
+                } else {
+                    let (s, _) = rows[r].free[slot];
+                    let x = s.min(die.urx() - width).max(die.llx());
+                    placement.positions[idx] =
+                        m3d_geom::Point::new(x + width * 0.5, rows[r].y_center);
+                    rows[r].free.remove(slot);
+                }
             }
         }
-        // Fallback: the emptiest row anywhere, clamped into the die (a
-        // local overlap beats a cell escaping the outline when every
-        // nearby row is saturated).
-        let (r, x) = match best {
-            Some((r, x, _)) => (r, x),
-            None => {
-                let (r, row) = rows
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| {
-                        a.1.frontier
-                            .partial_cmp(&b.1.frontier)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("at least one row");
-                (r, row.frontier.min(die.urx() - width).max(die.llx()))
-            }
-        };
-        placement.positions[idx] = m3d_geom::Point::new(x + width * 0.5, rows[r].y_center);
-        rows[r].frontier = x + width;
     }
 }
 

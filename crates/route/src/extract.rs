@@ -21,28 +21,35 @@ pub fn extract_parasitics(
 ) -> Parasitics {
     let per_um = stack.metal.estimate_rc_per_um();
     let miv = stack.metal.miv;
-    let models = netlist
-        .nets()
-        .map(|(id, net)| {
-            if net.is_clock || net.degree() < 2 {
-                return NetModel::default();
+    let n = netlist.net_count();
+    // Each model is a pure function of one net, so the map fans out across
+    // threads; results come back in net-id order either way.
+    let workers = if n >= m3d_par::PAR_THRESHOLD {
+        m3d_par::resolve(0)
+    } else {
+        1
+    };
+    let models = m3d_par::par_map_indices(workers, n, |k| {
+        let id = m3d_netlist::NetId::from_index(k);
+        let net = netlist.net(id);
+        if net.is_clock || net.degree() < 2 {
+            return NetModel::default();
+        }
+        let (length, mivs) = match routing {
+            Some(r) => {
+                let rn = r.nets[id.index()];
+                (rn.length_um, rn.mivs)
             }
-            let (length, mivs) = match routing {
-                Some(r) => {
-                    let rn = r.nets[id.index()];
-                    (rn.length_um, rn.mivs)
-                }
-                None => (placement.net_steiner(netlist, id), 0),
-            };
-            let r_kohm = per_um.r_kohm * length + miv.r_kohm * mivs as f64;
-            let c_ff = per_um.c_ff * length + miv.c_ff * mivs as f64;
-            NetModel {
-                wire_cap_ff: c_ff,
-                // Distributed line: Elmore ≈ R·C/2; kΩ·fF = ps.
-                wire_delay_ns: 0.5 * r_kohm * c_ff * 1e-3,
-            }
-        })
-        .collect();
+            None => (placement.net_steiner(netlist, id), 0),
+        };
+        let r_kohm = per_um.r_kohm * length + miv.r_kohm * mivs as f64;
+        let c_ff = per_um.c_ff * length + miv.c_ff * mivs as f64;
+        NetModel {
+            wire_cap_ff: c_ff,
+            // Distributed line: Elmore ≈ R·C/2; kΩ·fF = ps.
+            wire_delay_ns: 0.5 * r_kohm * c_ff * 1e-3,
+        }
+    });
     Parasitics::from_models(netlist, models)
 }
 

@@ -174,33 +174,46 @@ pub fn global_route(
     let k = config.congestion_exponent;
     let mut nets = vec![RoutedNet::default(); netlist.net_count()];
 
-    // Order: short nets first (they have the least flexibility).
-    let mut order: Vec<NetId> = netlist
+    let candidates: Vec<NetId> = netlist
         .nets()
         .filter(|(_, n)| !n.is_clock && n.degree() >= 2)
         .map(|(id, _)| id)
         .collect();
-    order.sort_by(|a, b| {
-        placement
-            .net_hpwl(netlist, *a)
-            .partial_cmp(&placement.net_hpwl(netlist, *b))
-            .unwrap_or(std::cmp::Ordering::Equal)
+    // Per-net work below is pure, so thread-gating it is determinism-safe:
+    // parallel and sequential paths produce identical values per item.
+    let workers = if candidates.len() >= m3d_par::PAR_THRESHOLD {
+        m3d_par::resolve(0)
+    } else {
+        1
+    };
+
+    // Order: short nets first (they have the least flexibility). The sort
+    // keys are computed in parallel; the stable index sort below yields the
+    // same permutation as sorting the ids directly.
+    let hpwl = m3d_par::par_map(workers, &candidates, |_, &id| placement.net_hpwl(netlist, id));
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| hpwl[a].partial_cmp(&hpwl[b]).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Phase 1 (parallel): per-net topology — pin positions, Prim tree, MIV
+    // count. None of it depends on congestion, so every net's plan can be
+    // built concurrently.
+    let plans: Vec<NetPlan> = m3d_par::par_map(workers, &order, |_, &ix| {
+        plan_net(netlist, placement, tiers, candidates[ix])
     });
 
-    for &net_id in &order {
-        let routed = route_net(netlist, placement, tiers, &mut grid, net_id, k, false);
-        nets[net_id.index()] = routed;
+    // Phase 2 (sequential): commit each plan to the shared congestion grid
+    // in HPWL order — demand evolution defines the result, so this order is
+    // the contract.
+    for plan in &plans {
+        nets[plan.net.index()] = route_plan(&mut grid, plan, k, false);
     }
 
-    // Second pass: reroute congested nets with Z-shape exploration.
-    let congested: Vec<NetId> = order
-        .iter()
-        .copied()
-        .filter(|id| nets[id.index()].congested)
-        .collect();
-    for net_id in congested {
-        let routed = route_net(netlist, placement, tiers, &mut grid, net_id, k, true);
-        nets[net_id.index()] = routed;
+    // Second pass: reroute congested nets with Z-shape exploration. The
+    // tree is congestion-independent, so the phase-1 plan is reused.
+    for plan in &plans {
+        if nets[plan.net.index()].congested {
+            nets[plan.net.index()] = route_plan(&mut grid, plan, k, true);
+        }
     }
 
     let total_wirelength_um = nets.iter().map(|n| n.length_um).sum();
@@ -235,15 +248,18 @@ pub fn global_route(
     }
 }
 
-fn route_net(
-    netlist: &Netlist,
-    placement: &Placement,
-    tiers: &[Tier],
-    grid: &mut Grid,
-    net_id: NetId,
-    k: f64,
-    try_z: bool,
-) -> RoutedNet {
+/// Congestion-independent routing plan for one net: pin positions, Prim
+/// spanning-tree edges and the MIV count those edges imply. Building a
+/// plan is pure per-net work, which is what lets `global_route` fan the
+/// planning phase out across threads.
+struct NetPlan {
+    net: NetId,
+    pts: Vec<Point>,
+    edges: Vec<(usize, usize)>,
+    mivs: u32,
+}
+
+fn plan_net(netlist: &Netlist, placement: &Placement, tiers: &[Tier], net_id: NetId) -> NetPlan {
     let net = netlist.net(net_id);
     let cells: Vec<_> = net.cells().collect();
     let pts: Vec<Point> = cells
@@ -252,7 +268,12 @@ fn route_net(
         .collect();
     let n = pts.len();
     if n < 2 {
-        return RoutedNet::default();
+        return NetPlan {
+            net: net_id,
+            pts,
+            edges: Vec::new(),
+            mivs: 0,
+        };
     }
 
     // Prim spanning tree from the driver (index 0).
@@ -289,19 +310,29 @@ fn route_net(
         }
     }
 
+    let mivs = edges
+        .iter()
+        .filter(|&&(a, b)| tiers[cells[a].index()] != tiers[cells[b].index()])
+        .count() as u32;
+    NetPlan {
+        net: net_id,
+        pts,
+        edges,
+        mivs,
+    }
+}
+
+/// Commits one plan to the congestion grid, routing each tree edge as the
+/// cheaper L (or Z when `try_z`) under the grid's current demand.
+fn route_plan(grid: &mut Grid, plan: &NetPlan, k: f64, try_z: bool) -> RoutedNet {
     let mut length = 0.0;
-    let mut mivs = 0u32;
     let mut congested = false;
-    for &(a, b) in &edges {
-        let (pa, pb) = (pts[a], pts[b]);
-        length += route_edge(grid, pa, pb, k, try_z, &mut congested);
-        if tiers[cells[a].index()] != tiers[cells[b].index()] {
-            mivs += 1;
-        }
+    for &(a, b) in &plan.edges {
+        length += route_edge(grid, plan.pts[a], plan.pts[b], k, try_z, &mut congested);
     }
     RoutedNet {
         length_um: length,
-        mivs,
+        mivs: plan.mivs,
         congested,
     }
 }

@@ -79,28 +79,145 @@ fn net_load_ff(ctx: &TimingContext<'_>, net: NetId) -> f64 {
     load
 }
 
+/// Computes a gate's worst arrival, worst input pin and output slew from
+/// the (already final) arrivals/slews of its drivers. Pure with respect to
+/// the gate: two calls with the same inputs return identical values, which
+/// is what makes the level-parallel forward pass deterministic.
+fn forward_gate(
+    ctx: &TimingContext<'_>,
+    net_load: &[f64],
+    arrival: &[f64],
+    slew: &[f64],
+    id: CellId,
+) -> (f64, u8, f64) {
+    let netlist = ctx.netlist;
+    let i = id.index();
+    let cell = netlist.cell(id);
+    let (kind, drive) = match &cell.class {
+        CellClass::Gate { kind, drive } => (*kind, *drive),
+        _ => unreachable!("combinational order yields gates"),
+    };
+    let master = ctx.library(i).cell(kind, drive);
+    let load = cell
+        .outputs
+        .first()
+        .copied()
+        .flatten()
+        .map_or(0.0, |net| net_load[net.index()]);
+
+    let mut best_at = 0.0_f64;
+    let mut best_pin = u8::MAX;
+    let mut best_slew = ctx.clock.input_slew_ns;
+    for (pin, slot) in cell.inputs.iter().enumerate() {
+        let Some(net) = slot else { continue };
+        if netlist.net(*net).is_clock {
+            continue;
+        }
+        let Some(drv) = netlist.net(*net).driver else {
+            continue;
+        };
+        let j = drv.cell.index();
+        let wire = ctx.parasitics.net(*net).wire_delay_ns;
+        let at_in = arrival[j] + wire;
+        let slew_in = slew[j];
+        let (arc_delay, out_slew) = match master {
+            Some(m) => (m.delay(slew_in, load), m.output_slew(slew_in, load)),
+            None => (0.0, slew_in),
+        };
+        let at_out = at_in + arc_delay;
+        if at_out > best_at || best_pin == u8::MAX {
+            best_at = at_out;
+            best_pin = pin as u8;
+            best_slew = out_slew;
+        }
+    }
+    (best_at, best_pin, best_slew)
+}
+
+/// Computes a cell's required time from the (already final) required times
+/// of its combinational sinks and the endpoint RATs. Shared by the
+/// level-parallel backward pass and the launch-cell pass.
+fn required_of_net(
+    ctx: &TimingContext<'_>,
+    net_load: &[f64],
+    slew_i: f64,
+    required: &[f64],
+    endpoint_rat: &[f64],
+    out_net: NetId,
+) -> f64 {
+    let netlist = ctx.netlist;
+    let mut rat = f64::INFINITY;
+    let wire = ctx.parasitics.net(out_net).wire_delay_ns;
+    for sink in &netlist.net(out_net).sinks {
+        let j = sink.cell.index();
+        let sink_cell = netlist.cell(sink.cell);
+        let candidate = match &sink_cell.class {
+            CellClass::Gate { kind, drive } if !kind.is_sequential() => {
+                let load = sink_cell
+                    .outputs
+                    .first()
+                    .copied()
+                    .flatten()
+                    .map_or(0.0, |net| net_load[net.index()]);
+                let arc = ctx
+                    .library(j)
+                    .cell(*kind, *drive)
+                    .map_or(0.0, |m| m.delay(slew_i, load));
+                required[j] - arc
+            }
+            // Endpoint sinks (registers on D, macros, POs) carry their
+            // own RAT.
+            _ => endpoint_rat[j],
+        };
+        rat = rat.min(candidate - wire);
+    }
+    rat
+}
+
 /// Runs a full forward (arrival/slew) and backward (required) propagation.
 ///
 /// Clock nets are excluded from data timing; sequential cells launch at
 /// their clock latency + clk→Q and capture at `period + latency − setup`.
+///
+/// Both propagations are **level-parallel**: gates are grouped by logic
+/// depth, and gates within one level (which cannot depend on each other)
+/// are evaluated concurrently, each reading only finalized previous-level
+/// values. Results are scattered per gate, so the arrays are bit-identical
+/// to the sequential pass at any thread count; designs below
+/// `m3d_par::PAR_THRESHOLD` cells skip threading entirely.
 #[must_use]
 pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     let netlist = ctx.netlist;
     let n = netlist.cell_count();
     let period = ctx.clock.period_ns;
+    let threads = m3d_par::resolve(0);
+    let parallel = threads > 1 && n >= m3d_par::PAR_THRESHOLD;
 
     let mut arrival = vec![0.0_f64; n];
     let mut slew = vec![ctx.clock.input_slew_ns; n];
     let mut required = vec![f64::INFINITY; n];
     let mut worst_input = vec![u8::MAX; n];
 
-    // Cache per-net loads (signal nets only).
-    let mut net_load = vec![0.0_f64; netlist.net_count()];
-    for (id, net) in netlist.nets() {
-        if !net.is_clock {
-            net_load[id.index()] = net_load_ff(ctx, id);
+    // Cache per-net loads (signal nets only). Each net's load is
+    // independent, so the parallel map equals the sequential loop exactly.
+    let net_load: Vec<f64> = if parallel {
+        m3d_par::par_map_indices(threads, netlist.net_count(), |k| {
+            let id = NetId::from_index(k);
+            if netlist.net(id).is_clock {
+                0.0
+            } else {
+                net_load_ff(ctx, id)
+            }
+        })
+    } else {
+        let mut loads = vec![0.0_f64; netlist.net_count()];
+        for (id, net) in netlist.nets() {
+            if !net.is_clock {
+                loads[id.index()] = net_load_ff(ctx, id);
+            }
         }
-    }
+        loads
+    };
 
     // ---- launch points -------------------------------------------------
     for (id, cell) in netlist.cells() {
@@ -140,29 +257,20 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     }
 
     // ---- forward pass over combinational gates -------------------------
+    // Group the topological order into logic levels: level(g) = 1 + max
+    // level over g's combinational drivers (launch points are level 0).
+    // Gates within one level never feed each other, so evaluating a level
+    // concurrently — each gate reading only finalized lower-level values —
+    // produces exactly the sequential pass's arrays.
     let order = netlist
         .combinational_order()
         .expect("netlist validated before timing");
+    let mut comb_level = vec![usize::MAX; n];
+    let mut levels: Vec<Vec<CellId>> = Vec::new();
     for &id in &order {
         let i = id.index();
-        let cell = netlist.cell(id);
-        let (kind, drive) = match &cell.class {
-            CellClass::Gate { kind, drive } => (*kind, *drive),
-            _ => unreachable!("combinational order yields gates"),
-        };
-        let lib = ctx.library(i);
-        let master = lib.cell(kind, drive);
-        let load = cell
-            .outputs
-            .first()
-            .copied()
-            .flatten()
-            .map_or(0.0, |net| net_load[net.index()]);
-
-        let mut best_at = 0.0_f64;
-        let mut best_pin = u8::MAX;
-        let mut best_slew = ctx.clock.input_slew_ns;
-        for (pin, slot) in cell.inputs.iter().enumerate() {
+        let mut level = 0usize;
+        for slot in &netlist.cell(id).inputs {
             let Some(net) = slot else { continue };
             if netlist.net(*net).is_clock {
                 continue;
@@ -171,23 +279,35 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
                 continue;
             };
             let j = drv.cell.index();
-            let wire = ctx.parasitics.net(*net).wire_delay_ns;
-            let at_in = arrival[j] + wire;
-            let slew_in = slew[j];
-            let (arc_delay, out_slew) = match master {
-                Some(m) => (m.delay(slew_in, load), m.output_slew(slew_in, load)),
-                None => (0.0, slew_in),
-            };
-            let at_out = at_in + arc_delay;
-            if at_out > best_at || best_pin == u8::MAX {
-                best_at = at_out;
-                best_pin = pin as u8;
-                best_slew = out_slew;
+            if comb_level[j] != usize::MAX {
+                level = level.max(comb_level[j] + 1);
             }
         }
-        arrival[i] = best_at;
-        slew[i] = best_slew;
-        worst_input[i] = best_pin;
+        comb_level[i] = level;
+        if levels.len() <= level {
+            levels.resize_with(level + 1, Vec::new);
+        }
+        levels[level].push(id);
+    }
+    for level in &levels {
+        if parallel && level.len() >= 2 {
+            let results =
+                m3d_par::par_map(threads, level, |_, &id| forward_gate(ctx, &net_load, &arrival, &slew, id));
+            for (&id, (at, pin, out_slew)) in level.iter().zip(results) {
+                let i = id.index();
+                arrival[i] = at;
+                slew[i] = out_slew;
+                worst_input[i] = pin;
+            }
+        } else {
+            for &id in level {
+                let (at, pin, out_slew) = forward_gate(ctx, &net_load, &arrival, &slew, id);
+                let i = id.index();
+                arrival[i] = at;
+                slew[i] = out_slew;
+                worst_input[i] = pin;
+            }
+        }
     }
 
     // ---- endpoint arrivals, required times ------------------------------
@@ -218,24 +338,27 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
         arrival[drv.cell.index()] + ctx.parasitics.net(*net).wire_delay_ns
     }
 
-    for (id, cell) in netlist.cells() {
-        let i = id.index();
-        let (is_endpoint, setup, data_pins) = match &cell.class {
+    // Per-endpoint RAT/arrival pairs are independent; compute them (in
+    // parallel for large designs), then fold the scalar statistics in
+    // fixed cell-index order so WNS/TNS accumulate identically at any
+    // thread count.
+    let endpoint_eval = |i: usize| -> Option<(f64, f64, bool)> {
+        let id = CellId::from_index(i);
+        let cell = netlist.cell(id);
+        let (setup, data_pins) = match &cell.class {
             CellClass::Gate { kind, drive } if kind.is_sequential() => {
                 let setup = ctx
                     .library(i)
                     .cell(*kind, *drive)
                     .map_or(0.03, |m| m.setup_ns);
-                (true, setup, cell.inputs.len().saturating_sub(1))
+                (setup, cell.inputs.len().saturating_sub(1))
             }
-            CellClass::Macro(spec) => (true, spec.setup_ns, cell.inputs.len().saturating_sub(1)),
-            CellClass::PrimaryOutput => (true, 0.0, cell.inputs.len()),
-            _ => (false, 0.0, 0),
+            CellClass::Macro(spec) => (spec.setup_ns, cell.inputs.len().saturating_sub(1)),
+            CellClass::PrimaryOutput => (0.0, cell.inputs.len()),
+            _ => return None,
         };
-        if !is_endpoint {
-            continue;
-        }
-        let io_latency = if matches!(cell.class, CellClass::PrimaryOutput) {
+        let is_po = matches!(cell.class, CellClass::PrimaryOutput);
+        let io_latency = if is_po {
             ctx.clock.virtual_io_latency_ns
         } else {
             ctx.clock.latency(i)
@@ -245,11 +368,22 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
         for pin in 0..data_pins {
             worst_at = worst_at.max(input_arrival(ctx, &arrival, id, pin));
         }
+        Some((rat, worst_at, is_po))
+    };
+    let evaluated: Vec<Option<(f64, f64, bool)>> = if parallel {
+        m3d_par::par_map_indices(threads, n, endpoint_eval)
+    } else {
+        (0..n).map(endpoint_eval).collect()
+    };
+    for (i, ev) in evaluated.into_iter().enumerate() {
+        let Some((rat, worst_at, is_po)) = ev else {
+            continue;
+        };
         // Endpoint quantities live in their own vectors so launch
         // arrivals (Q-pin) are not clobbered for registers/macros.
         endpoint_rat[i] = rat;
         endpoint_slack[i] = rat - worst_at;
-        if matches!(cell.class, CellClass::PrimaryOutput) {
+        if is_po {
             // POs have no launch side; reuse the shared vectors.
             arrival[i] = worst_at;
             required[i] = rat;
@@ -262,7 +396,7 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
             tns += s;
             violations += 1;
         }
-        endpoints_v.push((id, s));
+        endpoints_v.push((CellId::from_index(i), s));
     }
     if endpoints_v.is_empty() {
         wns = 0.0;
@@ -272,78 +406,76 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     // required(output of cell) = min over sinks of:
     //   endpoint: rat(endpoint) - wire
     //   comb sink: required(sink output) - arc_delay(sink via that pin) - wire
-    for &id in order.iter().rev() {
-        let i = id.index();
+    // A gate's combinational sinks always sit at a strictly deeper level,
+    // so walking the forward levels in reverse gives the same dependency
+    // guarantee as reverse topological order — and within a level the
+    // computations are independent and run concurrently.
+    let backward_eval = |id: CellId, required: &[f64]| -> Option<f64> {
         let cell = netlist.cell(id);
-        let Some(out_net) = cell.outputs.first().copied().flatten() else {
-            continue;
-        };
-        let mut rat = f64::INFINITY;
-        let wire = ctx.parasitics.net(out_net).wire_delay_ns;
-        for sink in &netlist.net(out_net).sinks {
-            let j = sink.cell.index();
-            let sink_cell = netlist.cell(sink.cell);
-            let candidate = match &sink_cell.class {
-                CellClass::Gate { kind, drive } if !kind.is_sequential() => {
-                    let load = sink_cell
-                        .outputs
-                        .first()
-                        .copied()
-                        .flatten()
-                        .map_or(0.0, |net| net_load[net.index()]);
-                    let arc = ctx
-                        .library(j)
-                        .cell(*kind, *drive)
-                        .map_or(0.0, |m| m.delay(slew[i], load));
-                    required[j] - arc
+        let out_net = cell.outputs.first().copied().flatten()?;
+        Some(required_of_net(
+            ctx,
+            &net_load,
+            slew[id.index()],
+            required,
+            &endpoint_rat,
+            out_net,
+        ))
+    };
+    for level in levels.iter().rev() {
+        if parallel && level.len() >= 2 {
+            let required_ref = &required;
+            let results = m3d_par::par_map(threads, level, |_, &id| backward_eval(id, required_ref));
+            for (&id, rat) in level.iter().zip(results) {
+                if let Some(rat) = rat {
+                    required[id.index()] = rat;
                 }
-                // Endpoint sinks (registers on D, macros, POs) carry their
-                // own RAT.
-                _ => endpoint_rat[j],
-            };
-            rat = rat.min(candidate - wire);
+            }
+        } else {
+            for &id in level {
+                if let Some(rat) = backward_eval(id, &required) {
+                    required[id.index()] = rat;
+                }
+            }
         }
-        required[i] = rat;
     }
     // Launch cells (registers' Q, macros' outputs, PIs): required from
     // their fanout, same formula, so that their slack is also defined.
-    for (id, cell) in netlist.cells() {
-        let i = id.index();
+    // Independent per cell (they only read combinational required times).
+    let launch_eval = |i: usize| -> Option<f64> {
+        let id = CellId::from_index(i);
+        let cell = netlist.cell(id);
         let is_launch = matches!(&cell.class, CellClass::PrimaryInput)
             || cell.is_sequential()
             || cell.class.is_macro();
         if !is_launch {
-            continue;
+            return None;
         }
         let mut rat = f64::INFINITY;
         for out_net in cell.output_nets() {
             if netlist.net(out_net).is_clock {
                 continue;
             }
-            let wire = ctx.parasitics.net(out_net).wire_delay_ns;
-            for sink in &netlist.net(out_net).sinks {
-                let j = sink.cell.index();
-                let sink_cell = netlist.cell(sink.cell);
-                let candidate = match &sink_cell.class {
-                    CellClass::Gate { kind, drive } if !kind.is_sequential() => {
-                        let load = sink_cell
-                            .outputs
-                            .first()
-                            .copied()
-                            .flatten()
-                            .map_or(0.0, |net| net_load[net.index()]);
-                        let arc = ctx
-                            .library(j)
-                            .cell(*kind, *drive)
-                            .map_or(0.0, |m| m.delay(slew[i], load));
-                        required[j] - arc
-                    }
-                    _ => endpoint_rat[j],
-                };
-                rat = rat.min(candidate - wire);
-            }
+            rat = rat.min(required_of_net(
+                ctx,
+                &net_load,
+                slew[i],
+                &required,
+                &endpoint_rat,
+                out_net,
+            ));
         }
-        required[i] = rat;
+        Some(rat)
+    };
+    let launch_required: Vec<Option<f64>> = if parallel {
+        m3d_par::par_map_indices(threads, n, launch_eval)
+    } else {
+        (0..n).map(launch_eval).collect()
+    };
+    for (i, rat) in launch_required.into_iter().enumerate() {
+        if let Some(rat) = rat {
+            required[i] = rat;
+        }
     }
 
     // Per-cell worst slack through the cell: launch/output side, min'd

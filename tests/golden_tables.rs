@@ -1,0 +1,144 @@
+//! Golden snapshot tests for the paper-table renderers (Tables VI / VII).
+//!
+//! A fixed-seed AES comparison is rendered through `m3d-report` and
+//! compared against a checked-in snapshot. The flow is deterministic by
+//! construction (see `tests/determinism.rs`), so any diff here means a
+//! behavioural change in the flow or the formatters — update the snapshot
+//! deliberately (regenerate with
+//! `cargo test --test golden_tables -- --ignored --nocapture`), never to
+//! silence an unexplained change.
+
+use hetero3d::cost::CostModel;
+use hetero3d::flow::{compare_configs, Comparison, FlowOptions};
+use hetero3d::netgen::Benchmark;
+use hetero3d::report::{format_comparison, format_table7};
+
+fn comparison() -> Comparison {
+    let netlist = Benchmark::Aes.generate(0.012, 41);
+    let mut options = FlowOptions::default();
+    options.placer.iterations = 6;
+    compare_configs(&netlist, &options, &CostModel::default())
+}
+
+const GOLDEN_TABLE6: &str = "\
+Metric             Units         aes
+------------------------------------
+Frequency            GHz       2.565
+Area                 mm2      0.0005
+Chip Width            um          16
+Density                %          66
+WL                    mm        2.49
+# MIVs                           131
+Total Power           mW        0.68
+WNS                   ns      -0.001
+TNS                   ns       -0.00
+Effective Delay       ns       0.391
+PDP                   pJ        0.27
+Die Cost         1e-6 C'       0.009
+PPC                       433252.295
+";
+
+const GOLDEN_TABLE7: &str = "\
+### vs 2D 9-Track
+Metric             aes
+----------------------
+Si Area %        -56.7
+Density %         -5.4
+WL %             -29.3
+Total Power %    -30.9
+Eff. Delay %     -13.8
+PDP %            -40.4
+Die Cost %       -50.7
+Cost per cm2 %   13.63
+PPC %            240.5
+Width (um)          34
+WNS (ns)        -0.064
+TNS (ns)         -0.45
+
+### vs 2D 12-Track
+Metric            aes
+---------------------
+Si Area %         0.8
+Density %        -5.4
+WL %             -8.3
+Total Power %   -15.5
+Eff. Delay %      7.7
+PDP %            -8.9
+Die Cost %       14.6
+Cost per cm2 %  13.67
+PPC %            -4.2
+Width (um)         22
+WNS (ns)        0.027
+TNS (ns)         0.00
+
+### vs M3D 9-Track
+Metric             aes
+----------------------
+Si Area %        -32.0
+Density %         -5.4
+WL %              36.8
+Total Power %     23.2
+Eff. Delay %     -22.8
+PDP %             -4.9
+Die Cost %       -32.0
+Cost per cm2 %   -0.01
+PPC %             54.6
+Width (um)          19
+WNS (ns)        -0.117
+TNS (ns)         -0.49
+
+### vs M3D 12-Track
+Metric            aes
+---------------------
+Si Area %         0.8
+Density %        -5.4
+WL %             18.6
+Total Power %   -15.1
+Eff. Delay %     10.9
+PDP %            -5.8
+Die Cost %        0.8
+Cost per cm2 %   0.00
+PPC %             5.3
+Width (um)         16
+WNS (ns)        0.037
+TNS (ns)         0.00
+";
+
+fn assert_snapshot(actual: &str, golden: &str, table: &str) {
+    let a = actual.trim_end();
+    let g = golden.trim_end();
+    if a != g {
+        for (i, (al, gl)) in a.lines().zip(g.lines()).enumerate() {
+            assert_eq!(al, gl, "{table}: first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            a.lines().count(),
+            g.lines().count(),
+            "{table}: line count changed"
+        );
+    }
+}
+
+#[test]
+fn table6_metric_rows_match_golden() {
+    let cmp = comparison();
+    assert_snapshot(&format_comparison(&[&cmp]), GOLDEN_TABLE6, "Table VI");
+}
+
+#[test]
+fn table7_delta_rows_match_golden() {
+    let cmp = comparison();
+    assert_snapshot(&format_table7(&[&cmp]), GOLDEN_TABLE7, "Table VII");
+}
+
+/// Regenerates the snapshots above:
+/// `cargo test --test golden_tables -- --ignored --nocapture`
+#[test]
+#[ignore]
+fn print_golden() {
+    let cmp = comparison();
+    println!("===TABLE6===");
+    println!("{}", format_comparison(&[&cmp]));
+    println!("===TABLE7===");
+    println!("{}", format_table7(&[&cmp]));
+}

@@ -108,6 +108,10 @@ proptest! {
     }
 }
 
+fn config_tolerance() -> f64 {
+    PartitionConfig::default().balance_tolerance
+}
+
 proptest! {
     // Heavier properties with fewer cases.
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -129,6 +133,64 @@ proptest! {
         let [a, b] = tier_areas(&areas, &tiers);
         let unb = (a - b).abs() / (a + b);
         prop_assert!(unb <= config.balance_tolerance + 0.02, "unbalance {unb}");
+    }
+
+    #[test]
+    fn fm_passes_never_increase_cut(seed in 0u64..50, passes in 1usize..6) {
+        // Each completed FM pass applies the best prefix of its move
+        // sequence (or reverts to the pass's starting partition), so the
+        // cut is monotone non-increasing in the pass count — from the
+        // seeded partition (`passes = 0`) onwards. This exercises the
+        // parallel gain/cut kernels: the invariant must hold at any
+        // thread count.
+        let n = hetero3d::netgen::Benchmark::Aes.generate(0.015, seed);
+        let areas: Vec<f64> = n
+            .cells()
+            .map(|(_, c)| if c.class.is_gate() { 1.0 } else { 0.0 })
+            .collect();
+        let locked = vec![false; n.cell_count()];
+        let cut_after = |p: usize| {
+            let mut tiers = vec![Tier::Bottom; n.cell_count()];
+            let config = PartitionConfig { seed, passes: p, ..Default::default() };
+            (min_cut(&n, &areas, &locked, &mut tiers, &config), tiers)
+        };
+        let (seed_cut, _) = cut_after(0);
+        let mut prev = seed_cut;
+        for p in 1..=passes {
+            let (cut, tiers) = cut_after(p);
+            prop_assert!(cut <= prev, "pass {p} raised the cut: {cut} > {prev}");
+            prop_assert_eq!(cut, cut_size(&n, &tiers));
+            // Balance holds after every prefix of passes, not just the last.
+            let [a, b] = tier_areas(&areas, &tiers);
+            let unb = (a - b).abs() / (a + b);
+            prop_assert!(unb <= config_tolerance() + 0.02, "unbalance {unb}");
+            prev = cut;
+        }
+    }
+
+    #[test]
+    fn fm_is_thread_count_invariant(seed in 0u64..30) {
+        // The FM kernels (cut evaluation, per-cell gain seeding) fan out
+        // across threads; the partition they produce must be bit-identical
+        // to the sequential one.
+        let n = hetero3d::netgen::Benchmark::Ldpc.generate(0.02, seed);
+        let areas: Vec<f64> = n
+            .cells()
+            .map(|(_, c)| if c.class.is_gate() { 1.0 } else { 0.0 })
+            .collect();
+        let locked = vec![false; n.cell_count()];
+        let run = |threads: usize| {
+            hetero3d::par::set_threads(threads);
+            let mut tiers = vec![Tier::Bottom; n.cell_count()];
+            let config = PartitionConfig { seed, ..Default::default() };
+            let cut = min_cut(&n, &areas, &locked, &mut tiers, &config);
+            hetero3d::par::set_threads(0);
+            (cut, tiers)
+        };
+        let (seq_cut, seq_tiers) = run(1);
+        let (par_cut, par_tiers) = run(4);
+        prop_assert_eq!(seq_cut, par_cut);
+        prop_assert_eq!(seq_tiers, par_tiers);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — as a plain
+//! wall-clock harness: each benchmark runs `sample_size` timed samples
+//! after a warm-up pass and reports min / median / mean per iteration.
+//! There is no statistical machinery; the numbers are honest wall-clock
+//! medians, which is what the flow-speedup regression harness needs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: one untimed sample (fills caches, faults pages).
+        let mut warm = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut warm);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let min = samples.first().copied().unwrap_or(0.0);
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        println!(
+            "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing collector.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo-bench passes `--bench` (and possibly filters); this
+            // harness runs everything and ignores the arguments.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // 1 warm-up + 3 samples, one iter() call each.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(fmt_time(2.5).ends_with(" s"));
+        assert!(fmt_time(2.5e-3).ends_with(" ms"));
+        assert!(fmt_time(2.5e-6).ends_with(" µs"));
+        assert!(fmt_time(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Supports the API subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! range and tuple strategies, `prop::collection::vec`, `prop_map`, and
+//! the `prop_assert!` family. No shrinking: a failing case panics with the
+//! generated inputs' case index so it can be reproduced (generation is
+//! fully deterministic — case `i` of every test always sees the same
+//! inputs).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration (subset: number of cases).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Namespaced helper strategies (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with lengths drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// Generates vectors of `element` values with a length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::{prop, proptest, prop_assert, prop_assert_eq, ProptestConfig, Strategy};
+    /// Alias kept for signature compatibility (`impl Strategy<Value = T>`).
+    pub use crate::Strategy as StrategyExt;
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a regular `#[test]` that runs `cases` deterministic
+/// iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(#[test] fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    // Deterministic per-test, per-case seed: the test name
+                    // hash decorrelates sibling tests, the case index
+                    // advances the stream.
+                    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+                    for b in stringify!($name).bytes() {
+                        seed ^= u64::from(b);
+                        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    let mut rng =
+                        <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                            seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                    let run = |case: u32, rng: &mut $crate::__rt::StdRng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                        let _ = case;
+                        $body
+                    };
+                    run(case, &mut rng);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_generate_in_bounds(x in 0usize..10, y in -1.0..1.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn tuples_and_vec_compose(
+            pair in (0u64..100, 0.0..1.0f64),
+            v in prop::collection::vec(0i32..5, 1..8),
+        ) {
+            prop_assert!(pair.0 < 100);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_applies(p in (0.0..10.0f64, 0.0..10.0f64).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..20.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        use rand::{Rng, SeedableRng};
+        let strat = 0usize..1000;
+        let mut a = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+        // Unrelated draws keep the streams in sync.
+        let _: f64 = a.gen_range(0.0..1.0);
+        let _: f64 = b.gen_range(0.0..1.0);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

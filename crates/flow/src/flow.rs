@@ -11,7 +11,7 @@ use m3d_partition::{
 use m3d_place::{global_place, legalize, Floorplan, Placement};
 use m3d_power::{analyze_power, PowerConfig, PowerResult};
 use m3d_route::{extract_parasitics, global_route, RoutingResult};
-use m3d_sta::{analyze, worst_paths, ClockSpec, Parasitics, StaResult, TimingContext};
+use m3d_sta::{analyze, worst_paths, ClockSpec, Parasitics, StaResult, Timer, TimingContext};
 use m3d_tech::{Tier, TierStack};
 
 /// A finished implementation of one configuration: the full database the
@@ -74,7 +74,28 @@ fn cell_areas(netlist: &Netlist, stack: &TierStack, tiers: &[Tier]) -> Vec<f64> 
         .collect()
 }
 
-/// Assembles STA inputs and runs the engine.
+/// The one place a [`TimingContext`] is assembled in this crate: every
+/// cold `analyze`, every sizing/ECO evaluate closure and every
+/// [`Timer::update`] goes through here, so parasitics/clock wiring cannot
+/// drift between call sites.
+fn timing_context<'a>(
+    netlist: &'a Netlist,
+    stack: &'a TierStack,
+    tiers: &'a [Tier],
+    parasitics: &'a Parasitics,
+    clock: ClockSpec,
+) -> TimingContext<'a> {
+    TimingContext {
+        netlist,
+        stack,
+        tiers,
+        parasitics,
+        clock,
+    }
+}
+
+/// Assembles STA inputs and runs the engine (one-shot cold pass; loops
+/// use a persistent [`Timer`] instead).
 fn run_sta(
     netlist: &Netlist,
     stack: &TierStack,
@@ -83,13 +104,13 @@ fn run_sta(
     period_ns: f64,
     latency: Option<&ClockTree>,
 ) -> StaResult {
-    analyze(&TimingContext {
+    analyze(&timing_context(
         netlist,
         stack,
         tiers,
         parasitics,
-        clock: clock_spec(period_ns, latency),
-    })
+        clock_spec(period_ns, latency),
+    ))
 }
 
 /// Clock constraints for sign-off: propagated register latencies plus a
@@ -278,21 +299,24 @@ pub fn run_flow(
                 extract_parasitics(netlist_ref, &imp.placement, stack_ref, Some(&imp.routing));
             let clock_template = clock_spec(period, Some(&imp.clock_tree));
             let mut tiers_work = imp.tiers.clone();
+            // One persistent timer per ECO round: every candidate move (and
+            // every undo, which restores already-cached arcs) re-propagates
+            // only the cone of the swapped cells.
+            let mut timer = Timer::new();
             let outcome = repartition_eco(
                 &mut tiers_work,
                 &areas,
                 fast,
                 &EcoConfig::default(),
                 |t| {
-                    let clock = clock_template.clone();
-                    let ctx = TimingContext {
-                        netlist: netlist_ref,
-                        stack: stack_ref,
-                        tiers: t,
-                        parasitics: &parasitics,
-                        clock,
-                    };
-                    let result = analyze(&ctx);
+                    let ctx = timing_context(
+                        netlist_ref,
+                        stack_ref,
+                        t,
+                        &parasitics,
+                        clock_template.clone(),
+                    );
+                    let result = timer.update(&ctx);
                     let paths = worst_paths(&ctx, &result, EcoConfig::default().n0);
                     m3d_partition::EcoTimingView {
                         wns: result.wns,
@@ -367,32 +391,34 @@ fn eco_refinish(imp: &mut Implementation, period: f64, options: &FlowOptions) {
         &options.cts,
     );
     // Post-ECO closure: size the residual violations (the ECO already
-    // moved the worst offenders to the fast tier) and recover power.
+    // moved the worst offenders to the fast tier) and recover power. The
+    // timer persists through both sizing passes and the sign-off, so only
+    // the first evaluation pays for a full propagation.
+    let mut timer = Timer::new();
     {
         let stack_ref = &imp.stack;
         let tiers_ref = &imp.tiers;
         let parasitics_ref = &parasitics;
         let clock_template = clock_spec(period, Some(&clock_tree));
-        let eval = |nl: &Netlist| {
-            analyze(&TimingContext {
-                netlist: nl,
-                stack: stack_ref,
-                tiers: tiers_ref,
-                parasitics: parasitics_ref,
-                clock: clock_template.clone(),
-            })
+        let mut eval = |nl: &Netlist| {
+            timer.update(&timing_context(
+                nl,
+                stack_ref,
+                tiers_ref,
+                parasitics_ref,
+                clock_template.clone(),
+            ))
         };
-        let _ = m3d_opt::resize_for_timing(&mut imp.netlist, 0.0, 3, eval);
-        let _ = m3d_opt::resize_for_power(&mut imp.netlist, period * 0.15, 2, eval);
+        let _ = m3d_opt::resize_for_timing(&mut imp.netlist, 0.0, 3, &mut eval);
+        let _ = m3d_opt::resize_for_power(&mut imp.netlist, period * 0.15, 2, &mut eval);
     }
-    imp.sta = run_sta(
+    imp.sta = timer.update(&timing_context(
         &imp.netlist,
         &imp.stack,
         &imp.tiers,
         &parasitics,
-        period,
-        Some(&clock_tree),
-    );
+        clock_spec(period, Some(&clock_tree)),
+    ));
     imp.power = analyze_power(
         &imp.netlist,
         &imp.stack,
@@ -463,28 +489,36 @@ fn finish_3d(
 
     // Timing closure: upsize violating cells, then recover power on the
     // comfortable ones. Skipped on incremental re-finish passes (the
-    // netlist was already optimized; re-running would compound area).
-    let latency = clock_tree.sink_latency.clone();
+    // netlist was already optimized; re-running would compound area). One
+    // persistent timer carries the timing database through both sizing
+    // passes into the sign-off below — rejected sizing batches are rolled
+    // back by re-propagating the same (cached) cones.
+    let mut timer = Timer::new();
     if reoptimize {
         let stack_ref = &stack;
         let tiers_ref = &tiers;
         let parasitics_ref = &parasitics;
         let clock_template = clock_spec(period, Some(&clock_tree));
-        let _ = latency;
-        let eval = |nl: &Netlist| {
-            analyze(&TimingContext {
-                netlist: nl,
-                stack: stack_ref,
-                tiers: tiers_ref,
-                parasitics: parasitics_ref,
-                clock: clock_template.clone(),
-            })
+        let mut eval = |nl: &Netlist| {
+            timer.update(&timing_context(
+                nl,
+                stack_ref,
+                tiers_ref,
+                parasitics_ref,
+                clock_template.clone(),
+            ))
         };
-        let _ = m3d_opt::resize_for_timing(&mut netlist, 0.0, 4, eval);
-        let _ = m3d_opt::resize_for_power(&mut netlist, period * 0.15, 3, eval);
+        let _ = m3d_opt::resize_for_timing(&mut netlist, 0.0, 4, &mut eval);
+        let _ = m3d_opt::resize_for_power(&mut netlist, period * 0.15, 3, &mut eval);
     }
 
-    let sta = run_sta(&netlist, &stack, &tiers, &parasitics, period, Some(&clock_tree));
+    let sta = timer.update(&timing_context(
+        &netlist,
+        &stack,
+        &tiers,
+        &parasitics,
+        clock_spec(period, Some(&clock_tree)),
+    ));
     let power = analyze_power(
         &netlist,
         &stack,
@@ -543,22 +577,23 @@ fn implement_2d(
             CtsMode::Flat2d,
             &options.cts,
         );
+        let mut timer = Timer::new();
         let changed = {
             let stack_ref = &stack;
             let tiers_ref = &tiers;
             let parasitics_ref = &parasitics;
             let clock_template = clock_spec(period, Some(&clock_tree));
-            let eval = |nl: &Netlist| {
-                analyze(&TimingContext {
-                    netlist: nl,
-                    stack: stack_ref,
-                    tiers: tiers_ref,
-                    parasitics: parasitics_ref,
-                    clock: clock_template.clone(),
-                })
+            let mut eval = |nl: &Netlist| {
+                timer.update(&timing_context(
+                    nl,
+                    stack_ref,
+                    tiers_ref,
+                    parasitics_ref,
+                    clock_template.clone(),
+                ))
             };
-            let up = m3d_opt::resize_for_timing(&mut netlist, 0.0, 4, eval);
-            let down = m3d_opt::resize_for_power(&mut netlist, period * 0.25, 2, eval);
+            let up = m3d_opt::resize_for_timing(&mut netlist, 0.0, 4, &mut eval);
+            let down = m3d_opt::resize_for_power(&mut netlist, period * 0.25, 2, &mut eval);
             up.cells_changed + down.cells_changed
         };
 
@@ -568,7 +603,13 @@ fn implement_2d(
             continue;
         }
 
-        let sta = run_sta(&netlist, &stack, &tiers, &parasitics, period, Some(&clock_tree));
+        let sta = timer.update(&timing_context(
+            &netlist,
+            &stack,
+            &tiers,
+            &parasitics,
+            clock_spec(period, Some(&clock_tree)),
+        ));
         let power = analyze_power(
             &netlist,
             &stack,

@@ -153,8 +153,8 @@ pub fn deep_dive(imp: &Implementation) -> DeepDive {
     };
 
     // ---- clock network ----------------------------------------------------
-    // Re-run timing to pull the top critical paths for both the skew and
-    // path blocks.
+    // Rebuild the sign-off timing context (cheap) to extract the top
+    // critical paths for the skew and path blocks from `imp.sta`.
     let mut clock_spec = ClockSpec::with_period(1.0 / imp.frequency_ghz);
     clock_spec.latency_ns = imp.clock_tree.sink_latency.clone();
     let lats = imp.clock_tree.latencies();
@@ -168,8 +168,10 @@ pub fn deep_dive(imp: &Implementation) -> DeepDive {
         parasitics: &parasitics,
         clock: clock_spec,
     };
-    let sta = m3d_sta::analyze(&ctx);
-    let paths = worst_paths(&ctx, &sta, 100);
+    // The flow already signed off with this exact context (same netlist,
+    // parasitics extraction and clock construction), so reuse its result
+    // instead of re-running a full analyze.
+    let paths = worst_paths(&ctx, &imp.sta, 100);
 
     let mut skew_sum = 0.0;
     let mut skew_n = 0usize;

@@ -200,8 +200,9 @@ pub fn render_overlays(imp: &Implementation, title: &str) -> String {
         parasitics: &parasitics,
         clock,
     };
-    let sta = m3d_sta::analyze(&ctx);
-    if let Some(p) = worst_paths(&ctx, &sta, 1).first() {
+    // Path extraction reuses the flow's sign-off result (computed with
+    // this exact context) instead of re-running a full analyze.
+    if let Some(p) = worst_paths(&ctx, &imp.sta, 1).first() {
         let pts: Vec<String> = p
             .stages
             .iter()

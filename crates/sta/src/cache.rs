@@ -1,0 +1,177 @@
+//! Per-arc NLDM lookup cache shared by the full and incremental passes.
+//!
+//! Bilinear LUT interpolation dominates STA runtime, and the flow's
+//! optimization loops re-query the same arcs constantly: a sizing round
+//! that is rolled back, an ECO round that is undone, or a period-only
+//! fmax rung all re-request (cell, slew, load) points the engine has
+//! already evaluated. The cache memoizes the `(delay, output_slew)` pair
+//! per exact arc key.
+//!
+//! Keys use the **raw bit patterns** of slew and load — never a rounded
+//! bin — so a cache hit returns the very bits a cold evaluation would
+//! produce. That is what lets [`crate::Timer`] keep the workspace's
+//! bit-identity contract while still profiting from memoization. (The
+//! slews and loads the engine produces are themselves quantized by the
+//! netlist's discrete drive/tier states, so exact keys still hit often.)
+
+use m3d_tech::{CellKind, Drive, MasterCell, Tier};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One memoized arc: the master cell identity (tier resolves the library,
+/// kind + drive resolve the cell) plus the exact input-slew / output-load
+/// bits the tables are evaluated at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ArcKey {
+    tier: Tier,
+    kind: CellKind,
+    drive: Drive,
+    slew_bits: u64,
+    load_bits: u64,
+}
+
+/// Shard count: a power of two so shard selection is a mask. Sharding
+/// keeps lock contention negligible when the level-parallel passes query
+/// the cache from several workers.
+const SHARDS: usize = 16;
+
+/// Per-shard entry cap — a backstop against unbounded growth on
+/// pathological workloads (beyond it the cache serves hits but stops
+/// inserting).
+const SHARD_CAP: usize = 1 << 16;
+
+/// Memoization table for NLDM arc evaluations.
+///
+/// Thread-safe; both the sequential and the level-parallel engine paths
+/// may query it concurrently. Hits and misses are counted for the
+/// [`crate::TimerStats`] report.
+#[derive(Debug, Default)]
+pub struct DelayCache {
+    shards: [Mutex<HashMap<ArcKey, (f64, f64)>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DelayCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        DelayCache::default()
+    }
+
+    /// `(delay, output_slew)` of `master` at `(slew_ns, load_ff)`,
+    /// memoized. Bit-identical to calling the LUTs directly.
+    pub(crate) fn arc(
+        &self,
+        tier: Tier,
+        kind: CellKind,
+        drive: Drive,
+        master: &MasterCell,
+        slew_ns: f64,
+        load_ff: f64,
+    ) -> (f64, f64) {
+        let key = ArcKey {
+            tier,
+            kind,
+            drive,
+            slew_bits: slew_ns.to_bits(),
+            load_bits: load_ff.to_bits(),
+        };
+        let mix = key
+            .slew_bits
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ key.load_bits
+            ^ ((kind as u64) << 3)
+            ^ (drive as u64);
+        let shard = &self.shards[(mix as usize) & (SHARDS - 1)];
+        {
+            let map = shard.lock().expect("delay cache shard poisoned");
+            if let Some(&pair) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return pair;
+            }
+        }
+        // Evaluate outside the lock; the value is a pure function of the
+        // key, so a concurrent duplicate insert stores identical bits.
+        let pair = (master.delay(slew_ns, load_ff), master.output_slew(slew_ns, load_ff));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("delay cache shard poisoned");
+        if map.len() < SHARD_CAP {
+            map.insert(key, pair);
+        }
+        pair
+    }
+
+    /// Arc evaluations answered from the table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Arc evaluations that went to the LUTs.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized arcs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("delay cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` when no arc is memoized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized arc (the hit/miss counters are preserved).
+    /// Required when the library binding itself changes.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("delay cache shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_tech::Library;
+
+    #[test]
+    fn cached_arc_is_bit_identical_to_direct_lookup() {
+        let lib = Library::twelve_track();
+        let m = lib.cell(CellKind::Nand2, Drive::X2).expect("NAND2_X2");
+        let cache = DelayCache::new();
+        for (slew, load) in [(0.01, 1.0), (0.07, 13.5), (0.2, 80.0)] {
+            let cold = (m.delay(slew, load), m.output_slew(slew, load));
+            let first = cache.arc(Tier::Bottom, CellKind::Nand2, Drive::X2, m, slew, load);
+            let second = cache.arc(Tier::Bottom, CellKind::Nand2, Drive::X2, m, slew, load);
+            assert_eq!(cold.0.to_bits(), first.0.to_bits());
+            assert_eq!(cold.1.to_bits(), first.1.to_bits());
+            assert_eq!(first, second);
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn tiers_are_distinct_keys() {
+        let lib = Library::twelve_track();
+        let m = lib.cell(CellKind::Inv, Drive::X1).expect("INV_X1");
+        let cache = DelayCache::new();
+        cache.arc(Tier::Bottom, CellKind::Inv, Drive::X1, m, 0.03, 2.0);
+        cache.arc(Tier::Top, CellKind::Inv, Drive::X1, m, 0.03, 2.0);
+        assert_eq!(cache.misses(), 2, "same point on another tier is a distinct arc");
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

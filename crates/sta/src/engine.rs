@@ -1,5 +1,6 @@
+use crate::cache::DelayCache;
 use crate::context::TimingContext;
-use m3d_netlist::{CellClass, CellId, NetId};
+use m3d_netlist::{CellClass, CellId, NetId, Netlist};
 
 /// Result of one full timing analysis.
 ///
@@ -62,7 +63,7 @@ impl StaResult {
 }
 
 /// Capacitive load on a net: wire capacitance plus every sink pin.
-fn net_load_ff(ctx: &TimingContext<'_>, net: NetId) -> f64 {
+pub(crate) fn net_load_ff(ctx: &TimingContext<'_>, net: NetId) -> f64 {
     let mut load = ctx.parasitics.net(net).wire_cap_ff;
     for sink in &ctx.netlist.net(net).sinks {
         let cell = ctx.netlist.cell(sink.cell);
@@ -79,16 +80,37 @@ fn net_load_ff(ctx: &TimingContext<'_>, net: NetId) -> f64 {
     load
 }
 
+/// `(delay, output_slew)` of one arc, optionally memoized. The cache key
+/// is exact-bits, so the returned pair is bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+fn arc_eval(
+    cache: Option<&DelayCache>,
+    ctx: &TimingContext<'_>,
+    cell_index: usize,
+    kind: m3d_tech::CellKind,
+    drive: m3d_tech::Drive,
+    master: &m3d_tech::MasterCell,
+    slew_ns: f64,
+    load_ff: f64,
+) -> (f64, f64) {
+    match cache {
+        Some(c) => c.arc(ctx.tier(cell_index), kind, drive, master, slew_ns, load_ff),
+        None => (master.delay(slew_ns, load_ff), master.output_slew(slew_ns, load_ff)),
+    }
+}
+
 /// Computes a gate's worst arrival, worst input pin and output slew from
 /// the (already final) arrivals/slews of its drivers. Pure with respect to
 /// the gate: two calls with the same inputs return identical values, which
-/// is what makes the level-parallel forward pass deterministic.
-fn forward_gate(
+/// is what makes the level-parallel forward pass deterministic (and lets
+/// the incremental engine re-evaluate any dirty gate in isolation).
+pub(crate) fn forward_gate(
     ctx: &TimingContext<'_>,
     net_load: &[f64],
     arrival: &[f64],
     slew: &[f64],
     id: CellId,
+    cache: Option<&DelayCache>,
 ) -> (f64, u8, f64) {
     let netlist = ctx.netlist;
     let i = id.index();
@@ -121,7 +143,7 @@ fn forward_gate(
         let at_in = arrival[j] + wire;
         let slew_in = slew[j];
         let (arc_delay, out_slew) = match master {
-            Some(m) => (m.delay(slew_in, load), m.output_slew(slew_in, load)),
+            Some(m) => arc_eval(cache, ctx, i, kind, drive, m, slew_in, load),
             None => (0.0, slew_in),
         };
         let at_out = at_in + arc_delay;
@@ -137,13 +159,14 @@ fn forward_gate(
 /// Computes a cell's required time from the (already final) required times
 /// of its combinational sinks and the endpoint RATs. Shared by the
 /// level-parallel backward pass and the launch-cell pass.
-fn required_of_net(
+pub(crate) fn required_of_net(
     ctx: &TimingContext<'_>,
     net_load: &[f64],
     slew_i: f64,
     required: &[f64],
     endpoint_rat: &[f64],
     out_net: NetId,
+    cache: Option<&DelayCache>,
 ) -> f64 {
     let netlist = ctx.netlist;
     let mut rat = f64::INFINITY;
@@ -159,10 +182,10 @@ fn required_of_net(
                     .copied()
                     .flatten()
                     .map_or(0.0, |net| net_load[net.index()]);
-                let arc = ctx
-                    .library(j)
-                    .cell(*kind, *drive)
-                    .map_or(0.0, |m| m.delay(slew_i, load));
+                let arc = match ctx.library(j).cell(*kind, *drive) {
+                    Some(m) => arc_eval(cache, ctx, j, *kind, *drive, m, slew_i, load).0,
+                    None => 0.0,
+                };
                 required[j] - arc
             }
             // Endpoint sinks (registers on D, macros, POs) carry their
@@ -174,19 +197,235 @@ fn required_of_net(
     rat
 }
 
+/// Launch-side `(arrival, slew)` of a launch cell (primary input,
+/// register Q pin, macro output), or `None` for everything else.
+pub(crate) fn launch_point(
+    ctx: &TimingContext<'_>,
+    net_load: &[f64],
+    id: CellId,
+    cache: Option<&DelayCache>,
+) -> Option<(f64, f64)> {
+    let i = id.index();
+    let cell = ctx.netlist.cell(id);
+    match &cell.class {
+        CellClass::PrimaryInput => {
+            Some((ctx.clock.virtual_io_latency_ns, ctx.clock.input_slew_ns))
+        }
+        CellClass::Gate { kind, drive } if kind.is_sequential() => {
+            let lib = ctx.library(i);
+            let cell_master = lib.cell(*kind, *drive);
+            let (clk_q, out_slew) = match cell_master {
+                Some(m) => {
+                    let load = cell
+                        .outputs
+                        .first()
+                        .copied()
+                        .flatten()
+                        .map_or(0.0, |net| net_load[net.index()]);
+                    let (delay, slew) = arc_eval(cache, ctx, i, *kind, *drive, m, 0.02, load);
+                    (m.clk_to_q_ns + delay * 0.3, slew)
+                }
+                None => (0.1, 0.05),
+            };
+            Some((ctx.clock.latency(i) + clk_q, out_slew))
+        }
+        CellClass::Macro(spec) => Some((ctx.clock.latency(i) + spec.access_delay_ns, 0.08)),
+        _ => None,
+    }
+}
+
+/// Arrival at a data input pin of an endpoint.
+pub(crate) fn input_arrival(
+    ctx: &TimingContext<'_>,
+    arrival: &[f64],
+    cell: CellId,
+    pin: usize,
+) -> f64 {
+    let c = ctx.netlist.cell(cell);
+    let Some(Some(net)) = c.inputs.get(pin) else {
+        return 0.0;
+    };
+    if ctx.netlist.net(*net).is_clock {
+        return 0.0;
+    }
+    let Some(drv) = ctx.netlist.net(*net).driver else {
+        return 0.0;
+    };
+    arrival[drv.cell.index()] + ctx.parasitics.net(*net).wire_delay_ns
+}
+
+/// Endpoint view of cell `i`: `(rat, worst data-pin arrival, is_po)`, or
+/// `None` when the cell is not a timing endpoint.
+pub(crate) fn endpoint_point(
+    ctx: &TimingContext<'_>,
+    arrival: &[f64],
+    i: usize,
+) -> Option<(f64, f64, bool)> {
+    let id = CellId::from_index(i);
+    let cell = ctx.netlist.cell(id);
+    let (setup, data_pins) = match &cell.class {
+        CellClass::Gate { kind, drive } if kind.is_sequential() => {
+            let setup = ctx
+                .library(i)
+                .cell(*kind, *drive)
+                .map_or(0.03, |m| m.setup_ns);
+            (setup, cell.inputs.len().saturating_sub(1))
+        }
+        CellClass::Macro(spec) => (spec.setup_ns, cell.inputs.len().saturating_sub(1)),
+        CellClass::PrimaryOutput => (0.0, cell.inputs.len()),
+        _ => return None,
+    };
+    let is_po = matches!(cell.class, CellClass::PrimaryOutput);
+    let io_latency = if is_po {
+        ctx.clock.virtual_io_latency_ns
+    } else {
+        ctx.clock.latency(i)
+    };
+    let rat = ctx.clock.period_ns + io_latency - setup;
+    let mut worst_at = 0.0_f64;
+    for pin in 0..data_pins {
+        worst_at = worst_at.max(input_arrival(ctx, arrival, id, pin));
+    }
+    Some((rat, worst_at, is_po))
+}
+
+/// Required time on a combinational gate's output, from its (already
+/// final) sinks. `None` when the gate drives nothing.
+pub(crate) fn backward_point(
+    ctx: &TimingContext<'_>,
+    net_load: &[f64],
+    slew: &[f64],
+    required: &[f64],
+    endpoint_rat: &[f64],
+    id: CellId,
+    cache: Option<&DelayCache>,
+) -> Option<f64> {
+    let cell = ctx.netlist.cell(id);
+    let out_net = cell.outputs.first().copied().flatten()?;
+    Some(required_of_net(
+        ctx,
+        net_load,
+        slew[id.index()],
+        required,
+        endpoint_rat,
+        out_net,
+        cache,
+    ))
+}
+
+/// Required time on a launch cell's output (register Q, macro outputs,
+/// PIs): min over its non-clock fanout. `None` for non-launch cells.
+pub(crate) fn launch_required(
+    ctx: &TimingContext<'_>,
+    net_load: &[f64],
+    slew_i: f64,
+    required: &[f64],
+    endpoint_rat: &[f64],
+    i: usize,
+    cache: Option<&DelayCache>,
+) -> Option<f64> {
+    let id = CellId::from_index(i);
+    let cell = ctx.netlist.cell(id);
+    let is_launch = matches!(&cell.class, CellClass::PrimaryInput)
+        || cell.is_sequential()
+        || cell.class.is_macro();
+    if !is_launch {
+        return None;
+    }
+    let mut rat = f64::INFINITY;
+    for out_net in cell.output_nets() {
+        if ctx.netlist.net(out_net).is_clock {
+            continue;
+        }
+        rat = rat.min(required_of_net(
+            ctx,
+            net_load,
+            slew_i,
+            required,
+            endpoint_rat,
+            out_net,
+            cache,
+        ));
+    }
+    Some(rat)
+}
+
+/// Combinational gates grouped by logic depth: `level(g) = 1 + max` level
+/// over `g`'s combinational drivers (launch points are level 0). Gates
+/// within one level never feed each other, so a level can be evaluated
+/// concurrently — each gate reading only finalized lower-level values —
+/// producing exactly the sequential pass's arrays.
+///
+/// Built once per netlist structure; the incremental [`crate::Timer`]
+/// reuses it across edits (levelization is pure integer work, so it only
+/// depends on connectivity, never on drives, tiers or parasitics).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Levels {
+    /// Gates per level, in topological-order position within each level.
+    pub levels: Vec<Vec<CellId>>,
+}
+
+/// Levelizes the combinational portion of `netlist`.
+///
+/// # Panics
+///
+/// Panics if the netlist has a combinational cycle (validated netlists
+/// never do).
+pub(crate) fn levelize(netlist: &Netlist) -> Levels {
+    let order = netlist
+        .combinational_order()
+        .expect("netlist validated before timing");
+    let mut comb_level = vec![usize::MAX; netlist.cell_count()];
+    let mut levels: Vec<Vec<CellId>> = Vec::new();
+    for &id in &order {
+        let i = id.index();
+        let mut level = 0usize;
+        for slot in &netlist.cell(id).inputs {
+            let Some(net) = slot else { continue };
+            if netlist.net(*net).is_clock {
+                continue;
+            }
+            let Some(drv) = netlist.net(*net).driver else {
+                continue;
+            };
+            let j = drv.cell.index();
+            if comb_level[j] != usize::MAX {
+                level = level.max(comb_level[j] + 1);
+            }
+        }
+        comb_level[i] = level;
+        if levels.len() <= level {
+            levels.resize_with(level + 1, Vec::new);
+        }
+        levels[level].push(id);
+    }
+    Levels { levels }
+}
+
+/// Everything one full propagation produces: the public [`StaResult`]
+/// plus the intermediate arrays the incremental engine snapshots.
+pub(crate) struct FullPass {
+    pub result: StaResult,
+    pub net_load: Vec<f64>,
+    pub endpoint_rat: Vec<f64>,
+}
+
 /// Runs a full forward (arrival/slew) and backward (required) propagation.
 ///
 /// Clock nets are excluded from data timing; sequential cells launch at
 /// their clock latency + clk→Q and capture at `period + latency − setup`.
 ///
-/// Both propagations are **level-parallel**: gates are grouped by logic
-/// depth, and gates within one level (which cannot depend on each other)
-/// are evaluated concurrently, each reading only finalized previous-level
-/// values. Results are scattered per gate, so the arrays are bit-identical
-/// to the sequential pass at any thread count; designs below
-/// `m3d_par::PAR_THRESHOLD` cells skip threading entirely.
-#[must_use]
-pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
+/// Both propagations are **level-parallel**: gates within one level
+/// (which cannot depend on each other) are evaluated concurrently, each
+/// reading only finalized previous-level values. Results are scattered
+/// per gate, so the arrays are bit-identical to the sequential pass at
+/// any thread count; designs below `m3d_par::PAR_THRESHOLD` cells skip
+/// threading entirely.
+pub(crate) fn analyze_full(
+    ctx: &TimingContext<'_>,
+    levels: &Levels,
+    cache: Option<&DelayCache>,
+) -> FullPass {
     let netlist = ctx.netlist;
     let n = netlist.cell_count();
     let period = ctx.clock.period_ns;
@@ -220,79 +459,20 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     };
 
     // ---- launch points -------------------------------------------------
-    for (id, cell) in netlist.cells() {
-        let i = id.index();
-        match &cell.class {
-            CellClass::PrimaryInput => {
-                arrival[i] = ctx.clock.virtual_io_latency_ns;
-                slew[i] = ctx.clock.input_slew_ns;
-            }
-            CellClass::Gate { kind, drive } if kind.is_sequential() => {
-                let lib = ctx.library(i);
-                let cell_master = lib.cell(*kind, *drive);
-                let (clk_q, out_slew) = match cell_master {
-                    Some(m) => {
-                        let load = cell
-                            .outputs
-                            .first()
-                            .copied()
-                            .flatten()
-                            .map_or(0.0, |net| net_load[net.index()]);
-                        (
-                            m.clk_to_q_ns + m.delay(0.02, load) * 0.3,
-                            m.output_slew(0.02, load),
-                        )
-                    }
-                    None => (0.1, 0.05),
-                };
-                arrival[i] = ctx.clock.latency(i) + clk_q;
-                slew[i] = out_slew;
-            }
-            CellClass::Macro(spec) => {
-                arrival[i] = ctx.clock.latency(i) + spec.access_delay_ns;
-                slew[i] = 0.08;
-            }
-            _ => {}
+    for (id, _) in netlist.cells() {
+        if let Some((at, out_slew)) = launch_point(ctx, &net_load, id, cache) {
+            let i = id.index();
+            arrival[i] = at;
+            slew[i] = out_slew;
         }
     }
 
     // ---- forward pass over combinational gates -------------------------
-    // Group the topological order into logic levels: level(g) = 1 + max
-    // level over g's combinational drivers (launch points are level 0).
-    // Gates within one level never feed each other, so evaluating a level
-    // concurrently — each gate reading only finalized lower-level values —
-    // produces exactly the sequential pass's arrays.
-    let order = netlist
-        .combinational_order()
-        .expect("netlist validated before timing");
-    let mut comb_level = vec![usize::MAX; n];
-    let mut levels: Vec<Vec<CellId>> = Vec::new();
-    for &id in &order {
-        let i = id.index();
-        let mut level = 0usize;
-        for slot in &netlist.cell(id).inputs {
-            let Some(net) = slot else { continue };
-            if netlist.net(*net).is_clock {
-                continue;
-            }
-            let Some(drv) = netlist.net(*net).driver else {
-                continue;
-            };
-            let j = drv.cell.index();
-            if comb_level[j] != usize::MAX {
-                level = level.max(comb_level[j] + 1);
-            }
-        }
-        comb_level[i] = level;
-        if levels.len() <= level {
-            levels.resize_with(level + 1, Vec::new);
-        }
-        levels[level].push(id);
-    }
-    for level in &levels {
+    for level in &levels.levels {
         if parallel && level.len() >= 2 {
-            let results =
-                m3d_par::par_map(threads, level, |_, &id| forward_gate(ctx, &net_load, &arrival, &slew, id));
+            let results = m3d_par::par_map(threads, level, |_, &id| {
+                forward_gate(ctx, &net_load, &arrival, &slew, id, cache)
+            });
             for (&id, (at, pin, out_slew)) in level.iter().zip(results) {
                 let i = id.index();
                 arrival[i] = at;
@@ -301,7 +481,7 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
             }
         } else {
             for &id in level {
-                let (at, pin, out_slew) = forward_gate(ctx, &net_load, &arrival, &slew, id);
+                let (at, pin, out_slew) = forward_gate(ctx, &net_load, &arrival, &slew, id, cache);
                 let i = id.index();
                 arrival[i] = at;
                 slew[i] = out_slew;
@@ -318,58 +498,11 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     let mut tns = 0.0;
     let mut violations = 0usize;
 
-    // Helper: arrival at a data input pin of an endpoint.
-    fn input_arrival(
-        ctx: &TimingContext<'_>,
-        arrival: &[f64],
-        cell: CellId,
-        pin: usize,
-    ) -> f64 {
-        let c = ctx.netlist.cell(cell);
-        let Some(Some(net)) = c.inputs.get(pin) else {
-            return 0.0;
-        };
-        if ctx.netlist.net(*net).is_clock {
-            return 0.0;
-        }
-        let Some(drv) = ctx.netlist.net(*net).driver else {
-            return 0.0;
-        };
-        arrival[drv.cell.index()] + ctx.parasitics.net(*net).wire_delay_ns
-    }
-
     // Per-endpoint RAT/arrival pairs are independent; compute them (in
     // parallel for large designs), then fold the scalar statistics in
     // fixed cell-index order so WNS/TNS accumulate identically at any
     // thread count.
-    let endpoint_eval = |i: usize| -> Option<(f64, f64, bool)> {
-        let id = CellId::from_index(i);
-        let cell = netlist.cell(id);
-        let (setup, data_pins) = match &cell.class {
-            CellClass::Gate { kind, drive } if kind.is_sequential() => {
-                let setup = ctx
-                    .library(i)
-                    .cell(*kind, *drive)
-                    .map_or(0.03, |m| m.setup_ns);
-                (setup, cell.inputs.len().saturating_sub(1))
-            }
-            CellClass::Macro(spec) => (spec.setup_ns, cell.inputs.len().saturating_sub(1)),
-            CellClass::PrimaryOutput => (0.0, cell.inputs.len()),
-            _ => return None,
-        };
-        let is_po = matches!(cell.class, CellClass::PrimaryOutput);
-        let io_latency = if is_po {
-            ctx.clock.virtual_io_latency_ns
-        } else {
-            ctx.clock.latency(i)
-        };
-        let rat = period + io_latency - setup;
-        let mut worst_at = 0.0_f64;
-        for pin in 0..data_pins {
-            worst_at = worst_at.max(input_arrival(ctx, &arrival, id, pin));
-        }
-        Some((rat, worst_at, is_po))
-    };
+    let endpoint_eval = |i: usize| endpoint_point(ctx, &arrival, i);
     let evaluated: Vec<Option<(f64, f64, bool)>> = if parallel {
         m3d_par::par_map_indices(threads, n, endpoint_eval)
     } else {
@@ -410,22 +543,12 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     // so walking the forward levels in reverse gives the same dependency
     // guarantee as reverse topological order — and within a level the
     // computations are independent and run concurrently.
-    let backward_eval = |id: CellId, required: &[f64]| -> Option<f64> {
-        let cell = netlist.cell(id);
-        let out_net = cell.outputs.first().copied().flatten()?;
-        Some(required_of_net(
-            ctx,
-            &net_load,
-            slew[id.index()],
-            required,
-            &endpoint_rat,
-            out_net,
-        ))
-    };
-    for level in levels.iter().rev() {
+    for level in levels.levels.iter().rev() {
         if parallel && level.len() >= 2 {
             let required_ref = &required;
-            let results = m3d_par::par_map(threads, level, |_, &id| backward_eval(id, required_ref));
+            let results = m3d_par::par_map(threads, level, |_, &id| {
+                backward_point(ctx, &net_load, &slew, required_ref, &endpoint_rat, id, cache)
+            });
             for (&id, rat) in level.iter().zip(results) {
                 if let Some(rat) = rat {
                     required[id.index()] = rat;
@@ -433,7 +556,9 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
             }
         } else {
             for &id in level {
-                if let Some(rat) = backward_eval(id, &required) {
+                if let Some(rat) =
+                    backward_point(ctx, &net_load, &slew, &required, &endpoint_rat, id, cache)
+                {
                     required[id.index()] = rat;
                 }
             }
@@ -442,37 +567,14 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     // Launch cells (registers' Q, macros' outputs, PIs): required from
     // their fanout, same formula, so that their slack is also defined.
     // Independent per cell (they only read combinational required times).
-    let launch_eval = |i: usize| -> Option<f64> {
-        let id = CellId::from_index(i);
-        let cell = netlist.cell(id);
-        let is_launch = matches!(&cell.class, CellClass::PrimaryInput)
-            || cell.is_sequential()
-            || cell.class.is_macro();
-        if !is_launch {
-            return None;
-        }
-        let mut rat = f64::INFINITY;
-        for out_net in cell.output_nets() {
-            if netlist.net(out_net).is_clock {
-                continue;
-            }
-            rat = rat.min(required_of_net(
-                ctx,
-                &net_load,
-                slew[i],
-                &required,
-                &endpoint_rat,
-                out_net,
-            ));
-        }
-        Some(rat)
-    };
-    let launch_required: Vec<Option<f64>> = if parallel {
+    let launch_eval =
+        |i: usize| launch_required(ctx, &net_load, slew[i], &required, &endpoint_rat, i, cache);
+    let launch_req: Vec<Option<f64>> = if parallel {
         m3d_par::par_map_indices(threads, n, launch_eval)
     } else {
         (0..n).map(launch_eval).collect()
     };
-    for (i, rat) in launch_required.into_iter().enumerate() {
+    for (i, rat) in launch_req.into_iter().enumerate() {
         if let Some(rat) = rat {
             required[i] = rat;
         }
@@ -494,20 +596,33 @@ pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
     endpoints_v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     let critical_endpoints = endpoints_v.iter().map(|&(id, _)| id).collect();
 
-    StaResult {
-        arrival,
-        slew,
-        required,
-        slack,
-        wns,
-        tns,
-        endpoints: endpoints_v.len(),
-        violations,
-        period_ns: period,
-        critical_endpoints,
-        worst_input,
-        endpoint_slack,
+    FullPass {
+        result: StaResult {
+            arrival,
+            slew,
+            required,
+            slack,
+            wns,
+            tns,
+            endpoints: endpoints_v.len(),
+            violations,
+            period_ns: period,
+            critical_endpoints,
+            worst_input,
+            endpoint_slack,
+        },
+        net_load,
+        endpoint_rat,
     }
+}
+
+/// Runs a full (cold) timing analysis: levelize, propagate forward and
+/// backward, fold endpoint slacks. See [`crate::Timer`] for the
+/// incremental engine that reuses the graph across edits; both produce
+/// bit-identical results at any thread count.
+#[must_use]
+pub fn analyze(ctx: &TimingContext<'_>) -> StaResult {
+    analyze_full(ctx, &levelize(ctx.netlist), None).result
 }
 
 #[cfg(test)]
@@ -717,5 +832,42 @@ mod tests {
         assert!(r.timing_met(0.0));
         let tight = run(&n, 0.01);
         assert!(!tight.timing_met(0.07));
+    }
+
+    #[test]
+    fn cached_analysis_is_bit_identical() {
+        // The delay cache must be results-invisible: a full pass through a
+        // warm cache returns the very bits of an uncached pass.
+        let n = m3d_netgen::Benchmark::Cpu.generate(0.02, 3);
+        let stack = TierStack::heterogeneous();
+        let mut tiers = vec![Tier::Bottom; n.cell_count()];
+        for (i, t) in tiers.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *t = Tier::Top;
+            }
+        }
+        let parasitics = Parasitics::zero_wire(&n);
+        let ctx = TimingContext {
+            netlist: &n,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(1.0),
+        };
+        let levels = levelize(&n);
+        let cold = analyze_full(&ctx, &levels, None).result;
+        let cache = DelayCache::new();
+        let warm1 = analyze_full(&ctx, &levels, Some(&cache)).result;
+        let warm2 = analyze_full(&ctx, &levels, Some(&cache)).result;
+        assert!(cache.hits() > 0, "second pass must hit the cache");
+        for w in [&warm1, &warm2] {
+            assert_eq!(w.wns.to_bits(), cold.wns.to_bits());
+            assert_eq!(w.tns.to_bits(), cold.tns.to_bits());
+            for i in 0..n.cell_count() {
+                assert_eq!(w.arrival[i].to_bits(), cold.arrival[i].to_bits());
+                assert_eq!(w.slew[i].to_bits(), cold.slew[i].to_bits());
+                assert_eq!(w.required[i].to_bits(), cold.required[i].to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,1015 @@
+//! Incremental timing: build the graph once, re-propagate only dirty cones.
+//!
+//! The flow's optimization loops (sizing, the repartitioning ECO, the
+//! fmax ladder) call timing after every small batch of edits; a cold
+//! [`crate::analyze`] rebuilds the levelized graph and re-propagates every
+//! arc each time. [`Timer`] keeps the graph and all propagated arrays
+//! alive between calls, diffs the [`TimingContext`] against its snapshot
+//! on [`Timer::update`], and re-evaluates only:
+//!
+//! * **forward** (arrival/slew) — the fan-out cone of cells whose master
+//!   changed (drive/tier) plus sinks of nets whose load or wire delay
+//!   changed, walked level by level, stopping wherever the recomputed
+//!   bits are unchanged;
+//! * **endpoints** — endpoints whose data arrival or RAT inputs changed
+//!   (a period-only edit dirties *every* endpoint RAT but **no** forward
+//!   arc: arrivals never read the period);
+//! * **backward** (required) — the fan-in cone of changed endpoint RATs,
+//!   changed slews and changed sink arcs, walked in reverse level order.
+//!
+//! Scalar folds (WNS/TNS/violations, the sorted endpoint list and the
+//! per-cell slack vector) are always re-run over all endpoints in fixed
+//! cell-index order — exactly the cold pass's operation sequence.
+//!
+//! **Bit-identity contract.** Every re-evaluated entry is produced by the
+//! same pure kernel the cold pass uses ([`crate::engine`]'s
+//! `forward_gate` / `required_of_net` / endpoint and launch evaluations),
+//! reading only already-finalized values; propagation stops when the
+//! recomputed bits equal the stored bits, at which point every transitive
+//! reader would also recompute identical bits by induction. The result of
+//! `update()` is therefore bit-identical to a cold `analyze` of the same
+//! context, at any thread count (dirty level slices reuse `m3d-par`'s
+//! fixed-decomposition chunking).
+//!
+//! **Structural edits** (rewired nets, inserted buffers, changed
+//! cell/net counts) change the levelization itself; the `Timer` detects
+//! them from a per-net connectivity fingerprint and falls back to a full
+//! rebuild — still through its arc cache, so even a rebuild after an ECO
+//! undo is mostly memoized lookups.
+//!
+//! The `Timer` diffs drives, tiers, parasitics, clock latencies, the
+//! period and net connectivity automatically — the edit notifications
+//! ([`Timer::resize_cell`], [`Timer::swap_tier`], [`Timer::rewire_net`],
+//! [`Timer::update_parasitics`], [`Timer::set_period`]) are conservative
+//! hints that force re-evaluation even where a fingerprint would miss it
+//! (they are cheap to over-use and never required for correctness in the
+//! flow's edit vocabulary).
+
+use crate::cache::DelayCache;
+use crate::context::{ClockSpec, TimingContext};
+use crate::engine::{
+    analyze_full, backward_point, endpoint_point, forward_gate, launch_point, launch_required,
+    levelize, net_load_ff, Levels, StaResult,
+};
+use m3d_netlist::{CellClass, CellId, NetId, Netlist};
+use m3d_tech::{CellKind, Drive, Tier};
+
+/// Work counters of a [`Timer`], in units of "cell evaluations" (one
+/// forward, backward, endpoint or launch kernel call each). A cold pass
+/// costs [`Timer::full_pass_evals`] of these; the ratio of that (times
+/// updates) to [`TimerStats::propagated_evals`] is the incremental win.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStats {
+    /// Full builds (first call, structural or global-constraint edits).
+    pub full_rebuilds: u64,
+    /// Incremental (dirty-cone) updates.
+    pub incremental_updates: u64,
+    /// Net-load recomputations.
+    pub load_evals: u64,
+    /// Launch-arrival evaluations (PI / register Q / macro output).
+    pub launch_evals: u64,
+    /// Forward gate evaluations (arrival + slew).
+    pub forward_evals: u64,
+    /// Endpoint RAT/arrival evaluations.
+    pub endpoint_evals: u64,
+    /// Backward required-time evaluations on combinational gates.
+    pub backward_evals: u64,
+    /// Required-time evaluations on launch cells.
+    pub launch_required_evals: u64,
+}
+
+impl TimerStats {
+    /// Total arc-propagation work performed (loads excluded): the number
+    /// the acceptance criterion compares against `updates ×`
+    /// [`Timer::full_pass_evals`].
+    #[must_use]
+    pub fn propagated_evals(&self) -> u64 {
+        self.launch_evals
+            + self.forward_evals
+            + self.endpoint_evals
+            + self.backward_evals
+            + self.launch_required_evals
+    }
+}
+
+/// Fixed timing role of a cell (immutable once the structure is built).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Combinational gate (including clock buffers): forward + backward.
+    Comb,
+    /// Sequential gate: launch on Q, endpoint on D.
+    Seq,
+    /// Macro: launch on outputs, endpoint on inputs.
+    Mac,
+    /// Primary input: launch only.
+    Pi,
+    /// Primary output: endpoint only.
+    Po,
+}
+
+impl Role {
+    fn of(class: &CellClass) -> Role {
+        match class {
+            CellClass::Gate { kind, .. } if kind.is_sequential() => Role::Seq,
+            CellClass::Gate { .. } => Role::Comb,
+            CellClass::Macro(_) => Role::Mac,
+            CellClass::PrimaryInput => Role::Pi,
+            CellClass::PrimaryOutput => Role::Po,
+        }
+    }
+
+    fn is_endpoint(self) -> bool {
+        matches!(self, Role::Seq | Role::Mac | Role::Po)
+    }
+
+    fn is_launch(self) -> bool {
+        matches!(self, Role::Pi | Role::Seq | Role::Mac)
+    }
+}
+
+/// Below this many dirty cells in one level/phase the incremental passes
+/// stay sequential even when the design qualifies for threading — the
+/// fixed-decomposition scatter is thread-count invariant either way, so
+/// this is purely a spawn-overhead knob, never a correctness one.
+const INCR_PAR_MIN: usize = 64;
+
+/// Everything the `Timer` snapshots between updates.
+struct State {
+    levels: Levels,
+    roles: Vec<Role>,
+    cell_count: usize,
+    net_count: usize,
+    /// Indices of endpoint cells, ascending (the scalar-fold order).
+    endpoint_cells: Vec<u32>,
+    // ---- input fingerprints -------------------------------------------
+    clock: ClockSpec,
+    gate_sig: Vec<Option<(CellKind, Drive)>>,
+    tier_sig: Vec<Tier>,
+    model_sig: Vec<crate::context::NetModel>,
+    net_sig: Vec<u64>,
+    stack_addr: usize,
+    // ---- propagated arrays --------------------------------------------
+    net_load: Vec<f64>,
+    endpoint_rat: Vec<f64>,
+    result: StaResult,
+    // ---- dirty scratch (cleared after every update) --------------------
+    dirty_fwd: Vec<bool>,
+    dirty_bwd: Vec<bool>,
+    dirty_ep: Vec<bool>,
+    dirty_launch: Vec<bool>,
+    dirty_load: Vec<bool>,
+    /// Pre-counted cost of one cold pass, in eval units.
+    full_pass: u64,
+}
+
+/// Connectivity fingerprint of one net (driver + ordered sink pins +
+/// clock flag). Integer-only, so it is stable across thread counts and
+/// cheap enough to re-hash every update.
+fn net_signature(netlist: &Netlist, id: NetId) -> u64 {
+    const FNV: u64 = 0x0000_0100_0000_01B3;
+    let net = netlist.net(id);
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    h = (h ^ net.driver.map_or(u64::MAX, |p| (u64::from(p.cell.index() as u32) << 8) | u64::from(p.pin)))
+        .wrapping_mul(FNV);
+    h = (h ^ u64::from(net.is_clock)).wrapping_mul(FNV);
+    for sink in &net.sinks {
+        h = (h ^ ((u64::from(sink.cell.index() as u32) << 8) | u64::from(sink.pin))).wrapping_mul(FNV);
+    }
+    h
+}
+
+fn gate_signature(class: &CellClass) -> Option<(CellKind, Drive)> {
+    match class {
+        CellClass::Gate { kind, drive } => Some((*kind, *drive)),
+        _ => None,
+    }
+}
+
+/// A persistent incremental timing engine.
+///
+/// Feed every evaluation through [`Timer::update`]; the first call (and
+/// any call after a structural edit) performs a full build, subsequent
+/// calls re-propagate only the dirty cones. Results are bit-identical to
+/// [`crate::analyze`] on the same context at any thread count.
+///
+/// One `Timer` tracks one design evolution: the netlist/stack/parasitics
+/// behind the contexts passed to `update` must describe the same design
+/// being edited in place (the flow's sizing and ECO loops do exactly
+/// this). Pointer-unstable callers lose performance (spurious rebuilds),
+/// never correctness.
+#[derive(Default)]
+pub struct Timer {
+    state: Option<State>,
+    stats: TimerStats,
+    cache: DelayCache,
+    pending_cells: Vec<CellId>,
+    pending_nets: Vec<NetId>,
+    pending_period: bool,
+    pending_structural: bool,
+}
+
+impl Timer {
+    /// A fresh timer; the first [`Timer::update`] performs the full build.
+    #[must_use]
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Hint: `cell`'s drive strength changed (e.g. `Netlist::set_drive`).
+    pub fn resize_cell(&mut self, cell: CellId) {
+        self.pending_cells.push(cell);
+    }
+
+    /// Hint: `cell` moved to another tier (its library binding changed).
+    pub fn swap_tier(&mut self, cell: CellId) {
+        self.pending_cells.push(cell);
+    }
+
+    /// Hint: `net`'s parasitics changed.
+    pub fn update_parasitics(&mut self, net: NetId) {
+        self.pending_nets.push(net);
+    }
+
+    /// Hint: `net`'s pin membership changed. Structural — the next
+    /// [`Timer::update`] rebuilds the levelization (through the warm arc
+    /// cache).
+    pub fn rewire_net(&mut self, _net: NetId) {
+        self.pending_structural = true;
+    }
+
+    /// Hint: a buffer was inserted (new cells and nets). Structural, like
+    /// [`Timer::rewire_net`].
+    pub fn insert_buffer(&mut self) {
+        self.pending_structural = true;
+    }
+
+    /// Hint: the clock period changed. Dirties every endpoint RAT but no
+    /// forward arc (arrivals never read the period); the next update is a
+    /// backward-only re-propagation.
+    pub fn set_period(&mut self, _period_ns: f64) {
+        self.pending_period = true;
+    }
+
+    /// Drops all incremental state; the next update is a full build.
+    pub fn invalidate(&mut self) {
+        self.state = None;
+        self.pending_cells.clear();
+        self.pending_nets.clear();
+        self.pending_period = false;
+        self.pending_structural = false;
+    }
+
+    /// Work counters accumulated over the timer's lifetime.
+    #[must_use]
+    pub fn stats(&self) -> TimerStats {
+        self.stats
+    }
+
+    /// The shared NLDM arc cache (for hit/miss reporting).
+    #[must_use]
+    pub fn delay_cache(&self) -> &DelayCache {
+        &self.cache
+    }
+
+    /// Cost of one cold pass in the units of [`TimerStats`], for speedup
+    /// accounting. Zero before the first update.
+    #[must_use]
+    pub fn full_pass_evals(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.full_pass)
+    }
+
+    /// The most recent result, if any update has run.
+    #[must_use]
+    pub fn result(&self) -> Option<&StaResult> {
+        self.state.as_ref().map(|s| &s.result)
+    }
+
+    /// Brings the timing database up to date with `ctx` and returns the
+    /// result — bit-identical to `analyze(ctx)` at any thread count.
+    pub fn update(&mut self, ctx: &TimingContext<'_>) -> StaResult {
+        let rebuild = self.pending_structural || !self.matches_structure(ctx);
+        if rebuild {
+            self.rebuild(ctx);
+        } else {
+            self.incremental(ctx);
+        }
+        self.pending_cells.clear();
+        self.pending_nets.clear();
+        self.pending_period = false;
+        self.pending_structural = false;
+        self.state.as_ref().expect("state built").result.clone()
+    }
+
+    /// `true` when the snapshot exists and the context has the same
+    /// structure and global constraints (so an incremental pass is valid).
+    fn matches_structure(&self, ctx: &TimingContext<'_>) -> bool {
+        let Some(s) = &self.state else { return false };
+        if s.cell_count != ctx.netlist.cell_count() || s.net_count != ctx.netlist.net_count() {
+            return false;
+        }
+        if s.stack_addr != std::ptr::from_ref(ctx.stack) as usize {
+            return false;
+        }
+        // Global clock fields feed defaults everywhere (slews, PO loads,
+        // virtual I/O); changes are rare and coarse, so rebuild.
+        if s.clock.input_slew_ns != ctx.clock.input_slew_ns
+            || s.clock.virtual_io_latency_ns != ctx.clock.virtual_io_latency_ns
+            || s.clock.output_load_ff != ctx.clock.output_load_ff
+        {
+            return false;
+        }
+        (0..s.net_count).all(|k| s.net_sig[k] == net_signature(ctx.netlist, NetId::from_index(k)))
+    }
+
+    /// Full build: levelize, cold-propagate (through the arc cache) and
+    /// snapshot every fingerprint.
+    fn rebuild(&mut self, ctx: &TimingContext<'_>) {
+        let netlist = ctx.netlist;
+        let n = netlist.cell_count();
+        let nets = netlist.net_count();
+        if self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.stack_addr != std::ptr::from_ref(ctx.stack) as usize)
+        {
+            // A different library binding invalidates memoized arcs.
+            self.cache.clear();
+        }
+        let levels = levelize(netlist);
+        let pass = analyze_full(ctx, &levels, Some(&self.cache));
+
+        let roles: Vec<Role> = netlist.cells().map(|(_, c)| Role::of(&c.class)).collect();
+        let endpoint_cells: Vec<u32> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_endpoint())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let comb: u64 = levels.levels.iter().map(|l| l.len() as u64).sum();
+        let launches = roles.iter().filter(|r| r.is_launch()).count() as u64;
+        let endpoints = endpoint_cells.len() as u64;
+        let full_pass = launches + comb + endpoints + comb + launches;
+
+        self.stats.full_rebuilds += 1;
+        self.stats.load_evals += nets as u64;
+        self.stats.launch_evals += launches;
+        self.stats.forward_evals += comb;
+        self.stats.endpoint_evals += endpoints;
+        self.stats.backward_evals += comb;
+        self.stats.launch_required_evals += launches;
+
+        self.state = Some(State {
+            roles,
+            cell_count: n,
+            net_count: nets,
+            endpoint_cells,
+            clock: ctx.clock.clone(),
+            gate_sig: netlist.cells().map(|(_, c)| gate_signature(&c.class)).collect(),
+            tier_sig: ctx.tiers.to_vec(),
+            model_sig: (0..nets)
+                .map(|k| ctx.parasitics.net(NetId::from_index(k)))
+                .collect(),
+            net_sig: (0..nets)
+                .map(|k| net_signature(netlist, NetId::from_index(k)))
+                .collect(),
+            stack_addr: std::ptr::from_ref(ctx.stack) as usize,
+            net_load: pass.net_load,
+            endpoint_rat: pass.endpoint_rat,
+            result: pass.result,
+            dirty_fwd: vec![false; n],
+            dirty_bwd: vec![false; n],
+            dirty_ep: vec![false; n],
+            dirty_launch: vec![false; n],
+            dirty_load: vec![false; nets],
+            levels,
+            full_pass,
+        });
+    }
+
+    /// Dirty-cone re-propagation. See the module docs for the
+    /// invalidation rules; phases mirror the cold pass's order exactly
+    /// (loads → launch arrivals → forward by level → endpoints →
+    /// backward by reverse level → launch required → scalar folds).
+    #[allow(clippy::too_many_lines)]
+    fn incremental(&mut self, ctx: &TimingContext<'_>) {
+        let s = self.state.as_mut().expect("matches_structure checked");
+        let netlist = ctx.netlist;
+        let n = s.cell_count;
+        let threads = m3d_par::resolve(0);
+        let parallel = threads > 1 && n >= m3d_par::PAR_THRESHOLD;
+        self.stats.incremental_updates += 1;
+
+        // ---- seed detection (auto-diff + explicit hints) ----------------
+        let mut wire_delay_nets: Vec<u32> = Vec::new();
+        for k in 0..s.net_count {
+            let id = NetId::from_index(k);
+            let new = ctx.parasitics.net(id);
+            let old = s.model_sig[k];
+            if new != old {
+                s.model_sig[k] = new;
+                if netlist.net(id).is_clock {
+                    continue; // clock-net parasitics are never read
+                }
+                if new.wire_cap_ff != old.wire_cap_ff {
+                    s.dirty_load[k] = true;
+                }
+                if new.wire_delay_ns != old.wire_delay_ns {
+                    wire_delay_nets.push(k as u32);
+                }
+            }
+        }
+        for &id in &self.pending_nets {
+            let k = id.index();
+            if !netlist.net(id).is_clock {
+                s.dirty_load[k] = true;
+                if !wire_delay_nets.contains(&(k as u32)) {
+                    wire_delay_nets.push(k as u32);
+                }
+            }
+        }
+
+        let mut master_cells: Vec<u32> = Vec::new();
+        for (id, cell) in netlist.cells() {
+            let i = id.index();
+            let sig = gate_signature(&cell.class);
+            let tier = ctx.tiers[i];
+            if s.gate_sig[i] != sig || s.tier_sig[i] != tier {
+                s.gate_sig[i] = sig;
+                s.tier_sig[i] = tier;
+                master_cells.push(i as u32);
+            }
+        }
+        for &id in &self.pending_cells {
+            if !master_cells.contains(&(id.index() as u32)) {
+                master_cells.push(id.index() as u32);
+            }
+        }
+        master_cells.sort_unstable();
+
+        for &ci in &master_cells {
+            let i = ci as usize;
+            let id = CellId::from_index(i);
+            match s.roles[i] {
+                // Changed delay tables: re-derive the gate's own arrival
+                // and the arcs into it (its fan-in's required times).
+                Role::Comb => {
+                    s.dirty_fwd[i] = true;
+                    mark_fanin(netlist, &mut s.dirty_bwd, id);
+                }
+                // Changed clk→Q and setup.
+                Role::Seq => {
+                    s.dirty_launch[i] = true;
+                    s.dirty_ep[i] = true;
+                }
+                // Macros, ports: no library binding, nothing to re-time.
+                Role::Mac | Role::Pi | Role::Po => {}
+            }
+            // A gate's input capacitance sits in its input nets' loads.
+            if matches!(s.roles[i], Role::Comb | Role::Seq) {
+                for net in netlist.cell(id).input_nets() {
+                    if !netlist.net(net).is_clock {
+                        s.dirty_load[net.index()] = true;
+                    }
+                }
+            }
+        }
+
+        // Per-cell clock-latency edits (CTS refinements).
+        let latency_changed = s.clock.latency_ns != ctx.clock.latency_ns;
+        if latency_changed {
+            for i in 0..n {
+                if matches!(s.roles[i], Role::Seq | Role::Mac)
+                    && s.clock.latency(i) != ctx.clock.latency(i)
+                {
+                    s.dirty_launch[i] = true;
+                    s.dirty_ep[i] = true;
+                }
+            }
+            s.clock.latency_ns.clone_from(&ctx.clock.latency_ns);
+        }
+
+        // Period edit: every endpoint RAT moves, no arrival does.
+        if self.pending_period || s.clock.period_ns != ctx.clock.period_ns {
+            s.clock.period_ns = ctx.clock.period_ns;
+            for &e in &s.endpoint_cells {
+                s.dirty_ep[e as usize] = true;
+            }
+        }
+
+        // ---- phase A: net loads -----------------------------------------
+        for k in 0..s.net_count {
+            if !s.dirty_load[k] {
+                continue;
+            }
+            let id = NetId::from_index(k);
+            self.stats.load_evals += 1;
+            let load = net_load_ff(ctx, id);
+            if load.to_bits() == s.net_load[k].to_bits() {
+                continue;
+            }
+            s.net_load[k] = load;
+            // The driver's arcs and its fan-in's arcs into it read this
+            // load.
+            if let Some(drv) = netlist.net(id).driver {
+                let d = drv.cell.index();
+                match s.roles[d] {
+                    Role::Comb => {
+                        s.dirty_fwd[d] = true;
+                        mark_fanin(netlist, &mut s.dirty_bwd, drv.cell);
+                    }
+                    Role::Seq => {
+                        s.dirty_launch[d] = true;
+                        mark_fanin(netlist, &mut s.dirty_bwd, drv.cell);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Wire-delay edits: sinks re-time forward, the driver re-times
+        // backward (required subtracts the wire), endpoint sinks re-read
+        // their data arrival.
+        for &k in &wire_delay_nets {
+            let id = NetId::from_index(k as usize);
+            let net = netlist.net(id);
+            for sink in &net.sinks {
+                let j = sink.cell.index();
+                match s.roles[j] {
+                    Role::Comb => s.dirty_fwd[j] = true,
+                    r if r.is_endpoint() => s.dirty_ep[j] = true,
+                    _ => {}
+                }
+            }
+            if let Some(drv) = net.driver {
+                s.dirty_bwd[drv.cell.index()] = true;
+            }
+        }
+
+        // ---- phase B: launch arrivals -----------------------------------
+        for i in 0..n {
+            if !s.dirty_launch[i] {
+                continue;
+            }
+            let id = CellId::from_index(i);
+            self.stats.launch_evals += 1;
+            let Some((at, out_slew)) = launch_point(ctx, &s.net_load, id, Some(&self.cache))
+            else {
+                continue;
+            };
+            let at_changed = at.to_bits() != s.result.arrival[i].to_bits();
+            let slew_changed = out_slew.to_bits() != s.result.slew[i].to_bits();
+            if !at_changed && !slew_changed {
+                continue;
+            }
+            s.result.arrival[i] = at;
+            s.result.slew[i] = out_slew;
+            mark_sinks(netlist, &s.roles, &mut s.dirty_fwd, &mut s.dirty_ep, id);
+            if slew_changed {
+                // The launch cell's own required time reads its slew.
+                s.dirty_bwd[i] = true;
+            }
+        }
+
+        // ---- phase C: forward, by ascending level -----------------------
+        for li in 0..s.levels.levels.len() {
+            let dirty: Vec<CellId> = s.levels.levels[li]
+                .iter()
+                .copied()
+                .filter(|id| s.dirty_fwd[id.index()])
+                .collect();
+            if dirty.is_empty() {
+                continue;
+            }
+            self.stats.forward_evals += dirty.len() as u64;
+            let results: Vec<(f64, u8, f64)> = {
+                let arrival = &s.result.arrival;
+                let slew = &s.result.slew;
+                let net_load = &s.net_load;
+                let cache = Some(&self.cache);
+                if parallel && dirty.len() >= INCR_PAR_MIN {
+                    m3d_par::par_map(threads, &dirty, |_, &id| {
+                        forward_gate(ctx, net_load, arrival, slew, id, cache)
+                    })
+                } else {
+                    dirty
+                        .iter()
+                        .map(|&id| forward_gate(ctx, net_load, arrival, slew, id, cache))
+                        .collect()
+                }
+            };
+            for (&id, (at, pin, out_slew)) in dirty.iter().zip(results) {
+                let i = id.index();
+                s.result.worst_input[i] = pin;
+                let at_changed = at.to_bits() != s.result.arrival[i].to_bits();
+                let slew_changed = out_slew.to_bits() != s.result.slew[i].to_bits();
+                if !at_changed && !slew_changed {
+                    continue;
+                }
+                s.result.arrival[i] = at;
+                s.result.slew[i] = out_slew;
+                mark_sinks(netlist, &s.roles, &mut s.dirty_fwd, &mut s.dirty_ep, id);
+                if slew_changed {
+                    s.dirty_bwd[i] = true;
+                }
+            }
+        }
+
+        // ---- phase D: endpoints -----------------------------------------
+        let ep_dirty: Vec<u32> = s
+            .endpoint_cells
+            .iter()
+            .copied()
+            .filter(|&e| s.dirty_ep[e as usize])
+            .collect();
+        if !ep_dirty.is_empty() {
+            self.stats.endpoint_evals += ep_dirty.len() as u64;
+            let results: Vec<Option<(f64, f64, bool)>> = {
+                let arrival = &s.result.arrival;
+                if parallel && ep_dirty.len() >= INCR_PAR_MIN {
+                    m3d_par::par_map(threads, &ep_dirty, |_, &e| {
+                        endpoint_point(ctx, arrival, e as usize)
+                    })
+                } else {
+                    ep_dirty
+                        .iter()
+                        .map(|&e| endpoint_point(ctx, arrival, e as usize))
+                        .collect()
+                }
+            };
+            for (&e, ev) in ep_dirty.iter().zip(results) {
+                let i = e as usize;
+                let (rat, worst_at, is_po) = ev.expect("endpoint role implies endpoint view");
+                let rat_changed = rat.to_bits() != s.endpoint_rat[i].to_bits();
+                s.endpoint_rat[i] = rat;
+                s.result.endpoint_slack[i] = rat - worst_at;
+                if is_po {
+                    s.result.arrival[i] = worst_at;
+                    s.result.required[i] = rat;
+                }
+                if rat_changed {
+                    // Fan-in required times read this endpoint's RAT.
+                    mark_fanin(netlist, &mut s.dirty_bwd, CellId::from_index(i));
+                }
+            }
+        }
+
+        // ---- phase E: backward, by descending level ---------------------
+        for li in (0..s.levels.levels.len()).rev() {
+            let dirty: Vec<CellId> = s.levels.levels[li]
+                .iter()
+                .copied()
+                .filter(|id| s.dirty_bwd[id.index()])
+                .collect();
+            if dirty.is_empty() {
+                continue;
+            }
+            self.stats.backward_evals += dirty.len() as u64;
+            let results: Vec<Option<f64>> = {
+                let required = &s.result.required;
+                let slew = &s.result.slew;
+                let net_load = &s.net_load;
+                let endpoint_rat = &s.endpoint_rat;
+                let cache = Some(&self.cache);
+                if parallel && dirty.len() >= INCR_PAR_MIN {
+                    m3d_par::par_map(threads, &dirty, |_, &id| {
+                        backward_point(ctx, net_load, slew, required, endpoint_rat, id, cache)
+                    })
+                } else {
+                    dirty
+                        .iter()
+                        .map(|&id| {
+                            backward_point(ctx, net_load, slew, required, endpoint_rat, id, cache)
+                        })
+                        .collect()
+                }
+            };
+            for (&id, rat) in dirty.iter().zip(results) {
+                let i = id.index();
+                let Some(rat) = rat else { continue };
+                if rat.to_bits() == s.result.required[i].to_bits() {
+                    continue;
+                }
+                s.result.required[i] = rat;
+                mark_fanin(netlist, &mut s.dirty_bwd, id);
+            }
+        }
+
+        // ---- phase F: launch required -----------------------------------
+        for i in 0..n {
+            if !s.dirty_bwd[i] || !s.roles[i].is_launch() {
+                continue;
+            }
+            self.stats.launch_required_evals += 1;
+            if let Some(rat) = launch_required(
+                ctx,
+                &s.net_load,
+                s.result.slew[i],
+                &s.result.required,
+                &s.endpoint_rat,
+                i,
+                Some(&self.cache),
+            ) {
+                s.result.required[i] = rat;
+            }
+        }
+
+        // ---- phase G: scalar folds (always full, fixed order) -----------
+        for i in 0..n {
+            let launch = s.result.required[i] - s.result.arrival[i];
+            s.result.slack[i] = if s.result.endpoint_slack[i].is_nan() {
+                launch
+            } else {
+                launch.min(s.result.endpoint_slack[i])
+            };
+        }
+        let mut endpoints_v: Vec<(CellId, f64)> = Vec::with_capacity(s.endpoint_cells.len());
+        let mut wns = f64::INFINITY;
+        let mut tns = 0.0;
+        let mut violations = 0usize;
+        for &e in &s.endpoint_cells {
+            let i = e as usize;
+            let slack = s.result.endpoint_slack[i];
+            if slack < wns {
+                wns = slack;
+            }
+            if slack < 0.0 {
+                tns += slack;
+                violations += 1;
+            }
+            endpoints_v.push((CellId::from_index(i), slack));
+        }
+        if endpoints_v.is_empty() {
+            wns = 0.0;
+        }
+        endpoints_v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        s.result.critical_endpoints = endpoints_v.iter().map(|&(id, _)| id).collect();
+        s.result.wns = wns;
+        s.result.tns = tns;
+        s.result.violations = violations;
+        s.result.endpoints = endpoints_v.len();
+        s.result.period_ns = ctx.clock.period_ns;
+
+        // ---- reset scratch ----------------------------------------------
+        s.dirty_fwd.fill(false);
+        s.dirty_bwd.fill(false);
+        s.dirty_ep.fill(false);
+        s.dirty_launch.fill(false);
+        s.dirty_load.fill(false);
+    }
+}
+
+/// Marks the sinks of every non-clock output net of `id`: combinational
+/// sinks must re-time forward, endpoint sinks must re-read their data
+/// arrival.
+fn mark_sinks(
+    netlist: &Netlist,
+    roles: &[Role],
+    dirty_fwd: &mut [bool],
+    dirty_ep: &mut [bool],
+    id: CellId,
+) {
+    for net in netlist.cell(id).output_nets() {
+        if netlist.net(net).is_clock {
+            continue;
+        }
+        for sink in &netlist.net(net).sinks {
+            let j = sink.cell.index();
+            match roles[j] {
+                Role::Comb => dirty_fwd[j] = true,
+                r if r.is_endpoint() => dirty_ep[j] = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Marks the drivers of `id`'s non-clock input nets for backward
+/// re-evaluation (their required times read arcs into / the RAT of `id`).
+/// Drivers that are launch cells are picked up by the launch-required
+/// pass; the root clock net is skipped because launch required times
+/// never traverse clock nets.
+fn mark_fanin(netlist: &Netlist, dirty_bwd: &mut [bool], id: CellId) {
+    let cell = netlist.cell(id);
+    for slot in &cell.inputs {
+        let Some(net) = slot else { continue };
+        if netlist.net(*net).is_clock {
+            continue;
+        }
+        if let Some(drv) = netlist.net(*net).driver {
+            dirty_bwd[drv.cell.index()] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Parasitics;
+    use crate::engine::analyze;
+    use m3d_tech::{Library, TierStack};
+
+    fn assert_bit_identical(a: &StaResult, b: &StaResult) {
+        assert_eq!(a.wns.to_bits(), b.wns.to_bits(), "wns");
+        assert_eq!(a.tns.to_bits(), b.tns.to_bits(), "tns");
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.endpoints, b.endpoints);
+        assert_eq!(a.period_ns.to_bits(), b.period_ns.to_bits());
+        assert_eq!(a.critical_endpoints, b.critical_endpoints);
+        assert_eq!(a.worst_input, b.worst_input);
+        for i in 0..a.arrival.len() {
+            assert_eq!(a.arrival[i].to_bits(), b.arrival[i].to_bits(), "arrival[{i}]");
+            assert_eq!(a.slew[i].to_bits(), b.slew[i].to_bits(), "slew[{i}]");
+            assert_eq!(a.required[i].to_bits(), b.required[i].to_bits(), "required[{i}]");
+            assert_eq!(a.slack[i].to_bits(), b.slack[i].to_bits(), "slack[{i}]");
+            assert_eq!(
+                a.endpoint_slack[i].to_bits(),
+                b.endpoint_slack[i].to_bits(),
+                "endpoint_slack[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn timer_matches_cold_analyze_through_edits() {
+        let mut netlist = m3d_netgen::Benchmark::Aes.generate(0.02, 5);
+        let stack = TierStack::heterogeneous();
+        let mut tiers = vec![Tier::Bottom; netlist.cell_count()];
+        let mut parasitics = Parasitics::zero_wire(&netlist);
+        let mut period = 1.0;
+        let mut timer = Timer::new();
+
+        let gates: Vec<CellId> = netlist
+            .cells()
+            .filter(|(_, c)| c.class.is_gate() && !c.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+
+        for step in 0..14 {
+            match step % 7 {
+                0 => {
+                    let g = gates[step * 37 % gates.len()];
+                    let d = netlist.cell(g).class.gate_drive().expect("gate");
+                    netlist.set_drive(g, d.upsized().unwrap_or(Drive::X1));
+                    timer.resize_cell(g);
+                }
+                1 => {
+                    let g = gates[step * 61 % gates.len()];
+                    tiers[g.index()] = match tiers[g.index()] {
+                        Tier::Bottom => Tier::Top,
+                        Tier::Top => Tier::Bottom,
+                    };
+                    timer.swap_tier(g);
+                }
+                2 => {
+                    period *= 0.93;
+                    timer.set_period(period);
+                }
+                3 => {
+                    let k = NetId::from_index(step * 13 % netlist.net_count());
+                    parasitics.net_mut(k).wire_delay_ns += 0.004;
+                    parasitics.net_mut(k).wire_cap_ff += 1.5;
+                    timer.update_parasitics(k);
+                }
+                // Also exercise the pure auto-diff path (no hints).
+                4 => {
+                    let g = gates[step * 17 % gates.len()];
+                    let d = netlist.cell(g).class.gate_drive().expect("gate");
+                    netlist.set_drive(g, d.downsized().unwrap_or(Drive::X8));
+                }
+                5 => {
+                    let k = NetId::from_index(step * 29 % netlist.net_count());
+                    parasitics.net_mut(k).wire_delay_ns += 0.002;
+                }
+                _ => period *= 1.04,
+            }
+            let ctx = TimingContext {
+                netlist: &netlist,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(period),
+            };
+            let incr = timer.update(&ctx);
+            let cold = analyze(&ctx);
+            assert_bit_identical(&incr, &cold);
+        }
+        let stats = timer.stats();
+        assert_eq!(stats.full_rebuilds, 1, "only the first call builds");
+        assert_eq!(stats.incremental_updates, 13);
+        assert!(
+            stats.propagated_evals() < 14 * timer.full_pass_evals(),
+            "incremental must do less work than cold passes: {} vs {}",
+            stats.propagated_evals(),
+            14 * timer.full_pass_evals()
+        );
+    }
+
+    #[test]
+    fn period_only_edit_touches_no_forward_arc() {
+        let netlist = m3d_netgen::Benchmark::Aes.generate(0.02, 5);
+        let stack = TierStack::two_d(Library::twelve_track());
+        let tiers = vec![Tier::Bottom; netlist.cell_count()];
+        let parasitics = Parasitics::zero_wire(&netlist);
+        let mut timer = Timer::new();
+        let run = |timer: &mut Timer, period: f64| {
+            timer.update(&TimingContext {
+                netlist: &netlist,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(period),
+            })
+        };
+        let _ = run(&mut timer, 1.0);
+        let forward_after_build = timer.stats().forward_evals;
+        let launch_after_build = timer.stats().launch_evals;
+        for (i, p) in [0.9, 0.8, 1.1, 0.6].into_iter().enumerate() {
+            let incr = run(&mut timer, p);
+            let cold = analyze(&TimingContext {
+                netlist: &netlist,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(p),
+            });
+            assert_bit_identical(&incr, &cold);
+            assert_eq!(
+                timer.stats().forward_evals,
+                forward_after_build,
+                "rung {i}: period edits must not re-propagate arrivals"
+            );
+            assert_eq!(timer.stats().launch_evals, launch_after_build);
+        }
+    }
+
+    #[test]
+    fn structural_edit_falls_back_to_rebuild() {
+        let mut netlist = m3d_netgen::Benchmark::Ldpc.generate(0.015, 9);
+        let stack = TierStack::two_d(Library::twelve_track());
+        let mut timer = Timer::new();
+        {
+            let tiers = vec![Tier::Bottom; netlist.cell_count()];
+            let parasitics = Parasitics::zero_wire(&netlist);
+            let _ = timer.update(&TimingContext {
+                netlist: &netlist,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(1.0),
+            });
+        }
+        // Buffer insertion adds cells and nets.
+        let mut positions = vec![m3d_geom::Point::ORIGIN; netlist.cell_count()];
+        let inserted = m3d_opt_free_insert(&mut netlist, &mut positions);
+        assert!(inserted > 0, "ldpc has high-fanout nets");
+        timer.insert_buffer();
+        let tiers = vec![Tier::Bottom; netlist.cell_count()];
+        let parasitics = Parasitics::zero_wire(&netlist);
+        let ctx = TimingContext {
+            netlist: &netlist,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(1.0),
+        };
+        let incr = timer.update(&ctx);
+        assert_bit_identical(&incr, &analyze(&ctx));
+        assert_eq!(timer.stats().full_rebuilds, 2);
+    }
+
+    /// Minimal stand-in for `m3d_opt::insert_buffers` (the opt crate
+    /// depends on this one, so tests here cannot call it): splits the
+    /// first net with fanout > 8 exactly the way the optimizer does.
+    fn m3d_opt_free_insert(
+        netlist: &mut m3d_netlist::Netlist,
+        positions: &mut Vec<m3d_geom::Point>,
+    ) -> usize {
+        let mut inserted = 0;
+        let ids: Vec<NetId> = netlist.net_ids().collect();
+        for net_id in ids {
+            let net = netlist.net(net_id);
+            if net.is_clock || net.fanout() <= 8 {
+                continue;
+            }
+            let sinks = net.sinks.clone();
+            let (keep, spill) = sinks.split_at(8);
+            netlist.net_mut(net_id).sinks = keep.to_vec();
+            let buf = netlist.add_gate(
+                format!("tbuf{}", net_id.index()),
+                CellKind::Buf,
+                Drive::X4,
+                0,
+            );
+            netlist.connect(net_id, buf, 0);
+            let new_net = netlist.add_net(format!("tnet{}", net_id.index()), buf, 0);
+            for pin in spill {
+                let cell = netlist.cell_mut(pin.cell);
+                cell.inputs[pin.pin as usize] = Some(new_net);
+                netlist.net_mut(new_net).sinks.push(*pin);
+            }
+            positions.push(m3d_geom::Point::ORIGIN);
+            inserted += 1;
+            break;
+        }
+        inserted
+    }
+}

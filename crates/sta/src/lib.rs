@@ -13,7 +13,11 @@
 //!   through each cell, computed for *every* cell (the paper's complete
 //!   coverage requirement),
 //! * [`worst_paths`] — top-K critical-path extraction with per-tier delay
-//!   breakdowns (Table VIII's critical-path anatomy).
+//!   breakdowns (Table VIII's critical-path anatomy),
+//! * [`Timer`] — a persistent incremental engine that re-propagates only
+//!   the dirty cones after edits (sizing, tier swaps, parasitics, period
+//!   sweeps), bit-identical to a cold [`analyze`] at any thread count,
+//!   sharing a per-arc NLDM memo ([`DelayCache`]) with the full pass.
 //!
 //! Delays come from the NLDM tables of the bound libraries; wire delays
 //! from per-net [`Parasitics`] (pre-route Steiner estimates or routed RC).
@@ -40,10 +44,14 @@
 //! assert!(result.wns <= result.tns.max(0.0) + 1e9); // both finite
 //! ```
 
+mod cache;
 mod context;
 mod engine;
+mod incremental;
 mod paths;
 
+pub use cache::DelayCache;
 pub use context::{ClockSpec, NetModel, Parasitics, TimingContext};
 pub use engine::{analyze, StaResult};
+pub use incremental::{Timer, TimerStats};
 pub use paths::{worst_paths, PathStage, TimingPath};

@@ -1,0 +1,221 @@
+//! Equivalence tests for the incremental STA engine.
+//!
+//! The contract under test: after ANY sequence of flow-vocabulary edits —
+//! drive resize, buffer insertion, tier swap, clock-period change, net
+//! parasitics update — [`m3d_sta::Timer::update`] returns a result
+//! **bit-identical** to a cold [`m3d_sta::analyze`] of the same context,
+//! at any thread count. Threads are a performance knob only.
+
+use hetero3d::netgen::Benchmark;
+use hetero3d::netlist::{CellId, NetId, Netlist};
+use hetero3d::par;
+use hetero3d::sta::{analyze, ClockSpec, Parasitics, StaResult, Timer, TimingContext};
+use hetero3d::tech::{Drive, Tier, TierStack};
+use proptest::prelude::*;
+
+/// Asserts exact equality of every float (by raw bits) and every discrete
+/// field of two STA results.
+fn assert_bit_identical(incr: &StaResult, cold: &StaResult, what: &str) {
+    assert_eq!(incr.wns.to_bits(), cold.wns.to_bits(), "{what}: wns");
+    assert_eq!(incr.tns.to_bits(), cold.tns.to_bits(), "{what}: tns");
+    assert_eq!(incr.violations, cold.violations, "{what}: violations");
+    assert_eq!(incr.endpoints, cold.endpoints, "{what}: endpoints");
+    assert_eq!(incr.critical_endpoints, cold.critical_endpoints, "{what}: order");
+    assert_eq!(incr.worst_input, cold.worst_input, "{what}: worst_input");
+    for i in 0..cold.arrival.len() {
+        assert_eq!(incr.arrival[i].to_bits(), cold.arrival[i].to_bits(), "{what}: arrival[{i}]");
+        assert_eq!(incr.slew[i].to_bits(), cold.slew[i].to_bits(), "{what}: slew[{i}]");
+        assert_eq!(incr.required[i].to_bits(), cold.required[i].to_bits(), "{what}: required[{i}]");
+        assert_eq!(incr.slack[i].to_bits(), cold.slack[i].to_bits(), "{what}: slack[{i}]");
+    }
+}
+
+/// One randomized non-structural edit, decoded from `(op, index,
+/// magnitude)`. Structural edits (buffer insertion) are handled by the
+/// caller before the parasitics binding is (re)built.
+#[allow(clippy::too_many_arguments)]
+fn apply_edit(
+    op: u8,
+    index: usize,
+    mag: f64,
+    netlist: &mut Netlist,
+    tiers: &mut [Tier],
+    parasitics: &mut Parasitics,
+    period: &mut f64,
+    timer: &mut Timer,
+) {
+    let gates: Vec<CellId> = netlist
+        .cells()
+        .filter(|(_, c)| c.class.is_gate() && !c.is_sequential())
+        .map(|(id, _)| id)
+        .collect();
+    match op {
+        0 => {
+            let g = gates[index % gates.len()];
+            let d = netlist.cell(g).class.gate_drive().expect("gate");
+            netlist.set_drive(g, d.upsized().unwrap_or(Drive::X1));
+            timer.resize_cell(g);
+        }
+        1 => {
+            let g = gates[index % gates.len()];
+            let d = netlist.cell(g).class.gate_drive().expect("gate");
+            netlist.set_drive(g, d.downsized().unwrap_or(Drive::X8));
+            timer.resize_cell(g);
+        }
+        2 => {
+            let g = gates[index % gates.len()];
+            tiers[g.index()] = tiers[g.index()].other();
+            timer.swap_tier(g);
+        }
+        3 => {
+            *period = (*period * (0.85 + 0.3 * mag)).max(0.05);
+            timer.set_period(*period);
+        }
+        _ => {
+            let k = NetId::from_index(index % netlist.net_count());
+            parasitics.net_mut(k).wire_delay_ns += 0.006 * mag;
+            parasitics.net_mut(k).wire_cap_ff += 2.0 * mag;
+            timer.update_parasitics(k);
+        }
+    }
+}
+
+/// Runs one random edit script on a small AES netlist, checking that the
+/// incremental result matches a cold analyze bit-for-bit after every
+/// single edit.
+fn run_edit_script(edits: &[(u8, usize, f64)], seed: u64) {
+    let mut netlist = Benchmark::Aes.generate(0.015, seed);
+    let stack = TierStack::heterogeneous();
+    let mut positions = vec![hetero3d::geom::Point::ORIGIN; netlist.cell_count()];
+    let mut tiers = vec![Tier::Bottom; netlist.cell_count()];
+    let mut period = 1.0;
+    let mut timer = Timer::new();
+
+    for (step, &(op, index, mag)) in edits.iter().enumerate() {
+        // Structural edits first: they grow the netlist, and every
+        // per-net/per-cell binding below must be sized to the result.
+        if op == 5 {
+            let inserted = hetero3d::opt::insert_buffers(&mut netlist, &mut positions, 6 + index % 6);
+            tiers.resize(netlist.cell_count(), Tier::Bottom);
+            if !inserted.is_empty() {
+                timer.insert_buffer();
+            }
+        }
+        // Rebuild the wire models each step so the vector tracks the
+        // netlist when a buffer-insert edit grew it (the rebuild itself
+        // is one more parasitics edit the timer must absorb).
+        let mut parasitics = Parasitics::zero_wire(&netlist);
+        for k in 0..netlist.net_count() {
+            let id = NetId::from_index(k);
+            *parasitics.net_mut(id) = hetero3d::sta::NetModel {
+                wire_cap_ff: 0.5 + (k % 7) as f64,
+                wire_delay_ns: 0.001 * (k % 5) as f64,
+            };
+        }
+        if op != 5 {
+            apply_edit(
+                op,
+                index,
+                mag,
+                &mut netlist,
+                &mut tiers,
+                &mut parasitics,
+                &mut period,
+                &mut timer,
+            );
+        }
+        let ctx = TimingContext {
+            netlist: &netlist,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(period),
+        };
+        let incr = timer.update(&ctx);
+        let cold = analyze(&ctx);
+        assert_bit_identical(&incr, &cold, &format!("step {step} op {op}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Random edit scripts: resize up/down, tier swap, period change,
+    // parasitics update, buffer insertion.
+    #[test]
+    fn timer_is_bit_identical_to_cold_analyze(
+        edits in prop::collection::vec((0u8..6, 0usize..4096, 0.0..1.0f64), 1..10),
+        seed in 0u64..64,
+    ) {
+        run_edit_script(&edits, seed);
+    }
+}
+
+/// A large (above the parallel threshold) netlist driven through a fixed
+/// edit script at 1 and 4 threads: the incremental results must agree
+/// with each other and with a cold single-thread analyze, bit for bit.
+#[test]
+fn timer_is_thread_count_invariant() {
+    let netlist = Benchmark::Aes.generate(0.25, 11);
+    assert!(
+        netlist.cell_count() >= par::PAR_THRESHOLD,
+        "test must exercise the parallel path ({} cells)",
+        netlist.cell_count()
+    );
+    let stack = TierStack::heterogeneous();
+    let base_tiers = vec![Tier::Bottom; netlist.cell_count()];
+    let parasitics = Parasitics::zero_wire(&netlist);
+
+    let gates: Vec<CellId> = netlist
+        .cells()
+        .filter(|(_, c)| c.class.is_gate() && !c.is_sequential())
+        .map(|(id, _)| id)
+        .collect();
+
+    let mut runs: Vec<Vec<StaResult>> = Vec::new();
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        let mut nl = netlist.clone();
+        let mut tiers = base_tiers.clone();
+        let mut period = 1.0;
+        let mut timer = Timer::new();
+        let mut results = Vec::new();
+        for step in 0..8 {
+            match step % 4 {
+                0 => {
+                    let g = gates[step * 97 % gates.len()];
+                    let d = nl.cell(g).class.gate_drive().expect("gate");
+                    nl.set_drive(g, d.upsized().unwrap_or(Drive::X1));
+                }
+                1 => {
+                    let g = gates[step * 131 % gates.len()];
+                    tiers[g.index()] = tiers[g.index()].other();
+                }
+                2 => period *= 0.94,
+                _ => {
+                    let g = gates[step * 61 % gates.len()];
+                    let d = nl.cell(g).class.gate_drive().expect("gate");
+                    nl.set_drive(g, d.downsized().unwrap_or(Drive::X8));
+                }
+            }
+            let ctx = TimingContext {
+                netlist: &nl,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(period),
+            };
+            results.push(timer.update(&ctx));
+            if threads == 1 && step == 7 {
+                // Anchor the sequence to a cold pass once.
+                assert_bit_identical(results.last().unwrap(), &analyze(&ctx), "anchor");
+            }
+        }
+        results.push(timer.result().expect("updated").clone());
+        runs.push(results);
+    }
+    par::set_threads(1);
+    for (step, (a, b)) in runs[0].iter().zip(&runs[1]).enumerate() {
+        assert_bit_identical(a, b, &format!("threads 1 vs 4, step {step}"));
+    }
+}

@@ -60,8 +60,14 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("global_route", |b| {
         b.iter(|| {
             std::hint::black_box(
-                global_route(&netlist, &placement, &tiers, &stack, &RouteConfig::default())
-                    .total_wirelength_um,
+                global_route(
+                    &netlist,
+                    &placement,
+                    &tiers,
+                    &stack,
+                    &RouteConfig::default(),
+                )
+                .total_wirelength_um,
             )
         })
     });

@@ -113,8 +113,8 @@ fn bench_design(c: &mut Criterion, mut d: Design) -> (f64, f64, u64, u64) {
     let incr = t0.elapsed().as_secs_f64() / reps as f64;
     std::hint::black_box(sink);
     let stats = timer.stats();
-    let cold_equivalent = (stats.full_rebuilds + stats.incremental_updates)
-        * timer.full_pass_evals();
+    let cold_equivalent =
+        (stats.full_rebuilds + stats.incremental_updates) * timer.full_pass_evals();
     (full, incr, cold_equivalent, stats.propagated_evals())
 }
 
@@ -122,9 +122,8 @@ fn bench_design(c: &mut Criterion, mut d: Design) -> (f64, f64, u64, u64) {
 /// design. Cold analysis repeats the whole propagation per rung; the
 /// Timer only re-evaluates endpoint RATs and required times.
 fn bench_fmax_ladder(c: &mut Criterion, d: &Design) -> (f64, f64) {
-    let sweep_cold = |d: &Design| -> f64 {
-        LADDER.iter().map(|m| analyze(&ctx(d, m * 1.0)).wns).sum()
-    };
+    let sweep_cold =
+        |d: &Design| -> f64 { LADDER.iter().map(|m| analyze(&ctx(d, m * 1.0)).wns).sum() };
     c.bench_function("fmax_ladder_full", |b| {
         b.iter(|| std::hint::black_box(sweep_cold(d)))
     });
@@ -167,10 +166,7 @@ fn bench_fmax_ladder(c: &mut Criterion, d: &Design) -> (f64, f64) {
 
 fn bench_sta_incremental(c: &mut Criterion) {
     let mut lines = Vec::new();
-    for (name, bench, scale) in [
-        ("aes", Benchmark::Aes, 0.15),
-        ("cpu", Benchmark::Cpu, 0.10),
-    ] {
+    for (name, bench, scale) in [("aes", Benchmark::Aes, 0.15), ("cpu", Benchmark::Cpu, 0.10)] {
         let d = design(name, bench, scale);
         let cells = d.netlist.cell_count();
         let (full, incr, cold_evals, prop_evals) = bench_design(c, d);

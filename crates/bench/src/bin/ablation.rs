@@ -29,30 +29,42 @@ fn main() {
     let _ = writeln!(out, "{}", "-".repeat(70));
 
     let variants: Vec<(&str, FlowOptions)> = vec![
-        ("none (Pin-3D baseline)", FlowOptions {
-            enable_timing_partition: false,
-            enable_3d_cts: false,
-            enable_repartition: false,
-            ..options.clone()
-        }),
-        ("+ timing partitioning", FlowOptions {
-            enable_timing_partition: true,
-            enable_3d_cts: false,
-            enable_repartition: false,
-            ..options.clone()
-        }),
-        ("+ 3-D (COVER) CTS", FlowOptions {
-            enable_timing_partition: false,
-            enable_3d_cts: true,
-            enable_repartition: false,
-            ..options.clone()
-        }),
-        ("+ repartitioning ECO", FlowOptions {
-            enable_timing_partition: false,
-            enable_3d_cts: false,
-            enable_repartition: true,
-            ..options.clone()
-        }),
+        (
+            "none (Pin-3D baseline)",
+            FlowOptions {
+                enable_timing_partition: false,
+                enable_3d_cts: false,
+                enable_repartition: false,
+                ..options.clone()
+            },
+        ),
+        (
+            "+ timing partitioning",
+            FlowOptions {
+                enable_timing_partition: true,
+                enable_3d_cts: false,
+                enable_repartition: false,
+                ..options.clone()
+            },
+        ),
+        (
+            "+ 3-D (COVER) CTS",
+            FlowOptions {
+                enable_timing_partition: false,
+                enable_3d_cts: true,
+                enable_repartition: false,
+                ..options.clone()
+            },
+        ),
+        (
+            "+ repartitioning ECO",
+            FlowOptions {
+                enable_timing_partition: false,
+                enable_3d_cts: false,
+                enable_repartition: true,
+                ..options.clone()
+            },
+        ),
         ("all three (Hetero-Pin-3D)", options.clone()),
     ];
     for (name, o) in &variants {

@@ -1,0 +1,244 @@
+//! CI bench-regression gate: compares freshly emitted benchmark
+//! manifests against the committed baselines and exits non-zero on any
+//! regression.
+//!
+//! Usage: `bench_gate [--fresh <dir>] [--baseline <dir>]`
+//! (defaults: fresh `fresh/`, baseline `results/`). The fresh directory
+//! is produced in CI by `flow_obs` and `sta_incr --scale tiny` with
+//! `--out fresh`; the baseline directory is the committed `results/`.
+//!
+//! The tolerance model has two classes:
+//!
+//! * **Deterministic metrics** (counters, gauges, labels, span call
+//!   counts, arc/eval counts) are compared **exactly** — by the
+//!   determinism contract they may not move unless the algorithms
+//!   changed, in which case the baseline must be refreshed in the same
+//!   change.
+//! * **Wall-derived ratios** (speedups, arc reduction) are checked
+//!   against absolute floors, never against the baseline's own timing —
+//!   CI runners are too noisy for relative wall-clock comparisons.
+//!   Raw wall times are ignored entirely.
+
+use m3d_bench::json::{parse, Value};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Absolute floors for the STA bench's wall-derived ratios, per design.
+const STA_FLOORS: &[(&str, f64)] = &[
+    ("speedup", 1.5),
+    ("arc_reduction", 3.0),
+    ("ladder_speedup", 1.0),
+];
+
+/// Per-design fields of the STA bench that must match the baseline bit
+/// for bit.
+const STA_EXACT: &[&str] = &["cells", "edits", "cold_equiv_evals", "propagated_evals"];
+
+struct Gate {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        self.checks += 1;
+        if ok {
+            println!("  ok   {what}");
+        } else {
+            println!("  FAIL {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+fn load(dir: &Path, name: &str) -> Result<Value, String> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Records every path where `a` and `b` differ (bounded, depth-first).
+fn diff(a: &Value, b: &Value, path: &str, out: &mut Vec<String>) {
+    if out.len() >= 8 {
+        return;
+    }
+    match (a, b) {
+        (Value::Obj(ma), Value::Obj(mb)) => {
+            for (k, va) in ma {
+                match b.get(k) {
+                    Some(vb) => diff(va, vb, &format!("{path}/{k}"), out),
+                    None => out.push(format!("{path}/{k}: missing from baseline")),
+                }
+            }
+            for (k, _) in mb {
+                if a.get(k).is_none() {
+                    out.push(format!("{path}/{k}: missing from fresh run"));
+                }
+            }
+        }
+        (Value::Arr(xa), Value::Arr(xb)) if xa.len() == xb.len() => {
+            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                diff(va, vb, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(format!("{path}: {a:?} != {b:?}")),
+    }
+}
+
+/// The run parameters that make exact comparison meaningful.
+fn run_params(doc: &Value) -> (Option<f64>, Option<u64>) {
+    (
+        doc.get("scale").and_then(Value::as_f64),
+        doc.get("seed").and_then(Value::as_u64),
+    )
+}
+
+fn gate_sta(gate: &mut Gate, fresh: &Value, baseline: &Value) {
+    gate.check(
+        run_params(fresh) == run_params(baseline),
+        &format!(
+            "BENCH_sta: fresh run parameters {:?} match baseline {:?}",
+            run_params(fresh),
+            run_params(baseline)
+        ),
+    );
+    let empty = Vec::new();
+    let fresh_designs = fresh
+        .get("designs")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+    gate.check(
+        !fresh_designs.is_empty(),
+        "BENCH_sta: fresh run has design datapoints",
+    );
+    for d in fresh_designs {
+        let name = d.get("name").and_then(Value::as_str).unwrap_or("?");
+        let base_design = baseline
+            .get("designs")
+            .and_then(Value::as_arr)
+            .and_then(|ds| {
+                ds.iter()
+                    .find(|b| b.get("name").and_then(Value::as_str) == Some(name))
+            });
+        let Some(base_design) = base_design else {
+            gate.check(
+                false,
+                &format!("BENCH_sta[{name}]: design present in baseline"),
+            );
+            continue;
+        };
+        for field in STA_EXACT {
+            let f = d.get(field).and_then(Value::as_u64);
+            let b = base_design.get(field).and_then(Value::as_u64);
+            gate.check(
+                f.is_some() && f == b,
+                &format!("BENCH_sta[{name}].{field}: deterministic count {f:?} == baseline {b:?}"),
+            );
+        }
+        for (field, floor) in STA_FLOORS {
+            let v = d
+                .get(field)
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NEG_INFINITY);
+            gate.check(
+                v >= *floor,
+                &format!("BENCH_sta[{name}].{field}: {v} >= floor {floor}"),
+            );
+        }
+    }
+}
+
+fn gate_flow(gate: &mut Gate, fresh: &Value, baseline: &Value) {
+    gate.check(
+        fresh.get("deterministic_identity").and_then(Value::as_bool) == Some(true),
+        "BENCH_flow: 1-thread and 4-thread manifests were bit-identical in-process",
+    );
+    gate.check(
+        run_params(fresh) == run_params(baseline),
+        &format!(
+            "BENCH_flow: fresh run parameters {:?} match baseline {:?}",
+            run_params(fresh),
+            run_params(baseline)
+        ),
+    );
+    match (fresh.get("deterministic"), baseline.get("deterministic")) {
+        (Some(f), Some(b)) => {
+            let mut diffs = Vec::new();
+            diff(f, b, "deterministic", &mut diffs);
+            let mut what =
+                String::from("BENCH_flow: deterministic manifest matches baseline exactly");
+            if !diffs.is_empty() {
+                let _ = write!(what, " — first diffs: {}", diffs.join("; "));
+            }
+            gate.check(diffs.is_empty(), &what);
+            let counters = f.get("counters").and_then(|c| match c {
+                Value::Obj(m) => Some(m.len()),
+                _ => None,
+            });
+            gate.check(
+                counters.is_some_and(|n| n >= 10),
+                &format!("BENCH_flow: manifest carries a full counter set ({counters:?})"),
+            );
+        }
+        _ => gate.check(
+            false,
+            "BENCH_flow: both files carry a deterministic section",
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let dir_arg = |flag: &str, default: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map_or_else(|| PathBuf::from(default), PathBuf::from)
+    };
+    let fresh_dir = dir_arg("--fresh", "fresh");
+    let baseline_dir = dir_arg("--baseline", "results");
+    println!(
+        "bench_gate: {} (fresh) vs {} (baseline)",
+        fresh_dir.display(),
+        baseline_dir.display()
+    );
+
+    let mut gate = Gate {
+        failures: Vec::new(),
+        checks: 0,
+    };
+    for (name, run) in [
+        ("BENCH_sta.json", gate_sta as fn(&mut Gate, &Value, &Value)),
+        ("BENCH_flow.json", gate_flow),
+    ] {
+        match (load(&fresh_dir, name), load(&baseline_dir, name)) {
+            (Ok(fresh), Ok(baseline)) => run(&mut gate, &fresh, &baseline),
+            (fresh, baseline) => {
+                for r in [fresh, baseline] {
+                    if let Err(e) = r {
+                        gate.check(false, &format!("load {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    if gate.failures.is_empty() {
+        println!("bench_gate: all {} checks passed", gate.checks);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_gate: {} of {} checks FAILED — metric regression or stale baseline.",
+            gate.failures.len(),
+            gate.checks
+        );
+        println!(
+            "If the change is intentional, refresh the baselines: \
+             `cargo run --release -p m3d-bench --bin sta_incr -- --scale tiny` and \
+             `cargo run --release -p m3d-bench --bin flow_obs`, then commit results/."
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -35,7 +35,11 @@ fn main() {
     emit(
         &args,
         "fig3c_hetero_bottom.svg",
-        &render_layout(&imp_h, LayerChoice::Bottom, "(c) hetero 3D cpu (12T bottom)"),
+        &render_layout(
+            &imp_h,
+            LayerChoice::Bottom,
+            "(c) hetero 3D cpu (12T bottom)",
+        ),
     );
     emit(
         &args,

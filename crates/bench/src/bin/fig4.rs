@@ -17,12 +17,18 @@ fn main() {
     emit(
         &args,
         "fig4_2d_overlays.svg",
-        &render_overlays(&imp_2d, "2D 12-track: clock (green), memory nets, critical path (red)"),
+        &render_overlays(
+            &imp_2d,
+            "2D 12-track: clock (green), memory nets, critical path (red)",
+        ),
     );
     let imp_h = run_flow(&netlist, Config::Hetero3d, frequency, &options);
     emit(
         &args,
         "fig4_hetero_overlays.svg",
-        &render_overlays(&imp_h, "hetero 3D: clock (green), memory nets, critical path (red)"),
+        &render_overlays(
+            &imp_h,
+            "hetero 3D: clock (green), memory nets, critical path (red)",
+        ),
     );
 }

@@ -1,0 +1,100 @@
+//! Instrumented flow run emitting the telemetry manifest as
+//! `results/BENCH_flow.json`.
+//!
+//! Runs the heterogeneous flow with telemetry enabled twice — once forced
+//! sequential, once at four workers — and asserts the deterministic
+//! manifest sections (span call counts, counters, gauges, labels) are
+//! **byte-identical**, the observability half of the workspace's
+//! determinism contract. It then sweeps the 12-track 2-D configuration to
+//! fmax under a scoped handle and emits one combined JSON document with
+//! the deterministic section, the wall-clock/perf sections of both runs
+//! and the fmax sweep manifest.
+//!
+//! Usage: `flow_obs [--scale <f64>] [--seed <u64>] [--out <dir>]`.
+//! The default scale is the CI smoke setting (0.02), smaller than the
+//! other regeneration binaries: the gate needs a fast, exactly
+//! reproducible datapoint, not a paper-scale one.
+
+use hetero3d::flow::{find_fmax, run_flow, Config, FlowOptions};
+use hetero3d::netgen::Benchmark;
+use hetero3d::obs::Obs;
+use std::fmt::Write as _;
+
+fn instrumented(base: &FlowOptions, threads: usize) -> FlowOptions {
+    FlowOptions {
+        threads,
+        obs: Obs::enabled(),
+        ..base.clone()
+    }
+}
+
+/// Splices a nested JSON document under `key`, indenting it two spaces.
+fn push_nested(out: &mut String, key: &str, nested: &str, last: bool) {
+    let _ = write!(out, "  \"{key}\": ");
+    for (i, line) in nested.lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out.push_str(if last { "\n" } else { ",\n" });
+}
+
+fn main() {
+    let mut args = m3d_bench::parse_args();
+    if !std::env::args().any(|a| a == "--scale") {
+        args.scale = 0.02;
+    }
+    let netlist = Benchmark::Aes.generate(args.scale, args.seed);
+    let base = m3d_bench::bench_options();
+
+    // The identity check: one worker vs four, same netlist, same knobs.
+    let seq_options = instrumented(&base, 1);
+    let par_options = instrumented(&base, 4);
+    let _ = run_flow(&netlist, Config::Hetero3d, 1.0, &seq_options);
+    let _ = run_flow(&netlist, Config::Hetero3d, 1.0, &par_options);
+    let seq = seq_options.obs.manifest();
+    let par = par_options.obs.manifest();
+    let identical = seq.deterministic_json() == par.deterministic_json();
+    assert!(
+        identical,
+        "telemetry determinism violated: 1-thread and 4-thread manifests differ\n--- 1 thread ---\n{}\n--- 4 threads ---\n{}",
+        seq.deterministic_json(),
+        par.deterministic_json()
+    );
+
+    // Fmax sweep coverage: probe/rung/relaxed spans under one handle.
+    let fmax_options = instrumented(&base, 0);
+    let (fmax_ghz, _) = find_fmax(&netlist, Config::TwoD12T, &fmax_options, 1.0);
+    let fmax = fmax_options.obs.manifest();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"flow_obs\",");
+    let _ = writeln!(
+        json,
+        "  \"scale\": {}, \"seed\": {}, \"threads\": {},",
+        args.scale,
+        args.seed,
+        hetero3d::par::resolve(0)
+    );
+    let _ = writeln!(json, "  \"deterministic_identity\": {identical},");
+    let _ = writeln!(json, "  \"fmax_ghz\": {fmax_ghz:.4},");
+    push_nested(&mut json, "deterministic", &seq.deterministic_json(), false);
+    push_nested(&mut json, "runtime_1t", &seq.json(), false);
+    push_nested(&mut json, "runtime_4t", &par.json(), false);
+    push_nested(&mut json, "fmax_sweep", &fmax.json(), true);
+    json.push_str("}\n");
+
+    m3d_bench::emit(&args, "BENCH_flow.json", &json);
+    let wall =
+        |m: &hetero3d::obs::Manifest| m.span("run_flow").map_or(0, |s| s.wall_ns) as f64 / 1e6;
+    println!(
+        "flow_obs: deterministic sections bit-identical at 1 and 4 threads \
+         ({} spans, {} counters) | run_flow {:.1} ms seq vs {:.1} ms par | fmax {:.3} GHz",
+        seq.spans.len(),
+        seq.counters.len(),
+        wall(&seq),
+        wall(&par),
+        fmax_ghz,
+    );
+}

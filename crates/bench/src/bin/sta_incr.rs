@@ -24,10 +24,21 @@ fn assert_bit_identical(incr: &StaResult, cold: &StaResult, what: &str) {
     assert_eq!(incr.wns.to_bits(), cold.wns.to_bits(), "{what}: wns");
     assert_eq!(incr.tns.to_bits(), cold.tns.to_bits(), "{what}: tns");
     assert_eq!(incr.violations, cold.violations, "{what}: violations");
-    assert_eq!(incr.critical_endpoints, cold.critical_endpoints, "{what}: order");
+    assert_eq!(
+        incr.critical_endpoints, cold.critical_endpoints,
+        "{what}: order"
+    );
     for i in 0..cold.arrival.len() {
-        assert_eq!(incr.arrival[i].to_bits(), cold.arrival[i].to_bits(), "{what}: arrival[{i}]");
-        assert_eq!(incr.slack[i].to_bits(), cold.slack[i].to_bits(), "{what}: slack[{i}]");
+        assert_eq!(
+            incr.arrival[i].to_bits(),
+            cold.arrival[i].to_bits(),
+            "{what}: arrival[{i}]"
+        );
+        assert_eq!(
+            incr.slack[i].to_bits(),
+            cold.slack[i].to_bits(),
+            "{what}: slack[{i}]"
+        );
     }
 }
 
@@ -59,9 +70,9 @@ fn run_bench(bench: Benchmark, name: &'static str, scale: f64, seed: u64) -> Dat
     // The edit script: a deterministic mix of the flow's edit vocabulary.
     let edits = 24usize;
     let apply = |netlist: &mut hetero3d::netlist::Netlist,
-                     tiers: &mut Vec<Tier>,
-                     parasitics: &mut Parasitics,
-                     step: usize| {
+                 tiers: &mut Vec<Tier>,
+                 parasitics: &mut Parasitics,
+                 step: usize| {
         match step % 4 {
             0 => {
                 let g = gates[step * 131 % gates.len()];
@@ -185,7 +196,11 @@ fn main() {
     ];
 
     let mut json = String::from("{\n  \"bench\": \"sta_incremental\",\n");
-    let _ = writeln!(json, "  \"scale\": {}, \"seed\": {}, \"threads\": {},", args.scale, args.seed, threads);
+    let _ = writeln!(
+        json,
+        "  \"scale\": {}, \"seed\": {}, \"threads\": {},",
+        args.scale, args.seed, threads
+    );
     json.push_str("  \"designs\": [\n");
     for (i, p) in points.iter().enumerate() {
         let arc_reduction = p.cold_equiv_evals as f64 / p.propagated_evals.max(1) as f64;

@@ -12,17 +12,60 @@ fn main() {
 
     let mut out = String::new();
     let _ = writeln!(out, "Table IV: cost model assumptions (units of C')\n");
-    let _ = writeln!(out, "Baseline wafer cost (FEOL+8 metals)   C' = {:.2}", m.c_prime);
-    let _ = writeln!(out, "Wafer FEOL cost                       {:.2} x C'", m.feol_fraction);
-    let _ = writeln!(out, "Wafer BEOL cost (6 metals)            {:.2} x C'", m.beol6_fraction);
-    let _ = writeln!(out, "3D integration cost (alpha)           {:.2} x C'", m.integration_fraction);
-    let _ = writeln!(out, "Wafer diameter                        {:.0} mm", m.wafer_diameter_mm);
-    let _ = writeln!(out, "Defect density (Dw)                   {:.1} /mm2", m.defect_density_per_mm2);
-    let _ = writeln!(out, "Wafer yield (kappa)                   {:.2}", m.wafer_yield);
-    let _ = writeln!(out, "3D yield degradation (beta)           {:.2}", m.yield_degradation_3d);
-    let _ = writeln!(out, "2D wafer cost (C_2D)                  {:.2} x C'", m.wafer_cost_2d());
-    let _ = writeln!(out, "3D wafer cost (C_3D)                  {:.2} x C'", m.wafer_cost_3d());
-    let _ = writeln!(out, "\nDerived quantities per footprint (formulas (1)-(5)):\n");
+    let _ = writeln!(
+        out,
+        "Baseline wafer cost (FEOL+8 metals)   C' = {:.2}",
+        m.c_prime
+    );
+    let _ = writeln!(
+        out,
+        "Wafer FEOL cost                       {:.2} x C'",
+        m.feol_fraction
+    );
+    let _ = writeln!(
+        out,
+        "Wafer BEOL cost (6 metals)            {:.2} x C'",
+        m.beol6_fraction
+    );
+    let _ = writeln!(
+        out,
+        "3D integration cost (alpha)           {:.2} x C'",
+        m.integration_fraction
+    );
+    let _ = writeln!(
+        out,
+        "Wafer diameter                        {:.0} mm",
+        m.wafer_diameter_mm
+    );
+    let _ = writeln!(
+        out,
+        "Defect density (Dw)                   {:.1} /mm2",
+        m.defect_density_per_mm2
+    );
+    let _ = writeln!(
+        out,
+        "Wafer yield (kappa)                   {:.2}",
+        m.wafer_yield
+    );
+    let _ = writeln!(
+        out,
+        "3D yield degradation (beta)           {:.2}",
+        m.yield_degradation_3d
+    );
+    let _ = writeln!(
+        out,
+        "2D wafer cost (C_2D)                  {:.2} x C'",
+        m.wafer_cost_2d()
+    );
+    let _ = writeln!(
+        out,
+        "3D wafer cost (C_3D)                  {:.2} x C'",
+        m.wafer_cost_3d()
+    );
+    let _ = writeln!(
+        out,
+        "\nDerived quantities per footprint (formulas (1)-(5)):\n"
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>12} {:>8} {:>8} {:>14} {:>14} {:>14}",

@@ -1,0 +1,298 @@
+//! Minimal JSON reader for the bench-regression gate.
+//!
+//! The gate compares manifests that this workspace itself emits, so the
+//! reader only needs to cover the JSON subset those files use: objects,
+//! arrays, strings with simple escapes, numbers, booleans and null. It is
+//! strict about structure (trailing garbage is an error) and keeps object
+//! keys in document order so mismatches report deterministically.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `/`-separated member path from this value.
+    #[must_use]
+    pub fn path(&self, dotted: &str) -> Option<&Value> {
+        dotted.split('/').try_fold(self, |v, key| v.get(key))
+    }
+
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Errors carry a byte offset.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or("unterminated string")?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_manifest_shaped_documents() {
+        let v = parse(
+            r#"{
+  "bench": "flow_obs", "scale": 0.02, "ok": true,
+  "designs": [{"name": "aes", "speedup": 4.5}, {"name": "cpu", "speedup": 3.0}],
+  "labels": {"input/netlist": "aes_like"}
+}"#,
+        )
+        .expect("parse");
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("flow_obs"));
+        assert_eq!(v.get("scale").and_then(Value::as_f64), Some(0.02));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let designs = v.get("designs").and_then(Value::as_arr).expect("arr");
+        assert_eq!(designs.len(), 2);
+        assert_eq!(designs[1].get("speedup").and_then(Value::as_f64), Some(3.0));
+        let label = v.path("labels").and_then(|l| l.get("input/netlist"));
+        assert_eq!(label.and_then(Value::as_str), Some("aes_like"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn handles_escapes_and_negatives() {
+        let v = parse(r#"{"s": "a\"b\\c\nd", "n": -3.25e2}"#).expect("parse");
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(-325.0));
+        assert_eq!(v.get("n").and_then(Value::as_u64), None);
+    }
+}

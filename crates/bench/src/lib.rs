@@ -9,6 +9,8 @@ use hetero3d::flow::FlowOptions;
 use std::fs;
 use std::path::PathBuf;
 
+pub mod json;
+
 /// Parsed command-line arguments of a regeneration binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchArgs {

@@ -80,10 +80,26 @@ pub fn driver_input_case(source: TechFlavor, driver: TechFlavor) -> Fo4Measureme
     let stages = vec![
         // Shaping stage in the source tier produces a realistic edge that
         // swings to the source tier's supply.
-        Stage { inv: src, parallel: 1.0, extra_load_ff: 0.0 },
-        Stage { inv: drv, parallel: 1.0, extra_load_ff: 6.0 },
-        Stage { inv: drv, parallel: 4.0, extra_load_ff: 0.0 },
-        Stage { inv: drv, parallel: 16.0, extra_load_ff: 0.0 },
+        Stage {
+            inv: src,
+            parallel: 1.0,
+            extra_load_ff: 0.0,
+        },
+        Stage {
+            inv: drv,
+            parallel: 1.0,
+            extra_load_ff: 6.0,
+        },
+        Stage {
+            inv: drv,
+            parallel: 4.0,
+            extra_load_ff: 0.0,
+        },
+        Stage {
+            inv: drv,
+            parallel: 16.0,
+            extra_load_ff: 0.0,
+        },
     ];
     let sim = ChainSim::new(stages, src.vdd);
     measure(&sim, 1, src.vdd)

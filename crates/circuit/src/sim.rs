@@ -169,7 +169,11 @@ impl ChainSim {
     /// Like [`ChainSim::run`] but returns the energy drawn from each
     /// stage's supply over the window, in fJ (one entry per stage).
     #[must_use]
-    pub fn run_with_stage_energy(&self, duration_ns: f64, ramp_ns: f64) -> (Vec<Waveform>, Vec<f64>) {
+    pub fn run_with_stage_energy(
+        &self,
+        duration_ns: f64,
+        ramp_ns: f64,
+    ) -> (Vec<Waveform>, Vec<f64>) {
         let n = self.stages.len();
         let steps = (duration_ns / DT_NS).ceil() as usize;
         // Initial condition: stimulus low -> alternating settled levels.
@@ -212,7 +216,8 @@ impl ChainSim {
             // Supply energy: sum over stages of VDD * I_pmos * dt.
             for i in 0..n {
                 let vg = if i == 0 { vin } else { v[i - 1] };
-                let i_sup = self.stages[i].inv.supply_current_ma(vg, v[i]) * self.stages[i].parallel;
+                let i_sup =
+                    self.stages[i].inv.supply_current_ma(vg, v[i]) * self.stages[i].parallel;
                 // mA * V * ns = pJ; * 1000 -> fJ.
                 energy_fj[i] += i_sup * self.stages[i].inv.vdd * DT_NS * 1000.0;
             }
@@ -224,7 +229,10 @@ impl ChainSim {
         }
         let dt_out = DT_NS * SAMPLE_EVERY as f64;
         (
-            traces.into_iter().map(|t| Waveform::new(dt_out, t)).collect(),
+            traces
+                .into_iter()
+                .map(|t| Waveform::new(dt_out, t))
+                .collect(),
             energy_fj,
         )
     }

@@ -152,9 +152,7 @@ mod tests {
         }
         let input = ramp(1.0, 31, 0.0, 1.0);
         let output = Waveform::new(1.0, out_samples);
-        let d = input
-            .delay_to(1.0, true, &output, 1.0, true, 0.0)
-            .unwrap();
+        let d = input.delay_to(1.0, true, &output, 1.0, true, 0.0).unwrap();
         assert!((d - 3.0).abs() < 1e-9);
     }
 

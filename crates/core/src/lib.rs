@@ -49,6 +49,7 @@ pub use m3d_flow as flow;
 pub use m3d_geom as geom;
 pub use m3d_netgen as netgen;
 pub use m3d_netlist as netlist;
+pub use m3d_obs as obs;
 pub use m3d_opt as opt;
 pub use m3d_par as par;
 pub use m3d_partition as partition;

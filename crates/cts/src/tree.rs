@@ -197,7 +197,10 @@ pub fn synthesize(
             pos: centroid,
             tier,
             drive,
-            children: group.iter().map(|&i| ClockChild::Sink(sinks[i].0)).collect(),
+            children: group
+                .iter()
+                .map(|&i| ClockChild::Sink(sinks[i].0))
+                .collect(),
         });
         level.push(nodes.len() - 1);
     }
@@ -410,11 +413,19 @@ fn cluster(
     let mut sorted = idx.to_vec();
     if span_x >= span_y {
         sorted.sort_by(|&a, &b| {
-            pts[a].1.x.partial_cmp(&pts[b].1.x).unwrap_or(std::cmp::Ordering::Equal)
+            pts[a]
+                .1
+                .x
+                .partial_cmp(&pts[b].1.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
     } else {
         sorted.sort_by(|&a, &b| {
-            pts[a].1.y.partial_cmp(&pts[b].1.y).unwrap_or(std::cmp::Ordering::Equal)
+            pts[a]
+                .1
+                .y
+                .partial_cmp(&pts[b].1.y)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
     let mid = sorted.len() / 2;
@@ -465,10 +476,7 @@ mod tests {
     use m3d_place::{global_place, Floorplan, PlacerConfig};
     use m3d_tech::Library;
 
-    fn setup(
-        stack: TierStack,
-        split: bool,
-    ) -> (Netlist, Vec<Tier>, Placement) {
+    fn setup(stack: TierStack, split: bool) -> (Netlist, Vec<Tier>, Placement) {
         let n = m3d_netgen::Benchmark::Netcard.generate(0.02, 8);
         let mut tiers = vec![Tier::Bottom; n.cell_count()];
         if split {
@@ -492,7 +500,14 @@ mod tests {
     fn flat_tree_covers_all_registers() {
         let stack = TierStack::two_d(Library::twelve_track());
         let (n, tiers, p) = setup(stack.clone(), false);
-        let tree = synthesize(&n, &p, &tiers, &stack, CtsMode::Flat2d, &CtsConfig::default());
+        let tree = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &stack,
+            CtsMode::Flat2d,
+            &CtsConfig::default(),
+        );
         let regs = n.sequential_cells();
         assert!(!regs.is_empty());
         for r in &regs {
@@ -511,7 +526,14 @@ mod tests {
     fn hetero_cover_tree_is_top_heavy() {
         let stack = TierStack::heterogeneous();
         let (n, tiers, p) = setup(stack.clone(), true);
-        let tree = synthesize(&n, &p, &tiers, &stack, CtsMode::Cover3d, &CtsConfig::default());
+        let tree = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &stack,
+            CtsMode::Cover3d,
+            &CtsConfig::default(),
+        );
         let top = tree.buffer_count_on(Tier::Top);
         let bottom = tree.buffer_count_on(Tier::Bottom);
         // The paper's Table VIII: >75 % of clock buffers on the top die.
@@ -525,10 +547,24 @@ mod tests {
     fn hetero_tree_has_worse_max_latency_than_homogeneous() {
         let hetero = TierStack::heterogeneous();
         let (n, tiers, p) = setup(hetero.clone(), true);
-        let tree_h = synthesize(&n, &p, &tiers, &hetero, CtsMode::Cover3d, &CtsConfig::default());
+        let tree_h = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &hetero,
+            CtsMode::Cover3d,
+            &CtsConfig::default(),
+        );
 
         let homo = TierStack::homogeneous_3d(Library::twelve_track());
-        let tree_12 = synthesize(&n, &p, &tiers, &homo, CtsMode::Cover3d, &CtsConfig::default());
+        let tree_12 = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &homo,
+            CtsMode::Cover3d,
+            &CtsConfig::default(),
+        );
         assert!(
             tree_h.max_latency_ns() > tree_12.max_latency_ns(),
             "hetero latency {} vs 12T {}",
@@ -543,8 +579,22 @@ mod tests {
         // skew under Cover3d (same-tier subtrees) than under Legacy3d.
         let stack = TierStack::heterogeneous();
         let (n, tiers, p) = setup(stack.clone(), true);
-        let cover = synthesize(&n, &p, &tiers, &stack, CtsMode::Cover3d, &CtsConfig::default());
-        let legacy = synthesize(&n, &p, &tiers, &stack, CtsMode::Legacy3d, &CtsConfig::default());
+        let cover = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &stack,
+            CtsMode::Cover3d,
+            &CtsConfig::default(),
+        );
+        let legacy = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &stack,
+            CtsMode::Legacy3d,
+            &CtsConfig::default(),
+        );
 
         // Sample register pairs that are physically close AND same-tier
         // (these represent same-block launch/capture pairs).
@@ -573,7 +623,14 @@ mod tests {
     fn buffer_area_prices_tiers_correctly() {
         let stack = TierStack::heterogeneous();
         let (n, tiers, p) = setup(stack.clone(), true);
-        let tree = synthesize(&n, &p, &tiers, &stack, CtsMode::Cover3d, &CtsConfig::default());
+        let tree = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &stack,
+            CtsMode::Cover3d,
+            &CtsConfig::default(),
+        );
         let area = tree.buffer_area_um2(&stack);
         assert!(area > 0.0);
         // Area is bounded by all-buffers-at-max-size.
@@ -589,8 +646,22 @@ mod tests {
     fn deterministic() {
         let stack = TierStack::two_d(Library::twelve_track());
         let (n, tiers, p) = setup(stack.clone(), false);
-        let a = synthesize(&n, &p, &tiers, &stack, CtsMode::Flat2d, &CtsConfig::default());
-        let b = synthesize(&n, &p, &tiers, &stack, CtsMode::Flat2d, &CtsConfig::default());
+        let a = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &stack,
+            CtsMode::Flat2d,
+            &CtsConfig::default(),
+        );
+        let b = synthesize(
+            &n,
+            &p,
+            &tiers,
+            &stack,
+            CtsMode::Flat2d,
+            &CtsConfig::default(),
+        );
         assert_eq!(a.sink_latency, b.sink_latency);
         assert_eq!(a.wirelength_um, b.wirelength_um);
     }

@@ -36,6 +36,7 @@ pub struct Comparison {
 /// so the output is identical at any thread count.
 #[must_use]
 pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostModel) -> Comparison {
+    let compare_span = options.obs.span("compare_configs");
     let (target_ghz, base_imp) = find_fmax(netlist, Config::TwoD12T, options, 1.0);
 
     // One job per configuration that still needs an implementation: the
@@ -43,16 +44,26 @@ pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostMode
     // fmax sweep's implementation) plus the heterogeneous proposal. Each
     // `run_flow` is a pure function of its arguments, so running them
     // concurrently and reading results back in job order is deterministic.
+    // Each job writes its telemetry under its own `cfg/<name>` prefix, so
+    // concurrent jobs never share a manifest key.
     let jobs: Vec<Config> = Config::HOMOGENEOUS
         .iter()
         .copied()
         .filter(|&c| c != Config::TwoD12T)
         .chain(std::iter::once(Config::Hetero3d))
         .collect();
+    let job_options: Vec<FlowOptions> = jobs
+        .iter()
+        .map(|&config| FlowOptions {
+            obs: options.obs.scope(&format!("cfg/{config:?}")),
+            ..options.clone()
+        })
+        .collect();
     let mut results = m3d_par::par_invoke(
         options.threads,
         jobs.iter()
-            .map(|&config| move || run_flow(netlist, config, target_ghz, options))
+            .zip(&job_options)
+            .map(|(&config, o)| move || run_flow(netlist, config, target_ghz, o))
             .collect(),
     );
     let hetero_implementation = results.pop().expect("hetero job always present");
@@ -73,6 +84,7 @@ pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostMode
         .iter()
         .map(|h| percent_delta(&hetero, h))
         .collect();
+    drop(compare_span);
 
     Comparison {
         design: netlist.name.clone(),
@@ -117,7 +129,8 @@ pub fn pin3d_baseline_comparison(
         enable_repartition: false,
         ..options.clone()
     };
-    let pin3d_implementation = run_flow(netlist, Config::Hetero3d, frequency_ghz, &baseline_options);
+    let pin3d_implementation =
+        run_flow(netlist, Config::Hetero3d, frequency_ghz, &baseline_options);
     let hetero_implementation = run_flow(netlist, Config::Hetero3d, frequency_ghz, options);
     BaselineComparison {
         frequency_ghz,

@@ -1,4 +1,5 @@
 use m3d_cts::CtsConfig;
+use m3d_obs::Obs;
 use m3d_place::PlacerConfig;
 use m3d_route::RouteConfig;
 use m3d_tech::{Library, TierStack};
@@ -52,7 +53,10 @@ impl Config {
     /// Returns `true` for the two-tier configurations.
     #[must_use]
     pub fn is_3d(self) -> bool {
-        matches!(self, Config::ThreeD9T | Config::ThreeD12T | Config::Hetero3d)
+        matches!(
+            self,
+            Config::ThreeD9T | Config::ThreeD12T | Config::Hetero3d
+        )
     }
 
     /// Returns `true` for the heterogeneous configuration.
@@ -114,6 +118,11 @@ pub struct FlowOptions {
     /// back to `HETERO3D_THREADS` and then the machine's parallelism.
     /// Results are identical at any value; `1` forces the sequential path.
     pub threads: usize,
+    /// Telemetry sink for the run. Disabled by default (every record is
+    /// one branch); attach [`Obs::enabled`] to collect spans and counters
+    /// into a manifest. Equality is handle identity, so two options
+    /// structs feeding the same collector still compare equal.
+    pub obs: Obs,
 }
 
 impl Default for FlowOptions {
@@ -133,6 +142,7 @@ impl Default for FlowOptions {
             partition_bins: 8,
             wns_tolerance: 0.07,
             threads: 0,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -149,6 +159,24 @@ impl FlowOptions {
             ..Default::default()
         }
     }
+
+    /// Stable fingerprint of the result-affecting knobs, as 16 hex
+    /// digits. The thread count and the telemetry handle are excluded:
+    /// by the determinism contract neither may change results, so two
+    /// runs comparable for bit-identity fingerprint identically.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut canon = self.clone();
+        canon.threads = 0;
+        canon.obs = Obs::disabled();
+        // FNV-1a over the debug rendering.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{canon:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("{h:016x}")
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +189,10 @@ mod tests {
         assert!(Config::ThreeD12T.stack().is_3d());
         assert!(!Config::ThreeD12T.stack().is_heterogeneous());
         assert!(Config::Hetero3d.stack().is_heterogeneous());
-        assert_eq!(Config::TwoD9T.stack().library(m3d_tech::Tier::Bottom).vdd, 0.81);
+        assert_eq!(
+            Config::TwoD9T.stack().library(m3d_tech::Tier::Bottom).vdd,
+            0.81
+        );
     }
 
     #[test]
@@ -172,6 +203,22 @@ mod tests {
         assert!(!b.enable_repartition);
         let full = FlowOptions::default();
         assert!(full.enable_timing_partition && full.enable_3d_cts && full.enable_repartition);
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_and_telemetry() {
+        let a = FlowOptions::default();
+        let b = FlowOptions {
+            threads: 4,
+            obs: Obs::enabled(),
+            ..Default::default()
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = FlowOptions {
+            seed: 2,
+            ..Default::default()
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -4,13 +4,14 @@ use m3d_cost::CostModel;
 use m3d_cts::{synthesize, ClockTree, CtsMode};
 use m3d_geom::{Point, Rect};
 use m3d_netlist::{CellClass, CellId, Netlist};
+use m3d_obs::Obs;
 use m3d_partition::{
-    bin_min_cut, repartition_eco, timing_driven_assignment, EcoConfig, EcoOutcome,
+    bin_min_cut_with_stats, repartition_eco, timing_driven_assignment, EcoConfig, EcoOutcome,
     PartitionConfig, TimingAssignment,
 };
-use m3d_place::{global_place, legalize, Floorplan, Placement};
+use m3d_place::{global_place, legalize_with_stats, Floorplan, LegalStats, Placement};
 use m3d_power::{analyze_power, PowerConfig, PowerResult};
-use m3d_route::{extract_parasitics, global_route, RoutingResult};
+use m3d_route::{extract_parasitics_with_stats, global_route, ExtractStats, RoutingResult};
 use m3d_sta::{analyze, worst_paths, ClockSpec, Parasitics, StaResult, Timer, TimingContext};
 use m3d_tech::{Tier, TierStack};
 
@@ -72,6 +73,91 @@ fn cell_areas(netlist: &Netlist, stack: &TierStack, tiers: &[Tier]) -> Vec<f64> 
             _ => 0.0,
         })
         .collect()
+}
+
+/// Cheap structural fingerprint of the input netlist (FNV-1a over the
+/// name and coarse size/connectivity figures), for the manifest's
+/// input-identity label.
+fn netlist_fingerprint(netlist: &Netlist) -> String {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat_u64 = |h: &mut u64, v: u64| {
+        for b in v.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    };
+    for b in netlist.name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    eat_u64(&mut h, netlist.cell_count() as u64);
+    eat_u64(&mut h, netlist.net_count() as u64);
+    eat_u64(&mut h, netlist.gate_count() as u64);
+    let degree_sum: u64 = netlist.nets().map(|(_, n)| n.degree() as u64).sum();
+    eat_u64(&mut h, degree_sum);
+    format!("{h:016x}")
+}
+
+/// Publishes a persistent [`Timer`]'s lifetime counters: the propagation
+/// work (deterministic — dirty sets depend only on the edit sequence)
+/// as counters, the scheduling-dependent arc-cache tallies as
+/// performance-only entries, per shard and in total.
+fn record_timer(obs: &Obs, timer: &Timer) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let st = timer.stats();
+    obs.counter_add("sta/full_rebuilds", st.full_rebuilds);
+    obs.counter_add("sta/incremental_updates", st.incremental_updates);
+    obs.counter_add("sta/load_evals", st.load_evals);
+    obs.counter_add("sta/launch_evals", st.launch_evals);
+    obs.counter_add("sta/forward_evals", st.forward_evals);
+    obs.counter_add("sta/endpoint_evals", st.endpoint_evals);
+    obs.counter_add("sta/backward_evals", st.backward_evals);
+    obs.counter_add("sta/launch_required_evals", st.launch_required_evals);
+    obs.counter_add("sta/propagated_evals", st.propagated_evals());
+    let cache = timer.delay_cache();
+    obs.perf_add("sta/cache_hits", cache.hits());
+    obs.perf_add("sta/cache_misses", cache.misses());
+    for (i, (hits, misses)) in cache.shard_stats().into_iter().enumerate() {
+        obs.perf_add(&format!("sta/cache_shard{i:02}_hits"), hits);
+        obs.perf_add(&format!("sta/cache_shard{i:02}_misses"), misses);
+    }
+}
+
+/// Publishes a routing result's deterministic totals.
+fn record_routing(obs: &Obs, routing: &RoutingResult) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_add("route/mivs", routing.total_mivs as u64);
+    obs.counter_add("route/overflow_edges", routing.overflow_edges as u64);
+    obs.gauge_add("route/wirelength_um", routing.total_wirelength_um);
+    obs.gauge_add("route/prim_wirelength_um", routing.prim_wirelength_um);
+}
+
+/// Publishes an extraction pass's deterministic totals.
+fn record_extract(obs: &Obs, stats: &ExtractStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_add("extract/rc_segments", stats.rc_segments);
+    obs.gauge_add("extract/length_um", stats.total_length_um);
+    obs.gauge_add("extract/wire_cap_ff", stats.total_wire_cap_ff);
+}
+
+/// Publishes a legalization run's deterministic displacement figures.
+fn record_legalize(obs: &Obs, stats: &LegalStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_add("legalize/moved_cells", stats.moved_cells);
+    obs.gauge_add(
+        "legalize/total_displacement_um",
+        stats.total_displacement_um,
+    );
+    obs.gauge_set("legalize/max_displacement_um", stats.max_displacement_um);
 }
 
 /// The one place a [`TimingContext`] is assembled in this crate: every
@@ -151,11 +237,24 @@ pub fn run_flow(
     let period = 1.0 / frequency_ghz;
     let stack = config.stack();
 
+    let obs = options.obs.clone();
+    let run_span = obs.span("run_flow");
+    if obs.is_enabled() {
+        obs.label_set("input/netlist", &netlist.name);
+        obs.label_set("input/netlist_fp", &netlist_fingerprint(netlist));
+        obs.label_set("input/options_fp", &options.fingerprint());
+        obs.label_set("input/config", &config.to_string());
+        obs.perf_add("threads_resolved", m3d_par::resolve(options.threads) as u64);
+    }
+
     // Pre-placement fanout buffering (netlist becomes fixed-size after
     // this point; every per-cell vector below is sized once).
     let mut netlist = netlist.clone();
     let mut scratch_positions = vec![Point::ORIGIN; netlist.cell_count()];
-    let _ = m3d_opt::insert_buffers(&mut netlist, &mut scratch_positions, options.max_fanout);
+    {
+        let _s = run_span.child("buffering");
+        let _ = m3d_opt::insert_buffers(&mut netlist, &mut scratch_positions, options.max_fanout);
+    }
     let n = netlist.cell_count();
     let mut tiers = vec![Tier::Bottom; n];
 
@@ -166,6 +265,7 @@ pub fn run_flow(
     // ---------------- pseudo-3-D stage ---------------------------------
     // Flat 2-D implementation in the configuration's fast technology, on
     // the halved 3-D footprint (cells may overlap — Shrunk-2D style).
+    let pseudo_span = run_span.child("pseudo3d");
     let fast_lib = stack.library(stack.fast_tier()).clone();
     let pseudo_stack = TierStack::two_d(fast_lib);
     let fp_full = Floorplan::new(&netlist, &pseudo_stack, &tiers, options.utilization);
@@ -186,13 +286,32 @@ pub fn run_flow(
             *r = Rect::with_size(pseudo_die.clamp_point(Point::new(r.llx(), r.lly())), w, h);
         }
     }
-    let pseudo_placement = global_place(&netlist, &fp_pseudo, &options.placer);
-    let pseudo_parasitics = extract_parasitics(&netlist, &pseudo_placement, &pseudo_stack, None);
-    let pseudo_sta = run_sta(&netlist, &pseudo_stack, &tiers, &pseudo_parasitics, period, None);
+    let pseudo_placement = {
+        let _s = pseudo_span.child("global_place");
+        global_place(&netlist, &fp_pseudo, &options.placer)
+    };
+    let (pseudo_parasitics, pseudo_px) = {
+        let _s = pseudo_span.child("extract");
+        extract_parasitics_with_stats(&netlist, &pseudo_placement, &pseudo_stack, None)
+    };
+    record_extract(&obs, &pseudo_px);
+    let pseudo_sta = {
+        let _s = pseudo_span.child("sta");
+        run_sta(
+            &netlist,
+            &pseudo_stack,
+            &tiers,
+            &pseudo_parasitics,
+            period,
+            None,
+        )
+    };
+    drop(pseudo_span);
 
     // ---------------- partitioning -------------------------------------
     // Balance accounting includes macro area (macros are locked to the
     // bottom tier, so FM shifts logic toward the top to compensate).
+    let partition_span = run_span.child("partition");
     let mut pseudo_areas = cell_areas(&netlist, &pseudo_stack, &tiers);
     for (id, cell) in netlist.cells() {
         if let m3d_netlist::CellClass::Macro(spec) = &cell.class {
@@ -243,7 +362,7 @@ pub fn run_flow(
     } else {
         None
     };
-    bin_min_cut(
+    let (_cut, fm_stats) = bin_min_cut_with_stats(
         &netlist,
         &pseudo_placement.positions,
         pseudo_die,
@@ -256,6 +375,12 @@ pub fn run_flow(
             ..Default::default()
         },
     );
+    if obs.is_enabled() {
+        obs.counter_add("partition/fm_passes", fm_stats.passes);
+        obs.counter_add("partition/fm_moves", fm_stats.moves);
+        obs.counter_add("partition/final_cut", fm_stats.cut);
+    }
+    drop(partition_span);
 
     // ---------------- 3-D implementation --------------------------------
     // When the repartitioning ECO will run, defer sizing until after it:
@@ -281,6 +406,7 @@ pub fn run_flow(
     // paths through the slow tier; repeat until timing is met or the ECO
     // stops moving cells.
     if config.is_heterogeneous() && options.enable_repartition {
+        let eco_span = run_span.child("eco");
         let mut total = EcoOutcome {
             iterations: 0,
             cells_moved: 0,
@@ -291,24 +417,26 @@ pub fn run_flow(
             stop_reason: m3d_partition::EcoStop::Converged,
         };
         for _outer in 0..3 {
+            let round_span = eco_span.child("round");
             let areas = cell_areas(&imp.netlist, &imp.stack, &imp.tiers);
             let fast = imp.stack.fast_tier();
             let netlist_ref = &imp.netlist;
             let stack_ref = &imp.stack;
-            let parasitics =
-                extract_parasitics(netlist_ref, &imp.placement, stack_ref, Some(&imp.routing));
+            let (parasitics, eco_px) = extract_parasitics_with_stats(
+                netlist_ref,
+                &imp.placement,
+                stack_ref,
+                Some(&imp.routing),
+            );
+            record_extract(&obs, &eco_px);
             let clock_template = clock_spec(period, Some(&imp.clock_tree));
             let mut tiers_work = imp.tiers.clone();
             // One persistent timer per ECO round: every candidate move (and
             // every undo, which restores already-cached arcs) re-propagates
             // only the cone of the swapped cells.
             let mut timer = Timer::new();
-            let outcome = repartition_eco(
-                &mut tiers_work,
-                &areas,
-                fast,
-                &EcoConfig::default(),
-                |t| {
+            let outcome =
+                repartition_eco(&mut tiers_work, &areas, fast, &EcoConfig::default(), |t| {
                     let ctx = timing_context(
                         netlist_ref,
                         stack_ref,
@@ -323,16 +451,15 @@ pub fn run_flow(
                         tns: result.tns,
                         critical_paths: paths
                             .iter()
-                            .map(|p| {
-                                p.stages
-                                    .iter()
-                                    .map(|s| (s.cell, s.cell_delay_ns))
-                                    .collect()
-                            })
+                            .map(|p| p.stages.iter().map(|s| (s.cell, s.cell_delay_ns)).collect())
                             .collect(),
                     }
-                },
-            );
+                });
+            record_timer(&obs, &timer);
+            if obs.is_enabled() {
+                obs.counter_add("eco/iterations", outcome.iterations as u64);
+                obs.counter_add("eco/cells_moved", outcome.cells_moved as u64);
+            }
             imp.tiers = tiers_work;
             total.iterations += outcome.iterations;
             total.cells_moved += outcome.cells_moved;
@@ -344,6 +471,7 @@ pub fn run_flow(
             }
             total.final_wns = imp.sta.wns;
             total.final_tns = imp.sta.tns;
+            drop(round_span);
             if moved == 0 || imp.sta.timing_met(options.wns_tolerance) {
                 break;
             }
@@ -359,6 +487,8 @@ pub fn run_flow(
 /// model's fidelity). Routing, CTS, a short sizing pass and STA/power are
 /// refreshed.
 fn eco_refinish(imp: &mut Implementation, period: f64, options: &FlowOptions) {
+    let obs = options.obs.clone();
+    let refinish_span = obs.span("eco_refinish");
     let die = imp.placement.die;
     for i in 0..imp.netlist.cell_count() {
         let t = imp.tiers[i];
@@ -369,33 +499,46 @@ fn eco_refinish(imp: &mut Implementation, period: f64, options: &FlowOptions) {
         imp.placement.positions[i].y = die.lly() + (row as f64 + 0.5) * row_h;
     }
     imp.placement.clamp_to_die();
-    let routing = global_route(
-        &imp.netlist,
-        &imp.placement,
-        &imp.tiers,
-        &imp.stack,
-        &options.route,
-    );
-    let parasitics = extract_parasitics(&imp.netlist, &imp.placement, &imp.stack, Some(&routing));
+    let routing = {
+        let _s = refinish_span.child("route");
+        global_route(
+            &imp.netlist,
+            &imp.placement,
+            &imp.tiers,
+            &imp.stack,
+            &options.route,
+        )
+    };
+    record_routing(&obs, &routing);
+    let (parasitics, px) = {
+        let _s = refinish_span.child("extract");
+        extract_parasitics_with_stats(&imp.netlist, &imp.placement, &imp.stack, Some(&routing))
+    };
+    record_extract(&obs, &px);
     let cts_mode = if options.enable_3d_cts {
         CtsMode::Cover3d
     } else {
         CtsMode::Legacy3d
     };
-    let clock_tree = synthesize(
-        &imp.netlist,
-        &imp.placement,
-        &imp.tiers,
-        &imp.stack,
-        cts_mode,
-        &options.cts,
-    );
+    let clock_tree = {
+        let _s = refinish_span.child("cts");
+        synthesize(
+            &imp.netlist,
+            &imp.placement,
+            &imp.tiers,
+            &imp.stack,
+            cts_mode,
+            &options.cts,
+        )
+    };
+    obs.counter_add("cts/buffers", clock_tree.buffer_count() as u64);
     // Post-ECO closure: size the residual violations (the ECO already
     // moved the worst offenders to the fast tier) and recover power. The
     // timer persists through both sizing passes and the sign-off, so only
     // the first evaluation pays for a full propagation.
     let mut timer = Timer::new();
     {
+        let _s = refinish_span.child("sizing");
         let stack_ref = &imp.stack;
         let tiers_ref = &imp.tiers;
         let parasitics_ref = &parasitics;
@@ -412,13 +555,17 @@ fn eco_refinish(imp: &mut Implementation, period: f64, options: &FlowOptions) {
         let _ = m3d_opt::resize_for_timing(&mut imp.netlist, 0.0, 3, &mut eval);
         let _ = m3d_opt::resize_for_power(&mut imp.netlist, period * 0.15, 2, &mut eval);
     }
-    imp.sta = timer.update(&timing_context(
-        &imp.netlist,
-        &imp.stack,
-        &imp.tiers,
-        &parasitics,
-        clock_spec(period, Some(&clock_tree)),
-    ));
+    imp.sta = {
+        let _s = refinish_span.child("sta_signoff");
+        timer.update(&timing_context(
+            &imp.netlist,
+            &imp.stack,
+            &imp.tiers,
+            &parasitics,
+            clock_spec(period, Some(&clock_tree)),
+        ))
+    };
+    record_timer(&obs, &timer);
     imp.power = analyze_power(
         &imp.netlist,
         &imp.stack,
@@ -449,6 +596,8 @@ fn finish_3d(
     options: &FlowOptions,
     reoptimize: bool,
 ) -> Implementation {
+    let obs = options.obs.clone();
+    let finish_span = obs.span("finish3d");
     let fp = Floorplan::new(&netlist, &stack, &tiers, options.utilization);
     // Transfer the seed placement into the (possibly resized) die.
     let sx = fp.die.width() / seed_die.width();
@@ -475,17 +624,36 @@ fn finish_3d(
     }
     // Heal partition/transfer displacement with a short warm-start
     // refinement, then legalize onto the per-tier rows.
-    let global_placement = m3d_place::refine_place(&netlist, &fp, &placement, &options.placer, 4);
-    let placement = legalize(&netlist, &global_placement, &fp, &stack, &tiers);
+    let global_placement = {
+        let _s = finish_span.child("refine_place");
+        m3d_place::refine_place(&netlist, &fp, &placement, &options.placer, 4)
+    };
+    let (placement, legal_stats) = {
+        let _s = finish_span.child("legalize");
+        legalize_with_stats(&netlist, &global_placement, &fp, &stack, &tiers)
+    };
+    record_legalize(&obs, &legal_stats);
 
-    let routing = global_route(&netlist, &placement, &tiers, &stack, &options.route);
-    let parasitics = extract_parasitics(&netlist, &placement, &stack, Some(&routing));
+    let routing = {
+        let _s = finish_span.child("route");
+        global_route(&netlist, &placement, &tiers, &stack, &options.route)
+    };
+    record_routing(&obs, &routing);
+    let (parasitics, px) = {
+        let _s = finish_span.child("extract");
+        extract_parasitics_with_stats(&netlist, &placement, &stack, Some(&routing))
+    };
+    record_extract(&obs, &px);
     let cts_mode = if options.enable_3d_cts {
         CtsMode::Cover3d
     } else {
         CtsMode::Legacy3d
     };
-    let clock_tree = synthesize(&netlist, &placement, &tiers, &stack, cts_mode, &options.cts);
+    let clock_tree = {
+        let _s = finish_span.child("cts");
+        synthesize(&netlist, &placement, &tiers, &stack, cts_mode, &options.cts)
+    };
+    obs.counter_add("cts/buffers", clock_tree.buffer_count() as u64);
 
     // Timing closure: upsize violating cells, then recover power on the
     // comfortable ones. Skipped on incremental re-finish passes (the
@@ -495,6 +663,7 @@ fn finish_3d(
     // back by re-propagating the same (cached) cones.
     let mut timer = Timer::new();
     if reoptimize {
+        let _s = finish_span.child("sizing");
         let stack_ref = &stack;
         let tiers_ref = &tiers;
         let parasitics_ref = &parasitics;
@@ -512,13 +681,17 @@ fn finish_3d(
         let _ = m3d_opt::resize_for_power(&mut netlist, period * 0.15, 3, &mut eval);
     }
 
-    let sta = timer.update(&timing_context(
-        &netlist,
-        &stack,
-        &tiers,
-        &parasitics,
-        clock_spec(period, Some(&clock_tree)),
-    ));
+    let sta = {
+        let _s = finish_span.child("sta_signoff");
+        timer.update(&timing_context(
+            &netlist,
+            &stack,
+            &tiers,
+            &parasitics,
+            clock_spec(period, Some(&clock_tree)),
+        ))
+    };
+    record_timer(&obs, &timer);
     let power = analyze_power(
         &netlist,
         &stack,
@@ -561,24 +734,46 @@ fn implement_2d(
     period: f64,
     options: &FlowOptions,
 ) -> Implementation {
+    let obs = options.obs.clone();
     let mut pass = 0;
     loop {
         pass += 1;
+        let pass_span = obs.span("impl2d");
         let fp = Floorplan::new(&netlist, &stack, &tiers, options.utilization);
-        let global_placement = global_place(&netlist, &fp, &options.placer);
-        let placement = legalize(&netlist, &global_placement, &fp, &stack, &tiers);
-        let routing = global_route(&netlist, &placement, &tiers, &stack, &options.route);
-        let parasitics = extract_parasitics(&netlist, &placement, &stack, Some(&routing));
-        let clock_tree = synthesize(
-            &netlist,
-            &placement,
-            &tiers,
-            &stack,
-            CtsMode::Flat2d,
-            &options.cts,
-        );
+        let global_placement = {
+            let _s = pass_span.child("global_place");
+            global_place(&netlist, &fp, &options.placer)
+        };
+        let (placement, legal_stats) = {
+            let _s = pass_span.child("legalize");
+            legalize_with_stats(&netlist, &global_placement, &fp, &stack, &tiers)
+        };
+        record_legalize(&obs, &legal_stats);
+        let routing = {
+            let _s = pass_span.child("route");
+            global_route(&netlist, &placement, &tiers, &stack, &options.route)
+        };
+        record_routing(&obs, &routing);
+        let (parasitics, px) = {
+            let _s = pass_span.child("extract");
+            extract_parasitics_with_stats(&netlist, &placement, &stack, Some(&routing))
+        };
+        record_extract(&obs, &px);
+        let clock_tree = {
+            let _s = pass_span.child("cts");
+            synthesize(
+                &netlist,
+                &placement,
+                &tiers,
+                &stack,
+                CtsMode::Flat2d,
+                &options.cts,
+            )
+        };
+        obs.counter_add("cts/buffers", clock_tree.buffer_count() as u64);
         let mut timer = Timer::new();
         let changed = {
+            let _s = pass_span.child("sizing");
             let stack_ref = &stack;
             let tiers_ref = &tiers;
             let parasitics_ref = &parasitics;
@@ -600,16 +795,21 @@ fn implement_2d(
         // Re-implement once if sizing moved a meaningful chunk of area;
         // otherwise sign off this pass.
         if pass == 1 && changed > netlist.gate_count() / 20 {
+            record_timer(&obs, &timer);
             continue;
         }
 
-        let sta = timer.update(&timing_context(
-            &netlist,
-            &stack,
-            &tiers,
-            &parasitics,
-            clock_spec(period, Some(&clock_tree)),
-        ));
+        let sta = {
+            let _s = pass_span.child("sta_signoff");
+            timer.update(&timing_context(
+                &netlist,
+                &stack,
+                &tiers,
+                &parasitics,
+                clock_spec(period, Some(&clock_tree)),
+            ))
+        };
+        record_timer(&obs, &timer);
         let power = analyze_power(
             &netlist,
             &stack,
@@ -668,16 +868,34 @@ pub fn find_fmax(
     options: &FlowOptions,
     start_ghz: f64,
 ) -> (f64, Implementation) {
+    let obs = &options.obs;
+    let fmax_span = obs.span("find_fmax");
     let start_period = 1.0 / start_ghz.max(0.05);
-    let probe = run_flow(netlist, config, 1.0 / start_period, options);
+    // Each concurrent branch gets its own key prefix, so manifests never
+    // mix (or race on) entries from different rungs.
+    let probe_options = FlowOptions {
+        obs: obs.scope("fmax/probe"),
+        ..options.clone()
+    };
+    let probe = run_flow(netlist, config, 1.0 / start_period, &probe_options);
     let estimate = (start_period - probe.sta.wns * 0.85).max(0.02);
 
-    let periods: Vec<f64> = FMAX_LADDER.iter().map(|m| (estimate * m).max(0.02)).collect();
+    let periods: Vec<f64> = FMAX_LADDER
+        .iter()
+        .map(|m| (estimate * m).max(0.02))
+        .collect();
+    let rung_options: Vec<FlowOptions> = (0..periods.len())
+        .map(|i| FlowOptions {
+            obs: obs.scope(&format!("fmax/rung{i}")),
+            ..options.clone()
+        })
+        .collect();
     let rungs = m3d_par::par_invoke(
         options.threads,
         periods
             .iter()
-            .map(|&p| move || run_flow(netlist, config, 1.0 / p, options))
+            .zip(&rung_options)
+            .map(|(&p, o)| move || run_flow(netlist, config, 1.0 / p, o))
             .collect(),
     );
 
@@ -687,11 +905,14 @@ pub fn find_fmax(
     let mut best: Option<Implementation> = None;
     for imp in rungs.iter().chain(std::iter::once(&probe)) {
         if imp.sta.timing_met(options.wns_tolerance)
-            && best.as_ref().is_none_or(|b| imp.frequency_ghz > b.frequency_ghz)
+            && best
+                .as_ref()
+                .is_none_or(|b| imp.frequency_ghz > b.frequency_ghz)
         {
             best = Some(imp.clone());
         }
     }
+    drop(fmax_span);
     match best {
         Some(imp) => (imp.frequency_ghz, imp),
         None => {
@@ -699,7 +920,11 @@ pub fn find_fmax(
             // rung and report that attempt (mirrors the paper's "report
             // the most relaxed implementation" behaviour).
             let relaxed = (periods[0] - rungs[0].sta.wns * 0.85).max(0.02);
-            let imp = run_flow(netlist, config, 1.0 / relaxed, options);
+            let relaxed_options = FlowOptions {
+                obs: obs.scope("fmax/relaxed"),
+                ..options.clone()
+            };
+            let imp = run_flow(netlist, config, 1.0 / relaxed, &relaxed_options);
             (1.0 / relaxed, imp)
         }
     }
@@ -773,8 +998,7 @@ mod tests {
         let (f, imp) = find_fmax(&n, Config::TwoD12T, &quick_options(), 1.0);
         assert!(f > 0.0);
         assert!(
-            imp.sta.timing_met(FlowOptions::default().wns_tolerance)
-                || imp.sta.wns > -0.2,
+            imp.sta.timing_met(FlowOptions::default().wns_tolerance) || imp.sta.wns > -0.2,
             "fmax implementation should be near-met (wns {})",
             imp.sta.wns
         );

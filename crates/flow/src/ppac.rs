@@ -53,12 +53,8 @@ impl Ppac {
     #[must_use]
     pub fn from_implementation(imp: &Implementation, cost: &CostModel) -> Self {
         let is_3d = imp.config.is_3d();
-        let report_fp = m3d_place::Floorplan::new(
-            &imp.netlist,
-            &imp.stack,
-            &imp.tiers,
-            imp.utilization,
-        );
+        let report_fp =
+            m3d_place::Floorplan::new(&imp.netlist, &imp.stack, &imp.tiers, imp.utilization);
         let footprint_mm2 = report_fp.die.area() * 1e-6;
         let si_area_mm2 = report_fp.silicon_area_um2(is_3d) * 1e-6;
         let total_power_mw = imp.power.total_mw();
@@ -72,8 +68,7 @@ impl Ppac {
             si_area_mm2,
             chip_width_um: report_fp.width_um(),
             density_pct: report_fp.overall_density(is_3d) * 100.0,
-            wirelength_mm: imp.routing.total_wirelength_mm()
-                + imp.clock_tree.wirelength_um * 1e-3,
+            wirelength_mm: imp.routing.total_wirelength_mm() + imp.clock_tree.wirelength_um * 1e-3,
             mivs: imp.routing.total_mivs,
             power: imp.power,
             total_power_mw,

@@ -37,7 +37,10 @@ impl BinGrid {
     #[must_use]
     pub fn new(region: Rect, nx: usize, ny: usize) -> Self {
         assert!(nx > 0 && ny > 0, "bin grid must have at least one bin");
-        assert!(region.area() > 0.0, "bin grid region must have positive area");
+        assert!(
+            region.area() > 0.0,
+            "bin grid region must have positive area"
+        );
         BinGrid {
             region,
             nx,

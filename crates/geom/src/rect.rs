@@ -102,7 +102,10 @@ impl Rect {
     /// `self`.
     #[must_use]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        other.llx >= self.llx && other.urx <= self.urx && other.lly >= self.lly && other.ury <= self.ury
+        other.llx >= self.llx
+            && other.urx <= self.urx
+            && other.lly >= self.lly
+            && other.ury <= self.ury
     }
 
     /// Intersection area with `other`; zero if they do not overlap.

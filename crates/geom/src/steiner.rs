@@ -37,10 +37,7 @@ pub fn star(pins: &[Point]) -> f64 {
         return 0.0;
     }
     let n = pins.len() as f64;
-    let centroid = pins
-        .iter()
-        .fold(Point::ORIGIN, |acc, &p| acc + p)
-        / n;
+    let centroid = pins.iter().fold(Point::ORIGIN, |acc, &p| acc + p) / n;
     pins.iter().map(|&p| p.manhattan(centroid)).sum()
 }
 

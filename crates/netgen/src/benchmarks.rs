@@ -89,10 +89,34 @@ impl Benchmark {
                     BlockSpec::new("ctrl", 1800, 8, 450, 0.5),
                 ],
                 srams: vec![
-                    SramSpec { name: "icache0".into(), bits: 4 * 1024, inputs: 40, outputs: 32, block: 0 },
-                    SramSpec { name: "icache1".into(), bits: 4 * 1024, inputs: 40, outputs: 32, block: 0 },
-                    SramSpec { name: "dcache0".into(), bits: 4 * 1024, inputs: 40, outputs: 32, block: 4 },
-                    SramSpec { name: "dcache1".into(), bits: 4 * 1024, inputs: 40, outputs: 32, block: 4 },
+                    SramSpec {
+                        name: "icache0".into(),
+                        bits: 4 * 1024,
+                        inputs: 40,
+                        outputs: 32,
+                        block: 0,
+                    },
+                    SramSpec {
+                        name: "icache1".into(),
+                        bits: 4 * 1024,
+                        inputs: 40,
+                        outputs: 32,
+                        block: 0,
+                    },
+                    SramSpec {
+                        name: "dcache0".into(),
+                        bits: 4 * 1024,
+                        inputs: 40,
+                        outputs: 32,
+                        block: 4,
+                    },
+                    SramSpec {
+                        name: "dcache1".into(),
+                        bits: 4 * 1024,
+                        inputs: 40,
+                        outputs: 32,
+                        block: 4,
+                    },
                 ],
             },
         }

@@ -48,7 +48,12 @@ pub fn generate(spec: &DesignSpec, seed: u64) -> Netlist {
             let mut regs = Vec::with_capacity(b.registers);
             let mut reg_q = Vec::with_capacity(b.registers);
             for r in 0..b.registers {
-                let ff = n.add_gate(format!("{}_{rep}_r{r}", b.name), CellKind::Dff, Drive::X1, tag);
+                let ff = n.add_gate(
+                    format!("{}_{rep}_r{r}", b.name),
+                    CellKind::Dff,
+                    Drive::X1,
+                    tag,
+                );
                 n.connect(clk, ff, 1);
                 let q = n.add_net(format!("{}_{rep}_q{r}", b.name), ff, 0);
                 regs.push(ff);
@@ -68,12 +73,15 @@ pub fn generate(spec: &DesignSpec, seed: u64) -> Netlist {
     // SRAM macros: outputs join their block's local pool and the globals.
     let mut sram_inputs: Vec<(CellId, usize, usize)> = Vec::new(); // (cell, n_inputs, ctx idx)
     for s in &spec.srams {
-        let ctx_idx = ctxs
-            .iter()
-            .position(|c| c.spec_idx == s.block)
-            .unwrap_or(0);
+        let ctx_idx = ctxs.iter().position(|c| c.spec_idx == s.block).unwrap_or(0);
         let tag = ctxs[ctx_idx].tag;
-        let id = n.add_macro(s.name.clone(), MacroSpec::sram(s.bits), s.inputs, s.outputs, tag);
+        let id = n.add_macro(
+            s.name.clone(),
+            MacroSpec::sram(s.bits),
+            s.inputs,
+            s.outputs,
+            tag,
+        );
         n.connect(clk, id, s.inputs as u8);
         for o in 0..s.outputs {
             let q = n.add_net(format!("{}_o{o}", s.name), id, o as u8);
@@ -117,21 +125,12 @@ pub fn generate(spec: &DesignSpec, seed: u64) -> Netlist {
                     ctx.tag,
                 );
                 for pin in 0..kind.input_count() {
-                    let src = pick_source(
-                        &mut rng,
-                        b.locality,
-                        &prev_level,
-                        &local_pool,
-                        &global_pool,
-                    );
+                    let src =
+                        pick_source(&mut rng, b.locality, &prev_level, &local_pool, &global_pool);
                     n.connect(src, id, pin as u8);
                     mark(&mut consumed, src);
                 }
-                let out = n.add_net(
-                    format!("{}_n{}", n.block_name(ctx.tag), made + g),
-                    id,
-                    0,
-                );
+                let out = n.add_net(format!("{}_n{}", n.block_name(ctx.tag), made + g), id, 0);
                 this_level.push(out);
                 all_outputs.push(out);
             }

@@ -25,7 +25,13 @@ pub struct BlockSpec {
 impl BlockSpec {
     /// Convenience constructor with single instance and no XOR bias.
     #[must_use]
-    pub fn new(name: impl Into<String>, gates: usize, depth: usize, registers: usize, locality: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        gates: usize,
+        depth: usize,
+        registers: usize,
+        locality: f64,
+    ) -> Self {
         BlockSpec {
             name: name.into(),
             gates,

@@ -175,9 +175,7 @@ impl Cell {
     /// Is this a sequential gate (DFF)?
     #[must_use]
     pub fn is_sequential(&self) -> bool {
-        self.class
-            .gate_kind()
-            .is_some_and(CellKind::is_sequential)
+        self.class.gate_kind().is_some_and(CellKind::is_sequential)
     }
 
     /// Iterates over connected input nets.

@@ -89,7 +89,13 @@ impl Netlist {
 
     /// Adds a standard-cell gate. Sequential gates get one extra input pin
     /// for the clock (always the last pin).
-    pub fn add_gate(&mut self, name: impl Into<String>, kind: CellKind, drive: Drive, block: u16) -> CellId {
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        drive: Drive,
+        block: u16,
+    ) -> CellId {
         let n_in = kind.input_count() + usize::from(kind.is_sequential());
         self.push_cell(Cell {
             name: name.into(),
@@ -266,12 +272,18 @@ impl Netlist {
 
     /// Iterates over `(CellId, &Cell)` pairs.
     pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
-        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
     }
 
     /// Iterates over `(NetId, &Net)` pairs.
     pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
-        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
     }
 
     /// Ids of all sequential cells (DFFs and macros).
@@ -374,8 +386,7 @@ impl Netlist {
     /// combinational logic is cyclic.
     pub fn combinational_order(&self) -> Result<Vec<CellId>, ValidateNetlistError> {
         let n = self.cells.len();
-        let is_comb =
-            |c: &Cell| c.class.is_gate() && !c.is_sequential();
+        let is_comb = |c: &Cell| c.class.is_gate() && !c.is_sequential();
         let mut indegree = vec![0u32; n];
         for cell in &self.cells {
             if !is_comb(cell) {

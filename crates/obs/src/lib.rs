@@ -1,0 +1,647 @@
+//! Structured telemetry for the hetero3d flow: nested stage spans with
+//! wall-clock timing, monotonic counters, gauge metrics and set-once
+//! labels, aggregated into a per-run [`Manifest`].
+//!
+//! # Determinism contract
+//!
+//! A manifest has two kinds of content:
+//!
+//! - **Deterministic**: counters, gauges, labels, and the set of span
+//!   paths with their call counts. These must be bit-identical across
+//!   thread counts for the same inputs. Parallel stages get there by
+//!   accumulating per-chunk [`ChunkStats`] and merging them in
+//!   chunk-index order via [`par_chunk_stats`] (built on
+//!   `m3d_par::par_ranges`, whose chunking is independent of the worker
+//!   count).
+//! - **Performance-only**: span wall times, the thread count, and
+//!   anything recorded through [`Obs::perf_add`] (e.g. `DelayCache`
+//!   hit/miss tallies, which depend on scheduling). These are reported
+//!   but excluded from [`Manifest::deterministic_json`].
+//!
+//! # Usage
+//!
+//! An [`Obs`] handle is cheap to clone and disabled by default, so
+//! instrumented library code pays one branch per call when no collector
+//! is attached. [`Obs::scope`] derives a handle whose keys share a
+//! prefix; concurrent flow branches (fmax ladder rungs, config sweeps)
+//! each scope themselves so they never write the same span path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Per-path span aggregate: how many times the span ran and the summed
+/// wall time. Wall time is performance-only; calls are deterministic.
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    calls: u64,
+    wall_ns: u128,
+}
+
+/// Shared sink behind enabled [`Obs`] handles. Every section is a
+/// `BTreeMap` so iteration (and therefore manifest serialization) is
+/// ordered by key, independent of recording order.
+#[derive(Debug, Default)]
+struct Collector {
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    labels: Mutex<BTreeMap<String, String>>,
+    perf: Mutex<BTreeMap<String, u64>>,
+}
+
+/// Handle for recording telemetry. Disabled handles (the default) drop
+/// every record on the floor without locking.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Collector>>,
+    prefix: String,
+}
+
+/// Handle identity, not content: two handles are equal when they feed
+/// the same collector (or are both disabled) under the same prefix.
+/// This keeps `FlowOptions: PartialEq` meaningful — options structs
+/// differing only in where telemetry goes still compare by that.
+impl PartialEq for Obs {
+    fn eq(&self, other: &Obs) -> bool {
+        self.prefix == other.prefix
+            && match (&self.inner, &other.inner) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Obs {
+    /// A no-op handle: records nothing, costs one branch per call.
+    pub fn disabled() -> Obs {
+        Obs::default()
+    }
+
+    /// A handle backed by a fresh collector.
+    pub fn enabled() -> Obs {
+        Obs {
+            inner: Some(Arc::new(Collector::default())),
+            prefix: String::new(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Derives a handle writing under `prefix/segment/...`. Used to give
+    /// concurrent flow branches disjoint key spaces.
+    pub fn scope(&self, segment: &str) -> Obs {
+        Obs {
+            inner: self.inner.clone(),
+            prefix: join(&self.prefix, segment),
+        }
+    }
+
+    fn key(&self, name: &str) -> String {
+        join(&self.prefix, name)
+    }
+
+    /// Opens a timed span; the span records itself when dropped.
+    /// Re-entering the same path accumulates calls and wall time.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            collector: self.inner.clone(),
+            path: self.key(name),
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds to a monotonic counter (deterministic section).
+    pub fn counter_add(&self, name: &str, value: u64) {
+        if let Some(c) = &self.inner {
+            *c.counters
+                .lock()
+                .expect("obs counters poisoned")
+                .entry(self.key(name))
+                .or_insert(0) += value;
+        }
+    }
+
+    /// Sets a gauge to `value` (deterministic section; last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(c) = &self.inner {
+            c.gauges
+                .lock()
+                .expect("obs gauges poisoned")
+                .insert(self.key(name), value);
+        }
+    }
+
+    /// Adds to a gauge (deterministic section). Callers on parallel
+    /// paths must fold their partial sums in a fixed order first — see
+    /// [`ChunkStats`] — because float addition does not commute in bits.
+    pub fn gauge_add(&self, name: &str, value: f64) {
+        if let Some(c) = &self.inner {
+            *c.gauges
+                .lock()
+                .expect("obs gauges poisoned")
+                .entry(self.key(name))
+                .or_insert(0.0) += value;
+        }
+    }
+
+    /// Records a set-once string label (input fingerprints, config
+    /// names). First write wins so re-entrant stages cannot flap it.
+    pub fn label_set(&self, name: &str, value: &str) {
+        if let Some(c) = &self.inner {
+            c.labels
+                .lock()
+                .expect("obs labels poisoned")
+                .entry(self.key(name))
+                .or_insert_with(|| value.to_string());
+        }
+    }
+
+    /// Adds to a performance-only counter: reported in the full
+    /// manifest, excluded from the deterministic section. Use for
+    /// scheduling-dependent tallies (cache hits, retries).
+    pub fn perf_add(&self, name: &str, value: u64) {
+        if let Some(c) = &self.inner {
+            *c.perf
+                .lock()
+                .expect("obs perf poisoned")
+                .entry(self.key(name))
+                .or_insert(0) += value;
+        }
+    }
+
+    /// Snapshots everything recorded so far.
+    pub fn manifest(&self) -> Manifest {
+        let Some(c) = &self.inner else {
+            return Manifest::default();
+        };
+        Manifest {
+            spans: c
+                .spans
+                .lock()
+                .expect("obs spans poisoned")
+                .iter()
+                .map(|(path, agg)| SpanRow {
+                    path: path.clone(),
+                    calls: agg.calls,
+                    wall_ns: agg.wall_ns,
+                })
+                .collect(),
+            counters: clone_map(&c.counters),
+            gauges: clone_map(&c.gauges),
+            labels: clone_map(&c.labels),
+            perf: clone_map(&c.perf),
+        }
+    }
+}
+
+fn join(prefix: &str, segment: &str) -> String {
+    if prefix.is_empty() {
+        segment.to_string()
+    } else {
+        format!("{prefix}/{segment}")
+    }
+}
+
+fn clone_map<V: Clone>(m: &Mutex<BTreeMap<String, V>>) -> Vec<(String, V)> {
+    m.lock()
+        .expect("obs section poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+/// RAII stage timer returned by [`Obs::span`]. Dropping it folds the
+/// elapsed wall time into the collector under the span's path.
+pub struct Span {
+    collector: Option<Arc<Collector>>,
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a nested span at `self.path/name`.
+    pub fn child(&self, name: &str) -> Span {
+        Span {
+            collector: self.collector.clone(),
+            path: join(&self.path, name),
+            start: Instant::now(),
+        }
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(c) = &self.collector else { return };
+        let elapsed = self.start.elapsed().as_nanos();
+        let mut spans = c.spans.lock().expect("obs spans poisoned");
+        let agg = spans.entry(std::mem::take(&mut self.path)).or_default();
+        agg.calls += 1;
+        agg.wall_ns += elapsed;
+    }
+}
+
+/// One aggregated span in a [`Manifest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    pub path: String,
+    /// Deterministic: how many times this span ran.
+    pub calls: u64,
+    /// Performance-only: summed wall time.
+    pub wall_ns: u128,
+}
+
+/// Ordered snapshot of a run's telemetry. All sections are sorted by
+/// key, so equal content serializes to equal bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    pub spans: Vec<SpanRow>,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub labels: Vec<(String, String)>,
+    pub perf: Vec<(String, u64)>,
+}
+
+impl Manifest {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name).copied()
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    pub fn label(&self, name: &str) -> Option<&str> {
+        lookup(&self.labels, name).map(String::as_str)
+    }
+
+    pub fn span(&self, path: &str) -> Option<&SpanRow> {
+        self.spans
+            .binary_search_by(|row| row.path.as_str().cmp(path))
+            .ok()
+            .map(|i| &self.spans[i])
+    }
+
+    /// JSON of the deterministic section only: span paths with call
+    /// counts (no wall times), counters, gauges, labels. Bit-identical
+    /// across thread counts for the same inputs — this is the string
+    /// the determinism tests compare.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{\n  \"spans\": {");
+        push_entries(
+            &mut out,
+            self.spans
+                .iter()
+                .map(|s| (s.path.as_str(), s.calls.to_string())),
+        );
+        out.push_str("},\n  \"counters\": {");
+        push_entries(
+            &mut out,
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k.as_str(), fmt_f64(*v))),
+        );
+        out.push_str("},\n  \"labels\": {");
+        push_entries(
+            &mut out,
+            self.labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), format!("\"{}\"", escape(v)))),
+        );
+        out.push_str("}\n}");
+        out
+    }
+
+    /// Full JSON: the deterministic section plus wall times (µs, three
+    /// decimal places) and performance-only counters.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"spans\": {");
+        push_entries(
+            &mut out,
+            self.spans.iter().map(|s| {
+                let wall_us = s.wall_ns as f64 / 1e3;
+                (
+                    s.path.as_str(),
+                    format!("{{\"calls\": {}, \"wall_us\": {:.3}}}", s.calls, wall_us),
+                )
+            }),
+        );
+        out.push_str("},\n  \"counters\": {");
+        push_entries(
+            &mut out,
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k.as_str(), fmt_f64(*v))),
+        );
+        out.push_str("},\n  \"labels\": {");
+        push_entries(
+            &mut out,
+            self.labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), format!("\"{}\"", escape(v)))),
+        );
+        out.push_str("},\n  \"perf\": {");
+        push_entries(
+            &mut out,
+            self.perf.iter().map(|(k, v)| (k.as_str(), v.to_string())),
+        );
+        out.push_str("}\n}");
+        out
+    }
+}
+
+fn lookup<'a, V>(entries: &'a [(String, V)], name: &str) -> Option<&'a V> {
+    entries
+        .binary_search_by(|(k, _)| k.as_str().cmp(name))
+        .ok()
+        .map(|i| &entries[i].1)
+}
+
+fn push_entries<'a, I>(out: &mut String, entries: I)
+where
+    I: Iterator<Item = (&'a str, String)>,
+{
+    let mut first = true;
+    for (key, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        out.push_str(&escape(key));
+        out.push_str("\": ");
+        out.push_str(&value);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Shortest-roundtrip float formatting; whole floats keep a `.0` so the
+/// output stays a JSON number with an unambiguous type.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Manifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.json())
+    }
+}
+
+/// Per-chunk statistics for deterministic parallel aggregation: integer
+/// counts and float sums keyed by static names. Workers fill one
+/// `ChunkStats` per chunk; [`ChunkStats::merge_ordered`] folds them in
+/// chunk-index order, so float sums see the same addition sequence at
+/// any thread count.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ChunkStats {
+    counts: BTreeMap<&'static str, u64>,
+    sums: BTreeMap<&'static str, f64>,
+}
+
+impl ChunkStats {
+    pub fn new() -> ChunkStats {
+        ChunkStats::default()
+    }
+
+    pub fn count(&mut self, name: &'static str, value: u64) {
+        *self.counts.entry(name).or_insert(0) += value;
+    }
+
+    pub fn sum(&mut self, name: &'static str, value: f64) {
+        *self.sums.entry(name).or_insert(0.0) += value;
+    }
+
+    pub fn get_count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn get_sum(&self, name: &str) -> f64 {
+        self.sums.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Left-fold of `next` into `self`; the merge order is the caller's
+    /// responsibility (see [`ChunkStats::merge_ordered`]).
+    pub fn absorb(&mut self, next: &ChunkStats) {
+        for (name, v) in &next.counts {
+            *self.counts.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &next.sums {
+            *self.sums.entry(name).or_insert(0.0) += v;
+        }
+    }
+
+    /// Folds per-chunk stats in vector (= chunk-index) order.
+    pub fn merge_ordered(parts: Vec<ChunkStats>) -> ChunkStats {
+        let mut total = ChunkStats::new();
+        for part in &parts {
+            total.absorb(part);
+        }
+        total
+    }
+
+    /// Publishes counts as counters and sums as gauges on `obs`.
+    pub fn record(&self, obs: &Obs) {
+        for (name, v) in &self.counts {
+            obs.counter_add(name, *v);
+        }
+        for (name, v) in &self.sums {
+            obs.gauge_add(name, *v);
+        }
+    }
+}
+
+/// Runs `fill` over fixed index chunks of `0..len` in parallel and
+/// merges the per-chunk stats in chunk-index order. The chunking comes
+/// from `m3d_par::par_ranges` and depends only on `len`, so the merged
+/// result — float sums included — is bit-identical at any `threads`.
+pub fn par_chunk_stats<F>(threads: usize, len: usize, fill: F) -> ChunkStats
+where
+    F: Fn(Range<usize>, &mut ChunkStats) + Sync,
+{
+    ChunkStats::merge_ordered(m3d_par::par_ranges(threads, len, |range| {
+        let mut stats = ChunkStats::new();
+        fill(range, &mut stats);
+        stats
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::disabled();
+        let _span = obs.span("stage");
+        obs.counter_add("n", 5);
+        obs.gauge_set("g", 1.5);
+        obs.label_set("l", "x");
+        obs.perf_add("p", 1);
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.manifest(), Manifest::default());
+    }
+
+    #[test]
+    fn span_nesting_builds_paths_and_counts_calls() {
+        let obs = Obs::enabled();
+        {
+            let flow = obs.span("flow");
+            for _ in 0..3 {
+                let _p = flow.child("partition");
+            }
+            let route = flow.child("route");
+            let _detail = route.child("plan");
+        }
+        let m = obs.manifest();
+        let paths: Vec<(&str, u64)> = m.spans.iter().map(|s| (s.path.as_str(), s.calls)).collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("flow", 1),
+                ("flow/partition", 3),
+                ("flow/route", 1),
+                ("flow/route/plan", 1),
+            ]
+        );
+        assert_eq!(m.span("flow/partition").unwrap().calls, 3);
+    }
+
+    #[test]
+    fn scoped_handles_share_the_collector_under_distinct_prefixes() {
+        let obs = Obs::enabled();
+        let a = obs.scope("cfg/a");
+        let b = obs.scope("cfg/b");
+        a.counter_add("moves", 2);
+        b.counter_add("moves", 7);
+        a.counter_add("moves", 1);
+        let m = obs.manifest();
+        assert_eq!(m.counter("cfg/a/moves"), Some(3));
+        assert_eq!(m.counter("cfg/b/moves"), Some(7));
+        assert_eq!(a, obs.scope("cfg/a"));
+        assert_ne!(a, b);
+        assert_ne!(a, Obs::enabled().scope("cfg/a"));
+    }
+
+    #[test]
+    fn labels_are_set_once_and_gauges_last_write() {
+        let obs = Obs::enabled();
+        obs.label_set("netlist", "aes");
+        obs.label_set("netlist", "cpu");
+        obs.gauge_set("cut", 10.0);
+        obs.gauge_set("cut", 4.0);
+        let m = obs.manifest();
+        assert_eq!(m.label("netlist"), Some("aes"));
+        assert_eq!(m.gauge("cut"), Some(4.0));
+    }
+
+    #[test]
+    fn deterministic_json_excludes_wall_time_and_perf() {
+        let obs = Obs::enabled();
+        {
+            let _s = obs.span("stage");
+        }
+        obs.counter_add("arcs", 12);
+        obs.perf_add("cache_hits", 99);
+        let det = obs.manifest().deterministic_json();
+        assert!(det.contains("\"stage\": 1"));
+        assert!(det.contains("\"arcs\": 12"));
+        assert!(!det.contains("wall"));
+        assert!(!det.contains("cache_hits"));
+        let full = obs.manifest().json();
+        assert!(full.contains("wall_us"));
+        assert!(full.contains("\"cache_hits\": 99"));
+    }
+
+    /// Floats folded in chunk order must be bit-identical at any thread
+    /// count — the core of the manifest determinism contract.
+    #[test]
+    fn chunk_merge_is_bit_identical_across_thread_counts() {
+        let n = 10_000;
+        let fill = |range: Range<usize>, stats: &mut ChunkStats| {
+            for i in range {
+                // Sums chosen to be order-sensitive in the last bits.
+                stats.sum("wirelength", (i as f64).sqrt() * 0.1);
+                stats.count("nets", 1);
+            }
+        };
+        let one = par_chunk_stats(1, n, fill);
+        let four = par_chunk_stats(4, n, fill);
+        assert_eq!(one.get_count("nets"), n as u64);
+        assert_eq!(
+            one.get_sum("wirelength").to_bits(),
+            four.get_sum("wirelength").to_bits()
+        );
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn merge_ordered_is_a_left_fold() {
+        let mut a = ChunkStats::new();
+        a.sum("x", 0.1);
+        let mut b = ChunkStats::new();
+        b.sum("x", 0.2);
+        let mut c = ChunkStats::new();
+        c.sum("x", 0.3);
+        let merged = ChunkStats::merge_ordered(vec![a.clone(), b.clone(), c.clone()]);
+        let mut manual = ChunkStats::new();
+        manual.absorb(&a);
+        manual.absorb(&b);
+        manual.absorb(&c);
+        assert_eq!(merged.get_sum("x").to_bits(), manual.get_sum("x").to_bits());
+    }
+
+    #[test]
+    fn json_escapes_and_formats() {
+        let obs = Obs::enabled();
+        obs.label_set("path", "a\"b\\c");
+        obs.gauge_set("whole", 3.0);
+        obs.gauge_set("frac", 0.25);
+        let json = obs.manifest().json();
+        assert!(json.contains("\"a\\\"b\\\\c\""));
+        assert!(json.contains("\"whole\": 3.0"));
+        assert!(json.contains("\"frac\": 0.25"));
+    }
+}

@@ -277,7 +277,12 @@ mod tests {
         assert!(before.wns > 0.0);
         let outcome = resize_for_power(&mut n, 0.3, 3, |nl| evaluate(nl, period));
         let after = evaluate(&n, period);
-        assert!(after.wns >= before.wns - 0.01, "wns {} -> {}", before.wns, after.wns);
+        assert!(
+            after.wns >= before.wns - 0.01,
+            "wns {} -> {}",
+            before.wns,
+            after.wns
+        );
         // With X1 default drives nothing can shrink; the call must still
         // be safe and report zero changes.
         assert!(outcome.cells_changed == 0 || outcome.final_wns >= -0.01);
@@ -303,7 +308,10 @@ mod tests {
     fn buffer_insertion_caps_fanout() {
         let mut n = m3d_netgen::Benchmark::Ldpc.generate(0.02, 13);
         let before_max = n.stats().max_fanout;
-        assert!(before_max > 16, "LDPC should have high fanout: {before_max}");
+        assert!(
+            before_max > 16,
+            "LDPC should have high fanout: {before_max}"
+        );
         let mut positions = vec![Point::ORIGIN; n.cell_count()];
         let inserted = insert_buffers(&mut n, &mut positions, 16);
         assert!(!inserted.is_empty());

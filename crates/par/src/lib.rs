@@ -276,11 +276,9 @@ mod tests {
             .map(|i| (i as f64 * 0.1).sin() * 10f64.powi((i % 17) - 8))
             .collect();
         let reduce = |threads: usize| -> f64 {
-            par_ranges(threads, items.len(), |r| {
-                r.map(|i| items[i]).sum::<f64>()
-            })
-            .into_iter()
-            .sum()
+            par_ranges(threads, items.len(), |r| r.map(|i| items[i]).sum::<f64>())
+                .into_iter()
+                .sum()
         };
         let base = reduce(1);
         for t in [2, 3, 4, 8, 16] {

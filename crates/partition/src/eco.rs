@@ -292,9 +292,7 @@ mod tests {
                 EcoTimingView {
                     wns: -1.0 - moved as f64, // strictly worse with moves
                     tns: -1.0 - moved as f64,
-                    critical_paths: vec![(0..10)
-                        .map(|i| (CellId::from_index(i), 2.0))
-                        .collect()],
+                    critical_paths: vec![(0..10).map(|i| (CellId::from_index(i), 2.0)).collect()],
                 }
             },
         );

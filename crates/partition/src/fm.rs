@@ -25,6 +25,18 @@ impl Default for PartitionConfig {
     }
 }
 
+/// Counters from one FM run, surfaced for run telemetry. All values are
+/// deterministic: the move sequence defines the algorithm's order.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FmStats {
+    /// FM passes executed (including the final non-improving one).
+    pub passes: u64,
+    /// Tentative gain-bucket moves across all passes (before rollback).
+    pub moves: u64,
+    /// Final cut size.
+    pub cut: u64,
+}
+
 /// Classic FM min-cut bipartitioning with area balancing.
 ///
 /// `areas` gives each cell's area (use the pseudo-3-D/fast-library area:
@@ -69,6 +81,21 @@ pub fn bin_min_cut(
     tiers: &mut [Tier],
     config: &PartitionConfig,
 ) -> usize {
+    bin_min_cut_with_stats(netlist, positions, die, bins, areas, locked, tiers, config).0
+}
+
+/// [`bin_min_cut`] plus the [`FmStats`] counters of the run.
+#[allow(clippy::too_many_arguments)]
+pub fn bin_min_cut_with_stats(
+    netlist: &Netlist,
+    positions: &[Point],
+    die: m3d_geom::Rect,
+    bins: usize,
+    areas: &[f64],
+    locked: &[bool],
+    tiers: &mut [Tier],
+    config: &PartitionConfig,
+) -> (usize, FmStats) {
     seed_balanced(netlist, areas, locked, tiers, config.seed);
     let grid = m3d_geom::BinGrid::new(die, bins.max(1), bins.max(1));
     let bin_of: Vec<usize> = positions
@@ -107,17 +134,19 @@ pub fn bin_min_cut(
         bt[b][from.index()] -= areas[cell];
         bt[b][to.index()] += areas[cell];
     };
-    run_fm_with(netlist, areas, locked, tiers, config.passes, can_move, on_move)
+    run_fm_with(
+        netlist,
+        areas,
+        locked,
+        tiers,
+        config.passes,
+        can_move,
+        on_move,
+    )
 }
 
 /// Seeds free cells into a random balanced split (locked cells untouched).
-fn seed_balanced(
-    netlist: &Netlist,
-    areas: &[f64],
-    locked: &[bool],
-    tiers: &mut [Tier],
-    seed: u64,
-) {
+fn seed_balanced(netlist: &Netlist, areas: &[f64], locked: &[bool], tiers: &mut [Tier], seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tier_area = [0.0_f64; 2];
     for (i, &l) in locked.iter().enumerate() {
@@ -141,7 +170,11 @@ fn seed_balanced(
         } else {
             Tier::Top
         };
-        let choice = if rng.gen_bool(0.75) { lighter } else { lighter.other() };
+        let choice = if rng.gen_bool(0.75) {
+            lighter
+        } else {
+            lighter.other()
+        };
         tiers[i] = choice;
         tier_area[choice.index()] += areas[i];
     }
@@ -163,15 +196,14 @@ fn run_fm(
         }
         ta
     });
-    let can_move = |cell: usize, from: Tier, to: Tier| {
-        balance_ok(&tier_area.borrow(), from, to, areas[cell])
-    };
+    let can_move =
+        |cell: usize, from: Tier, to: Tier| balance_ok(&tier_area.borrow(), from, to, areas[cell]);
     let on_move = |cell: usize, from: Tier, to: Tier| {
         let mut ta = tier_area.borrow_mut();
         ta[from.index()] -= areas[cell];
         ta[to.index()] += areas[cell];
     };
-    run_fm_with(netlist, areas, locked, tiers, passes, can_move, on_move)
+    run_fm_with(netlist, areas, locked, tiers, passes, can_move, on_move).0
 }
 
 /// The FM engine: gain buckets, tentative move sequence, best-prefix
@@ -190,7 +222,8 @@ fn run_fm_with(
     passes: usize,
     can_move: impl Fn(usize, Tier, Tier) -> bool,
     on_move: impl Fn(usize, Tier, Tier),
-) -> usize {
+) -> (usize, FmStats) {
+    let mut stats = FmStats::default();
     let n = netlist.cell_count();
     let threads = m3d_par::resolve(0);
     let parallel = threads > 1 && n >= m3d_par::PAR_THRESHOLD;
@@ -198,9 +231,7 @@ fn run_fm_with(
     // bottom tier per the flow).
     let movable: Vec<bool> = netlist
         .cells()
-        .map(|(id, c)| {
-            !locked[id.index()] && matches!(c.class, CellClass::Gate { .. })
-        })
+        .map(|(id, c)| !locked[id.index()] && matches!(c.class, CellClass::Gate { .. }))
         .collect();
 
     // Net pin lists (signal nets only), as cell indices.
@@ -250,6 +281,7 @@ fn run_fm_with(
     let mut best_cut = cut_of(tiers);
 
     for _pass in 0..passes {
+        stats.passes += 1;
         // Per-net side counts.
         let side_count_of = |pins: &Vec<usize>, tiers: &[Tier]| -> [i32; 2] {
             let mut sc = [0, 0];
@@ -262,7 +294,10 @@ fn run_fm_with(
             let tiers_ref = &*tiers;
             m3d_par::par_map(threads, nets_ref, |_, pins| side_count_of(pins, tiers_ref))
         } else {
-            nets_ref.iter().map(|pins| side_count_of(pins, tiers)).collect()
+            nets_ref
+                .iter()
+                .map(|pins| side_count_of(pins, tiers))
+                .collect()
         };
 
         // Initial gains.
@@ -294,7 +329,9 @@ fn run_fm_with(
             let side_count_ref = &side_count;
             m3d_par::par_map_indices(threads, n, |c| initial_gain(c, tiers_ref, side_count_ref))
         } else {
-            (0..n).map(|c| initial_gain(c, tiers, &side_count)).collect()
+            (0..n)
+                .map(|c| initial_gain(c, tiers, &side_count))
+                .collect()
         };
 
         // Bucket structure: gains in [-max_deg, +max_deg].
@@ -323,10 +360,7 @@ fn run_fm_with(
                 // Drain stale entries lazily.
                 while let Some(&cand) = buckets[top as usize].last() {
                     let c = cand as usize;
-                    if !in_bucket[c]
-                        || locked_pass[c]
-                        || gains[c] + offset != top
-                    {
+                    if !in_bucket[c] || locked_pass[c] || gains[c] + offset != top {
                         buckets[top as usize].pop();
                         continue;
                     }
@@ -385,6 +419,7 @@ fn run_fm_with(
         }
 
         // Roll back to the best prefix.
+        stats.moves += moves.len() as u64;
         for &c in moves.iter().skip(best_prefix_len).rev() {
             let cur = tiers[c];
             tiers[c] = cur.other();
@@ -398,7 +433,8 @@ fn run_fm_with(
         }
         best_cut = new_cut;
     }
-    best_cut
+    stats.cut = best_cut as u64;
+    (best_cut, stats)
 }
 
 #[cfg(test)]
@@ -422,7 +458,13 @@ mod tests {
         let random_cut = cut_size(&n, &tiers);
 
         let mut tiers2 = vec![Tier::Bottom; n.cell_count()];
-        let fm_cut = min_cut(&n, &areas, &locked, &mut tiers2, &PartitionConfig::default());
+        let fm_cut = min_cut(
+            &n,
+            &areas,
+            &locked,
+            &mut tiers2,
+            &PartitionConfig::default(),
+        );
         assert!(
             fm_cut < random_cut / 2,
             "FM cut {fm_cut} vs random {random_cut}"
@@ -488,12 +530,7 @@ mod tests {
         let die = m3d_geom::Rect::new(0.0, 0.0, 100.0, 100.0);
         // Synthetic positions: hash cells around the die.
         let positions: Vec<Point> = (0..n.cell_count())
-            .map(|i| {
-                Point::new(
-                    (i as f64 * 37.3) % 100.0,
-                    (i as f64 * 53.7) % 100.0,
-                )
-            })
+            .map(|i| Point::new((i as f64 * 37.3) % 100.0, (i as f64 * 53.7) % 100.0))
             .collect();
         let mut tiers = vec![Tier::Bottom; n.cell_count()];
         let cut = bin_min_cut(

@@ -35,7 +35,7 @@ mod fm;
 mod timing;
 
 pub use eco::{repartition_eco, EcoConfig, EcoOutcome, EcoStop, EcoTimingView};
-pub use fm::{bin_min_cut, min_cut, PartitionConfig};
+pub use fm::{bin_min_cut, bin_min_cut_with_stats, min_cut, FmStats, PartitionConfig};
 pub use timing::{timing_driven_assignment, TimingAssignment};
 
 use m3d_netlist::Netlist;

@@ -75,7 +75,11 @@ pub fn timing_driven_assignment(
 
     TimingAssignment {
         locked_cells,
-        locked_area_fraction: if total_area > 0.0 { used / total_area } else { 0.0 },
+        locked_area_fraction: if total_area > 0.0 {
+            used / total_area
+        } else {
+            0.0
+        },
         cutoff_slack_ns: cutoff,
     }
 }
@@ -95,14 +99,8 @@ mod tests {
             .map(|(_, c)| if c.class.is_gate() { 1.0 } else { 0.0 })
             .collect();
         let mut tiers = vec![Tier::Top; count];
-        let result = timing_driven_assignment(
-            &n,
-            &criticality,
-            &areas,
-            0.25,
-            Tier::Bottom,
-            &mut tiers,
-        );
+        let result =
+            timing_driven_assignment(&n, &criticality, &areas, 0.25, Tier::Bottom, &mut tiers);
         assert!(
             (result.locked_area_fraction - 0.25).abs() < 0.02,
             "locked fraction {}",

@@ -227,7 +227,12 @@ mod tests {
         let n = m3d_netgen::Benchmark::Aes.generate(0.02, 1);
         let stack = TierStack::homogeneous_3d(Library::twelve_track());
         let two_d_tiers = vec![Tier::Bottom; n.cell_count()];
-        let fp2d = Floorplan::new(&n, &TierStack::two_d(Library::twelve_track()), &two_d_tiers, 0.7);
+        let fp2d = Floorplan::new(
+            &n,
+            &TierStack::two_d(Library::twelve_track()),
+            &two_d_tiers,
+            0.7,
+        );
         // Balanced split halves each tier's demand.
         let mut tiers = vec![Tier::Bottom; n.cell_count()];
         for (i, t) in tiers.iter_mut().enumerate() {

@@ -268,10 +268,8 @@ fn place_loop(
         if iter + 1 == iterations {
             for (i, &fix) in fixed.iter().enumerate() {
                 if !fix {
-                    placement.positions[i] += Point::new(
-                        rng.gen_range(-0.2..0.2),
-                        rng.gen_range(-0.2..0.2),
-                    );
+                    placement.positions[i] +=
+                        Point::new(rng.gen_range(-0.2..0.2), rng.gen_range(-0.2..0.2));
                 }
             }
         }
@@ -384,8 +382,7 @@ mod tests {
         };
         let (ca, pa) = centroid("a_");
         let (cb, _) = centroid("b_");
-        let spread_a: f64 =
-            pa.iter().map(|q| q.distance(ca)).sum::<f64>() / pa.len() as f64;
+        let spread_a: f64 = pa.iter().map(|q| q.distance(ca)).sum::<f64>() / pa.len() as f64;
         // Between-cluster distance should exceed within-cluster spread.
         assert!(
             ca.distance(cb) > 0.6 * spread_a,

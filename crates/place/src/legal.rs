@@ -21,6 +21,31 @@ pub fn legalize(
     stack: &TierStack,
     tiers: &[Tier],
 ) -> Placement {
+    legalize_with_stats(netlist, placement, fp, stack, tiers).0
+}
+
+/// Displacement counters from one legalization run, surfaced for run
+/// telemetry. Deterministic: legalization is a sequential sweep and the
+/// sums fold in cell-index order.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LegalStats {
+    /// Movable gates the sweep placed.
+    pub moved_cells: u64,
+    /// Sum of |legal − global| displacements, in µm.
+    pub total_displacement_um: f64,
+    /// Largest single-cell displacement, in µm.
+    pub max_displacement_um: f64,
+}
+
+/// [`legalize`] plus the [`LegalStats`] counters of the run.
+#[must_use]
+pub fn legalize_with_stats(
+    netlist: &Netlist,
+    placement: &Placement,
+    fp: &Floorplan,
+    stack: &TierStack,
+    tiers: &[Tier],
+) -> (Placement, LegalStats) {
     let mut out = placement.clone();
     for tier in Tier::BOTH {
         legalize_tier(netlist, &mut out, fp, stack, tiers, tier);
@@ -28,7 +53,18 @@ pub fn legalize(
             break;
         }
     }
-    out
+    let mut stats = LegalStats::default();
+    for (id, c) in netlist.cells() {
+        if c.fixed || !c.class.is_gate() {
+            continue;
+        }
+        let i = id.index();
+        let d = placement.positions[i].distance(out.positions[i]);
+        stats.moved_cells += 1;
+        stats.total_displacement_um += d;
+        stats.max_displacement_um = stats.max_displacement_um.max(d);
+    }
+    (out, stats)
 }
 
 struct Row {
@@ -130,9 +166,7 @@ fn legalize_tier(
     // Movable gates on this tier, sorted by desired x.
     let mut cells: Vec<(usize, f64)> = netlist
         .cells()
-        .filter(|(id, c)| {
-            !c.fixed && c.class.is_gate() && tiers[id.index()] == tier
-        })
+        .filter(|(id, c)| !c.fixed && c.class.is_gate() && tiers[id.index()] == tier)
         .map(|(id, c)| {
             let w = match &c.class {
                 CellClass::Gate { kind, drive } => {
@@ -158,7 +192,8 @@ fn legalize_tier(
         let lo = ideal_row.saturating_sub(search_span);
         let hi = (ideal_row + search_span).min(n_rows - 1);
         let mut best: Option<(usize, usize, f64, f64)> = None; // (row, slot, x, cost)
-        let consider = |range: std::ops::Range<usize>, best: &mut Option<(usize, usize, f64, f64)>| {
+        let consider = |range: std::ops::Range<usize>,
+                        best: &mut Option<(usize, usize, f64, f64)>| {
             for r in range {
                 let row = &rows[r];
                 let dy = (row.y_center - desired.y).abs();

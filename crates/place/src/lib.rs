@@ -37,5 +37,5 @@ mod placement;
 
 pub use floorplan::Floorplan;
 pub use global::{global_place, refine_place, PlacerConfig};
-pub use legal::legalize;
+pub use legal::{legalize, legalize_with_stats, LegalStats};
 pub use placement::Placement;

@@ -174,7 +174,11 @@ pub fn analyze_power(
                         .flatten()
                         .map_or(config.input_activity, |net| activity[net.index()]);
                     // Sequential cells switch internally every clock.
-                    let act = if kind.is_sequential() { act.max(0.3) } else { act };
+                    let act = if kind.is_sequential() {
+                        act.max(0.3)
+                    } else {
+                        act
+                    };
                     internal_uw += act * m.internal_energy_fj * f;
                 }
             }
@@ -307,7 +311,14 @@ mod tests {
             &m3d_cts::CtsConfig::default(),
         );
         let parasitics = Parasitics::zero_wire(&n);
-        let without = analyze_power(&n, &stack, &tiers, &parasitics, None, &PowerConfig::default());
+        let without = analyze_power(
+            &n,
+            &stack,
+            &tiers,
+            &parasitics,
+            None,
+            &PowerConfig::default(),
+        );
         let with = analyze_power(
             &n,
             &stack,
@@ -344,7 +355,14 @@ mod tests {
         let stack = TierStack::two_d(Library::twelve_track());
         let tiers = vec![Tier::Bottom; n.cell_count()];
         let parasitics = Parasitics::zero_wire(&n);
-        let p = analyze_power(&n, &stack, &tiers, &parasitics, None, &PowerConfig::default());
+        let p = analyze_power(
+            &n,
+            &stack,
+            &tiers,
+            &parasitics,
+            None,
+            &PowerConfig::default(),
+        );
         // Just a sanity check that the analysis runs and is small but
         // positive for this tiny design.
         assert!(p.total_mw() > 0.0);

@@ -140,14 +140,22 @@ pub fn deep_dive(imp: &Implementation) -> DeepDive {
             out_n += 1;
         }
         // Switching power of the net at a nominal 0.15 activity.
-        let vdd = net.driver.map_or(0.9, |p| {
-            imp.stack.library(imp.tiers[p.cell.index()]).vdd
-        });
+        let vdd = net
+            .driver
+            .map_or(0.9, |p| imp.stack.library(imp.tiers[p.cell.index()]).vdd);
         switching_uw += 0.5 * 0.15 * model.wire_cap_ff * vdd * vdd * imp.frequency_ghz;
     }
     let memory = MemoryReport {
-        input_net_latency_ps: if in_n > 0 { (in_sq / in_n as f64).sqrt() } else { 0.0 },
-        output_net_latency_ps: if out_n > 0 { (out_sq / out_n as f64).sqrt() } else { 0.0 },
+        input_net_latency_ps: if in_n > 0 {
+            (in_sq / in_n as f64).sqrt()
+        } else {
+            0.0
+        },
+        output_net_latency_ps: if out_n > 0 {
+            (out_sq / out_n as f64).sqrt()
+        } else {
+            0.0
+        },
         net_switching_power_uw: switching_uw,
         net_count: in_n + out_n,
     };
@@ -192,7 +200,11 @@ pub fn deep_dive(imp: &Implementation) -> DeepDive {
         wirelength_mm: imp.clock_tree.wirelength_um * 1e-3,
         max_latency_ns: imp.clock_tree.max_latency_ns(),
         max_skew_ns: imp.clock_tree.max_skew_ns(),
-        avg_skew_100_ns: if skew_n > 0 { skew_sum / skew_n as f64 } else { 0.0 },
+        avg_skew_100_ns: if skew_n > 0 {
+            skew_sum / skew_n as f64
+        } else {
+            0.0
+        },
     };
 
     // ---- critical path -----------------------------------------------------
@@ -218,7 +230,11 @@ pub fn deep_dive(imp: &Implementation) -> DeepDive {
         _ => CriticalPathReport::default(),
     };
 
-    DeepDive { memory, clock, path }
+    DeepDive {
+        memory,
+        clock,
+        path,
+    }
 }
 
 /// Formats a set of deep dives side by side as the Table VIII layout.
@@ -236,17 +252,31 @@ pub fn format_deep_dive(labels: &[&str], dives: &[&DeepDive]) -> String {
     let f1 = |v: f64| format!("{v:.1}");
     let f2 = |v: f64| format!("{v:.2}");
     let f3 = |v: f64| format!("{v:.3}");
-    t.row(row("Input Net Latency", "ps", &|d| f1(d.memory.input_net_latency_ps)));
-    t.row(row("Output Net Latency", "ps", &|d| f1(d.memory.output_net_latency_ps)));
-    t.row(row("Net Switching Power", "uW", &|d| f2(d.memory.net_switching_power_uw)));
-    t.row(row("Buffer Count", "", &|d| d.clock.buffer_count.to_string()));
-    t.row(row("Top Buffer Count", "", &|d| d.clock.top_buffer_count.to_string()));
-    t.row(row("Bottom Buffer Count", "", &|d| d.clock.bottom_buffer_count.to_string()));
+    t.row(row("Input Net Latency", "ps", &|d| {
+        f1(d.memory.input_net_latency_ps)
+    }));
+    t.row(row("Output Net Latency", "ps", &|d| {
+        f1(d.memory.output_net_latency_ps)
+    }));
+    t.row(row("Net Switching Power", "uW", &|d| {
+        f2(d.memory.net_switching_power_uw)
+    }));
+    t.row(row("Buffer Count", "", &|d| {
+        d.clock.buffer_count.to_string()
+    }));
+    t.row(row("Top Buffer Count", "", &|d| {
+        d.clock.top_buffer_count.to_string()
+    }));
+    t.row(row("Bottom Buffer Count", "", &|d| {
+        d.clock.bottom_buffer_count.to_string()
+    }));
     t.row(row("Buffer Area", "um2", &|d| f1(d.clock.buffer_area_um2)));
     t.row(row("Clock WL", "mm", &|d| f3(d.clock.wirelength_mm)));
     t.row(row("Max Latency", "ns", &|d| f3(d.clock.max_latency_ns)));
     t.row(row("Max Skew", "ns", &|d| f3(d.clock.max_skew_ns)));
-    t.row(row("100 Path Avg. Skew", "ns", &|d| f3(d.clock.avg_skew_100_ns)));
+    t.row(row("100 Path Avg. Skew", "ns", &|d| {
+        f3(d.clock.avg_skew_100_ns)
+    }));
     t.row(row("Clock Period", "ns", &|d| f3(d.path.clock_period_ns)));
     t.row(row("Slack", "ns", &|d| f3(d.path.slack_ns)));
     t.row(row("Clock Skew", "ns", &|d| f3(d.path.clock_skew_ns)));
@@ -256,12 +286,72 @@ pub fn format_deep_dive(labels: &[&str], dives: &[&DeepDive]) -> String {
     t.row(row("Total Cells", "", &|d| d.path.total_cells.to_string()));
     t.row(row("# MIVs", "", &|d| d.path.mivs.to_string()));
     t.row(row("Top Cells", "", &|d| d.path.top_cells.to_string()));
-    t.row(row("Top Cell Delay", "ns", &|d| f3(d.path.top_cell_delay_ns)));
-    t.row(row("Avg. Top Delay", "ns", &|d| f3(d.path.avg_top_delay_ns())));
-    t.row(row("Bottom Cells", "", &|d| d.path.bottom_cells.to_string()));
-    t.row(row("Bottom Cell Delay", "ns", &|d| f3(d.path.bottom_cell_delay_ns)));
-    t.row(row("Avg. Bottom Delay", "ns", &|d| f3(d.path.avg_bottom_delay_ns())));
+    t.row(row("Top Cell Delay", "ns", &|d| {
+        f3(d.path.top_cell_delay_ns)
+    }));
+    t.row(row("Avg. Top Delay", "ns", &|d| {
+        f3(d.path.avg_top_delay_ns())
+    }));
+    t.row(row("Bottom Cells", "", &|d| {
+        d.path.bottom_cells.to_string()
+    }));
+    t.row(row("Bottom Cell Delay", "ns", &|d| {
+        f3(d.path.bottom_cell_delay_ns)
+    }));
+    t.row(row("Avg. Bottom Delay", "ns", &|d| {
+        f3(d.path.avg_bottom_delay_ns())
+    }));
     t.render()
+}
+
+/// Formats a telemetry [`Manifest`](m3d_obs::Manifest) as the deep dive's
+/// runtime section: the stage-span tree with call counts, wall time and
+/// share of the total, followed by the deterministic counters and gauges.
+///
+/// Collect the manifest by attaching [`m3d_obs::Obs::enabled`] to
+/// `FlowOptions::obs` before the run; an empty manifest (telemetry
+/// disabled) renders as a note instead of empty tables.
+#[must_use]
+pub fn format_runtime(manifest: &m3d_obs::Manifest) -> String {
+    use crate::tables::TextTable;
+    if manifest.spans.is_empty() && manifest.counters.is_empty() {
+        return "Runtime: no telemetry collected (FlowOptions::obs disabled)\n".to_string();
+    }
+    // Share is relative to the longest recorded span: the outermost stage
+    // of whatever entry point ran (run_flow, find_fmax, compare_configs).
+    let total_ns = manifest
+        .spans
+        .iter()
+        .map(|s| s.wall_ns)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut spans = TextTable::new(vec!["Stage", "Calls", "Wall ms", "Share %"]);
+    for s in &manifest.spans {
+        let depth = s.path.matches('/').count();
+        let leaf = s.path.rsplit('/').next().unwrap_or(&s.path);
+        spans.row(vec![
+            format!("{}{leaf}", "  ".repeat(depth)),
+            s.calls.to_string(),
+            format!("{:.3}", s.wall_ns as f64 / 1e6),
+            format!("{:.1}", 100.0 * s.wall_ns as f64 / total_ns as f64),
+        ]);
+    }
+    let mut metrics = TextTable::new(vec!["Metric", "Value"]);
+    for (k, v) in &manifest.counters {
+        metrics.row(vec![k.clone(), v.to_string()]);
+    }
+    for (k, v) in &manifest.gauges {
+        metrics.row(vec![k.clone(), format!("{v:.3}")]);
+    }
+    for (k, v) in &manifest.labels {
+        metrics.row(vec![k.clone(), v.clone()]);
+    }
+    format!(
+        "Runtime (stage spans)\n{}\nRuntime (metrics)\n{}",
+        spans.render(),
+        metrics.render()
+    )
 }
 
 #[cfg(test)]
@@ -284,6 +374,25 @@ mod tests {
         let text = format_deep_dive(&["Hetero 3D"], &[&dive]);
         assert!(text.contains("Buffer Count"));
         assert!(text.contains("Avg. Top Delay"));
+    }
+
+    #[test]
+    fn runtime_section_formats_an_instrumented_run() {
+        let n = m3d_netgen::Benchmark::Aes.generate(0.01, 3);
+        let mut o = FlowOptions::default();
+        o.placer.iterations = 6;
+        o.obs = m3d_obs::Obs::enabled();
+        let obs = o.obs.clone();
+        let _ = run_flow(&n, Config::Hetero3d, 1.0, &o);
+        let text = format_runtime(&obs.manifest());
+        assert!(text.contains("run_flow"), "span tree lists the flow root");
+        assert!(
+            text.contains("partition/final_cut"),
+            "counters listed:\n{text}"
+        );
+        assert!(text.contains("Share %"));
+        let empty = format_runtime(&m3d_obs::Manifest::default());
+        assert!(empty.contains("no telemetry"));
     }
 
     #[test]

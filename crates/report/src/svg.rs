@@ -166,7 +166,11 @@ pub fn render_overlays(imp: &Implementation, title: &str) -> String {
             if !driven_by_macro && !drives_macro {
                 continue;
             }
-            let color = if driven_by_macro { "#cc41b0" } else { "#d9b42a" };
+            let color = if driven_by_macro {
+                "#cc41b0"
+            } else {
+                "#d9b42a"
+            };
             let a = imp.placement.positions[drv.cell.index()];
             let b = imp.placement.positions[sink.cell.index()];
             let _ = writeln!(
@@ -181,12 +185,8 @@ pub fn render_overlays(imp: &Implementation, title: &str) -> String {
     }
 
     // Worst critical path (red polyline).
-    let parasitics = m3d_route::extract_parasitics(
-        &imp.netlist,
-        &imp.placement,
-        &imp.stack,
-        Some(&imp.routing),
-    );
+    let parasitics =
+        m3d_route::extract_parasitics(&imp.netlist, &imp.placement, &imp.stack, Some(&imp.routing));
     let mut clock = ClockSpec::with_period(1.0 / imp.frequency_ghz);
     clock.latency_ns = imp.clock_tree.sink_latency.clone();
     let lats = imp.clock_tree.latencies();
@@ -232,8 +232,14 @@ pub fn render_config_cartoon() -> String {
     let configs: [(&str, &[(&str, &str)]); 5] = [
         ("(a) 12T 2D", &[("12-track @0.90V", "#4878cf")]),
         ("(b) 9T 2D", &[("9-track @0.81V", "#e8853d")]),
-        ("(c) 12T 3D", &[("12-track", "#4878cf"), ("12-track", "#4878cf")]),
-        ("(d) 9T 3D", &[("9-track", "#e8853d"), ("9-track", "#e8853d")]),
+        (
+            "(c) 12T 3D",
+            &[("12-track", "#4878cf"), ("12-track", "#4878cf")],
+        ),
+        (
+            "(d) 9T 3D",
+            &[("9-track", "#e8853d"), ("9-track", "#e8853d")],
+        ),
         (
             "(e) Hetero 3D",
             &[("9-track top", "#e8853d"), ("12-track bottom", "#4878cf")],
@@ -293,7 +299,10 @@ mod tests {
         let svg = render_overlays(&imp, "cpu overlays");
         assert!(svg.contains("polyline"), "critical path missing");
         assert!(svg.contains("#3a9e4c"), "clock tree missing");
-        assert!(svg.contains("#d9b42a") || svg.contains("#cc41b0"), "memory nets missing");
+        assert!(
+            svg.contains("#d9b42a") || svg.contains("#cc41b0"),
+            "memory nets missing"
+        );
     }
 
     #[test]

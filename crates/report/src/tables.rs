@@ -71,13 +71,25 @@ fn f(v: f64, digits: usize) -> String {
 #[must_use]
 pub fn format_ppac(p: &Ppac) -> TextTable {
     let mut t = TextTable::new(vec!["Metric", "Units", p.config.to_string().as_str()]);
-    t.row(vec!["Frequency".into(), "GHz".into(), f(p.frequency_ghz, 3)]);
+    t.row(vec![
+        "Frequency".into(),
+        "GHz".into(),
+        f(p.frequency_ghz, 3),
+    ]);
     t.row(vec!["Area".into(), "mm2".into(), f(p.si_area_mm2, 4)]);
-    t.row(vec!["Chip Width".into(), "um".into(), f(p.chip_width_um, 0)]);
+    t.row(vec![
+        "Chip Width".into(),
+        "um".into(),
+        f(p.chip_width_um, 0),
+    ]);
     t.row(vec!["Density".into(), "%".into(), f(p.density_pct, 0)]);
     t.row(vec!["WL".into(), "mm".into(), f(p.wirelength_mm, 2)]);
     t.row(vec!["# MIVs".into(), "".into(), p.mivs.to_string()]);
-    t.row(vec!["Total Power".into(), "mW".into(), f(p.total_power_mw, 2)]);
+    t.row(vec![
+        "Total Power".into(),
+        "mW".into(),
+        f(p.total_power_mw, 2),
+    ]);
     t.row(vec!["WNS".into(), "ns".into(), f(p.wns_ns, 3)]);
     t.row(vec!["TNS".into(), "ns".into(), f(p.tns_ns, 2)]);
     t.row(vec![
@@ -96,11 +108,7 @@ pub fn format_ppac(p: &Ppac) -> TextTable {
         "1e-6 C'/cm2".into(),
         f(p.cost_per_cm2_uc, 2),
     ]);
-    t.row(vec![
-        "PPC".into(),
-        "GHz/(mW*1e-6C')".into(),
-        f(p.ppc, 3),
-    ]);
+    t.row(vec!["PPC".into(), "GHz/(mW*1e-6C')".into(), f(p.ppc, 3)]);
     t
 }
 
@@ -124,7 +132,9 @@ pub fn format_comparison(comparisons: &[&Comparison]) -> String {
     t.row(row("Total Power", "mW", &|p| f(p.total_power_mw, 2)));
     t.row(row("WNS", "ns", &|p| f(p.wns_ns, 3)));
     t.row(row("TNS", "ns", &|p| f(p.tns_ns, 2)));
-    t.row(row("Effective Delay", "ns", &|p| f(p.effective_delay_ns, 3)));
+    t.row(row("Effective Delay", "ns", &|p| {
+        f(p.effective_delay_ns, 3)
+    }));
     t.row(row("PDP", "pJ", &|p| f(p.pdp_pj, 2)));
     t.row(row("Die Cost", "1e-6 C'", &|p| f(p.die_cost_uc, 3)));
     t.row(row("PPC", "", &|p| f(p.ppc, 3)));

@@ -19,38 +19,80 @@ pub fn extract_parasitics(
     stack: &TierStack,
     routing: Option<&RoutingResult>,
 ) -> Parasitics {
+    extract_parasitics_with_stats(netlist, placement, stack, routing).0
+}
+
+/// Aggregate counters from one extraction pass, surfaced for run
+/// telemetry. Deterministic at any thread count: per-chunk partials are
+/// folded in chunk-index order (the chunking depends only on the net
+/// count), so the float sums see a fixed addition sequence.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ExtractStats {
+    /// Nets that received an RC model (multi-pin signal nets).
+    pub rc_segments: u64,
+    /// Modeled wire length, µm.
+    pub total_length_um: f64,
+    /// Modeled wire capacitance, fF.
+    pub total_wire_cap_ff: f64,
+}
+
+/// [`extract_parasitics`] plus the [`ExtractStats`] counters of the pass.
+#[must_use]
+pub fn extract_parasitics_with_stats(
+    netlist: &Netlist,
+    placement: &Placement,
+    stack: &TierStack,
+    routing: Option<&RoutingResult>,
+) -> (Parasitics, ExtractStats) {
     let per_um = stack.metal.estimate_rc_per_um();
     let miv = stack.metal.miv;
     let n = netlist.net_count();
     // Each model is a pure function of one net, so the map fans out across
-    // threads; results come back in net-id order either way.
+    // threads; chunks come back in net-id order either way.
     let workers = if n >= m3d_par::PAR_THRESHOLD {
         m3d_par::resolve(0)
     } else {
         1
     };
-    let models = m3d_par::par_map_indices(workers, n, |k| {
-        let id = m3d_netlist::NetId::from_index(k);
-        let net = netlist.net(id);
-        if net.is_clock || net.degree() < 2 {
-            return NetModel::default();
-        }
-        let (length, mivs) = match routing {
-            Some(r) => {
-                let rn = r.nets[id.index()];
-                (rn.length_um, rn.mivs)
+    let chunks = m3d_par::par_ranges(workers, n, |range| {
+        let mut models = Vec::with_capacity(range.len());
+        let mut stats = ExtractStats::default();
+        for k in range {
+            let id = m3d_netlist::NetId::from_index(k);
+            let net = netlist.net(id);
+            if net.is_clock || net.degree() < 2 {
+                models.push(NetModel::default());
+                continue;
             }
-            None => (placement.net_steiner(netlist, id), 0),
-        };
-        let r_kohm = per_um.r_kohm * length + miv.r_kohm * mivs as f64;
-        let c_ff = per_um.c_ff * length + miv.c_ff * mivs as f64;
-        NetModel {
-            wire_cap_ff: c_ff,
-            // Distributed line: Elmore ≈ R·C/2; kΩ·fF = ps.
-            wire_delay_ns: 0.5 * r_kohm * c_ff * 1e-3,
+            let (length, mivs) = match routing {
+                Some(r) => {
+                    let rn = r.nets[id.index()];
+                    (rn.length_um, rn.mivs)
+                }
+                None => (placement.net_steiner(netlist, id), 0),
+            };
+            let r_kohm = per_um.r_kohm * length + miv.r_kohm * mivs as f64;
+            let c_ff = per_um.c_ff * length + miv.c_ff * mivs as f64;
+            stats.rc_segments += 1;
+            stats.total_length_um += length;
+            stats.total_wire_cap_ff += c_ff;
+            models.push(NetModel {
+                wire_cap_ff: c_ff,
+                // Distributed line: Elmore ≈ R·C/2; kΩ·fF = ps.
+                wire_delay_ns: 0.5 * r_kohm * c_ff * 1e-3,
+            });
         }
+        (models, stats)
     });
-    Parasitics::from_models(netlist, models)
+    let mut models = Vec::with_capacity(n);
+    let mut stats = ExtractStats::default();
+    for (chunk_models, chunk_stats) in chunks {
+        models.extend(chunk_models);
+        stats.rc_segments += chunk_stats.rc_segments;
+        stats.total_length_um += chunk_stats.total_length_um;
+        stats.total_wire_cap_ff += chunk_stats.total_wire_cap_ff;
+    }
+    (Parasitics::from_models(netlist, models), stats)
 }
 
 #[cfg(test)]

@@ -36,5 +36,5 @@
 mod extract;
 mod router;
 
-pub use extract::extract_parasitics;
+pub use extract::{extract_parasitics, extract_parasitics_with_stats, ExtractStats};
 pub use router::{global_route, RouteConfig, RoutedNet, RoutingResult};

@@ -42,6 +42,10 @@ pub struct RoutingResult {
     pub nets: Vec<RoutedNet>,
     /// Total signal wirelength, µm.
     pub total_wirelength_um: f64,
+    /// Manhattan length of the Prim spanning trees before congestion
+    /// detours, µm — the lower bound the router works from. The gap to
+    /// `total_wirelength_um` measures detour cost.
+    pub prim_wirelength_um: f64,
     /// Total MIV count.
     pub total_mivs: usize,
     /// Maximum edge demand/capacity ratio.
@@ -100,10 +104,10 @@ impl Grid {
     }
 
     fn bin_of(&self, p: Point) -> (usize, usize) {
-        let cx = (((p.x - self.llx) / self.bin_w).floor() as isize)
-            .clamp(0, self.nx as isize - 1) as usize;
-        let cy = (((p.y - self.lly) / self.bin_h).floor() as isize)
-            .clamp(0, self.ny as isize - 1) as usize;
+        let cx = (((p.x - self.llx) / self.bin_w).floor() as isize).clamp(0, self.nx as isize - 1)
+            as usize;
+        let cy = (((p.y - self.lly) / self.bin_h).floor() as isize).clamp(0, self.ny as isize - 1)
+            as usize;
         (cx, cy)
     }
 
@@ -190,9 +194,15 @@ pub fn global_route(
     // Order: short nets first (they have the least flexibility). The sort
     // keys are computed in parallel; the stable index sort below yields the
     // same permutation as sorting the ids directly.
-    let hpwl = m3d_par::par_map(workers, &candidates, |_, &id| placement.net_hpwl(netlist, id));
+    let hpwl = m3d_par::par_map(workers, &candidates, |_, &id| {
+        placement.net_hpwl(netlist, id)
+    });
     let mut order: Vec<usize> = (0..candidates.len()).collect();
-    order.sort_by(|&a, &b| hpwl[a].partial_cmp(&hpwl[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        hpwl[a]
+            .partial_cmp(&hpwl[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // Phase 1 (parallel): per-net topology — pin positions, Prim tree, MIV
     // count. None of it depends on congestion, so every net's plan can be
@@ -217,6 +227,8 @@ pub fn global_route(
     }
 
     let total_wirelength_um = nets.iter().map(|n| n.length_um).sum();
+    // Folded in HPWL (commit) order, matching the other totals.
+    let prim_wirelength_um = plans.iter().map(|p| p.prim_um).sum();
     let total_mivs = nets.iter().map(|n| n.mivs as usize).sum();
     let mut max_congestion = 0.0_f64;
     let mut overflow_edges = 0usize;
@@ -242,6 +254,7 @@ pub fn global_route(
     RoutingResult {
         nets,
         total_wirelength_um,
+        prim_wirelength_um,
         total_mivs,
         max_congestion,
         overflow_edges,
@@ -257,6 +270,8 @@ struct NetPlan {
     pts: Vec<Point>,
     edges: Vec<(usize, usize)>,
     mivs: u32,
+    /// Manhattan length of the tree edges (pre-detour lower bound), µm.
+    prim_um: f64,
 }
 
 fn plan_net(netlist: &Netlist, placement: &Placement, tiers: &[Tier], net_id: NetId) -> NetPlan {
@@ -273,6 +288,7 @@ fn plan_net(netlist: &Netlist, placement: &Placement, tiers: &[Tier], net_id: Ne
             pts,
             edges: Vec::new(),
             mivs: 0,
+            prim_um: 0.0,
         };
     }
 
@@ -314,11 +330,13 @@ fn plan_net(netlist: &Netlist, placement: &Placement, tiers: &[Tier], net_id: Ne
         .iter()
         .filter(|&&(a, b)| tiers[cells[a].index()] != tiers[cells[b].index()])
         .count() as u32;
+    let prim_um = edges.iter().map(|&(a, b)| pts[a].manhattan(pts[b])).sum();
     NetPlan {
         net: net_id,
         pts,
         edges,
         mivs,
+        prim_um,
     }
 }
 

@@ -49,8 +49,12 @@ const SHARD_CAP: usize = 1 << 16;
 #[derive(Debug, Default)]
 pub struct DelayCache {
     shards: [Mutex<HashMap<ArcKey, (f64, f64)>>; SHARDS],
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Hit/miss tallies per shard; [`DelayCache::hits`]/[`DelayCache::misses`]
+    /// report the sums. Counts depend on scheduling (a racing duplicate
+    /// insert books two misses), so telemetry treats them as
+    /// performance-only, never as deterministic manifest content.
+    shard_hits: [AtomicU64; SHARDS],
+    shard_misses: [AtomicU64; SHARDS],
 }
 
 impl DelayCache {
@@ -85,18 +89,22 @@ impl DelayCache {
             ^ key.load_bits
             ^ ((kind as u64) << 3)
             ^ (drive as u64);
-        let shard = &self.shards[(mix as usize) & (SHARDS - 1)];
+        let si = (mix as usize) & (SHARDS - 1);
+        let shard = &self.shards[si];
         {
             let map = shard.lock().expect("delay cache shard poisoned");
             if let Some(&pair) = map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.shard_hits[si].fetch_add(1, Ordering::Relaxed);
                 return pair;
             }
         }
         // Evaluate outside the lock; the value is a pure function of the
         // key, so a concurrent duplicate insert stores identical bits.
-        let pair = (master.delay(slew_ns, load_ff), master.output_slew(slew_ns, load_ff));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let pair = (
+            master.delay(slew_ns, load_ff),
+            master.output_slew(slew_ns, load_ff),
+        );
+        self.shard_misses[si].fetch_add(1, Ordering::Relaxed);
         let mut map = shard.lock().expect("delay cache shard poisoned");
         if map.len() < SHARD_CAP {
             map.insert(key, pair);
@@ -104,16 +112,37 @@ impl DelayCache {
         pair
     }
 
-    /// Arc evaluations answered from the table.
+    /// Arc evaluations answered from the table (all shards).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shard_hits
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Arc evaluations that went to the LUTs.
+    /// Arc evaluations that went to the LUTs (all shards).
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shard_misses
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard `(hits, misses)` tallies, in shard order. Performance
+    /// telemetry only: the split across shards (and, under concurrency,
+    /// the totals) depends on scheduling.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<(u64, u64)> {
+        (0..SHARDS)
+            .map(|i| {
+                (
+                    self.shard_hits[i].load(Ordering::Relaxed),
+                    self.shard_misses[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Number of memoized arcs.
@@ -170,7 +199,11 @@ mod tests {
         let cache = DelayCache::new();
         cache.arc(Tier::Bottom, CellKind::Inv, Drive::X1, m, 0.03, 2.0);
         cache.arc(Tier::Top, CellKind::Inv, Drive::X1, m, 0.03, 2.0);
-        assert_eq!(cache.misses(), 2, "same point on another tier is a distinct arc");
+        assert_eq!(
+            cache.misses(),
+            2,
+            "same point on another tier is a distinct arc"
+        );
         cache.clear();
         assert!(cache.is_empty());
     }

@@ -95,7 +95,10 @@ fn arc_eval(
 ) -> (f64, f64) {
     match cache {
         Some(c) => c.arc(ctx.tier(cell_index), kind, drive, master, slew_ns, load_ff),
-        None => (master.delay(slew_ns, load_ff), master.output_slew(slew_ns, load_ff)),
+        None => (
+            master.delay(slew_ns, load_ff),
+            master.output_slew(slew_ns, load_ff),
+        ),
     }
 }
 
@@ -156,9 +159,67 @@ pub(crate) fn forward_gate(
     (best_at, best_pin, best_slew)
 }
 
+/// Memoized backward arc delays, one slot per `(net, sink)` pair in CSR
+/// layout. An arc into a combinational sink depends only on the driver's
+/// slew, the sink's master/tier binding and the sink's output load; when
+/// none of those changed since the last backward evaluation of the net,
+/// [`required_of_net`] can fold the stored delays instead of re-deriving
+/// each one through the library tables (or the hash-keyed [`DelayCache`]).
+/// Stored values are outputs of the same pure `arc_eval` kernel, so the
+/// fold is bit-identical to a fresh evaluation — the memo is a pure
+/// speedup, never a rounding change. The period-only fmax ladder is the
+/// extreme case: every endpoint RAT moves but no arc does, so the whole
+/// backward cone replays from the memo.
+///
+/// The [`crate::Timer`] owns one of these and invalidates nets with the
+/// same seed rules that dirty the backward cone (driver slew changed →
+/// the driver's output nets; sink master/tier changed → the sink's input
+/// nets; a net's load changed → the driver-of-that-net's input nets).
+/// Wire delay is *not* part of a stored arc — it is read fresh on every
+/// fold — so parasitics wire edits need no invalidation.
+pub(crate) struct ArcMemo {
+    /// `net k`'s sink arcs live at `arcs[off[k] .. off[k + 1]]`.
+    off: Vec<u32>,
+    arcs: Vec<f64>,
+    valid: Vec<bool>,
+}
+
+impl ArcMemo {
+    pub(crate) fn new(netlist: &Netlist) -> ArcMemo {
+        let nets = netlist.net_count();
+        let mut off = Vec::with_capacity(nets + 1);
+        let mut total = 0u32;
+        off.push(0);
+        for (_, net) in netlist.nets() {
+            total += net.sinks.len() as u32;
+            off.push(total);
+        }
+        ArcMemo {
+            off,
+            arcs: vec![0.0; total as usize],
+            valid: vec![false; nets],
+        }
+    }
+
+    /// Drops net `k`'s stored arcs (the next fold re-derives and
+    /// re-captures them).
+    pub(crate) fn invalidate(&mut self, k: usize) {
+        self.valid[k] = false;
+    }
+
+    fn net_mut(&mut self, k: usize) -> (&mut [f64], &mut bool) {
+        let lo = self.off[k] as usize;
+        let hi = self.off[k + 1] as usize;
+        (&mut self.arcs[lo..hi], &mut self.valid[k])
+    }
+}
+
 /// Computes a cell's required time from the (already final) required times
 /// of its combinational sinks and the endpoint RATs. Shared by the
-/// level-parallel backward pass and the launch-cell pass.
+/// level-parallel backward pass and the launch-cell pass. With a `memo`,
+/// valid nets fold their stored arc delays and invalid nets re-derive and
+/// re-capture them; either way the returned bits equal the memo-less call.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn required_of_net(
     ctx: &TimingContext<'_>,
     net_load: &[f64],
@@ -167,11 +228,54 @@ pub(crate) fn required_of_net(
     endpoint_rat: &[f64],
     out_net: NetId,
     cache: Option<&DelayCache>,
+    memo: Option<&mut ArcMemo>,
 ) -> f64 {
     let netlist = ctx.netlist;
     let mut rat = f64::INFINITY;
     let wire = ctx.parasitics.net(out_net).wire_delay_ns;
-    for sink in &netlist.net(out_net).sinks {
+    let sinks = &netlist.net(out_net).sinks;
+    if let Some(memo) = memo {
+        let (arcs, valid) = memo.net_mut(out_net.index());
+        if *valid {
+            // Replay: identical fold over identical arc bits.
+            for (si, sink) in sinks.iter().enumerate() {
+                let j = sink.cell.index();
+                let candidate = match &netlist.cell(sink.cell).class {
+                    CellClass::Gate { kind, .. } if !kind.is_sequential() => required[j] - arcs[si],
+                    _ => endpoint_rat[j],
+                };
+                rat = rat.min(candidate - wire);
+            }
+            return rat;
+        }
+        for (si, sink) in sinks.iter().enumerate() {
+            let j = sink.cell.index();
+            let sink_cell = netlist.cell(sink.cell);
+            let candidate = match &sink_cell.class {
+                CellClass::Gate { kind, drive } if !kind.is_sequential() => {
+                    let load = sink_cell
+                        .outputs
+                        .first()
+                        .copied()
+                        .flatten()
+                        .map_or(0.0, |net| net_load[net.index()]);
+                    let arc = match ctx.library(j).cell(*kind, *drive) {
+                        Some(m) => arc_eval(cache, ctx, j, *kind, *drive, m, slew_i, load).0,
+                        None => 0.0,
+                    };
+                    arcs[si] = arc;
+                    required[j] - arc
+                }
+                // Endpoint sinks (registers on D, macros, POs) carry their
+                // own RAT.
+                _ => endpoint_rat[j],
+            };
+            rat = rat.min(candidate - wire);
+        }
+        *valid = true;
+        return rat;
+    }
+    for sink in sinks {
         let j = sink.cell.index();
         let sink_cell = netlist.cell(sink.cell);
         let candidate = match &sink_cell.class {
@@ -208,9 +312,7 @@ pub(crate) fn launch_point(
     let i = id.index();
     let cell = ctx.netlist.cell(id);
     match &cell.class {
-        CellClass::PrimaryInput => {
-            Some((ctx.clock.virtual_io_latency_ns, ctx.clock.input_slew_ns))
-        }
+        CellClass::PrimaryInput => Some((ctx.clock.virtual_io_latency_ns, ctx.clock.input_slew_ns)),
         CellClass::Gate { kind, drive } if kind.is_sequential() => {
             let lib = ctx.library(i);
             let cell_master = lib.cell(*kind, *drive);
@@ -291,6 +393,7 @@ pub(crate) fn endpoint_point(
 
 /// Required time on a combinational gate's output, from its (already
 /// final) sinks. `None` when the gate drives nothing.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn backward_point(
     ctx: &TimingContext<'_>,
     net_load: &[f64],
@@ -299,6 +402,7 @@ pub(crate) fn backward_point(
     endpoint_rat: &[f64],
     id: CellId,
     cache: Option<&DelayCache>,
+    memo: Option<&mut ArcMemo>,
 ) -> Option<f64> {
     let cell = ctx.netlist.cell(id);
     let out_net = cell.outputs.first().copied().flatten()?;
@@ -310,11 +414,13 @@ pub(crate) fn backward_point(
         endpoint_rat,
         out_net,
         cache,
+        memo,
     ))
 }
 
 /// Required time on a launch cell's output (register Q, macro outputs,
 /// PIs): min over its non-clock fanout. `None` for non-launch cells.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn launch_required(
     ctx: &TimingContext<'_>,
     net_load: &[f64],
@@ -323,6 +429,7 @@ pub(crate) fn launch_required(
     endpoint_rat: &[f64],
     i: usize,
     cache: Option<&DelayCache>,
+    mut memo: Option<&mut ArcMemo>,
 ) -> Option<f64> {
     let id = CellId::from_index(i);
     let cell = ctx.netlist.cell(id);
@@ -345,6 +452,7 @@ pub(crate) fn launch_required(
             endpoint_rat,
             out_net,
             cache,
+            memo.as_deref_mut(),
         ));
     }
     Some(rat)
@@ -547,7 +655,16 @@ pub(crate) fn analyze_full(
         if parallel && level.len() >= 2 {
             let required_ref = &required;
             let results = m3d_par::par_map(threads, level, |_, &id| {
-                backward_point(ctx, &net_load, &slew, required_ref, &endpoint_rat, id, cache)
+                backward_point(
+                    ctx,
+                    &net_load,
+                    &slew,
+                    required_ref,
+                    &endpoint_rat,
+                    id,
+                    cache,
+                    None,
+                )
             });
             for (&id, rat) in level.iter().zip(results) {
                 if let Some(rat) = rat {
@@ -556,9 +673,16 @@ pub(crate) fn analyze_full(
             }
         } else {
             for &id in level {
-                if let Some(rat) =
-                    backward_point(ctx, &net_load, &slew, &required, &endpoint_rat, id, cache)
-                {
+                if let Some(rat) = backward_point(
+                    ctx,
+                    &net_load,
+                    &slew,
+                    &required,
+                    &endpoint_rat,
+                    id,
+                    cache,
+                    None,
+                ) {
                     required[id.index()] = rat;
                 }
             }
@@ -567,8 +691,18 @@ pub(crate) fn analyze_full(
     // Launch cells (registers' Q, macros' outputs, PIs): required from
     // their fanout, same formula, so that their slack is also defined.
     // Independent per cell (they only read combinational required times).
-    let launch_eval =
-        |i: usize| launch_required(ctx, &net_load, slew[i], &required, &endpoint_rat, i, cache);
+    let launch_eval = |i: usize| {
+        launch_required(
+            ctx,
+            &net_load,
+            slew[i],
+            &required,
+            &endpoint_rat,
+            i,
+            cache,
+            None,
+        )
+    };
     let launch_req: Vec<Option<f64>> = if parallel {
         m3d_par::par_map_indices(threads, n, launch_eval)
     } else {
@@ -811,9 +945,7 @@ mod tests {
         let base = run(&n, 0.2);
         // Extra capture latency relaxes the register-to-register path (the
         // downstream PO path tightens instead, so compare the endpoint).
-        assert!(
-            skewed.endpoint_slack[ff2.index()] > base.endpoint_slack[ff2.index()]
-        );
+        assert!(skewed.endpoint_slack[ff2.index()] > base.endpoint_slack[ff2.index()]);
     }
 
     #[test]

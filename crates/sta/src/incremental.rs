@@ -49,7 +49,7 @@ use crate::cache::DelayCache;
 use crate::context::{ClockSpec, TimingContext};
 use crate::engine::{
     analyze_full, backward_point, endpoint_point, forward_gate, launch_point, launch_required,
-    levelize, net_load_ff, Levels, StaResult,
+    levelize, net_load_ff, ArcMemo, Levels, StaResult,
 };
 use m3d_netlist::{CellClass, CellId, NetId, Netlist};
 use m3d_tech::{CellKind, Drive, Tier};
@@ -152,6 +152,12 @@ struct State {
     net_load: Vec<f64>,
     endpoint_rat: Vec<f64>,
     result: StaResult,
+    /// Memoized backward arc delays (see [`ArcMemo`]): captured lazily by
+    /// the sequential backward passes, invalidated by the seed phases
+    /// whenever a stored arc's inputs (driver slew, sink master/tier,
+    /// sink output load) change. Makes period-only updates — the fmax
+    /// ladder — a pure min-fold replay with zero table lookups.
+    arc_memo: ArcMemo,
     // ---- dirty scratch (cleared after every update) --------------------
     dirty_fwd: Vec<bool>,
     dirty_bwd: Vec<bool>,
@@ -169,11 +175,14 @@ fn net_signature(netlist: &Netlist, id: NetId) -> u64 {
     const FNV: u64 = 0x0000_0100_0000_01B3;
     let net = netlist.net(id);
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    h = (h ^ net.driver.map_or(u64::MAX, |p| (u64::from(p.cell.index() as u32) << 8) | u64::from(p.pin)))
-        .wrapping_mul(FNV);
+    h = (h ^ net.driver.map_or(u64::MAX, |p| {
+        (u64::from(p.cell.index() as u32) << 8) | u64::from(p.pin)
+    }))
+    .wrapping_mul(FNV);
     h = (h ^ u64::from(net.is_clock)).wrapping_mul(FNV);
     for sink in &net.sinks {
-        h = (h ^ ((u64::from(sink.cell.index() as u32) << 8) | u64::from(sink.pin))).wrapping_mul(FNV);
+        h = (h ^ ((u64::from(sink.cell.index() as u32) << 8) | u64::from(sink.pin)))
+            .wrapping_mul(FNV);
     }
     h
 }
@@ -364,7 +373,10 @@ impl Timer {
             net_count: nets,
             endpoint_cells,
             clock: ctx.clock.clone(),
-            gate_sig: netlist.cells().map(|(_, c)| gate_signature(&c.class)).collect(),
+            gate_sig: netlist
+                .cells()
+                .map(|(_, c)| gate_signature(&c.class))
+                .collect(),
             tier_sig: ctx.tiers.to_vec(),
             model_sig: (0..nets)
                 .map(|k| ctx.parasitics.net(NetId::from_index(k)))
@@ -376,6 +388,7 @@ impl Timer {
             net_load: pass.net_load,
             endpoint_rat: pass.endpoint_rat,
             result: pass.result,
+            arc_memo: ArcMemo::new(netlist),
             dirty_fwd: vec![false; n],
             dirty_bwd: vec![false; n],
             dirty_ep: vec![false; n],
@@ -451,10 +464,12 @@ impl Timer {
             let id = CellId::from_index(i);
             match s.roles[i] {
                 // Changed delay tables: re-derive the gate's own arrival
-                // and the arcs into it (its fan-in's required times).
+                // and the arcs into it (its fan-in's required times —
+                // whose memoized arcs read this gate's master).
                 Role::Comb => {
                     s.dirty_fwd[i] = true;
                     mark_fanin(netlist, &mut s.dirty_bwd, id);
+                    invalidate_input_arcs(netlist, &mut s.arc_memo, id);
                 }
                 // Changed clk→Q and setup.
                 Role::Seq => {
@@ -516,6 +531,8 @@ impl Timer {
                     Role::Comb => {
                         s.dirty_fwd[d] = true;
                         mark_fanin(netlist, &mut s.dirty_bwd, drv.cell);
+                        // Memoized arcs into the driver read this load.
+                        invalidate_input_arcs(netlist, &mut s.arc_memo, drv.cell);
                     }
                     Role::Seq => {
                         s.dirty_launch[d] = true;
@@ -551,8 +568,7 @@ impl Timer {
             }
             let id = CellId::from_index(i);
             self.stats.launch_evals += 1;
-            let Some((at, out_slew)) = launch_point(ctx, &s.net_load, id, Some(&self.cache))
-            else {
+            let Some((at, out_slew)) = launch_point(ctx, &s.net_load, id, Some(&self.cache)) else {
                 continue;
             };
             let at_changed = at.to_bits() != s.result.arrival[i].to_bits();
@@ -566,6 +582,7 @@ impl Timer {
             if slew_changed {
                 // The launch cell's own required time reads its slew.
                 s.dirty_bwd[i] = true;
+                invalidate_output_arcs(netlist, &mut s.arc_memo, id);
             }
         }
 
@@ -609,6 +626,7 @@ impl Timer {
                 mark_sinks(netlist, &s.roles, &mut s.dirty_fwd, &mut s.dirty_ep, id);
                 if slew_changed {
                     s.dirty_bwd[i] = true;
+                    invalidate_output_arcs(netlist, &mut s.arc_memo, id);
                 }
             }
         }
@@ -670,14 +688,27 @@ impl Timer {
                 let endpoint_rat = &s.endpoint_rat;
                 let cache = Some(&self.cache);
                 if parallel && dirty.len() >= INCR_PAR_MIN {
+                    // Workers share the memo read-only; nets whose memo is
+                    // stale re-derive through the arc cache instead of
+                    // capturing (a `&mut` per worker would race).
                     m3d_par::par_map(threads, &dirty, |_, &id| {
-                        backward_point(ctx, net_load, slew, required, endpoint_rat, id, cache)
+                        backward_point(ctx, net_load, slew, required, endpoint_rat, id, cache, None)
                     })
                 } else {
+                    let memo = &mut s.arc_memo;
                     dirty
                         .iter()
                         .map(|&id| {
-                            backward_point(ctx, net_load, slew, required, endpoint_rat, id, cache)
+                            backward_point(
+                                ctx,
+                                net_load,
+                                slew,
+                                required,
+                                endpoint_rat,
+                                id,
+                                cache,
+                                Some(&mut *memo),
+                            )
                         })
                         .collect()
                 }
@@ -707,6 +738,7 @@ impl Timer {
                 &s.endpoint_rat,
                 i,
                 Some(&self.cache),
+                Some(&mut s.arc_memo),
             ) {
                 s.result.required[i] = rat;
             }
@@ -782,6 +814,29 @@ fn mark_sinks(
     }
 }
 
+/// Invalidates the memoized arcs of `id`'s non-clock input nets: their
+/// stored delays read `id`'s master binding and output load. Always
+/// paired with a `mark_fanin` on the same nets' drivers, so the next
+/// backward pass re-derives and re-captures them.
+fn invalidate_input_arcs(netlist: &Netlist, memo: &mut ArcMemo, id: CellId) {
+    for slot in &netlist.cell(id).inputs {
+        let Some(net) = slot else { continue };
+        if !netlist.net(*net).is_clock {
+            memo.invalidate(net.index());
+        }
+    }
+}
+
+/// Invalidates the memoized arcs of `id`'s non-clock output nets: their
+/// stored delays read `id`'s output slew.
+fn invalidate_output_arcs(netlist: &Netlist, memo: &mut ArcMemo, id: CellId) {
+    for net in netlist.cell(id).output_nets() {
+        if !netlist.net(net).is_clock {
+            memo.invalidate(net.index());
+        }
+    }
+}
+
 /// Marks the drivers of `id`'s non-clock input nets for backward
 /// re-evaluation (their required times read arcs into / the RAT of `id`).
 /// Drivers that are launch cells are picked up by the launch-required
@@ -816,9 +871,17 @@ mod tests {
         assert_eq!(a.critical_endpoints, b.critical_endpoints);
         assert_eq!(a.worst_input, b.worst_input);
         for i in 0..a.arrival.len() {
-            assert_eq!(a.arrival[i].to_bits(), b.arrival[i].to_bits(), "arrival[{i}]");
+            assert_eq!(
+                a.arrival[i].to_bits(),
+                b.arrival[i].to_bits(),
+                "arrival[{i}]"
+            );
             assert_eq!(a.slew[i].to_bits(), b.slew[i].to_bits(), "slew[{i}]");
-            assert_eq!(a.required[i].to_bits(), b.required[i].to_bits(), "required[{i}]");
+            assert_eq!(
+                a.required[i].to_bits(),
+                b.required[i].to_bits(),
+                "required[{i}]"
+            );
             assert_eq!(a.slack[i].to_bits(), b.slack[i].to_bits(), "slack[{i}]");
             assert_eq!(
                 a.endpoint_slack[i].to_bits(),

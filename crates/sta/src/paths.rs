@@ -115,9 +115,7 @@ fn backtrack(ctx: &TimingContext<'_>, result: &StaResult, endpoint: CellId) -> T
         };
         let wire = ctx.parasitics.net(*net).wire_delay_ns;
         let at = result.arrival[drv.cell.index()] + wire;
-        if worst.is_none_or(|(c, w)| {
-            at > result.arrival[c.index()] + w
-        }) {
+        if worst.is_none_or(|(c, w)| at > result.arrival[c.index()] + w) {
             worst = Some((drv.cell, wire));
         }
     }
@@ -137,7 +135,8 @@ fn backtrack(ctx: &TimingContext<'_>, result: &StaResult, endpoint: CellId) -> T
             break;
         }
         let cell = netlist.cell(id);
-        let is_comb_gate = matches!(&cell.class, CellClass::Gate { kind, .. } if !kind.is_sequential());
+        let is_comb_gate =
+            matches!(&cell.class, CellClass::Gate { kind, .. } if !kind.is_sequential());
         if !is_comb_gate {
             // Launch point (register Q / macro / PI).
             rev_stages.push(PathStage {
@@ -157,9 +156,7 @@ fn backtrack(ctx: &TimingContext<'_>, result: &StaResult, endpoint: CellId) -> T
                     let wire = ctx.parasitics.net(net).wire_delay_ns;
                     let prev = netlist.net(net).driver.map(|p| p.cell);
                     let arc = prev.map_or(0.0, |p| {
-                        (result.arrival[id.index()]
-                            - (result.arrival[p.index()] + wire))
-                            .max(0.0)
+                        (result.arrival[id.index()] - (result.arrival[p.index()] + wire)).max(0.0)
                     });
                     (prev, wire, arc)
                 }

@@ -93,12 +93,48 @@ impl MetalStack {
     #[must_use]
     pub fn six_layer_28nm() -> Self {
         let layers = vec![
-            MetalLayer { index: 1, pitch_um: 0.09, r_per_um: 8.0, c_per_um: 0.20, horizontal: true },
-            MetalLayer { index: 2, pitch_um: 0.09, r_per_um: 8.0, c_per_um: 0.20, horizontal: false },
-            MetalLayer { index: 3, pitch_um: 0.10, r_per_um: 5.0, c_per_um: 0.21, horizontal: true },
-            MetalLayer { index: 4, pitch_um: 0.10, r_per_um: 5.0, c_per_um: 0.21, horizontal: false },
-            MetalLayer { index: 5, pitch_um: 0.20, r_per_um: 1.6, c_per_um: 0.23, horizontal: true },
-            MetalLayer { index: 6, pitch_um: 0.20, r_per_um: 1.6, c_per_um: 0.23, horizontal: false },
+            MetalLayer {
+                index: 1,
+                pitch_um: 0.09,
+                r_per_um: 8.0,
+                c_per_um: 0.20,
+                horizontal: true,
+            },
+            MetalLayer {
+                index: 2,
+                pitch_um: 0.09,
+                r_per_um: 8.0,
+                c_per_um: 0.20,
+                horizontal: false,
+            },
+            MetalLayer {
+                index: 3,
+                pitch_um: 0.10,
+                r_per_um: 5.0,
+                c_per_um: 0.21,
+                horizontal: true,
+            },
+            MetalLayer {
+                index: 4,
+                pitch_um: 0.10,
+                r_per_um: 5.0,
+                c_per_um: 0.21,
+                horizontal: false,
+            },
+            MetalLayer {
+                index: 5,
+                pitch_um: 0.20,
+                r_per_um: 1.6,
+                c_per_um: 0.23,
+                horizontal: true,
+            },
+            MetalLayer {
+                index: 6,
+                pitch_um: 0.20,
+                r_per_um: 1.6,
+                c_per_um: 0.23,
+                horizontal: false,
+            },
         ];
         MetalStack {
             layers,
@@ -130,7 +166,10 @@ impl MetalStack {
         // Signal routing is dominated by M3/M4 in a balanced flow.
         let (m3, m4) = (self.layer(3), self.layer(4));
         let (r, c) = match (m3, m4) {
-            (Some(a), Some(b)) => ((a.r_per_um + b.r_per_um) * 0.5, (a.c_per_um + b.c_per_um) * 0.5),
+            (Some(a), Some(b)) => (
+                (a.r_per_um + b.r_per_um) * 0.5,
+                (a.c_per_um + b.c_per_um) * 0.5,
+            ),
             _ => (5.0, 0.21),
         };
         WireRc {
@@ -218,8 +257,14 @@ mod tests {
 
     #[test]
     fn series_composition_adds() {
-        let a = WireRc { r_kohm: 1.0, c_ff: 2.0 };
-        let b = WireRc { r_kohm: 0.5, c_ff: 1.0 };
+        let a = WireRc {
+            r_kohm: 1.0,
+            c_ff: 2.0,
+        };
+        let b = WireRc {
+            r_kohm: 0.5,
+            c_ff: 1.0,
+        };
         let s = a.series(b);
         assert_eq!(s.r_kohm, 1.5);
         assert_eq!(s.c_ff, 3.0);

@@ -414,7 +414,10 @@ mod tests {
 
     #[test]
     fn display_names_are_unique() {
-        let mut names: Vec<String> = CellKind::LIBRARY_KINDS.iter().map(|k| k.to_string()).collect();
+        let mut names: Vec<String> = CellKind::LIBRARY_KINDS
+            .iter()
+            .map(|k| k.to_string())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), CellKind::LIBRARY_KINDS.len());

@@ -225,7 +225,9 @@ mod tests {
         let lib = Library::twelve_track();
         for kind in CellKind::LIBRARY_KINDS {
             for drive in Drive::ALL {
-                let cell = lib.cell(kind, drive).unwrap_or_else(|| panic!("{kind} {drive}"));
+                let cell = lib
+                    .cell(kind, drive)
+                    .unwrap_or_else(|| panic!("{kind} {drive}"));
                 assert!(cell.area_um2 > 0.0);
                 assert!(cell.input_cap_ff > 0.0);
                 assert!(cell.leakage_uw > 0.0);

@@ -59,10 +59,14 @@ impl Lut2d {
             return Err(BuildLutError("axes must be non-empty".into()));
         }
         if !strictly_increasing(&slew_index) {
-            return Err(BuildLutError("slew axis must be strictly increasing".into()));
+            return Err(BuildLutError(
+                "slew axis must be strictly increasing".into(),
+            ));
         }
         if !strictly_increasing(&load_index) {
-            return Err(BuildLutError("load axis must be strictly increasing".into()));
+            return Err(BuildLutError(
+                "load axis must be strictly increasing".into(),
+            ));
         }
         if values.len() != slew_index.len() {
             return Err(BuildLutError(format!(
@@ -109,13 +113,19 @@ impl Lut2d {
     /// Characterized input-slew range `(min, max)` in ns.
     #[must_use]
     pub fn slew_range(&self) -> (f64, f64) {
-        (self.slew_index[0], *self.slew_index.last().expect("non-empty"))
+        (
+            self.slew_index[0],
+            *self.slew_index.last().expect("non-empty"),
+        )
     }
 
     /// Characterized load range `(min, max)` in fF.
     #[must_use]
     pub fn load_range(&self) -> (f64, f64) {
-        (self.load_index[0], *self.load_index.last().expect("non-empty"))
+        (
+            self.load_index[0],
+            *self.load_index.last().expect("non-empty"),
+        )
     }
 
     /// Bilinear interpolation at `(slew, load)`, clamped to the table
@@ -221,7 +231,12 @@ mod tests {
         assert!(Lut2d::new(vec![], vec![1.0], vec![]).is_err());
         assert!(Lut2d::new(vec![1.0, 1.0], vec![1.0], vec![vec![0.0], vec![0.0]]).is_err());
         assert!(Lut2d::new(vec![0.0, 1.0], vec![1.0], vec![vec![0.0]]).is_err());
-        assert!(Lut2d::new(vec![0.0, 1.0], vec![1.0], vec![vec![0.0, 1.0], vec![0.0, 1.0]]).is_err());
+        assert!(Lut2d::new(
+            vec![0.0, 1.0],
+            vec![1.0],
+            vec![vec![0.0, 1.0], vec![0.0, 1.0]]
+        )
+        .is_err());
     }
 
     #[test]

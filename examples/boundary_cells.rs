@@ -21,7 +21,10 @@ fn main() {
     println!("  voltage delta        : {:.2} V", check.voltage_delta);
     println!("  needs level shifters : {}", check.needs_level_shifter);
     println!("  threshold margin ok  : {}", check.threshold_margin_ok);
-    println!("  slew-range overlap   : {:.0} %", check.slew_overlap * 100.0);
+    println!(
+        "  slew-range overlap   : {:.0} %",
+        check.slew_overlap * 100.0
+    );
     println!("  compatible           : {}\n", check.compatible());
 
     // A hypothetical 0.9 V / 0.55 V pair would NOT work:
@@ -36,19 +39,31 @@ fn main() {
     let hetero = fo4::driver_output_case(TechFlavor::Fast, TechFlavor::Slow);
     let d = hetero.percent_delta(&base);
     println!("fast driver, loads moved to the slow die:");
-    println!("  rise delay {:+.1} %, fall slew {:+.1} %, leakage {:+.1} %", d[2], d[1], d[4]);
+    println!(
+        "  rise delay {:+.1} %, fall slew {:+.1} %, leakage {:+.1} %",
+        d[2], d[1], d[4]
+    );
 
     // 3. Heterogeneity at the driver input (Fig. 2b / Table III): the
     //    infamous leakage blow-up when a 0.81 V swing drives a 0.90 V gate.
     let base = fo4::driver_input_case(TechFlavor::Fast, TechFlavor::Fast);
     let hetero = fo4::driver_input_case(TechFlavor::Slow, TechFlavor::Fast);
     let d = hetero.percent_delta(&base);
-    println!("\nslow-tier signal into a fast-tier FO4 (driver VG {:.2} V -> {:.2} V):", base.driver_vg, hetero.driver_vg);
-    println!("  rise delay {:+.1} %, leakage {:+.1} %  <- the PMOS never fully turns off", d[2], d[4]);
+    println!(
+        "\nslow-tier signal into a fast-tier FO4 (driver VG {:.2} V -> {:.2} V):",
+        base.driver_vg, hetero.driver_vg
+    );
+    println!(
+        "  rise delay {:+.1} %, leakage {:+.1} %  <- the PMOS never fully turns off",
+        d[2], d[4]
+    );
 
     let base = fo4::driver_input_case(TechFlavor::Slow, TechFlavor::Slow);
     let hetero = fo4::driver_input_case(TechFlavor::Fast, TechFlavor::Slow);
     let d = hetero.percent_delta(&base);
     println!("\nfast-tier signal into a slow-tier FO4 (overdriven gate):");
-    println!("  rise delay {:+.1} %, leakage {:+.1} %  <- faster AND leaks less", d[2], d[4]);
+    println!(
+        "  rise delay {:+.1} %, leakage {:+.1} %  <- faster AND leaks less",
+        d[2], d[4]
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
         cmp.target_ghz
     );
 
-    println!("heterogeneous implementation:\n{}", format_ppac(&cmp.hetero).render());
+    println!(
+        "heterogeneous implementation:\n{}",
+        format_ppac(&cmp.hetero).render()
+    );
 
     println!("percent deltas vs each homogeneous configuration");
     println!("(negative = hetero better, except PPC where positive = better):\n");

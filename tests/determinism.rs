@@ -90,15 +90,57 @@ fn compare_configs_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn telemetry_manifest_is_bit_identical_across_thread_counts() {
+    // The observability half of the contract: the deterministic manifest
+    // section (span call counts, counters, gauges, labels) must not move
+    // with the worker count either. Wall times and cache hit rates live
+    // in the performance-only section, which is excluded here by design.
+    let netlist = Benchmark::Aes.generate(0.01, 7);
+    let manifest_at = |threads: usize| {
+        let mut options = quick_options(threads);
+        options.obs = hetero3d::obs::Obs::enabled();
+        let obs = options.obs.clone();
+        let _ = run_flow(&netlist, Config::Hetero3d, 1.0, &options);
+        obs.manifest()
+    };
+    let seq = manifest_at(1);
+    let par = manifest_at(4);
+    assert!(seq.span("run_flow").is_some(), "run_flow span recorded");
+    assert!(
+        seq.counter("partition/final_cut").is_some(),
+        "FM counters recorded"
+    );
+    assert!(
+        seq.gauge("route/wirelength_um").is_some(),
+        "routing gauges recorded"
+    );
+    assert_eq!(
+        seq.deterministic_json(),
+        par.deterministic_json(),
+        "deterministic manifest section diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
 fn global_thread_setting_is_also_invisible() {
     // `threads: 0` defers to the process-global knob; flip it around an
     // identical pair of runs. (Other tests in this binary may race on the
     // global — that is exactly the point: it must not matter.)
     let netlist = Benchmark::Aes.generate(0.01, 7);
     par::set_threads(1);
-    let seq = fingerprint(&run_flow(&netlist, Config::Hetero3d, 1.0, &quick_options(0)));
+    let seq = fingerprint(&run_flow(
+        &netlist,
+        Config::Hetero3d,
+        1.0,
+        &quick_options(0),
+    ));
     par::set_threads(4);
-    let par_run = fingerprint(&run_flow(&netlist, Config::Hetero3d, 1.0, &quick_options(0)));
+    let par_run = fingerprint(&run_flow(
+        &netlist,
+        Config::Hetero3d,
+        1.0,
+        &quick_options(0),
+    ));
     par::set_threads(0);
     assert_eq!(seq, par_run, "global set_threads changed flow results");
 }

@@ -132,9 +132,7 @@ fn no_level_shifters_in_hetero_flow() {
     let shifters = imp
         .netlist
         .cells()
-        .filter(|(_, c)| {
-            c.class.gate_kind() == Some(hetero3d::tech::CellKind::LevelShifter)
-        })
+        .filter(|(_, c)| c.class.gate_kind() == Some(hetero3d::tech::CellKind::LevelShifter))
         .count();
     assert_eq!(shifters, 0);
     // And the library pair passes the compatibility check.

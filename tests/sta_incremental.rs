@@ -20,13 +20,32 @@ fn assert_bit_identical(incr: &StaResult, cold: &StaResult, what: &str) {
     assert_eq!(incr.tns.to_bits(), cold.tns.to_bits(), "{what}: tns");
     assert_eq!(incr.violations, cold.violations, "{what}: violations");
     assert_eq!(incr.endpoints, cold.endpoints, "{what}: endpoints");
-    assert_eq!(incr.critical_endpoints, cold.critical_endpoints, "{what}: order");
+    assert_eq!(
+        incr.critical_endpoints, cold.critical_endpoints,
+        "{what}: order"
+    );
     assert_eq!(incr.worst_input, cold.worst_input, "{what}: worst_input");
     for i in 0..cold.arrival.len() {
-        assert_eq!(incr.arrival[i].to_bits(), cold.arrival[i].to_bits(), "{what}: arrival[{i}]");
-        assert_eq!(incr.slew[i].to_bits(), cold.slew[i].to_bits(), "{what}: slew[{i}]");
-        assert_eq!(incr.required[i].to_bits(), cold.required[i].to_bits(), "{what}: required[{i}]");
-        assert_eq!(incr.slack[i].to_bits(), cold.slack[i].to_bits(), "{what}: slack[{i}]");
+        assert_eq!(
+            incr.arrival[i].to_bits(),
+            cold.arrival[i].to_bits(),
+            "{what}: arrival[{i}]"
+        );
+        assert_eq!(
+            incr.slew[i].to_bits(),
+            cold.slew[i].to_bits(),
+            "{what}: slew[{i}]"
+        );
+        assert_eq!(
+            incr.required[i].to_bits(),
+            cold.required[i].to_bits(),
+            "{what}: required[{i}]"
+        );
+        assert_eq!(
+            incr.slack[i].to_bits(),
+            cold.slack[i].to_bits(),
+            "{what}: slack[{i}]"
+        );
     }
 }
 
@@ -95,7 +114,8 @@ fn run_edit_script(edits: &[(u8, usize, f64)], seed: u64) {
         // Structural edits first: they grow the netlist, and every
         // per-net/per-cell binding below must be sized to the result.
         if op == 5 {
-            let inserted = hetero3d::opt::insert_buffers(&mut netlist, &mut positions, 6 + index % 6);
+            let inserted =
+                hetero3d::opt::insert_buffers(&mut netlist, &mut positions, 6 + index % 6);
             tiers.resize(netlist.cell_count(), Tier::Bottom);
             if !inserted.is_empty() {
                 timer.insert_buffer();

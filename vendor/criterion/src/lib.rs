@@ -37,12 +37,18 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         // Warm-up: one untimed sample (fills caches, faults pages).
-        let mut warm = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        let mut warm = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut warm);
 
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
             f(&mut b);
             if b.iters > 0 {
                 samples.push(b.elapsed.as_secs_f64() / b.iters as f64);

@@ -132,9 +132,9 @@ pub mod __rt {
 
 /// Everything a property-test module usually imports.
 pub mod prelude {
-    pub use crate::{prop, proptest, prop_assert, prop_assert_eq, ProptestConfig, Strategy};
     /// Alias kept for signature compatibility (`impl Strategy<Value = T>`).
     pub use crate::Strategy as StrategyExt;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
 }
 
 /// Asserts a condition inside a `proptest!` body.

@@ -15,7 +15,7 @@ use hetero3d::netgen::Benchmark;
 
 fn quick_options() -> FlowOptions {
     let mut o = FlowOptions::default();
-    o.placer.iterations = 8;
+    o.placer_mut().iterations = 8;
     o
 }
 

@@ -150,10 +150,40 @@ fn gate_sta(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     }
 }
 
+/// Sums every counter under the compare-configs section whose key ends
+/// in `flow/pseudo3d_runs`, across all `cfg/<Config>` scope prefixes.
+fn pseudo3d_runs(doc: &Value) -> Option<u64> {
+    let counters = doc.get("compare_configs")?.get("counters")?;
+    let Value::Obj(map) = counters else {
+        return None;
+    };
+    Some(
+        map.iter()
+            .filter(|(k, _)| {
+                k.as_str() == "flow/pseudo3d_runs" || k.ends_with("/flow/pseudo3d_runs")
+            })
+            .filter_map(|(_, v)| v.as_u64())
+            .sum(),
+    )
+}
+
 fn gate_flow(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     gate.check(
         fresh.get("deterministic_identity").and_then(Value::as_bool) == Some(true),
         "BENCH_flow: 1-thread and 4-thread manifests were bit-identical in-process",
+    );
+    let reuse = fresh.get("prefix_reuse").and_then(Value::as_u64);
+    gate.check(
+        reuse == Some(1),
+        &format!("BENCH_flow.prefix_reuse: compare_configs pseudo-3D runs {reuse:?} == Some(1)"),
+    );
+    let counted = pseudo3d_runs(fresh);
+    gate.check(
+        counted == Some(1),
+        &format!(
+            "BENCH_flow: compare_configs counters sum to one pseudo-3D run ({counted:?}) — \
+             every 3-D config forked from the shared checkpoint"
+        ),
     );
     gate.check(
         run_params(fresh) == run_params(baseline),

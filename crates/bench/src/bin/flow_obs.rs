@@ -6,18 +6,21 @@
 //! manifest sections (span call counts, counters, gauges, labels) are
 //! **byte-identical**, the observability half of the workspace's
 //! determinism contract. It then sweeps the 12-track 2-D configuration to
-//! fmax under a scoped handle and emits one combined JSON document with
-//! the deterministic section, the wall-clock/perf sections of both runs
-//! and the fmax sweep manifest.
+//! fmax under a scoped handle, runs the five-way configuration comparison
+//! to measure checkpoint prefix reuse (the pseudo-3-D stage must run
+//! exactly once per comparison), and emits one combined JSON document
+//! with the deterministic section, the wall-clock/perf sections of both
+//! runs, the fmax sweep manifest and the comparison manifest.
 //!
 //! Usage: `flow_obs [--scale <f64>] [--seed <u64>] [--out <dir>]`.
 //! The default scale is the CI smoke setting (0.02), smaller than the
 //! other regeneration binaries: the gate needs a fast, exactly
 //! reproducible datapoint, not a paper-scale one.
 
-use hetero3d::flow::{find_fmax, run_flow, Config, FlowOptions};
+use hetero3d::cost::CostModel;
+use hetero3d::flow::{compare_configs, find_fmax, run_flow, Config, FlowOptions};
 use hetero3d::netgen::Benchmark;
-use hetero3d::obs::Obs;
+use hetero3d::obs::{Manifest, Obs};
 use std::fmt::Write as _;
 
 fn instrumented(base: &FlowOptions, threads: usize) -> FlowOptions {
@@ -38,6 +41,20 @@ fn push_nested(out: &mut String, key: &str, nested: &str, last: bool) {
         out.push_str(line);
     }
     out.push_str(if last { "\n" } else { ",\n" });
+}
+
+/// Sums every counter whose path ends in `flow/pseudo3d_runs`, across
+/// all `cfg/<Config>` scopes. The checkpointing pipeline shares one
+/// pseudo-3-D snapshot across every 3-D configuration of a
+/// `compare_configs` run, so the sum must be exactly 1 — a value of 5
+/// means each config silently recomputed its own prefix.
+fn prefix_runs(manifest: &Manifest) -> u64 {
+    manifest
+        .counters
+        .iter()
+        .filter(|(k, _)| k == "flow/pseudo3d_runs" || k.ends_with("/flow/pseudo3d_runs"))
+        .map(|&(_, v)| v)
+        .sum()
 }
 
 fn main() {
@@ -68,6 +85,18 @@ fn main() {
     let (fmax_ghz, _) = find_fmax(&netlist, Config::TwoD12T, &fmax_options, 1.0);
     let fmax = fmax_options.obs.manifest();
 
+    // Prefix reuse: a five-config comparison must run the pseudo-3-D
+    // stage exactly once (all 3-D configs fork from one checkpoint).
+    let cmp_options = instrumented(&base, 0);
+    let _ = compare_configs(&netlist, &cmp_options, &CostModel::default());
+    let cmp = cmp_options.obs.manifest();
+    let prefix_reuse = prefix_runs(&cmp);
+    assert_eq!(
+        prefix_reuse, 1,
+        "compare_configs ran the pseudo-3-D stage {prefix_reuse} times; \
+         the shared checkpoint should make it exactly 1"
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"flow_obs\",");
     let _ = writeln!(
@@ -79,10 +108,17 @@ fn main() {
     );
     let _ = writeln!(json, "  \"deterministic_identity\": {identical},");
     let _ = writeln!(json, "  \"fmax_ghz\": {fmax_ghz:.4},");
+    let _ = writeln!(json, "  \"prefix_reuse\": {prefix_reuse},");
     push_nested(&mut json, "deterministic", &seq.deterministic_json(), false);
     push_nested(&mut json, "runtime_1t", &seq.json(), false);
     push_nested(&mut json, "runtime_4t", &par.json(), false);
-    push_nested(&mut json, "fmax_sweep", &fmax.json(), true);
+    push_nested(&mut json, "fmax_sweep", &fmax.json(), false);
+    push_nested(
+        &mut json,
+        "compare_configs",
+        &cmp.deterministic_json(),
+        true,
+    );
     json.push_str("}\n");
 
     m3d_bench::emit(&args, "BENCH_flow.json", &json);
@@ -90,7 +126,8 @@ fn main() {
         |m: &hetero3d::obs::Manifest| m.span("run_flow").map_or(0, |s| s.wall_ns) as f64 / 1e6;
     println!(
         "flow_obs: deterministic sections bit-identical at 1 and 4 threads \
-         ({} spans, {} counters) | run_flow {:.1} ms seq vs {:.1} ms par | fmax {:.3} GHz",
+         ({} spans, {} counters) | run_flow {:.1} ms seq vs {:.1} ms par | fmax {:.3} GHz \
+         | compare_configs pseudo3d runs = {prefix_reuse}",
         seq.spans.len(),
         seq.counters.len(),
         wall(&seq),

@@ -67,7 +67,7 @@ pub fn parse_args() -> BenchArgs {
 #[must_use]
 pub fn bench_options() -> FlowOptions {
     let mut o = FlowOptions::default();
-    o.placer.iterations = 12;
+    o.placer_mut().iterations = 12;
     o
 }
 

@@ -24,6 +24,7 @@
 //! | [`partition`] | `m3d-partition` | FM min-cut, timing partitioning, ECO |
 //! | [`power`] | `m3d-power` | activity propagation, power roll-up |
 //! | [`cost`] | `m3d-cost` | Table IV cost model, PDP, PPC |
+//! | [`db`] | `m3d-db` | copy-on-write design database + change journal |
 //! | [`opt`] | `m3d-opt` | sizing, buffering |
 //! | [`par`] | `m3d-par` | deterministic parallel primitives |
 //! | [`flow`] | `m3d-flow` | the five configurations + Hetero-Pin-3D flow |
@@ -45,6 +46,7 @@
 pub use m3d_circuit as circuit;
 pub use m3d_cost as cost;
 pub use m3d_cts as cts;
+pub use m3d_db as db;
 pub use m3d_flow as flow;
 pub use m3d_geom as geom;
 pub use m3d_netgen as netgen;

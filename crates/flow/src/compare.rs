@@ -1,6 +1,8 @@
 use crate::config::{Config, FlowOptions};
-use crate::flow::{find_fmax, run_flow, Implementation};
+use crate::error::FlowError;
+use crate::flow::{fmax_from_base, run_flow, Implementation};
 use crate::ppac::{percent_delta, DeltaRow, Ppac};
+use crate::stage::{prepare_base, pseudo_checkpoint, run_from_base};
 use m3d_cost::CostModel;
 use m3d_netlist::Netlist;
 
@@ -24,6 +26,19 @@ pub struct Comparison {
     pub implementations: Vec<Implementation>,
 }
 
+/// Takes `config`'s implementation out of the parallel fan-out's result
+/// pool (`pool[i]` holds job `jobs[i]`'s result until consumed).
+fn take_implementation(
+    jobs: &[Config],
+    pool: &mut [Option<Implementation>],
+    config: Config,
+) -> Result<Implementation, FlowError> {
+    jobs.iter()
+        .position(|&c| c == config)
+        .and_then(|i| pool.get_mut(i).and_then(Option::take))
+        .ok_or(FlowError::MissingImplementation(config))
+}
+
 /// Runs the full evaluation methodology on one netlist:
 ///
 /// 1. sweep the 12-track 2-D implementation to its fmax,
@@ -31,21 +46,36 @@ pub struct Comparison {
 /// 3. compute PPAC and the Table VII percent deltas.
 ///
 /// This is the expensive entry point — a full run executes the flow seven
-/// or more times. Independent configurations are implemented concurrently
-/// (`options.threads` workers); results are assembled back in Fig. 1 order,
-/// so the output is identical at any thread count.
-#[must_use]
-pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostModel) -> Comparison {
+/// or more times, but the shared prefixes are computed exactly once: one
+/// buffered base netlist feeds every run, and one pseudo-3-D checkpoint
+/// feeds all three 3-D configurations (the `flow/pseudo3d_runs` counter
+/// records exactly 1). Independent configurations are implemented
+/// concurrently (`options.threads` workers); results are assembled back
+/// in Fig. 1 order, so the output is identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`] the sweep or any configuration job
+/// reports.
+pub fn try_compare_configs(
+    netlist: &Netlist,
+    options: &FlowOptions,
+    cost: &CostModel,
+) -> Result<Comparison, FlowError> {
     let compare_span = options.obs.span("compare_configs");
-    let (target_ghz, base_imp) = find_fmax(netlist, Config::TwoD12T, options, 1.0);
+    let base = prepare_base(netlist, options)?;
+    let (target_ghz, base_imp) = fmax_from_base(&base, None, Config::TwoD12T, options, 1.0)?;
 
     // One job per configuration that still needs an implementation: the
     // homogeneous configurations other than 12-track 2-D (which reuses the
-    // fmax sweep's implementation) plus the heterogeneous proposal. Each
-    // `run_flow` is a pure function of its arguments, so running them
-    // concurrently and reading results back in job order is deterministic.
-    // Each job writes its telemetry under its own `cfg/<name>` prefix, so
-    // concurrent jobs never share a manifest key.
+    // fmax sweep's implementation) plus the heterogeneous proposal. Every
+    // job forks the shared base; the 3-D jobs additionally fork the one
+    // pseudo-3-D checkpoint. Each `run_from_base` is a pure function of
+    // its arguments, so running them concurrently and reading results back
+    // in job order is deterministic. Each job writes its telemetry under
+    // its own `cfg/<name>` prefix, so concurrent jobs never share a
+    // manifest key.
+    let pseudo = pseudo_checkpoint(&base, options)?;
     let jobs: Vec<Config> = Config::HOMOGENEOUS
         .iter()
         .copied()
@@ -54,27 +84,31 @@ pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostMode
         .collect();
     let job_options: Vec<FlowOptions> = jobs
         .iter()
-        .map(|&config| FlowOptions {
-            obs: options.obs.scope(&format!("cfg/{config:?}")),
-            ..options.clone()
-        })
+        .map(|&config| options.fork_for(&format!("cfg/{config:?}")))
         .collect();
-    let mut results = m3d_par::par_invoke(
+    let results = m3d_par::par_invoke(
         options.threads,
         jobs.iter()
             .zip(&job_options)
-            .map(|(&config, o)| move || run_flow(netlist, config, target_ghz, o))
+            .map(|(&config, o)| {
+                let base = &base;
+                let pseudo = config.is_3d().then_some(&pseudo);
+                move || run_from_base(base, pseudo, config, target_ghz, o)
+            })
             .collect(),
     );
-    let hetero_implementation = results.pop().expect("hetero job always present");
-    let mut remaining = results.into_iter();
+    let mut pool: Vec<Option<Implementation>> = Vec::with_capacity(results.len());
+    for r in results {
+        pool.push(Some(r?));
+    }
+    let hetero_implementation = take_implementation(&jobs, &mut pool, Config::Hetero3d)?;
     let mut homogeneous = Vec::with_capacity(Config::HOMOGENEOUS.len());
     let mut implementations = Vec::with_capacity(Config::HOMOGENEOUS.len());
     for config in Config::HOMOGENEOUS {
         let imp = if config == Config::TwoD12T {
             base_imp.clone()
         } else {
-            remaining.next().expect("one job per homogeneous config")
+            take_implementation(&jobs, &mut pool, config)?
         };
         homogeneous.push(imp.ppac(cost));
         implementations.push(imp);
@@ -86,7 +120,7 @@ pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostMode
         .collect();
     drop(compare_span);
 
-    Comparison {
+    Ok(Comparison {
         design: netlist.name.clone(),
         target_ghz,
         hetero,
@@ -94,7 +128,18 @@ pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostMode
         deltas,
         hetero_implementation,
         implementations,
-    }
+    })
+}
+
+/// [`try_compare_configs`] for callers that treat flow failure as fatal.
+///
+/// # Panics
+///
+/// Panics if the fmax sweep or any configuration job fails.
+#[must_use]
+pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostModel) -> Comparison {
+    try_compare_configs(netlist, options, cost)
+        .unwrap_or_else(|e| panic!("compare_configs failed: {e}"))
 }
 
 /// Table V: the same heterogeneous design through the Pin-3-D baseline
@@ -148,7 +193,7 @@ mod tests {
 
     fn quick_options() -> FlowOptions {
         let mut o = FlowOptions::default();
-        o.placer.iterations = 6;
+        o.placer_mut().iterations = 6;
         o
     }
 
@@ -191,5 +236,27 @@ mod tests {
         for p in &cmp.homogeneous {
             assert!((p.frequency_ghz - cmp.target_ghz).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn missing_hetero_job_surfaces_as_typed_error() {
+        let jobs = [Config::TwoD9T, Config::ThreeD9T];
+        let mut pool: Vec<Option<Implementation>> = vec![None, None];
+        let err = take_implementation(&jobs, &mut pool, Config::Hetero3d).unwrap_err();
+        assert_eq!(err, FlowError::MissingImplementation(Config::Hetero3d));
+    }
+
+    #[test]
+    fn consumed_job_slot_surfaces_as_typed_error() {
+        // A pool slot can only be taken once; a second claim for the same
+        // configuration reports the missing implementation instead of
+        // panicking.
+        let n = Benchmark::Aes.generate(0.05, 7);
+        let imp = run_flow(&n, Config::TwoD9T, 0.8, &quick_options());
+        let jobs = [Config::TwoD9T];
+        let mut pool = vec![Some(imp)];
+        assert!(take_implementation(&jobs, &mut pool, Config::TwoD9T).is_ok());
+        let err = take_implementation(&jobs, &mut pool, Config::TwoD9T).unwrap_err();
+        assert_eq!(err, FlowError::MissingImplementation(Config::TwoD9T));
     }
 }

@@ -4,6 +4,7 @@ use m3d_place::PlacerConfig;
 use m3d_route::RouteConfig;
 use m3d_tech::{Library, TierStack};
 use std::fmt;
+use std::sync::Arc;
 
 /// The five technology/design configurations of Fig. 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,12 +91,14 @@ pub struct FlowOptions {
     pub utilization: f64,
     /// Seed forwarded to placement/partitioning.
     pub seed: u64,
-    /// Global-placement parameters.
-    pub placer: PlacerConfig,
-    /// Global-routing parameters.
-    pub route: RouteConfig,
-    /// CTS parameters.
-    pub cts: CtsConfig,
+    /// Global-placement parameters. Behind an `Arc`: forked options (fmax
+    /// rungs, comparison jobs) share one copy instead of cloning it per
+    /// branch; mutate through [`FlowOptions::placer_mut`].
+    pub placer: Arc<PlacerConfig>,
+    /// Global-routing parameters (shared; [`FlowOptions::route_mut`]).
+    pub route: Arc<RouteConfig>,
+    /// CTS parameters (shared; [`FlowOptions::cts_mut`]).
+    pub cts: Arc<CtsConfig>,
     /// Fraction of cell area the timing-based partitioner may lock to the
     /// fast tier (the paper uses 20–30 %).
     pub timing_partition_cap: f64,
@@ -130,9 +133,9 @@ impl Default for FlowOptions {
         FlowOptions {
             utilization: 0.7,
             seed: 1,
-            placer: PlacerConfig::default(),
-            route: RouteConfig::default(),
-            cts: CtsConfig::default(),
+            placer: Arc::new(PlacerConfig::default()),
+            route: Arc::new(RouteConfig::default()),
+            cts: Arc::new(CtsConfig::default()),
             timing_partition_cap: 0.28,
             enable_timing_partition: true,
             enable_3d_cts: true,
@@ -157,6 +160,34 @@ impl FlowOptions {
             enable_3d_cts: false,
             enable_repartition: false,
             ..Default::default()
+        }
+    }
+
+    /// Mutable access to the placer parameters (copy-on-write: a shared
+    /// copy is cloned once on first mutation).
+    pub fn placer_mut(&mut self) -> &mut PlacerConfig {
+        Arc::make_mut(&mut self.placer)
+    }
+
+    /// Mutable access to the routing parameters (copy-on-write).
+    pub fn route_mut(&mut self) -> &mut RouteConfig {
+        Arc::make_mut(&mut self.route)
+    }
+
+    /// Mutable access to the CTS parameters (copy-on-write).
+    pub fn cts_mut(&mut self) -> &mut CtsConfig {
+        Arc::make_mut(&mut self.cts)
+    }
+
+    /// Forks the options for one concurrent branch: identical knobs (the
+    /// sub-configs stay `Arc`-shared, nothing is deep-copied) with the
+    /// telemetry handle re-scoped under `scope` so concurrent branches
+    /// never share a manifest key.
+    #[must_use]
+    pub fn fork_for(&self, scope: &str) -> FlowOptions {
+        FlowOptions {
+            obs: self.obs.scope(scope),
+            ..self.clone()
         }
     }
 
@@ -219,6 +250,22 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fork_shares_subconfigs_copy_on_write() {
+        let mut o = FlowOptions::default();
+        o.placer_mut().iterations = 9;
+        let f = o.fork_for("cfg/test");
+        assert!(
+            Arc::ptr_eq(&o.placer, &f.placer),
+            "fork must share, not copy"
+        );
+        assert_eq!(o.fingerprint(), f.fingerprint());
+        let mut g = f.clone();
+        g.placer_mut().iterations = 10;
+        assert_eq!(f.placer.iterations, 9, "mutating a fork must not leak back");
+        assert_eq!(g.placer.iterations, 10);
     }
 
     #[test]

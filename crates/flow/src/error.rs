@@ -1,0 +1,117 @@
+//! Typed flow errors.
+//!
+//! Every stage of the pipeline reports failure through [`FlowError`]
+//! instead of panicking: input validation ([`FlowError::InvalidNetlist`],
+//! [`FlowError::InvalidFrequency`]), the fallible substrate passes
+//! ([`FlowError::Legalize`], [`FlowError::Extract`]) and the pipeline's
+//! own sequencing invariants ([`FlowError::MissingStageOutput`],
+//! [`FlowError::MissingImplementation`]). The panicking entry points
+//! (`run_flow`, `find_fmax`, `compare_configs`) are thin wrappers over
+//! the `try_*` variants that surface these errors.
+
+use crate::config::Config;
+use m3d_netlist::ValidateNetlistError;
+use m3d_place::LegalizeError;
+use m3d_route::ExtractError;
+use std::fmt;
+
+/// Everything that can go wrong while implementing a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The target frequency was zero, negative or NaN.
+    InvalidFrequency {
+        /// The rejected target, GHz.
+        frequency_ghz: f64,
+    },
+    /// The input netlist failed structural validation.
+    InvalidNetlist(ValidateNetlistError),
+    /// Legalization rejected its inputs.
+    Legalize(LegalizeError),
+    /// Parasitic extraction rejected its inputs.
+    Extract(ExtractError),
+    /// A stage ran before the artifact it consumes was produced — a
+    /// pipeline-sequencing bug, not a data problem.
+    MissingStageOutput {
+        /// The stage that found the hole.
+        stage: &'static str,
+        /// The artifact it needed.
+        what: &'static str,
+    },
+    /// A comparison job's implementation never arrived (the parallel
+    /// fan-out returned fewer results than configurations).
+    MissingImplementation(Config),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidFrequency { frequency_ghz } => {
+                write!(
+                    f,
+                    "target frequency must be positive, got {frequency_ghz} GHz"
+                )
+            }
+            FlowError::InvalidNetlist(e) => write!(f, "input netlist failed validation: {e}"),
+            FlowError::Legalize(e) => write!(f, "legalization failed: {e}"),
+            FlowError::Extract(e) => write!(f, "parasitic extraction failed: {e}"),
+            FlowError::MissingStageOutput { stage, what } => {
+                write!(
+                    f,
+                    "stage `{stage}` needs `{what}`, which no earlier stage produced"
+                )
+            }
+            FlowError::MissingImplementation(config) => {
+                write!(f, "no implementation was produced for {config}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::InvalidNetlist(e) => Some(e),
+            FlowError::Legalize(e) => Some(e),
+            FlowError::Extract(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateNetlistError> for FlowError {
+    fn from(e: ValidateNetlistError) -> Self {
+        FlowError::InvalidNetlist(e)
+    }
+}
+
+impl From<LegalizeError> for FlowError {
+    fn from(e: LegalizeError) -> Self {
+        FlowError::Legalize(e)
+    }
+}
+
+impl From<ExtractError> for FlowError {
+    fn from(e: ExtractError) -> Self {
+        FlowError::Extract(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let e = FlowError::InvalidFrequency {
+            frequency_ghz: -1.0,
+        };
+        assert!(e.to_string().contains("-1"));
+        let e = FlowError::MissingStageOutput {
+            stage: "route",
+            what: "placement",
+        };
+        assert!(e.to_string().contains("route") && e.to_string().contains("placement"));
+        let e = FlowError::MissingImplementation(Config::Hetero3d);
+        assert!(e.to_string().contains("Hetero"));
+    }
+}

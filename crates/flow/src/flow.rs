@@ -1,22 +1,24 @@
 use crate::config::{Config, FlowOptions};
+use crate::error::FlowError;
 use crate::ppac::Ppac;
-use m3d_cost::CostModel;
-use m3d_cts::{synthesize, ClockTree, CtsMode};
-use m3d_geom::{Point, Rect};
-use m3d_netlist::{CellClass, CellId, Netlist};
-use m3d_obs::Obs;
-use m3d_partition::{
-    bin_min_cut_with_stats, repartition_eco, timing_driven_assignment, EcoConfig, EcoOutcome,
-    PartitionConfig, TimingAssignment,
+use crate::stage::{
+    prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, FlowState, PseudoCheckpoint,
 };
-use m3d_place::{global_place, legalize_with_stats, Floorplan, LegalStats, Placement};
-use m3d_power::{analyze_power, PowerConfig, PowerResult};
-use m3d_route::{extract_parasitics_with_stats, global_route, ExtractStats, RoutingResult};
-use m3d_sta::{analyze, worst_paths, ClockSpec, Parasitics, StaResult, Timer, TimingContext};
+use m3d_cost::CostModel;
+use m3d_cts::ClockTree;
+use m3d_netlist::Netlist;
+use m3d_partition::{EcoOutcome, TimingAssignment};
+use m3d_place::{Floorplan, Placement};
+use m3d_power::PowerResult;
+use m3d_route::RoutingResult;
+use m3d_sta::StaResult;
 use m3d_tech::{Tier, TierStack};
+use std::sync::Arc;
 
-/// A finished implementation of one configuration: the full database the
-/// reports are derived from.
+/// A finished implementation of one configuration: a read-only view over
+/// the final [`m3d_db::DesignDb`] snapshot the pipeline produced. Every
+/// artifact is behind an `Arc`, so cloning an implementation (the fmax
+/// sweep keeps several alive) is O(1).
 #[derive(Debug, Clone)]
 pub struct Implementation {
     /// Which configuration this is.
@@ -24,26 +26,26 @@ pub struct Implementation {
     /// Target clock frequency, GHz.
     pub frequency_ghz: f64,
     /// The (optimized: buffered + resized) netlist.
-    pub netlist: Netlist,
+    pub netlist: Arc<Netlist>,
     /// Technology binding.
-    pub stack: TierStack,
+    pub stack: Arc<TierStack>,
     /// Tier of every cell.
-    pub tiers: Vec<Tier>,
+    pub tiers: Arc<Vec<Tier>>,
     /// Die outline and macro slots.
-    pub floorplan: Floorplan,
+    pub floorplan: Arc<Floorplan>,
     /// Legalized placement.
-    pub placement: Placement,
+    pub placement: Arc<Placement>,
     /// The pre-legalization (refined global) placement — the seed used
     /// for incremental re-finish passes.
-    pub global_placement: Placement,
+    pub global_placement: Arc<Placement>,
     /// Routing result.
-    pub routing: RoutingResult,
+    pub routing: Arc<RoutingResult>,
     /// Synthesized clock tree.
-    pub clock_tree: ClockTree,
+    pub clock_tree: Arc<ClockTree>,
     /// Sign-off timing.
-    pub sta: StaResult,
+    pub sta: Arc<StaResult>,
     /// Sign-off power.
-    pub power: PowerResult,
+    pub power: Arc<PowerResult>,
     /// Target utilization the floorplans were sized for.
     pub utilization: f64,
     /// Repartitioning outcome (heterogeneous flow only).
@@ -58,162 +60,42 @@ impl Implementation {
     pub fn ppac(&self, cost: &CostModel) -> Ppac {
         Ppac::from_implementation(self, cost)
     }
-}
 
-/// Per-cell area under `lib`-per-tier binding (gates only; macros and
-/// ports are zero — their area is handled by the floorplan).
-fn cell_areas(netlist: &Netlist, stack: &TierStack, tiers: &[Tier]) -> Vec<f64> {
-    netlist
-        .cells()
-        .map(|(id, c)| match &c.class {
-            CellClass::Gate { kind, drive } => stack
-                .library(tiers[id.index()])
-                .cell(*kind, *drive)
-                .map_or(0.0, |m| m.area_um2),
-            _ => 0.0,
+    /// Assembles the read-only view from a finished pipeline state,
+    /// sharing every artifact with the database (no copies).
+    pub(crate) fn from_state(
+        state: &FlowState,
+        options: &FlowOptions,
+    ) -> Result<Implementation, FlowError> {
+        fn need<T>(v: Option<T>, what: &'static str) -> Result<T, FlowError> {
+            v.ok_or(FlowError::MissingStageOutput {
+                stage: "assemble",
+                what,
+            })
+        }
+        let db = state.db();
+        Ok(Implementation {
+            config: state.config(),
+            frequency_ghz: 1.0 / state.period_ns(),
+            netlist: db.netlist_arc(),
+            stack: db.stack_arc(),
+            tiers: db.tiers_arc(),
+            floorplan: need(db.floorplan_arc(), "floorplan")?,
+            placement: need(db.placement_arc(), "placement")?,
+            global_placement: need(db.global_placement_arc(), "global placement")?,
+            routing: need(db.routing_arc(), "routing")?,
+            clock_tree: need(db.clock_tree_arc(), "clock tree")?,
+            sta: need(db.sta_arc(), "sign-off timing")?,
+            power: need(db.power_arc(), "sign-off power")?,
+            utilization: options.utilization,
+            eco: state.eco.clone(),
+            timing_assignment: state.timing_assignment.clone(),
         })
-        .collect()
-}
-
-/// Cheap structural fingerprint of the input netlist (FNV-1a over the
-/// name and coarse size/connectivity figures), for the manifest's
-/// input-identity label.
-fn netlist_fingerprint(netlist: &Netlist) -> String {
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let eat_u64 = |h: &mut u64, v: u64| {
-        for b in v.to_le_bytes() {
-            *h ^= u64::from(b);
-            *h = h.wrapping_mul(PRIME);
-        }
-    };
-    for b in netlist.name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    eat_u64(&mut h, netlist.cell_count() as u64);
-    eat_u64(&mut h, netlist.net_count() as u64);
-    eat_u64(&mut h, netlist.gate_count() as u64);
-    let degree_sum: u64 = netlist.nets().map(|(_, n)| n.degree() as u64).sum();
-    eat_u64(&mut h, degree_sum);
-    format!("{h:016x}")
-}
-
-/// Publishes a persistent [`Timer`]'s lifetime counters: the propagation
-/// work (deterministic — dirty sets depend only on the edit sequence)
-/// as counters, the scheduling-dependent arc-cache tallies as
-/// performance-only entries, per shard and in total.
-fn record_timer(obs: &Obs, timer: &Timer) {
-    if !obs.is_enabled() {
-        return;
-    }
-    let st = timer.stats();
-    obs.counter_add("sta/full_rebuilds", st.full_rebuilds);
-    obs.counter_add("sta/incremental_updates", st.incremental_updates);
-    obs.counter_add("sta/load_evals", st.load_evals);
-    obs.counter_add("sta/launch_evals", st.launch_evals);
-    obs.counter_add("sta/forward_evals", st.forward_evals);
-    obs.counter_add("sta/endpoint_evals", st.endpoint_evals);
-    obs.counter_add("sta/backward_evals", st.backward_evals);
-    obs.counter_add("sta/launch_required_evals", st.launch_required_evals);
-    obs.counter_add("sta/propagated_evals", st.propagated_evals());
-    let cache = timer.delay_cache();
-    obs.perf_add("sta/cache_hits", cache.hits());
-    obs.perf_add("sta/cache_misses", cache.misses());
-    for (i, (hits, misses)) in cache.shard_stats().into_iter().enumerate() {
-        obs.perf_add(&format!("sta/cache_shard{i:02}_hits"), hits);
-        obs.perf_add(&format!("sta/cache_shard{i:02}_misses"), misses);
     }
 }
 
-/// Publishes a routing result's deterministic totals.
-fn record_routing(obs: &Obs, routing: &RoutingResult) {
-    if !obs.is_enabled() {
-        return;
-    }
-    obs.counter_add("route/mivs", routing.total_mivs as u64);
-    obs.counter_add("route/overflow_edges", routing.overflow_edges as u64);
-    obs.gauge_add("route/wirelength_um", routing.total_wirelength_um);
-    obs.gauge_add("route/prim_wirelength_um", routing.prim_wirelength_um);
-}
-
-/// Publishes an extraction pass's deterministic totals.
-fn record_extract(obs: &Obs, stats: &ExtractStats) {
-    if !obs.is_enabled() {
-        return;
-    }
-    obs.counter_add("extract/rc_segments", stats.rc_segments);
-    obs.gauge_add("extract/length_um", stats.total_length_um);
-    obs.gauge_add("extract/wire_cap_ff", stats.total_wire_cap_ff);
-}
-
-/// Publishes a legalization run's deterministic displacement figures.
-fn record_legalize(obs: &Obs, stats: &LegalStats) {
-    if !obs.is_enabled() {
-        return;
-    }
-    obs.counter_add("legalize/moved_cells", stats.moved_cells);
-    obs.gauge_add(
-        "legalize/total_displacement_um",
-        stats.total_displacement_um,
-    );
-    obs.gauge_set("legalize/max_displacement_um", stats.max_displacement_um);
-}
-
-/// The one place a [`TimingContext`] is assembled in this crate: every
-/// cold `analyze`, every sizing/ECO evaluate closure and every
-/// [`Timer::update`] goes through here, so parasitics/clock wiring cannot
-/// drift between call sites.
-fn timing_context<'a>(
-    netlist: &'a Netlist,
-    stack: &'a TierStack,
-    tiers: &'a [Tier],
-    parasitics: &'a Parasitics,
-    clock: ClockSpec,
-) -> TimingContext<'a> {
-    TimingContext {
-        netlist,
-        stack,
-        tiers,
-        parasitics,
-        clock,
-    }
-}
-
-/// Assembles STA inputs and runs the engine (one-shot cold pass; loops
-/// use a persistent [`Timer`] instead).
-fn run_sta(
-    netlist: &Netlist,
-    stack: &TierStack,
-    tiers: &[Tier],
-    parasitics: &Parasitics,
-    period_ns: f64,
-    latency: Option<&ClockTree>,
-) -> StaResult {
-    analyze(&timing_context(
-        netlist,
-        stack,
-        tiers,
-        parasitics,
-        clock_spec(period_ns, latency),
-    ))
-}
-
-/// Clock constraints for sign-off: propagated register latencies plus a
-/// virtual I/O clock at the network's mean insertion delay.
-fn clock_spec(period_ns: f64, latency: Option<&ClockTree>) -> ClockSpec {
-    let mut clock = ClockSpec::with_period(period_ns);
-    if let Some(tree) = latency {
-        clock.latency_ns = tree.sink_latency.clone();
-        let lats = tree.latencies();
-        if !lats.is_empty() {
-            clock.virtual_io_latency_ns = lats.iter().sum::<f64>() / lats.len() as f64;
-        }
-    }
-    clock
-}
-
-/// Runs the complete flow for one configuration at a target frequency.
+/// Runs the complete flow for one configuration at a target frequency,
+/// reporting failures as typed [`FlowError`]s.
 ///
 /// 2-D configurations go through floorplan → place → route → CTS → STA →
 /// sizing (and a re-implementation pass when sizing grew the design).
@@ -221,10 +103,29 @@ fn clock_spec(period_ns: f64, latency: Option<&ClockTree>) -> ClockSpec {
 /// partitioning, tier legalization, 3-D CTS and (optionally) the
 /// repartitioning ECO.
 ///
+/// # Errors
+///
+/// Returns [`FlowError::InvalidFrequency`] / [`FlowError::InvalidNetlist`]
+/// for bad inputs and propagates any stage failure.
+pub fn try_run_flow(
+    netlist: &Netlist,
+    config: Config,
+    frequency_ghz: f64,
+    options: &FlowOptions,
+) -> Result<Implementation, FlowError> {
+    if frequency_ghz.is_nan() || frequency_ghz <= 0.0 {
+        return Err(FlowError::InvalidFrequency { frequency_ghz });
+    }
+    let base = prepare_base(netlist, options)?;
+    run_from_base(&base, None, config, frequency_ghz, options)
+}
+
+/// [`try_run_flow`] for callers that treat flow failure as fatal.
+///
 /// # Panics
 ///
-/// Panics if `frequency_ghz` is not positive or the netlist fails
-/// validation.
+/// Panics if `frequency_ghz` is not positive, the netlist fails
+/// validation, or any pipeline stage rejects its inputs.
 #[must_use]
 pub fn run_flow(
     netlist: &Netlist,
@@ -232,614 +133,8 @@ pub fn run_flow(
     frequency_ghz: f64,
     options: &FlowOptions,
 ) -> Implementation {
-    assert!(frequency_ghz > 0.0, "frequency must be positive");
-    netlist.validate().expect("input netlist must validate");
-    let period = 1.0 / frequency_ghz;
-    let stack = config.stack();
-
-    let obs = options.obs.clone();
-    let run_span = obs.span("run_flow");
-    if obs.is_enabled() {
-        obs.label_set("input/netlist", &netlist.name);
-        obs.label_set("input/netlist_fp", &netlist_fingerprint(netlist));
-        obs.label_set("input/options_fp", &options.fingerprint());
-        obs.label_set("input/config", &config.to_string());
-        obs.perf_add("threads_resolved", m3d_par::resolve(options.threads) as u64);
-    }
-
-    // Pre-placement fanout buffering (netlist becomes fixed-size after
-    // this point; every per-cell vector below is sized once).
-    let mut netlist = netlist.clone();
-    let mut scratch_positions = vec![Point::ORIGIN; netlist.cell_count()];
-    {
-        let _s = run_span.child("buffering");
-        let _ = m3d_opt::insert_buffers(&mut netlist, &mut scratch_positions, options.max_fanout);
-    }
-    let n = netlist.cell_count();
-    let mut tiers = vec![Tier::Bottom; n];
-
-    if !config.is_3d() {
-        return implement_2d(netlist, config, stack, tiers, period, options);
-    }
-
-    // ---------------- pseudo-3-D stage ---------------------------------
-    // Flat 2-D implementation in the configuration's fast technology, on
-    // the halved 3-D footprint (cells may overlap — Shrunk-2D style).
-    let pseudo_span = run_span.child("pseudo3d");
-    let fast_lib = stack.library(stack.fast_tier()).clone();
-    let pseudo_stack = TierStack::two_d(fast_lib);
-    let fp_full = Floorplan::new(&netlist, &pseudo_stack, &tiers, options.utilization);
-    let shrink = 0.5_f64.sqrt();
-    let pseudo_die = Rect::new(
-        fp_full.die.llx(),
-        fp_full.die.lly(),
-        fp_full.die.llx() + fp_full.die.width() * shrink,
-        fp_full.die.lly() + fp_full.die.height() * shrink,
-    );
-    let mut fp_pseudo = fp_full.clone();
-    fp_pseudo.die = pseudo_die;
-    // Macros keep their lower-left anchoring; clamp into the shrunk die.
-    for (_, _, r) in &mut fp_pseudo.macros {
-        if !pseudo_die.contains_rect(r) {
-            let w = r.width().min(pseudo_die.width());
-            let h = r.height().min(pseudo_die.height());
-            *r = Rect::with_size(pseudo_die.clamp_point(Point::new(r.llx(), r.lly())), w, h);
-        }
-    }
-    let pseudo_placement = {
-        let _s = pseudo_span.child("global_place");
-        global_place(&netlist, &fp_pseudo, &options.placer)
-    };
-    let (pseudo_parasitics, pseudo_px) = {
-        let _s = pseudo_span.child("extract");
-        extract_parasitics_with_stats(&netlist, &pseudo_placement, &pseudo_stack, None)
-    };
-    record_extract(&obs, &pseudo_px);
-    let pseudo_sta = {
-        let _s = pseudo_span.child("sta");
-        run_sta(
-            &netlist,
-            &pseudo_stack,
-            &tiers,
-            &pseudo_parasitics,
-            period,
-            None,
-        )
-    };
-    drop(pseudo_span);
-
-    // ---------------- partitioning -------------------------------------
-    // Balance accounting includes macro area (macros are locked to the
-    // bottom tier, so FM shifts logic toward the top to compensate).
-    let partition_span = run_span.child("partition");
-    let mut pseudo_areas = cell_areas(&netlist, &pseudo_stack, &tiers);
-    for (id, cell) in netlist.cells() {
-        if let m3d_netlist::CellClass::Macro(spec) = &cell.class {
-            pseudo_areas[id.index()] = spec.area_um2();
-        }
-    }
-    let mut locked = vec![false; n];
-    // Macros and ports stay on the bottom tier.
-    for (id, cell) in netlist.cells() {
-        if cell.class.is_macro() || cell.class.is_port() {
-            locked[id.index()] = true;
-            tiers[id.index()] = Tier::Bottom;
-        }
-    }
-    let timing_assignment = if config.is_heterogeneous() && options.enable_timing_partition {
-        let criticality: Vec<f64> = (0..n)
-            .map(|i| pseudo_sta.cell_criticality(CellId::from_index(i)))
-            .collect();
-        // Macros already occupy the fast/bottom tier; shrink the lockable
-        // budget so locked cells + macros still fit in the bottom's half
-        // of the shared outline (otherwise the footprint must grow and the
-        // heterogeneous area win evaporates).
-        let macro_total: f64 = netlist
-            .cells()
-            .filter(|(_, c)| c.class.is_macro())
-            .map(|(id, _)| pseudo_areas[id.index()])
-            .sum();
-        let comb_total: f64 = netlist
-            .cells()
-            .filter(|(_, c)| c.class.is_gate())
-            .map(|(id, _)| pseudo_areas[id.index()])
-            .sum();
-        let headroom =
-            ((comb_total + macro_total) * 0.5 - macro_total).max(0.0) / comb_total.max(1e-9);
-        let cap = options.timing_partition_cap.min(headroom);
-        let assignment = timing_driven_assignment(
-            &netlist,
-            &criticality,
-            &pseudo_areas,
-            cap,
-            stack.fast_tier(),
-            &mut tiers,
-        );
-        for id in &assignment.locked_cells {
-            locked[id.index()] = true;
-        }
-        Some(assignment)
-    } else {
-        None
-    };
-    let (_cut, fm_stats) = bin_min_cut_with_stats(
-        &netlist,
-        &pseudo_placement.positions,
-        pseudo_die,
-        options.partition_bins,
-        &pseudo_areas,
-        &locked,
-        &mut tiers,
-        &PartitionConfig {
-            seed: options.seed,
-            ..Default::default()
-        },
-    );
-    if obs.is_enabled() {
-        obs.counter_add("partition/fm_passes", fm_stats.passes);
-        obs.counter_add("partition/fm_moves", fm_stats.moves);
-        obs.counter_add("partition/final_cut", fm_stats.cut);
-    }
-    drop(partition_span);
-
-    // ---------------- 3-D implementation --------------------------------
-    // When the repartitioning ECO will run, defer sizing until after it:
-    // critical cells should first be *moved* to the fast tier; only the
-    // residue is then upsized (this preserves the heterogeneous area win).
-    let eco_enabled = config.is_heterogeneous() && options.enable_repartition;
-    let mut imp = finish_3d(
-        netlist,
-        config,
-        stack,
-        tiers,
-        &pseudo_placement,
-        pseudo_die,
-        period,
-        options,
-        !eco_enabled,
-    );
-    imp.timing_assignment = timing_assignment;
-
-    // ---------------- repartitioning ECO --------------------------------
-    // Outer loop: after each ECO round the design is incrementally
-    // re-finished (routing, CTS, sizing), which can expose new critical
-    // paths through the slow tier; repeat until timing is met or the ECO
-    // stops moving cells.
-    if config.is_heterogeneous() && options.enable_repartition {
-        let eco_span = run_span.child("eco");
-        let mut total = EcoOutcome {
-            iterations: 0,
-            cells_moved: 0,
-            rounds_undone: 0,
-            initial_wns: imp.sta.wns,
-            final_wns: imp.sta.wns,
-            final_tns: imp.sta.tns,
-            stop_reason: m3d_partition::EcoStop::Converged,
-        };
-        for _outer in 0..3 {
-            let round_span = eco_span.child("round");
-            let areas = cell_areas(&imp.netlist, &imp.stack, &imp.tiers);
-            let fast = imp.stack.fast_tier();
-            let netlist_ref = &imp.netlist;
-            let stack_ref = &imp.stack;
-            let (parasitics, eco_px) = extract_parasitics_with_stats(
-                netlist_ref,
-                &imp.placement,
-                stack_ref,
-                Some(&imp.routing),
-            );
-            record_extract(&obs, &eco_px);
-            let clock_template = clock_spec(period, Some(&imp.clock_tree));
-            let mut tiers_work = imp.tiers.clone();
-            // One persistent timer per ECO round: every candidate move (and
-            // every undo, which restores already-cached arcs) re-propagates
-            // only the cone of the swapped cells.
-            let mut timer = Timer::new();
-            let outcome =
-                repartition_eco(&mut tiers_work, &areas, fast, &EcoConfig::default(), |t| {
-                    let ctx = timing_context(
-                        netlist_ref,
-                        stack_ref,
-                        t,
-                        &parasitics,
-                        clock_template.clone(),
-                    );
-                    let result = timer.update(&ctx);
-                    let paths = worst_paths(&ctx, &result, EcoConfig::default().n0);
-                    m3d_partition::EcoTimingView {
-                        wns: result.wns,
-                        tns: result.tns,
-                        critical_paths: paths
-                            .iter()
-                            .map(|p| p.stages.iter().map(|s| (s.cell, s.cell_delay_ns)).collect())
-                            .collect(),
-                    }
-                });
-            record_timer(&obs, &timer);
-            if obs.is_enabled() {
-                obs.counter_add("eco/iterations", outcome.iterations as u64);
-                obs.counter_add("eco/cells_moved", outcome.cells_moved as u64);
-            }
-            imp.tiers = tiers_work;
-            total.iterations += outcome.iterations;
-            total.cells_moved += outcome.cells_moved;
-            total.rounds_undone += outcome.rounds_undone;
-            total.stop_reason = outcome.stop_reason;
-            let moved = outcome.cells_moved;
-            if moved > 0 {
-                eco_refinish(&mut imp, period, options);
-            }
-            total.final_wns = imp.sta.wns;
-            total.final_tns = imp.sta.tns;
-            drop(round_span);
-            if moved == 0 || imp.sta.timing_met(options.wns_tolerance) {
-                break;
-            }
-        }
-        imp.eco = Some(total);
-    }
-    imp
-}
-
-/// Incremental ECO placement + re-sign-off: moved cells keep their (x, y)
-/// and only snap onto the nearest row of their new tier (real ECO flows
-/// resolve the residual overlap in detailed placement, which is below this
-/// model's fidelity). Routing, CTS, a short sizing pass and STA/power are
-/// refreshed.
-fn eco_refinish(imp: &mut Implementation, period: f64, options: &FlowOptions) {
-    let obs = options.obs.clone();
-    let refinish_span = obs.span("eco_refinish");
-    let die = imp.placement.die;
-    for i in 0..imp.netlist.cell_count() {
-        let t = imp.tiers[i];
-        let row_h = imp.stack.library(t).cell_height_um;
-        let n_rows = ((die.height() / row_h).floor() as i64).max(1);
-        let y = imp.placement.positions[i].y;
-        let row = (((y - die.lly()) / row_h).floor() as i64).clamp(0, n_rows - 1);
-        imp.placement.positions[i].y = die.lly() + (row as f64 + 0.5) * row_h;
-    }
-    imp.placement.clamp_to_die();
-    let routing = {
-        let _s = refinish_span.child("route");
-        global_route(
-            &imp.netlist,
-            &imp.placement,
-            &imp.tiers,
-            &imp.stack,
-            &options.route,
-        )
-    };
-    record_routing(&obs, &routing);
-    let (parasitics, px) = {
-        let _s = refinish_span.child("extract");
-        extract_parasitics_with_stats(&imp.netlist, &imp.placement, &imp.stack, Some(&routing))
-    };
-    record_extract(&obs, &px);
-    let cts_mode = if options.enable_3d_cts {
-        CtsMode::Cover3d
-    } else {
-        CtsMode::Legacy3d
-    };
-    let clock_tree = {
-        let _s = refinish_span.child("cts");
-        synthesize(
-            &imp.netlist,
-            &imp.placement,
-            &imp.tiers,
-            &imp.stack,
-            cts_mode,
-            &options.cts,
-        )
-    };
-    obs.counter_add("cts/buffers", clock_tree.buffer_count() as u64);
-    // Post-ECO closure: size the residual violations (the ECO already
-    // moved the worst offenders to the fast tier) and recover power. The
-    // timer persists through both sizing passes and the sign-off, so only
-    // the first evaluation pays for a full propagation.
-    let mut timer = Timer::new();
-    {
-        let _s = refinish_span.child("sizing");
-        let stack_ref = &imp.stack;
-        let tiers_ref = &imp.tiers;
-        let parasitics_ref = &parasitics;
-        let clock_template = clock_spec(period, Some(&clock_tree));
-        let mut eval = |nl: &Netlist| {
-            timer.update(&timing_context(
-                nl,
-                stack_ref,
-                tiers_ref,
-                parasitics_ref,
-                clock_template.clone(),
-            ))
-        };
-        let _ = m3d_opt::resize_for_timing(&mut imp.netlist, 0.0, 3, &mut eval);
-        let _ = m3d_opt::resize_for_power(&mut imp.netlist, period * 0.15, 2, &mut eval);
-    }
-    imp.sta = {
-        let _s = refinish_span.child("sta_signoff");
-        timer.update(&timing_context(
-            &imp.netlist,
-            &imp.stack,
-            &imp.tiers,
-            &parasitics,
-            clock_spec(period, Some(&clock_tree)),
-        ))
-    };
-    record_timer(&obs, &timer);
-    imp.power = analyze_power(
-        &imp.netlist,
-        &imp.stack,
-        &imp.tiers,
-        &parasitics,
-        Some(&clock_tree),
-        &PowerConfig {
-            input_activity: options.input_activity,
-            frequency_ghz: 1.0 / period,
-            input_probability: 0.5,
-        },
-    );
-    imp.routing = routing;
-    imp.clock_tree = clock_tree;
-}
-
-/// The 3-D back half: floorplan under the tier assignment, placement
-/// transfer + legalization, routing, CTS, sizing and sign-off.
-#[allow(clippy::too_many_arguments)]
-fn finish_3d(
-    mut netlist: Netlist,
-    config: Config,
-    stack: TierStack,
-    tiers: Vec<Tier>,
-    seed_placement: &Placement,
-    seed_die: Rect,
-    period: f64,
-    options: &FlowOptions,
-    reoptimize: bool,
-) -> Implementation {
-    let obs = options.obs.clone();
-    let finish_span = obs.span("finish3d");
-    let fp = Floorplan::new(&netlist, &stack, &tiers, options.utilization);
-    // Transfer the seed placement into the (possibly resized) die.
-    let sx = fp.die.width() / seed_die.width();
-    let sy = fp.die.height() / seed_die.height();
-    let mut placement = Placement::centered(&netlist, fp.die);
-    for i in 0..netlist.cell_count() {
-        let p = seed_placement.positions[i];
-        placement.positions[i] = Point::new(
-            fp.die.llx() + (p.x - seed_die.llx()) * sx,
-            fp.die.lly() + (p.y - seed_die.lly()) * sy,
-        );
-    }
-    // Fixed cells to their floorplan slots.
-    for (id, _, rect) in &fp.macros {
-        placement.positions[id.index()] = rect.center();
-    }
-    let ports: Vec<usize> = netlist
-        .cells()
-        .filter(|(_, c)| c.class.is_port())
-        .map(|(id, _)| id.index())
-        .collect();
-    for (k, &i) in ports.iter().enumerate() {
-        placement.positions[i] = fp.io_position(k, ports.len());
-    }
-    // Heal partition/transfer displacement with a short warm-start
-    // refinement, then legalize onto the per-tier rows.
-    let global_placement = {
-        let _s = finish_span.child("refine_place");
-        m3d_place::refine_place(&netlist, &fp, &placement, &options.placer, 4)
-    };
-    let (placement, legal_stats) = {
-        let _s = finish_span.child("legalize");
-        legalize_with_stats(&netlist, &global_placement, &fp, &stack, &tiers)
-    };
-    record_legalize(&obs, &legal_stats);
-
-    let routing = {
-        let _s = finish_span.child("route");
-        global_route(&netlist, &placement, &tiers, &stack, &options.route)
-    };
-    record_routing(&obs, &routing);
-    let (parasitics, px) = {
-        let _s = finish_span.child("extract");
-        extract_parasitics_with_stats(&netlist, &placement, &stack, Some(&routing))
-    };
-    record_extract(&obs, &px);
-    let cts_mode = if options.enable_3d_cts {
-        CtsMode::Cover3d
-    } else {
-        CtsMode::Legacy3d
-    };
-    let clock_tree = {
-        let _s = finish_span.child("cts");
-        synthesize(&netlist, &placement, &tiers, &stack, cts_mode, &options.cts)
-    };
-    obs.counter_add("cts/buffers", clock_tree.buffer_count() as u64);
-
-    // Timing closure: upsize violating cells, then recover power on the
-    // comfortable ones. Skipped on incremental re-finish passes (the
-    // netlist was already optimized; re-running would compound area). One
-    // persistent timer carries the timing database through both sizing
-    // passes into the sign-off below — rejected sizing batches are rolled
-    // back by re-propagating the same (cached) cones.
-    let mut timer = Timer::new();
-    if reoptimize {
-        let _s = finish_span.child("sizing");
-        let stack_ref = &stack;
-        let tiers_ref = &tiers;
-        let parasitics_ref = &parasitics;
-        let clock_template = clock_spec(period, Some(&clock_tree));
-        let mut eval = |nl: &Netlist| {
-            timer.update(&timing_context(
-                nl,
-                stack_ref,
-                tiers_ref,
-                parasitics_ref,
-                clock_template.clone(),
-            ))
-        };
-        let _ = m3d_opt::resize_for_timing(&mut netlist, 0.0, 4, &mut eval);
-        let _ = m3d_opt::resize_for_power(&mut netlist, period * 0.15, 3, &mut eval);
-    }
-
-    let sta = {
-        let _s = finish_span.child("sta_signoff");
-        timer.update(&timing_context(
-            &netlist,
-            &stack,
-            &tiers,
-            &parasitics,
-            clock_spec(period, Some(&clock_tree)),
-        ))
-    };
-    record_timer(&obs, &timer);
-    let power = analyze_power(
-        &netlist,
-        &stack,
-        &tiers,
-        &parasitics,
-        Some(&clock_tree),
-        &PowerConfig {
-            input_activity: options.input_activity,
-            frequency_ghz: 1.0 / period,
-            input_probability: 0.5,
-        },
-    );
-
-    Implementation {
-        config,
-        frequency_ghz: 1.0 / period,
-        netlist,
-        stack,
-        tiers,
-        floorplan: fp,
-        placement,
-        global_placement,
-        routing,
-        clock_tree,
-        sta,
-        power,
-        utilization: options.utilization,
-        eco: None,
-        timing_assignment: None,
-    }
-}
-
-/// The 2-D flow with one re-implementation pass when sizing grew the
-/// design (the paper's 9-track "over-correction" effect).
-fn implement_2d(
-    mut netlist: Netlist,
-    config: Config,
-    stack: TierStack,
-    tiers: Vec<Tier>,
-    period: f64,
-    options: &FlowOptions,
-) -> Implementation {
-    let obs = options.obs.clone();
-    let mut pass = 0;
-    loop {
-        pass += 1;
-        let pass_span = obs.span("impl2d");
-        let fp = Floorplan::new(&netlist, &stack, &tiers, options.utilization);
-        let global_placement = {
-            let _s = pass_span.child("global_place");
-            global_place(&netlist, &fp, &options.placer)
-        };
-        let (placement, legal_stats) = {
-            let _s = pass_span.child("legalize");
-            legalize_with_stats(&netlist, &global_placement, &fp, &stack, &tiers)
-        };
-        record_legalize(&obs, &legal_stats);
-        let routing = {
-            let _s = pass_span.child("route");
-            global_route(&netlist, &placement, &tiers, &stack, &options.route)
-        };
-        record_routing(&obs, &routing);
-        let (parasitics, px) = {
-            let _s = pass_span.child("extract");
-            extract_parasitics_with_stats(&netlist, &placement, &stack, Some(&routing))
-        };
-        record_extract(&obs, &px);
-        let clock_tree = {
-            let _s = pass_span.child("cts");
-            synthesize(
-                &netlist,
-                &placement,
-                &tiers,
-                &stack,
-                CtsMode::Flat2d,
-                &options.cts,
-            )
-        };
-        obs.counter_add("cts/buffers", clock_tree.buffer_count() as u64);
-        let mut timer = Timer::new();
-        let changed = {
-            let _s = pass_span.child("sizing");
-            let stack_ref = &stack;
-            let tiers_ref = &tiers;
-            let parasitics_ref = &parasitics;
-            let clock_template = clock_spec(period, Some(&clock_tree));
-            let mut eval = |nl: &Netlist| {
-                timer.update(&timing_context(
-                    nl,
-                    stack_ref,
-                    tiers_ref,
-                    parasitics_ref,
-                    clock_template.clone(),
-                ))
-            };
-            let up = m3d_opt::resize_for_timing(&mut netlist, 0.0, 4, &mut eval);
-            let down = m3d_opt::resize_for_power(&mut netlist, period * 0.25, 2, &mut eval);
-            up.cells_changed + down.cells_changed
-        };
-
-        // Re-implement once if sizing moved a meaningful chunk of area;
-        // otherwise sign off this pass.
-        if pass == 1 && changed > netlist.gate_count() / 20 {
-            record_timer(&obs, &timer);
-            continue;
-        }
-
-        let sta = {
-            let _s = pass_span.child("sta_signoff");
-            timer.update(&timing_context(
-                &netlist,
-                &stack,
-                &tiers,
-                &parasitics,
-                clock_spec(period, Some(&clock_tree)),
-            ))
-        };
-        record_timer(&obs, &timer);
-        let power = analyze_power(
-            &netlist,
-            &stack,
-            &tiers,
-            &parasitics,
-            Some(&clock_tree),
-            &PowerConfig {
-                input_activity: options.input_activity,
-                frequency_ghz: 1.0 / period,
-                input_probability: 0.5,
-            },
-        );
-        return Implementation {
-            config,
-            frequency_ghz: 1.0 / period,
-            netlist,
-            stack,
-            tiers,
-            floorplan: fp,
-            placement,
-            global_placement,
-            routing,
-            clock_tree,
-            sta,
-            power,
-            utilization: options.utilization,
-            eco: None,
-            timing_assignment: None,
-        };
-    }
+    try_run_flow(netlist, config, frequency_ghz, options)
+        .unwrap_or_else(|e| panic!("run_flow failed: {e}"))
 }
 
 /// Fixed ladder of period multipliers evaluated around the Newton
@@ -848,36 +143,24 @@ fn implement_2d(
 /// is identical at any thread count.
 const FMAX_LADDER: [f64; 5] = [1.18, 1.08, 1.0, 0.92, 0.85];
 
-/// Sweeps the clock target to find the maximum achievable frequency of a
-/// configuration — the paper's criterion: WNS no worse than ~`tolerance ×
-/// period` (5–7 %).
-///
-/// Structure: one sequential probe run at `start_ghz` yields a Newton
-/// period estimate (`period - 0.85 × WNS`); a fixed ladder of candidate
-/// periods around that estimate is then implemented **concurrently**
-/// (`options.threads` workers). The winner is the highest-frequency
-/// candidate that met timing, chosen by scanning candidates in ladder
-/// order — a rule that depends only on the (deterministic) per-candidate
-/// results, never on completion order.
-///
-/// Returns `(fmax_ghz, implementation_at_fmax)`.
-#[must_use]
-pub fn find_fmax(
-    netlist: &Netlist,
+/// [`try_find_fmax`] over an already-prepared base (and, for 3-D
+/// configurations, an already-computed pseudo checkpoint): the probe and
+/// every ladder rung fork from the same snapshots instead of redoing the
+/// shared prefix.
+pub(crate) fn fmax_from_base(
+    base: &BaseDesign,
+    pseudo: Option<&PseudoCheckpoint>,
     config: Config,
     options: &FlowOptions,
     start_ghz: f64,
-) -> (f64, Implementation) {
+) -> Result<(f64, Implementation), FlowError> {
     let obs = &options.obs;
     let fmax_span = obs.span("find_fmax");
     let start_period = 1.0 / start_ghz.max(0.05);
     // Each concurrent branch gets its own key prefix, so manifests never
     // mix (or race on) entries from different rungs.
-    let probe_options = FlowOptions {
-        obs: obs.scope("fmax/probe"),
-        ..options.clone()
-    };
-    let probe = run_flow(netlist, config, 1.0 / start_period, &probe_options);
+    let probe_options = options.fork_for("fmax/probe");
+    let probe = run_from_base(base, pseudo, config, 1.0 / start_period, &probe_options)?;
     let estimate = (start_period - probe.sta.wns * 0.85).max(0.02);
 
     let periods: Vec<f64> = FMAX_LADDER
@@ -885,49 +168,96 @@ pub fn find_fmax(
         .map(|m| (estimate * m).max(0.02))
         .collect();
     let rung_options: Vec<FlowOptions> = (0..periods.len())
-        .map(|i| FlowOptions {
-            obs: obs.scope(&format!("fmax/rung{i}")),
-            ..options.clone()
-        })
+        .map(|i| options.fork_for(&format!("fmax/rung{i}")))
         .collect();
-    let rungs = m3d_par::par_invoke(
+    let rung_results = m3d_par::par_invoke(
         options.threads,
         periods
             .iter()
             .zip(&rung_options)
-            .map(|(&p, o)| move || run_flow(netlist, config, 1.0 / p, o))
+            .map(|(&p, o)| move || run_from_base(base, pseudo, config, 1.0 / p, o))
             .collect(),
     );
+    let mut rungs = Vec::with_capacity(rung_results.len());
+    for r in rung_results {
+        rungs.push(r?);
+    }
 
     // Highest met frequency among the probe and the ladder. Candidate
     // order is fixed, and ties are impossible (all periods differ), so the
     // selection is thread-count invariant.
-    let mut best: Option<Implementation> = None;
+    let mut best: Option<&Implementation> = None;
     for imp in rungs.iter().chain(std::iter::once(&probe)) {
         if imp.sta.timing_met(options.wns_tolerance)
-            && best
-                .as_ref()
-                .is_none_or(|b| imp.frequency_ghz > b.frequency_ghz)
+            && best.is_none_or(|b| imp.frequency_ghz > b.frequency_ghz)
         {
-            best = Some(imp.clone());
+            best = Some(imp);
         }
     }
+    let best = best.cloned();
     drop(fmax_span);
     match best {
-        Some(imp) => (imp.frequency_ghz, imp),
+        Some(imp) => Ok((imp.frequency_ghz, imp)),
         None => {
             // Never met: take one more Newton step from the most relaxed
             // rung and report that attempt (mirrors the paper's "report
             // the most relaxed implementation" behaviour).
             let relaxed = (periods[0] - rungs[0].sta.wns * 0.85).max(0.02);
-            let relaxed_options = FlowOptions {
-                obs: obs.scope("fmax/relaxed"),
-                ..options.clone()
-            };
-            let imp = run_flow(netlist, config, 1.0 / relaxed, &relaxed_options);
-            (1.0 / relaxed, imp)
+            let relaxed_options = options.fork_for("fmax/relaxed");
+            let imp = run_from_base(base, pseudo, config, 1.0 / relaxed, &relaxed_options)?;
+            Ok((1.0 / relaxed, imp))
         }
     }
+}
+
+/// Sweeps the clock target to find the maximum achievable frequency of a
+/// configuration — the paper's criterion: WNS no worse than ~`tolerance ×
+/// period` (5–7 %).
+///
+/// Structure: the base (and, for 3-D configurations, the pseudo-3-D
+/// checkpoint) is prepared once; one sequential probe run at `start_ghz`
+/// yields a Newton period estimate (`period - 0.85 × WNS`); a fixed
+/// ladder of candidate periods around that estimate is then implemented
+/// **concurrently** (`options.threads` workers), every rung forking from
+/// the same snapshots. The winner is the highest-frequency candidate that
+/// met timing, chosen by scanning candidates in ladder order — a rule
+/// that depends only on the (deterministic) per-candidate results, never
+/// on completion order.
+///
+/// Returns `(fmax_ghz, implementation_at_fmax)`.
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`] any probe or rung reports.
+pub fn try_find_fmax(
+    netlist: &Netlist,
+    config: Config,
+    options: &FlowOptions,
+    start_ghz: f64,
+) -> Result<(f64, Implementation), FlowError> {
+    let base = prepare_base(netlist, options)?;
+    let pseudo = if config.is_3d() {
+        Some(pseudo_checkpoint(&base, options)?)
+    } else {
+        None
+    };
+    fmax_from_base(&base, pseudo.as_ref(), config, options, start_ghz)
+}
+
+/// [`try_find_fmax`] for callers that treat flow failure as fatal.
+///
+/// # Panics
+///
+/// Panics if any probe or rung run fails.
+#[must_use]
+pub fn find_fmax(
+    netlist: &Netlist,
+    config: Config,
+    options: &FlowOptions,
+    start_ghz: f64,
+) -> (f64, Implementation) {
+    try_find_fmax(netlist, config, options, start_ghz)
+        .unwrap_or_else(|e| panic!("find_fmax failed: {e}"))
 }
 
 #[cfg(test)]
@@ -937,7 +267,7 @@ mod tests {
 
     fn quick_options() -> FlowOptions {
         let mut o = FlowOptions::default();
-        o.placer.iterations = 8;
+        o.placer_mut().iterations = 8;
         o
     }
 
@@ -1002,5 +332,38 @@ mod tests {
             "fmax implementation should be near-met (wns {})",
             imp.sta.wns
         );
+    }
+
+    #[test]
+    fn try_run_flow_rejects_nonpositive_frequency() {
+        let n = Benchmark::Aes.generate(0.02, 31);
+        for bad in [0.0, -1.5, f64::NAN] {
+            let err = try_run_flow(&n, Config::TwoD12T, bad, &quick_options()).unwrap_err();
+            assert!(
+                matches!(err, FlowError::InvalidFrequency { .. }),
+                "{bad} should be rejected as a frequency"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_checkpoints_reproduce_the_standalone_run() {
+        // A run forked from an externally computed base + pseudo
+        // checkpoint must be bit-identical to the self-contained one.
+        let n = Benchmark::Aes.generate(0.02, 31);
+        let options = quick_options();
+        let solo = run_flow(&n, Config::Hetero3d, 1.0, &options);
+        let base = prepare_base(&n, &options).expect("valid netlist");
+        let pseudo = pseudo_checkpoint(&base, &options).expect("pseudo stage");
+        let forked = run_from_base(&base, Some(&pseudo), Config::Hetero3d, 1.0, &options)
+            .expect("forked run");
+        assert_eq!(solo.tiers, forked.tiers);
+        assert_eq!(solo.sta.wns.to_bits(), forked.sta.wns.to_bits());
+        assert_eq!(solo.sta.tns.to_bits(), forked.sta.tns.to_bits());
+        assert_eq!(
+            solo.power.total_mw().to_bits(),
+            forked.power.total_mw().to_bits()
+        );
+        assert_eq!(solo.placement.positions, forked.placement.positions);
     }
 }

@@ -17,7 +17,8 @@
 //! * sign-off STA/power and the PPAC roll-up ([`Ppac`]) including die
 //!   cost, PDP and PPC,
 //! * the fmax sweep used to set the iso-performance target
-//!   ([`find_fmax`]), and five-way comparison helpers ([`compare`]).
+//!   ([`find_fmax`]), and five-way comparison helpers
+//!   ([`compare_configs`]).
 //!
 //! # Examples
 //!
@@ -33,11 +34,20 @@
 
 mod compare;
 mod config;
+mod error;
 #[allow(clippy::module_inception)]
 mod flow;
 mod ppac;
+mod stage;
 
-pub use compare::{compare_configs, pin3d_baseline_comparison, BaselineComparison, Comparison};
+pub use compare::{
+    compare_configs, pin3d_baseline_comparison, try_compare_configs, BaselineComparison, Comparison,
+};
 pub use config::{Config, FlowOptions};
-pub use flow::{find_fmax, run_flow, Implementation};
+pub use error::FlowError;
+pub use flow::{find_fmax, run_flow, try_find_fmax, try_run_flow, Implementation};
 pub use ppac::{percent_delta, DeltaRow, Ppac};
+pub use stage::{
+    prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, Cts, FlowState, Partition,
+    PseudoCheckpoint, PseudoThreeD, Route, SignOff, Size, Stage, TierLegalize,
+};

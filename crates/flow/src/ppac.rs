@@ -70,7 +70,7 @@ impl Ppac {
             density_pct: report_fp.overall_density(is_3d) * 100.0,
             wirelength_mm: imp.routing.total_wirelength_mm() + imp.clock_tree.wirelength_um * 1e-3,
             mivs: imp.routing.total_mivs,
-            power: imp.power,
+            power: *imp.power,
             total_power_mw,
             wns_ns: imp.sta.wns,
             tns_ns: imp.sta.tns,

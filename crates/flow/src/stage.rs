@@ -1,0 +1,1080 @@
+//! The stage pipeline: an explicit [`Stage`] sequence over one shared
+//! [`DesignDb`].
+//!
+//! Every configuration is implemented by threading a [`FlowState`]
+//! through a fixed list of stages — `PseudoThreeD → Partition →
+//! TierLegalize → Route → Cts → Size → SignOff` for the 3-D
+//! configurations, `TierLegalize → Route → Cts → Size → SignOff` per
+//! pass for the 2-D ones. Each stage reads copy-on-write snapshots out
+//! of the database, computes, and writes its artifacts back; the
+//! database's change journal is drained between stages into
+//! `db/journal/<stage>` counters, so the manifest records exactly how
+//! much state each stage touched.
+//!
+//! Two checkpoints make the expensive prefixes shareable:
+//!
+//! * [`BaseDesign`] — the validated, fanout-buffered netlist. Built once
+//!   by [`prepare_base`]; every configuration, fmax rung and comparison
+//!   job forks its database off this one `Arc`.
+//! * [`PseudoCheckpoint`] — the pseudo-3-D stage's output (flat placement
+//!   and parasitics on the halved footprint, in the canonical 12-track
+//!   technology). Period-independent, so [`pseudo_checkpoint`] computes
+//!   it once and every 3-D run forks from it; a run without one computes
+//!   its own through the [`PseudoThreeD`] stage. The `flow/pseudo3d_runs`
+//!   counter records each computation — the five-way comparison must show
+//!   exactly one.
+
+use crate::config::{Config, FlowOptions};
+use crate::error::FlowError;
+use crate::flow::Implementation;
+use m3d_cts::{synthesize, ClockTree, CtsMode};
+use m3d_db::{DesignDb, DesignEdit};
+use m3d_geom::{Point, Rect};
+use m3d_netlist::{CellClass, CellId, Netlist};
+use m3d_obs::{Obs, Span};
+use m3d_opt::DriveEdit;
+use m3d_partition::{
+    bin_min_cut_with_stats, repartition_eco_with, timing_driven_assignment, EcoConfig, EcoOutcome,
+    EcoStop, EcoTimingView, PartitionConfig, TimingAssignment,
+};
+use m3d_place::{global_place, try_legalize_with_stats, Floorplan, LegalStats, Placement};
+use m3d_power::{analyze_power, PowerConfig};
+use m3d_route::{global_route, try_extract_parasitics_with_stats, ExtractStats, RoutingResult};
+use m3d_sta::{
+    analyze, worst_paths, ClockSpec, Parasitics, StaResult, Timer, TimingContext, TimingEdit,
+};
+use m3d_tech::{Library, Tier, TierStack};
+use std::sync::Arc;
+
+/// The flow's immutable starting point: the validated, fanout-buffered
+/// netlist every configuration implements. Cheap to clone (one `Arc`).
+#[derive(Debug, Clone)]
+pub struct BaseDesign {
+    /// The buffered netlist, shared by every run forked from this base.
+    pub netlist: Arc<Netlist>,
+}
+
+/// The pseudo-3-D stage's output: a flat 2-D implementation in the
+/// canonical (12-track) technology on the halved 3-D footprint. Both
+/// artifacts are period-independent, so one checkpoint seeds every 3-D
+/// run of the same netlist — fmax rungs and comparison jobs alike.
+#[derive(Debug, Clone)]
+pub struct PseudoCheckpoint {
+    /// The (overlapping, Shrunk-2D style) flat placement.
+    pub placement: Arc<Placement>,
+    /// Pre-route parasitics of that placement.
+    pub parasitics: Arc<Parasitics>,
+    /// The shrunk die the placement lives in.
+    pub die: Rect,
+    /// The canonical flat stack the pseudo implementation used.
+    pub stack: Arc<TierStack>,
+}
+
+/// Mutable pipeline state threaded through the stages of one run.
+///
+/// Owns the copy-on-write [`DesignDb`] plus the bits of context that are
+/// not design data: the persistent incremental [`Timer`] (reset at each
+/// pass boundary), the pseudo-3-D checkpoint and the per-pass control
+/// flags.
+pub struct FlowState {
+    pub(crate) config: Config,
+    pub(crate) period_ns: f64,
+    pub(crate) db: DesignDb,
+    pub(crate) pseudo: Option<PseudoCheckpoint>,
+    pub(crate) timing_assignment: Option<TimingAssignment>,
+    pub(crate) eco: Option<EcoOutcome>,
+    /// Whether the [`Size`] stage should run in the current pass. The
+    /// main 3-D finish pass defers sizing to the post-ECO re-finish when
+    /// the repartitioning ECO is enabled (move first, size the residue).
+    pub(crate) reoptimize: bool,
+    /// Cells the last [`Size`] stage changed (drives the 2-D
+    /// re-implementation heuristic).
+    pub(crate) sizing_changed: usize,
+    pub(crate) timer: Timer,
+}
+
+impl FlowState {
+    /// The configuration being implemented.
+    #[must_use]
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// The clock period the run targets, ns.
+    #[must_use]
+    pub fn period_ns(&self) -> f64 {
+        self.period_ns
+    }
+
+    /// The design database the stages read from and write to.
+    #[must_use]
+    pub fn db(&self) -> &DesignDb {
+        &self.db
+    }
+}
+
+/// One step of the implementation pipeline.
+///
+/// Contract: a stage reads its inputs from `state.db` (returning
+/// [`FlowError::MissingStageOutput`] when a required artifact is
+/// absent), computes, and writes its outputs back through the journaling
+/// setters. It must be a pure function of `(state, options)` — no
+/// ambient randomness, no wall-clock — so a pipeline is bit-identical at
+/// any thread count. `span` is the stage's own telemetry span; child
+/// spans mark interesting sub-steps.
+pub trait Stage {
+    /// Stable stage name: the telemetry span and the journal-traffic
+    /// counter (`db/journal/<name>`) key.
+    fn name(&self) -> &'static str;
+    /// Runs the stage against the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when a required input artifact is missing
+    /// or a substrate pass rejects its inputs.
+    fn run(
+        &self,
+        state: &mut FlowState,
+        options: &FlowOptions,
+        span: &Span,
+    ) -> Result<(), FlowError>;
+}
+
+/// Runs `stages` in order under `parent`, draining the database journal
+/// into a `db/journal/<stage>` counter after each one.
+pub(crate) fn run_stages(
+    state: &mut FlowState,
+    options: &FlowOptions,
+    parent: &Span,
+    stages: &[&dyn Stage],
+) -> Result<(), FlowError> {
+    for stage in stages {
+        {
+            let span = parent.child(stage.name());
+            stage.run(state, options, &span)?;
+        }
+        let journal = state.db.take_journal();
+        if options.obs.is_enabled() && !journal.is_empty() {
+            options.obs.counter_add(
+                &format!("db/journal/{}", stage.name()),
+                journal.len() as u64,
+            );
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// shared helpers (one definition each; every stage goes through these)
+// ---------------------------------------------------------------------
+
+/// Per-cell area under `lib`-per-tier binding (gates only; macros and
+/// ports are zero — their area is handled by the floorplan).
+fn cell_areas(netlist: &Netlist, stack: &TierStack, tiers: &[Tier]) -> Vec<f64> {
+    netlist
+        .cells()
+        .map(|(id, c)| match &c.class {
+            CellClass::Gate { kind, drive } => stack
+                .library(tiers[id.index()])
+                .cell(*kind, *drive)
+                .map_or(0.0, |m| m.area_um2),
+            _ => 0.0,
+        })
+        .collect()
+}
+
+/// Cheap structural fingerprint of a netlist (FNV-1a over the name and
+/// coarse size/connectivity figures), for the manifest's input-identity
+/// label.
+fn netlist_fingerprint(netlist: &Netlist) -> String {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat_u64 = |h: &mut u64, v: u64| {
+        for b in v.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    };
+    for b in netlist.name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    eat_u64(&mut h, netlist.cell_count() as u64);
+    eat_u64(&mut h, netlist.net_count() as u64);
+    eat_u64(&mut h, netlist.gate_count() as u64);
+    let degree_sum: u64 = netlist.nets().map(|(_, n)| n.degree() as u64).sum();
+    eat_u64(&mut h, degree_sum);
+    format!("{h:016x}")
+}
+
+/// Publishes a persistent [`Timer`]'s lifetime counters: the propagation
+/// work (deterministic — dirty sets depend only on the edit sequence)
+/// as counters, the scheduling-dependent arc-cache tallies as
+/// performance-only entries, per shard and in total.
+pub(crate) fn record_timer(obs: &Obs, timer: &Timer) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let st = timer.stats();
+    obs.counter_add("sta/full_rebuilds", st.full_rebuilds);
+    obs.counter_add("sta/incremental_updates", st.incremental_updates);
+    obs.counter_add("sta/load_evals", st.load_evals);
+    obs.counter_add("sta/launch_evals", st.launch_evals);
+    obs.counter_add("sta/forward_evals", st.forward_evals);
+    obs.counter_add("sta/endpoint_evals", st.endpoint_evals);
+    obs.counter_add("sta/backward_evals", st.backward_evals);
+    obs.counter_add("sta/launch_required_evals", st.launch_required_evals);
+    obs.counter_add("sta/propagated_evals", st.propagated_evals());
+    let cache = timer.delay_cache();
+    obs.perf_add("sta/cache_hits", cache.hits());
+    obs.perf_add("sta/cache_misses", cache.misses());
+    for (i, (hits, misses)) in cache.shard_stats().into_iter().enumerate() {
+        obs.perf_add(&format!("sta/cache_shard{i:02}_hits"), hits);
+        obs.perf_add(&format!("sta/cache_shard{i:02}_misses"), misses);
+    }
+}
+
+/// Publishes a routing result's deterministic totals.
+fn record_routing(obs: &Obs, routing: &RoutingResult) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_add("route/mivs", routing.total_mivs as u64);
+    obs.counter_add("route/overflow_edges", routing.overflow_edges as u64);
+    obs.gauge_add("route/wirelength_um", routing.total_wirelength_um);
+    obs.gauge_add("route/prim_wirelength_um", routing.prim_wirelength_um);
+}
+
+/// Publishes an extraction pass's deterministic totals.
+fn record_extract(obs: &Obs, stats: &ExtractStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_add("extract/rc_segments", stats.rc_segments);
+    obs.gauge_add("extract/length_um", stats.total_length_um);
+    obs.gauge_add("extract/wire_cap_ff", stats.total_wire_cap_ff);
+}
+
+/// Publishes a legalization run's deterministic displacement figures.
+fn record_legalize(obs: &Obs, stats: &LegalStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_add("legalize/moved_cells", stats.moved_cells);
+    obs.gauge_add(
+        "legalize/total_displacement_um",
+        stats.total_displacement_um,
+    );
+    obs.gauge_set("legalize/max_displacement_um", stats.max_displacement_um);
+}
+
+/// The one place a [`TimingContext`] is assembled in this crate: every
+/// cold `analyze`, every sizing/ECO evaluate closure and every
+/// [`Timer`] update goes through here, so parasitics/clock wiring cannot
+/// drift between call sites.
+fn timing_context<'a>(
+    netlist: &'a Netlist,
+    stack: &'a TierStack,
+    tiers: &'a [Tier],
+    parasitics: &'a Parasitics,
+    clock: ClockSpec,
+) -> TimingContext<'a> {
+    TimingContext {
+        netlist,
+        stack,
+        tiers,
+        parasitics,
+        clock,
+    }
+}
+
+/// Assembles STA inputs and runs the engine (one-shot cold pass; loops
+/// use the state's persistent [`Timer`] instead).
+fn run_sta(
+    netlist: &Netlist,
+    stack: &TierStack,
+    tiers: &[Tier],
+    parasitics: &Parasitics,
+    period_ns: f64,
+    latency: Option<&ClockTree>,
+) -> StaResult {
+    analyze(&timing_context(
+        netlist,
+        stack,
+        tiers,
+        parasitics,
+        clock_spec(period_ns, latency),
+    ))
+}
+
+/// Clock constraints for sign-off: propagated register latencies plus a
+/// virtual I/O clock at the network's mean insertion delay.
+fn clock_spec(period_ns: f64, latency: Option<&ClockTree>) -> ClockSpec {
+    let mut clock = ClockSpec::with_period(period_ns);
+    if let Some(tree) = latency {
+        clock.latency_ns = tree.sink_latency.clone();
+        let lats = tree.latencies();
+        if !lats.is_empty() {
+            clock.virtual_io_latency_ns = lats.iter().sum::<f64>() / lats.len() as f64;
+        }
+    }
+    clock
+}
+
+fn missing(stage: &'static str, what: &'static str) -> FlowError {
+    FlowError::MissingStageOutput { stage, what }
+}
+
+// ---------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------
+
+/// Validates and fanout-buffers the input netlist into the shared
+/// [`BaseDesign`] every run forks from.
+///
+/// # Errors
+///
+/// Returns [`FlowError::InvalidNetlist`] when the input fails structural
+/// validation.
+pub fn prepare_base(netlist: &Netlist, options: &FlowOptions) -> Result<BaseDesign, FlowError> {
+    netlist.validate()?;
+    let mut netlist = netlist.clone();
+    let mut scratch_positions = vec![Point::ORIGIN; netlist.cell_count()];
+    {
+        let _s = options.obs.span("buffering");
+        let _ = m3d_opt::insert_buffers(&mut netlist, &mut scratch_positions, options.max_fanout);
+    }
+    Ok(BaseDesign {
+        netlist: Arc::new(netlist),
+    })
+}
+
+/// Runs the pseudo-3-D stage once, standalone, producing a checkpoint
+/// that any number of 3-D runs of the same base can fork from.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Extract`] when pre-route extraction rejects the
+/// pseudo placement.
+pub fn pseudo_checkpoint(
+    base: &BaseDesign,
+    options: &FlowOptions,
+) -> Result<PseudoCheckpoint, FlowError> {
+    let span = options.obs.span("pseudo3d");
+    compute_pseudo(&base.netlist, options, &span)
+}
+
+/// Implements `config` at `frequency_ghz`, forking off `base` (and off
+/// `pseudo`, when given, skipping the pseudo-3-D stage).
+///
+/// # Errors
+///
+/// Returns [`FlowError::InvalidFrequency`] for a non-positive target and
+/// propagates any stage failure.
+pub fn run_from_base(
+    base: &BaseDesign,
+    pseudo: Option<&PseudoCheckpoint>,
+    config: Config,
+    frequency_ghz: f64,
+    options: &FlowOptions,
+) -> Result<Implementation, FlowError> {
+    if frequency_ghz.is_nan() || frequency_ghz <= 0.0 {
+        return Err(FlowError::InvalidFrequency { frequency_ghz });
+    }
+    let period = 1.0 / frequency_ghz;
+    let obs = options.obs.clone();
+    let run_span = obs.span("run_flow");
+    if obs.is_enabled() {
+        obs.label_set("input/netlist", &base.netlist.name);
+        obs.label_set("input/netlist_fp", &netlist_fingerprint(&base.netlist));
+        obs.label_set("input/options_fp", &options.fingerprint());
+        obs.label_set("input/config", &config.to_string());
+        obs.perf_add("threads_resolved", m3d_par::resolve(options.threads) as u64);
+    }
+    let mut state = FlowState {
+        config,
+        period_ns: period,
+        db: DesignDb::from_shared(base.netlist.clone(), config.stack(), period),
+        pseudo: pseudo.cloned(),
+        timing_assignment: None,
+        eco: None,
+        reoptimize: true,
+        sizing_changed: 0,
+        timer: Timer::new(),
+    };
+    if config.is_3d() {
+        run_3d(&mut state, options, &run_span)?;
+    } else {
+        run_2d(&mut state, options, &run_span)?;
+    }
+    drop(run_span);
+    Implementation::from_state(&state, options)
+}
+
+// ---------------------------------------------------------------------
+// pipeline drivers
+// ---------------------------------------------------------------------
+
+/// 3-D pipeline: pseudo-3-D + partitioning, one finish pass, then the
+/// repartitioning ECO loop for the enhanced heterogeneous flow.
+fn run_3d(state: &mut FlowState, options: &FlowOptions, run_span: &Span) -> Result<(), FlowError> {
+    run_stages(state, options, run_span, &[&PseudoThreeD, &Partition])?;
+    // When the repartitioning ECO will run, defer sizing until after it:
+    // critical cells should first be *moved* to the fast tier; only the
+    // residue is then upsized (this preserves the heterogeneous area win).
+    let eco_enabled = state.config.is_heterogeneous() && options.enable_repartition;
+    state.reoptimize = !eco_enabled;
+    {
+        let finish_span = run_span.child("finish3d");
+        state.timer = Timer::new();
+        run_stages(
+            state,
+            options,
+            &finish_span,
+            &[
+                &TierLegalize,
+                &Route,
+                &Cts,
+                &Size {
+                    timing_rounds: 4,
+                    power_rounds: 3,
+                    power_margin: 0.15,
+                },
+                &SignOff,
+            ],
+        )?;
+    }
+    if eco_enabled {
+        run_eco(state, options, run_span)?;
+    }
+    Ok(())
+}
+
+/// The 2-D flow with one re-implementation pass when sizing grew the
+/// design (the paper's 9-track "over-correction" effect).
+fn run_2d(state: &mut FlowState, options: &FlowOptions, run_span: &Span) -> Result<(), FlowError> {
+    let gate_count = state.db.netlist().gate_count();
+    state.reoptimize = true;
+    let mut pass = 0;
+    loop {
+        pass += 1;
+        let pass_span = run_span.child("impl2d");
+        state.timer = Timer::new();
+        run_stages(
+            state,
+            options,
+            &pass_span,
+            &[
+                &TierLegalize,
+                &Route,
+                &Cts,
+                &Size {
+                    timing_rounds: 4,
+                    power_rounds: 2,
+                    power_margin: 0.25,
+                },
+            ],
+        )?;
+        // Re-implement once if sizing moved a meaningful chunk of area;
+        // otherwise sign off this pass.
+        if pass == 1 && state.sizing_changed > gate_count / 20 {
+            record_timer(&options.obs, &state.timer);
+            continue;
+        }
+        run_stages(state, options, &pass_span, &[&SignOff])?;
+        return Ok(());
+    }
+}
+
+/// Repartitioning ECO outer loop: after each ECO round the design is
+/// incrementally re-finished (routing, CTS, sizing), which can expose new
+/// critical paths through the slow tier; repeat until timing is met or
+/// the ECO stops moving cells.
+fn run_eco(state: &mut FlowState, options: &FlowOptions, run_span: &Span) -> Result<(), FlowError> {
+    let obs = &options.obs;
+    let eco_span = run_span.child("eco");
+    let initial = state
+        .db
+        .sta_arc()
+        .ok_or(missing("eco", "sign-off timing"))?;
+    let mut total = EcoOutcome {
+        iterations: 0,
+        cells_moved: 0,
+        rounds_undone: 0,
+        initial_wns: initial.wns,
+        final_wns: initial.wns,
+        final_tns: initial.tns,
+        stop_reason: EcoStop::Converged,
+    };
+    for _outer in 0..3 {
+        let round_span = eco_span.child("round");
+        let netlist = state.db.netlist_arc();
+        let stack = state.db.stack_arc();
+        let placement = state
+            .db
+            .placement_arc()
+            .ok_or(missing("eco", "placement"))?;
+        let routing = state.db.routing_arc().ok_or(missing("eco", "routing"))?;
+        let clock_tree = state
+            .db
+            .clock_tree_arc()
+            .ok_or(missing("eco", "clock tree"))?;
+        let areas = cell_areas(&netlist, &stack, state.db.tiers());
+        let fast = stack.fast_tier();
+        let (parasitics, eco_px) =
+            try_extract_parasitics_with_stats(&netlist, &placement, &stack, Some(&routing))?;
+        record_extract(obs, &eco_px);
+        let clock_template = clock_spec(state.period_ns, Some(&clock_tree));
+        let mut tiers_work = state.db.tiers().to_vec();
+        // One persistent timer per ECO round, fed by the move journal:
+        // every candidate batch (and every undo carry, which restores
+        // already-cached arcs) re-propagates only the cone of the
+        // reported cells — no full-design diff scan per probe.
+        let mut timer = Timer::new();
+        let outcome = repartition_eco_with(
+            &mut tiers_work,
+            &areas,
+            fast,
+            &EcoConfig::default(),
+            |t, moved| {
+                let edits: Vec<TimingEdit> =
+                    moved.iter().map(|&c| TimingEdit::SwapTier(c)).collect();
+                let ctx = timing_context(&netlist, &stack, t, &parasitics, clock_template.clone());
+                let result = timer.update_journaled(&ctx, &edits);
+                let paths = worst_paths(&ctx, &result, EcoConfig::default().n0);
+                EcoTimingView {
+                    wns: result.wns,
+                    tns: result.tns,
+                    critical_paths: paths
+                        .iter()
+                        .map(|p| p.stages.iter().map(|s| (s.cell, s.cell_delay_ns)).collect())
+                        .collect(),
+                }
+            },
+        );
+        record_timer(obs, &timer);
+        if obs.is_enabled() {
+            obs.counter_add("eco/iterations", outcome.iterations as u64);
+            obs.counter_add("eco/cells_moved", outcome.cells_moved as u64);
+        }
+        state.db.set_tiers(tiers_work);
+        let journal = state.db.take_journal();
+        if obs.is_enabled() && !journal.is_empty() {
+            obs.counter_add("db/journal/eco", journal.len() as u64);
+        }
+        total.iterations += outcome.iterations;
+        total.cells_moved += outcome.cells_moved;
+        total.rounds_undone += outcome.rounds_undone;
+        total.stop_reason = outcome.stop_reason;
+        let moved = outcome.cells_moved;
+        if moved > 0 {
+            refinish(state, options, &round_span)?;
+        }
+        let sta = state
+            .db
+            .sta_arc()
+            .ok_or(missing("eco", "sign-off timing"))?;
+        total.final_wns = sta.wns;
+        total.final_tns = sta.tns;
+        drop(round_span);
+        if moved == 0 || sta.timing_met(options.wns_tolerance) {
+            break;
+        }
+    }
+    state.eco = Some(total);
+    Ok(())
+}
+
+/// Incremental ECO placement + re-sign-off: moved cells keep their (x, y)
+/// and only snap onto the nearest row of their new tier (real ECO flows
+/// resolve the residual overlap in detailed placement, which is below
+/// this model's fidelity). Routing, CTS, a short sizing pass and
+/// STA/power are refreshed through the regular stages.
+fn refinish(state: &mut FlowState, options: &FlowOptions, parent: &Span) -> Result<(), FlowError> {
+    let span = parent.child("eco_refinish");
+    let netlist = state.db.netlist_arc();
+    let stack = state.db.stack_arc();
+    let tiers = state.db.tiers_arc();
+    let mut placement = (*state
+        .db
+        .placement_arc()
+        .ok_or(missing("eco_refinish", "placement"))?)
+    .clone();
+    let die = placement.die;
+    for i in 0..netlist.cell_count() {
+        let t = tiers[i];
+        let row_h = stack.library(t).cell_height_um;
+        let n_rows = ((die.height() / row_h).floor() as i64).max(1);
+        let y = placement.positions[i].y;
+        let row = (((y - die.lly()) / row_h).floor() as i64).clamp(0, n_rows - 1);
+        placement.positions[i].y = die.lly() + (row as f64 + 0.5) * row_h;
+    }
+    placement.clamp_to_die();
+    state.db.set_placement(placement);
+    state.timer = Timer::new();
+    state.reoptimize = true;
+    run_stages(
+        state,
+        options,
+        &span,
+        &[
+            &Route,
+            &Cts,
+            &Size {
+                timing_rounds: 3,
+                power_rounds: 2,
+                power_margin: 0.15,
+            },
+            &SignOff,
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------
+// stages
+// ---------------------------------------------------------------------
+
+/// Pseudo-3-D: flat 2-D implementation in the canonical technology on
+/// the halved 3-D footprint (cells may overlap — Shrunk-2D style).
+/// Skipped when the state was forked from a shared [`PseudoCheckpoint`].
+pub struct PseudoThreeD;
+
+impl Stage for PseudoThreeD {
+    fn name(&self) -> &'static str {
+        "pseudo3d"
+    }
+
+    fn run(
+        &self,
+        state: &mut FlowState,
+        options: &FlowOptions,
+        span: &Span,
+    ) -> Result<(), FlowError> {
+        if state.pseudo.is_some() {
+            return Ok(());
+        }
+        let netlist = state.db.netlist_arc();
+        state.pseudo = Some(compute_pseudo(&netlist, options, span)?);
+        Ok(())
+    }
+}
+
+/// The pseudo-3-D computation itself. Counts one `flow/pseudo3d_runs`:
+/// the prefix-reuse metric is this counter summed over a whole manifest.
+fn compute_pseudo(
+    netlist: &Netlist,
+    options: &FlowOptions,
+    span: &Span,
+) -> Result<PseudoCheckpoint, FlowError> {
+    options.obs.counter_add("flow/pseudo3d_runs", 1);
+    // Canonical stack: every 3-D configuration shares the 12-track flat
+    // technology here, which is what makes the checkpoint shareable
+    // across configurations in the five-way comparison.
+    let stack = Arc::new(TierStack::two_d(Library::twelve_track()));
+    let tiers = vec![Tier::Bottom; netlist.cell_count()];
+    let fp_full = Floorplan::new(netlist, &stack, &tiers, options.utilization);
+    let shrink = 0.5_f64.sqrt();
+    let pseudo_die = Rect::new(
+        fp_full.die.llx(),
+        fp_full.die.lly(),
+        fp_full.die.llx() + fp_full.die.width() * shrink,
+        fp_full.die.lly() + fp_full.die.height() * shrink,
+    );
+    let mut fp_pseudo = fp_full;
+    fp_pseudo.die = pseudo_die;
+    // Macros keep their lower-left anchoring; clamp into the shrunk die.
+    for (_, _, r) in &mut fp_pseudo.macros {
+        if !pseudo_die.contains_rect(r) {
+            let w = r.width().min(pseudo_die.width());
+            let h = r.height().min(pseudo_die.height());
+            *r = Rect::with_size(pseudo_die.clamp_point(Point::new(r.llx(), r.lly())), w, h);
+        }
+    }
+    let placement = {
+        let _s = span.child("global_place");
+        global_place(netlist, &fp_pseudo, &options.placer)
+    };
+    let (parasitics, px) = {
+        let _s = span.child("extract");
+        try_extract_parasitics_with_stats(netlist, &placement, &stack, None)?
+    };
+    record_extract(&options.obs, &px);
+    Ok(PseudoCheckpoint {
+        placement: Arc::new(placement),
+        parasitics: Arc::new(parasitics),
+        die: pseudo_die,
+        stack,
+    })
+}
+
+/// Tier partitioning: optional timing-driven locking (heterogeneous
+/// enhancement #1) followed by placement-driven bin-based FM min-cut.
+/// Balance accounting includes macro area (macros are locked to the
+/// bottom tier, so FM shifts logic toward the top to compensate).
+pub struct Partition;
+
+impl Stage for Partition {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn run(
+        &self,
+        state: &mut FlowState,
+        options: &FlowOptions,
+        span: &Span,
+    ) -> Result<(), FlowError> {
+        let obs = &options.obs;
+        let pseudo = state
+            .pseudo
+            .clone()
+            .ok_or(missing("partition", "pseudo-3-D checkpoint"))?;
+        let netlist = state.db.netlist_arc();
+        let stack = state.db.stack_arc();
+        let n = netlist.cell_count();
+        let mut tiers = state.db.tiers().to_vec();
+        let mut pseudo_areas = cell_areas(&netlist, &pseudo.stack, &tiers);
+        for (id, cell) in netlist.cells() {
+            if let CellClass::Macro(spec) = &cell.class {
+                pseudo_areas[id.index()] = spec.area_um2();
+            }
+        }
+        let mut locked = vec![false; n];
+        // Macros and ports stay on the bottom tier.
+        for (id, cell) in netlist.cells() {
+            if cell.class.is_macro() || cell.class.is_port() {
+                locked[id.index()] = true;
+                tiers[id.index()] = Tier::Bottom;
+            }
+        }
+        let timing_assignment =
+            if state.config.is_heterogeneous() && options.enable_timing_partition {
+                let pseudo_sta = {
+                    let _s = span.child("sta");
+                    run_sta(
+                        &netlist,
+                        &pseudo.stack,
+                        &tiers,
+                        &pseudo.parasitics,
+                        state.period_ns,
+                        None,
+                    )
+                };
+                let criticality: Vec<f64> = (0..n)
+                    .map(|i| pseudo_sta.cell_criticality(CellId::from_index(i)))
+                    .collect();
+                // Macros already occupy the fast/bottom tier; shrink the
+                // lockable budget so locked cells + macros still fit in the
+                // bottom's half of the shared outline (otherwise the footprint
+                // must grow and the heterogeneous area win evaporates).
+                let macro_total: f64 = netlist
+                    .cells()
+                    .filter(|(_, c)| c.class.is_macro())
+                    .map(|(id, _)| pseudo_areas[id.index()])
+                    .sum();
+                let comb_total: f64 = netlist
+                    .cells()
+                    .filter(|(_, c)| c.class.is_gate())
+                    .map(|(id, _)| pseudo_areas[id.index()])
+                    .sum();
+                let headroom = ((comb_total + macro_total) * 0.5 - macro_total).max(0.0)
+                    / comb_total.max(1e-9);
+                let cap = options.timing_partition_cap.min(headroom);
+                let assignment = timing_driven_assignment(
+                    &netlist,
+                    &criticality,
+                    &pseudo_areas,
+                    cap,
+                    stack.fast_tier(),
+                    &mut tiers,
+                );
+                for id in &assignment.locked_cells {
+                    locked[id.index()] = true;
+                }
+                Some(assignment)
+            } else {
+                None
+            };
+        let (_cut, fm_stats) = bin_min_cut_with_stats(
+            &netlist,
+            &pseudo.placement.positions,
+            pseudo.die,
+            options.partition_bins,
+            &pseudo_areas,
+            &locked,
+            &mut tiers,
+            &PartitionConfig {
+                seed: options.seed,
+                ..Default::default()
+            },
+        );
+        if obs.is_enabled() {
+            obs.counter_add("partition/fm_passes", fm_stats.passes);
+            obs.counter_add("partition/fm_moves", fm_stats.moves);
+            obs.counter_add("partition/final_cut", fm_stats.cut);
+        }
+        state.timing_assignment = timing_assignment;
+        state.db.set_tiers(tiers);
+        Ok(())
+    }
+}
+
+/// Floorplan + placement under the current tier assignment. 3-D runs
+/// transfer the pseudo placement into the (possibly resized) die, heal
+/// the displacement with a short warm-start refinement and legalize onto
+/// the per-tier rows; 2-D runs place from scratch.
+pub struct TierLegalize;
+
+impl Stage for TierLegalize {
+    fn name(&self) -> &'static str {
+        "tier_legalize"
+    }
+
+    fn run(
+        &self,
+        state: &mut FlowState,
+        options: &FlowOptions,
+        span: &Span,
+    ) -> Result<(), FlowError> {
+        let netlist = state.db.netlist_arc();
+        let stack = state.db.stack_arc();
+        let tiers = state.db.tiers_arc();
+        let fp = Floorplan::new(&netlist, &stack, &tiers, options.utilization);
+        let global_placement = if state.config.is_3d() {
+            let pseudo = state
+                .pseudo
+                .clone()
+                .ok_or(missing("tier_legalize", "pseudo-3-D checkpoint"))?;
+            // Transfer the seed placement into the (possibly resized) die.
+            let sx = fp.die.width() / pseudo.die.width();
+            let sy = fp.die.height() / pseudo.die.height();
+            let mut placement = Placement::centered(&netlist, fp.die);
+            for i in 0..netlist.cell_count() {
+                let p = pseudo.placement.positions[i];
+                placement.positions[i] = Point::new(
+                    fp.die.llx() + (p.x - pseudo.die.llx()) * sx,
+                    fp.die.lly() + (p.y - pseudo.die.lly()) * sy,
+                );
+            }
+            // Fixed cells to their floorplan slots.
+            for (id, _, rect) in &fp.macros {
+                placement.positions[id.index()] = rect.center();
+            }
+            let ports: Vec<usize> = netlist
+                .cells()
+                .filter(|(_, c)| c.class.is_port())
+                .map(|(id, _)| id.index())
+                .collect();
+            for (k, &i) in ports.iter().enumerate() {
+                placement.positions[i] = fp.io_position(k, ports.len());
+            }
+            let _s = span.child("refine_place");
+            m3d_place::refine_place(&netlist, &fp, &placement, &options.placer, 4)
+        } else {
+            let _s = span.child("global_place");
+            global_place(&netlist, &fp, &options.placer)
+        };
+        let (placement, legal_stats) = {
+            let _s = span.child("legalize");
+            try_legalize_with_stats(&netlist, &global_placement, &fp, &stack, &tiers)?
+        };
+        record_legalize(&options.obs, &legal_stats);
+        state.db.set_floorplan(fp);
+        state.db.set_global_placement(global_placement);
+        state.db.set_placement(placement);
+        Ok(())
+    }
+}
+
+/// Global routing + parasitic extraction.
+pub struct Route;
+
+impl Stage for Route {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn run(
+        &self,
+        state: &mut FlowState,
+        options: &FlowOptions,
+        span: &Span,
+    ) -> Result<(), FlowError> {
+        let netlist = state.db.netlist_arc();
+        let stack = state.db.stack_arc();
+        let tiers = state.db.tiers_arc();
+        let placement = state
+            .db
+            .placement_arc()
+            .ok_or(missing("route", "placement"))?;
+        let routing = global_route(&netlist, &placement, &tiers, &stack, &options.route);
+        record_routing(&options.obs, &routing);
+        let (parasitics, px) = {
+            let _s = span.child("extract");
+            try_extract_parasitics_with_stats(&netlist, &placement, &stack, Some(&routing))?
+        };
+        record_extract(&options.obs, &px);
+        state.db.set_routing(routing);
+        state.db.set_parasitics(parasitics);
+        Ok(())
+    }
+}
+
+/// Clock tree synthesis: flat for 2-D, COVER-cell (or legacy, per the
+/// baseline flow) for 3-D.
+pub struct Cts;
+
+impl Stage for Cts {
+    fn name(&self) -> &'static str {
+        "cts"
+    }
+
+    fn run(
+        &self,
+        state: &mut FlowState,
+        options: &FlowOptions,
+        _span: &Span,
+    ) -> Result<(), FlowError> {
+        let netlist = state.db.netlist_arc();
+        let stack = state.db.stack_arc();
+        let tiers = state.db.tiers_arc();
+        let placement = state
+            .db
+            .placement_arc()
+            .ok_or(missing("cts", "placement"))?;
+        let mode = if state.config.is_3d() {
+            if options.enable_3d_cts {
+                CtsMode::Cover3d
+            } else {
+                CtsMode::Legacy3d
+            }
+        } else {
+            CtsMode::Flat2d
+        };
+        let clock_tree = synthesize(&netlist, &placement, &tiers, &stack, mode, &options.cts);
+        options
+            .obs
+            .counter_add("cts/buffers", clock_tree.buffer_count() as u64);
+        state.db.set_clock_tree(clock_tree);
+        Ok(())
+    }
+}
+
+/// Timing closure: upsize violating cells, then recover power on the
+/// comfortable ones. Every applied (and rolled-back) drive change is
+/// journaled, and the persistent timer consumes those edits directly —
+/// no full-design diff scan per evaluate.
+pub struct Size {
+    /// Rounds of slack-driven upsizing.
+    pub timing_rounds: usize,
+    /// Rounds of power-recovery downsizing.
+    pub power_rounds: usize,
+    /// Slack margin for downsizing, as a fraction of the period.
+    pub power_margin: f64,
+}
+
+impl Stage for Size {
+    fn name(&self) -> &'static str {
+        "sizing"
+    }
+
+    fn run(
+        &self,
+        state: &mut FlowState,
+        _options: &FlowOptions,
+        _span: &Span,
+    ) -> Result<(), FlowError> {
+        if !state.reoptimize {
+            return Ok(());
+        }
+        let stack = state.db.stack_arc();
+        let tiers = state.db.tiers_arc();
+        let parasitics = state
+            .db
+            .parasitics_arc()
+            .ok_or(missing("sizing", "parasitics"))?;
+        let clock_tree = state
+            .db
+            .clock_tree_arc()
+            .ok_or(missing("sizing", "clock tree"))?;
+        let clock_template = clock_spec(state.period_ns, Some(&clock_tree));
+        let period = state.period_ns;
+        let timing_rounds = self.timing_rounds;
+        let power_rounds = self.power_rounds;
+        let power_margin = self.power_margin;
+        let timer = &mut state.timer;
+        let changed = state.db.with_netlist_mut(|nl, journal| {
+            let mut eval = |nl: &Netlist, edits: &[DriveEdit]| {
+                let mut timing_edits = Vec::with_capacity(edits.len());
+                for &(cell, from, to) in edits {
+                    journal.push(DesignEdit::ResizeCell { cell, from, to });
+                    timing_edits.push(TimingEdit::ResizeCell(cell));
+                }
+                timer.update_journaled(
+                    &timing_context(nl, &stack, &tiers, &parasitics, clock_template.clone()),
+                    &timing_edits,
+                )
+            };
+            let up = m3d_opt::resize_for_timing_with(nl, 0.0, timing_rounds, &mut eval);
+            let down =
+                m3d_opt::resize_for_power_with(nl, period * power_margin, power_rounds, &mut eval);
+            up.cells_changed + down.cells_changed
+        });
+        state.sizing_changed = changed;
+        Ok(())
+    }
+}
+
+/// Sign-off STA and power from the database's current artifacts.
+pub struct SignOff;
+
+impl Stage for SignOff {
+    fn name(&self) -> &'static str {
+        "sta_signoff"
+    }
+
+    fn run(
+        &self,
+        state: &mut FlowState,
+        options: &FlowOptions,
+        _span: &Span,
+    ) -> Result<(), FlowError> {
+        let netlist = state.db.netlist_arc();
+        let stack = state.db.stack_arc();
+        let tiers = state.db.tiers_arc();
+        let parasitics = state
+            .db
+            .parasitics_arc()
+            .ok_or(missing("sta_signoff", "parasitics"))?;
+        let clock_tree = state
+            .db
+            .clock_tree_arc()
+            .ok_or(missing("sta_signoff", "clock tree"))?;
+        let sta = state.timer.update_journaled(
+            &timing_context(
+                &netlist,
+                &stack,
+                &tiers,
+                &parasitics,
+                clock_spec(state.period_ns, Some(&clock_tree)),
+            ),
+            &[],
+        );
+        record_timer(&options.obs, &state.timer);
+        let power = analyze_power(
+            &netlist,
+            &stack,
+            &tiers,
+            &parasitics,
+            Some(&clock_tree),
+            &PowerConfig {
+                input_activity: options.input_activity,
+                frequency_ghz: 1.0 / state.period_ns,
+                input_probability: 0.5,
+            },
+        );
+        state.db.set_sta(sta);
+        state.db.set_power(power);
+        Ok(())
+    }
+}

@@ -46,7 +46,28 @@ pub fn resize_for_timing(
     max_rounds: usize,
     mut evaluate: impl FnMut(&Netlist) -> StaResult,
 ) -> ResizeOutcome {
-    let mut result = evaluate(netlist);
+    resize_for_timing_with(netlist, slack_floor, max_rounds, |nl, _| evaluate(nl))
+}
+
+/// A drive change applied between two `evaluate` calls: `(cell, from, to)`.
+/// Journal-aware callers (an incremental timer fed from a change journal)
+/// use the list to dirty exactly the touched cells; signature-diffing
+/// callers ignore it.
+pub type DriveEdit = (CellId, Drive, Drive);
+
+/// [`resize_for_timing`] with an edit-aware evaluate: each call receives
+/// the drive changes applied since the previous call (empty on the first
+/// call). Rolled-back batches are flushed through one extra `evaluate`
+/// carrying the undo edits, so a stateful evaluator never goes stale; that
+/// result is discarded (`evaluate` must be a pure function of the
+/// netlist, so the flush is bit-identical to the pre-batch result).
+pub fn resize_for_timing_with(
+    netlist: &mut Netlist,
+    slack_floor: f64,
+    max_rounds: usize,
+    mut evaluate: impl FnMut(&Netlist, &[DriveEdit]) -> StaResult,
+) -> ResizeOutcome {
+    let mut result = evaluate(netlist, &[]);
     let initial_wns = result.wns;
     let mut rounds = 0;
     let mut cells_changed = 0usize;
@@ -74,14 +95,14 @@ pub fn resize_for_timing(
         if batch.is_empty() {
             break;
         }
-        let before: Vec<(CellId, Drive)> = batch
+        let edits: Vec<DriveEdit> = batch
             .iter()
-            .map(|(id, _)| (*id, netlist.cell(*id).class.gate_drive().expect("gate")))
+            .map(|&(id, up)| (id, netlist.cell(id).class.gate_drive().expect("gate"), up))
             .collect();
         for &(id, up) in &batch {
             netlist.set_drive(id, up);
         }
-        let new_result = evaluate(netlist);
+        let new_result = evaluate(netlist, &edits);
         // Accept on WNS improvement, or on meaningful TNS improvement —
         // the tool keeps pushing the whole violating population even when
         // the single worst path is stuck (the paper's "over-correction"
@@ -92,9 +113,11 @@ pub fn resize_for_timing(
             cells_changed += batch.len();
             result = new_result;
         } else {
-            for &(id, old) in &before {
-                netlist.set_drive(id, old);
+            let undo: Vec<DriveEdit> = edits.iter().map(|&(id, from, to)| (id, to, from)).collect();
+            for &(id, _, from) in &undo {
+                netlist.set_drive(id, from);
             }
+            let _ = evaluate(netlist, &undo);
             break;
         }
     }
@@ -116,7 +139,18 @@ pub fn resize_for_power(
     max_rounds: usize,
     mut evaluate: impl FnMut(&Netlist) -> StaResult,
 ) -> ResizeOutcome {
-    let mut result = evaluate(netlist);
+    resize_for_power_with(netlist, slack_margin, max_rounds, |nl, _| evaluate(nl))
+}
+
+/// [`resize_for_power`] with an edit-aware evaluate; see
+/// [`resize_for_timing_with`] for the edit-list contract.
+pub fn resize_for_power_with(
+    netlist: &mut Netlist,
+    slack_margin: f64,
+    max_rounds: usize,
+    mut evaluate: impl FnMut(&Netlist, &[DriveEdit]) -> StaResult,
+) -> ResizeOutcome {
+    let mut result = evaluate(netlist, &[]);
     let initial_wns = result.wns;
     let wns_floor = result.wns - 0.002;
     let mut rounds = 0;
@@ -141,21 +175,23 @@ pub fn resize_for_power(
         if batch.is_empty() {
             break;
         }
-        let before: Vec<(CellId, Drive)> = batch
+        let edits: Vec<DriveEdit> = batch
             .iter()
-            .map(|(id, _)| (*id, netlist.cell(*id).class.gate_drive().expect("gate")))
+            .map(|&(id, down)| (id, netlist.cell(id).class.gate_drive().expect("gate"), down))
             .collect();
         for &(id, down) in &batch {
             netlist.set_drive(id, down);
         }
-        let new_result = evaluate(netlist);
+        let new_result = evaluate(netlist, &edits);
         if new_result.wns >= wns_floor {
             cells_changed += batch.len();
             result = new_result;
         } else {
-            for &(id, old) in &before {
-                netlist.set_drive(id, old);
+            let undo: Vec<DriveEdit> = edits.iter().map(|&(id, from, to)| (id, to, from)).collect();
+            for &(id, _, from) in &undo {
+                netlist.set_drive(id, from);
             }
+            let _ = evaluate(netlist, &undo);
             break;
         }
     }
@@ -302,6 +338,35 @@ mod tests {
         }
         let outcome = resize_for_power(&mut n, 0.2, 5, |nl| evaluate(nl, 2.0));
         assert!(outcome.cells_changed > gates.len() / 2);
+    }
+
+    #[test]
+    fn edit_stream_replays_to_identical_drives() {
+        // The edit lists handed to an edit-aware evaluator must be a
+        // complete journal: replaying them onto an untouched clone of the
+        // input yields the optimized netlist, including rollback flushes.
+        let mut n = m3d_netgen::Benchmark::Netcard.generate(0.015, 13);
+        let loose = evaluate(&n, 10.0);
+        let period = (10.0 - loose.wns) * 0.88;
+        let mut replica = n.clone();
+        let mut calls = 0usize;
+        let outcome = resize_for_timing_with(&mut n, 0.0, 4, |nl, edits| {
+            calls += 1;
+            for &(id, from, to) in edits {
+                assert_eq!(replica.cell(id).class.gate_drive(), Some(from));
+                replica.set_drive(id, to);
+            }
+            evaluate(nl, period)
+        });
+        assert!(calls >= 1);
+        assert!(outcome.cells_changed > 0);
+        for (id, cell) in n.cells() {
+            assert_eq!(
+                cell.class.gate_drive(),
+                replica.cell(id).class.gate_drive(),
+                "cell {id:?} diverged"
+            );
+        }
     }
 
     #[test]

@@ -101,7 +101,27 @@ pub fn repartition_eco(
     config: &EcoConfig,
     mut evaluate: impl FnMut(&[Tier]) -> EcoTimingView,
 ) -> EcoOutcome {
-    let mut view = evaluate(tiers);
+    repartition_eco_with(tiers, areas, fast, config, |t, _| evaluate(t))
+}
+
+/// [`repartition_eco`] with an edit-aware evaluate: each call receives the
+/// cells whose tier changed since the previous call (empty on the first
+/// call), so a journal-fed incremental timer can dirty exactly those
+/// cells. An undone round's cells are *not* re-evaluated immediately (the
+/// algorithm proceeds straight to the next round, exactly as
+/// [`repartition_eco`] does); instead they are carried over and prepended
+/// to the next call's edit list, which keeps a stateful evaluator's view
+/// of the tier assignment complete.
+pub fn repartition_eco_with(
+    tiers: &mut [Tier],
+    areas: &[f64],
+    fast: Tier,
+    config: &EcoConfig,
+    mut evaluate: impl FnMut(&[Tier], &[CellId]) -> EcoTimingView,
+) -> EcoOutcome {
+    // Tier flips applied since the last `evaluate` call (undo carry).
+    let mut carry: Vec<CellId> = Vec::new();
+    let mut view = evaluate(tiers, &carry);
     let initial_wns = view.wns;
     let mut d_k = config.d0;
     let mut iterations = 0;
@@ -161,7 +181,9 @@ pub fn repartition_eco(
         for &c in &move_list {
             tiers[c.index()] = fast;
         }
-        let new_view = evaluate(tiers);
+        carry.extend_from_slice(&move_list);
+        let new_view = evaluate(tiers, &carry);
+        carry.clear();
         let delta_wns = new_view.wns - view.wns;
         let delta_tns = new_view.tns - view.tns;
         if delta_wns < config.w_th || delta_tns < config.t_th {
@@ -169,6 +191,8 @@ pub fn repartition_eco(
             for &c in &move_list {
                 tiers[c.index()] = fast.other();
             }
+            // The undos are reported with the *next* evaluate call.
+            carry.extend_from_slice(&move_list);
             d_k *= config.alpha;
             rounds_undone += 1;
             // view unchanged (we restored the state).
@@ -267,6 +291,49 @@ mod tests {
         );
         assert_eq!(outcome.stop_reason, EcoStop::Converged);
         assert_eq!(outcome.cells_moved, 0);
+    }
+
+    #[test]
+    fn edit_lists_track_the_tier_assignment_through_undos() {
+        // Mirror every reported edit onto a replica by flipping the cell's
+        // tier; if the edit lists are complete (including undo carries),
+        // the replica matches the real assignment at every evaluate call.
+        let mut tiers = vec![Tier::Top; 10];
+        let areas = vec![1.0; 10];
+        let mut replica = tiers.clone();
+        let mut calls = 0usize;
+        let outcome = repartition_eco_with(
+            &mut tiers,
+            &areas,
+            Tier::Bottom,
+            &EcoConfig {
+                unbalance_th: 1.1,
+                d0: 0.9,
+                max_iterations: 4,
+                ..Default::default()
+            },
+            |t, edits| {
+                calls += 1;
+                for &c in edits {
+                    replica[c.index()] = replica[c.index()].other();
+                }
+                assert_eq!(replica, t, "replica diverged at call {calls}");
+                // Hurt on even rounds so undo carries get exercised.
+                let moved = t.iter().filter(|x| **x == Tier::Bottom).count();
+                let wns = if calls.is_multiple_of(2) {
+                    -50.0
+                } else {
+                    15.0 - (20.0 - moved as f64)
+                };
+                EcoTimingView {
+                    wns,
+                    tns: wns.min(0.0),
+                    critical_paths: vec![(0..10).map(|i| (CellId::from_index(i), 2.0)).collect()],
+                }
+            },
+        );
+        assert!(outcome.rounds_undone > 0, "undo path must be exercised");
+        assert!(calls > 2);
     }
 
     #[test]

@@ -34,7 +34,9 @@ mod eco;
 mod fm;
 mod timing;
 
-pub use eco::{repartition_eco, EcoConfig, EcoOutcome, EcoStop, EcoTimingView};
+pub use eco::{
+    repartition_eco, repartition_eco_with, EcoConfig, EcoOutcome, EcoStop, EcoTimingView,
+};
 pub use fm::{bin_min_cut, bin_min_cut_with_stats, min_cut, FmStats, PartitionConfig};
 pub use timing::{timing_driven_assignment, TimingAssignment};
 

@@ -37,6 +37,89 @@ pub struct LegalStats {
     pub max_displacement_um: f64,
 }
 
+/// Why a legalization input cannot be processed. Each variant corresponds
+/// to a malformed-input class that would previously surface as an index
+/// panic or a silently wrong snap deep inside the row sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LegalizeError {
+    /// `tiers.len()` does not cover every netlist cell.
+    TierCountMismatch { tiers: usize, cells: usize },
+    /// `placement.positions.len()` does not cover every netlist cell.
+    PositionCountMismatch { positions: usize, cells: usize },
+    /// A movable gate sits at a NaN/infinite coordinate, which would poison
+    /// the displacement sums and the row comparators.
+    NonFinitePosition { cell: usize },
+    /// The floorplan die has no positive area, so no row can be built.
+    DegenerateDie { width_um: f64, height_um: f64 },
+}
+
+impl std::fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegalizeError::TierCountMismatch { tiers, cells } => {
+                write!(
+                    f,
+                    "tier assignment covers {tiers} cells, netlist has {cells}"
+                )
+            }
+            LegalizeError::PositionCountMismatch { positions, cells } => {
+                write!(f, "placement covers {positions} cells, netlist has {cells}")
+            }
+            LegalizeError::NonFinitePosition { cell } => {
+                write!(f, "cell #{cell} has a non-finite position")
+            }
+            LegalizeError::DegenerateDie {
+                width_um,
+                height_um,
+            } => {
+                write!(f, "die outline {width_um}x{height_um} um has no area")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LegalizeError {}
+
+/// [`legalize_with_stats`] with input validation: malformed inputs come
+/// back as a [`LegalizeError`] instead of an index panic mid-sweep.
+pub fn try_legalize_with_stats(
+    netlist: &Netlist,
+    placement: &Placement,
+    fp: &Floorplan,
+    stack: &TierStack,
+    tiers: &[Tier],
+) -> Result<(Placement, LegalStats), LegalizeError> {
+    let cells = netlist.cell_count();
+    if tiers.len() != cells {
+        return Err(LegalizeError::TierCountMismatch {
+            tiers: tiers.len(),
+            cells,
+        });
+    }
+    if placement.positions.len() != cells {
+        return Err(LegalizeError::PositionCountMismatch {
+            positions: placement.positions.len(),
+            cells,
+        });
+    }
+    for (id, c) in netlist.cells() {
+        if c.fixed || !c.class.is_gate() {
+            continue;
+        }
+        let p = placement.positions[id.index()];
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(LegalizeError::NonFinitePosition { cell: id.index() });
+        }
+    }
+    if fp.die.width() <= 0.0 || fp.die.height() <= 0.0 {
+        return Err(LegalizeError::DegenerateDie {
+            width_um: fp.die.width(),
+            height_um: fp.die.height(),
+        });
+    }
+    Ok(legalize_with_stats(netlist, placement, fp, stack, tiers))
+}
+
 /// [`legalize`] plus the [`LegalStats`] counters of the run.
 #[must_use]
 pub fn legalize_with_stats(
@@ -364,6 +447,73 @@ mod tests {
                 assert!(!r.intersects(k), "cell {id:?} inside macro keepout");
             }
         }
+    }
+
+    fn try_setup() -> (Netlist, Vec<Tier>, Floorplan, Placement, TierStack) {
+        let stack = TierStack::two_d(Library::twelve_track());
+        let n = m3d_netgen::Benchmark::Aes.generate(0.02, 4);
+        let tiers = vec![Tier::Bottom; n.cell_count()];
+        let fp = Floorplan::new(&n, &stack, &tiers, 0.65);
+        let p = global_place(&n, &fp, &PlacerConfig::default());
+        (n, tiers, fp, p, stack)
+    }
+
+    #[test]
+    fn try_legalize_rejects_short_tier_vector() {
+        let (n, mut tiers, fp, p, stack) = try_setup();
+        tiers.pop();
+        let err = try_legalize_with_stats(&n, &p, &fp, &stack, &tiers).unwrap_err();
+        assert_eq!(
+            err,
+            LegalizeError::TierCountMismatch {
+                tiers: n.cell_count() - 1,
+                cells: n.cell_count()
+            }
+        );
+    }
+
+    #[test]
+    fn try_legalize_rejects_short_placement() {
+        let (n, tiers, fp, mut p, stack) = try_setup();
+        p.positions.truncate(3);
+        let err = try_legalize_with_stats(&n, &p, &fp, &stack, &tiers).unwrap_err();
+        assert_eq!(
+            err,
+            LegalizeError::PositionCountMismatch {
+                positions: 3,
+                cells: n.cell_count()
+            }
+        );
+    }
+
+    #[test]
+    fn try_legalize_rejects_nan_coordinates() {
+        let (n, tiers, fp, mut p, stack) = try_setup();
+        let victim = n
+            .cells()
+            .find(|(_, c)| !c.fixed && c.class.is_gate())
+            .map(|(id, _)| id.index())
+            .expect("benchmark has movable gates");
+        p.positions[victim] = m3d_geom::Point::new(f64::NAN, 1.0);
+        let err = try_legalize_with_stats(&n, &p, &fp, &stack, &tiers).unwrap_err();
+        assert_eq!(err, LegalizeError::NonFinitePosition { cell: victim });
+    }
+
+    #[test]
+    fn try_legalize_rejects_degenerate_die() {
+        let (n, tiers, mut fp, p, stack) = try_setup();
+        fp.die = Rect::new(0.0, 0.0, 0.0, 0.0);
+        let err = try_legalize_with_stats(&n, &p, &fp, &stack, &tiers).unwrap_err();
+        assert!(matches!(err, LegalizeError::DegenerateDie { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_legalize_accepts_well_formed_input() {
+        let (n, tiers, fp, p, stack) = try_setup();
+        let (legal, stats) = try_legalize_with_stats(&n, &p, &fp, &stack, &tiers).unwrap();
+        let (want, want_stats) = legalize_with_stats(&n, &p, &fp, &stack, &tiers);
+        assert_eq!(legal.positions, want.positions);
+        assert_eq!(stats, want_stats);
     }
 
     #[test]

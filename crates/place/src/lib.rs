@@ -37,5 +37,7 @@ mod placement;
 
 pub use floorplan::Floorplan;
 pub use global::{global_place, refine_place, PlacerConfig};
-pub use legal::{legalize, legalize_with_stats, LegalStats};
+pub use legal::{
+    legalize, legalize_with_stats, try_legalize_with_stats, LegalStats, LegalizeError,
+};
 pub use placement::Placement;

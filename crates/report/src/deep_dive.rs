@@ -363,7 +363,7 @@ mod tests {
     fn deep_dive_on_cpu_populates_all_blocks() {
         let n = m3d_netgen::Benchmark::Cpu.generate(0.02, 51);
         let mut o = FlowOptions::default();
-        o.placer.iterations = 6;
+        o.placer_mut().iterations = 6;
         let imp = run_flow(&n, Config::Hetero3d, 1.0, &o);
         let dive = deep_dive(&imp);
         assert!(dive.memory.net_count > 0, "CPU has macro nets");
@@ -380,7 +380,7 @@ mod tests {
     fn runtime_section_formats_an_instrumented_run() {
         let n = m3d_netgen::Benchmark::Aes.generate(0.01, 3);
         let mut o = FlowOptions::default();
-        o.placer.iterations = 6;
+        o.placer_mut().iterations = 6;
         o.obs = m3d_obs::Obs::enabled();
         let obs = o.obs.clone();
         let _ = run_flow(&n, Config::Hetero3d, 1.0, &o);
@@ -402,7 +402,7 @@ mod tests {
         // is larger.
         let n = m3d_netgen::Benchmark::Cpu.generate(0.025, 51);
         let mut o = FlowOptions::default();
-        o.placer.iterations = 6;
+        o.placer_mut().iterations = 6;
         let imp = run_flow(&n, Config::Hetero3d, 1.3, &o);
         let dive = deep_dive(&imp);
         assert!(

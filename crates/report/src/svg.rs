@@ -279,7 +279,7 @@ mod tests {
     fn layout_svg_is_well_formed() {
         let n = m3d_netgen::Benchmark::Aes.generate(0.01, 61);
         let mut o = FlowOptions::default();
-        o.placer.iterations = 4;
+        o.placer_mut().iterations = 4;
         let imp = run_flow(&n, Config::Hetero3d, 1.0, &o);
         let svg = render_layout(&imp, LayerChoice::Both, "aes hetero");
         assert!(svg.starts_with("<svg"));
@@ -294,7 +294,7 @@ mod tests {
     fn overlay_svg_contains_clock_and_path() {
         let n = m3d_netgen::Benchmark::Cpu.generate(0.012, 61);
         let mut o = FlowOptions::default();
-        o.placer.iterations = 4;
+        o.placer_mut().iterations = 4;
         let imp = run_flow(&n, Config::Hetero3d, 1.0, &o);
         let svg = render_overlays(&imp, "cpu overlays");
         assert!(svg.contains("polyline"), "critical path missing");

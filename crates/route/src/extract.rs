@@ -36,6 +36,49 @@ pub struct ExtractStats {
     pub total_wire_cap_ff: f64,
 }
 
+/// Why an extraction input cannot be processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The routing result covers fewer nets than the netlist, so a net id
+    /// would index out of bounds (stale routing after buffer insertion is
+    /// the classic way to get here).
+    RoutingCountMismatch { routed: usize, nets: usize },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::RoutingCountMismatch { routed, nets } => {
+                write!(f, "routing covers {routed} nets, netlist has {nets}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// [`extract_parasitics_with_stats`] with input validation: a routing
+/// result that does not cover the netlist comes back as an
+/// [`ExtractError`] instead of an index panic inside the chunked sweep.
+pub fn try_extract_parasitics_with_stats(
+    netlist: &Netlist,
+    placement: &Placement,
+    stack: &TierStack,
+    routing: Option<&RoutingResult>,
+) -> Result<(Parasitics, ExtractStats), ExtractError> {
+    if let Some(r) = routing {
+        if r.nets.len() < netlist.net_count() {
+            return Err(ExtractError::RoutingCountMismatch {
+                routed: r.nets.len(),
+                nets: netlist.net_count(),
+            });
+        }
+    }
+    Ok(extract_parasitics_with_stats(
+        netlist, placement, stack, routing,
+    ))
+}
+
 /// [`extract_parasitics`] plus the [`ExtractStats`] counters of the pass.
 #[must_use]
 pub fn extract_parasitics_with_stats(
@@ -146,6 +189,33 @@ mod tests {
         let near = extract_parasitics(&n, &p, &stack, None);
         let spread = extract_parasitics(&n, &far, &stack, None);
         assert!(spread.total_wire_cap_ff() > 2.0 * near.total_wire_cap_ff());
+    }
+
+    #[test]
+    fn try_extract_rejects_stale_routing() {
+        let (n, tiers, p, stack) = setup();
+        let mut routed = global_route(&n, &p, &tiers, &stack, &RouteConfig::default());
+        routed.nets.truncate(n.net_count() - 1);
+        let err = try_extract_parasitics_with_stats(&n, &p, &stack, Some(&routed)).unwrap_err();
+        assert_eq!(
+            err,
+            ExtractError::RoutingCountMismatch {
+                routed: n.net_count() - 1,
+                nets: n.net_count()
+            }
+        );
+    }
+
+    #[test]
+    fn try_extract_accepts_fresh_routing_and_preroute() {
+        let (n, tiers, p, stack) = setup();
+        let routed = global_route(&n, &p, &tiers, &stack, &RouteConfig::default());
+        let (par, stats) =
+            try_extract_parasitics_with_stats(&n, &p, &stack, Some(&routed)).unwrap();
+        let (want, want_stats) = extract_parasitics_with_stats(&n, &p, &stack, Some(&routed));
+        assert_eq!(par.total_wire_cap_ff(), want.total_wire_cap_ff());
+        assert_eq!(stats, want_stats);
+        assert!(try_extract_parasitics_with_stats(&n, &p, &stack, None).is_ok());
     }
 
     #[test]

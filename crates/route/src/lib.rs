@@ -36,5 +36,8 @@
 mod extract;
 mod router;
 
-pub use extract::{extract_parasitics, extract_parasitics_with_stats, ExtractStats};
+pub use extract::{
+    extract_parasitics, extract_parasitics_with_stats, try_extract_parasitics_with_stats,
+    ExtractError, ExtractStats,
+};
 pub use router::{global_route, RouteConfig, RoutedNet, RoutingResult};

@@ -92,6 +92,39 @@ impl TimerStats {
     }
 }
 
+/// One timing-relevant design change, as reported by a change journal.
+///
+/// This is the [`Timer`]'s trusted-notification vocabulary: where the
+/// hint methods ([`Timer::resize_cell`] and friends) are *conservative
+/// additions* to the engine's own signature diffing,
+/// [`Timer::update_journaled`] takes a complete edit list and **skips**
+/// the O(cells + nets) diff scans entirely. The caller (normally a
+/// `DesignDb` change journal) guarantees the list covers every change
+/// since the previous update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingEdit {
+    /// `cell`'s drive strength changed.
+    ResizeCell(CellId),
+    /// `cell` moved to another tier.
+    SwapTier(CellId),
+    /// `net`'s RC model changed.
+    NetModel(NetId),
+    /// The clock period changed.
+    Period,
+    /// Per-cell clock latencies changed (CTS refinement).
+    ClockLatency,
+    /// The netlist structure changed (full rebuild).
+    Structural,
+}
+
+/// What a journaled update still has to re-check itself (everything else
+/// is vouched for by the journal).
+#[derive(Debug, Clone, Copy)]
+struct JournalScope {
+    /// The journal reported a clock-latency edit; diff the latency vector.
+    latency: bool,
+}
+
 /// Fixed timing role of a cell (immutable once the structure is built).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
@@ -215,6 +248,10 @@ pub struct Timer {
     pending_nets: Vec<NetId>,
     pending_period: bool,
     pending_structural: bool,
+    /// `Some` while an [`Timer::update_journaled`] call is in flight: the
+    /// pending sets are a *complete* description of the changes, so the
+    /// signature-diff scans are skipped.
+    journaled: Option<JournalScope>,
 }
 
 impl Timer {
@@ -309,6 +346,43 @@ impl Timer {
         self.state.as_ref().expect("state built").result.clone()
     }
 
+    /// Journal-driven update: brings the timing database up to date with
+    /// `ctx` given a **complete** list of the changes since the previous
+    /// update, and returns the result — bit-identical to `analyze(ctx)`
+    /// at any thread count, exactly like [`Timer::update`].
+    ///
+    /// Unlike `update`, which re-derives the edit set by signature
+    /// diffing (O(cells + nets) scans per call), this trusts the journal:
+    /// only the listed cells/nets are re-fingerprinted, the per-net
+    /// connectivity scan is skipped, and the clock-latency vector is only
+    /// diffed when the journal says so. An empty `edits` list re-checks
+    /// nothing but the O(1) fields (counts, stack identity, period and
+    /// global clock constants — those stay checked because they are cheap
+    /// and their drift would otherwise corrupt results silently).
+    ///
+    /// The caller contract: every change to the netlist, tiers,
+    /// parasitics or clock latencies since the last update appears in
+    /// `edits` (duplicates and over-reporting are harmless). The flow
+    /// upholds this by generating `edits` from the `DesignDb` change
+    /// journal. A violated contract loses the bit-identity guarantee;
+    /// when unsure, use [`Timer::update`].
+    pub fn update_journaled(&mut self, ctx: &TimingContext<'_>, edits: &[TimingEdit]) -> StaResult {
+        let mut latency = false;
+        for edit in edits {
+            match *edit {
+                TimingEdit::ResizeCell(c) | TimingEdit::SwapTier(c) => self.pending_cells.push(c),
+                TimingEdit::NetModel(n) => self.pending_nets.push(n),
+                TimingEdit::Period => self.pending_period = true,
+                TimingEdit::ClockLatency => latency = true,
+                TimingEdit::Structural => self.pending_structural = true,
+            }
+        }
+        self.journaled = Some(JournalScope { latency });
+        let result = self.update(ctx);
+        self.journaled = None;
+        result
+    }
+
     /// `true` when the snapshot exists and the context has the same
     /// structure and global constraints (so an incremental pass is valid).
     fn matches_structure(&self, ctx: &TimingContext<'_>) -> bool {
@@ -326,6 +400,12 @@ impl Timer {
             || s.clock.output_load_ff != ctx.clock.output_load_ff
         {
             return false;
+        }
+        if self.journaled.is_some() {
+            // The journal vouches for connectivity: absent a `Structural`
+            // edit (checked by the caller via `pending_structural`), the
+            // per-net fingerprint scan is guaranteed to find nothing.
+            return true;
         }
         (0..s.net_count).all(|k| s.net_sig[k] == net_signature(ctx.netlist, NetId::from_index(k)))
     }
@@ -412,27 +492,37 @@ impl Timer {
         let parallel = threads > 1 && n >= m3d_par::PAR_THRESHOLD;
         self.stats.incremental_updates += 1;
 
-        // ---- seed detection (auto-diff + explicit hints) ----------------
+        // ---- seed detection (journal, or auto-diff + explicit hints) ----
+        // In journaled mode the pending sets are complete, so the O(nets)
+        // model diff and the O(cells) master diff are skipped; only the
+        // journaled items re-fingerprint (keeping the signatures valid for
+        // a later non-journaled update). Journaled seeds dirty
+        // conservatively — both the load and the wire-delay cone of every
+        // reported net — which can only over-propagate, never change bits.
+        let journaled = self.journaled;
         let mut wire_delay_nets: Vec<u32> = Vec::new();
-        for k in 0..s.net_count {
-            let id = NetId::from_index(k);
-            let new = ctx.parasitics.net(id);
-            let old = s.model_sig[k];
-            if new != old {
-                s.model_sig[k] = new;
-                if netlist.net(id).is_clock {
-                    continue; // clock-net parasitics are never read
-                }
-                if new.wire_cap_ff != old.wire_cap_ff {
-                    s.dirty_load[k] = true;
-                }
-                if new.wire_delay_ns != old.wire_delay_ns {
-                    wire_delay_nets.push(k as u32);
+        if journaled.is_none() {
+            for k in 0..s.net_count {
+                let id = NetId::from_index(k);
+                let new = ctx.parasitics.net(id);
+                let old = s.model_sig[k];
+                if new != old {
+                    s.model_sig[k] = new;
+                    if netlist.net(id).is_clock {
+                        continue; // clock-net parasitics are never read
+                    }
+                    if new.wire_cap_ff != old.wire_cap_ff {
+                        s.dirty_load[k] = true;
+                    }
+                    if new.wire_delay_ns != old.wire_delay_ns {
+                        wire_delay_nets.push(k as u32);
+                    }
                 }
             }
         }
         for &id in &self.pending_nets {
             let k = id.index();
+            s.model_sig[k] = ctx.parasitics.net(id);
             if !netlist.net(id).is_clock {
                 s.dirty_load[k] = true;
                 if !wire_delay_nets.contains(&(k as u32)) {
@@ -442,14 +532,22 @@ impl Timer {
         }
 
         let mut master_cells: Vec<u32> = Vec::new();
-        for (id, cell) in netlist.cells() {
-            let i = id.index();
-            let sig = gate_signature(&cell.class);
-            let tier = ctx.tiers[i];
-            if s.gate_sig[i] != sig || s.tier_sig[i] != tier {
-                s.gate_sig[i] = sig;
-                s.tier_sig[i] = tier;
-                master_cells.push(i as u32);
+        if journaled.is_none() {
+            for (id, cell) in netlist.cells() {
+                let i = id.index();
+                let sig = gate_signature(&cell.class);
+                let tier = ctx.tiers[i];
+                if s.gate_sig[i] != sig || s.tier_sig[i] != tier {
+                    s.gate_sig[i] = sig;
+                    s.tier_sig[i] = tier;
+                    master_cells.push(i as u32);
+                }
+            }
+        } else {
+            for &id in &self.pending_cells {
+                let i = id.index();
+                s.gate_sig[i] = gate_signature(&netlist.cell(id).class);
+                s.tier_sig[i] = ctx.tiers[i];
             }
         }
         for &id in &self.pending_cells {
@@ -490,7 +588,8 @@ impl Timer {
         }
 
         // Per-cell clock-latency edits (CTS refinements).
-        let latency_changed = s.clock.latency_ns != ctx.clock.latency_ns;
+        let check_latency = journaled.is_none_or(|j| j.latency);
+        let latency_changed = check_latency && s.clock.latency_ns != ctx.clock.latency_ns;
         if latency_changed {
             for i in 0..n {
                 if matches!(s.roles[i], Role::Seq | Role::Mac)
@@ -964,6 +1063,80 @@ mod tests {
             stats.propagated_evals(),
             14 * timer.full_pass_evals()
         );
+    }
+
+    #[test]
+    fn journaled_update_matches_cold_analyze_through_edits() {
+        let mut netlist = m3d_netgen::Benchmark::Aes.generate(0.02, 5);
+        let stack = TierStack::heterogeneous();
+        let mut tiers = vec![Tier::Bottom; netlist.cell_count()];
+        let mut parasitics = Parasitics::zero_wire(&netlist);
+        let mut period = 1.0;
+        let mut timer = Timer::new();
+
+        let gates: Vec<CellId> = netlist
+            .cells()
+            .filter(|(_, c)| c.class.is_gate() && !c.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+
+        // Build once, then feed every edit through the journal interface:
+        // the Timer must never fall back to diff scans or rebuilds.
+        for step in 0..12 {
+            let mut edits: Vec<TimingEdit> = Vec::new();
+            match step % 4 {
+                0 => {
+                    for j in 0..3 {
+                        let g = gates[(step * 37 + j * 11) % gates.len()];
+                        let d = netlist.cell(g).class.gate_drive().expect("gate");
+                        netlist.set_drive(g, d.upsized().unwrap_or(Drive::X1));
+                        edits.push(TimingEdit::ResizeCell(g));
+                    }
+                }
+                1 => {
+                    let g = gates[step * 61 % gates.len()];
+                    tiers[g.index()] = tiers[g.index()].other();
+                    edits.push(TimingEdit::SwapTier(g));
+                }
+                2 => {
+                    period *= 0.95;
+                    edits.push(TimingEdit::Period);
+                }
+                _ => {
+                    let k = NetId::from_index(step * 13 % netlist.net_count());
+                    parasitics.net_mut(k).wire_delay_ns += 0.004;
+                    parasitics.net_mut(k).wire_cap_ff += 1.5;
+                    edits.push(TimingEdit::NetModel(k));
+                }
+            }
+            let ctx = TimingContext {
+                netlist: &netlist,
+                stack: &stack,
+                tiers: &tiers,
+                parasitics: &parasitics,
+                clock: ClockSpec::with_period(period),
+            };
+            let incr = timer.update_journaled(&ctx, &edits);
+            let cold = analyze(&ctx);
+            assert_bit_identical(&incr, &cold);
+        }
+        let stats = timer.stats();
+        assert_eq!(stats.full_rebuilds, 1, "journal must avoid rebuilds");
+        assert_eq!(stats.incremental_updates, 11);
+
+        // An empty journal is a pure re-confirmation: bit-identical result,
+        // no propagation work at all.
+        let ctx = TimingContext {
+            netlist: &netlist,
+            stack: &stack,
+            tiers: &tiers,
+            parasitics: &parasitics,
+            clock: ClockSpec::with_period(period),
+        };
+        let before = timer.stats().propagated_evals();
+        let noop = timer.update_journaled(&ctx, &[]);
+        assert_bit_identical(&noop, &analyze(&ctx));
+        assert_eq!(timer.stats().propagated_evals(), before);
     }
 
     #[test]

@@ -53,5 +53,5 @@ mod paths;
 pub use cache::DelayCache;
 pub use context::{ClockSpec, NetModel, Parasitics, TimingContext};
 pub use engine::{analyze, StaResult};
-pub use incremental::{Timer, TimerStats};
+pub use incremental::{Timer, TimerStats, TimingEdit};
 pub use paths::{worst_paths, PathStage, TimingPath};

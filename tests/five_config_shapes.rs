@@ -10,7 +10,7 @@ use hetero3d::tech::Tier;
 
 fn options() -> FlowOptions {
     let mut o = FlowOptions::default();
-    o.placer.iterations = 8;
+    o.placer_mut().iterations = 8;
     o
 }
 

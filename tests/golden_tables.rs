@@ -16,7 +16,7 @@ use hetero3d::report::{format_comparison, format_table7};
 fn comparison() -> Comparison {
     let netlist = Benchmark::Aes.generate(0.012, 41);
     let mut options = FlowOptions::default();
-    options.placer.iterations = 6;
+    options.placer_mut().iterations = 6;
     compare_configs(&netlist, &options, &CostModel::default())
 }
 
@@ -74,18 +74,18 @@ TNS (ns)         0.00
 ### vs M3D 9-Track
 Metric             aes
 ----------------------
-Si Area %        -32.0
+Si Area %        -31.3
 Density %         -5.4
-WL %              36.8
-Total Power %     23.2
-Eff. Delay %     -22.8
-PDP %             -4.9
-Die Cost %       -32.0
+WL %              37.2
+Total Power %     24.2
+Eff. Delay %     -22.6
+PDP %             -3.8
+Die Cost %       -31.3
 Cost per cm2 %   -0.01
-PPC %             54.6
+PPC %             51.4
 Width (um)          19
-WNS (ns)        -0.117
-TNS (ns)         -0.49
+WNS (ns)        -0.115
+TNS (ns)         -0.53
 
 ### vs M3D 12-Track
 Metric            aes

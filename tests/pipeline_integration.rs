@@ -11,7 +11,7 @@ use hetero3d::tech::Tier;
 
 fn options() -> FlowOptions {
     let mut o = FlowOptions::default();
-    o.placer.iterations = 6;
+    o.placer_mut().iterations = 6;
     o
 }
 

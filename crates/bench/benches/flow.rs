@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{compare_configs, run_flow, Config, FlowOptions};
+use hetero3d::flow::{try_compare_configs, try_run_flow, Config, FlowOptions};
 use hetero3d::netgen::Benchmark;
 
 fn quick_options() -> FlowOptions {
@@ -28,7 +28,14 @@ fn bench_flow(c: &mut Criterion) {
             .replace(' ', "_")
             .replace(['(', ')', '+'], "");
         c.bench_function(&label, |b| {
-            b.iter(|| black_box(run_flow(&netlist, config, 1.2, &options).sta.wns))
+            b.iter(|| {
+                black_box(
+                    try_run_flow(&netlist, config, 1.2, &options)
+                        .expect("flow")
+                        .sta
+                        .wns,
+                )
+            })
         });
     }
 
@@ -39,7 +46,14 @@ fn bench_flow(c: &mut Criterion) {
         ..quick_options()
     };
     c.bench_function("flow_hetero_pin3d_baseline", |b| {
-        b.iter(|| black_box(run_flow(&netlist, Config::Hetero3d, 1.2, &baseline).sta.wns))
+        b.iter(|| {
+            black_box(
+                try_run_flow(&netlist, Config::Hetero3d, 1.2, &baseline)
+                    .expect("flow")
+                    .sta
+                    .wns,
+            )
+        })
     });
 }
 
@@ -56,20 +70,40 @@ fn bench_compare_speedup(c: &mut Criterion) {
     let seq = with_threads(1);
     let par = with_threads(8);
     c.bench_function("compare_configs_aes_seq_t1", |b| {
-        b.iter(|| black_box(compare_configs(&netlist, &seq, &cost).target_ghz))
+        b.iter(|| {
+            black_box(
+                try_compare_configs(&netlist, &seq, &cost)
+                    .expect("flow")
+                    .target_ghz,
+            )
+        })
     });
     c.bench_function("compare_configs_aes_par_t8", |b| {
-        b.iter(|| black_box(compare_configs(&netlist, &par, &cost).target_ghz))
+        b.iter(|| {
+            black_box(
+                try_compare_configs(&netlist, &par, &cost)
+                    .expect("flow")
+                    .target_ghz,
+            )
+        })
     });
 
     // Direct speedup readout: median of 5 timed runs per setting, after a
     // warm-up run each.
     let median = |options: &FlowOptions| -> f64 {
-        black_box(compare_configs(&netlist, options, &cost).target_ghz);
+        black_box(
+            try_compare_configs(&netlist, options, &cost)
+                .expect("flow")
+                .target_ghz,
+        );
         let mut t: Vec<f64> = (0..5)
             .map(|_| {
                 let start = Instant::now();
-                black_box(compare_configs(&netlist, options, &cost).target_ghz);
+                black_box(
+                    try_compare_configs(&netlist, options, &cost)
+                        .expect("flow")
+                        .target_ghz,
+                );
                 start.elapsed().as_secs_f64()
             })
             .collect();

@@ -2,10 +2,12 @@
 //! manifests against the committed baselines and exits non-zero on any
 //! regression.
 //!
-//! Usage: `bench_gate [--fresh <dir>] [--baseline <dir>]`
-//! (defaults: fresh `fresh/`, baseline `results/`). The fresh directory
-//! is produced in CI by `flow_obs` and `sta_incr --scale tiny` with
-//! `--out fresh`; the baseline directory is the committed `results/`.
+//! Usage: `bench_gate [--fresh <dir>] [--baseline <dir>] [--only <section>]`
+//! (defaults: fresh `fresh/`, baseline `results/`; `--only sta|flow|serve`
+//! gates a single manifest, for split CI jobs). The fresh directory
+//! is produced in CI by `flow_obs`, `serve_bench` and `sta_incr --scale
+//! tiny` with `--out fresh`; the baseline directory is the committed
+//! `results/`.
 //!
 //! The tolerance model has two classes:
 //!
@@ -219,6 +221,68 @@ fn gate_flow(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     }
 }
 
+/// Fields of the serve bench that must match the baseline bit for bit:
+/// the cache economics are scheduling-independent by design.
+const SERVE_EXACT: &[&str] = &[
+    "requests",
+    "distinct_keys",
+    "completed_ok",
+    "cache_hits",
+    "cache_misses",
+    "pseudo3d_runs",
+];
+
+/// Absolute floor on the serve bench's checkpoint-cache hit rate: the
+/// workload repeats queries, and a service that stops reusing sessions
+/// (every request a miss) is a regression even if still correct.
+const SERVE_HIT_RATE_FLOOR: f64 = 0.5;
+
+fn gate_serve(gate: &mut Gate, fresh: &Value, baseline: &Value) {
+    gate.check(
+        fresh
+            .get("identical_across_workers")
+            .and_then(Value::as_bool)
+            == Some(true),
+        "BENCH_serve: 1-worker and 4-worker response sets were byte-identical in-process",
+    );
+    gate.check(
+        run_params(fresh) == run_params(baseline),
+        &format!(
+            "BENCH_serve: fresh run parameters {:?} match baseline {:?}",
+            run_params(fresh),
+            run_params(baseline)
+        ),
+    );
+    for field in SERVE_EXACT {
+        let f = fresh.get(field).and_then(Value::as_u64);
+        let b = baseline.get(field).and_then(Value::as_u64);
+        gate.check(
+            f.is_some() && f == b,
+            &format!("BENCH_serve.{field}: deterministic count {f:?} == baseline {b:?}"),
+        );
+    }
+    // The tentpole invariant: the pseudo-3-D stage ran exactly once per
+    // distinct cache key — repeated design-space queries forked the
+    // shared checkpoint instead of recomputing it.
+    let keys = fresh.get("distinct_keys").and_then(Value::as_u64);
+    let pseudo = fresh.get("pseudo3d_runs").and_then(Value::as_u64);
+    gate.check(
+        keys.is_some() && pseudo == keys,
+        &format!(
+            "BENCH_serve: pseudo-3D runs {pseudo:?} == distinct cache keys {keys:?} \
+             (one shared checkpoint per key)"
+        ),
+    );
+    let hit_rate = fresh
+        .get("hit_rate")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NEG_INFINITY);
+    gate.check(
+        hit_rate >= SERVE_HIT_RATE_FLOOR,
+        &format!("BENCH_serve.hit_rate: {hit_rate} >= floor {SERVE_HIT_RATE_FLOOR}"),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let dir_arg = |flag: &str, default: &str| {
@@ -229,20 +293,42 @@ fn main() -> ExitCode {
     };
     let fresh_dir = dir_arg("--fresh", "fresh");
     let baseline_dir = dir_arg("--baseline", "results");
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     println!(
-        "bench_gate: {} (fresh) vs {} (baseline)",
+        "bench_gate: {} (fresh) vs {} (baseline){}",
         fresh_dir.display(),
-        baseline_dir.display()
+        baseline_dir.display(),
+        only.as_deref()
+            .map(|o| format!(" [only {o}]"))
+            .unwrap_or_default()
     );
 
     let mut gate = Gate {
         failures: Vec::new(),
         checks: 0,
     };
-    for (name, run) in [
-        ("BENCH_sta.json", gate_sta as fn(&mut Gate, &Value, &Value)),
-        ("BENCH_flow.json", gate_flow),
-    ] {
+    type Section = (&'static str, &'static str, fn(&mut Gate, &Value, &Value));
+    let sections: [Section; 3] = [
+        ("sta", "BENCH_sta.json", gate_sta),
+        ("flow", "BENCH_flow.json", gate_flow),
+        ("serve", "BENCH_serve.json", gate_serve),
+    ];
+    let selected: Vec<_> = sections
+        .iter()
+        .filter(|(key, _, _)| only.as_deref().is_none_or(|o| o == *key))
+        .collect();
+    if selected.is_empty() {
+        println!(
+            "bench_gate: unknown --only section {:?} (expected sta|flow|serve)",
+            only.as_deref().unwrap_or("")
+        );
+        return ExitCode::FAILURE;
+    }
+    for (_, name, run) in selected {
         match (load(&fresh_dir, name), load(&baseline_dir, name)) {
             (Ok(fresh), Ok(baseline)) => run(&mut gate, &fresh, &baseline),
             (fresh, baseline) => {
@@ -266,8 +352,9 @@ fn main() -> ExitCode {
         );
         println!(
             "If the change is intentional, refresh the baselines: \
-             `cargo run --release -p m3d-bench --bin sta_incr -- --scale tiny` and \
-             `cargo run --release -p m3d-bench --bin flow_obs`, then commit results/."
+             `cargo run --release -p m3d-bench --bin sta_incr -- --scale tiny`, \
+             `cargo run --release -p m3d-bench --bin flow_obs` and \
+             `cargo run --release -p m3d-bench --bin serve_bench`, then commit results/."
         );
         ExitCode::FAILURE
     }

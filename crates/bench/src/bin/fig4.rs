@@ -1,7 +1,7 @@
 //! Regenerates Fig. 4: clock-tree / memory-net / critical-path overlays of
 //! the CPU design in 2-D and heterogeneous 3-D, as SVG files.
 
-use hetero3d::flow::{run_flow, Config};
+use hetero3d::flow::{try_run_flow, Config};
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::render_overlays;
 use m3d_bench::{bench_options, emit, parse_args};
@@ -13,7 +13,7 @@ fn main() {
     eprintln!("[cpu: {} gates]", netlist.gate_count());
     let frequency = 1.0;
 
-    let imp_2d = run_flow(&netlist, Config::TwoD12T, frequency, &options);
+    let imp_2d = try_run_flow(&netlist, Config::TwoD12T, frequency, &options).expect("flow");
     emit(
         &args,
         "fig4_2d_overlays.svg",
@@ -22,7 +22,7 @@ fn main() {
             "2D 12-track: clock (green), memory nets, critical path (red)",
         ),
     );
-    let imp_h = run_flow(&netlist, Config::Hetero3d, frequency, &options);
+    let imp_h = try_run_flow(&netlist, Config::Hetero3d, frequency, &options).expect("flow");
     emit(
         &args,
         "fig4_hetero_overlays.svg",

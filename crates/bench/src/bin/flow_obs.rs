@@ -18,7 +18,7 @@
 //! reproducible datapoint, not a paper-scale one.
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{compare_configs, find_fmax, run_flow, Config, FlowOptions};
+use hetero3d::flow::{try_compare_configs, try_find_fmax, try_run_flow, Config, FlowOptions};
 use hetero3d::netgen::Benchmark;
 use hetero3d::obs::{Manifest, Obs};
 use std::fmt::Write as _;
@@ -68,8 +68,8 @@ fn main() {
     // The identity check: one worker vs four, same netlist, same knobs.
     let seq_options = instrumented(&base, 1);
     let par_options = instrumented(&base, 4);
-    let _ = run_flow(&netlist, Config::Hetero3d, 1.0, &seq_options);
-    let _ = run_flow(&netlist, Config::Hetero3d, 1.0, &par_options);
+    let _ = try_run_flow(&netlist, Config::Hetero3d, 1.0, &seq_options).expect("flow");
+    let _ = try_run_flow(&netlist, Config::Hetero3d, 1.0, &par_options).expect("flow");
     let seq = seq_options.obs.manifest();
     let par = par_options.obs.manifest();
     let identical = seq.deterministic_json() == par.deterministic_json();
@@ -82,13 +82,14 @@ fn main() {
 
     // Fmax sweep coverage: probe/rung/relaxed spans under one handle.
     let fmax_options = instrumented(&base, 0);
-    let (fmax_ghz, _) = find_fmax(&netlist, Config::TwoD12T, &fmax_options, 1.0);
+    let (fmax_ghz, _) =
+        try_find_fmax(&netlist, Config::TwoD12T, &fmax_options, 1.0).expect("fmax sweep");
     let fmax = fmax_options.obs.manifest();
 
     // Prefix reuse: a five-config comparison must run the pseudo-3-D
     // stage exactly once (all 3-D configs fork from one checkpoint).
     let cmp_options = instrumented(&base, 0);
-    let _ = compare_configs(&netlist, &cmp_options, &CostModel::default());
+    let _ = try_compare_configs(&netlist, &cmp_options, &CostModel::default()).expect("comparison");
     let cmp = cmp_options.obs.manifest();
     let prefix_reuse = prefix_runs(&cmp);
     assert_eq!(

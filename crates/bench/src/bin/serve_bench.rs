@@ -1,0 +1,179 @@
+//! Service benchmark emitting `results/BENCH_serve.json`: runs a mixed
+//! design-space workload through an in-process [`m3d_serve::Server`] at
+//! one and four workers and records the checkpoint-cache economics.
+//!
+//! The deterministic section is the point. The workload spreads
+//! `requests` queries over `keys` distinct `(netlist, options)` cache
+//! keys, so regardless of worker scheduling:
+//!
+//! * `cache_misses == keys` — the cache builds exactly one session per
+//!   distinct key (racing requests share the in-flight build);
+//! * `pseudo3d_runs == keys` — every key sees at least one 3-D command,
+//!   and the shared checkpoint makes the pseudo-3-D stage run exactly
+//!   once per session, never once per request;
+//! * `identical_across_workers` — the full rendered response set at
+//!   four workers is byte-identical to one worker.
+//!
+//! Wall-clock fields (`wall_ms_*`) are informational only; `bench_gate`
+//! checks the deterministic fields exactly and floors the hit rate.
+//!
+//! Usage: `serve_bench [--scale <f64>] [--seed <u64>] [--out <dir>]`.
+//! The default scale is the CI smoke setting (0.02).
+
+use hetero3d::flow::{Config, FlowCommand, FlowRequest, NetlistSpec};
+use hetero3d::netgen::Benchmark;
+use hetero3d::obs::Obs;
+use m3d_serve::{Pending, Response, Server, ServerConfig, StatsSnapshot};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Distinct cache keys in the workload (option variants of one netlist).
+const KEYS: usize = 2;
+
+/// The workload: every command kind, every key, with repeats. Each key
+/// gets 3-D work (pseudo-3-D checkpoint demand) and repeated queries
+/// (cache-hit demand).
+fn workload(scale: f64, seed: u64) -> Vec<FlowRequest> {
+    let netlist = NetlistSpec {
+        benchmark: Benchmark::Aes,
+        scale,
+        seed,
+    };
+    let variant = |k: usize| {
+        let mut o = m3d_bench::bench_options();
+        o.placer_mut().iterations = 10 + k;
+        o
+    };
+    let run = |config, frequency_ghz| FlowCommand::RunFlow {
+        config,
+        frequency_ghz,
+    };
+    let commands = [
+        run(Config::Hetero3d, 1.0),
+        run(Config::TwoD12T, 1.0),
+        run(Config::ThreeD9T, 0.9),
+        FlowCommand::FindFmax {
+            config: Config::Hetero3d,
+            start_ghz: 1.0,
+        },
+        run(Config::Hetero3d, 1.0), // exact repeat of the first query
+    ];
+    let mut out = Vec::new();
+    for key in 0..KEYS {
+        for command in &commands {
+            out.push(FlowRequest {
+                id: out.len() as u64,
+                netlist,
+                options: variant(key),
+                command: *command,
+                deadline_ms: None,
+            });
+        }
+    }
+    out
+}
+
+struct Run {
+    stats: StatsSnapshot,
+    pseudo3d_runs: u64,
+    /// Rendered response lines in id order — the identity fingerprint.
+    rendered: Vec<String>,
+    wall_ms: f64,
+}
+
+fn run_workload(requests: &[FlowRequest], workers: usize) -> Run {
+    use hetero3d::json::ToJson;
+    let obs = Obs::enabled();
+    let server = Server::start(ServerConfig {
+        workers,
+        queue_depth: requests.len().max(1),
+        cache_capacity: KEYS + 2,
+        obs: obs.clone(),
+    });
+    let started = Instant::now();
+    let pending: Vec<Pending> = requests.iter().map(|r| server.submit(r.clone())).collect();
+    let mut responses: Vec<Response> = pending.into_iter().map(Pending::wait).collect();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    responses.sort_by_key(|r| r.id());
+    let rendered = responses.iter().map(|r| r.to_json().render()).collect();
+    let stats = server.shutdown();
+    Run {
+        stats,
+        pseudo3d_runs: obs.manifest().counter("flow/pseudo3d_runs").unwrap_or(0),
+        rendered,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let mut args = m3d_bench::parse_args();
+    if !std::env::args().any(|a| a == "--scale") {
+        args.scale = 0.02;
+    }
+    let requests = workload(args.scale, args.seed);
+
+    // Cold baseline for the reuse story: the same workload with a
+    // cache too small to ever hit (every request rebuilds its session).
+    let cold = {
+        use hetero3d::json::ToJson;
+        let started = Instant::now();
+        let mut rendered = Vec::new();
+        for r in &requests {
+            let session = hetero3d::flow::FlowSession::builder(&r.netlist.materialize())
+                .options(r.options.clone())
+                .build()
+                .expect("valid workload");
+            let report = session.execute(&r.command).expect("flow");
+            rendered.push(report.to_json().render());
+        }
+        (started.elapsed().as_secs_f64() * 1e3, rendered)
+    };
+
+    let seq = run_workload(&requests, 1);
+    let par = run_workload(&requests, 4);
+    let identical = seq.rendered == par.rendered;
+    assert!(
+        identical,
+        "serve determinism violated: 1-worker and 4-worker response sets differ"
+    );
+    assert_eq!(
+        seq.stats.completed_ok,
+        requests.len() as u64,
+        "every request must complete"
+    );
+
+    let hit_rate = seq.stats.cache_hits as f64 / requests.len() as f64;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve_bench\",");
+    let _ = writeln!(
+        json,
+        "  \"scale\": {}, \"seed\": {},",
+        args.scale, args.seed
+    );
+    let _ = writeln!(json, "  \"requests\": {},", requests.len());
+    let _ = writeln!(json, "  \"distinct_keys\": {KEYS},");
+    let _ = writeln!(json, "  \"completed_ok\": {},", seq.stats.completed_ok);
+    let _ = writeln!(json, "  \"cache_hits\": {},", seq.stats.cache_hits);
+    let _ = writeln!(json, "  \"cache_misses\": {},", seq.stats.cache_misses);
+    let _ = writeln!(json, "  \"hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(json, "  \"pseudo3d_runs\": {},", seq.pseudo3d_runs);
+    let _ = writeln!(json, "  \"identical_across_workers\": {identical},");
+    let _ = writeln!(json, "  \"wall_ms_cold\": {:.1},", cold.0);
+    let _ = writeln!(json, "  \"wall_ms_served_1w\": {:.1},", seq.wall_ms);
+    let _ = writeln!(json, "  \"wall_ms_served_4w\": {:.1}", par.wall_ms);
+    json.push_str("}\n");
+
+    m3d_bench::emit(&args, "BENCH_serve.json", &json);
+    println!(
+        "serve_bench: {} requests over {KEYS} keys -> {} hits / {} misses \
+         (hit rate {:.0}%), pseudo-3D built {} time(s), \
+         cold {:.0} ms vs served {:.0} ms",
+        requests.len(),
+        seq.stats.cache_hits,
+        seq.stats.cache_misses,
+        hit_rate * 100.0,
+        seq.pseudo3d_runs,
+        cold.0,
+        seq.wall_ms,
+    );
+}

@@ -4,7 +4,7 @@
 //! rather than asserted a priori.
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::compare_configs;
+use hetero3d::flow::try_compare_configs;
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::qualitative_ranking;
 use m3d_bench::{bench_options, emit, parse_args};
@@ -18,7 +18,7 @@ fn main() {
     // netcard is the largest and least quirky of the four).
     let netlist = Benchmark::Netcard.generate(args.scale, args.seed);
     eprintln!("[netcard: {} gates]", netlist.gate_count());
-    let cmp = compare_configs(&netlist, &options, &cost);
+    let cmp = try_compare_configs(&netlist, &options, &cost).expect("comparison");
     let mut all = cmp.homogeneous.clone();
     all.push(cmp.hetero.clone());
     let table = qualitative_ranking(&all);

@@ -3,7 +3,7 @@
 //! versus the enhanced Hetero-Pin-3-D flow, at the same frequency.
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{find_fmax, pin3d_baseline_comparison, Config};
+use hetero3d::flow::{pin3d_baseline_comparison, try_find_fmax, Config};
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::format_table5;
 use m3d_bench::{bench_options, emit, parse_args};
@@ -16,7 +16,7 @@ fn main() {
     // The paper captured Table V at the CPU's iso-performance target,
     // where the unmodified flow misses timing badly; stretch the measured
     // 12T-2D fmax by 10 % to land in the same regime on the scaled design.
-    let (fmax, _) = find_fmax(&netlist, Config::TwoD12T, &options, 1.0);
+    let (fmax, _) = try_find_fmax(&netlist, Config::TwoD12T, &options, 1.0).expect("fmax sweep");
     let frequency = (fmax * 1.1 * 100.0).round() / 100.0;
     eprintln!("[12T-2D fmax {fmax:.2} GHz -> Table V target {frequency:.2} GHz]");
     let cmp = pin3d_baseline_comparison(&netlist, frequency, &options, &CostModel::default());

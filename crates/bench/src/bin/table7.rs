@@ -3,7 +3,7 @@
 //! values (positive for PPC) mean the heterogeneous design wins.
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::compare_configs;
+use hetero3d::flow::try_compare_configs;
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::format_table7;
 use m3d_bench::{bench_options, emit, parse_args};
@@ -17,7 +17,7 @@ fn main() {
     for bench in Benchmark::ALL {
         let netlist = bench.generate(args.scale, args.seed);
         eprintln!("[{bench}: {} gates]", netlist.gate_count());
-        comparisons.push(compare_configs(&netlist, &options, &cost));
+        comparisons.push(try_compare_configs(&netlist, &options, &cost).expect("comparison"));
     }
     let refs: Vec<&_> = comparisons.iter().collect();
     let mut out = String::new();

@@ -7,7 +7,7 @@
 //! 2-D flavors so either reading can be checked.
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{find_fmax, run_flow, Config};
+use hetero3d::flow::{try_find_fmax, try_run_flow, Config};
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::{deep_dive, format_deep_dive};
 use m3d_bench::{bench_options, emit, parse_args};
@@ -18,12 +18,13 @@ fn main() {
     let options = bench_options();
     let netlist = Benchmark::Cpu.generate(args.scale, args.seed);
     eprintln!("[cpu: {} gates]", netlist.gate_count());
-    let (target, base) = find_fmax(&netlist, Config::TwoD12T, &options, 1.0);
+    let (target, base) =
+        try_find_fmax(&netlist, Config::TwoD12T, &options, 1.0).expect("fmax sweep");
     eprintln!("[12T-2D fmax {target:.2} GHz]");
 
-    let imp_9t2d = run_flow(&netlist, Config::TwoD9T, target, &options);
-    let imp_12t3d = run_flow(&netlist, Config::ThreeD12T, target, &options);
-    let imp_hetero = run_flow(&netlist, Config::Hetero3d, target, &options);
+    let imp_9t2d = try_run_flow(&netlist, Config::TwoD9T, target, &options).expect("flow");
+    let imp_12t3d = try_run_flow(&netlist, Config::ThreeD12T, target, &options).expect("flow");
+    let imp_hetero = try_run_flow(&netlist, Config::Hetero3d, target, &options).expect("flow");
     let _ = base.ppac(&CostModel::default());
 
     let dives = [

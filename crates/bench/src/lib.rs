@@ -9,7 +9,9 @@ use hetero3d::flow::FlowOptions;
 use std::fs;
 use std::path::PathBuf;
 
-pub mod json;
+/// Path-compatibility alias: the JSON reader started life here and now
+/// lives in the shared [`m3d_json`] crate (which added the writer half).
+pub use m3d_json as json;
 
 /// Parsed command-line arguments of a regeneration binary.
 #[derive(Debug, Clone, PartialEq)]

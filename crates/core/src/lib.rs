@@ -27,21 +27,35 @@
 //! | [`db`] | `m3d-db` | copy-on-write design database + change journal |
 //! | [`opt`] | `m3d-opt` | sizing, buffering |
 //! | [`par`] | `m3d-par` | deterministic parallel primitives |
+//! | [`json`] | `m3d-json` | zero-dependency JSON reader/writer (wire format) |
 //! | [`flow`] | `m3d-flow` | the five configurations + Hetero-Pin-3D flow |
+//! | [`serve`] | `m3d-serve` | concurrent flow service + checkpoint cache |
 //! | [`report`] | `m3d-report` | paper tables, Table VIII dives, SVG figures |
 //!
 //! # Quickstart
 //!
+//! The primary entry point is [`flow::FlowSession`]: bind a netlist to a
+//! set of options once, then answer any number of run/fmax/compare
+//! queries from the session's shared checkpoints.
+//!
 //! ```no_run
-//! use hetero3d::flow::{run_flow, Config, FlowOptions};
+//! use hetero3d::flow::{Config, FlowOptions, FlowSession};
 //! use hetero3d::netgen::Benchmark;
 //!
 //! // Generate an AES-class netlist and implement it heterogeneously.
 //! let netlist = Benchmark::Aes.generate(0.1, 42);
-//! let imp = run_flow(&netlist, Config::Hetero3d, 1.2, &FlowOptions::default());
+//! let session = FlowSession::builder(&netlist)
+//!     .options(FlowOptions::default())
+//!     .build()?;
+//! let imp = session.run(Config::Hetero3d, 1.2)?;
 //! let ppac = imp.ppac(&hetero3d::cost::CostModel::default());
 //! println!("power: {:.1} mW, PPC: {:.3}", ppac.total_power_mw, ppac.ppc);
+//! # Ok::<(), hetero3d::flow::FlowError>(())
 //! ```
+//!
+//! For serializable requests (and the `m3d-serve` daemon built on them)
+//! see [`flow::FlowRequest`] / [`flow::FlowReport`] and the [`serve`]
+//! module.
 
 pub use m3d_circuit as circuit;
 pub use m3d_cost as cost;
@@ -49,6 +63,7 @@ pub use m3d_cts as cts;
 pub use m3d_db as db;
 pub use m3d_flow as flow;
 pub use m3d_geom as geom;
+pub use m3d_json as json;
 pub use m3d_netgen as netgen;
 pub use m3d_netlist as netlist;
 pub use m3d_obs as obs;
@@ -59,6 +74,7 @@ pub use m3d_place as place;
 pub use m3d_power as power;
 pub use m3d_report as report;
 pub use m3d_route as route;
+pub use m3d_serve as serve;
 pub use m3d_sta as sta;
 pub use m3d_tech as tech;
 

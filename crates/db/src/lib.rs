@@ -36,6 +36,66 @@ use m3d_tech::{Drive, Tier, TierStack};
 use std::fmt;
 use std::sync::Arc;
 
+/// Content-based fingerprint of a netlist: FNV-1a over the design name,
+/// the full cell list (class, gate kind/drive, block tag, pin-to-net
+/// bindings) and the full net list (driver, sinks, clock flag). Two
+/// netlists with equal fingerprints describe the same circuit, which is
+/// what makes the value safe as a cache key — unlike
+/// [`DesignDb::state_fingerprint`], which tracks the *mutable* flow
+/// state (placement, parasitics, period) of one database.
+#[must_use]
+pub fn netlist_fingerprint(netlist: &Netlist) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    fn eat_into(h: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in netlist.name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    let mut eat = |v: u64| eat_into(&mut h, v);
+    eat(netlist.cell_count() as u64);
+    eat(netlist.net_count() as u64);
+    for (_, cell) in netlist.cells() {
+        match &cell.class {
+            m3d_netlist::CellClass::Gate { kind, drive } => {
+                eat(1);
+                eat(*kind as u64);
+                eat(*drive as u64);
+            }
+            m3d_netlist::CellClass::Macro(spec) => {
+                eat(2);
+                eat(spec.area_um2().to_bits());
+            }
+            m3d_netlist::CellClass::PrimaryInput => eat(3),
+            m3d_netlist::CellClass::PrimaryOutput => eat(4),
+        }
+        eat(u64::from(cell.block));
+        for net in cell.inputs.iter().chain(cell.outputs.iter()) {
+            eat(net.map_or(u64::MAX, |n| n.index() as u64));
+        }
+    }
+    for (_, net) in netlist.nets() {
+        eat(net.driver.map_or(u64::MAX, |p| p.cell.index() as u64));
+        eat(net.sinks.len() as u64);
+        for s in &net.sinks {
+            eat(s.cell.index() as u64);
+            eat(u64::from(s.pin));
+        }
+        eat(u64::from(net.is_clock));
+    }
+    h
+}
+
+/// Renders a fingerprint in the canonical 16-hex-digit form used by
+/// manifest labels and cache keys.
+#[must_use]
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
 /// One typed change record. Fine-grained variants carry both the old and
 /// the new value, so a journal can be replayed onto a fork of the
 /// pre-edit snapshot; coarse `Replace*` variants record that a whole
@@ -718,6 +778,28 @@ mod tests {
             .find(|(_, c)| c.class.is_gate())
             .map(|(id, _)| id)
             .expect("benchmark has gates")
+    }
+
+    #[test]
+    fn netlist_fingerprint_is_content_based() {
+        let a = Benchmark::Aes.generate(0.01, 3);
+        let a_again = Benchmark::Aes.generate(0.01, 3);
+        let other_seed = Benchmark::Aes.generate(0.01, 4);
+        let other_scale = Benchmark::Aes.generate(0.02, 3);
+        assert_eq!(netlist_fingerprint(&a), netlist_fingerprint(&a_again));
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&other_seed));
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&other_scale));
+        // A single-drive resize must change the key: the cache would
+        // otherwise serve stale checkpoints for an edited netlist.
+        let mut edited = a.clone();
+        let g = edited
+            .cells()
+            .find(|(_, c)| c.class.is_gate())
+            .map(|(id, _)| id)
+            .expect("gates");
+        edited.set_drive(g, Drive::X16);
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&edited));
+        assert_eq!(fingerprint_hex(netlist_fingerprint(&a)).len(), 16);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::config::{Config, FlowOptions};
 use crate::error::FlowError;
-use crate::flow::{fmax_from_base, run_flow, Implementation};
+use crate::flow::{fmax_from_base, try_run_flow, Implementation};
 use crate::ppac::{percent_delta, DeltaRow, Ppac};
 use crate::stage::{prepare_base, pseudo_checkpoint, run_from_base};
 use m3d_cost::CostModel;
@@ -62,9 +62,22 @@ pub fn try_compare_configs(
     options: &FlowOptions,
     cost: &CostModel,
 ) -> Result<Comparison, FlowError> {
-    let compare_span = options.obs.span("compare_configs");
     let base = prepare_base(netlist, options)?;
-    let (target_ghz, base_imp) = fmax_from_base(&base, None, Config::TwoD12T, options, 1.0)?;
+    let pseudo = pseudo_checkpoint(&base, options)?;
+    compare_from_base(&base, &pseudo, options, cost)
+}
+
+/// [`try_compare_configs`] over already-prepared checkpoints: the shared
+/// entry for sessions, which hold the base and the pseudo-3-D snapshot
+/// across many commands (and many service requests).
+pub(crate) fn compare_from_base(
+    base: &crate::stage::BaseDesign,
+    pseudo: &crate::stage::PseudoCheckpoint,
+    options: &FlowOptions,
+    cost: &CostModel,
+) -> Result<Comparison, FlowError> {
+    let compare_span = options.obs.span("compare_configs");
+    let (target_ghz, base_imp) = fmax_from_base(base, None, Config::TwoD12T, options, 1.0)?;
 
     // One job per configuration that still needs an implementation: the
     // homogeneous configurations other than 12-track 2-D (which reuses the
@@ -75,7 +88,6 @@ pub fn try_compare_configs(
     // in job order is deterministic. Each job writes its telemetry under
     // its own `cfg/<name>` prefix, so concurrent jobs never share a
     // manifest key.
-    let pseudo = pseudo_checkpoint(&base, options)?;
     let jobs: Vec<Config> = Config::HOMOGENEOUS
         .iter()
         .copied()
@@ -91,8 +103,7 @@ pub fn try_compare_configs(
         jobs.iter()
             .zip(&job_options)
             .map(|(&config, o)| {
-                let base = &base;
-                let pseudo = config.is_3d().then_some(&pseudo);
+                let pseudo = config.is_3d().then_some(pseudo);
                 move || run_from_base(base, pseudo, config, target_ghz, o)
             })
             .collect(),
@@ -121,7 +132,7 @@ pub fn try_compare_configs(
     drop(compare_span);
 
     Ok(Comparison {
-        design: netlist.name.clone(),
+        design: base.netlist.name.clone(),
         target_ghz,
         hetero,
         homogeneous,
@@ -136,6 +147,10 @@ pub fn try_compare_configs(
 /// # Panics
 ///
 /// Panics if the fmax sweep or any configuration job fails.
+#[deprecated(
+    since = "0.5.0",
+    note = "panicking wrapper, kept for tests only — use `FlowSession::compare` or `try_compare_configs`"
+)]
 #[must_use]
 pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostModel) -> Comparison {
     try_compare_configs(netlist, options, cost)
@@ -175,8 +190,10 @@ pub fn pin3d_baseline_comparison(
         ..options.clone()
     };
     let pin3d_implementation =
-        run_flow(netlist, Config::Hetero3d, frequency_ghz, &baseline_options);
-    let hetero_implementation = run_flow(netlist, Config::Hetero3d, frequency_ghz, options);
+        try_run_flow(netlist, Config::Hetero3d, frequency_ghz, &baseline_options)
+            .unwrap_or_else(|e| panic!("pin3d baseline flow failed: {e}"));
+    let hetero_implementation = try_run_flow(netlist, Config::Hetero3d, frequency_ghz, options)
+        .unwrap_or_else(|e| panic!("hetero flow failed: {e}"));
     BaselineComparison {
         frequency_ghz,
         pin3d: pin3d_implementation.ppac(cost),
@@ -227,7 +244,7 @@ mod tests {
     #[test]
     fn five_way_comparison_produces_all_rows() {
         let n = Benchmark::Aes.generate(0.012, 41);
-        let cmp = compare_configs(&n, &quick_options(), &CostModel::default());
+        let cmp = try_compare_configs(&n, &quick_options(), &CostModel::default()).expect("flow");
         assert_eq!(cmp.homogeneous.len(), 4);
         assert_eq!(cmp.deltas.len(), 4);
         assert!(cmp.target_ghz > 0.0);
@@ -252,7 +269,7 @@ mod tests {
         // configuration reports the missing implementation instead of
         // panicking.
         let n = Benchmark::Aes.generate(0.05, 7);
-        let imp = run_flow(&n, Config::TwoD9T, 0.8, &quick_options());
+        let imp = try_run_flow(&n, Config::TwoD9T, 0.8, &quick_options()).expect("flow");
         let jobs = [Config::TwoD9T];
         let mut pool = vec![Some(imp)];
         assert!(take_implementation(&jobs, &mut pool, Config::TwoD9T).is_ok());

@@ -1,9 +1,7 @@
 use crate::config::{Config, FlowOptions};
 use crate::error::FlowError;
 use crate::ppac::Ppac;
-use crate::stage::{
-    prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, FlowState, PseudoCheckpoint,
-};
+use crate::stage::{run_from_base, BaseDesign, FlowState, PseudoCheckpoint};
 use m3d_cost::CostModel;
 use m3d_cts::ClockTree;
 use m3d_netlist::Netlist;
@@ -103,6 +101,10 @@ impl Implementation {
 /// partitioning, tier legalization, 3-D CTS and (optionally) the
 /// repartitioning ECO.
 ///
+/// This is a thin adapter over [`crate::FlowSession`]: callers running
+/// more than one command against the same netlist should build a session
+/// once and query it, so the expensive prefix work is shared.
+///
 /// # Errors
 ///
 /// Returns [`FlowError::InvalidFrequency`] / [`FlowError::InvalidNetlist`]
@@ -116,8 +118,10 @@ pub fn try_run_flow(
     if frequency_ghz.is_nan() || frequency_ghz <= 0.0 {
         return Err(FlowError::InvalidFrequency { frequency_ghz });
     }
-    let base = prepare_base(netlist, options)?;
-    run_from_base(&base, None, config, frequency_ghz, options)
+    crate::FlowSession::builder(netlist)
+        .options(options.clone())
+        .build()?
+        .run(config, frequency_ghz)
 }
 
 /// [`try_run_flow`] for callers that treat flow failure as fatal.
@@ -126,6 +130,10 @@ pub fn try_run_flow(
 ///
 /// Panics if `frequency_ghz` is not positive, the netlist fails
 /// validation, or any pipeline stage rejects its inputs.
+#[deprecated(
+    since = "0.5.0",
+    note = "panicking wrapper, kept for tests only — use `FlowSession` or `try_run_flow`"
+)]
 #[must_use]
 pub fn run_flow(
     netlist: &Netlist,
@@ -235,13 +243,10 @@ pub fn try_find_fmax(
     options: &FlowOptions,
     start_ghz: f64,
 ) -> Result<(f64, Implementation), FlowError> {
-    let base = prepare_base(netlist, options)?;
-    let pseudo = if config.is_3d() {
-        Some(pseudo_checkpoint(&base, options)?)
-    } else {
-        None
-    };
-    fmax_from_base(&base, pseudo.as_ref(), config, options, start_ghz)
+    crate::FlowSession::builder(netlist)
+        .options(options.clone())
+        .build()?
+        .fmax(config, start_ghz)
 }
 
 /// [`try_find_fmax`] for callers that treat flow failure as fatal.
@@ -249,6 +254,10 @@ pub fn try_find_fmax(
 /// # Panics
 ///
 /// Panics if any probe or rung run fails.
+#[deprecated(
+    since = "0.5.0",
+    note = "panicking wrapper, kept for tests only — use `FlowSession` or `try_find_fmax`"
+)]
 #[must_use]
 pub fn find_fmax(
     netlist: &Netlist,
@@ -263,6 +272,7 @@ pub fn find_fmax(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::{prepare_base, pseudo_checkpoint};
     use m3d_netgen::Benchmark;
 
     fn quick_options() -> FlowOptions {
@@ -271,10 +281,14 @@ mod tests {
         o
     }
 
+    fn run(n: &Netlist, c: Config, f: f64, o: &FlowOptions) -> Implementation {
+        try_run_flow(n, c, f, o).expect("flow")
+    }
+
     #[test]
     fn two_d_flow_produces_complete_implementation() {
         let n = Benchmark::Aes.generate(0.02, 31);
-        let imp = run_flow(&n, Config::TwoD12T, 1.0, &quick_options());
+        let imp = run(&n, Config::TwoD12T, 1.0, &quick_options());
         assert!(imp.sta.endpoints > 0);
         assert!(imp.power.total_mw() > 0.0);
         assert!(imp.routing.total_wirelength_um > 0.0);
@@ -286,7 +300,7 @@ mod tests {
     #[test]
     fn hetero_flow_uses_both_tiers_and_mivs() {
         let n = Benchmark::Aes.generate(0.02, 31);
-        let imp = run_flow(&n, Config::Hetero3d, 1.0, &quick_options());
+        let imp = run(&n, Config::Hetero3d, 1.0, &quick_options());
         let top = imp.tiers.iter().filter(|t| **t == Tier::Top).count();
         let bottom = imp.tiers.iter().filter(|t| **t == Tier::Bottom).count();
         assert!(top > 0 && bottom > 0, "top {top} bottom {bottom}");
@@ -298,8 +312,8 @@ mod tests {
     #[test]
     fn hetero_footprint_smaller_than_2d() {
         let n = Benchmark::Aes.generate(0.02, 31);
-        let d2 = run_flow(&n, Config::TwoD12T, 1.0, &quick_options());
-        let h3 = run_flow(&n, Config::Hetero3d, 1.0, &quick_options());
+        let d2 = run(&n, Config::TwoD12T, 1.0, &quick_options());
+        let h3 = run(&n, Config::Hetero3d, 1.0, &quick_options());
         assert!(
             h3.floorplan.die.area() < 0.75 * d2.floorplan.die.area(),
             "hetero {} vs 2d {}",
@@ -312,8 +326,8 @@ mod tests {
     fn twelve_track_meets_tighter_timing_than_nine() {
         let n = Benchmark::Aes.generate(0.02, 31);
         let f = 1.2;
-        let fast = run_flow(&n, Config::TwoD12T, f, &quick_options());
-        let slow = run_flow(&n, Config::TwoD9T, f, &quick_options());
+        let fast = run(&n, Config::TwoD12T, f, &quick_options());
+        let slow = run(&n, Config::TwoD9T, f, &quick_options());
         assert!(
             fast.sta.wns > slow.sta.wns,
             "12T wns {} vs 9T wns {}",
@@ -325,7 +339,7 @@ mod tests {
     #[test]
     fn find_fmax_returns_met_implementation() {
         let n = Benchmark::Aes.generate(0.015, 31);
-        let (f, imp) = find_fmax(&n, Config::TwoD12T, &quick_options(), 1.0);
+        let (f, imp) = try_find_fmax(&n, Config::TwoD12T, &quick_options(), 1.0).expect("fmax");
         assert!(f > 0.0);
         assert!(
             imp.sta.timing_met(FlowOptions::default().wns_tolerance) || imp.sta.wns > -0.2,
@@ -352,7 +366,7 @@ mod tests {
         // checkpoint must be bit-identical to the self-contained one.
         let n = Benchmark::Aes.generate(0.02, 31);
         let options = quick_options();
-        let solo = run_flow(&n, Config::Hetero3d, 1.0, &options);
+        let solo = run(&n, Config::Hetero3d, 1.0, &options);
         let base = prepare_base(&n, &options).expect("valid netlist");
         let pseudo = pseudo_checkpoint(&base, &options).expect("pseudo stage");
         let forked = run_from_base(&base, Some(&pseudo), Config::Hetero3d, 1.0, &options)

@@ -22,14 +22,24 @@
 //!
 //! # Examples
 //!
+//! The primary entry point is a [`FlowSession`]: one netlist + one
+//! option set, validated and buffered once, queried many times (every
+//! command forks the session's shared checkpoints). The free functions
+//! [`try_run_flow`]/[`try_find_fmax`]/[`try_compare_configs`] are thin
+//! one-shot adapters over it.
+//!
 //! ```no_run
-//! use m3d_flow::{run_flow, Config, FlowOptions};
+//! use m3d_flow::{Config, FlowOptions, FlowSession};
 //! use m3d_netgen::Benchmark;
 //!
 //! let netlist = Benchmark::Aes.generate(0.1, 1);
-//! let imp = run_flow(&netlist, Config::Hetero3d, 1.5, &FlowOptions::default());
+//! let session = FlowSession::builder(&netlist)
+//!     .options(FlowOptions::default())
+//!     .build()?;
+//! let imp = session.run(Config::Hetero3d, 1.5)?;
 //! let ppac = imp.ppac(&m3d_cost::CostModel::default());
 //! println!("PPC = {:.3}", ppac.ppc);
+//! # Ok::<(), m3d_flow::FlowError>(())
 //! ```
 
 mod compare;
@@ -38,16 +48,22 @@ mod error;
 #[allow(clippy::module_inception)]
 mod flow;
 mod ppac;
+mod session;
 mod stage;
+mod wire;
 
-pub use compare::{
-    compare_configs, pin3d_baseline_comparison, try_compare_configs, BaselineComparison, Comparison,
-};
+#[allow(deprecated)]
+pub use compare::compare_configs;
+pub use compare::{pin3d_baseline_comparison, try_compare_configs, BaselineComparison, Comparison};
 pub use config::{Config, FlowOptions};
 pub use error::FlowError;
-pub use flow::{find_fmax, run_flow, try_find_fmax, try_run_flow, Implementation};
+#[allow(deprecated)]
+pub use flow::{find_fmax, run_flow};
+pub use flow::{try_find_fmax, try_run_flow, Implementation};
 pub use ppac::{percent_delta, DeltaRow, Ppac};
+pub use session::{FlowSession, FlowSessionBuilder};
 pub use stage::{
     prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, Cts, FlowState, Partition,
     PseudoCheckpoint, PseudoThreeD, Route, SignOff, Size, Stage, TierLegalize,
 };
+pub use wire::{ComparisonSummary, FlowCommand, FlowReport, FlowRequest, NetlistSpec, PpacSummary};

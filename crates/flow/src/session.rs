@@ -1,0 +1,333 @@
+//! The primary entry point: a [`FlowSession`] binds one netlist to one
+//! set of [`FlowOptions`], validates and buffers the design once, and
+//! then answers any number of commands — each forking the session's
+//! shared checkpoints instead of redoing the prefix work.
+//!
+//! * [`FlowSession::build`] runs [`prepare_base`] eagerly: validation
+//!   errors surface at construction, and every later command forks the
+//!   same buffered base snapshot.
+//! * The pseudo-3-D checkpoint is computed **lazily, once**: the first
+//!   3-D command pays for it, every later one (and every concurrent
+//!   caller — the session is `Sync`) forks it in O(1). A session serving
+//!   a design-space sweep runs the pseudo-3-D stage exactly once, which
+//!   is what the serve-layer checkpoint cache is built on.
+//! * Results are bit-identical to the standalone entry points at any
+//!   thread count: forking a checkpoint is observationally equal to
+//!   recomputing it (`shared_checkpoints_reproduce_the_standalone_run`).
+
+use crate::compare::{compare_from_base, Comparison};
+use crate::config::{Config, FlowOptions};
+use crate::error::FlowError;
+use crate::flow::{fmax_from_base, Implementation};
+use crate::stage::{prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, PseudoCheckpoint};
+use crate::wire::{FlowCommand, FlowReport, PpacSummary};
+use m3d_cost::CostModel;
+use m3d_netlist::Netlist;
+use std::sync::OnceLock;
+
+/// Builder for a [`FlowSession`] (see [`FlowSession::builder`]).
+#[derive(Debug)]
+pub struct FlowSessionBuilder<'a> {
+    netlist: &'a Netlist,
+    options: FlowOptions,
+}
+
+impl FlowSessionBuilder<'_> {
+    /// Replaces the flow options (default: [`FlowOptions::default`]).
+    #[must_use]
+    pub fn options(mut self, options: FlowOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validates the netlist and prepares the shared base checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidNetlist`] when the netlist fails
+    /// validation.
+    pub fn build(self) -> Result<FlowSession, FlowError> {
+        let netlist_fingerprint =
+            m3d_db::fingerprint_hex(m3d_db::netlist_fingerprint(self.netlist));
+        let options_fingerprint = self.options.fingerprint();
+        let base = prepare_base(self.netlist, &self.options)?;
+        Ok(FlowSession {
+            design: self.netlist.name.clone(),
+            netlist_fingerprint,
+            options_fingerprint,
+            options: self.options,
+            base,
+            pseudo: OnceLock::new(),
+        })
+    }
+}
+
+/// One netlist + one option set, prepared once, queried many times.
+///
+/// ```no_run
+/// use m3d_flow::{Config, FlowOptions, FlowSession};
+/// use m3d_netgen::Benchmark;
+///
+/// let netlist = Benchmark::Aes.generate(0.1, 1);
+/// let session = FlowSession::builder(&netlist)
+///     .options(FlowOptions::default())
+///     .build()?;
+/// let hetero = session.run(Config::Hetero3d, 1.5)?;
+/// let (fmax, _) = session.fmax(Config::TwoD12T, 1.0)?;
+/// println!("hetero WNS {:.3} ns at fmax {fmax:.2} GHz", hetero.sta.wns);
+/// # Ok::<(), m3d_flow::FlowError>(())
+/// ```
+#[derive(Debug)]
+pub struct FlowSession {
+    design: String,
+    netlist_fingerprint: String,
+    options_fingerprint: String,
+    options: FlowOptions,
+    base: BaseDesign,
+    pseudo: OnceLock<Result<PseudoCheckpoint, FlowError>>,
+}
+
+impl FlowSession {
+    /// Starts building a session over `netlist`.
+    #[must_use]
+    pub fn builder(netlist: &Netlist) -> FlowSessionBuilder<'_> {
+        FlowSessionBuilder {
+            netlist,
+            options: FlowOptions::default(),
+        }
+    }
+
+    /// The design's name.
+    #[must_use]
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Content fingerprint of the input netlist (16 hex digits) — one
+    /// half of the serve-layer checkpoint-cache key.
+    #[must_use]
+    pub fn netlist_fingerprint(&self) -> &str {
+        &self.netlist_fingerprint
+    }
+
+    /// Fingerprint of the result-affecting options — the other half of
+    /// the cache key.
+    #[must_use]
+    pub fn options_fingerprint(&self) -> &str {
+        &self.options_fingerprint
+    }
+
+    /// The session's options.
+    #[must_use]
+    pub fn options(&self) -> &FlowOptions {
+        &self.options
+    }
+
+    /// Whether the pseudo-3-D checkpoint has been computed yet.
+    #[must_use]
+    pub fn pseudo_ready(&self) -> bool {
+        matches!(self.pseudo.get(), Some(Ok(_)))
+    }
+
+    /// The shared pseudo-3-D checkpoint, computed on first use. Racing
+    /// callers block on the one computation instead of duplicating it.
+    fn pseudo(&self) -> Result<&PseudoCheckpoint, FlowError> {
+        self.pseudo
+            .get_or_init(|| pseudo_checkpoint(&self.base, &self.options))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The pseudo checkpoint when the configuration needs one.
+    fn pseudo_for(&self, config: Config) -> Result<Option<&PseudoCheckpoint>, FlowError> {
+        if config.is_3d() {
+            self.pseudo().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Implements `config` at `frequency_ghz`, forking the session's
+    /// checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidFrequency`] for a non-positive or NaN
+    /// target and propagates any stage failure.
+    pub fn run(&self, config: Config, frequency_ghz: f64) -> Result<Implementation, FlowError> {
+        if frequency_ghz.is_nan() || frequency_ghz <= 0.0 {
+            return Err(FlowError::InvalidFrequency { frequency_ghz });
+        }
+        run_from_base(
+            &self.base,
+            self.pseudo_for(config)?,
+            config,
+            frequency_ghz,
+            &self.options,
+        )
+    }
+
+    /// Sweeps `config` to its maximum met frequency, starting the probe
+    /// at `start_ghz`. Returns `(fmax_ghz, implementation_at_fmax)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure of any probe or ladder rung.
+    pub fn fmax(&self, config: Config, start_ghz: f64) -> Result<(f64, Implementation), FlowError> {
+        fmax_from_base(
+            &self.base,
+            self.pseudo_for(config)?,
+            config,
+            &self.options,
+            start_ghz,
+        )
+    }
+
+    /// Runs the five-way iso-performance comparison (Tables VI/VII).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure of the fmax sweep or any
+    /// configuration job.
+    pub fn compare(&self, cost: &CostModel) -> Result<Comparison, FlowError> {
+        compare_from_base(&self.base, self.pseudo()?, &self.options, cost)
+    }
+
+    /// Executes one wire-format command and rolls the result up into its
+    /// serializable report — the single execution path shared by direct
+    /// library callers and the flow service (which is how the service
+    /// guarantees its responses are bit-identical to library calls).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying command's [`FlowError`].
+    pub fn execute(&self, command: &FlowCommand) -> Result<FlowReport, FlowError> {
+        let cost = CostModel::default();
+        match *command {
+            FlowCommand::RunFlow {
+                config,
+                frequency_ghz,
+            } => {
+                let imp = self.run(config, frequency_ghz)?;
+                Ok(FlowReport::Run {
+                    ppac: PpacSummary::from(&imp.ppac(&cost)),
+                })
+            }
+            FlowCommand::FindFmax { config, start_ghz } => {
+                let (fmax_ghz, imp) = self.fmax(config, start_ghz)?;
+                Ok(FlowReport::Fmax {
+                    fmax_ghz,
+                    ppac: PpacSummary::from(&imp.ppac(&cost)),
+                })
+            }
+            FlowCommand::CompareConfigs => {
+                let comparison = self.compare(&cost)?;
+                Ok(FlowReport::Compare {
+                    comparison: (&comparison).into(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::NetlistSpec;
+    use m3d_netgen::Benchmark;
+
+    fn quick_options() -> FlowOptions {
+        let mut o = FlowOptions::default();
+        o.placer_mut().iterations = 8;
+        o
+    }
+
+    #[test]
+    fn session_matches_standalone_entry_points_bit_for_bit() {
+        let n = Benchmark::Aes.generate(0.02, 31);
+        let options = quick_options();
+        let session = FlowSession::builder(&n)
+            .options(options.clone())
+            .build()
+            .expect("valid netlist");
+        assert!(!session.pseudo_ready(), "pseudo must be lazy");
+
+        let direct = crate::flow::try_run_flow(&n, Config::Hetero3d, 1.0, &options).unwrap();
+        let via_session = session.run(Config::Hetero3d, 1.0).unwrap();
+        assert!(session.pseudo_ready());
+        assert_eq!(direct.tiers, via_session.tiers);
+        assert_eq!(direct.sta.wns.to_bits(), via_session.sta.wns.to_bits());
+        assert_eq!(
+            direct.power.total_mw().to_bits(),
+            via_session.power.total_mw().to_bits()
+        );
+        assert_eq!(direct.placement.positions, via_session.placement.positions);
+
+        // A 2-D run through the same session agrees with the library too.
+        let d2 = crate::flow::try_run_flow(&n, Config::TwoD12T, 1.0, &options).unwrap();
+        let d2s = session.run(Config::TwoD12T, 1.0).unwrap();
+        assert_eq!(d2.sta.wns.to_bits(), d2s.sta.wns.to_bits());
+    }
+
+    #[test]
+    fn session_rejects_bad_frequency_and_bad_netlist() {
+        let n = Benchmark::Aes.generate(0.02, 31);
+        let session = FlowSession::builder(&n).build().expect("valid netlist");
+        let err = session.run(Config::TwoD9T, f64::NAN).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidFrequency { .. }));
+
+        // A gate with an unconnected input fails validation at build().
+        let mut invalid = m3d_netlist::Netlist::new("invalid");
+        let pi = invalid.add_input("a");
+        let net = invalid.add_net("na", pi, 0);
+        let g = invalid.add_gate("g", m3d_tech::CellKind::Nand2, m3d_tech::Drive::X1, 0);
+        invalid.connect(net, g, 0); // pin 1 left dangling
+        assert!(matches!(
+            FlowSession::builder(&invalid).build(),
+            Err(FlowError::InvalidNetlist(_))
+        ));
+    }
+
+    #[test]
+    fn execute_reports_match_direct_calls() {
+        let spec = NetlistSpec {
+            benchmark: Benchmark::Aes,
+            scale: 0.015,
+            seed: 31,
+        };
+        let n = spec.materialize();
+        let options = quick_options();
+        let session = FlowSession::builder(&n)
+            .options(options.clone())
+            .build()
+            .unwrap();
+        let report = session
+            .execute(&FlowCommand::RunFlow {
+                config: Config::ThreeD9T,
+                frequency_ghz: 0.9,
+            })
+            .unwrap();
+        let imp = session.run(Config::ThreeD9T, 0.9).unwrap();
+        let expected = FlowReport::Run {
+            ppac: PpacSummary::from(&imp.ppac(&CostModel::default())),
+        };
+        assert_eq!(report, expected);
+    }
+
+    #[test]
+    fn fingerprints_key_on_netlist_and_options() {
+        let a = Benchmark::Aes.generate(0.015, 31);
+        let b = Benchmark::Aes.generate(0.015, 32);
+        let s1 = FlowSession::builder(&a).build().unwrap();
+        let s2 = FlowSession::builder(&a).build().unwrap();
+        let s3 = FlowSession::builder(&b).build().unwrap();
+        let s4 = FlowSession::builder(&a)
+            .options(quick_options())
+            .build()
+            .unwrap();
+        assert_eq!(s1.netlist_fingerprint(), s2.netlist_fingerprint());
+        assert_eq!(s1.options_fingerprint(), s2.options_fingerprint());
+        assert_ne!(s1.netlist_fingerprint(), s3.netlist_fingerprint());
+        assert_ne!(s1.options_fingerprint(), s4.options_fingerprint());
+    }
+}

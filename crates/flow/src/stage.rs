@@ -183,28 +183,10 @@ fn cell_areas(netlist: &Netlist, stack: &TierStack, tiers: &[Tier]) -> Vec<f64> 
         .collect()
 }
 
-/// Cheap structural fingerprint of a netlist (FNV-1a over the name and
-/// coarse size/connectivity figures), for the manifest's input-identity
-/// label.
+/// Content-based netlist fingerprint in manifest/cache-key form (shared
+/// with the serve-layer checkpoint cache via [`m3d_db`]).
 fn netlist_fingerprint(netlist: &Netlist) -> String {
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let eat_u64 = |h: &mut u64, v: u64| {
-        for b in v.to_le_bytes() {
-            *h ^= u64::from(b);
-            *h = h.wrapping_mul(PRIME);
-        }
-    };
-    for b in netlist.name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    eat_u64(&mut h, netlist.cell_count() as u64);
-    eat_u64(&mut h, netlist.net_count() as u64);
-    eat_u64(&mut h, netlist.gate_count() as u64);
-    let degree_sum: u64 = netlist.nets().map(|(_, n)| n.degree() as u64).sum();
-    eat_u64(&mut h, degree_sum);
-    format!("{h:016x}")
+    m3d_db::fingerprint_hex(m3d_db::netlist_fingerprint(netlist))
 }
 
 /// Publishes a persistent [`Timer`]'s lifetime counters: the propagation

@@ -1,0 +1,764 @@
+//! Wire-format types: the serializable request/response vocabulary of
+//! the flow service.
+//!
+//! Everything here round-trips through [`m3d_json`] losslessly: floats
+//! are written in shortest-roundtrip form (parse back bit for bit),
+//! enums as lowercase wire names, and integers exactly up to 2^53 (JSON
+//! numbers are doubles on the wire). The one deliberate exception is
+//! [`FlowOptions::obs`]: a telemetry handle is process state, not
+//! request state, so it never crosses the wire and deserializes as
+//! [`m3d_obs::Obs::disabled`] — which compares equal to any other
+//! disabled handle.
+
+use crate::compare::Comparison;
+use crate::config::{Config, FlowOptions};
+use crate::ppac::{DeltaRow, Ppac};
+use m3d_json::{Cur, DecodeError, FromJson, Obj, ToJson, Value};
+use m3d_netgen::Benchmark;
+use m3d_netlist::Netlist;
+use m3d_tech::Drive;
+
+// ---------------------------------------------------------------------
+// leaf enums
+// ---------------------------------------------------------------------
+
+fn config_wire_name(c: Config) -> &'static str {
+    match c {
+        Config::TwoD9T => "2d9t",
+        Config::TwoD12T => "2d12t",
+        Config::ThreeD9T => "3d9t",
+        Config::ThreeD12T => "3d12t",
+        Config::Hetero3d => "hetero3d",
+    }
+}
+
+fn config_from_wire(cur: &Cur<'_>) -> Result<Config, DecodeError> {
+    match cur.str()? {
+        "2d9t" => Ok(Config::TwoD9T),
+        "2d12t" => Ok(Config::TwoD12T),
+        "3d9t" => Ok(Config::ThreeD9T),
+        "3d12t" => Ok(Config::ThreeD12T),
+        "hetero3d" => Ok(Config::Hetero3d),
+        _ => Err(DecodeError::new(
+            cur.path(),
+            "a configuration (2d9t|2d12t|3d9t|3d12t|hetero3d)",
+        )),
+    }
+}
+
+impl ToJson for Config {
+    fn to_json(&self) -> Value {
+        Value::Str(config_wire_name(*self).to_string())
+    }
+}
+
+impl FromJson for Config {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        config_from_wire(&cur)
+    }
+}
+
+fn drive_wire_name(d: Drive) -> &'static str {
+    match d {
+        Drive::X1 => "x1",
+        Drive::X2 => "x2",
+        Drive::X4 => "x4",
+        Drive::X8 => "x8",
+        Drive::X16 => "x16",
+    }
+}
+
+fn drive_from_wire(cur: &Cur<'_>) -> Result<Drive, DecodeError> {
+    match cur.str()? {
+        "x1" => Ok(Drive::X1),
+        "x2" => Ok(Drive::X2),
+        "x4" => Ok(Drive::X4),
+        "x8" => Ok(Drive::X8),
+        "x16" => Ok(Drive::X16),
+        _ => Err(DecodeError::new(cur.path(), "a drive (x1|x2|x4|x8|x16)")),
+    }
+}
+
+fn benchmark_wire_name(b: Benchmark) -> &'static str {
+    match b {
+        Benchmark::Aes => "aes",
+        Benchmark::Ldpc => "ldpc",
+        Benchmark::Netcard => "netcard",
+        Benchmark::Cpu => "cpu",
+    }
+}
+
+fn benchmark_from_wire(cur: &Cur<'_>) -> Result<Benchmark, DecodeError> {
+    match cur.str()? {
+        "aes" => Ok(Benchmark::Aes),
+        "ldpc" => Ok(Benchmark::Ldpc),
+        "netcard" => Ok(Benchmark::Netcard),
+        "cpu" => Ok(Benchmark::Cpu),
+        _ => Err(DecodeError::new(
+            cur.path(),
+            "a benchmark (aes|ldpc|netcard|cpu)",
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// requests
+// ---------------------------------------------------------------------
+
+/// A netlist named *by recipe* rather than by value: benchmark generator
+/// plus its scale/seed parameters. The generators are deterministic, so
+/// a spec pins down the exact circuit — two services materializing the
+/// same spec hold bit-identical netlists (and equal cache keys).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetlistSpec {
+    /// Which generator.
+    pub benchmark: Benchmark,
+    /// Size relative to the workspace defaults.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl NetlistSpec {
+    /// Runs the generator.
+    #[must_use]
+    pub fn materialize(&self) -> Netlist {
+        self.benchmark.generate(self.scale, self.seed)
+    }
+}
+
+impl ToJson for NetlistSpec {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .put("benchmark", benchmark_wire_name(self.benchmark))
+            .put("scale", self.scale)
+            .put("seed", self.seed)
+            .build()
+    }
+}
+
+impl FromJson for NetlistSpec {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        Ok(NetlistSpec {
+            benchmark: benchmark_from_wire(&cur.get("benchmark")?)?,
+            scale: cur.get("scale")?.f64()?,
+            seed: cur.get("seed")?.u64()?,
+        })
+    }
+}
+
+/// What a request asks the flow to do — the service-side mirror of the
+/// three library entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowCommand {
+    /// Implement one configuration at a fixed target frequency.
+    RunFlow {
+        /// Which configuration.
+        config: Config,
+        /// Target clock, GHz.
+        frequency_ghz: f64,
+    },
+    /// Sweep one configuration to its maximum met frequency.
+    FindFmax {
+        /// Which configuration.
+        config: Config,
+        /// Sweep starting point, GHz.
+        start_ghz: f64,
+    },
+    /// Run the five-way iso-performance comparison (Tables VI/VII).
+    CompareConfigs,
+}
+
+impl ToJson for FlowCommand {
+    fn to_json(&self) -> Value {
+        match *self {
+            FlowCommand::RunFlow {
+                config,
+                frequency_ghz,
+            } => Obj::new()
+                .put("op", "run_flow")
+                .put("config", config.to_json())
+                .put("frequency_ghz", frequency_ghz)
+                .build(),
+            FlowCommand::FindFmax { config, start_ghz } => Obj::new()
+                .put("op", "find_fmax")
+                .put("config", config.to_json())
+                .put("start_ghz", start_ghz)
+                .build(),
+            FlowCommand::CompareConfigs => Obj::new().put("op", "compare_configs").build(),
+        }
+    }
+}
+
+impl FromJson for FlowCommand {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        let op = cur.get("op")?;
+        match op.str()? {
+            "run_flow" => Ok(FlowCommand::RunFlow {
+                config: config_from_wire(&cur.get("config")?)?,
+                frequency_ghz: cur.get("frequency_ghz")?.f64()?,
+            }),
+            "find_fmax" => Ok(FlowCommand::FindFmax {
+                config: config_from_wire(&cur.get("config")?)?,
+                start_ghz: cur.get("start_ghz")?.f64()?,
+            }),
+            "compare_configs" => Ok(FlowCommand::CompareConfigs),
+            _ => Err(DecodeError::new(
+                op.path(),
+                "an op (run_flow|find_fmax|compare_configs)",
+            )),
+        }
+    }
+}
+
+/// One unit of service work: which netlist, which knobs, which command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRequest {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The design to implement.
+    pub netlist: NetlistSpec,
+    /// Flow knobs (the checkpoint-cache key includes their fingerprint).
+    pub options: FlowOptions,
+    /// What to do.
+    pub command: FlowCommand,
+    /// Per-request deadline in milliseconds, measured from acceptance;
+    /// a request still queued past its deadline is rejected, not run.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ToJson for FlowRequest {
+    fn to_json(&self) -> Value {
+        let mut o = Obj::new()
+            .put("id", self.id)
+            .put("netlist", self.netlist.to_json())
+            .put("options", self.options.to_json())
+            .put("command", self.command.to_json());
+        if let Some(d) = self.deadline_ms {
+            o = o.put("deadline_ms", d);
+        }
+        o.build()
+    }
+}
+
+impl FromJson for FlowRequest {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        Ok(FlowRequest {
+            id: cur.get("id")?.u64()?,
+            netlist: NetlistSpec::from_json(cur.get("netlist")?)?,
+            options: FlowOptions::from_json(cur.get("options")?)?,
+            command: FlowCommand::from_json(cur.get("command")?)?,
+            deadline_ms: cur.opt("deadline_ms").map(|d| d.u64()).transpose()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// options
+// ---------------------------------------------------------------------
+
+impl ToJson for FlowOptions {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .put("utilization", self.utilization)
+            .put("seed", self.seed)
+            .put(
+                "placer",
+                Obj::new()
+                    .put("iterations", self.placer.iterations)
+                    .put("relax_sweeps", self.placer.relax_sweeps)
+                    .put("bins", self.placer.bins)
+                    .put("target_fill", self.placer.target_fill)
+                    .put("seed", self.placer.seed)
+                    .build(),
+            )
+            .put(
+                "route",
+                Obj::new()
+                    .put("bins", self.route.bins)
+                    .put("congestion_exponent", self.route.congestion_exponent)
+                    .put("overflow_threshold", self.route.overflow_threshold)
+                    .build(),
+            )
+            .put(
+                "cts",
+                Obj::new()
+                    .put("max_fanout", self.cts.max_fanout)
+                    .put("fast_drive", drive_wire_name(self.cts.fast_drive))
+                    .put("slow_drive", drive_wire_name(self.cts.slow_drive))
+                    .build(),
+            )
+            .put("timing_partition_cap", self.timing_partition_cap)
+            .put("enable_timing_partition", self.enable_timing_partition)
+            .put("enable_3d_cts", self.enable_3d_cts)
+            .put("enable_repartition", self.enable_repartition)
+            .put("input_activity", self.input_activity)
+            .put("max_fanout", self.max_fanout)
+            .put("partition_bins", self.partition_bins)
+            .put("wns_tolerance", self.wns_tolerance)
+            .put("threads", self.threads)
+            .build()
+    }
+}
+
+impl FromJson for FlowOptions {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        let mut out = FlowOptions {
+            utilization: cur.get("utilization")?.f64()?,
+            seed: cur.get("seed")?.u64()?,
+            timing_partition_cap: cur.get("timing_partition_cap")?.f64()?,
+            enable_timing_partition: cur.get("enable_timing_partition")?.bool()?,
+            enable_3d_cts: cur.get("enable_3d_cts")?.bool()?,
+            enable_repartition: cur.get("enable_repartition")?.bool()?,
+            input_activity: cur.get("input_activity")?.f64()?,
+            max_fanout: cur.get("max_fanout")?.usize()?,
+            partition_bins: cur.get("partition_bins")?.usize()?,
+            wns_tolerance: cur.get("wns_tolerance")?.f64()?,
+            threads: cur.get("threads")?.usize()?,
+            ..FlowOptions::default()
+        };
+        let placer = cur.get("placer")?;
+        *out.placer_mut() = m3d_place::PlacerConfig {
+            iterations: placer.get("iterations")?.usize()?,
+            relax_sweeps: placer.get("relax_sweeps")?.usize()?,
+            bins: placer.get("bins")?.usize()?,
+            target_fill: placer.get("target_fill")?.f64()?,
+            seed: placer.get("seed")?.u64()?,
+        };
+        let route = cur.get("route")?;
+        *out.route_mut() = m3d_route::RouteConfig {
+            bins: route.get("bins")?.usize()?,
+            congestion_exponent: route.get("congestion_exponent")?.f64()?,
+            overflow_threshold: route.get("overflow_threshold")?.f64()?,
+        };
+        let cts = cur.get("cts")?;
+        *out.cts_mut() = m3d_cts::CtsConfig {
+            max_fanout: cts.get("max_fanout")?.usize()?,
+            fast_drive: drive_from_wire(&cts.get("fast_drive")?)?,
+            slow_drive: drive_from_wire(&cts.get("slow_drive")?)?,
+        };
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// reports
+// ---------------------------------------------------------------------
+
+/// The scalar PPAC roll-up of one implementation — everything a client
+/// needs from Table VI, without the megabytes of placement/routing the
+/// full [`crate::Implementation`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpacSummary {
+    /// Configuration the metrics belong to.
+    pub config: Config,
+    /// Achieved/target clock frequency, GHz.
+    pub frequency_ghz: f64,
+    /// Die footprint, mm².
+    pub footprint_mm2: f64,
+    /// Total silicon area, mm².
+    pub si_area_mm2: f64,
+    /// Chip width, µm.
+    pub chip_width_um: f64,
+    /// Standard-cell density, %.
+    pub density_pct: f64,
+    /// Total signal wirelength, mm.
+    pub wirelength_mm: f64,
+    /// Monolithic inter-tier via count.
+    pub mivs: usize,
+    /// Net switching power, mW.
+    pub switching_mw: f64,
+    /// Cell-internal power, mW.
+    pub internal_mw: f64,
+    /// Leakage power, mW.
+    pub leakage_mw: f64,
+    /// Clock network power, mW.
+    pub clock_mw: f64,
+    /// Total power, mW.
+    pub total_power_mw: f64,
+    /// Worst negative slack, ns.
+    pub wns_ns: f64,
+    /// Total negative slack, ns.
+    pub tns_ns: f64,
+    /// Effective delay = period − WNS, ns.
+    pub effective_delay_ns: f64,
+    /// Power-delay product, pJ.
+    pub pdp_pj: f64,
+    /// Die cost, `10⁻⁶ C'`.
+    pub die_cost_uc: f64,
+    /// Cost per cm² of silicon, `10⁻⁶ C'/cm²`.
+    pub cost_per_cm2_uc: f64,
+    /// Performance per cost.
+    pub ppc: f64,
+}
+
+impl From<&Ppac> for PpacSummary {
+    fn from(p: &Ppac) -> Self {
+        PpacSummary {
+            config: p.config,
+            frequency_ghz: p.frequency_ghz,
+            footprint_mm2: p.footprint_mm2,
+            si_area_mm2: p.si_area_mm2,
+            chip_width_um: p.chip_width_um,
+            density_pct: p.density_pct,
+            wirelength_mm: p.wirelength_mm,
+            mivs: p.mivs,
+            switching_mw: p.power.switching_mw,
+            internal_mw: p.power.internal_mw,
+            leakage_mw: p.power.leakage_mw,
+            clock_mw: p.power.clock_mw,
+            total_power_mw: p.total_power_mw,
+            wns_ns: p.wns_ns,
+            tns_ns: p.tns_ns,
+            effective_delay_ns: p.effective_delay_ns,
+            pdp_pj: p.pdp_pj,
+            die_cost_uc: p.die_cost_uc,
+            cost_per_cm2_uc: p.cost_per_cm2_uc,
+            ppc: p.ppc,
+        }
+    }
+}
+
+impl ToJson for PpacSummary {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .put("config", self.config.to_json())
+            .put("frequency_ghz", self.frequency_ghz)
+            .put("footprint_mm2", self.footprint_mm2)
+            .put("si_area_mm2", self.si_area_mm2)
+            .put("chip_width_um", self.chip_width_um)
+            .put("density_pct", self.density_pct)
+            .put("wirelength_mm", self.wirelength_mm)
+            .put("mivs", self.mivs)
+            .put("switching_mw", self.switching_mw)
+            .put("internal_mw", self.internal_mw)
+            .put("leakage_mw", self.leakage_mw)
+            .put("clock_mw", self.clock_mw)
+            .put("total_power_mw", self.total_power_mw)
+            .put("wns_ns", self.wns_ns)
+            .put("tns_ns", self.tns_ns)
+            .put("effective_delay_ns", self.effective_delay_ns)
+            .put("pdp_pj", self.pdp_pj)
+            .put("die_cost_uc", self.die_cost_uc)
+            .put("cost_per_cm2_uc", self.cost_per_cm2_uc)
+            .put("ppc", self.ppc)
+            .build()
+    }
+}
+
+impl FromJson for PpacSummary {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        Ok(PpacSummary {
+            config: config_from_wire(&cur.get("config")?)?,
+            frequency_ghz: cur.get("frequency_ghz")?.f64()?,
+            footprint_mm2: cur.get("footprint_mm2")?.f64()?,
+            si_area_mm2: cur.get("si_area_mm2")?.f64()?,
+            chip_width_um: cur.get("chip_width_um")?.f64()?,
+            density_pct: cur.get("density_pct")?.f64()?,
+            wirelength_mm: cur.get("wirelength_mm")?.f64()?,
+            mivs: cur.get("mivs")?.usize()?,
+            switching_mw: cur.get("switching_mw")?.f64()?,
+            internal_mw: cur.get("internal_mw")?.f64()?,
+            leakage_mw: cur.get("leakage_mw")?.f64()?,
+            clock_mw: cur.get("clock_mw")?.f64()?,
+            total_power_mw: cur.get("total_power_mw")?.f64()?,
+            wns_ns: cur.get("wns_ns")?.f64()?,
+            tns_ns: cur.get("tns_ns")?.f64()?,
+            effective_delay_ns: cur.get("effective_delay_ns")?.f64()?,
+            pdp_pj: cur.get("pdp_pj")?.f64()?,
+            die_cost_uc: cur.get("die_cost_uc")?.f64()?,
+            cost_per_cm2_uc: cur.get("cost_per_cm2_uc")?.f64()?,
+            ppc: cur.get("ppc")?.f64()?,
+        })
+    }
+}
+
+impl ToJson for DeltaRow {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .put("config", self.config.to_json())
+            .put("si_area", self.si_area)
+            .put("density", self.density)
+            .put("wirelength", self.wirelength)
+            .put("total_power", self.total_power)
+            .put("effective_delay", self.effective_delay)
+            .put("pdp", self.pdp)
+            .put("die_cost", self.die_cost)
+            .put("cost_per_cm2", self.cost_per_cm2)
+            .put("ppc", self.ppc)
+            .put("width_um", self.width_um)
+            .put("wns_ns", self.wns_ns)
+            .put("tns_ns", self.tns_ns)
+            .build()
+    }
+}
+
+impl FromJson for DeltaRow {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        Ok(DeltaRow {
+            config: config_from_wire(&cur.get("config")?)?,
+            si_area: cur.get("si_area")?.f64()?,
+            density: cur.get("density")?.f64()?,
+            wirelength: cur.get("wirelength")?.f64()?,
+            total_power: cur.get("total_power")?.f64()?,
+            effective_delay: cur.get("effective_delay")?.f64()?,
+            pdp: cur.get("pdp")?.f64()?,
+            die_cost: cur.get("die_cost")?.f64()?,
+            cost_per_cm2: cur.get("cost_per_cm2")?.f64()?,
+            ppc: cur.get("ppc")?.f64()?,
+            width_um: cur.get("width_um")?.f64()?,
+            wns_ns: cur.get("wns_ns")?.f64()?,
+            tns_ns: cur.get("tns_ns")?.f64()?,
+        })
+    }
+}
+
+/// The wire form of a [`Comparison`]: the metric tables without the full
+/// implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonSummary {
+    /// Design name.
+    pub design: String,
+    /// Iso-performance target, GHz.
+    pub target_ghz: f64,
+    /// The heterogeneous row.
+    pub hetero: PpacSummary,
+    /// Every homogeneous configuration's row.
+    pub homogeneous: Vec<PpacSummary>,
+    /// Table VII columns.
+    pub deltas: Vec<DeltaRow>,
+}
+
+impl From<&Comparison> for ComparisonSummary {
+    fn from(c: &Comparison) -> Self {
+        ComparisonSummary {
+            design: c.design.clone(),
+            target_ghz: c.target_ghz,
+            hetero: PpacSummary::from(&c.hetero),
+            homogeneous: c.homogeneous.iter().map(PpacSummary::from).collect(),
+            deltas: c.deltas.clone(),
+        }
+    }
+}
+
+impl ToJson for ComparisonSummary {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .put("design", self.design.as_str())
+            .put("target_ghz", self.target_ghz)
+            .put("hetero", self.hetero.to_json())
+            .put(
+                "homogeneous",
+                Value::Arr(self.homogeneous.iter().map(ToJson::to_json).collect()),
+            )
+            .put(
+                "deltas",
+                Value::Arr(self.deltas.iter().map(ToJson::to_json).collect()),
+            )
+            .build()
+    }
+}
+
+impl FromJson for ComparisonSummary {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        Ok(ComparisonSummary {
+            design: cur.get("design")?.str()?.to_string(),
+            target_ghz: cur.get("target_ghz")?.f64()?,
+            hetero: PpacSummary::from_json(cur.get("hetero")?)?,
+            homogeneous: cur
+                .get("homogeneous")?
+                .arr()?
+                .into_iter()
+                .map(PpacSummary::from_json)
+                .collect::<Result<_, _>>()?,
+            deltas: cur
+                .get("deltas")?
+                .arr()?
+                .into_iter()
+                .map(DeltaRow::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// A [`Comparison`] serializes as its summary (the implementations stay
+/// on the server).
+impl ToJson for Comparison {
+    fn to_json(&self) -> Value {
+        ComparisonSummary::from(self).to_json()
+    }
+}
+
+/// What a successful request returns: one variant per [`FlowCommand`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowReport {
+    /// Result of [`FlowCommand::RunFlow`].
+    Run {
+        /// PPAC roll-up of the implementation.
+        ppac: PpacSummary,
+    },
+    /// Result of [`FlowCommand::FindFmax`].
+    Fmax {
+        /// Maximum met frequency, GHz.
+        fmax_ghz: f64,
+        /// PPAC roll-up at that frequency.
+        ppac: PpacSummary,
+    },
+    /// Result of [`FlowCommand::CompareConfigs`].
+    Compare {
+        /// The five-way table.
+        comparison: ComparisonSummary,
+    },
+}
+
+impl FlowReport {
+    /// One-line human summary — what a client prints per response when
+    /// streaming results off the wire.
+    #[must_use]
+    pub fn headline(&self) -> String {
+        match self {
+            FlowReport::Run { ppac } => format!(
+                "{} @ {:.2} GHz: {:.3} mW, WNS {:+.3} ns, PPC {:.2}",
+                ppac.config, ppac.frequency_ghz, ppac.total_power_mw, ppac.wns_ns, ppac.ppc
+            ),
+            FlowReport::Fmax { fmax_ghz, ppac } => format!(
+                "{} fmax {:.2} GHz: {:.3} mW, PPC {:.2}",
+                ppac.config, fmax_ghz, ppac.total_power_mw, ppac.ppc
+            ),
+            FlowReport::Compare { comparison } => format!(
+                "`{}` five-way comparison at {:.2} GHz iso-performance",
+                comparison.design, comparison.target_ghz
+            ),
+        }
+    }
+}
+
+impl ToJson for FlowReport {
+    fn to_json(&self) -> Value {
+        match self {
+            FlowReport::Run { ppac } => Obj::new()
+                .put("kind", "run")
+                .put("ppac", ppac.to_json())
+                .build(),
+            FlowReport::Fmax { fmax_ghz, ppac } => Obj::new()
+                .put("kind", "fmax")
+                .put("fmax_ghz", *fmax_ghz)
+                .put("ppac", ppac.to_json())
+                .build(),
+            FlowReport::Compare { comparison } => Obj::new()
+                .put("kind", "compare")
+                .put("comparison", comparison.to_json())
+                .build(),
+        }
+    }
+}
+
+impl FromJson for FlowReport {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        let kind = cur.get("kind")?;
+        match kind.str()? {
+            "run" => Ok(FlowReport::Run {
+                ppac: PpacSummary::from_json(cur.get("ppac")?)?,
+            }),
+            "fmax" => Ok(FlowReport::Fmax {
+                fmax_ghz: cur.get("fmax_ghz")?.f64()?,
+                ppac: PpacSummary::from_json(cur.get("ppac")?)?,
+            }),
+            "compare" => Ok(FlowReport::Compare {
+                comparison: ComparisonSummary::from_json(cur.get("comparison")?)?,
+            }),
+            _ => Err(DecodeError::new(kind.path(), "a kind (run|fmax|compare)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_json::parse;
+
+    fn roundtrip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(v: &T) {
+        let text = v.to_json().render();
+        let doc = parse(&text).expect("reparse");
+        let back = T::from_json(Cur::root(&doc)).expect("decode");
+        assert_eq!(&back, v, "wire round-trip must be lossless: {text}");
+    }
+
+    #[test]
+    fn options_round_trip_default_and_modified() {
+        roundtrip(&FlowOptions::default());
+        let mut o = FlowOptions::pin3d_baseline();
+        o.utilization = 0.65;
+        o.seed = 99;
+        o.placer_mut().iterations = 7;
+        o.placer_mut().target_fill = 0.75;
+        o.route_mut().congestion_exponent = 2.5;
+        o.cts_mut().slow_drive = Drive::X8;
+        o.threads = 4;
+        roundtrip(&o);
+    }
+
+    #[test]
+    fn request_and_report_round_trip() {
+        let req = FlowRequest {
+            id: 7,
+            netlist: NetlistSpec {
+                benchmark: Benchmark::Ldpc,
+                scale: 0.013,
+                seed: 11,
+            },
+            options: FlowOptions::default(),
+            command: FlowCommand::FindFmax {
+                config: Config::Hetero3d,
+                start_ghz: 1.1,
+            },
+            deadline_ms: Some(30_000),
+        };
+        roundtrip(&req);
+        for cfg in Config::ALL {
+            roundtrip(&cfg);
+        }
+        let ppac = PpacSummary {
+            config: Config::Hetero3d,
+            frequency_ghz: 1.0 / 3.0,
+            footprint_mm2: 0.123_456_789,
+            si_area_mm2: 0.2,
+            chip_width_um: 351.0,
+            density_pct: 81.25,
+            wirelength_mm: 5.5,
+            mivs: 1234,
+            switching_mw: 1.0,
+            internal_mw: 2.0,
+            leakage_mw: 0.5,
+            clock_mw: 0.75,
+            total_power_mw: 4.25,
+            wns_ns: -0.012_345,
+            tns_ns: -1.5,
+            effective_delay_ns: 1.012,
+            pdp_pj: 4.301,
+            die_cost_uc: 3.21,
+            cost_per_cm2_uc: 16.05,
+            ppc: 0.072,
+        };
+        roundtrip(&ppac);
+        roundtrip(&FlowReport::Fmax {
+            fmax_ghz: 1.37,
+            ppac: ppac.clone(),
+        });
+        let cmp = ComparisonSummary {
+            design: "ldpc".into(),
+            target_ghz: 1.2,
+            hetero: ppac.clone(),
+            homogeneous: vec![ppac.clone(), ppac],
+            deltas: vec![],
+        };
+        roundtrip(&FlowReport::Compare { comparison: cmp });
+    }
+
+    #[test]
+    fn bad_enum_values_name_their_path() {
+        let doc = parse(r#"{"op": "run_flow", "config": "4d", "frequency_ghz": 1.0}"#).unwrap();
+        let err = FlowCommand::from_json(Cur::root(&doc)).unwrap_err();
+        assert_eq!(err.path, "config");
+    }
+}

@@ -1,0 +1,763 @@
+//! Zero-dependency JSON for the hetero3d workspace: a strict reader (the
+//! bench-regression gate compares manifests with it) and a writer half
+//! (the flow service's wire format is built from [`Value`]s).
+//!
+//! The dialect is the JSON subset this workspace emits: objects, arrays,
+//! strings with simple escapes, numbers, booleans and null. The reader is
+//! strict about structure (trailing garbage is an error) and keeps object
+//! keys in document order so mismatches report deterministically. The
+//! writer renders floats with Rust's shortest-roundtrip formatting, so a
+//! finite `f64` survives a write → parse cycle bit for bit; integral
+//! values are written without a fractional part. Integers are exact up to
+//! 2^53 (JSON numbers are doubles on the wire).
+//!
+//! Decoding structured types goes through [`Cur`], a cursor that carries
+//! its path from the document root, so shape errors ([`DecodeError`])
+//! name the offending member (`options/placer/iterations: expected u64`).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `/`-separated member path from this value.
+    #[must_use]
+    pub fn path(&self, dotted: &str) -> Option<&Value> {
+        dotted.split('/').try_fold(self, |v, key| v.get(key))
+    }
+
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact single-line JSON. Finite floats use
+    /// shortest-roundtrip formatting (integral values without a `.0`);
+    /// non-finite floats render as `null`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(v) => out.push_str(&fmt_f64(*v)),
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Num(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Arr(v)
+    }
+}
+
+/// Ordered object builder: `Obj::new().put("k", 1u64).build()`.
+#[derive(Debug, Default)]
+pub struct Obj(Vec<(String, Value)>);
+
+impl Obj {
+    #[must_use]
+    pub fn new() -> Obj {
+        Obj(Vec::new())
+    }
+
+    /// Appends one member (keys are kept in insertion order).
+    #[must_use]
+    pub fn put(mut self, key: &str, value: impl Into<Value>) -> Obj {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+
+    #[must_use]
+    pub fn build(self) -> Value {
+        Value::Obj(self.0)
+    }
+}
+
+/// Shortest-roundtrip float formatting for the writer. Integral finite
+/// values render without a fractional part; non-finite values render as
+/// `null` (JSON has no NaN/Inf).
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    format!("{v}")
+}
+
+/// Escapes a string for inclusion between JSON quotes.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------
+
+/// A shape error while decoding a [`Value`] into a structured type: the
+/// `/`-separated path from the document root and what was expected there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Path of the offending member, `/`-separated from the root.
+    pub path: String,
+    /// What the decoder expected to find.
+    pub expected: String,
+}
+
+impl DecodeError {
+    #[must_use]
+    pub fn new(path: &str, expected: impl Into<String>) -> DecodeError {
+        DecodeError {
+            path: path.to_string(),
+            expected: expected.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let at = if self.path.is_empty() {
+            "document root"
+        } else {
+            &self.path
+        };
+        write!(f, "{at}: expected {}", self.expected)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoding cursor: a [`Value`] plus its path from the document root,
+/// so every typed accessor can report *where* the shape was wrong.
+#[derive(Debug, Clone)]
+pub struct Cur<'a> {
+    value: &'a Value,
+    path: String,
+}
+
+impl<'a> Cur<'a> {
+    /// A cursor at the document root.
+    #[must_use]
+    pub fn root(value: &'a Value) -> Cur<'a> {
+        Cur {
+            value,
+            path: String::new(),
+        }
+    }
+
+    #[must_use]
+    pub fn value(&self) -> &'a Value {
+        self.value
+    }
+
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    fn err(&self, expected: impl Into<String>) -> DecodeError {
+        DecodeError::new(&self.path, expected)
+    }
+
+    /// Required object member.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when `self` is not an object or the key
+    /// is absent.
+    pub fn get(&self, key: &str) -> Result<Cur<'a>, DecodeError> {
+        match self.value {
+            Value::Obj(_) => self.value.get(key).map_or_else(
+                || self.err(format!("member `{key}`")).into_result(),
+                |v| {
+                    Ok(Cur {
+                        value: v,
+                        path: join(&self.path, key),
+                    })
+                },
+            ),
+            _ => self.err("an object").into_result(),
+        }
+    }
+
+    /// Optional object member (`None` when absent or explicitly null).
+    #[must_use]
+    pub fn opt(&self, key: &str) -> Option<Cur<'a>> {
+        match self.value.get(key) {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(Cur {
+                value: v,
+                path: join(&self.path, key),
+            }),
+        }
+    }
+
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the value is not a finite number.
+    pub fn f64(&self) -> Result<f64, DecodeError> {
+        self.value.as_f64().ok_or_else(|| self.err("a number"))
+    }
+
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the value is not a non-negative
+    /// integral number.
+    pub fn u64(&self) -> Result<u64, DecodeError> {
+        self.value
+            .as_u64()
+            .ok_or_else(|| self.err("a non-negative integer"))
+    }
+
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the value is not a non-negative
+    /// integral number that fits `usize`.
+    pub fn usize(&self) -> Result<usize, DecodeError> {
+        self.u64().map(|v| v as usize)
+    }
+
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the value is not a string.
+    pub fn str(&self) -> Result<&'a str, DecodeError> {
+        self.value.as_str().ok_or_else(|| self.err("a string"))
+    }
+
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the value is not a boolean.
+    pub fn bool(&self) -> Result<bool, DecodeError> {
+        self.value.as_bool().ok_or_else(|| self.err("a boolean"))
+    }
+
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the value is not an array.
+    pub fn arr(&self) -> Result<Vec<Cur<'a>>, DecodeError> {
+        match self.value {
+            Value::Arr(items) => Ok(items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| Cur {
+                    value: v,
+                    path: format!("{}[{i}]", self.path),
+                })
+                .collect()),
+            _ => self.err("an array").into_result(),
+        }
+    }
+}
+
+impl DecodeError {
+    fn into_result<T>(self) -> Result<T, DecodeError> {
+        Err(self)
+    }
+}
+
+fn join(prefix: &str, key: &str) -> String {
+    if prefix.is_empty() {
+        key.to_string()
+    } else {
+        format!("{prefix}/{key}")
+    }
+}
+
+/// Types that render themselves as a JSON [`Value`].
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+/// Types that decode themselves from a JSON cursor.
+pub trait FromJson: Sized {
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the path of the first shape
+    /// mismatch.
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Everything that can go wrong turning text into a typed value: the
+/// text was not JSON, or the JSON had the wrong shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// Lexical/syntactic failure, with the parser's message.
+    Parse(String),
+    /// Structural failure while decoding into the target type.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse(msg) => write!(f, "invalid JSON: {msg}"),
+            JsonError::Decode(e) => write!(f, "unexpected JSON shape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<DecodeError> for JsonError {
+    fn from(e: DecodeError) -> JsonError {
+        JsonError::Decode(e)
+    }
+}
+
+/// Parses `text` and decodes it into `T` in one step.
+///
+/// # Errors
+///
+/// Returns [`JsonError::Parse`] for malformed text and
+/// [`JsonError::Decode`] for well-formed JSON of the wrong shape.
+pub fn decode<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    let value = parse(text).map_err(JsonError::Parse)?;
+    T::from_json(Cur::root(&value)).map_err(JsonError::Decode)
+}
+
+// ---------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------
+
+/// Parses one JSON document. Errors carry a byte offset.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending byte for malformed input
+/// (including trailing garbage after the document).
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or("unterminated string")?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_manifest_shaped_documents() {
+        let v = parse(
+            r#"{
+  "bench": "flow_obs", "scale": 0.02, "ok": true,
+  "designs": [{"name": "aes", "speedup": 4.5}, {"name": "cpu", "speedup": 3.0}],
+  "labels": {"input/netlist": "aes_like"}
+}"#,
+        )
+        .expect("parse");
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("flow_obs"));
+        assert_eq!(v.get("scale").and_then(Value::as_f64), Some(0.02));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let designs = v.get("designs").and_then(Value::as_arr).expect("arr");
+        assert_eq!(designs.len(), 2);
+        assert_eq!(designs[1].get("speedup").and_then(Value::as_f64), Some(3.0));
+        let label = v.path("labels").and_then(|l| l.get("input/netlist"));
+        assert_eq!(label.and_then(Value::as_str), Some("aes_like"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn handles_escapes_and_negatives() {
+        let v = parse(r#"{"s": "a\"b\\c\nd", "n": -3.25e2}"#).expect("parse");
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(-325.0));
+        assert_eq!(v.get("n").and_then(Value::as_u64), None);
+    }
+
+    #[test]
+    fn writer_round_trips_structures() {
+        let v = Obj::new()
+            .put("id", 42u64)
+            .put("name", "a \"quoted\"\nname")
+            .put("ratio", 0.1 + 0.2)
+            .put("neg", -1.5e-7)
+            .put("ok", true)
+            .put(
+                "items",
+                vec![Value::Num(1.0), Value::Null, Value::Str("x".into())],
+            )
+            .build();
+        let text = v.render();
+        let back = parse(&text).expect("reparse");
+        assert_eq!(back, v);
+        // Floats survive bit for bit.
+        assert_eq!(
+            back.get("ratio").and_then(Value::as_f64).map(f64::to_bits),
+            Some((0.1f64 + 0.2).to_bits())
+        );
+    }
+
+    #[test]
+    fn writer_renders_integers_without_fraction() {
+        assert_eq!(Value::Num(5.0).render(), "5");
+        assert_eq!(Value::Num(0.5).render(), "0.5");
+        assert_eq!(Value::Num(f64::NAN).render(), "null");
+        assert_eq!(Value::from(7u64).render(), "7");
+    }
+
+    #[test]
+    fn cursor_reports_paths_on_shape_errors() {
+        let v = parse(r#"{"options": {"placer": {"iterations": "twelve"}}}"#).expect("parse");
+        let root = Cur::root(&v);
+        let iter = root
+            .get("options")
+            .and_then(|o| o.get("placer"))
+            .and_then(|p| p.get("iterations"))
+            .expect("navigate");
+        let err = iter.u64().unwrap_err();
+        assert_eq!(err.path, "options/placer/iterations");
+        assert!(err.to_string().contains("non-negative integer"));
+        let missing = root.get("nope").unwrap_err();
+        assert!(missing.to_string().contains("`nope`"));
+    }
+
+    #[test]
+    fn decode_distinguishes_parse_and_shape_errors() {
+        struct Pair {
+            a: u64,
+            b: f64,
+        }
+        impl FromJson for Pair {
+            fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+                Ok(Pair {
+                    a: cur.get("a")?.u64()?,
+                    b: cur.get("b")?.f64()?,
+                })
+            }
+        }
+        let ok: Pair = decode(r#"{"a": 3, "b": 1.5}"#).expect("decode");
+        assert_eq!((ok.a, ok.b), (3, 1.5));
+        assert!(matches!(
+            decode::<Pair>(r#"{"a": 3, "b": }"#),
+            Err(JsonError::Parse(_))
+        ));
+        assert!(matches!(
+            decode::<Pair>(r#"{"a": 3}"#),
+            Err(JsonError::Decode(_))
+        ));
+    }
+}

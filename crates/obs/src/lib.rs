@@ -137,6 +137,22 @@ impl Obs {
         }
     }
 
+    /// Raises a gauge to `value` if it exceeds the current reading — a
+    /// high-water mark (queue depth, in-flight requests). Max *is*
+    /// commutative, so unlike [`Obs::gauge_add`] this is safe to call
+    /// from racing threads, though the observed peak itself may be
+    /// scheduling-dependent (report such gauges as performance-only
+    /// data when byte-identity matters).
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if let Some(c) = &self.inner {
+            let mut gauges = c.gauges.lock().expect("obs gauges poisoned");
+            let slot = gauges.entry(self.key(name)).or_insert(f64::NEG_INFINITY);
+            if value > *slot {
+                *slot = value;
+            }
+        }
+    }
+
     /// Adds to a gauge (deterministic section). Callers on parallel
     /// paths must fold their partial sums in a fixed order first — see
     /// [`ChunkStats`] — because float addition does not commute in bits.
@@ -522,6 +538,15 @@ mod tests {
         obs.perf_add("p", 1);
         assert!(!obs.is_enabled());
         assert_eq!(obs.manifest(), Manifest::default());
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let obs = Obs::enabled();
+        obs.gauge_max("queue/depth", 2.0);
+        obs.gauge_max("queue/depth", 7.0);
+        obs.gauge_max("queue/depth", 3.0);
+        assert_eq!(obs.manifest().gauge("queue/depth"), Some(7.0));
     }
 
     #[test]

@@ -357,14 +357,14 @@ pub fn format_runtime(manifest: &m3d_obs::Manifest) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use m3d_flow::{run_flow, Config, FlowOptions};
+    use m3d_flow::{try_run_flow, Config, FlowOptions};
 
     #[test]
     fn deep_dive_on_cpu_populates_all_blocks() {
         let n = m3d_netgen::Benchmark::Cpu.generate(0.02, 51);
         let mut o = FlowOptions::default();
         o.placer_mut().iterations = 6;
-        let imp = run_flow(&n, Config::Hetero3d, 1.0, &o);
+        let imp = try_run_flow(&n, Config::Hetero3d, 1.0, &o).expect("flow");
         let dive = deep_dive(&imp);
         assert!(dive.memory.net_count > 0, "CPU has macro nets");
         assert!(dive.memory.input_net_latency_ps >= 0.0);
@@ -383,7 +383,7 @@ mod tests {
         o.placer_mut().iterations = 6;
         o.obs = m3d_obs::Obs::enabled();
         let obs = o.obs.clone();
-        let _ = run_flow(&n, Config::Hetero3d, 1.0, &o);
+        let _ = try_run_flow(&n, Config::Hetero3d, 1.0, &o).expect("flow");
         let text = format_runtime(&obs.manifest());
         assert!(text.contains("run_flow"), "span tree lists the flow root");
         assert!(
@@ -403,7 +403,7 @@ mod tests {
         let n = m3d_netgen::Benchmark::Cpu.generate(0.025, 51);
         let mut o = FlowOptions::default();
         o.placer_mut().iterations = 6;
-        let imp = run_flow(&n, Config::Hetero3d, 1.3, &o);
+        let imp = try_run_flow(&n, Config::Hetero3d, 1.3, &o).expect("flow");
         let dive = deep_dive(&imp);
         assert!(
             dive.path.bottom_cells >= dive.path.top_cells,

@@ -1,0 +1,56 @@
+//! The `serve` daemon: binds a TCP address and answers
+//! newline-delimited JSON [`m3d_serve::FlowRequest`]s until killed.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7333] [--workers 2] [--queue-depth 16] [--cache 8]
+//! ```
+
+use m3d_serve::{ServerConfig, TcpServer};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache N]\n\
+         defaults: --addr 127.0.0.1:7333 --workers 2 --queue-depth 16 --cache 8"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7333".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = take("HOST:PORT"),
+            "--workers" => config.workers = parse_count(&take("a count")),
+            "--queue-depth" => config.queue_depth = parse_count(&take("a count")),
+            "--cache" => config.cache_capacity = parse_count(&take("a count")),
+            _ => usage(),
+        }
+    }
+    let workers = config.workers;
+    let queue_depth = config.queue_depth;
+    let cache = config.cache_capacity;
+    let server = TcpServer::bind(addr.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "m3d-serve listening on {} ({workers} workers, queue depth {queue_depth}, cache {cache})",
+        server.local_addr()
+    );
+    server.join();
+}
+
+fn parse_count(text: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("not a count: {text}");
+        usage()
+    })
+}

@@ -1,0 +1,127 @@
+//! The `serve_client` load generator: pipelines a mixed stream of flow
+//! requests at a running `serve` daemon and reports what came back.
+//!
+//! ```text
+//! serve_client --addr HOST:PORT [--requests N] [--scale F] [--seed N]
+//!              [--keys K] [--deadline-ms MS]
+//! ```
+//!
+//! Requests cycle through the five configurations plus an fmax sweep,
+//! spread across `K` distinct option variants (so a run exercises both
+//! cache hits and misses). Responses are matched by id; the summary
+//! counts outcomes and the service's reported cache hits.
+
+use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+use m3d_netgen::Benchmark;
+use m3d_serve::{Client, Response};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_client --addr HOST:PORT [--requests N] [--scale F] [--seed N]\n\
+         \x20                 [--keys K] [--deadline-ms MS]\n\
+         defaults: --requests 12 --scale 0.02 --seed 1 --keys 2"
+    );
+    std::process::exit(2);
+}
+
+/// The request mix: one command per request, round-robin.
+fn command(i: usize) -> FlowCommand {
+    const CONFIGS: [Config; 5] = [
+        Config::Hetero3d,
+        Config::TwoD12T,
+        Config::ThreeD9T,
+        Config::TwoD9T,
+        Config::ThreeD12T,
+    ];
+    match i % 6 {
+        5 => FlowCommand::FindFmax {
+            config: Config::Hetero3d,
+            start_ghz: 1.0,
+        },
+        r => FlowCommand::RunFlow {
+            config: CONFIGS[r],
+            frequency_ghz: 1.0,
+        },
+    }
+}
+
+/// `K` option variants (distinct cache keys) differing in placer effort.
+fn options_variant(k: usize) -> FlowOptions {
+    let mut o = FlowOptions::default();
+    o.placer_mut().iterations = 12 + k;
+    o
+}
+
+fn main() {
+    let mut addr = None;
+    let mut requests = 12usize;
+    let mut scale = 0.02f64;
+    let mut seed = 1u64;
+    let mut keys = 2usize;
+    let mut deadline_ms = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = Some(value()),
+            "--requests" => requests = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--keys" => keys = value().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
+            "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let mut client = Client::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("serve_client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let started = Instant::now();
+    for i in 0..requests {
+        let request = FlowRequest {
+            id: i as u64,
+            netlist: NetlistSpec {
+                benchmark: Benchmark::Aes,
+                scale,
+                seed,
+            },
+            options: options_variant(i % keys),
+            command: command(i),
+            deadline_ms,
+        };
+        if let Err(e) = client.send(&request) {
+            eprintln!("serve_client: send failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let (mut ok, mut hits, mut rejected) = (0u64, 0u64, 0u64);
+    for _ in 0..requests {
+        match client.recv() {
+            Ok(Response::Ok { id, cache_hit, .. }) => {
+                ok += 1;
+                hits += u64::from(cache_hit);
+                println!(
+                    "#{id}: ok (cache {})",
+                    if cache_hit { "hit" } else { "miss" }
+                );
+            }
+            Ok(Response::Rejected { id, kind, message }) => {
+                rejected += 1;
+                let id = id.map_or_else(|| "?".to_string(), |i| i.to_string());
+                println!("#{id}: rejected [{kind}] {message}");
+            }
+            Err(e) => {
+                eprintln!("serve_client: receive failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "{requests} requests in {:.2} s: {ok} ok ({hits} cache hits), {rejected} rejected",
+        elapsed.as_secs_f64()
+    );
+}

@@ -1,0 +1,281 @@
+//! The checkpoint cache: an LRU map from `(netlist fingerprint,
+//! options fingerprint)` to a shared [`FlowSession`].
+//!
+//! A session holds the expensive flow prefixes — the validated,
+//! buffered base design and (lazily) the pseudo-3-D checkpoint — so a
+//! cache hit answers a repeated design-space query by forking those
+//! snapshots in O(1) instead of recomputing them. The cache guarantees:
+//!
+//! * **one build per key**: racing requests for the same key share one
+//!   slot whose `OnceLock` admits exactly one builder; the losers block
+//!   on that build instead of duplicating it. Misses are counted at
+//!   slot creation, so `misses == distinct keys seen` regardless of
+//!   scheduling — the invariant `bench_gate` enforces.
+//! * **bounded residency**: beyond `capacity` entries the
+//!   least-recently-used slot is dropped from the map. In-flight
+//!   holders keep it alive through their `Arc`; it is simply no longer
+//!   findable, so a later request for that key rebuilds.
+//! * **content-based keys**: the netlist half is
+//!   [`m3d_db::netlist_fingerprint`] over the materialized circuit, the
+//!   options half is [`FlowOptions::fingerprint`] (thread count and
+//!   telemetry excluded) — two requests that would produce bit-identical
+//!   results share a key even if they arrived spelled differently.
+
+use m3d_flow::{FlowError, FlowOptions, FlowSession};
+use m3d_netlist::Netlist;
+use m3d_obs::Obs;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The cache key: both halves are fingerprint strings (16 hex digits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Content fingerprint of the netlist.
+    pub netlist_fp: String,
+    /// Fingerprint of the result-affecting options.
+    pub options_fp: String,
+}
+
+impl SessionKey {
+    /// Computes the key for one (netlist, options) pair.
+    #[must_use]
+    pub fn of(netlist: &Netlist, options: &FlowOptions) -> SessionKey {
+        SessionKey {
+            netlist_fp: m3d_db::fingerprint_hex(m3d_db::netlist_fingerprint(netlist)),
+            options_fp: options.fingerprint(),
+        }
+    }
+}
+
+/// One cache slot: built at most once, shared by every request that
+/// maps to its key while it is resident.
+struct Slot {
+    cell: OnceLock<Result<Arc<FlowSession>, FlowError>>,
+}
+
+struct Entry {
+    slot: Arc<Slot>,
+    last_used: u64,
+}
+
+/// LRU session cache. All methods take `&self`; the cache is shared
+/// across the worker pool behind one `Arc`.
+pub struct SessionCache {
+    capacity: usize,
+    obs: Obs,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Inner {
+    map: HashMap<SessionKey, Entry>,
+    tick: u64,
+}
+
+impl SessionCache {
+    /// A cache holding at most `capacity` sessions (floored at 1).
+    /// Flow telemetry from sessions built here lands on `obs` under
+    /// the flow's native keys — e.g. `flow/pseudo3d_runs` counts
+    /// pseudo-3-D stage executions across every session the cache
+    /// ever built.
+    #[must_use]
+    pub fn new(capacity: usize, obs: Obs) -> SessionCache {
+        SessionCache {
+            capacity: capacity.max(1),
+            obs,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up (or builds) the session for `(netlist, options)`.
+    /// Returns the shared session and whether this was a cache hit.
+    ///
+    /// A hit means the slot already existed — including slots still
+    /// being built by another thread, which this call then blocks on
+    /// and shares. A failed build is cached too (same query, same
+    /// failure) until its slot is evicted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session build's [`FlowError`] (e.g. an invalid
+    /// netlist).
+    pub fn get_or_build(
+        &self,
+        netlist: &Netlist,
+        options: &FlowOptions,
+    ) -> (Result<Arc<FlowSession>, FlowError>, bool) {
+        let key = SessionKey::of(netlist, options);
+        let (slot, hit) = self.lookup_slot(key);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let built = slot.cell.get_or_init(|| {
+            // The session's own telemetry feeds the server's collector
+            // under the flow's native key space (`flow/pseudo3d_runs`,
+            // `sta/...`): counters accumulate across sessions, so the
+            // totals cover the whole service lifetime. The obs handle
+            // is excluded from the options fingerprint, so this does
+            // not perturb the key (or the results).
+            let mut options = options.clone();
+            options.obs = self.obs.clone();
+            FlowSession::builder(netlist)
+                .options(options)
+                .build()
+                .map(Arc::new)
+        });
+        (built.clone(), hit)
+    }
+
+    /// Finds or creates the slot for `key`, bumping its recency.
+    fn lookup_slot(&self, key: SessionKey) -> (Arc<Slot>, bool) {
+        let mut inner = self.inner.lock().expect("session cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.last_used = tick;
+            return (Arc::clone(&entry.slot), true);
+        }
+        let slot = Arc::new(Slot {
+            cell: OnceLock::new(),
+        });
+        inner.map.insert(
+            key,
+            Entry {
+                slot: Arc::clone(&slot),
+                last_used: tick,
+            },
+        );
+        if inner.map.len() > self.capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (slot, false)
+    }
+
+    /// How many lookups found a resident slot.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many lookups created a slot (== distinct keys seen, minus
+    /// rebuilds of evicted keys).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// How many slots the LRU policy dropped.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("session cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netgen::Benchmark;
+
+    fn small() -> Netlist {
+        Benchmark::Aes.generate(0.01, 5)
+    }
+
+    #[test]
+    fn repeated_keys_share_one_session() {
+        let cache = SessionCache::new(4, Obs::disabled());
+        let n = small();
+        let o = FlowOptions::default();
+        let (a, hit_a) = cache.get_or_build(&n, &o);
+        let (b, hit_b) = cache.get_or_build(&n, &o);
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a.unwrap(), &b.unwrap()));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_options_get_distinct_sessions() {
+        let cache = SessionCache::new(4, Obs::disabled());
+        let n = small();
+        let a = FlowOptions::default();
+        let mut b = FlowOptions::default();
+        b.placer_mut().iterations += 1;
+        let (sa, _) = cache.get_or_build(&n, &a);
+        let (sb, _) = cache.get_or_build(&n, &b);
+        assert!(!Arc::ptr_eq(&sa.unwrap(), &sb.unwrap()));
+        assert_eq!(cache.misses(), 2);
+        // threads is not result-affecting, so it shares the first slot.
+        let mut c = a.clone();
+        c.threads = 7;
+        let (_, hit) = cache.get_or_build(&n, &c);
+        assert!(hit);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_key() {
+        let cache = SessionCache::new(2, Obs::disabled());
+        let n = small();
+        let opts: Vec<FlowOptions> = (0..3)
+            .map(|i| {
+                let mut o = FlowOptions::default();
+                o.placer_mut().iterations = 8 + i;
+                o
+            })
+            .collect();
+        let _ = cache.get_or_build(&n, &opts[0]);
+        let _ = cache.get_or_build(&n, &opts[1]);
+        let _ = cache.get_or_build(&n, &opts[0]); // refresh 0; 1 is now LRU
+        let _ = cache.get_or_build(&n, &opts[2]); // evicts 1
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        let (_, hit0) = cache.get_or_build(&n, &opts[0]);
+        assert!(hit0, "refreshed key must survive");
+        let (_, hit1) = cache.get_or_build(&n, &opts[1]);
+        assert!(!hit1, "evicted key must rebuild");
+    }
+
+    #[test]
+    fn failed_builds_are_cached_as_failures() {
+        let cache = SessionCache::new(2, Obs::disabled());
+        let mut invalid = Netlist::new("invalid");
+        let pi = invalid.add_input("a");
+        let net = invalid.add_net("na", pi, 0);
+        let g = invalid.add_gate("g", m3d_tech::CellKind::Nand2, m3d_tech::Drive::X1, 0);
+        invalid.connect(net, g, 0); // pin 1 dangling
+        let o = FlowOptions::default();
+        let (r1, hit1) = cache.get_or_build(&invalid, &o);
+        let (r2, hit2) = cache.get_or_build(&invalid, &o);
+        assert!(r1.is_err() && r2.is_err());
+        assert!(!hit1 && hit2);
+    }
+}

@@ -1,0 +1,109 @@
+//! A blocking line-protocol client for the flow service.
+
+use crate::protocol::{encode_line, Response};
+use m3d_flow::FlowRequest;
+use m3d_json::{parse, Cur, FromJson};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What can go wrong on the client side of a call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server closed the connection before responding.
+    Closed,
+    /// The server sent a line this client could not decode.
+    BadResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::BadResponse(msg) => write!(f, "undecodable response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a flow service. Requests may be pipelined with
+/// [`Client::send`] and collected with [`Client::recv`] (responses
+/// carry the request `id` for correlation), or issued one at a time
+/// with [`Client::call`].
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request without waiting for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, request: &FlowRequest) -> std::io::Result<()> {
+        self.writer.write_all(encode_line(request).as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends one raw line verbatim (plus the newline). Exists so tests
+    /// and tools can probe the server's handling of malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on a clean EOF, [`ClientError::Io`] /
+    /// [`ClientError::BadResponse`] otherwise.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Closed);
+        }
+        let doc = parse(line.trim()).map_err(ClientError::BadResponse)?;
+        Response::from_json(Cur::root(&doc)).map_err(|e| ClientError::BadResponse(e.to_string()))
+    }
+
+    /// Sends one request and blocks for one response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] / [`Client::recv`] failures.
+    pub fn call(&mut self, request: &FlowRequest) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+}

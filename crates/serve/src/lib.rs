@@ -1,0 +1,63 @@
+//! # m3d-serve — the flow as a long-running service
+//!
+//! A design-space exploration asks the same flow many questions about
+//! the same netlist: sweep frequencies, flip options, compare
+//! configurations. Run as one-shot processes those queries redo the
+//! expensive shared prefixes — validation, base buffering, the
+//! pseudo-3-D implementation — on every call. This crate keeps them
+//! resident: a daemon that answers serialized [`FlowRequest`]s over
+//! TCP, executing on a bounded worker pool behind an LRU
+//! **checkpoint cache** keyed by `(netlist fingerprint, options
+//! fingerprint)`, so repeated queries fork a shared
+//! [`m3d_flow::FlowSession`] in O(1).
+//!
+//! The layers, bottom-up:
+//!
+//! * [`protocol`] — newline-delimited JSON framing: [`FlowRequest`] in,
+//!   [`Response`] out, malformed input answered with a typed
+//!   [`ProtocolError`]-derived rejection (never a panic or a hang).
+//! * [`cache`] — the [`SessionCache`]: one [`m3d_flow::FlowSession`]
+//!   per distinct key, built exactly once (racing requests share the
+//!   build), evicted least-recently-used.
+//! * [`server`] — the [`Server`] engine (bounded queue, explicit
+//!   `overloaded` backpressure, per-request deadlines, graceful
+//!   drain-on-shutdown) and its [`TcpServer`] front.
+//! * [`client`] — a blocking pipelined [`Client`], also the substrate
+//!   of the `serve_client` load generator.
+//!
+//! Service responses are **bit-identical to direct library calls** at
+//! any worker count: workers execute through the same
+//! [`m3d_flow::FlowSession::execute`] path a library caller uses, and
+//! every flow result is a pure function of `(netlist, options,
+//! command)`.
+//!
+//! ```no_run
+//! use m3d_serve::{Client, ServerConfig, TcpServer};
+//! use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+//! use m3d_netgen::Benchmark;
+//!
+//! let server = TcpServer::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let response = client.call(&FlowRequest {
+//!     id: 1,
+//!     netlist: NetlistSpec { benchmark: Benchmark::Aes, scale: 0.05, seed: 1 },
+//!     options: FlowOptions::default(),
+//!     command: FlowCommand::RunFlow { config: Config::Hetero3d, frequency_ghz: 1.2 },
+//!     deadline_ms: None,
+//! })?;
+//! assert!(response.is_ok());
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed_ok, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{SessionCache, SessionKey};
+pub use client::{Client, ClientError};
+pub use m3d_flow::{FlowCommand, FlowReport, FlowRequest, NetlistSpec};
+pub use protocol::{decode_request, encode_line, ProtocolError, RejectKind, Response};
+pub use server::{Pending, Server, ServerConfig, StatsSnapshot, TcpServer};

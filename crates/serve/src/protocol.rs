@@ -1,0 +1,220 @@
+//! The wire protocol: newline-delimited JSON framing over a byte
+//! stream, a typed [`ProtocolError`] for malformed input, and the
+//! [`Response`] envelope every request is answered with.
+//!
+//! One request per line, one response per line. Responses carry the
+//! request's `id`, so a client may pipeline requests and match replies
+//! out of order. A line that fails to decode is answered with a
+//! [`RejectKind::Protocol`] rejection (never a dropped connection, a
+//! panic or a hang), echoing the `id` when one can be salvaged from the
+//! malformed line.
+
+use m3d_flow::{FlowReport, FlowRequest};
+use m3d_json::{parse, Cur, DecodeError, FromJson, Obj, ToJson, Value};
+use std::fmt;
+
+/// Why the service rejected a request (the `kind` of a rejection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// The line was not a well-formed request: bad JSON, or JSON of the
+    /// wrong shape.
+    Protocol,
+    /// The flow itself failed (invalid netlist, bad frequency, stage
+    /// error).
+    Flow,
+    /// The queue was at capacity; the request was never accepted.
+    /// Back off and retry.
+    Overloaded,
+    /// The request sat in the queue past its deadline and was dropped
+    /// without running.
+    Deadline,
+    /// The server is draining and accepts no new work.
+    Shutdown,
+}
+
+impl RejectKind {
+    fn wire_name(self) -> &'static str {
+        match self {
+            RejectKind::Protocol => "protocol",
+            RejectKind::Flow => "flow",
+            RejectKind::Overloaded => "overloaded",
+            RejectKind::Deadline => "deadline",
+            RejectKind::Shutdown => "shutdown",
+        }
+    }
+
+    fn from_wire(cur: &Cur<'_>) -> Result<RejectKind, DecodeError> {
+        match cur.str()? {
+            "protocol" => Ok(RejectKind::Protocol),
+            "flow" => Ok(RejectKind::Flow),
+            "overloaded" => Ok(RejectKind::Overloaded),
+            "deadline" => Ok(RejectKind::Deadline),
+            "shutdown" => Ok(RejectKind::Shutdown),
+            _ => Err(DecodeError::new(
+                cur.path(),
+                "a reject kind (protocol|flow|overloaded|deadline|shutdown)",
+            )),
+        }
+    }
+}
+
+impl fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// One response line: either the command's report, or a typed
+/// rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request ran to completion.
+    Ok {
+        /// Echo of the request's correlation id.
+        id: u64,
+        /// Whether the checkpoint cache already held the request's
+        /// `(netlist fingerprint, options fingerprint)` session.
+        cache_hit: bool,
+        /// The command's result (boxed: a report dwarfs a rejection).
+        report: Box<FlowReport>,
+    },
+    /// The request was rejected (or failed).
+    Rejected {
+        /// Echo of the request's id, when one was decodable.
+        id: Option<u64>,
+        /// Why.
+        kind: RejectKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(id: Option<u64>, kind: RejectKind, message: impl Into<String>) -> Response {
+        Response::Rejected {
+            id,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The correlation id, when known.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Response::Ok { id, .. } => Some(*id),
+            Response::Rejected { id, .. } => *id,
+        }
+    }
+
+    /// Whether this is a successful response.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok { .. })
+    }
+
+    /// The rejection kind, when rejected.
+    #[must_use]
+    pub fn reject_kind(&self) -> Option<RejectKind> {
+        match self {
+            Response::Ok { .. } => None,
+            Response::Rejected { kind, .. } => Some(*kind),
+        }
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Value {
+        match self {
+            Response::Ok {
+                id,
+                cache_hit,
+                report,
+            } => Obj::new()
+                .put("id", *id)
+                .put("status", "ok")
+                .put("cache_hit", *cache_hit)
+                .put("report", report.to_json())
+                .build(),
+            Response::Rejected { id, kind, message } => {
+                let mut o = Obj::new();
+                if let Some(id) = id {
+                    o = o.put("id", *id);
+                }
+                o.put("status", "rejected")
+                    .put("kind", kind.wire_name())
+                    .put("message", message.as_str())
+                    .build()
+            }
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        let status = cur.get("status")?;
+        match status.str()? {
+            "ok" => Ok(Response::Ok {
+                id: cur.get("id")?.u64()?,
+                cache_hit: cur.get("cache_hit")?.bool()?,
+                report: Box::new(FlowReport::from_json(cur.get("report")?)?),
+            }),
+            "rejected" => Ok(Response::Rejected {
+                id: cur.opt("id").map(|c| c.u64()).transpose()?,
+                kind: RejectKind::from_wire(&cur.get("kind")?)?,
+                message: cur.get("message")?.str()?.to_string(),
+            }),
+            _ => Err(DecodeError::new(status.path(), "a status (ok|rejected)")),
+        }
+    }
+}
+
+/// A malformed request line, as a typed error: JSON-level failures keep
+/// the parser's message, shape-level failures keep the offending path
+/// and what was expected there.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The line was not JSON.
+    Parse(String),
+    /// The line was JSON but not a [`FlowRequest`].
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Parse(msg) => write!(f, "request is not JSON: {msg}"),
+            ProtocolError::Decode(e) => write!(f, "request is not a FlowRequest: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] for anything that is not a well-formed
+/// [`FlowRequest`]; decoding never panics.
+pub fn decode_request(line: &str) -> Result<FlowRequest, ProtocolError> {
+    let doc = parse(line).map_err(ProtocolError::Parse)?;
+    FlowRequest::from_json(Cur::root(&doc)).map_err(ProtocolError::Decode)
+}
+
+/// Best-effort extraction of the `id` field from a line that failed to
+/// decode, so its rejection can still be correlated.
+#[must_use]
+pub fn salvage_id(line: &str) -> Option<u64> {
+    parse(line).ok().and_then(|v| v.get("id")?.as_u64())
+}
+
+/// Renders one value as a protocol line (JSON + trailing newline).
+#[must_use]
+pub fn encode_line<T: ToJson>(value: &T) -> String {
+    let mut line = value.to_json().render();
+    line.push('\n');
+    line
+}

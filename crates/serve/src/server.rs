@@ -1,0 +1,496 @@
+//! The service engine: a bounded worker pool over a backpressured
+//! queue, with graceful drain-on-shutdown — plus the TCP front that
+//! feeds it newline-delimited JSON.
+//!
+//! # Life of a request
+//!
+//! 1. **Admission** ([`Server::enqueue`]): while the server holds its
+//!    queue lock it either queues the job or rejects it — with
+//!    [`RejectKind::Overloaded`] when the queue is at `queue_depth`
+//!    (explicit backpressure, never silent blocking) or
+//!    [`RejectKind::Shutdown`] once draining has begun. Admission is
+//!    the only place requests are dropped for capacity.
+//! 2. **Dequeue**: a worker pops the oldest job. A job whose deadline
+//!    elapsed while it sat in the queue is answered with
+//!    [`RejectKind::Deadline`] and never run — queue time is the thing
+//!    deadlines bound; execution, once started, always completes.
+//! 3. **Execution**: the worker materializes the request's netlist,
+//!    obtains the shared session from the [`SessionCache`], and runs
+//!    [`m3d_flow::FlowSession::execute`] — the same code path a direct library
+//!    caller uses, which is why service responses are bit-identical to
+//!    library calls at any worker count.
+//! 4. **Reply**: the response is sent to the job's reply channel (the
+//!    connection's writer, or the in-process [`Pending`] handle).
+//!
+//! # Shutdown
+//!
+//! [`Server::begin_drain`] atomically stops admission; workers keep
+//! draining until the queue is empty, then exit. Every accepted request
+//! is answered — the drain test in `tests/service.rs` holds the server
+//! to that.
+
+use crate::cache::SessionCache;
+use crate::protocol::{decode_request, encode_line, salvage_id, RejectKind, Response};
+use m3d_flow::FlowRequest;
+use m3d_obs::Obs;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing flows.
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet started) requests; beyond
+    /// this, requests are rejected `overloaded`.
+    pub queue_depth: usize,
+    /// Maximum resident sessions in the checkpoint cache.
+    pub cache_capacity: usize,
+    /// Telemetry sink: per-request spans, queue/cache counters, and the
+    /// cached sessions' own flow telemetry (under `flow/`).
+    pub obs: Obs,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 8,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Monotonic service counters, readable at any time via
+/// [`Server::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests a worker started executing (deadline checks included).
+    pub started: u64,
+    /// Requests answered `ok`.
+    pub completed_ok: u64,
+    /// Requests answered with a `flow` rejection.
+    pub failed_flow: u64,
+    /// Requests rejected `overloaded` at admission.
+    pub rejected_overloaded: u64,
+    /// Requests rejected `deadline` at dequeue.
+    pub rejected_deadline: u64,
+    /// Requests rejected `shutdown` at admission.
+    pub rejected_shutdown: u64,
+    /// Checkpoint-cache hits.
+    pub cache_hits: u64,
+    /// Checkpoint-cache misses (== distinct keys built).
+    pub cache_misses: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    accepted: AtomicU64,
+    started: AtomicU64,
+    completed_ok: AtomicU64,
+    failed_flow: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_shutdown: AtomicU64,
+}
+
+struct Job {
+    request: FlowRequest,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    accepting: bool,
+}
+
+struct Inner {
+    config: ServerConfig,
+    cache: SessionCache,
+    state: Mutex<QueueState>,
+    available: Condvar,
+    stats: Stats,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// An in-process handle to one submitted request's eventual response.
+pub struct Pending {
+    rx: Receiver<Response>,
+}
+
+impl Pending {
+    /// Blocks until the response arrives. An accepted request always
+    /// gets one (drain-on-shutdown completes the queue), so a closed
+    /// channel means a worker died — reported as a rejection rather
+    /// than a panic.
+    #[must_use]
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or_else(|_| {
+            Response::reject(None, RejectKind::Shutdown, "worker dropped the request")
+        })
+    }
+}
+
+/// The service engine. Cheap to clone; all clones share one pool.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Starts the worker pool (at least one worker).
+    #[must_use]
+    pub fn start(config: ServerConfig) -> Server {
+        let workers = config.workers.max(1);
+        let cache = SessionCache::new(config.cache_capacity, config.obs.clone());
+        let inner = Arc::new(Inner {
+            config,
+            cache,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                accepting: true,
+            }),
+            available: Condvar::new(),
+            stats: Stats::default(),
+            workers: Mutex::new(Vec::new()),
+        });
+        let server = Server { inner };
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let worker = server.clone();
+            handles.push(std::thread::spawn(move || worker.run_worker()));
+        }
+        *server.inner.workers.lock().expect("workers poisoned") = handles;
+        server
+    }
+
+    /// Submits a request from in-process callers; the response arrives
+    /// on the returned [`Pending`] handle (including rejections).
+    #[must_use]
+    pub fn submit(&self, request: FlowRequest) -> Pending {
+        let (tx, rx) = channel();
+        self.enqueue(request, &tx);
+        Pending { rx }
+    }
+
+    /// Admits `request` or rejects it, answering through `reply`.
+    /// Admission control runs under the queue lock, so the depth bound
+    /// is exact.
+    pub fn enqueue(&self, request: FlowRequest, reply: &Sender<Response>) {
+        let obs = &self.inner.config.obs;
+        let id = request.id;
+        let verdict = {
+            let mut state = self.inner.state.lock().expect("server queue poisoned");
+            if !state.accepting {
+                Err(RejectKind::Shutdown)
+            } else if state.queue.len() >= self.inner.config.queue_depth {
+                Err(RejectKind::Overloaded)
+            } else {
+                state.queue.push_back(Job {
+                    request,
+                    enqueued: Instant::now(),
+                    reply: reply.clone(),
+                });
+                obs.gauge_max("serve/queue_depth_peak", state.queue.len() as f64);
+                Ok(())
+            }
+        };
+        match verdict {
+            Ok(()) => {
+                self.inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/accepted", 1);
+                self.inner.available.notify_one();
+            }
+            Err(kind) => {
+                let (stat, message) = match kind {
+                    RejectKind::Overloaded => (
+                        &self.inner.stats.rejected_overloaded,
+                        format!(
+                            "queue is at capacity ({}); retry later",
+                            self.inner.config.queue_depth
+                        ),
+                    ),
+                    _ => (
+                        &self.inner.stats.rejected_shutdown,
+                        "server is draining; no new work accepted".to_string(),
+                    ),
+                };
+                stat.fetch_add(1, Ordering::Relaxed);
+                obs.perf_add(&format!("serve/rejected_{kind}"), 1);
+                let _ = reply.send(Response::reject(Some(id), kind, message));
+            }
+        }
+    }
+
+    /// One worker's loop: drain jobs until shutdown empties the queue.
+    fn run_worker(&self) {
+        loop {
+            let job = {
+                let mut state = self.inner.state.lock().expect("server queue poisoned");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        break job;
+                    }
+                    if !state.accepting {
+                        return;
+                    }
+                    state = self
+                        .inner
+                        .available
+                        .wait(state)
+                        .expect("server queue poisoned");
+                }
+            };
+            self.process(job);
+        }
+    }
+
+    fn process(&self, job: Job) {
+        let obs = &self.inner.config.obs;
+        self.inner.stats.started.fetch_add(1, Ordering::Relaxed);
+        let _span = obs.span("serve/request");
+        let id = job.request.id;
+        if let Some(deadline_ms) = job.request.deadline_ms {
+            if job.enqueued.elapsed() > Duration::from_millis(deadline_ms) {
+                self.inner
+                    .stats
+                    .rejected_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/rejected_deadline", 1);
+                let _ = job.reply.send(Response::reject(
+                    Some(id),
+                    RejectKind::Deadline,
+                    format!("deadline of {deadline_ms} ms elapsed while queued"),
+                ));
+                return;
+            }
+        }
+        let netlist = job.request.netlist.materialize();
+        let (session, cache_hit) = self
+            .inner
+            .cache
+            .get_or_build(&netlist, &job.request.options);
+        obs.perf_add(
+            if cache_hit {
+                "serve/cache_hit"
+            } else {
+                "serve/cache_miss"
+            },
+            1,
+        );
+        let outcome = session.and_then(|s| s.execute(&job.request.command));
+        let response = match outcome {
+            Ok(report) => {
+                self.inner
+                    .stats
+                    .completed_ok
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Ok {
+                    id,
+                    cache_hit,
+                    report: Box::new(report),
+                }
+            }
+            Err(e) => {
+                self.inner.stats.failed_flow.fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/failed_flow", 1);
+                Response::reject(Some(id), RejectKind::Flow, e.to_string())
+            }
+        };
+        let _ = job.reply.send(response);
+    }
+
+    /// Stops admission. Already-queued requests still run to
+    /// completion; new ones are rejected `shutdown`.
+    pub fn begin_drain(&self) {
+        let mut state = self.inner.state.lock().expect("server queue poisoned");
+        state.accepting = false;
+        drop(state);
+        self.inner.available.notify_all();
+    }
+
+    /// Drains and joins the pool: stops admission, waits for every
+    /// queued request to finish, and returns the final counters.
+    #[must_use]
+    pub fn shutdown(&self) -> StatsSnapshot {
+        self.begin_drain();
+        let handles = std::mem::take(&mut *self.inner.workers.lock().expect("workers poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            started: s.started.load(Ordering::Relaxed),
+            completed_ok: s.completed_ok.load(Ordering::Relaxed),
+            failed_flow: s.failed_flow.load(Ordering::Relaxed),
+            rejected_overloaded: s.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_deadline: s.rejected_deadline.load(Ordering::Relaxed),
+            rejected_shutdown: s.rejected_shutdown.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache.hits(),
+            cache_misses: self.inner.cache.misses(),
+        }
+    }
+
+    /// The checkpoint cache (stats and residency introspection).
+    #[must_use]
+    pub fn cache(&self) -> &SessionCache {
+        &self.inner.cache
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP front
+// ---------------------------------------------------------------------
+
+/// The TCP face of a [`Server`]: an acceptor thread plus one
+/// reader/writer thread pair per connection, all feeding the shared
+/// worker pool.
+pub struct TcpServer {
+    server: Server,
+    local_addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let server = Server::start(config);
+        let stopping = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let server = server.clone();
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || {
+                let mut connections: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let server = server.clone();
+                    connections.push(std::thread::spawn(move || {
+                        handle_connection(&server, stream)
+                    }));
+                }
+                for c in connections {
+                    let _ = c.join();
+                }
+            })
+        };
+        Ok(TcpServer {
+            server,
+            local_addr,
+            stopping,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the socket.
+    #[must_use]
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Graceful shutdown: stop accepting connections, drain the queue,
+    /// answer everything admitted, and return the final counters.
+    #[must_use]
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.server.shutdown()
+    }
+
+    /// Blocks forever serving requests (the `serve` binary's main
+    /// loop).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// One connection: the reader decodes lines and feeds the pool; a
+/// dedicated writer serializes responses back (workers finish out of
+/// order — ids correlate). Malformed lines are answered in-line with a
+/// `protocol` rejection and the connection stays usable.
+fn handle_connection(server: &Server, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        for response in rx {
+            if out.write_all(encode_line(&response).as_bytes()).is_err() {
+                break;
+            }
+            if out.flush().is_err() {
+                break;
+            }
+        }
+    });
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match decode_request(text) {
+            Ok(request) => server.enqueue(request, &tx),
+            Err(e) => {
+                server
+                    .inner
+                    .config
+                    .obs
+                    .perf_add("serve/rejected_protocol", 1);
+                let _ = tx.send(Response::reject(
+                    salvage_id(text),
+                    RejectKind::Protocol,
+                    e.to_string(),
+                ));
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}

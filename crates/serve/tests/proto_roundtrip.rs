@@ -1,0 +1,171 @@
+//! Property tests on the wire protocol: every generatable
+//! [`FlowRequest`] round-trips through its JSON line losslessly, and
+//! no truncation or corruption of a request line can make the decoder
+//! panic or hang — malformed input always comes back as a typed
+//! [`ProtocolError`].
+
+use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+use m3d_json::{parse, Cur, FromJson, ToJson};
+use m3d_netgen::Benchmark;
+use m3d_serve::protocol::{decode_request, salvage_id, ProtocolError};
+use m3d_tech::Drive;
+use proptest::prelude::*;
+
+const CONFIGS: [Config; 5] = [
+    Config::TwoD9T,
+    Config::TwoD12T,
+    Config::ThreeD9T,
+    Config::ThreeD12T,
+    Config::Hetero3d,
+];
+const BENCHMARKS: [Benchmark; 4] = [
+    Benchmark::Aes,
+    Benchmark::Ldpc,
+    Benchmark::Netcard,
+    Benchmark::Cpu,
+];
+const DRIVES: [Drive; 5] = [Drive::X1, Drive::X2, Drive::X4, Drive::X8, Drive::X16];
+const MAX_EXACT_JSON_INT: u64 = 1 << 53;
+
+fn arb_options() -> impl Strategy<Value = FlowOptions> {
+    (
+        // JSON integers are exact only up to 2^53 (doubles on the
+        // wire), so that is the documented — and generated — id/seed range.
+        (0.3..0.95f64, 0..MAX_EXACT_JSON_INT, 1..64usize, 0..3usize),
+        (0.0..1.0f64, 1..1_000usize, 2..64usize, 1..16usize),
+        (0.01..0.9f64, 0..5usize, 0..5usize, 1e-6..0.1f64),
+    )
+        .prop_map(|(a, b, c)| {
+            let (utilization, seed, iterations, flags) = a;
+            let (timing_partition_cap, max_fanout, partition_bins, threads) = b;
+            let (input_activity, fast, slow, wns_tolerance) = c;
+            let mut o = FlowOptions {
+                utilization,
+                seed,
+                timing_partition_cap,
+                enable_timing_partition: flags & 1 != 0,
+                enable_3d_cts: flags & 2 != 0,
+                input_activity,
+                max_fanout,
+                partition_bins,
+                wns_tolerance,
+                threads,
+                ..FlowOptions::default()
+            };
+            o.placer_mut().iterations = iterations;
+            o.cts_mut().fast_drive = DRIVES[fast];
+            o.cts_mut().slow_drive = DRIVES[slow];
+            o
+        })
+}
+
+fn arb_command() -> impl Strategy<Value = FlowCommand> {
+    (0..3usize, 0..5usize, 0.1..4.0f64).prop_map(|(op, cfg, ghz)| match op {
+        0 => FlowCommand::RunFlow {
+            config: CONFIGS[cfg],
+            frequency_ghz: ghz,
+        },
+        1 => FlowCommand::FindFmax {
+            config: CONFIGS[cfg],
+            start_ghz: ghz,
+        },
+        _ => FlowCommand::CompareConfigs,
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = FlowRequest> {
+    (
+        (
+            0..MAX_EXACT_JSON_INT,
+            0..4usize,
+            0.001..0.5f64,
+            0..MAX_EXACT_JSON_INT,
+        ),
+        arb_options(),
+        arb_command(),
+        0..120_000u64,
+    )
+        .prop_map(
+            |((id, bench, scale, seed), options, command, deadline)| FlowRequest {
+                id,
+                netlist: NetlistSpec {
+                    benchmark: BENCHMARKS[bench],
+                    scale,
+                    seed,
+                },
+                options,
+                command,
+                // Exercise both the present and absent deadline encodings.
+                deadline_ms: (deadline % 2 == 0).then_some(deadline),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The full request — scalars, nested option structs, enums,
+    // optional fields — survives render → parse → decode bit for bit.
+    #[test]
+    fn flow_requests_round_trip_losslessly(request in arb_request()) {
+        let line = request.to_json().render();
+        let back = decode_request(&line).expect("own encoding must decode");
+        prop_assert_eq!(&back, &request, "lossy round-trip: {}", line);
+        // Scale and every other float came back bit-identical, so a
+        // re-render is byte-identical too.
+        prop_assert_eq!(back.to_json().render(), line);
+    }
+
+    // Chopping a valid request line at any byte can only produce a
+    // typed error or (for prefix-closed truncations) a valid value —
+    // never a panic or a hang.
+    #[test]
+    fn truncated_requests_yield_typed_errors(request in arb_request(), cut in 0.0..1.0f64) {
+        let line = request.to_json().render();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let mut at = (line.len() as f64 * cut) as usize;
+        while !line.is_char_boundary(at) {
+            at -= 1;
+        }
+        let truncated = &line[..at];
+        match decode_request(truncated) {
+            Err(ProtocolError::Parse(msg)) => prop_assert!(!msg.is_empty()),
+            Err(ProtocolError::Decode(e)) => prop_assert!(!e.path.is_empty() || !e.expected.is_empty()),
+            Ok(_) => prop_assert!(false, "a strict parser cannot accept a strict prefix: {truncated}"),
+        }
+    }
+
+    // Corrupting one byte leaves the decoder total: it returns either
+    // a typed error or a (different or equal) valid request.
+    #[test]
+    fn corrupted_requests_never_panic(request in arb_request(), pos in 0.0..1.0f64, byte in 0..128u8) {
+        let line = request.to_json().render();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let mut at = (line.len() as f64 * pos) as usize % line.len();
+        while !line.is_char_boundary(at) {
+            at -= 1;
+        }
+        let mut corrupted = line.clone();
+        corrupted.replace_range(at..at + line[at..].chars().next().map_or(1, char::len_utf8), &char::from(byte % 127).to_string());
+        // Must return, one way or the other.
+        let _ = decode_request(&corrupted);
+        let _ = salvage_id(&corrupted);
+    }
+}
+
+#[test]
+fn responses_round_trip_through_their_lines() {
+    use m3d_serve::{RejectKind, Response};
+    let rejected = Response::reject(Some(17), RejectKind::Overloaded, "queue full");
+    let line = rejected.to_json().render();
+    let doc = parse(&line).expect("parse");
+    let back = Response::from_json(Cur::root(&doc)).expect("decode");
+    assert_eq!(back, rejected);
+
+    let anonymous = Response::reject(None, RejectKind::Protocol, "not json");
+    let line = anonymous.to_json().render();
+    let doc = parse(&line).expect("parse");
+    let back = Response::from_json(Cur::root(&doc)).expect("decode");
+    assert_eq!(back, anonymous);
+    assert_eq!(back.id(), None);
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{run_flow, Config, FlowOptions};
+use hetero3d::flow::{Config, FlowOptions, FlowSession};
 use hetero3d::netlist::{verilog, Netlist};
 use hetero3d::tech::{CellKind, Drive};
 
@@ -69,11 +69,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(parsed.gate_count(), netlist.gate_count());
     println!("--- round-trip parse OK ---\n");
 
-    // Implement it both ways.
-    let options = FlowOptions::default();
+    // Implement it both ways through one session: the validated,
+    // buffered base design is shared by both runs.
+    let session = FlowSession::builder(&parsed)
+        .options(FlowOptions::default())
+        .build()?;
     let cost = CostModel::default();
     for config in [Config::TwoD12T, Config::Hetero3d] {
-        let imp = run_flow(&parsed, config, 2.0, &options);
+        let imp = session.run(config, 2.0)?;
         let p = imp.ppac(&cost);
         println!(
             "{:<18} WNS {:+.3} ns  power {:.3} mW  die cost {:.3}e-6 C'  PPC {:.2}",

@@ -8,11 +8,11 @@
 //! ```
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{compare_configs, FlowOptions};
+use hetero3d::flow::{FlowError, FlowOptions, FlowSession};
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::{format_ppac, qualitative_ranking};
 
-fn main() {
+fn main() -> Result<(), FlowError> {
     let netlist = Benchmark::Netcard.generate(0.04, 7);
     println!(
         "exploring `{}` ({} gates) across the five configurations...\n",
@@ -20,7 +20,12 @@ fn main() {
         netlist.gate_count()
     );
 
-    let cmp = compare_configs(&netlist, &FlowOptions::default(), &CostModel::default());
+    // One session: the validated base design and the shared pseudo-3-D
+    // checkpoint are computed once and forked by all five flows.
+    let session = FlowSession::builder(&netlist)
+        .options(FlowOptions::default())
+        .build()?;
+    let cmp = session.compare(&CostModel::default())?;
     println!(
         "iso-performance target (12-track 2-D fmax): {:.2} GHz\n",
         cmp.target_ghz
@@ -48,4 +53,5 @@ fn main() {
     all.push(cmp.hetero.clone());
     println!("\nmeasured qualitative ranking (Table I; 1 = worst, 5 = best):\n");
     println!("{}", qualitative_ranking(&all).render());
+    Ok(())
 }

@@ -6,12 +6,12 @@
 //! ```
 
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{run_flow, Config, FlowOptions};
+use hetero3d::flow::{Config, FlowError, FlowOptions, FlowSession};
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::format_ppac;
 use hetero3d::tech::Tier;
 
-fn main() {
+fn main() -> Result<(), FlowError> {
     // 1. A workload: an AES-class netlist at 5 % of the default size so
     //    the example finishes in a couple of seconds.
     let netlist = Benchmark::Aes.generate(0.05, 42);
@@ -25,8 +25,13 @@ fn main() {
 
     // 2. Implement it heterogeneously: 12-track @0.90 V bottom die,
     //    9-track @0.81 V top die, timing-based partitioning, 3-D clock
-    //    tree and the repartitioning ECO all enabled by default.
-    let imp = run_flow(&netlist, Config::Hetero3d, 1.2, &FlowOptions::default());
+    //    tree and the repartitioning ECO all enabled by default. The
+    //    session validates and buffers the design once; further calls
+    //    on it (other configs, other frequencies) fork its checkpoints.
+    let session = FlowSession::builder(&netlist)
+        .options(FlowOptions::default())
+        .build()?;
+    let imp = session.run(Config::Hetero3d, 1.2)?;
 
     // 3. Inspect the outcome.
     let bottom = imp.tiers.iter().filter(|t| **t == Tier::Bottom).count();
@@ -46,4 +51,5 @@ fn main() {
     // 4. The PPAC roll-up (Table VI's rows).
     let ppac = imp.ppac(&CostModel::default());
     println!("\n{}", format_ppac(&ppac).render());
+    Ok(())
 }

@@ -6,6 +6,11 @@
 //! `par::set_threads`, and the `HETERO3D_THREADS` environment variable may
 //! change wall-clock time but never a single output bit.
 
+// Integration tests intentionally exercise the deprecated panicking
+// wrappers alongside the `FlowSession` path; `tests/` is the one place
+// they remain allowed.
+#![allow(deprecated)]
+
 use hetero3d::cost::CostModel;
 use hetero3d::db::DesignDb;
 use hetero3d::flow::{compare_configs, run_flow, Config, FlowOptions, Implementation};

@@ -3,6 +3,11 @@
 //! the workspace: netgen → place → partition → route → cts → sta → power
 //! → cost → flow.
 
+// Integration tests intentionally exercise the deprecated panicking
+// wrappers alongside the `FlowSession` path; `tests/` is the one place
+// they remain allowed.
+#![allow(deprecated)]
+
 use hetero3d::cost::CostModel;
 use hetero3d::flow::{compare_configs, run_flow, Config, FlowOptions};
 use hetero3d::netgen::Benchmark;

@@ -8,6 +8,11 @@
 //! `cargo test --test golden_tables -- --ignored --nocapture`), never to
 //! silence an unexplained change.
 
+// Integration tests intentionally exercise the deprecated panicking
+// wrappers alongside the `FlowSession` path; `tests/` is the one place
+// they remain allowed.
+#![allow(deprecated)]
+
 use hetero3d::cost::CostModel;
 use hetero3d::flow::{compare_configs, Comparison, FlowOptions};
 use hetero3d::netgen::Benchmark;

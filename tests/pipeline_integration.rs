@@ -3,6 +3,11 @@
 //! independently computed quantities (MIVs vs cut size, clock sinks vs
 //! registers, power vs frequency).
 
+// Integration tests intentionally exercise the deprecated panicking
+// wrappers alongside the `FlowSession` path; `tests/` is the one place
+// they remain allowed.
+#![allow(deprecated)]
+
 use hetero3d::flow::{run_flow, Config, FlowOptions};
 use hetero3d::netgen::Benchmark;
 use hetero3d::netlist::verilog;

@@ -18,7 +18,7 @@ use std::fmt;
 /// Everything that can go wrong while implementing a configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
-    /// The target frequency was zero, negative or NaN.
+    /// The target frequency was zero, negative or non-finite.
     InvalidFrequency {
         /// The rejected target, GHz.
         frequency_ghz: f64,

@@ -115,7 +115,7 @@ pub fn try_run_flow(
     frequency_ghz: f64,
     options: &FlowOptions,
 ) -> Result<Implementation, FlowError> {
-    if frequency_ghz.is_nan() || frequency_ghz <= 0.0 {
+    if !frequency_ghz.is_finite() || frequency_ghz <= 0.0 {
         return Err(FlowError::InvalidFrequency { frequency_ghz });
     }
     crate::FlowSession::builder(netlist)
@@ -351,7 +351,7 @@ mod tests {
     #[test]
     fn try_run_flow_rejects_nonpositive_frequency() {
         let n = Benchmark::Aes.generate(0.02, 31);
-        for bad in [0.0, -1.5, f64::NAN] {
+        for bad in [0.0, -1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             let err = try_run_flow(&n, Config::TwoD12T, bad, &quick_options()).unwrap_err();
             assert!(
                 matches!(err, FlowError::InvalidFrequency { .. }),

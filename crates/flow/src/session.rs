@@ -152,10 +152,10 @@ impl FlowSession {
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::InvalidFrequency`] for a non-positive or NaN
-    /// target and propagates any stage failure.
+    /// Returns [`FlowError::InvalidFrequency`] for a non-positive or
+    /// non-finite target and propagates any stage failure.
     pub fn run(&self, config: Config, frequency_ghz: f64) -> Result<Implementation, FlowError> {
-        if frequency_ghz.is_nan() || frequency_ghz <= 0.0 {
+        if !frequency_ghz.is_finite() || frequency_ghz <= 0.0 {
             return Err(FlowError::InvalidFrequency { frequency_ghz });
         }
         run_from_base(
@@ -172,8 +172,15 @@ impl FlowSession {
     ///
     /// # Errors
     ///
-    /// Propagates the first failure of any probe or ladder rung.
+    /// Returns [`FlowError::InvalidFrequency`] for a non-finite starting
+    /// point (too-low or negative starts are merely clamped) and
+    /// propagates the first failure of any probe or ladder rung.
     pub fn fmax(&self, config: Config, start_ghz: f64) -> Result<(f64, Implementation), FlowError> {
+        if !start_ghz.is_finite() {
+            return Err(FlowError::InvalidFrequency {
+                frequency_ghz: start_ghz,
+            });
+        }
         fmax_from_base(
             &self.base,
             self.pseudo_for(config)?,
@@ -274,6 +281,12 @@ mod tests {
         let n = Benchmark::Aes.generate(0.02, 31);
         let session = FlowSession::builder(&n).build().expect("valid netlist");
         let err = session.run(Config::TwoD9T, f64::NAN).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidFrequency { .. }));
+        // An infinite target would otherwise run with period 0 and
+        // return garbage metrics instead of an error.
+        let err = session.run(Config::TwoD9T, f64::INFINITY).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidFrequency { .. }));
+        let err = session.fmax(Config::TwoD9T, f64::INFINITY).unwrap_err();
         assert!(matches!(err, FlowError::InvalidFrequency { .. }));
 
         // A gate with an unconnected input fails validation at build().

@@ -351,8 +351,8 @@ pub fn pseudo_checkpoint(
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::InvalidFrequency`] for a non-positive target and
-/// propagates any stage failure.
+/// Returns [`FlowError::InvalidFrequency`] for a non-positive or
+/// non-finite target and propagates any stage failure.
 pub fn run_from_base(
     base: &BaseDesign,
     pseudo: Option<&PseudoCheckpoint>,
@@ -360,7 +360,7 @@ pub fn run_from_base(
     frequency_ghz: f64,
     options: &FlowOptions,
 ) -> Result<Implementation, FlowError> {
-    if frequency_ghz.is_nan() || frequency_ghz <= 0.0 {
+    if !frequency_ghz.is_finite() || frequency_ghz <= 0.0 {
         return Err(FlowError::InvalidFrequency { frequency_ghz });
     }
     let period = 1.0 / frequency_ghz;

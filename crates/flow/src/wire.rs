@@ -120,10 +120,35 @@ pub struct NetlistSpec {
 }
 
 impl NetlistSpec {
+    /// Largest accepted [`scale`](NetlistSpec::scale). 64 × the
+    /// workspace default is ≈ 2 M gates — far past paper-class sizes;
+    /// anything larger is a resource-exhaustion request, not a design
+    /// (an unbounded scale saturates the generator's f64 → usize casts
+    /// and dies allocating).
+    pub const MAX_SCALE: f64 = 64.0;
+
     /// Runs the generator.
     #[must_use]
     pub fn materialize(&self) -> Netlist {
         self.benchmark.generate(self.scale, self.seed)
+    }
+
+    /// Checks the generator parameters against the bounds the wire
+    /// decoder and the service enforce before any netlist is built.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] at `netlist/scale` when the scale is
+    /// not a finite value in `(0, MAX_SCALE]`.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        if self.scale.is_finite() && self.scale > 0.0 && self.scale <= Self::MAX_SCALE {
+            Ok(())
+        } else {
+            Err(DecodeError::new(
+                "netlist/scale",
+                format!("a finite scale in (0, {}]", Self::MAX_SCALE),
+            ))
+        }
     }
 }
 
@@ -241,21 +266,131 @@ impl ToJson for FlowRequest {
     }
 }
 
+impl FlowRequest {
+    /// Validates the numeric bounds the wire decoder and the service
+    /// enforce at admission: generator parameters that would exhaust
+    /// memory and option knobs that would size internal grids and
+    /// worklists beyond anything the flow is designed for. Structural
+    /// shape is the type system's job; this is the range half, and it
+    /// runs on in-process requests too — a hand-built request is held
+    /// to the same bounds as one off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the out-of-range member.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        self.netlist.validate()?;
+        self.options.validate_bounds()
+    }
+}
+
 impl FromJson for FlowRequest {
     fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
-        Ok(FlowRequest {
+        let request = FlowRequest {
             id: cur.get("id")?.u64()?,
             netlist: NetlistSpec::from_json(cur.get("netlist")?)?,
             options: FlowOptions::from_json(cur.get("options")?)?,
             command: FlowCommand::from_json(cur.get("command")?)?,
             deadline_ms: cur.opt("deadline_ms").map(|d| d.u64()).transpose()?,
-        })
+        };
+        request.validate()?;
+        Ok(request)
     }
 }
 
 // ---------------------------------------------------------------------
 // options
 // ---------------------------------------------------------------------
+
+/// Largest bin count per axis any grid-shaped knob may request (grids
+/// are `bins²`; 4096² cells is already far past every shipped config).
+const MAX_BINS: usize = 4_096;
+/// Cap on iteration/sweep counts (a worklist length, not a grid).
+const MAX_SWEEPS: usize = 1 << 20;
+/// Cap on fanout limits.
+const MAX_FANOUT: usize = 1 << 20;
+/// Cap on the per-request thread count.
+const MAX_THREADS: usize = 1_024;
+
+fn in_unit(path: &str, v: f64, zero_ok: bool) -> Result<(), DecodeError> {
+    let ok = v.is_finite() && v <= 1.0 && (v > 0.0 || (zero_ok && v == 0.0));
+    if ok {
+        Ok(())
+    } else {
+        let lo = if zero_ok { "[0" } else { "(0" };
+        Err(DecodeError::new(path, format!("a fraction in {lo}, 1]")))
+    }
+}
+
+fn finite(path: &str, v: f64) -> Result<(), DecodeError> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(DecodeError::new(path, "a finite number"))
+    }
+}
+
+fn bounded(path: &str, v: usize, min: usize, max: usize) -> Result<(), DecodeError> {
+    if (min..=max).contains(&v) {
+        Ok(())
+    } else {
+        Err(DecodeError::new(
+            path,
+            format!("an integer in {min}..={max}"),
+        ))
+    }
+}
+
+impl FlowOptions {
+    /// Checks every resource-shaping knob against the service bounds,
+    /// reporting the first violation with its request-relative path
+    /// (e.g. `options/placer/bins`). All shipped presets and every
+    /// value the wire decoder accepts satisfy these; what they exclude
+    /// is a request whose knobs would size an allocation past what the
+    /// flow is designed for.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the out-of-range member.
+    pub fn validate_bounds(&self) -> Result<(), DecodeError> {
+        in_unit("options/utilization", self.utilization, false)?;
+        bounded(
+            "options/placer/iterations",
+            self.placer.iterations,
+            0,
+            MAX_SWEEPS,
+        )?;
+        bounded(
+            "options/placer/relax_sweeps",
+            self.placer.relax_sweeps,
+            0,
+            MAX_SWEEPS,
+        )?;
+        bounded("options/placer/bins", self.placer.bins, 1, MAX_BINS)?;
+        in_unit("options/placer/target_fill", self.placer.target_fill, false)?;
+        bounded("options/route/bins", self.route.bins, 1, MAX_BINS)?;
+        finite(
+            "options/route/congestion_exponent",
+            self.route.congestion_exponent,
+        )?;
+        finite(
+            "options/route/overflow_threshold",
+            self.route.overflow_threshold,
+        )?;
+        bounded("options/cts/max_fanout", self.cts.max_fanout, 1, MAX_FANOUT)?;
+        in_unit(
+            "options/timing_partition_cap",
+            self.timing_partition_cap,
+            true,
+        )?;
+        in_unit("options/input_activity", self.input_activity, true)?;
+        bounded("options/max_fanout", self.max_fanout, 1, MAX_FANOUT)?;
+        bounded("options/partition_bins", self.partition_bins, 1, MAX_BINS)?;
+        finite("options/wns_tolerance", self.wns_tolerance)?;
+        bounded("options/threads", self.threads, 0, MAX_THREADS)?;
+        Ok(())
+    }
+}
 
 impl ToJson for FlowOptions {
     fn to_json(&self) -> Value {

@@ -3,13 +3,16 @@
 //! (the flow service's wire format is built from [`Value`]s).
 //!
 //! The dialect is the JSON subset this workspace emits: objects, arrays,
-//! strings with simple escapes, numbers, booleans and null. The reader is
-//! strict about structure (trailing garbage is an error) and keeps object
-//! keys in document order so mismatches report deterministically. The
-//! writer renders floats with Rust's shortest-roundtrip formatting, so a
-//! finite `f64` survives a write → parse cycle bit for bit; integral
-//! values are written without a fractional part. Integers are exact up to
-//! 2^53 (JSON numbers are doubles on the wire).
+//! strings with standard escapes (including `\uXXXX` surrogate pairs),
+//! numbers, booleans and null. The reader is strict about structure
+//! (trailing garbage is an error, as are number literals that overflow
+//! `f64`) and keeps object keys in document order so mismatches report
+//! deterministically. The writer renders floats with Rust's
+//! shortest-roundtrip formatting, so a finite `f64` survives a
+//! write → parse cycle bit for bit; integral values are written without
+//! a fractional part. Integers are exact only below 2^53 (JSON numbers
+//! are doubles on the wire), so [`Value::as_u64`] rejects anything
+//! larger instead of silently rounding it.
 //!
 //! Decoding structured types goes through [`Cur`], a cursor that carries
 //! its path from the document root, so shape errors ([`DecodeError`])
@@ -52,10 +55,17 @@ impl Value {
         }
     }
 
+    /// Integral numbers in the double-exact range `0..2^53`. Larger
+    /// literals (e.g. request ids) can collide with their neighbors
+    /// after the round-trip through `f64`, so they are rejected rather
+    /// than returned off by one.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
+        /// 2^53: the first integer a double cannot distinguish from its
+        /// successor.
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0;
         match self {
-            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v < MAX_EXACT => Some(*v as u64),
             _ => None,
         }
     }
@@ -335,19 +345,24 @@ impl<'a> Cur<'a> {
 
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] when the value is not a finite number.
+    /// Returns a [`DecodeError`] when the value is not a finite number
+    /// (NaN and ±∞ have no JSON spelling, so a hand-built non-finite
+    /// [`Value::Num`] is rejected here too).
     pub fn f64(&self) -> Result<f64, DecodeError> {
-        self.value.as_f64().ok_or_else(|| self.err("a number"))
+        self.value
+            .as_f64()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| self.err("a finite number"))
     }
 
     /// # Errors
     ///
     /// Returns a [`DecodeError`] when the value is not a non-negative
-    /// integral number.
+    /// integral number below 2^53 (the double-exact range).
     pub fn u64(&self) -> Result<u64, DecodeError> {
         self.value
             .as_u64()
-            .ok_or_else(|| self.err("a non-negative integer"))
+            .ok_or_else(|| self.err("a non-negative integer below 2^53"))
     }
 
     /// # Errors
@@ -606,14 +621,35 @@ impl Parser<'_> {
                         b't' => out.push('\t'),
                         b'r' => out.push('\r'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("bad \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let unit = self.hex4()?;
+                            let code = match unit {
+                                // A high surrogate names a supplementary
+                                // code point only together with the low
+                                // surrogate that must follow it.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(format!("unpaired surrogate \\u{unit:04x}"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(format!(
+                                            "expected low surrogate after \\u{unit:04x}, got \\u{low:04x}"
+                                        ));
+                                    }
+                                    0x1_0000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!("unpaired surrogate \\u{unit:04x}"));
+                                }
+                                scalar => scalar,
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                            );
                         }
                         other => return Err(format!("unknown escape '\\{}'", other as char)),
                     }
@@ -631,6 +667,21 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads four hex digits of a `\u` escape as a UTF-16 code unit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("bad \\u escape")?;
+        // Strict hex only: `from_str_radix` alone would admit a sign.
+        let text = std::str::from_utf8(hex)
+            .ok()
+            .filter(|t| t.bytes().all(|b| b.is_ascii_hexdigit()))
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        u32::from_str_radix(text, 16).map_err(|e| e.to_string())
+    }
+
     fn number(&mut self) -> Result<Value, String> {
         let start = self.pos;
         while let Some(b) = self.bytes.get(self.pos) {
@@ -640,11 +691,17 @@ impl Parser<'_> {
                 break;
             }
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
+        let v: f64 = std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
             .and_then(|s| s.parse().ok())
-            .map(Value::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
+            .ok_or_else(|| format!("bad number at byte {start}"))?;
+        // `str::parse` maps overflowing literals like 1e999 to ±inf;
+        // passing that through would smuggle a non-finite value past
+        // every downstream finiteness guard.
+        if !v.is_finite() {
+            return Err(format!("number out of range at byte {start}"));
+        }
+        Ok(Value::Num(v))
     }
 }
 
@@ -717,6 +774,49 @@ mod tests {
         assert_eq!(Value::Num(0.5).render(), "0.5");
         assert_eq!(Value::Num(f64::NAN).render(), "null");
         assert_eq!(Value::from(7u64).render(), "7");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_code_points() {
+        let escaped = "\"\\ud83d\\ude00\"";
+        let v = parse(escaped).expect("parse");
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+        // Raw (unescaped) UTF-8 passes through unchanged too.
+        let raw = parse("\"\u{1f600}\"").expect("parse");
+        assert_eq!(raw.as_str(), Some("\u{1f600}"));
+        // Lone or mismatched surrogates are errors, not U+FFFD soup.
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ud83dx""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+        assert!(parse(r#""\ud83dA""#).is_err());
+        // Plain BMP escapes still work, signs are not hex digits.
+        assert_eq!(parse(r#""A""#).expect("parse").as_str(), Some("A"));
+        assert!(parse(r#""\u+12f""#).is_err());
+    }
+
+    #[test]
+    fn overflowing_literals_and_non_finite_numbers_are_rejected() {
+        assert!(parse("1e999").is_err());
+        assert!(parse("-1e999").is_err());
+        assert_eq!(parse("1e308").expect("parse").as_f64(), Some(1e308));
+        // A hand-built non-finite Value is stopped at the cursor.
+        let inf = Value::Num(f64::INFINITY);
+        let err = Cur::root(&inf).f64().unwrap_err();
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn integers_at_or_above_2_pow_53_are_not_u64s() {
+        assert_eq!(
+            Value::Num(9_007_199_254_740_991.0).as_u64(),
+            Some((1 << 53) - 1)
+        );
+        // 2^53 is where doubles stop distinguishing neighbors: the
+        // echoed id could belong to a different request, so reject.
+        assert_eq!(Value::Num(9_007_199_254_740_992.0).as_u64(), None);
+        let v = parse("9007199254740993").expect("parse");
+        assert_eq!(v.as_u64(), None);
+        assert!(Cur::root(&v).u64().is_err());
     }
 
     #[test]

@@ -4,12 +4,16 @@
 //!
 //! # Life of a request
 //!
-//! 1. **Admission** ([`Server::enqueue`]): while the server holds its
-//!    queue lock it either queues the job or rejects it — with
-//!    [`RejectKind::Overloaded`] when the queue is at `queue_depth`
-//!    (explicit backpressure, never silent blocking) or
-//!    [`RejectKind::Shutdown`] once draining has begun. Admission is
-//!    the only place requests are dropped for capacity.
+//! 1. **Admission** ([`Server::enqueue`]): requests are first held to
+//!    the numeric bounds of [`FlowRequest::validate`] — an absurd
+//!    netlist scale or grid-sizing knob is rejected
+//!    [`RejectKind::Protocol`] before it can reach a worker, even from
+//!    in-process callers. Then, under the queue lock, the request is
+//!    either queued or rejected — with [`RejectKind::Overloaded`] when
+//!    the queue is at `queue_depth` (explicit backpressure, never
+//!    silent blocking) or [`RejectKind::Shutdown`] once draining has
+//!    begun. Admission is the only place requests are dropped for
+//!    capacity.
 //! 2. **Dequeue**: a worker pops the oldest job. A job whose deadline
 //!    elapsed while it sat in the queue is answered with
 //!    [`RejectKind::Deadline`] and never run — queue time is the thing
@@ -18,7 +22,10 @@
 //!    obtains the shared session from the [`SessionCache`], and runs
 //!    [`m3d_flow::FlowSession::execute`] — the same code path a direct library
 //!    caller uses, which is why service responses are bit-identical to
-//!    library calls at any worker count.
+//!    library calls at any worker count. Execution is wrapped in
+//!    `catch_unwind`: a panicking flow answers the request with a
+//!    [`RejectKind::Flow`] rejection and the worker survives, so one
+//!    pathological request can never shrink the pool.
 //! 4. **Reply**: the response is sent to the job's reply channel (the
 //!    connection's writer, or the in-process [`Pending`] handle).
 //!
@@ -33,9 +40,10 @@ use crate::cache::SessionCache;
 use crate::protocol::{decode_request, encode_line, salvage_id, RejectKind, Response};
 use m3d_flow::FlowRequest;
 use m3d_obs::Obs;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -86,6 +94,10 @@ pub struct StatsSnapshot {
     pub rejected_deadline: u64,
     /// Requests rejected `shutdown` at admission.
     pub rejected_shutdown: u64,
+    /// Requests rejected `protocol` — malformed lines on the wire, and
+    /// requests whose numbers fall outside [`FlowRequest::validate`]'s
+    /// bounds at admission.
+    pub rejected_protocol: u64,
     /// Checkpoint-cache hits.
     pub cache_hits: u64,
     /// Checkpoint-cache misses (== distinct keys built).
@@ -101,6 +113,7 @@ struct Stats {
     rejected_overloaded: AtomicU64,
     rejected_deadline: AtomicU64,
     rejected_shutdown: AtomicU64,
+    rejected_protocol: AtomicU64,
 }
 
 struct Job {
@@ -184,11 +197,26 @@ impl Server {
     }
 
     /// Admits `request` or rejects it, answering through `reply`.
-    /// Admission control runs under the queue lock, so the depth bound
-    /// is exact.
+    /// Requests outside [`FlowRequest::validate`]'s numeric bounds are
+    /// rejected `protocol` before touching the queue — workers only
+    /// ever see inputs the flow can safely size buffers for. Capacity
+    /// control runs under the queue lock, so the depth bound is exact.
     pub fn enqueue(&self, request: FlowRequest, reply: &Sender<Response>) {
         let obs = &self.inner.config.obs;
         let id = request.id;
+        if let Err(e) = request.validate() {
+            self.inner
+                .stats
+                .rejected_protocol
+                .fetch_add(1, Ordering::Relaxed);
+            obs.perf_add("serve/rejected_protocol", 1);
+            let _ = reply.send(Response::reject(
+                Some(id),
+                RejectKind::Protocol,
+                format!("request out of bounds: {e}"),
+            ));
+            return;
+        }
         let verdict = {
             let mut state = self.inner.state.lock().expect("server queue poisoned");
             if !state.accepting {
@@ -275,20 +303,41 @@ impl Server {
                 return;
             }
         }
-        let netlist = job.request.netlist.materialize();
-        let (session, cache_hit) = self
-            .inner
-            .cache
-            .get_or_build(&netlist, &job.request.options);
-        obs.perf_add(
-            if cache_hit {
-                "serve/cache_hit"
-            } else {
-                "serve/cache_miss"
-            },
-            1,
-        );
-        let outcome = session.and_then(|s| s.execute(&job.request.command));
+        // A panicking flow must cost the client one rejection, not the
+        // pool one worker: admission bounds make panics unlikely, the
+        // unwind barrier makes them survivable. The cache's lock is
+        // released before any flow code runs, so no lock is poisoned.
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            let netlist = job.request.netlist.materialize();
+            let (session, cache_hit) = self
+                .inner
+                .cache
+                .get_or_build(&netlist, &job.request.options);
+            obs.perf_add(
+                if cache_hit {
+                    "serve/cache_hit"
+                } else {
+                    "serve/cache_miss"
+                },
+                1,
+            );
+            let outcome = session.and_then(|s| s.execute(&job.request.command));
+            (outcome, cache_hit)
+        }));
+        let (outcome, cache_hit) = match executed {
+            Ok(pair) => pair,
+            Err(payload) => {
+                self.inner.stats.failed_flow.fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/failed_flow", 1);
+                obs.perf_add("serve/panicked", 1);
+                let _ = job.reply.send(Response::reject(
+                    Some(id),
+                    RejectKind::Flow,
+                    format!("flow execution panicked: {}", panic_text(&payload)),
+                ));
+                return;
+            }
+        };
         let response = match outcome {
             Ok(report) => {
                 self.inner
@@ -343,6 +392,7 @@ impl Server {
             rejected_overloaded: s.rejected_overloaded.load(Ordering::Relaxed),
             rejected_deadline: s.rejected_deadline.load(Ordering::Relaxed),
             rejected_shutdown: s.rejected_shutdown.load(Ordering::Relaxed),
+            rejected_protocol: s.rejected_protocol.load(Ordering::Relaxed),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
         }
@@ -385,16 +435,39 @@ impl TcpServer {
             let server = server.clone();
             let stopping = Arc::clone(&stopping);
             std::thread::spawn(move || {
+                // Live connections' read halves, so shutdown can unblock
+                // readers parked in `read_line` on idle clients. Handlers
+                // deregister themselves on exit to keep the map (and its
+                // fds) bounded by *live* connections, not total served.
+                let live: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::default();
                 let mut connections: Vec<JoinHandle<()>> = Vec::new();
+                let mut next_id: u64 = 0;
                 for stream in listener.incoming() {
                     if stopping.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    let conn_id = next_id;
+                    next_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        live.lock()
+                            .expect("connection registry poisoned")
+                            .insert(conn_id, clone);
+                    }
                     let server = server.clone();
+                    let live = Arc::clone(&live);
                     connections.push(std::thread::spawn(move || {
-                        handle_connection(&server, stream)
+                        handle_connection(&server, stream);
+                        live.lock()
+                            .expect("connection registry poisoned")
+                            .remove(&conn_id);
                     }));
+                }
+                // Close the read half of every still-open connection:
+                // idle readers see EOF and exit, while write halves stay
+                // up so in-flight responses still drain to clients.
+                for conn in live.lock().expect("connection registry poisoned").values() {
+                    let _ = conn.shutdown(Shutdown::Read);
                 }
                 for c in connections {
                     let _ = c.join();
@@ -421,8 +494,11 @@ impl TcpServer {
         &self.server
     }
 
-    /// Graceful shutdown: stop accepting connections, drain the queue,
-    /// answer everything admitted, and return the final counters.
+    /// Graceful shutdown: stop accepting connections, close the read
+    /// half of every open connection (so idle clients cannot stall the
+    /// drain — their readers see EOF while in-flight responses still
+    /// reach them), drain the queue, answer everything admitted, and
+    /// return the final counters.
     #[must_use]
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.stopping.store(true, Ordering::SeqCst);
@@ -480,6 +556,11 @@ fn handle_connection(server: &Server, stream: TcpStream) {
             Err(e) => {
                 server
                     .inner
+                    .stats
+                    .rejected_protocol
+                    .fetch_add(1, Ordering::Relaxed);
+                server
+                    .inner
                     .config
                     .obs
                     .perf_add("serve/rejected_protocol", 1);
@@ -493,4 +574,16 @@ fn handle_connection(server: &Server, stream: TcpStream) {
     }
     drop(tx);
     let _ = writer.join();
+}
+
+/// Best-effort text of a panic payload (`panic!` carries a `&str` or
+/// `String`; anything else is opaque).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }

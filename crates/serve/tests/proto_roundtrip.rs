@@ -153,6 +153,51 @@ proptest! {
     }
 }
 
+fn sample_request() -> FlowRequest {
+    FlowRequest {
+        id: 7,
+        netlist: NetlistSpec {
+            benchmark: Benchmark::Aes,
+            scale: 0.05,
+            seed: 31,
+        },
+        options: FlowOptions::default(),
+        command: FlowCommand::CompareConfigs,
+        deadline_ms: None,
+    }
+}
+
+// An id at or above 2^53 cannot survive the f64 wire representation
+// exactly, so the decoder refuses it rather than silently correlating
+// the response to a different id — and `salvage_id` refuses to echo it
+// into a rejection for the same reason.
+#[test]
+fn ids_at_or_above_2_pow_53_are_rejected_not_rounded() {
+    let mut request = sample_request();
+    request.id = (1 << 53) + 1; // rounds to exactly 2^53 on the wire
+    let line = request.to_json().render();
+    match decode_request(&line) {
+        Err(ProtocolError::Decode(e)) => assert_eq!(e.path, "id"),
+        other => panic!("expected a decode error on `id`, got {other:?}"),
+    }
+    assert_eq!(salvage_id(&line), None);
+}
+
+// A netlist scale outside (0, MAX_SCALE] is refused at decode — before
+// it can reach a worker and saturate buffer-sizing arithmetic.
+#[test]
+fn out_of_range_scales_are_rejected_at_decode() {
+    let mut request = sample_request();
+    request.netlist.scale = 1e18;
+    let line = request.to_json().render();
+    match decode_request(&line) {
+        Err(ProtocolError::Decode(e)) => assert_eq!(e.path, "netlist/scale"),
+        other => panic!("expected a decode error on `netlist/scale`, got {other:?}"),
+    }
+    // The id itself is fine, so a server can still echo it.
+    assert_eq!(salvage_id(&line), Some(7));
+}
+
 #[test]
 fn responses_round_trip_through_their_lines() {
     use m3d_serve::{RejectKind, Response};

@@ -316,6 +316,93 @@ fn invalid_flow_inputs_are_flow_rejections() {
 }
 
 #[test]
+fn out_of_bounds_requests_are_protocol_rejections_and_the_worker_survives() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        cache_capacity: 4,
+        obs: Obs::disabled(),
+    });
+    // Scales that would saturate the f64 → usize cast when sizing the
+    // netlist (or are outright nonsense) must be bounced at admission —
+    // never handed to a worker to panic on.
+    for (id, scale) in [(0, 1e18), (1, f64::NAN), (2, -1.0)] {
+        let response = server
+            .submit(request(
+                id,
+                NetlistSpec {
+                    benchmark: Benchmark::Aes,
+                    scale,
+                    seed: 31,
+                },
+                quick_options(8),
+                FlowCommand::RunFlow {
+                    config: Config::TwoD9T,
+                    frequency_ghz: 1.0,
+                },
+            ))
+            .wait();
+        assert_eq!(
+            response.reject_kind(),
+            Some(RejectKind::Protocol),
+            "scale {scale} must be rejected"
+        );
+        assert_eq!(response.id(), Some(id));
+    }
+    // The lone worker survived all three and still serves real work.
+    let ok = server
+        .submit(request(
+            9,
+            spec(31),
+            quick_options(8),
+            FlowCommand::RunFlow {
+                config: Config::TwoD9T,
+                frequency_ghz: 1.0,
+            },
+        ))
+        .wait();
+    assert!(ok.is_ok(), "worker must survive rejected requests");
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_protocol, 3);
+    assert_eq!(
+        stats.accepted, 1,
+        "out-of-bounds requests are never admitted"
+    );
+    assert_eq!(stats.completed_ok, 1);
+}
+
+#[test]
+fn shutdown_is_not_blocked_by_idle_connections() {
+    let server = TcpServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut idle = Client::connect(addr).expect("connect");
+    idle.send(&request(
+        1,
+        spec(31),
+        quick_options(8),
+        FlowCommand::RunFlow {
+            config: Config::TwoD9T,
+            frequency_ghz: 1.0,
+        },
+    ))
+    .expect("send");
+    assert!(idle.recv().expect("recv").is_ok());
+    // The client keeps its connection open and goes quiet. Shutdown
+    // must close the read half rather than wait for a hangup that
+    // never comes.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(server.shutdown());
+    });
+    let stats = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("shutdown must complete despite the idle connection");
+    assert_eq!(stats.completed_ok, 1);
+    // The server hung up on its side; the idle client sees EOF.
+    assert!(idle.recv().is_err());
+}
+
+#[test]
 fn tcp_round_trip_handles_malformed_lines_and_real_requests() {
     let server = TcpServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let addr = server.local_addr();
@@ -335,6 +422,22 @@ fn tcp_round_trip_handles_malformed_lines_and_real_requests() {
     probe.send_raw(r#"{"id": 9, "netlist"#).expect("send");
     let r = probe.recv().expect("recv");
     assert_eq!(r.reject_kind(), Some(RejectKind::Protocol));
+    // Well-formed JSON whose netlist scale is far outside the
+    // admissible range: bounced `protocol` at decode, id echoed.
+    let mut oversize = request(
+        7,
+        spec(31),
+        quick_options(8),
+        FlowCommand::RunFlow {
+            config: Config::TwoD9T,
+            frequency_ghz: 1.0,
+        },
+    );
+    oversize.netlist.scale = 1e18;
+    probe.send(&oversize).expect("send");
+    let r = probe.recv().expect("recv");
+    assert_eq!(r.reject_kind(), Some(RejectKind::Protocol));
+    assert_eq!(r.id(), Some(7));
 
     // The connection survives all of that and still serves real work,
     // concurrently from a second client, bit-identical to the library.
@@ -364,6 +467,7 @@ fn tcp_round_trip_handles_malformed_lines_and_real_requests() {
     drop(second);
     let stats = server.shutdown();
     assert_eq!(stats.completed_ok, 2);
+    assert_eq!(stats.rejected_protocol, 4);
     assert_eq!(stats.cache_misses, 1, "both clients shared one session");
     assert_eq!(stats.cache_hits, 1);
 }

@@ -230,6 +230,8 @@ const SERVE_EXACT: &[&str] = &[
     "cache_hits",
     "cache_misses",
     "pseudo3d_runs",
+    "warm_store_hits",
+    "warm_pseudo3d_runs",
 ];
 
 /// Absolute floor on the serve bench's checkpoint-cache hit rate: the
@@ -280,6 +282,26 @@ fn gate_serve(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     gate.check(
         hit_rate >= SERVE_HIT_RATE_FLOOR,
         &format!("BENCH_serve.hit_rate: {hit_rate} >= floor {SERVE_HIT_RATE_FLOOR}"),
+    );
+    // Warm-restart economics: a restarted server answers every distinct
+    // key from the persistent store, byte-identically, without ever
+    // re-running the pseudo-3-D stage.
+    gate.check(
+        fresh.get("warm_identical_to_cold").and_then(Value::as_bool) == Some(true),
+        "BENCH_serve: warm-restart responses were byte-identical to the cold run",
+    );
+    let warm_hits = fresh.get("warm_store_hits").and_then(Value::as_u64);
+    gate.check(
+        keys.is_some() && warm_hits == keys,
+        &format!(
+            "BENCH_serve: warm store hits {warm_hits:?} == distinct cache keys {keys:?} \
+             (every key rehydrated from disk)"
+        ),
+    );
+    let warm_pseudo = fresh.get("warm_pseudo3d_runs").and_then(Value::as_u64);
+    gate.check(
+        warm_pseudo == Some(0),
+        &format!("BENCH_serve.warm_pseudo3d_runs: {warm_pseudo:?} == Some(0) after restart"),
     );
 }
 

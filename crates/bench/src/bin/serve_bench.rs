@@ -17,14 +17,24 @@
 //! Wall-clock fields (`wall_ms_*`) are informational only; `bench_gate`
 //! checks the deterministic fields exactly and floors the hit rate.
 //!
+//! A final **warm-restart** phase measures the persistent store: the
+//! workload runs once against a store-backed server (populating the
+//! store), then again on a *fresh* server over the same store
+//! directory — simulating a daemon restart. Deterministically:
+//! `warm_store_hits == keys` (every distinct key rehydrates from
+//! disk), `warm_pseudo3d_runs == 0` (the restarted server never
+//! re-runs the expensive stage) and `warm_identical_to_cold` (the
+//! rendered responses match byte for byte).
+//!
 //! Usage: `serve_bench [--scale <f64>] [--seed <u64>] [--out <dir>]`.
 //! The default scale is the CI smoke setting (0.02).
 
 use hetero3d::flow::{Config, FlowCommand, FlowRequest, NetlistSpec};
 use hetero3d::netgen::Benchmark;
 use hetero3d::obs::Obs;
-use m3d_serve::{Pending, Response, Server, ServerConfig, StatsSnapshot};
+use m3d_serve::{Pending, Response, Server, ServerConfig, StatsSnapshot, Store};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Distinct cache keys in the workload (option variants of one netlist).
@@ -81,7 +91,7 @@ struct Run {
     wall_ms: f64,
 }
 
-fn run_workload(requests: &[FlowRequest], workers: usize) -> Run {
+fn run_workload(requests: &[FlowRequest], workers: usize, store: Option<Arc<Store>>) -> Run {
     use hetero3d::json::ToJson;
     let obs = Obs::enabled();
     let server = Server::start(ServerConfig {
@@ -89,6 +99,7 @@ fn run_workload(requests: &[FlowRequest], workers: usize) -> Run {
         queue_depth: requests.len().max(1),
         cache_capacity: KEYS + 2,
         obs: obs.clone(),
+        store,
     });
     let started = Instant::now();
     let pending: Vec<Pending> = requests.iter().map(|r| server.submit(r.clone())).collect();
@@ -129,8 +140,8 @@ fn main() {
         (started.elapsed().as_secs_f64() * 1e3, rendered)
     };
 
-    let seq = run_workload(&requests, 1);
-    let par = run_workload(&requests, 4);
+    let seq = run_workload(&requests, 1, None);
+    let par = run_workload(&requests, 4, None);
     let identical = seq.rendered == par.rendered;
     assert!(
         identical,
@@ -141,6 +152,33 @@ fn main() {
         requests.len() as u64,
         "every request must complete"
     );
+
+    // Warm-restart economics: populate a persistent store through one
+    // store-backed server, then replay the workload on a fresh server
+    // (fresh cache, fresh telemetry) over the same directory — the
+    // restart a long-running daemon would go through.
+    let store_dir = std::env::temp_dir().join(format!("m3d-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let populate = run_workload(
+        &requests,
+        2,
+        Some(Arc::new(Store::open(&store_dir).expect("open store"))),
+    );
+    assert_eq!(
+        populate.rendered, seq.rendered,
+        "store tier changed answers"
+    );
+    let warm = run_workload(
+        &requests,
+        2,
+        Some(Arc::new(Store::open(&store_dir).expect("reopen store"))),
+    );
+    let warm_identical = warm.rendered == seq.rendered;
+    assert!(
+        warm_identical,
+        "warm restart changed answers: disk-rehydrated sessions must be bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     let hit_rate = seq.stats.cache_hits as f64 / requests.len() as f64;
     let mut json = String::from("{\n");
@@ -158,16 +196,21 @@ fn main() {
     let _ = writeln!(json, "  \"hit_rate\": {hit_rate:.4},");
     let _ = writeln!(json, "  \"pseudo3d_runs\": {},", seq.pseudo3d_runs);
     let _ = writeln!(json, "  \"identical_across_workers\": {identical},");
+    let _ = writeln!(json, "  \"warm_store_hits\": {},", warm.stats.store_hits);
+    let _ = writeln!(json, "  \"warm_pseudo3d_runs\": {},", warm.pseudo3d_runs);
+    let _ = writeln!(json, "  \"warm_identical_to_cold\": {warm_identical},");
     let _ = writeln!(json, "  \"wall_ms_cold\": {:.1},", cold.0);
     let _ = writeln!(json, "  \"wall_ms_served_1w\": {:.1},", seq.wall_ms);
-    let _ = writeln!(json, "  \"wall_ms_served_4w\": {:.1}", par.wall_ms);
+    let _ = writeln!(json, "  \"wall_ms_served_4w\": {:.1},", par.wall_ms);
+    let _ = writeln!(json, "  \"wall_ms_warm_restart\": {:.1}", warm.wall_ms);
     json.push_str("}\n");
 
     m3d_bench::emit(&args, "BENCH_serve.json", &json);
     println!(
         "serve_bench: {} requests over {KEYS} keys -> {} hits / {} misses \
          (hit rate {:.0}%), pseudo-3D built {} time(s), \
-         cold {:.0} ms vs served {:.0} ms",
+         cold {:.0} ms vs served {:.0} ms; warm restart: {} store hits, \
+         {} pseudo-3D runs, {:.0} ms",
         requests.len(),
         seq.stats.cache_hits,
         seq.stats.cache_misses,
@@ -175,5 +218,8 @@ fn main() {
         seq.pseudo3d_runs,
         cold.0,
         seq.wall_ms,
+        warm.stats.store_hits,
+        warm.pseudo3d_runs,
+        warm.wall_ms,
     );
 }

@@ -97,6 +97,41 @@ impl FlowSession {
         }
     }
 
+    /// Rehydrates a session from previously computed checkpoints (the
+    /// persistent-store warm path). `netlist` is the *input* netlist the
+    /// fingerprints key on, `base` the buffered checkpoint previously
+    /// produced by [`prepare_base`] for that netlist and options, and
+    /// `pseudo` an optional already-computed pseudo-3-D checkpoint to
+    /// pre-seed the lazy slot with — a rehydrated session with a pseudo
+    /// checkpoint never re-runs the pseudo-3-D stage.
+    ///
+    /// The caller owes the same pairing discipline as the checkpoint
+    /// cache: `base`/`pseudo` must have been computed from exactly this
+    /// `(netlist, options)` pair, or session answers will not match a
+    /// cold build.
+    #[must_use]
+    pub fn from_parts(
+        netlist: &Netlist,
+        options: FlowOptions,
+        base: BaseDesign,
+        pseudo: Option<PseudoCheckpoint>,
+    ) -> FlowSession {
+        let netlist_fingerprint = m3d_db::fingerprint_hex(m3d_db::netlist_fingerprint(netlist));
+        let options_fingerprint = options.fingerprint();
+        let slot = OnceLock::new();
+        if let Some(p) = pseudo {
+            let _ = slot.set(Ok(p));
+        }
+        FlowSession {
+            design: netlist.name.clone(),
+            netlist_fingerprint,
+            options_fingerprint,
+            options,
+            base,
+            pseudo: slot,
+        }
+    }
+
     /// The design's name.
     #[must_use]
     pub fn design(&self) -> &str {
@@ -127,6 +162,22 @@ impl FlowSession {
     #[must_use]
     pub fn pseudo_ready(&self) -> bool {
         matches!(self.pseudo.get(), Some(Ok(_)))
+    }
+
+    /// The shared base checkpoint (for persisting the session).
+    #[must_use]
+    pub fn base(&self) -> &BaseDesign {
+        &self.base
+    }
+
+    /// The pseudo-3-D checkpoint, if it has been computed successfully —
+    /// does *not* trigger the computation (for persisting the session).
+    #[must_use]
+    pub fn pseudo_checkpoint(&self) -> Option<&PseudoCheckpoint> {
+        match self.pseudo.get() {
+            Some(Ok(p)) => Some(p),
+            _ => None,
+        }
     }
 
     /// The shared pseudo-3-D checkpoint, computed on first use. Racing
@@ -325,6 +376,38 @@ mod tests {
             ppac: PpacSummary::from(&imp.ppac(&CostModel::default())),
         };
         assert_eq!(report, expected);
+    }
+
+    #[test]
+    fn rehydrated_session_matches_and_skips_pseudo3d() {
+        let n = Benchmark::Aes.generate(0.02, 31);
+        let options = quick_options();
+        let cold = FlowSession::builder(&n)
+            .options(options.clone())
+            .build()
+            .unwrap();
+        let cold_run = cold.run(Config::Hetero3d, 1.0).unwrap();
+        let base = cold.base().clone();
+        let pseudo = cold.pseudo_checkpoint().cloned();
+        assert!(pseudo.is_some());
+
+        // Rehydrate under a telemetry collector: the pseudo-3-D stage
+        // must not run again.
+        let obs = m3d_obs::Obs::enabled();
+        let mut warm_options = options.clone();
+        warm_options.obs = obs.clone();
+        let warm = FlowSession::from_parts(&n, warm_options, base, pseudo);
+        assert!(warm.pseudo_ready());
+        assert_eq!(warm.netlist_fingerprint(), cold.netlist_fingerprint());
+        assert_eq!(warm.options_fingerprint(), cold.options_fingerprint());
+        let warm_run = warm.run(Config::Hetero3d, 1.0).unwrap();
+        assert_eq!(cold_run.tiers, warm_run.tiers);
+        assert_eq!(cold_run.sta.wns.to_bits(), warm_run.sta.wns.to_bits());
+        assert_eq!(
+            obs.manifest().counter("flow/pseudo3d_runs").unwrap_or(0),
+            0,
+            "rehydrated pseudo checkpoint must suppress the pseudo-3-D stage"
+        );
     }
 
     #[test]

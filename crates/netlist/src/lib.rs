@@ -42,5 +42,5 @@ pub mod verilog;
 
 pub use cell::{Cell, CellClass, CellId, MacroSpec};
 pub use net::{Net, NetId, PinRef};
-pub use netlist::{Netlist, ValidateNetlistError};
+pub use netlist::{Netlist, NetlistPartsError, ValidateNetlistError};
 pub use stats::NetlistStats;

@@ -37,6 +37,76 @@ impl fmt::Display for ValidateNetlistError {
 
 impl std::error::Error for ValidateNetlistError {}
 
+/// Error returned by [`Netlist::from_parts`]: the supplied pieces do not
+/// form a structurally consistent netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistPartsError {
+    /// The block table is empty (a netlist always has at least `"top"`).
+    NoBlocks,
+    /// A cell references a block tag outside the block table.
+    BlockOutOfRange {
+        /// Offending cell index.
+        cell: usize,
+        /// The out-of-range tag.
+        block: u16,
+    },
+    /// A cell pin references a net index outside the net table.
+    NetOutOfRange {
+        /// Offending cell index.
+        cell: usize,
+    },
+    /// A net's driver or sink references a cell index outside the cell
+    /// table, or a pin index outside that cell's pin list.
+    PinOutOfRange {
+        /// Offending net index.
+        net: usize,
+    },
+    /// A net's driver and the driving cell's output slot disagree.
+    DriverMismatch {
+        /// Offending net index.
+        net: usize,
+    },
+    /// A net's sink list and the sink cells' input slots disagree.
+    SinkMismatch {
+        /// Offending net index.
+        net: usize,
+    },
+    /// The clock net index is out of range or its `is_clock` flag does not
+    /// match the netlist's clock designation.
+    ClockMismatch,
+}
+
+impl fmt::Display for NetlistPartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistPartsError::NoBlocks => write!(f, "block table is empty"),
+            NetlistPartsError::BlockOutOfRange { cell, block } => {
+                write!(f, "cell {cell} references unknown block {block}")
+            }
+            NetlistPartsError::NetOutOfRange { cell } => {
+                write!(f, "cell {cell} references an out-of-range net")
+            }
+            NetlistPartsError::PinOutOfRange { net } => {
+                write!(f, "net {net} references an out-of-range cell or pin")
+            }
+            NetlistPartsError::DriverMismatch { net } => {
+                write!(f, "net {net} driver does not mirror the cell's output slot")
+            }
+            NetlistPartsError::SinkMismatch { net } => {
+                write!(
+                    f,
+                    "net {net} sink list does not mirror the cells' input slots"
+                )
+            }
+            NetlistPartsError::ClockMismatch => {
+                write!(f, "clock designation is out of range or inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistPartsError {}
+
 /// A gate-level netlist: cells, nets, hierarchy blocks and a clock.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -155,6 +225,111 @@ impl Netlist {
         let id = CellId(self.cells.len() as u32);
         self.cells.push(cell);
         id
+    }
+
+    /// Reassembles a netlist from raw tables — the deserialization entry
+    /// point (persistent stores, wire decoders). Every cross-reference is
+    /// checked before the netlist is built, so untrusted tables cannot
+    /// construct a netlist whose accessors would panic: block tags and
+    /// net/cell/pin indices must be in range, net driver/sink lists must
+    /// exactly mirror the cells' pin slots, and the clock designation must
+    /// be consistent with the nets' `is_clock` flags.
+    ///
+    /// This checks *referential* integrity only; semantic invariants
+    /// (drivers present, pins connected, acyclic logic) remain the job of
+    /// [`Netlist::validate`], exactly as for an incrementally built
+    /// netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistPartsError`] violation found.
+    pub fn from_parts(
+        name: impl Into<String>,
+        blocks: Vec<String>,
+        cells: Vec<Cell>,
+        nets: Vec<Net>,
+        clock: Option<NetId>,
+    ) -> Result<Self, NetlistPartsError> {
+        if blocks.is_empty() {
+            return Err(NetlistPartsError::NoBlocks);
+        }
+        let n_cells = cells.len();
+        let n_nets = nets.len();
+        for (i, cell) in cells.iter().enumerate() {
+            if cell.block as usize >= blocks.len() {
+                return Err(NetlistPartsError::BlockOutOfRange {
+                    cell: i,
+                    block: cell.block,
+                });
+            }
+            let in_range = |slot: &Option<NetId>| slot.is_none_or(|n| n.index() < n_nets);
+            if !cell.inputs.iter().all(in_range) || !cell.outputs.iter().all(in_range) {
+                return Err(NetlistPartsError::NetOutOfRange { cell: i });
+            }
+        }
+        for (i, net) in nets.iter().enumerate() {
+            let id = NetId(i as u32);
+            if let Some(drv) = net.driver {
+                let ok = drv.cell.index() < n_cells
+                    && (drv.pin as usize) < cells[drv.cell.index()].outputs.len();
+                if !ok {
+                    return Err(NetlistPartsError::PinOutOfRange { net: i });
+                }
+                if cells[drv.cell.index()].outputs[drv.pin as usize] != Some(id) {
+                    return Err(NetlistPartsError::DriverMismatch { net: i });
+                }
+            }
+            for sink in &net.sinks {
+                let ok = sink.cell.index() < n_cells
+                    && (sink.pin as usize) < cells[sink.cell.index()].inputs.len();
+                if !ok {
+                    return Err(NetlistPartsError::PinOutOfRange { net: i });
+                }
+                if cells[sink.cell.index()].inputs[sink.pin as usize] != Some(id) {
+                    return Err(NetlistPartsError::SinkMismatch { net: i });
+                }
+            }
+        }
+        // Mirror direction two: every populated pin slot must appear in
+        // its net's driver/sink records (counting handles duplicates).
+        let mut input_refs = vec![0usize; n_nets];
+        let mut output_refs = vec![0usize; n_nets];
+        for cell in &cells {
+            for net in cell.inputs.iter().flatten() {
+                input_refs[net.index()] += 1;
+            }
+            for net in cell.outputs.iter().flatten() {
+                output_refs[net.index()] += 1;
+            }
+        }
+        for (i, net) in nets.iter().enumerate() {
+            if output_refs[i] != usize::from(net.driver.is_some()) {
+                return Err(NetlistPartsError::DriverMismatch { net: i });
+            }
+            if input_refs[i] != net.sinks.len() {
+                return Err(NetlistPartsError::SinkMismatch { net: i });
+            }
+        }
+        match clock {
+            Some(c) if c.index() >= n_nets || !nets[c.index()].is_clock => {
+                return Err(NetlistPartsError::ClockMismatch);
+            }
+            _ => {}
+        }
+        if nets
+            .iter()
+            .enumerate()
+            .any(|(i, n)| n.is_clock && clock != Some(NetId(i as u32)))
+        {
+            return Err(NetlistPartsError::ClockMismatch);
+        }
+        Ok(Netlist {
+            name: name.into(),
+            cells,
+            nets,
+            blocks,
+            clock,
+        })
     }
 
     /// Creates a net driven by output pin `pin` of `driver`.
@@ -570,6 +745,76 @@ mod tests {
         let g1 = n.cells().find(|(_, c)| c.name == "g1").unwrap().0;
         n.set_drive(g1, Drive::X8);
         assert_eq!(n.cell(g1).class.gate_drive(), Some(Drive::X8));
+    }
+
+    /// Tears a netlist into the raw tables `from_parts` accepts.
+    fn into_parts(n: &Netlist) -> (Vec<String>, Vec<Cell>, Vec<Net>, Option<NetId>) {
+        (
+            (0..n.block_count() as u16)
+                .map(|t| n.block_name(t).to_string())
+                .collect(),
+            n.cells().map(|(_, c)| c.clone()).collect(),
+            n.nets().map(|(_, net)| net.clone()).collect(),
+            n.clock(),
+        )
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_netlist() {
+        let n = chain();
+        let (blocks, cells, nets, clock) = into_parts(&n);
+        let rebuilt = Netlist::from_parts(n.name.clone(), blocks, cells, nets, clock).unwrap();
+        assert_eq!(rebuilt.cell_count(), n.cell_count());
+        assert_eq!(rebuilt.net_count(), n.net_count());
+        assert!(rebuilt.validate().is_ok());
+        for id in n.cell_ids() {
+            assert_eq!(rebuilt.cell(id), n.cell(id));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_tables() {
+        let n = chain();
+        let (blocks, cells, nets, clock) = into_parts(&n);
+
+        // Empty block table.
+        assert!(matches!(
+            Netlist::from_parts("x", Vec::new(), cells.clone(), nets.clone(), clock),
+            Err(NetlistPartsError::NoBlocks)
+        ));
+        // Out-of-range block tag.
+        let mut bad = cells.clone();
+        bad[0].block = 7;
+        assert!(matches!(
+            Netlist::from_parts("x", blocks.clone(), bad, nets.clone(), clock),
+            Err(NetlistPartsError::BlockOutOfRange { cell: 0, block: 7 })
+        ));
+        // Out-of-range net index in a pin slot.
+        let mut bad = cells.clone();
+        bad[1].inputs[0] = Some(NetId(99));
+        assert!(matches!(
+            Netlist::from_parts("x", blocks.clone(), bad, nets.clone(), clock),
+            Err(NetlistPartsError::NetOutOfRange { cell: 1 })
+        ));
+        // Driver pointing at a non-existent cell.
+        let mut bad = nets.clone();
+        bad[0].driver = Some(PinRef::new(CellId(42), 0));
+        assert!(matches!(
+            Netlist::from_parts("x", blocks.clone(), cells.clone(), bad, clock),
+            Err(NetlistPartsError::PinOutOfRange { net: 0 })
+        ));
+        // Sink list that the cells' input slots do not mirror.
+        let mut bad = nets.clone();
+        bad[0].sinks.clear();
+        assert!(matches!(
+            Netlist::from_parts("x", blocks.clone(), cells.clone(), bad, clock),
+            Err(NetlistPartsError::SinkMismatch { net: 0 })
+        ));
+        // Clock designating a net whose flag disagrees.
+        assert!(matches!(
+            Netlist::from_parts("x", blocks, cells, nets, Some(NetId(0))),
+            Err(NetlistPartsError::ClockMismatch)
+        ));
     }
 
     #[test]

@@ -2,15 +2,20 @@
 //! newline-delimited JSON [`m3d_serve::FlowRequest`]s until killed.
 //!
 //! ```text
-//! serve [--addr 127.0.0.1:7333] [--workers 2] [--queue-depth 16] [--cache 8]
+//! serve [--addr 127.0.0.1:7333] [--workers 2] [--queue-depth 16] [--cache 8] [--store DIR]
 //! ```
+//!
+//! With `--store DIR` the checkpoint cache gains a persistent tier:
+//! completed sessions are written to `DIR` and a restarted daemon
+//! pointed at the same directory answers repeat requests from disk.
 
-use m3d_serve::{ServerConfig, TcpServer};
+use m3d_serve::{ServerConfig, Store, TcpServer};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache N]\n\
-         defaults: --addr 127.0.0.1:7333 --workers 2 --queue-depth 16 --cache 8"
+        "usage: serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache N] [--store DIR]\n\
+         defaults: --addr 127.0.0.1:7333 --workers 2 --queue-depth 16 --cache 8 (no store)"
     );
     std::process::exit(2);
 }
@@ -31,18 +36,31 @@ fn main() {
             "--workers" => config.workers = parse_count(&take("a count")),
             "--queue-depth" => config.queue_depth = parse_count(&take("a count")),
             "--cache" => config.cache_capacity = parse_count(&take("a count")),
+            "--store" => {
+                let dir = take("a directory");
+                let store = Store::open(&dir).unwrap_or_else(|e| {
+                    eprintln!("serve: cannot open store {dir}: {e}");
+                    std::process::exit(1);
+                });
+                config.store = Some(Arc::new(store));
+            }
             _ => usage(),
         }
     }
     let workers = config.workers;
     let queue_depth = config.queue_depth;
     let cache = config.cache_capacity;
+    let store_note = config
+        .store
+        .as_ref()
+        .map(|s| format!(", store {}", s.root().display()))
+        .unwrap_or_default();
     let server = TcpServer::bind(addr.as_str(), config).unwrap_or_else(|e| {
         eprintln!("serve: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
     println!(
-        "m3d-serve listening on {} ({workers} workers, queue depth {queue_depth}, cache {cache})",
+        "m3d-serve listening on {} ({workers} workers, queue depth {queue_depth}, cache {cache}{store_note})",
         server.local_addr()
     );
     server.join();

@@ -20,10 +20,21 @@
 //!   options half is [`FlowOptions::fingerprint`] (thread count and
 //!   telemetry excluded) — two requests that would produce bit-identical
 //!   results share a key even if they arrived spelled differently.
+//! * **an optional disk tier**: with a [`Store`] attached
+//!   ([`SessionCache::with_store`]) a miss first tries to rehydrate the
+//!   session from the persistent store (so a restarted server answers
+//!   its first repeat request without re-running the flow prefix),
+//!   completed sessions are written through after execution, and
+//!   LRU-evicted sessions are spilled to disk before they become
+//!   unreachable. Store traffic lands on the perf section of the
+//!   telemetry manifest as `store/{hit,miss,spill,corrupt_evicted}` —
+//!   perf, not the deterministic section, because disk state depends on
+//!   what earlier processes left behind.
 
 use m3d_flow::{FlowError, FlowOptions, FlowSession};
 use m3d_netlist::Netlist;
 use m3d_obs::Obs;
+use m3d_store::{SessionArtifact, Store, StoreKey};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -64,10 +75,19 @@ struct Entry {
 pub struct SessionCache {
     capacity: usize,
     obs: Obs,
+    store: Option<Arc<Store>>,
     inner: Mutex<Inner>,
+    /// What the disk tier already holds, keyed like the cache; the bool
+    /// records whether the persisted artifact includes the pseudo-3-D
+    /// checkpoint (so a base-only record is upgraded exactly once).
+    persisted: Mutex<HashMap<SessionKey, bool>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_spills: AtomicU64,
+    store_corrupt: AtomicU64,
 }
 
 struct Inner {
@@ -83,16 +103,32 @@ impl SessionCache {
     /// ever built.
     #[must_use]
     pub fn new(capacity: usize, obs: Obs) -> SessionCache {
+        SessionCache::with_store(capacity, obs, None)
+    }
+
+    /// Like [`SessionCache::new`], with a persistent disk tier attached
+    /// when `store` is `Some`: misses rehydrate from the store before
+    /// building cold, and [`SessionCache::persist`] / LRU eviction write
+    /// sessions back. The store is an accelerator, never a correctness
+    /// dependency — every store failure falls back to the cold path.
+    #[must_use]
+    pub fn with_store(capacity: usize, obs: Obs, store: Option<Arc<Store>>) -> SessionCache {
         SessionCache {
             capacity: capacity.max(1),
             obs,
+            store,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
             }),
+            persisted: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_spills: AtomicU64::new(0),
+            store_corrupt: AtomicU64::new(0),
         }
     }
 
@@ -114,7 +150,7 @@ impl SessionCache {
         options: &FlowOptions,
     ) -> (Result<Arc<FlowSession>, FlowError>, bool) {
         let key = SessionKey::of(netlist, options);
-        let (slot, hit) = self.lookup_slot(key);
+        let (slot, hit, evicted) = self.lookup_slot(key.clone());
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -129,22 +165,121 @@ impl SessionCache {
             // not perturb the key (or the results).
             let mut options = options.clone();
             options.obs = self.obs.clone();
+            if let Some(session) = self.rehydrate(&key, netlist, &options) {
+                return Ok(session);
+            }
             FlowSession::builder(netlist)
                 .options(options)
                 .build()
                 .map(Arc::new)
         });
+        // Spill the LRU victim only after the map lock is long released:
+        // persisting encodes the artifact and touches disk.
+        if let Some(victim) = evicted {
+            if let Some(Ok(session)) = victim.cell.get() {
+                self.persist(session);
+            }
+        }
         (built.clone(), hit)
     }
 
-    /// Finds or creates the slot for `key`, bumping its recency.
-    fn lookup_slot(&self, key: SessionKey) -> (Arc<Slot>, bool) {
+    /// Tries the disk tier for `key`. A verified record rehydrates into
+    /// a ready session ([`FlowSession::from_parts`] pre-seeds the
+    /// pseudo-3-D slot, so the expensive stage never re-runs); a miss or
+    /// any store failure returns `None` and the caller builds cold. A
+    /// corrupt record was already evicted by the store itself, so the
+    /// rebuild below repairs the disk tier too.
+    fn rehydrate(
+        &self,
+        key: &SessionKey,
+        netlist: &Netlist,
+        options: &FlowOptions,
+    ) -> Option<Arc<FlowSession>> {
+        let store = self.store.as_deref()?;
+        let skey = StoreKey::new(key.netlist_fp.clone(), key.options_fp.clone()).ok()?;
+        match store.get_session(&skey) {
+            Ok(Some(artifact)) => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.perf_add("store/hit", 1);
+                let has_pseudo = artifact.pseudo.is_some();
+                let session = Arc::new(FlowSession::from_parts(
+                    netlist,
+                    options.clone(),
+                    artifact.base,
+                    artifact.pseudo,
+                ));
+                self.persisted
+                    .lock()
+                    .expect("persist ledger poisoned")
+                    .insert(key.clone(), has_pseudo);
+                Some(session)
+            }
+            Ok(None) => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.perf_add("store/miss", 1);
+                None
+            }
+            Err(_) => {
+                self.store_corrupt.fetch_add(1, Ordering::Relaxed);
+                self.obs.perf_add("store/corrupt_evicted", 1);
+                None
+            }
+        }
+    }
+
+    /// Writes `session` through to the disk tier (no-op without one).
+    /// Called by the server after each successful execution and by the
+    /// LRU eviction path; idempotent per session state — a second call
+    /// writes again only when the pseudo-3-D checkpoint has materialized
+    /// since a base-only record was persisted. Failures are swallowed:
+    /// a full disk costs warm restarts, never answers.
+    pub fn persist(&self, session: &FlowSession) {
+        let Some(store) = self.store.as_deref() else {
+            return;
+        };
+        let key = SessionKey {
+            netlist_fp: session.netlist_fingerprint().to_string(),
+            options_fp: session.options_fingerprint().to_string(),
+        };
+        let pseudo = session.pseudo_checkpoint().cloned();
+        let has_pseudo = pseudo.is_some();
+        {
+            let mut persisted = self.persisted.lock().expect("persist ledger poisoned");
+            if persisted.get(&key).is_some_and(|&full| full || !has_pseudo) {
+                return;
+            }
+            // Bound the ledger: it tracks keys, not sessions, so it
+            // outlives evictions. Clearing merely re-persists — an
+            // idempotent rewrite of identical records.
+            if persisted.len() >= self.capacity.saturating_mul(8) {
+                persisted.clear();
+            }
+            persisted.insert(key.clone(), has_pseudo);
+        }
+        let Ok(skey) = StoreKey::new(key.netlist_fp, key.options_fp) else {
+            return;
+        };
+        let artifact = SessionArtifact {
+            base: session.base().clone(),
+            pseudo,
+        };
+        if store.put_session(&skey, &artifact).is_ok() {
+            self.store_spills.fetch_add(1, Ordering::Relaxed);
+            self.obs.perf_add("store/spill", 1);
+        }
+    }
+
+    /// Finds or creates the slot for `key`, bumping its recency. The
+    /// third return is the slot evicted to make room, if any — handed
+    /// back so the caller can spill it to the disk tier outside this
+    /// lock.
+    fn lookup_slot(&self, key: SessionKey) -> (Arc<Slot>, bool, Option<Arc<Slot>>) {
         let mut inner = self.inner.lock().expect("session cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.map.get_mut(&key) {
             entry.last_used = tick;
-            return (Arc::clone(&entry.slot), true);
+            return (Arc::clone(&entry.slot), true, None);
         }
         let slot = Arc::new(Slot {
             cell: OnceLock::new(),
@@ -156,6 +291,7 @@ impl SessionCache {
                 last_used: tick,
             },
         );
+        let mut evicted = None;
         if inner.map.len() > self.capacity {
             if let Some(lru) = inner
                 .map
@@ -163,11 +299,11 @@ impl SessionCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                inner.map.remove(&lru);
+                evicted = inner.map.remove(&lru).map(|e| e.slot);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        (slot, false)
+        (slot, false, evicted)
     }
 
     /// How many lookups found a resident slot.
@@ -187,6 +323,31 @@ impl SessionCache {
     #[must_use]
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// How many misses rehydrated a session from the disk tier.
+    #[must_use]
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many misses consulted the disk tier and found nothing.
+    #[must_use]
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
+    /// How many session artifacts were written to the disk tier
+    /// (write-through after execution plus LRU spills).
+    #[must_use]
+    pub fn store_spills(&self) -> u64 {
+        self.store_spills.load(Ordering::Relaxed)
+    }
+
+    /// How many disk-tier lookups hit a corrupt (now evicted) record.
+    #[must_use]
+    pub fn store_corrupt_evicted(&self) -> u64 {
+        self.store_corrupt.load(Ordering::Relaxed)
     }
 
     /// Number of resident sessions.
@@ -262,6 +423,47 @@ mod tests {
         assert!(hit0, "refreshed key must survive");
         let (_, hit1) = cache.get_or_build(&n, &opts[1]);
         assert!(!hit1, "evicted key must rebuild");
+    }
+
+    #[test]
+    fn disk_tier_rehydrates_across_cache_instances() {
+        let dir =
+            std::env::temp_dir().join(format!("m3d-serve-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).expect("open store"));
+        let n = small();
+        let o = FlowOptions::default();
+
+        let cold = SessionCache::with_store(4, Obs::disabled(), Some(Arc::clone(&store)));
+        let (session, _) = cold.get_or_build(&n, &o);
+        let session = session.unwrap();
+        assert_eq!(
+            (cold.store_hits(), cold.store_misses()),
+            (0, 1),
+            "an empty store answers the first miss with a store miss"
+        );
+        cold.persist(&session);
+        assert_eq!(cold.store_spills(), 1);
+        // Same state again: the ledger makes the write-through a no-op.
+        cold.persist(&session);
+        assert_eq!(cold.store_spills(), 1);
+
+        // A fresh cache over the same directory — a simulated restart —
+        // rehydrates instead of rebuilding.
+        let warm = SessionCache::with_store(4, Obs::disabled(), Some(store));
+        let (rehydrated, hit) = warm.get_or_build(&n, &o);
+        let rehydrated = rehydrated.unwrap();
+        assert!(!hit, "a fresh cache still creates the slot");
+        assert_eq!((warm.store_hits(), warm.store_misses()), (1, 0));
+        assert_eq!(
+            rehydrated.netlist_fingerprint(),
+            session.netlist_fingerprint()
+        );
+        assert_eq!(
+            rehydrated.options_fingerprint(),
+            session.options_fingerprint()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

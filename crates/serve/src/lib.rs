@@ -18,7 +18,10 @@
 //!   [`ProtocolError`]-derived rejection (never a panic or a hang).
 //! * [`cache`] — the [`SessionCache`]: one [`m3d_flow::FlowSession`]
 //!   per distinct key, built exactly once (racing requests share the
-//!   build), evicted least-recently-used.
+//!   build), evicted least-recently-used — optionally backed by a
+//!   persistent [`m3d_store::Store`] tier that survives restarts
+//!   (misses rehydrate from disk, completed sessions write through,
+//!   evictions spill).
 //! * [`server`] — the [`Server`] engine (bounded queue, explicit
 //!   `overloaded` backpressure, per-request deadlines, graceful
 //!   drain-on-shutdown) and its [`TcpServer`] front.
@@ -59,5 +62,6 @@ pub mod server;
 pub use cache::{SessionCache, SessionKey};
 pub use client::{Client, ClientError};
 pub use m3d_flow::{FlowCommand, FlowReport, FlowRequest, NetlistSpec};
+pub use m3d_store::{Store, StoreError, StoreKey};
 pub use protocol::{decode_request, encode_line, ProtocolError, RejectKind, Response};
 pub use server::{Pending, Server, ServerConfig, StatsSnapshot, TcpServer};

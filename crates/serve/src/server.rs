@@ -40,6 +40,7 @@ use crate::cache::SessionCache;
 use crate::protocol::{decode_request, encode_line, salvage_id, RejectKind, Response};
 use m3d_flow::FlowRequest;
 use m3d_obs::Obs;
+use m3d_store::Store;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -63,6 +64,11 @@ pub struct ServerConfig {
     /// Telemetry sink: per-request spans, queue/cache counters, and the
     /// cached sessions' own flow telemetry (under `flow/`).
     pub obs: Obs,
+    /// Optional persistent checkpoint store: cache misses rehydrate
+    /// from it, completed sessions are written through to it, and a
+    /// restarted server pointed at the same directory answers its first
+    /// repeat request from disk instead of re-running the flow prefix.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +78,7 @@ impl Default for ServerConfig {
             queue_depth: 16,
             cache_capacity: 8,
             obs: Obs::disabled(),
+            store: None,
         }
     }
 }
@@ -102,6 +109,14 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Checkpoint-cache misses (== distinct keys built).
     pub cache_misses: u64,
+    /// Cache misses rehydrated from the persistent store (warm hits).
+    pub store_hits: u64,
+    /// Cache misses the persistent store could not answer.
+    pub store_misses: u64,
+    /// Session artifacts written to the persistent store.
+    pub store_spills: u64,
+    /// Corrupt store records detected (and evicted) during lookups.
+    pub store_corrupt_evicted: u64,
 }
 
 #[derive(Default)]
@@ -165,7 +180,11 @@ impl Server {
     #[must_use]
     pub fn start(config: ServerConfig) -> Server {
         let workers = config.workers.max(1);
-        let cache = SessionCache::new(config.cache_capacity, config.obs.clone());
+        let cache = SessionCache::with_store(
+            config.cache_capacity,
+            config.obs.clone(),
+            config.store.clone(),
+        );
         let inner = Arc::new(Inner {
             config,
             cache,
@@ -321,7 +340,18 @@ impl Server {
                 },
                 1,
             );
-            let outcome = session.and_then(|s| s.execute(&job.request.command));
+            let outcome = session.and_then(|s| {
+                let outcome = s.execute(&job.request.command);
+                if outcome.is_ok() {
+                    // Write-through: the session (now warm, possibly
+                    // with a freshly computed pseudo-3-D checkpoint)
+                    // reaches the disk tier before the client hears
+                    // back, so a restart after this response can always
+                    // answer the same key from the store.
+                    self.inner.cache.persist(&s);
+                }
+                outcome
+            });
             (outcome, cache_hit)
         }));
         let (outcome, cache_hit) = match executed {
@@ -395,6 +425,10 @@ impl Server {
             rejected_protocol: s.rejected_protocol.load(Ordering::Relaxed),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
+            store_hits: self.inner.cache.store_hits(),
+            store_misses: self.inner.cache.store_misses(),
+            store_spills: self.inner.cache.store_spills(),
+            store_corrupt_evicted: self.inner.cache.store_corrupt_evicted(),
         }
     }
 

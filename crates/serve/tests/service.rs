@@ -112,6 +112,7 @@ fn concurrent_responses_are_bit_identical_to_library_calls() {
             queue_depth: 64,
             cache_capacity: 8,
             obs: obs.clone(),
+            store: None,
         });
         let pending: Vec<Pending> = requests.iter().map(|r| server.submit(r.clone())).collect();
         let responses = wait_all(pending);
@@ -160,6 +161,7 @@ fn saturated_queue_rejects_with_overloaded() {
         queue_depth: 1,
         cache_capacity: 4,
         obs: Obs::disabled(),
+        store: None,
     });
     // A slow request (the full five-way comparison) occupies the one
     // worker...
@@ -207,6 +209,7 @@ fn queue_time_deadlines_reject_instead_of_running() {
         queue_depth: 8,
         cache_capacity: 4,
         obs: Obs::disabled(),
+        store: None,
     });
     let slow = server.submit(request(
         0,
@@ -257,6 +260,7 @@ fn drain_completes_every_accepted_request() {
         queue_depth: 64,
         cache_capacity: 4,
         obs: Obs::disabled(),
+        store: None,
     });
     let accepted: Vec<Pending> = (0..6)
         .map(|i| {
@@ -322,6 +326,7 @@ fn out_of_bounds_requests_are_protocol_rejections_and_the_worker_survives() {
         queue_depth: 8,
         cache_capacity: 4,
         obs: Obs::disabled(),
+        store: None,
     });
     // Scales that would saturate the f64 → usize cast when sizing the
     // netlist (or are outright nonsense) must be bounced at admission —

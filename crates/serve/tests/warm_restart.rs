@@ -1,0 +1,158 @@
+//! Warm-restart proof over real TCP: a server backed by a persistent
+//! store answers a request, is shut down completely, and a *fresh*
+//! server over the same store directory answers the repeated request
+//! byte-for-byte identically — from disk, without re-running the
+//! pseudo-3-D stage. Also covers the corruption path: a damaged record
+//! is evicted, the request is still answered (cold), and the store is
+//! repaired by the write-through.
+
+use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+use m3d_netgen::Benchmark;
+use m3d_obs::Obs;
+use m3d_serve::{encode_line, Client, Response, ServerConfig, Store, TcpServer};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A unique scratch directory, rooted at `M3D_STORE_TEST_ROOT` when set
+/// (CI uploads that root as an artifact on failure). Not removed on
+/// panic so a failing run leaves the store behind for inspection.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::var_os("M3D_STORE_TEST_ROOT")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    root.join(format!(
+        "m3d-warm-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn request(id: u64) -> FlowRequest {
+    let mut options = FlowOptions::default();
+    options.placer_mut().iterations = 8;
+    FlowRequest {
+        id,
+        netlist: NetlistSpec {
+            benchmark: Benchmark::Aes,
+            scale: 0.012,
+            seed: 31,
+        },
+        options,
+        command: FlowCommand::RunFlow {
+            config: Config::Hetero3d,
+            frequency_ghz: 1.0,
+        },
+        deadline_ms: None,
+    }
+}
+
+fn config(obs: &Obs, store: &Arc<Store>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        cache_capacity: 8,
+        obs: obs.clone(),
+        store: Some(Arc::clone(store)),
+    }
+}
+
+fn serve_one(dir: &PathBuf, obs: &Obs) -> (Response, m3d_serve::StatsSnapshot) {
+    let store = Arc::new(Store::open(dir).expect("open store"));
+    let server = TcpServer::bind("127.0.0.1:0", config(obs, &store)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let response = client.call(&request(1)).expect("call");
+    drop(client);
+    (response, server.shutdown())
+}
+
+#[test]
+fn restarted_server_answers_repeat_requests_from_disk() {
+    let dir = scratch_dir("restart");
+
+    // Cold: empty store, full flow, write-through after the response.
+    let cold_obs = Obs::enabled();
+    let (cold, cold_stats) = serve_one(&dir, &cold_obs);
+    assert!(cold.is_ok(), "cold request must succeed");
+    assert_eq!(cold_stats.store_hits, 0);
+    assert_eq!(cold_stats.store_misses, 1);
+    assert_eq!(
+        cold_stats.store_spills, 1,
+        "the completed session must reach the disk tier"
+    );
+    assert_eq!(
+        cold_obs.manifest().counter("flow/pseudo3d_runs"),
+        Some(1),
+        "cold run pays for the pseudo-3-D stage"
+    );
+
+    // Warm: a brand-new server process-equivalent (fresh cache, fresh
+    // telemetry) over the same directory. The first repeat request must
+    // come back from disk.
+    let warm_obs = Obs::enabled();
+    let (warm, warm_stats) = serve_one(&dir, &warm_obs);
+    assert_eq!(
+        encode_line(&warm),
+        encode_line(&cold),
+        "warm response must be byte-identical to the cold one"
+    );
+    assert_eq!(warm_stats.store_hits, 1, "answered from the store");
+    assert_eq!(warm_stats.store_misses, 0);
+    assert_eq!(
+        warm_stats.cache_misses, 1,
+        "a fresh cache still creates the slot (misses == distinct keys)"
+    );
+    assert_eq!(
+        warm_obs
+            .manifest()
+            .counter("flow/pseudo3d_runs")
+            .unwrap_or(0),
+        0,
+        "warm restart must never re-run the pseudo-3-D stage"
+    );
+    // Already fully persisted: the warm pass writes nothing new.
+    assert_eq!(warm_stats.store_spills, 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_store_records_are_evicted_and_repaired() {
+    let dir = scratch_dir("corrupt");
+
+    let (cold, _) = serve_one(&dir, &Obs::disabled());
+    assert!(cold.is_ok());
+    // Damage every record in the store: flip a payload byte, keeping
+    // length intact so only the checksum can catch it.
+    let mut damaged = 0;
+    for entry in std::fs::read_dir(&dir).expect("read store dir") {
+        let path = entry.expect("dir entry").path();
+        let mut bytes = std::fs::read(&path).expect("read record");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write damage");
+        damaged += 1;
+    }
+    assert!(damaged > 0, "the cold pass must have persisted something");
+
+    // The restarted server detects the corruption, evicts the record,
+    // answers cold, and writes a fresh record back.
+    let (after, stats) = serve_one(&dir, &Obs::disabled());
+    assert_eq!(
+        encode_line(&after),
+        encode_line(&cold),
+        "a corrupt store must not change answers"
+    );
+    assert_eq!(stats.store_corrupt_evicted, 1);
+    assert_eq!(stats.store_hits, 0);
+    assert_eq!(stats.store_spills, 1, "the rebuild repairs the store");
+
+    // And a third restart proves the repair: clean warm hit.
+    let (repaired, repaired_stats) = serve_one(&dir, &Obs::disabled());
+    assert_eq!(encode_line(&repaired), encode_line(&cold));
+    assert_eq!(repaired_stats.store_hits, 1);
+    assert_eq!(repaired_stats.store_corrupt_evicted, 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

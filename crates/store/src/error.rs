@@ -1,0 +1,229 @@
+//! Typed failures: everything the store can refuse is a [`StoreError`],
+//! and every way on-disk bytes can be wrong is a [`Corruption`]. The
+//! fault-injection suite's contract is that no input bytes — truncated,
+//! bit-flipped, version-skewed or adversarial — ever produce anything
+//! but one of these values.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why a record payload failed to decode.
+///
+/// Decoders validate before they allocate: every length field is checked
+/// against the bytes actually remaining, so a corrupted length can at
+/// worst produce [`DecodeError::LengthOverflow`], never an outsized
+/// allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before a fixed-size field.
+    UnexpectedEof {
+        /// Bytes the field needed.
+        wanted: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// A length field declares more data than the payload holds.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// An enum tag byte has no corresponding variant.
+    InvalidTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The unknown tag value.
+        found: u8,
+    },
+    /// A string field holds invalid UTF-8.
+    BadUtf8,
+    /// Decoded fields are individually well-formed but mutually
+    /// inconsistent (cross-reference checks, trailing bytes, non-finite
+    /// geometry).
+    Invalid(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { wanted, available } => {
+                write!(
+                    f,
+                    "payload truncated: wanted {wanted} bytes, {available} left"
+                )
+            }
+            DecodeError::LengthOverflow {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "length field declares {declared} bytes but only {available} remain"
+                )
+            }
+            DecodeError::InvalidTag { what, found } => {
+                write!(f, "invalid {what} tag {found}")
+            }
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::Invalid(why) => write!(f, "inconsistent payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// How an on-disk record's bytes were found to be wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Corruption {
+    /// The file is shorter than the fixed header + checksum envelope.
+    TooShort {
+        /// Actual file length.
+        len: usize,
+    },
+    /// The magic prefix is not `M3DS`.
+    BadMagic([u8; 4]),
+    /// The format version byte is unknown to this build (forward skew).
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The record kind byte does not match the requested artifact kind.
+    WrongKind {
+        /// The kind the caller asked for.
+        expected: u8,
+        /// The kind byte found.
+        found: u8,
+    },
+    /// The header's payload length disagrees with the file size.
+    LengthMismatch {
+        /// Length the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The CRC-32 trailer does not match the record bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum recomputed over the record.
+        computed: u32,
+    },
+    /// The envelope was intact but the payload would not decode.
+    Payload(DecodeError),
+}
+
+impl fmt::Display for Corruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corruption::TooShort { len } => {
+                write!(f, "file of {len} bytes is shorter than a record envelope")
+            }
+            Corruption::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            Corruption::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            Corruption::WrongKind { expected, found } => {
+                write!(f, "record kind {found} where kind {expected} was expected")
+            }
+            Corruption::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "header declares {declared} payload bytes, file holds {actual}"
+                )
+            }
+            Corruption::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+                )
+            }
+            Corruption::Payload(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+/// Any failure of a store operation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A fingerprint half of a [`crate::StoreKey`] is not 16 lowercase
+    /// hex digits (keys double as file names, so anything else is
+    /// rejected before it can touch a path).
+    InvalidKey(String),
+    /// An on-disk record failed an integrity check. The store evicts the
+    /// offending file before returning this, so the next lookup is a
+    /// clean miss and the caller rebuilds.
+    Corrupt {
+        /// The record file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: Corruption,
+    },
+    /// The in-memory value cannot be represented in the store's format
+    /// (e.g. a custom technology stack outside the five presets).
+    Unencodable(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::InvalidKey(k) => {
+                write!(f, "invalid store key `{k}` (want 16 lowercase hex digits)")
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt record {}: {detail}", path.display())
+            }
+            StoreError::Unencodable(why) => write!(f, "value not encodable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = StoreError::Corrupt {
+            path: PathBuf::from("/tmp/x.db"),
+            detail: Corruption::ChecksumMismatch {
+                stored: 0xdead_beef,
+                computed: 0x1234_5678,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadbeef") && s.contains("12345678"));
+
+        let e = DecodeError::LengthOverflow {
+            declared: 1 << 60,
+            available: 12,
+        };
+        assert!(e.to_string().contains("only 12 remain"));
+    }
+}

@@ -3,11 +3,11 @@
 //! regression.
 //!
 //! Usage: `bench_gate [--fresh <dir>] [--baseline <dir>] [--only <section>]`
-//! (defaults: fresh `fresh/`, baseline `results/`; `--only sta|flow|serve`
-//! gates a single manifest, for split CI jobs). The fresh directory
-//! is produced in CI by `flow_obs`, `serve_bench` and `sta_incr --scale
-//! tiny` with `--out fresh`; the baseline directory is the committed
-//! `results/`.
+//! (defaults: fresh `fresh/`, baseline `results/`; `--only
+//! sta|flow|serve|scale` gates a single manifest, for split CI jobs).
+//! The fresh directory is produced in CI by `flow_obs`, `serve_bench`,
+//! `sta_incr --scale tiny` and `scale_bench` with `--out fresh`; the
+//! baseline directory is the committed `results/`.
 //!
 //! The tolerance model has two classes:
 //!
@@ -305,6 +305,81 @@ fn gate_serve(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     );
 }
 
+/// Per-rung fields of the scale ladder that must match the baseline bit
+/// for bit: generation, the flat views and the flow itself are all
+/// deterministic, so the design — and its sign-off timing — may not move
+/// unless the algorithms changed.
+const SCALE_EXACT_U64: &[&str] = &["target_cells", "cells", "nets", "pins", "arena_bytes"];
+
+/// Absolute floor on full-flow throughput, cells per second, for every
+/// ladder rung. Deliberately far below the measured ~15–30 k cells/s so
+/// only an order-of-magnitude regression (an accidental quadratic walk,
+/// a lost flat layout) trips it — CI wall clocks are too noisy for
+/// anything tighter.
+const SCALE_THROUGHPUT_FLOOR: f64 = 2_000.0;
+
+fn gate_scale(gate: &mut Gate, fresh: &Value, baseline: &Value) {
+    gate.check(
+        run_params(fresh) == run_params(baseline),
+        &format!(
+            "BENCH_scale: fresh run parameters {:?} match baseline {:?}",
+            run_params(fresh),
+            run_params(baseline)
+        ),
+    );
+    let empty = Vec::new();
+    let fresh_rungs = fresh.get("rungs").and_then(Value::as_arr).unwrap_or(&empty);
+    gate.check(
+        !fresh_rungs.is_empty(),
+        "BENCH_scale: fresh run has ladder rungs",
+    );
+    for r in fresh_rungs {
+        let name = r.get("name").and_then(Value::as_str).unwrap_or("?");
+        let base_rung = baseline
+            .get("rungs")
+            .and_then(Value::as_arr)
+            .and_then(|rs| {
+                rs.iter()
+                    .find(|b| b.get("name").and_then(Value::as_str) == Some(name))
+            });
+        let Some(base_rung) = base_rung else {
+            gate.check(
+                false,
+                &format!("BENCH_scale[{name}]: rung present in baseline"),
+            );
+            continue;
+        };
+        for field in SCALE_EXACT_U64 {
+            let f = r.get(field).and_then(Value::as_u64);
+            let b = base_rung.get(field).and_then(Value::as_u64);
+            gate.check(
+                f.is_some() && f == b,
+                &format!(
+                    "BENCH_scale[{name}].{field}: deterministic count {f:?} == baseline {b:?}"
+                ),
+            );
+        }
+        // Sign-off WNS is deterministic too: same design, same flow, same
+        // bits (both manifests print it with the same fixed precision).
+        let f = r.get("wns_ns").and_then(Value::as_f64);
+        let b = base_rung.get("wns_ns").and_then(Value::as_f64);
+        gate.check(
+            f.is_some() && f == b,
+            &format!("BENCH_scale[{name}].wns_ns: deterministic timing {f:?} == baseline {b:?}"),
+        );
+        let v = r
+            .get("flow_cells_per_sec")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NEG_INFINITY);
+        gate.check(
+            v >= SCALE_THROUGHPUT_FLOOR,
+            &format!(
+                "BENCH_scale[{name}].flow_cells_per_sec: {v} >= floor {SCALE_THROUGHPUT_FLOOR}"
+            ),
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let dir_arg = |flag: &str, default: &str| {
@@ -334,10 +409,11 @@ fn main() -> ExitCode {
         checks: 0,
     };
     type Section = (&'static str, &'static str, fn(&mut Gate, &Value, &Value));
-    let sections: [Section; 3] = [
+    let sections: [Section; 4] = [
         ("sta", "BENCH_sta.json", gate_sta),
         ("flow", "BENCH_flow.json", gate_flow),
         ("serve", "BENCH_serve.json", gate_serve),
+        ("scale", "BENCH_scale.json", gate_scale),
     ];
     let selected: Vec<_> = sections
         .iter()
@@ -345,7 +421,7 @@ fn main() -> ExitCode {
         .collect();
     if selected.is_empty() {
         println!(
-            "bench_gate: unknown --only section {:?} (expected sta|flow|serve)",
+            "bench_gate: unknown --only section {:?} (expected sta|flow|serve|scale)",
             only.as_deref().unwrap_or("")
         );
         return ExitCode::FAILURE;
@@ -375,8 +451,9 @@ fn main() -> ExitCode {
         println!(
             "If the change is intentional, refresh the baselines: \
              `cargo run --release -p m3d-bench --bin sta_incr -- --scale tiny`, \
-             `cargo run --release -p m3d-bench --bin flow_obs` and \
-             `cargo run --release -p m3d-bench --bin serve_bench`, then commit results/."
+             `cargo run --release -p m3d-bench --bin flow_obs`, \
+             `cargo run --release -p m3d-bench --bin serve_bench` and \
+             `cargo run --release -p m3d-bench --bin scale_bench`, then commit results/."
         );
         ExitCode::FAILURE
     }

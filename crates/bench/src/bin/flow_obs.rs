@@ -10,7 +10,10 @@
 //! to measure checkpoint prefix reuse (the pseudo-3-D stage must run
 //! exactly once per comparison), and emits one combined JSON document
 //! with the deterministic section, the wall-clock/perf sections of both
-//! runs, the fmax sweep manifest and the comparison manifest.
+//! runs, the fmax sweep manifest and the comparison manifest. The binary
+//! installs [`hetero3d::obs::CountingAlloc`], so each instrumented flow
+//! run also reports `alloc/peak_bytes` and `alloc/churn_bytes` in its
+//! performance section.
 //!
 //! Usage: `flow_obs [--scale <f64>] [--seed <u64>] [--out <dir>]`.
 //! The default scale is the CI smoke setting (0.02), smaller than the
@@ -20,8 +23,24 @@
 use hetero3d::cost::CostModel;
 use hetero3d::flow::{try_compare_configs, try_find_fmax, try_run_flow, Config, FlowOptions};
 use hetero3d::netgen::Benchmark;
-use hetero3d::obs::{Manifest, Obs};
+use hetero3d::obs::{alloc, Manifest, Obs};
 use std::fmt::Write as _;
+
+#[global_allocator]
+static ALLOC: hetero3d::obs::CountingAlloc = hetero3d::obs::CountingAlloc;
+
+/// Runs `f` with the peak tracker restarted, then records the phase's
+/// peak live heap and allocation churn on `obs`. Allocator traffic moves
+/// with thread scheduling, so both land in the performance-only section
+/// of the manifest — never the deterministic one.
+fn with_alloc_gauges<T>(obs: &Obs, f: impl FnOnce() -> T) -> T {
+    alloc::reset_peak();
+    let churn0 = alloc::total_allocated_bytes();
+    let out = f();
+    obs.perf_add("alloc/peak_bytes", alloc::peak_bytes());
+    obs.perf_add("alloc/churn_bytes", alloc::total_allocated_bytes() - churn0);
+    out
+}
 
 fn instrumented(base: &FlowOptions, threads: usize) -> FlowOptions {
     FlowOptions {
@@ -68,8 +87,12 @@ fn main() {
     // The identity check: one worker vs four, same netlist, same knobs.
     let seq_options = instrumented(&base, 1);
     let par_options = instrumented(&base, 4);
-    let _ = try_run_flow(&netlist, Config::Hetero3d, 1.0, &seq_options).expect("flow");
-    let _ = try_run_flow(&netlist, Config::Hetero3d, 1.0, &par_options).expect("flow");
+    with_alloc_gauges(&seq_options.obs, || {
+        try_run_flow(&netlist, Config::Hetero3d, 1.0, &seq_options).expect("flow")
+    });
+    with_alloc_gauges(&par_options.obs, || {
+        try_run_flow(&netlist, Config::Hetero3d, 1.0, &par_options).expect("flow")
+    });
     let seq = seq_options.obs.manifest();
     let par = par_options.obs.manifest();
     let identical = seq.deterministic_json() == par.deterministic_json();

@@ -32,8 +32,10 @@
 
 mod benchmarks;
 mod builder;
+mod scale;
 mod spec;
 
 pub use benchmarks::Benchmark;
 pub use builder::generate;
+pub use scale::{scale_netlist, scale_spec};
 pub use spec::{BlockSpec, DesignSpec, SramSpec};

@@ -1,0 +1,161 @@
+#![recursion_limit = "1024"]
+//! Equivalence proof for the flat [`Topology`] view: on every generator
+//! family — the four paper benchmarks *and* the synthetic scale family —
+//! the SoA/CSR/arena accessors must agree with the legacy AoS accessors
+//! entry for entry, **in the same iteration order**, and the two views
+//! must produce the same connectivity fingerprint. Iteration order is
+//! part of the workspace's determinism contract: a kernel that swaps
+//! `Vec<Cell>` chasing for CSR slices may not move a single bit.
+
+use m3d_netgen::{scale_netlist, Benchmark};
+use m3d_netlist::{NetId, Netlist, PinRef, Topology, NO_NET};
+use proptest::prelude::*;
+
+/// FNV-1a over a connectivity walk. The walk is written once and fed by
+/// either view, so any ordering or content difference between the views
+/// changes the hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn eat(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Connectivity fingerprint from the **legacy** accessors.
+fn legacy_fingerprint(n: &Netlist) -> u64 {
+    let mut h = Fnv::new();
+    for (_, cell) in n.cells() {
+        for slot in cell.inputs.iter().chain(cell.outputs.iter()) {
+            h.eat(slot.map_or(u64::MAX, |id| id.index() as u64));
+        }
+    }
+    for (_, net) in n.nets() {
+        h.eat(net.driver.map_or(u64::MAX, |p| p.cell.index() as u64));
+        for s in &net.sinks {
+            h.eat(s.cell.index() as u64);
+            h.eat(u64::from(s.pin));
+        }
+        h.eat(u64::from(net.is_clock));
+    }
+    h.0
+}
+
+/// The same walk from the **flat** view.
+fn topo_fingerprint(n: &Netlist, t: &Topology) -> u64 {
+    let mut h = Fnv::new();
+    for id in n.cell_ids() {
+        for &raw in t.cell_pins(id) {
+            h.eat(if raw == NO_NET {
+                u64::MAX
+            } else {
+                u64::from(raw)
+            });
+        }
+    }
+    for id in n.net_ids() {
+        h.eat(t.driver(id).map_or(u64::MAX, |p| p.cell.index() as u64));
+        for (&c, &p) in t.sink_cells(id).iter().zip(t.sink_pins(id)) {
+            h.eat(u64::from(c));
+            h.eat(u64::from(p));
+        }
+        h.eat(u64::from(t.is_clock(id)));
+    }
+    h.0
+}
+
+/// Full element-wise agreement between the two views, iteration order
+/// included.
+fn assert_views_agree(n: &Netlist) {
+    let t = n.topology();
+    assert_eq!(t.cell_count(), n.cell_count());
+    assert_eq!(t.net_count(), n.net_count());
+
+    let mut arena = 0usize;
+    for id in n.cell_ids() {
+        let c = n.cell(id);
+        assert_eq!(t.cell_name(id), c.name, "cell name");
+        arena += c.name.len();
+        let ins: Vec<Option<NetId>> = t
+            .cell_inputs(id)
+            .iter()
+            .map(|&r| (r != NO_NET).then(|| NetId::from_index(r as usize)))
+            .collect();
+        assert_eq!(ins, c.inputs, "input slots of {}", c.name);
+        let outs: Vec<Option<NetId>> = t
+            .cell_outputs(id)
+            .iter()
+            .map(|&r| (r != NO_NET).then(|| NetId::from_index(r as usize)))
+            .collect();
+        assert_eq!(outs, c.outputs, "output slots of {}", c.name);
+        assert_eq!(
+            t.cell_pins(id).len(),
+            c.inputs.len() + c.outputs.len(),
+            "pin slot count of {}",
+            c.name
+        );
+    }
+    for id in n.net_ids() {
+        let net = n.net(id);
+        assert_eq!(t.net_name(id), net.name, "net name");
+        arena += net.name.len();
+        assert_eq!(t.driver(id), net.driver, "driver of {}", net.name);
+        let sinks: Vec<PinRef> = t.sinks(id).collect();
+        assert_eq!(sinks, net.sinks, "sink order of {}", net.name);
+        assert_eq!(t.fanout(id), net.fanout());
+        assert_eq!(t.degree(id), net.degree());
+        assert_eq!(t.is_clock(id), net.is_clock);
+    }
+    assert_eq!(t.name_arena_bytes(), arena, "arena holds exactly the names");
+
+    assert_eq!(
+        t.combinational_order()
+            .expect("generated designs are acyclic"),
+        n.combinational_order()
+            .expect("generated designs are acyclic"),
+        "Kahn order must be reproduced bit for bit"
+    );
+
+    assert_eq!(
+        legacy_fingerprint(n),
+        topo_fingerprint(n, &t),
+        "connectivity fingerprints diverge between the views"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Every paper benchmark, at randomized scale and seed.
+    #[test]
+    fn benchmark_families_agree(case in (0usize..4, 0.01f64..0.06, 0u64..1000)) {
+        let (family, scale, seed) = case;
+        let n = Benchmark::ALL[family].generate(scale, seed);
+        n.validate().expect("generated netlists validate");
+        assert_views_agree(&n);
+    }
+
+    // The synthetic scale family, at randomized target and seed.
+    #[test]
+    fn scale_family_agrees(case in (2_000usize..12_000, 0u64..1000)) {
+        let (target, seed) = case;
+        let n = scale_netlist(target, seed);
+        n.validate().expect("scale netlists validate");
+        assert_views_agree(&n);
+    }
+}
+
+/// One deterministic big datapoint beyond proptest's comfortable size:
+/// the smallest ladder rung of the throughput bench.
+#[test]
+fn ladder_rung_agrees_at_one_hundred_thousand_cells() {
+    let n = scale_netlist(100_000, 7);
+    assert!(n.cell_count() >= 100_000, "rung must clear 100k cells");
+    assert_views_agree(&n);
+}

@@ -38,9 +38,11 @@ mod net;
 #[allow(clippy::module_inception)]
 mod netlist;
 mod stats;
+mod topo;
 pub mod verilog;
 
 pub use cell::{Cell, CellClass, CellId, MacroSpec};
 pub use net::{Net, NetId, PinRef};
 pub use netlist::{Netlist, NetlistPartsError, ValidateNetlistError};
 pub use stats::NetlistStats;
+pub use topo::{TopoRole, Topology, NO_NET};

@@ -1,0 +1,489 @@
+//! Flat, index-dense topology view over a [`Netlist`].
+//!
+//! The canonical netlist storage stays array-of-structs (`Vec<Cell>` /
+//! `Vec<Net>`) because construction and ECO passes mutate individual pin
+//! slots in place. The hot kernels, however, want structure-of-arrays:
+//! one contiguous buffer per attribute, CSR offset arrays instead of
+//! per-cell/per-net `Vec`s, and a single string arena instead of millions
+//! of small `String` allocations.
+//!
+//! [`Topology`] is that view: built in one pass over the netlist, it
+//! packs
+//!
+//! - every cell and net name into **one** string arena (`names`) with
+//!   offset arrays, so name lookups are slice indexing;
+//! - every pin slot into **one** `Vec<u32>` (`pin_net`): a cell's slice
+//!   is its input slots followed by its output slots, `u32::MAX` marking
+//!   an unconnected pin;
+//! - every net's sink list into CSR arrays (`sink_off` / `sink_cell` /
+//!   `sink_pin`), mirroring `Net::sinks` order exactly;
+//! - per-cell roles and per-net clock flags into dense byte arrays so
+//!   kernels stop chasing `CellClass` enums.
+//!
+//! **Iteration order is part of the repo's determinism contract**: every
+//! slice in this view preserves the exact order of the legacy accessors
+//! (`Cell::inputs`, `Cell::outputs`, `Net::sinks`), and
+//! [`Topology::combinational_order`] reproduces the Kahn order of
+//! [`Netlist::combinational_order`] bit for bit. The property suite in
+//! `tests/csr_equivalence.rs` holds the two views equal on every
+//! generator family.
+
+use crate::cell::{CellClass, CellId};
+use crate::net::{NetId, PinRef};
+use crate::netlist::{Netlist, ValidateNetlistError};
+
+/// Sentinel for an unconnected pin slot in [`Topology::cell_pins`].
+pub const NO_NET: u32 = u32::MAX;
+
+/// Compact per-cell role, precomputed so kernels avoid matching on
+/// [`CellClass`] (and touching the `MacroSpec` payload) in inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TopoRole {
+    /// Combinational standard-cell gate.
+    Comb = 0,
+    /// Sequential standard-cell gate (DFF).
+    Seq = 1,
+    /// Hard macro.
+    Macro = 2,
+    /// Primary input port.
+    Pi = 3,
+    /// Primary output port.
+    Po = 4,
+}
+
+impl TopoRole {
+    fn of(class: &CellClass) -> TopoRole {
+        match class {
+            CellClass::Gate { kind, .. } => {
+                if kind.is_sequential() {
+                    TopoRole::Seq
+                } else {
+                    TopoRole::Comb
+                }
+            }
+            CellClass::Macro(_) => TopoRole::Macro,
+            CellClass::PrimaryInput => TopoRole::Pi,
+            CellClass::PrimaryOutput => TopoRole::Po,
+        }
+    }
+}
+
+/// Flat SoA/CSR snapshot of a netlist's connectivity and names.
+///
+/// Build once with [`Netlist::topology`]; the view borrows nothing, so it
+/// can be kept alongside the netlist (the incremental STA does) and
+/// rebuilt only on structural change.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    cell_count: usize,
+    net_count: usize,
+
+    // ---- string arena ----
+    names: String,
+    cell_name_off: Vec<u32>, // cell_count + 1
+    net_name_off: Vec<u32>,  // net_count + 1
+
+    // ---- cell → pins CSR ----
+    pin_off: Vec<u32>,   // cell_count + 1, into `pin_net`
+    out_start: Vec<u32>, // cell_count, absolute index of first output slot
+    pin_net: Vec<u32>,   // inputs then outputs per cell; NO_NET = unconnected
+
+    // ---- net → pins CSR ----
+    sink_off: Vec<u32>, // net_count + 1, into `sink_cell` / `sink_pin`
+    sink_cell: Vec<u32>,
+    sink_pin: Vec<u8>,
+    driver_cell: Vec<u32>, // u32::MAX = undriven
+    driver_pin: Vec<u8>,
+
+    // ---- dense attributes ----
+    role: Vec<TopoRole>,
+    net_clock: Vec<bool>,
+}
+
+impl Topology {
+    /// Builds the flat view from a netlist in one pass.
+    #[must_use]
+    pub fn build(netlist: &Netlist) -> Topology {
+        let cell_count = netlist.cell_count();
+        let net_count = netlist.net_count();
+
+        let mut name_bytes = 0usize;
+        let mut pin_total = 0usize;
+        let mut sink_total = 0usize;
+        for (_, cell) in netlist.cells() {
+            name_bytes += cell.name.len();
+            pin_total += cell.inputs.len() + cell.outputs.len();
+        }
+        for (_, net) in netlist.nets() {
+            name_bytes += net.name.len();
+            sink_total += net.sinks.len();
+        }
+
+        let mut names = String::with_capacity(name_bytes);
+        let mut cell_name_off = Vec::with_capacity(cell_count + 1);
+        let mut pin_off = Vec::with_capacity(cell_count + 1);
+        let mut out_start = Vec::with_capacity(cell_count);
+        let mut pin_net = Vec::with_capacity(pin_total);
+        let mut role = Vec::with_capacity(cell_count);
+        cell_name_off.push(0);
+        pin_off.push(0);
+        let slot = |s: &Option<NetId>| s.map_or(NO_NET, |n| n.index() as u32);
+        for (_, cell) in netlist.cells() {
+            names.push_str(&cell.name);
+            cell_name_off.push(names.len() as u32);
+            pin_net.extend(cell.inputs.iter().map(slot));
+            out_start.push(pin_net.len() as u32);
+            pin_net.extend(cell.outputs.iter().map(slot));
+            pin_off.push(pin_net.len() as u32);
+            role.push(TopoRole::of(&cell.class));
+        }
+
+        let mut net_name_off = Vec::with_capacity(net_count + 1);
+        let mut sink_off = Vec::with_capacity(net_count + 1);
+        let mut sink_cell = Vec::with_capacity(sink_total);
+        let mut sink_pin = Vec::with_capacity(sink_total);
+        let mut driver_cell = Vec::with_capacity(net_count);
+        let mut driver_pin = Vec::with_capacity(net_count);
+        let mut net_clock = Vec::with_capacity(net_count);
+        net_name_off.push(names.len() as u32);
+        sink_off.push(0);
+        for (_, net) in netlist.nets() {
+            names.push_str(&net.name);
+            net_name_off.push(names.len() as u32);
+            for s in &net.sinks {
+                sink_cell.push(s.cell.index() as u32);
+                sink_pin.push(s.pin);
+            }
+            sink_off.push(sink_cell.len() as u32);
+            match net.driver {
+                Some(d) => {
+                    driver_cell.push(d.cell.index() as u32);
+                    driver_pin.push(d.pin);
+                }
+                None => {
+                    driver_cell.push(u32::MAX);
+                    driver_pin.push(0);
+                }
+            }
+            net_clock.push(net.is_clock);
+        }
+
+        Topology {
+            cell_count,
+            net_count,
+            names,
+            cell_name_off,
+            net_name_off,
+            pin_off,
+            out_start,
+            pin_net,
+            sink_off,
+            sink_cell,
+            sink_pin,
+            driver_cell,
+            driver_pin,
+            role,
+            net_clock,
+        }
+    }
+
+    /// Number of cells in the snapshot.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Number of nets in the snapshot.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Total number of pin slots (connected or not) across all cells.
+    #[must_use]
+    pub fn pin_count(&self) -> usize {
+        self.pin_net.len()
+    }
+
+    /// Interned name of `cell` — equal to `netlist.cell(cell).name`.
+    #[must_use]
+    pub fn cell_name(&self, cell: CellId) -> &str {
+        let i = cell.index();
+        &self.names[self.cell_name_off[i] as usize..self.cell_name_off[i + 1] as usize]
+    }
+
+    /// Interned name of `net` — equal to `netlist.net(net).name`.
+    #[must_use]
+    pub fn net_name(&self, net: NetId) -> &str {
+        let i = net.index();
+        &self.names[self.net_name_off[i] as usize..self.net_name_off[i + 1] as usize]
+    }
+
+    /// Total bytes held by the string arena.
+    #[must_use]
+    pub fn name_arena_bytes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Role of `cell`.
+    #[must_use]
+    pub fn role(&self, cell: CellId) -> TopoRole {
+        self.role[cell.index()]
+    }
+
+    /// Is `net` the clock net?
+    #[must_use]
+    pub fn is_clock(&self, net: NetId) -> bool {
+        self.net_clock[net.index()]
+    }
+
+    /// All pin slots of `cell`: input slots in pin order, then output
+    /// slots in pin order. Entries are raw net indices, [`NO_NET`] for an
+    /// unconnected pin.
+    #[must_use]
+    pub fn cell_pins(&self, cell: CellId) -> &[u32] {
+        let i = cell.index();
+        &self.pin_net[self.pin_off[i] as usize..self.pin_off[i + 1] as usize]
+    }
+
+    /// The input pin slots of `cell` — mirrors `Cell::inputs`.
+    #[must_use]
+    pub fn cell_inputs(&self, cell: CellId) -> &[u32] {
+        let i = cell.index();
+        &self.pin_net[self.pin_off[i] as usize..self.out_start[i] as usize]
+    }
+
+    /// The output pin slots of `cell` — mirrors `Cell::outputs`.
+    #[must_use]
+    pub fn cell_outputs(&self, cell: CellId) -> &[u32] {
+        let i = cell.index();
+        &self.pin_net[self.out_start[i] as usize..self.pin_off[i + 1] as usize]
+    }
+
+    /// The net on input pin `pin` of `cell`, if connected.
+    #[must_use]
+    pub fn input_net(&self, cell: CellId, pin: usize) -> Option<NetId> {
+        let raw = *self.cell_inputs(cell).get(pin)?;
+        (raw != NO_NET).then(|| NetId::from_index(raw as usize))
+    }
+
+    /// The driver pin of `net`, if driven — equal to
+    /// `netlist.net(net).driver`.
+    #[must_use]
+    pub fn driver(&self, net: NetId) -> Option<PinRef> {
+        let i = net.index();
+        let cell = self.driver_cell[i];
+        (cell != u32::MAX)
+            .then(|| PinRef::new(CellId::from_index(cell as usize), self.driver_pin[i]))
+    }
+
+    /// The sink cells of `net`, in `Net::sinks` order.
+    #[must_use]
+    pub fn sink_cells(&self, net: NetId) -> &[u32] {
+        let i = net.index();
+        &self.sink_cell[self.sink_off[i] as usize..self.sink_off[i + 1] as usize]
+    }
+
+    /// The sink pin indices of `net`, aligned with
+    /// [`Topology::sink_cells`].
+    #[must_use]
+    pub fn sink_pins(&self, net: NetId) -> &[u8] {
+        let i = net.index();
+        &self.sink_pin[self.sink_off[i] as usize..self.sink_off[i + 1] as usize]
+    }
+
+    /// Fanout of `net` (number of sinks).
+    #[must_use]
+    pub fn fanout(&self, net: NetId) -> usize {
+        let i = net.index();
+        (self.sink_off[i + 1] - self.sink_off[i]) as usize
+    }
+
+    /// Degree of `net` (driver + sinks) — equal to `Net::degree`.
+    #[must_use]
+    pub fn degree(&self, net: NetId) -> usize {
+        usize::from(self.driver_cell[net.index()] != u32::MAX) + self.fanout(net)
+    }
+
+    /// Iterates the sinks of `net` as [`PinRef`]s, in `Net::sinks` order.
+    pub fn sinks(&self, net: NetId) -> impl Iterator<Item = PinRef> + '_ {
+        self.sink_cells(net)
+            .iter()
+            .zip(self.sink_pins(net))
+            .map(|(&c, &p)| PinRef::new(CellId::from_index(c as usize), p))
+    }
+
+    /// Topological order of the combinational gates — **the same Kahn
+    /// order as [`Netlist::combinational_order`]**, computed over the CSR
+    /// arrays: the ready queue is seeded in ascending cell index and
+    /// successors are released in output-pin, then sink-list order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateNetlistError::CombinationalCycle`] if the
+    /// combinational logic is cyclic (the culprit is reported by interned
+    /// name).
+    pub fn combinational_order(&self) -> Result<Vec<CellId>, ValidateNetlistError> {
+        let n = self.cell_count;
+        let is_comb = |i: usize| self.role[i] == TopoRole::Comb;
+        let mut indegree = vec![0u32; n];
+        let mut comb_total = 0usize;
+        for (i, slot) in indegree.iter_mut().enumerate() {
+            if !is_comb(i) {
+                continue;
+            }
+            comb_total += 1;
+            let mut deg = 0;
+            for &raw in self.cell_inputs(CellId::from_index(i)) {
+                if raw == NO_NET {
+                    continue;
+                }
+                let drv = self.driver_cell[raw as usize];
+                if drv != u32::MAX && is_comb(drv as usize) {
+                    deg += 1;
+                }
+            }
+            *slot = deg;
+        }
+        let mut queue = std::collections::VecDeque::with_capacity(comb_total);
+        queue.extend((0..n).filter(|&i| is_comb(i) && indegree[i] == 0));
+        let mut order = Vec::with_capacity(comb_total);
+        while let Some(i) = queue.pop_front() {
+            order.push(CellId::from_index(i));
+            for &raw in self.cell_outputs(CellId::from_index(i)) {
+                if raw == NO_NET {
+                    continue;
+                }
+                for &sc in self.sink_cells(NetId::from_index(raw as usize)) {
+                    let j = sc as usize;
+                    if is_comb(j) {
+                        indegree[j] -= 1;
+                        if indegree[j] == 0 {
+                            queue.push_back(j);
+                        }
+                    }
+                }
+            }
+        }
+        if order.len() != comb_total {
+            let culprit = (0..n)
+                .find(|&i| is_comb(i) && indegree[i] > 0)
+                .map(|i| self.cell_name(CellId::from_index(i)).to_string())
+                .unwrap_or_default();
+            return Err(ValidateNetlistError::CombinationalCycle(culprit));
+        }
+        Ok(order)
+    }
+}
+
+impl Netlist {
+    /// Builds the flat SoA/CSR [`Topology`] view of this netlist. O(cells
+    /// + nets + pins); rebuild after structural edits.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        Topology::build(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_tech::{CellKind, Drive};
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new("t");
+        let clk_in = n.add_input("clk");
+        let clk = n.add_net("clk", clk_in, 0);
+        n.set_clock(clk);
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate("g1", CellKind::Nand2, Drive::X1, 0);
+        let g2 = n.add_gate("g2", CellKind::Inv, Drive::X2, 0);
+        let ff = n.add_gate("ff", CellKind::Dff, Drive::X1, 0);
+        let y = n.add_output("y");
+        let na = n.add_net("na", a, 0);
+        let nb = n.add_net("nb", b, 0);
+        let n1 = n.add_net("n1", g1, 0);
+        let n2 = n.add_net("n2", g2, 0);
+        let q = n.add_net("q", ff, 0);
+        n.connect(na, g1, 0);
+        n.connect(nb, g1, 1);
+        n.connect(n1, g2, 0);
+        n.connect(n2, ff, 0);
+        n.connect(clk, ff, 1);
+        n.connect(q, y, 0);
+        n
+    }
+
+    #[test]
+    fn view_mirrors_legacy_accessors() {
+        let n = sample();
+        let t = n.topology();
+        assert_eq!(t.cell_count(), n.cell_count());
+        assert_eq!(t.net_count(), n.net_count());
+        for id in n.cell_ids() {
+            let c = n.cell(id);
+            assert_eq!(t.cell_name(id), c.name);
+            let ins: Vec<Option<NetId>> = t
+                .cell_inputs(id)
+                .iter()
+                .map(|&r| (r != NO_NET).then(|| NetId::from_index(r as usize)))
+                .collect();
+            assert_eq!(ins, c.inputs);
+            let outs: Vec<Option<NetId>> = t
+                .cell_outputs(id)
+                .iter()
+                .map(|&r| (r != NO_NET).then(|| NetId::from_index(r as usize)))
+                .collect();
+            assert_eq!(outs, c.outputs);
+        }
+        for id in n.net_ids() {
+            let net = n.net(id);
+            assert_eq!(t.net_name(id), net.name);
+            assert_eq!(t.driver(id), net.driver);
+            let sinks: Vec<PinRef> = t.sinks(id).collect();
+            assert_eq!(sinks, net.sinks);
+            assert_eq!(t.degree(id), net.degree());
+            assert_eq!(t.fanout(id), net.fanout());
+            assert_eq!(t.is_clock(id), net.is_clock);
+        }
+    }
+
+    #[test]
+    fn combinational_order_matches_legacy() {
+        let n = sample();
+        assert_eq!(
+            n.topology().combinational_order().unwrap(),
+            n.combinational_order().unwrap()
+        );
+    }
+
+    #[test]
+    fn cycle_is_reported_with_interned_name() {
+        let mut n = Netlist::new("cyc");
+        let g1 = n.add_gate("g1", CellKind::Inv, Drive::X1, 0);
+        let g2 = n.add_gate("g2", CellKind::Inv, Drive::X1, 0);
+        let n1 = n.add_net("n1", g1, 0);
+        let n2 = n.add_net("n2", g2, 0);
+        n.connect(n1, g2, 0);
+        n.connect(n2, g1, 0);
+        let legacy = n.combinational_order().unwrap_err();
+        let csr = n.topology().combinational_order().unwrap_err();
+        assert_eq!(legacy, csr);
+    }
+
+    #[test]
+    fn roles_and_arena_are_dense() {
+        let n = sample();
+        let t = n.topology();
+        let names: usize = n.cells().map(|(_, c)| c.name.len()).sum::<usize>()
+            + n.nets().map(|(_, net)| net.name.len()).sum::<usize>();
+        assert_eq!(t.name_arena_bytes(), names);
+        assert_eq!(t.role(CellId::from_index(0)), TopoRole::Pi);
+        let ff = n.cells().find(|(_, c)| c.name == "ff").unwrap().0;
+        assert_eq!(t.role(ff), TopoRole::Seq);
+        let y = n.cells().find(|(_, c)| c.name == "y").unwrap().0;
+        assert_eq!(t.role(y), TopoRole::Po);
+    }
+}

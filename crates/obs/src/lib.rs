@@ -26,6 +26,10 @@
 //! prefix; concurrent flow branches (fmax ladder rungs, config sweeps)
 //! each scope themselves so they never write the same span path.
 
+pub mod alloc;
+
+pub use alloc::CountingAlloc;
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;

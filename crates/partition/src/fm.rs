@@ -206,14 +206,33 @@ fn run_fm(
     run_fm_with(netlist, areas, locked, tiers, passes, can_move, on_move).0
 }
 
-/// The FM engine: gain buckets, tentative move sequence, best-prefix
-/// rollback; repeated for `passes` passes or until no pass improves.
+/// Sentinel for "no node" in the flat gain-list links.
+const NIL: u32 = u32::MAX;
+
+/// The FM engine: a flat doubly-linked gain list, tentative move
+/// sequence, best-prefix rollback; repeated for `passes` passes or until
+/// no pass improves.
 ///
-/// The per-pass setup — net pin lists, side counts, initial gains, cut
-/// evaluation — is embarrassingly parallel and runs on `m3d_par` workers
-/// for large designs; each item's value is independent, so the scattered
-/// results are identical to the sequential loops. The move sequence itself
-/// stays sequential: it *defines* the deterministic order of the pass.
+/// Data layout is flat throughout: the hypergraph is CSR (`net_off` /
+/// `net_cell` for net→cells, `cell_net_off` / `cell_net` for cell→nets,
+/// both preserving the legacy `Vec<Vec<_>>` iteration order exactly), and
+/// the classic gain *bucket-of-stacks* is replaced by one doubly-linked
+/// free list over per-gain heads (`head` / `prev` / `next` arrays — one
+/// node per cell, no per-bucket `Vec`s, no stale duplicates). Pushing a
+/// node to the front of its gain's list makes the front the
+/// most-recently-updated candidate, which is precisely the entry the old
+/// lazy stacks surfaced with `last()` — so the move sequence, and with it
+/// every downstream bit, is unchanged.
+///
+/// All per-pass scratch (side counts, gains, pass locks, list links, the
+/// move journal) is allocated once and reset in place, so a pass costs no
+/// heap churn.
+///
+/// The per-pass setup — side counts, initial gains, cut evaluation — is
+/// embarrassingly parallel and runs on `m3d_par` workers for large
+/// designs; each item's value is independent, so the scattered results
+/// are identical to the sequential loops. The move sequence itself stays
+/// sequential: it *defines* the deterministic order of the pass.
 fn run_fm_with(
     netlist: &Netlist,
     _areas: &[f64],
@@ -225,6 +244,7 @@ fn run_fm_with(
 ) -> (usize, FmStats) {
     let mut stats = FmStats::default();
     let n = netlist.cell_count();
+    let net_count = netlist.net_count();
     let threads = m3d_par::resolve(0);
     let parallel = threads > 1 && n >= m3d_par::PAR_THRESHOLD;
     // Movable = not locked, not a port, not a macro (macros sit on the
@@ -234,78 +254,118 @@ fn run_fm_with(
         .map(|(id, c)| !locked[id.index()] && matches!(c.class, CellClass::Gate { .. }))
         .collect();
 
-    // Net pin lists (signal nets only), as cell indices.
-    let net_pins = |k: usize| -> Vec<usize> {
-        let net = netlist.net(m3d_netlist::NetId::from_index(k));
-        if net.is_clock {
-            Vec::new()
-        } else {
-            net.cells().map(|c| c.index()).collect()
+    // ---- CSR hypergraph -------------------------------------------------
+    // Net k's member cells (driver first, then sinks — `Net::cells`
+    // order) are `net_cell[net_off[k] .. net_off[k + 1]]`; clock nets get
+    // empty slices, exactly like the legacy empty pin lists.
+    let mut net_off: Vec<u32> = Vec::with_capacity(net_count + 1);
+    net_off.push(0);
+    let mut pin_total = 0u32;
+    for (_, net) in netlist.nets() {
+        if !net.is_clock {
+            pin_total += net.degree() as u32;
         }
-    };
-    let nets: Vec<Vec<usize>> = if parallel {
-        m3d_par::par_map_indices(threads, netlist.net_count(), net_pins)
-    } else {
-        (0..netlist.net_count()).map(net_pins).collect()
-    };
-    // Cell -> incident net indices (sequential: push order over nets is
-    // part of the deterministic gain-update order).
-    let mut cell_nets: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (ni, pins) in nets.iter().enumerate() {
-        for &c in pins {
-            cell_nets[c].push(ni as u32);
+        net_off.push(pin_total);
+    }
+    let mut net_cell: Vec<u32> = vec![0; pin_total as usize];
+    for (id, net) in netlist.nets() {
+        if net.is_clock {
+            continue;
+        }
+        for (w, c) in (net_off[id.index()] as usize..).zip(net.cells()) {
+            net_cell[w] = c.index() as u32;
         }
     }
+    // Cell→incident nets by counting sort over the nets in index order —
+    // the same per-cell net sequence the legacy push loop built (net
+    // order is part of the deterministic gain-update order).
+    let mut cell_net_off: Vec<u32> = vec![0; n + 1];
+    for &c in &net_cell {
+        cell_net_off[c as usize + 1] += 1;
+    }
+    for i in 0..n {
+        cell_net_off[i + 1] += cell_net_off[i];
+    }
+    let mut next_slot: Vec<u32> = cell_net_off[..n].to_vec();
+    let mut cell_net: Vec<u32> = vec![0; pin_total as usize];
+    for k in 0..net_count {
+        for &c in &net_cell[net_off[k] as usize..net_off[k + 1] as usize] {
+            cell_net[next_slot[c as usize] as usize] = k as u32;
+            next_slot[c as usize] += 1;
+        }
+    }
+    drop(next_slot);
 
-    let nets_ref = &nets;
+    let net_of = |k: usize| &net_cell[net_off[k] as usize..net_off[k + 1] as usize];
+    let nets_of = |c: usize| &cell_net[cell_net_off[c] as usize..cell_net_off[c + 1] as usize];
+
     let cut_of = |tiers: &[Tier]| -> usize {
-        let is_cut = |pins: &[usize]| {
+        let is_cut = |pins: &[u32]| {
             let mut seen = [false, false];
             for &c in pins {
-                seen[tiers[c].index()] = true;
+                seen[tiers[c as usize].index()] = true;
             }
             seen[0] && seen[1]
         };
         if parallel {
-            m3d_par::par_ranges(threads, nets_ref.len(), |r| {
-                r.filter(|&ni| is_cut(&nets_ref[ni])).count()
+            m3d_par::par_ranges(threads, net_count, |r| {
+                r.filter(|&ni| is_cut(net_of(ni))).count()
             })
             .into_iter()
             .sum()
         } else {
-            nets_ref.iter().filter(|pins| is_cut(pins)).count()
+            (0..net_count).filter(|&ni| is_cut(net_of(ni))).count()
         }
     };
 
-    let max_deg = cell_nets.iter().map(Vec::len).max().unwrap_or(1).max(1) as i64;
+    let max_deg = (0..n).map(|c| nets_of(c).len()).max().unwrap_or(1).max(1) as i64;
     let mut best_cut = cut_of(tiers);
+
+    // ---- per-pass scratch, allocated once -------------------------------
+    let offset = max_deg;
+    let nbuckets = (2 * max_deg + 1) as usize;
+    let mut side_count: Vec<[i32; 2]> = vec![[0, 0]; net_count];
+    let mut gains: Vec<i64> = vec![0; n];
+    let mut head: Vec<u32> = vec![NIL; nbuckets];
+    let mut prev: Vec<u32> = vec![NIL; n];
+    let mut next: Vec<u32> = vec![NIL; n];
+    let mut in_list: Vec<bool> = vec![false; n];
+    let mut locked_pass: Vec<bool> = vec![false; n];
+    let mut moves: Vec<usize> = Vec::new();
 
     for _pass in 0..passes {
         stats.passes += 1;
-        // Per-net side counts.
-        let side_count_of = |pins: &Vec<usize>, tiers: &[Tier]| -> [i32; 2] {
+        // Per-net side counts, recomputed into the standing buffer.
+        let side_count_of = |pins: &[u32], tiers: &[Tier]| -> [i32; 2] {
             let mut sc = [0, 0];
             for &c in pins {
-                sc[tiers[c].index()] += 1;
+                sc[tiers[c as usize].index()] += 1;
             }
             sc
         };
-        let mut side_count: Vec<[i32; 2]> = if parallel {
+        if parallel {
             let tiers_ref = &*tiers;
-            m3d_par::par_map(threads, nets_ref, |_, pins| side_count_of(pins, tiers_ref))
+            let chunks = m3d_par::par_ranges(threads, net_count, |r| {
+                r.map(|ni| side_count_of(net_of(ni), tiers_ref))
+                    .collect::<Vec<[i32; 2]>>()
+            });
+            let mut w = 0;
+            for chunk in chunks {
+                side_count[w..w + chunk.len()].copy_from_slice(&chunk);
+                w += chunk.len();
+            }
         } else {
-            nets_ref
-                .iter()
-                .map(|pins| side_count_of(pins, tiers))
-                .collect()
-        };
+            for (ni, sc) in side_count.iter_mut().enumerate() {
+                *sc = side_count_of(net_of(ni), tiers);
+            }
+        }
 
         // Initial gains.
         let gain_of = |cell: usize, tiers: &[Tier], side_count: &[[i32; 2]]| -> i64 {
             let from = tiers[cell].index();
             let to = 1 - from;
             let mut g = 0i64;
-            for &ni in &cell_nets[cell] {
+            for &ni in nets_of(cell) {
                 let sc = side_count[ni as usize];
                 if sc[from] == 1 {
                     g += 1; // moving uncuts this net
@@ -324,62 +384,85 @@ fn run_fm_with(
                 i64::MIN
             }
         };
-        let mut gains: Vec<i64> = if parallel {
+        if parallel {
             let tiers_ref = &*tiers;
             let side_count_ref = &side_count;
-            m3d_par::par_map_indices(threads, n, |c| initial_gain(c, tiers_ref, side_count_ref))
+            let chunks = m3d_par::par_ranges(threads, n, |r| {
+                r.map(|c| initial_gain(c, tiers_ref, side_count_ref))
+                    .collect::<Vec<i64>>()
+            });
+            let mut w = 0;
+            for chunk in chunks {
+                gains[w..w + chunk.len()].copy_from_slice(&chunk);
+                w += chunk.len();
+            }
         } else {
-            (0..n)
-                .map(|c| initial_gain(c, tiers, &side_count))
-                .collect()
-        };
-
-        // Bucket structure: gains in [-max_deg, +max_deg].
-        let offset = max_deg;
-        let nbuckets = (2 * max_deg + 1) as usize;
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nbuckets];
-        for c in 0..n {
-            if movable[c] {
-                buckets[(gains[c] + offset) as usize].push(c as u32);
+            for (c, g) in gains.iter_mut().enumerate() {
+                *g = initial_gain(c, tiers, &side_count);
             }
         }
-        let mut in_bucket: Vec<bool> = movable.clone();
-        let mut locked_pass = vec![false; n];
+
+        // Gain list: gains in [-max_deg, +max_deg]. Filling in ascending
+        // cell index puts the highest index at each list's front — the
+        // entry the legacy stacks exposed with `last()`.
+        head.fill(NIL);
+        in_list.copy_from_slice(&movable);
+        locked_pass.fill(false);
+        moves.clear();
+        for c in 0..n {
+            if movable[c] {
+                let b = (gains[c] + offset) as usize;
+                let h = head[b];
+                next[c] = h;
+                prev[c] = NIL;
+                if h != NIL {
+                    prev[h as usize] = c as u32;
+                }
+                head[b] = c as u32;
+            }
+        }
+        let unlink = |head: &mut [u32], prev: &mut [u32], next: &mut [u32], b: usize, c: usize| {
+            let p = prev[c];
+            let nx = next[c];
+            if p != NIL {
+                next[p as usize] = nx;
+            } else {
+                head[b] = nx;
+            }
+            if nx != NIL {
+                prev[nx as usize] = p;
+            }
+        };
 
         let start_cut = cut_of(tiers);
         let mut cur_cut = start_cut as i64;
         let mut best_prefix_cut = cur_cut;
         let mut best_prefix_len = 0usize;
-        let mut moves: Vec<usize> = Vec::new();
         let mut top = nbuckets as i64 - 1;
 
         loop {
-            // Find the highest-gain admissible cell.
+            // Find the highest-gain admissible cell. Lists hold no stale
+            // entries (nodes move eagerly on every gain change), so the
+            // scan only skips balance-rejected candidates.
             let mut chosen = None;
             'outer: while top >= 0 {
-                // Drain stale entries lazily.
-                while let Some(&cand) = buckets[top as usize].last() {
-                    let c = cand as usize;
-                    if !in_bucket[c] || locked_pass[c] || gains[c] + offset != top {
-                        buckets[top as usize].pop();
-                        continue;
-                    }
+                while head[top as usize] != NIL {
+                    let c = head[top as usize] as usize;
                     let from = tiers[c];
                     if can_move(c, from, from.other()) {
                         chosen = Some(c);
                         break 'outer;
                     }
-                    // Not movable under balance right now: drop from this
-                    // bucket; it may come back after other moves.
-                    buckets[top as usize].pop();
-                    in_bucket[c] = false;
-                    continue;
+                    // Not movable under balance right now: drop from the
+                    // list; it may come back after other moves.
+                    unlink(&mut head, &mut prev, &mut next, top as usize, c);
+                    in_list[c] = false;
                 }
                 top -= 1;
             }
             let Some(c) = chosen else { break };
-            buckets[top as usize].pop();
-            in_bucket[c] = false;
+            unlink(&mut head, &mut prev, &mut next, top as usize, c);
+            in_list[c] = false;
             locked_pass[c] = true;
 
             let from = tiers[c];
@@ -390,21 +473,32 @@ fn run_fm_with(
             moves.push(c);
 
             // Update side counts and neighbor gains.
-            for &ni in &cell_nets[c] {
+            for &ni in nets_of(c) {
                 let ni = ni as usize;
                 let sc = &mut side_count[ni];
                 sc[from.index()] -= 1;
                 sc[to.index()] += 1;
-                for &nb in &nets[ni] {
+                for &nb in net_of(ni) {
+                    let nb = nb as usize;
                     if nb == c || !movable[nb] || locked_pass[nb] {
                         continue;
                     }
                     let g = gain_of(nb, tiers, &side_count);
                     if g != gains[nb] {
+                        if in_list[nb] {
+                            let old = (gains[nb] + offset) as usize;
+                            unlink(&mut head, &mut prev, &mut next, old, nb);
+                        }
                         gains[nb] = g;
                         let bucket = (g + offset) as usize;
-                        buckets[bucket].push(nb as u32);
-                        in_bucket[nb] = true;
+                        let h = head[bucket];
+                        next[nb] = h;
+                        prev[nb] = NIL;
+                        if h != NIL {
+                            prev[h as usize] = nb as u32;
+                        }
+                        head[bucket] = nb as u32;
+                        in_list[nb] = true;
                         if (bucket as i64) > top {
                             top = bucket as i64;
                         }

@@ -123,28 +123,55 @@ fn place_loop(
     // keeping float accumulation orders fixed.
     let eff_threads = if n >= m3d_par::PAR_THRESHOLD { 0 } else { 1 };
 
-    // Relaxation connectivity, built once: per-net pin lists/weights and
-    // the cell → net incidence in net-index order. The incidence order IS
-    // the accumulation order of the centroid gather below, so per-cell
-    // float sums are reproduced exactly regardless of how many workers
-    // computed the per-net centroids.
-    let mut net_cells: Vec<Vec<usize>> = Vec::with_capacity(netlist.net_count());
-    let mut net_w: Vec<f64> = Vec::with_capacity(netlist.net_count());
+    // Relaxation connectivity, built once as CSR — two flat arrays per
+    // direction instead of a Vec-of-Vecs per net/cell: per-net pin slices
+    // and weights, and the cell → net incidence in net-index order. The
+    // incidence order IS the accumulation order of the centroid gather
+    // below, so per-cell float sums are reproduced exactly regardless of
+    // how many workers computed the per-net centroids.
+    let net_count = netlist.net_count();
+    let mut net_off: Vec<u32> = Vec::with_capacity(net_count + 1);
+    net_off.push(0);
+    let mut net_w: Vec<f64> = Vec::with_capacity(net_count);
+    let mut pin_total = 0u32;
     for (_, net) in netlist.nets() {
         if net.is_clock || net.degree() < 2 {
-            net_cells.push(Vec::new());
             net_w.push(0.0);
         } else {
-            net_cells.push(net.cells().map(|c| c.index()).collect());
+            pin_total += net.degree() as u32;
             net_w.push(1.0 / (net.degree() as f64 - 1.0));
         }
+        net_off.push(pin_total);
     }
-    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (ni, pins) in net_cells.iter().enumerate() {
-        for &c in pins {
-            incidence[c].push(ni as u32);
+    let mut net_cell: Vec<u32> = vec![0; pin_total as usize];
+    for (id, net) in netlist.nets() {
+        if net.is_clock || net.degree() < 2 {
+            continue;
+        }
+        for (w, c) in (net_off[id.index()] as usize..).zip(net.cells()) {
+            net_cell[w] = c.index() as u32;
         }
     }
+    let net_of = |k: usize| &net_cell[net_off[k] as usize..net_off[k + 1] as usize];
+    // Cell → incident nets by counting sort over the nets in index order
+    // (the same per-cell sequence the legacy push loop produced).
+    let mut inc_off: Vec<u32> = vec![0; n + 1];
+    for &c in &net_cell {
+        inc_off[c as usize + 1] += 1;
+    }
+    for i in 0..n {
+        inc_off[i + 1] += inc_off[i];
+    }
+    let mut next_slot: Vec<u32> = inc_off[..n].to_vec();
+    let mut inc_net: Vec<u32> = vec![0; pin_total as usize];
+    for k in 0..net_count {
+        for &c in net_of(k) {
+            inc_net[next_slot[c as usize] as usize] = k as u32;
+            next_slot[c as usize] += 1;
+        }
+    }
+    drop(next_slot);
+    let nets_of = |c: usize| &inc_net[inc_off[c] as usize..inc_off[c + 1] as usize];
 
     for iter in 0..iterations {
         // --- net-centroid relaxation --------------------------------
@@ -155,20 +182,20 @@ fn place_loop(
         for _ in 0..config.relax_sweeps {
             let snapshot = placement.positions.clone();
             let snap = &snapshot;
-            let centroids: Vec<Point> = m3d_par::par_map(eff_threads, &net_cells, |_, pins| {
+            let centroids: Vec<Point> = m3d_par::par_map_indices(eff_threads, net_count, |k| {
+                let pins = net_of(k);
                 if pins.is_empty() {
                     return Point::ORIGIN;
                 }
                 let mut centroid = Point::ORIGIN;
                 let mut count = 0.0;
                 for &c in pins {
-                    centroid += snap[c];
+                    centroid += snap[c as usize];
                     count += 1.0;
                 }
                 centroid / count
             });
             let centroids_ref = &centroids;
-            let incidence_ref = &incidence;
             let net_w_ref = &net_w;
             let fixed_ref = &fixed;
             let moved: Vec<Option<Point>> = m3d_par::par_map_indices(eff_threads, n, |i| {
@@ -177,7 +204,7 @@ fn place_loop(
                 }
                 let mut sum = Point::ORIGIN;
                 let mut weight = 0.0_f64;
-                for &ni in &incidence_ref[i] {
+                for &ni in nets_of(i) {
                     let ni = ni as usize;
                     sum += centroids_ref[ni] * net_w_ref[ni];
                     weight += net_w_ref[ni];

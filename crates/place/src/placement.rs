@@ -34,11 +34,17 @@ impl Placement {
     /// fidelity of a global flow).
     #[must_use]
     pub fn net_pins(&self, netlist: &Netlist, net: NetId) -> Vec<Point> {
-        netlist
-            .net(net)
-            .cells()
-            .map(|c| self.positions[c.index()])
-            .collect()
+        let mut buf = Vec::new();
+        self.net_pins_into(netlist, net, &mut buf);
+        buf
+    }
+
+    /// Gathers a net's pin locations into `buf` (cleared first) — the
+    /// allocation-free core of [`Placement::net_pins`] for callers that
+    /// sweep many nets with one scratch buffer.
+    pub fn net_pins_into(&self, netlist: &Netlist, net: NetId, buf: &mut Vec<Point>) {
+        buf.clear();
+        buf.extend(netlist.net(net).cells().map(|c| self.positions[c.index()]));
     }
 
     /// Half-perimeter wirelength of one net, µm.
@@ -47,29 +53,46 @@ impl Placement {
         steiner::hpwl(&self.net_pins(netlist, net))
     }
 
+    /// [`Placement::net_hpwl`] with a caller-provided pin scratch buffer.
+    #[must_use]
+    pub fn net_hpwl_with(&self, netlist: &Netlist, net: NetId, buf: &mut Vec<Point>) -> f64 {
+        self.net_pins_into(netlist, net, buf);
+        steiner::hpwl(buf)
+    }
+
     /// Steiner-estimate length of one net, µm.
     #[must_use]
     pub fn net_steiner(&self, netlist: &Netlist, net: NetId) -> f64 {
         steiner::steiner_estimate(&self.net_pins(netlist, net))
     }
 
+    /// [`Placement::net_steiner`] with a caller-provided pin scratch
+    /// buffer.
+    #[must_use]
+    pub fn net_steiner_with(&self, netlist: &Netlist, net: NetId, buf: &mut Vec<Point>) -> f64 {
+        self.net_pins_into(netlist, net, buf);
+        steiner::steiner_estimate(buf)
+    }
+
     /// Total HPWL over all signal nets, µm.
     #[must_use]
     pub fn hpwl(&self, netlist: &Netlist) -> f64 {
+        let mut buf = Vec::new();
         netlist
             .nets()
             .filter(|(_, n)| !n.is_clock)
-            .map(|(id, _)| self.net_hpwl(netlist, id))
+            .map(|(id, _)| self.net_hpwl_with(netlist, id, &mut buf))
             .sum()
     }
 
     /// Total Steiner wirelength over all signal nets, µm.
     #[must_use]
     pub fn steiner_wirelength(&self, netlist: &Netlist) -> f64 {
+        let mut buf = Vec::new();
         netlist
             .nets()
             .filter(|(_, n)| !n.is_clock)
-            .map(|(id, _)| self.net_steiner(netlist, id))
+            .map(|(id, _)| self.net_steiner_with(netlist, id, &mut buf))
             .sum()
     }
 

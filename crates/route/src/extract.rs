@@ -100,6 +100,10 @@ pub fn extract_parasitics_with_stats(
     let chunks = m3d_par::par_ranges(workers, n, |range| {
         let mut models = Vec::with_capacity(range.len());
         let mut stats = ExtractStats::default();
+        // One pin scratch buffer per chunk — the Steiner estimate reuses
+        // it across every net in the range instead of collecting a fresh
+        // `Vec<Point>` per net.
+        let mut pins = Vec::new();
         for k in range {
             let id = m3d_netlist::NetId::from_index(k);
             let net = netlist.net(id);
@@ -112,7 +116,7 @@ pub fn extract_parasitics_with_stats(
                     let rn = r.nets[id.index()];
                     (rn.length_um, rn.mivs)
                 }
-                None => (placement.net_steiner(netlist, id), 0),
+                None => (placement.net_steiner_with(netlist, id, &mut pins), 0),
             };
             let r_kohm = per_um.r_kohm * length + miv.r_kohm * mivs as f64;
             let c_ff = per_um.c_ff * length + miv.c_ff * mivs as f64;

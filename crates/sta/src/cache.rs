@@ -14,6 +14,7 @@
 //! slews and loads the engine produces are themselves quantized by the
 //! netlist's discrete drive/tier states, so exact keys still hit often.)
 
+use crate::fxhash::FxBuildHasher;
 use m3d_tech::{CellKind, Drive, MasterCell, Tier};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +42,10 @@ const SHARDS: usize = 16;
 /// inserting).
 const SHARD_CAP: usize = 1 << 16;
 
+/// One cache shard: an arc-keyed map from `(kind, drive, tier, slew,
+/// load)` bits to the memoized `(delay, output_slew)` pair.
+type Shard = Mutex<HashMap<ArcKey, (f64, f64), FxBuildHasher>>;
+
 /// Memoization table for NLDM arc evaluations.
 ///
 /// Thread-safe; both the sequential and the level-parallel engine paths
@@ -48,7 +53,11 @@ const SHARD_CAP: usize = 1 << 16;
 /// [`crate::TimerStats`] report.
 #[derive(Debug, Default)]
 pub struct DelayCache {
-    shards: [Mutex<HashMap<ArcKey, (f64, f64)>>; SHARDS],
+    /// Keyed by trusted in-process arc identities, so the maps use the
+    /// vendored [`FxBuildHasher`] instead of SipHash — arc lookup is on
+    /// the STA inner loop and the keyed hash's DoS resistance buys
+    /// nothing here (see [`crate::fxhash`]).
+    shards: [Shard; SHARDS],
     /// Hit/miss tallies per shard; [`DelayCache::hits`]/[`DelayCache::misses`]
     /// report the sums. Counts depend on scheduling (a racing duplicate
     /// insert books two misses), so telemetry treats them as

@@ -1,6 +1,6 @@
 use crate::cache::DelayCache;
 use crate::context::TimingContext;
-use m3d_netlist::{CellClass, CellId, NetId, Netlist};
+use m3d_netlist::{CellClass, CellId, NetId, Netlist, Topology, NO_NET};
 
 /// Result of one full timing analysis.
 ///
@@ -103,21 +103,27 @@ fn arc_eval(
 }
 
 /// Computes a gate's worst arrival, worst input pin and output slew from
-/// the (already final) arrivals/slews of its drivers. Pure with respect to
-/// the gate: two calls with the same inputs return identical values, which
-/// is what makes the level-parallel forward pass deterministic (and lets
-/// the incremental engine re-evaluate any dirty gate in isolation).
+/// the (already final) arrivals/slews of its drivers. The gate is named
+/// by its position `k` in the level order, so its fanin arcs are one
+/// contiguous slice of the [`Levels`] arc arrays — no per-cell pin-list
+/// walk or driver lookup. Pure with respect to the gate: two calls with
+/// the same inputs return identical values, which is what makes the
+/// level-parallel forward pass deterministic (and lets the incremental
+/// engine re-evaluate any dirty gate in isolation). Arcs are stored in
+/// ascending pin order, so the `>` tie-break selects exactly the pin the
+/// legacy input-slot scan selected.
 pub(crate) fn forward_gate(
     ctx: &TimingContext<'_>,
     net_load: &[f64],
     arrival: &[f64],
     slew: &[f64],
-    id: CellId,
+    levels: &Levels,
+    k: usize,
     cache: Option<&DelayCache>,
 ) -> (f64, u8, f64) {
-    let netlist = ctx.netlist;
+    let id = levels.cell_at(k);
     let i = id.index();
-    let cell = netlist.cell(id);
+    let cell = ctx.netlist.cell(id);
     let (kind, drive) = match &cell.class {
         CellClass::Gate { kind, drive } => (*kind, *drive),
         _ => unreachable!("combinational order yields gates"),
@@ -133,16 +139,11 @@ pub(crate) fn forward_gate(
     let mut best_at = 0.0_f64;
     let mut best_pin = u8::MAX;
     let mut best_slew = ctx.clock.input_slew_ns;
-    for (pin, slot) in cell.inputs.iter().enumerate() {
-        let Some(net) = slot else { continue };
-        if netlist.net(*net).is_clock {
-            continue;
-        }
-        let Some(drv) = netlist.net(*net).driver else {
-            continue;
-        };
-        let j = drv.cell.index();
-        let wire = ctx.parasitics.net(*net).wire_delay_ns;
+    let (pins, drivers, nets) = levels.arcs(k);
+    for a in 0..pins.len() {
+        let j = drivers[a] as usize;
+        let net = NetId::from_index(nets[a] as usize);
+        let wire = ctx.parasitics.net(net).wire_delay_ns;
         let at_in = arrival[j] + wire;
         let slew_in = slew[j];
         let (arc_delay, out_slew) = match master {
@@ -152,7 +153,7 @@ pub(crate) fn forward_gate(
         let at_out = at_in + arc_delay;
         if at_out > best_at || best_pin == u8::MAX {
             best_at = at_out;
-            best_pin = pin as u8;
+            best_pin = pins[a];
             best_slew = out_slew;
         }
     }
@@ -464,50 +465,179 @@ pub(crate) fn launch_required(
 /// concurrently — each gate reading only finalized lower-level values —
 /// producing exactly the sequential pass's arrays.
 ///
+/// Stored flat (CSR), not as a `Vec<Vec<CellId>>`: `order` holds every
+/// combinational gate in level-major topological order, `level_off`
+/// delimits the levels, and the fanin timing arcs of `order[k]` — its
+/// non-clock, driven input pins, in ascending pin order — occupy the
+/// contiguous slice `arc_off[k]..arc_off[k+1]` of the parallel
+/// `arc_pin`/`arc_driver`/`arc_net` arrays. Forward and backward
+/// propagation sweep these dense slices instead of chasing per-cell pin
+/// `Vec`s and per-net driver lookups.
+///
 /// Built once per netlist structure; the incremental [`crate::Timer`]
 /// reuses it across edits (levelization is pure integer work, so it only
 /// depends on connectivity, never on drives, tiers or parasitics).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub(crate) struct Levels {
-    /// Gates per level, in topological-order position within each level.
-    pub levels: Vec<Vec<CellId>>,
+    /// Every combinational gate, level-major, topological-order position
+    /// within each level (the exact order the legacy `Vec<Vec<CellId>>`
+    /// iteration produced).
+    order: Vec<CellId>,
+    /// `level l` is `order[level_off[l] .. level_off[l + 1]]`.
+    level_off: Vec<u32>,
+    /// Fanin arcs of `order[k]` are `arc_off[k] .. arc_off[k + 1]`.
+    arc_off: Vec<u32>,
+    /// Input pin index on the gate, per arc.
+    arc_pin: Vec<u8>,
+    /// Driver cell index, per arc.
+    arc_driver: Vec<u32>,
+    /// Net index, per arc.
+    arc_net: Vec<u32>,
 }
 
-/// Levelizes the combinational portion of `netlist`.
+impl Default for Levels {
+    fn default() -> Self {
+        Levels {
+            order: Vec::new(),
+            level_off: vec![0],
+            arc_off: vec![0],
+            arc_pin: Vec::new(),
+            arc_driver: Vec::new(),
+            arc_net: Vec::new(),
+        }
+    }
+}
+
+impl Levels {
+    /// Number of levels.
+    pub(crate) fn level_count(&self) -> usize {
+        self.level_off.len() - 1
+    }
+
+    /// Total number of combinational gates across all levels.
+    pub(crate) fn comb_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The order-index range of level `l`.
+    pub(crate) fn level_range(&self, l: usize) -> std::ops::Range<usize> {
+        self.level_off[l] as usize..self.level_off[l + 1] as usize
+    }
+
+    /// The gates of level `l`, in topological-order position.
+    pub(crate) fn level(&self, l: usize) -> &[CellId] {
+        &self.order[self.level_range(l)]
+    }
+
+    /// The gate at order position `k`.
+    pub(crate) fn cell_at(&self, k: usize) -> CellId {
+        self.order[k]
+    }
+
+    /// The fanin arc slices `(pins, drivers, nets)` of the gate at order
+    /// position `k`.
+    pub(crate) fn arcs(&self, k: usize) -> (&[u8], &[u32], &[u32]) {
+        let lo = self.arc_off[k] as usize;
+        let hi = self.arc_off[k + 1] as usize;
+        (
+            &self.arc_pin[lo..hi],
+            &self.arc_driver[lo..hi],
+            &self.arc_net[lo..hi],
+        )
+    }
+}
+
+/// Levelizes the combinational portion of `netlist` over its flat
+/// [`Topology`] view and packs the per-gate fanin arcs.
 ///
 /// # Panics
 ///
 /// Panics if the netlist has a combinational cycle (validated netlists
 /// never do).
 pub(crate) fn levelize(netlist: &Netlist) -> Levels {
-    let order = netlist
+    levelize_topo(&netlist.topology())
+}
+
+/// [`levelize`] over an already-built topology view.
+pub(crate) fn levelize_topo(topo: &Topology) -> Levels {
+    let order_topo = topo
         .combinational_order()
         .expect("netlist validated before timing");
-    let mut comb_level = vec![usize::MAX; netlist.cell_count()];
-    let mut levels: Vec<Vec<CellId>> = Vec::new();
-    for &id in &order {
-        let i = id.index();
-        let mut level = 0usize;
-        for slot in &netlist.cell(id).inputs {
-            let Some(net) = slot else { continue };
-            if netlist.net(*net).is_clock {
+    let n = topo.cell_count();
+    let mut comb_level = vec![u32::MAX; n];
+    let mut level_counts: Vec<u32> = Vec::new();
+    for &id in &order_topo {
+        let mut level = 0u32;
+        for &raw in topo.cell_inputs(id) {
+            if raw == NO_NET {
                 continue;
             }
-            let Some(drv) = netlist.net(*net).driver else {
+            let net = NetId::from_index(raw as usize);
+            if topo.is_clock(net) {
+                continue;
+            }
+            let Some(drv) = topo.driver(net) else {
                 continue;
             };
             let j = drv.cell.index();
-            if comb_level[j] != usize::MAX {
+            if comb_level[j] != u32::MAX {
                 level = level.max(comb_level[j] + 1);
             }
         }
-        comb_level[i] = level;
-        if levels.len() <= level {
-            levels.resize_with(level + 1, Vec::new);
+        comb_level[id.index()] = level;
+        if level_counts.len() <= level as usize {
+            level_counts.resize(level as usize + 1, 0);
         }
-        levels[level].push(id);
+        level_counts[level as usize] += 1;
     }
-    Levels { levels }
+    // Counting sort by level, stable over the topological order — the
+    // same per-level sequence the legacy `levels[level].push(id)` built.
+    let mut level_off = Vec::with_capacity(level_counts.len() + 1);
+    level_off.push(0u32);
+    for &c in &level_counts {
+        level_off.push(level_off.last().unwrap() + c);
+    }
+    let mut next: Vec<u32> = level_off[..level_counts.len()].to_vec();
+    let mut order = vec![CellId::from_index(0); order_topo.len()];
+    for &id in &order_topo {
+        let l = comb_level[id.index()] as usize;
+        order[next[l] as usize] = id;
+        next[l] += 1;
+    }
+    // Fanin arcs, aligned with `order`: the non-clock, driven input pins
+    // of each gate in ascending pin order (exactly the pins the forward
+    // kernel evaluates).
+    let mut arc_off = Vec::with_capacity(order.len() + 1);
+    let mut arc_pin = Vec::new();
+    let mut arc_driver = Vec::new();
+    let mut arc_net = Vec::new();
+    arc_off.push(0u32);
+    for &id in &order {
+        for (pin, &raw) in topo.cell_inputs(id).iter().enumerate() {
+            if raw == NO_NET {
+                continue;
+            }
+            let net = NetId::from_index(raw as usize);
+            if topo.is_clock(net) {
+                continue;
+            }
+            let Some(drv) = topo.driver(net) else {
+                continue;
+            };
+            arc_pin.push(pin as u8);
+            arc_driver.push(drv.cell.index() as u32);
+            arc_net.push(raw);
+        }
+        arc_off.push(arc_pin.len() as u32);
+    }
+    Levels {
+        order,
+        level_off,
+        arc_off,
+        arc_pin,
+        arc_driver,
+        arc_net,
+    }
 }
 
 /// Everything one full propagation produces: the public [`StaResult`]
@@ -576,10 +706,13 @@ pub(crate) fn analyze_full(
     }
 
     // ---- forward pass over combinational gates -------------------------
-    for level in &levels.levels {
+    for l in 0..levels.level_count() {
+        let range = levels.level_range(l);
+        let base = range.start;
+        let level = levels.level(l);
         if parallel && level.len() >= 2 {
-            let results = m3d_par::par_map(threads, level, |_, &id| {
-                forward_gate(ctx, &net_load, &arrival, &slew, id, cache)
+            let results = m3d_par::par_map(threads, level, |li, _| {
+                forward_gate(ctx, &net_load, &arrival, &slew, levels, base + li, cache)
             });
             for (&id, (at, pin, out_slew)) in level.iter().zip(results) {
                 let i = id.index();
@@ -588,8 +721,9 @@ pub(crate) fn analyze_full(
                 worst_input[i] = pin;
             }
         } else {
-            for &id in level {
-                let (at, pin, out_slew) = forward_gate(ctx, &net_load, &arrival, &slew, id, cache);
+            for (li, &id) in level.iter().enumerate() {
+                let (at, pin, out_slew) =
+                    forward_gate(ctx, &net_load, &arrival, &slew, levels, base + li, cache);
                 let i = id.index();
                 arrival[i] = at;
                 slew[i] = out_slew;
@@ -651,7 +785,8 @@ pub(crate) fn analyze_full(
     // so walking the forward levels in reverse gives the same dependency
     // guarantee as reverse topological order — and within a level the
     // computations are independent and run concurrently.
-    for level in levels.levels.iter().rev() {
+    for l in (0..levels.level_count()).rev() {
+        let level = levels.level(l);
         if parallel && level.len() >= 2 {
             let required_ref = &required;
             let results = m3d_par::par_map(threads, level, |_, &id| {
@@ -999,6 +1134,65 @@ mod tests {
                 assert_eq!(w.arrival[i].to_bits(), cold.arrival[i].to_bits());
                 assert_eq!(w.slew[i].to_bits(), cold.slew[i].to_bits());
                 assert_eq!(w.required[i].to_bits(), cold.required[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn levelization_round_trips_against_the_netlist() {
+        // The CSR `Levels` must hold every combinational gate exactly
+        // once, strictly above all of its combinational fanins, and each
+        // gate's packed arc slice must equal a direct scan of that gate's
+        // input pins (non-clock, driven, ascending pin order).
+        let n = m3d_netgen::Benchmark::Cpu.generate(0.03, 11);
+        let levels = levelize(&n);
+
+        let comb: Vec<CellId> = n
+            .cells()
+            .filter(|(_, c)| c.class.is_gate() && !c.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(levels.comb_count(), comb.len());
+
+        let mut level_of = vec![usize::MAX; n.cell_count()];
+        for l in 0..levels.level_count() {
+            assert!(!levels.level(l).is_empty(), "levels are dense");
+            for &id in levels.level(l) {
+                assert_eq!(level_of[id.index()], usize::MAX, "gate listed twice");
+                level_of[id.index()] = l;
+            }
+        }
+        for id in &comb {
+            assert_ne!(level_of[id.index()], usize::MAX, "gate missing from levels");
+        }
+
+        for k in 0..levels.comb_count() {
+            let id = levels.cell_at(k);
+            let cell = n.cell(id);
+            let (pins, drivers, nets) = levels.arcs(k);
+            let mut want = Vec::new();
+            for (pin, slot) in cell.inputs.iter().enumerate() {
+                let Some(net) = *slot else { continue };
+                if n.net(net).is_clock {
+                    continue;
+                }
+                let Some(drv) = n.net(net).driver else {
+                    continue;
+                };
+                want.push((pin as u8, drv.cell.index() as u32, net.index() as u32));
+            }
+            let got: Vec<(u8, u32, u32)> = pins
+                .iter()
+                .zip(drivers)
+                .zip(nets)
+                .map(|((&p, &d), &nn)| (p, d, nn))
+                .collect();
+            assert_eq!(got, want, "arc slice of {}", cell.name);
+            for &d in drivers {
+                let dl = level_of[d as usize];
+                if dl != usize::MAX {
+                    assert!(dl < level_of[id.index()], "fanin must sit strictly below");
+                }
             }
         }
     }

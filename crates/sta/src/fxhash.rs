@@ -1,0 +1,116 @@
+//! Vendored FxHash-style hasher for the delay cache shards.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, a keyed hash
+//! built to resist collision attacks from untrusted keys. [`crate::DelayCache`]
+//! keys are internal `(tier, kind, drive, slew_bits, load_bits)` tuples —
+//! never attacker-controlled — so the DoS resistance buys nothing and the
+//! per-lookup cost shows up directly in the STA inner loop (every arc
+//! evaluation hashes a key, hit or miss).
+//!
+//! [`FxHasher`] is the classic Firefox/rustc multiply-rotate hash: fold
+//! each word into the state with a rotate, xor and a multiplication by a
+//! single odd constant. It is not keyed and makes no collision-resistance
+//! promises; it is only used for in-process tables with trusted keys.
+//! Hash values never escape the process and never enter any deterministic
+//! manifest, so swapping the hasher cannot move an observable bit.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier from the FxHash family (64-bit golden-ratio-derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; see the module docs for the trust model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_and_unequal_keys_spread() {
+        assert_eq!(hash_of(&(1u64, 2u64)), hash_of(&(1u64, 2u64)));
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1000u64 {
+            seen.insert(hash_of(&i));
+        }
+        assert_eq!(seen.len(), 1000, "no collisions on small dense keys");
+    }
+
+    #[test]
+    fn byte_strings_with_shared_prefix_differ() {
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+        assert_ne!(hash_of(&b"".as_slice()), hash_of(&b"\0".as_slice()));
+    }
+}

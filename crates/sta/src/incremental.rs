@@ -434,7 +434,7 @@ impl Timer {
             .filter(|(_, r)| r.is_endpoint())
             .map(|(i, _)| i as u32)
             .collect();
-        let comb: u64 = levels.levels.iter().map(|l| l.len() as u64).sum();
+        let comb: u64 = levels.comb_count() as u64;
         let launches = roles.iter().filter(|r| r.is_launch()).count() as u64;
         let endpoints = endpoint_cells.len() as u64;
         let full_pass = launches + comb + endpoints + comb + launches;
@@ -686,11 +686,13 @@ impl Timer {
         }
 
         // ---- phase C: forward, by ascending level -----------------------
-        for li in 0..s.levels.levels.len() {
-            let dirty: Vec<CellId> = s.levels.levels[li]
-                .iter()
-                .copied()
-                .filter(|id| s.dirty_fwd[id.index()])
+        // Dirty gates are collected as *order positions* so each one reads
+        // its fanin arcs straight out of the CSR arc arrays.
+        for li in 0..s.levels.level_count() {
+            let dirty: Vec<usize> = s
+                .levels
+                .level_range(li)
+                .filter(|&k| s.dirty_fwd[s.levels.cell_at(k).index()])
                 .collect();
             if dirty.is_empty() {
                 continue;
@@ -700,19 +702,21 @@ impl Timer {
                 let arrival = &s.result.arrival;
                 let slew = &s.result.slew;
                 let net_load = &s.net_load;
+                let levels = &s.levels;
                 let cache = Some(&self.cache);
                 if parallel && dirty.len() >= INCR_PAR_MIN {
-                    m3d_par::par_map(threads, &dirty, |_, &id| {
-                        forward_gate(ctx, net_load, arrival, slew, id, cache)
+                    m3d_par::par_map(threads, &dirty, |_, &k| {
+                        forward_gate(ctx, net_load, arrival, slew, levels, k, cache)
                     })
                 } else {
                     dirty
                         .iter()
-                        .map(|&id| forward_gate(ctx, net_load, arrival, slew, id, cache))
+                        .map(|&k| forward_gate(ctx, net_load, arrival, slew, levels, k, cache))
                         .collect()
                 }
             };
-            for (&id, (at, pin, out_slew)) in dirty.iter().zip(results) {
+            for (&k, (at, pin, out_slew)) in dirty.iter().zip(results) {
+                let id = s.levels.cell_at(k);
                 let i = id.index();
                 s.result.worst_input[i] = pin;
                 let at_changed = at.to_bits() != s.result.arrival[i].to_bits();
@@ -770,8 +774,10 @@ impl Timer {
         }
 
         // ---- phase E: backward, by descending level ---------------------
-        for li in (0..s.levels.levels.len()).rev() {
-            let dirty: Vec<CellId> = s.levels.levels[li]
+        for li in (0..s.levels.level_count()).rev() {
+            let dirty: Vec<CellId> = s
+                .levels
+                .level(li)
                 .iter()
                 .copied()
                 .filter(|id| s.dirty_bwd[id.index()])

@@ -47,6 +47,7 @@
 mod cache;
 mod context;
 mod engine;
+pub mod fxhash;
 mod incremental;
 mod paths;
 

@@ -232,12 +232,34 @@ const SERVE_EXACT: &[&str] = &[
     "pseudo3d_runs",
     "warm_store_hits",
     "warm_pseudo3d_runs",
+    "conn_idle_connections",
+    "conn_samples",
 ];
 
 /// Absolute floor on the serve bench's checkpoint-cache hit rate: the
 /// workload repeats queries, and a service that stops reusing sessions
 /// (every request a miss) is a regression even if still correct.
 const SERVE_HIT_RATE_FLOOR: f64 = 0.5;
+
+/// Ceiling on the connection-scaling ratio: active-path p99 with a
+/// thousand idle connections parked on the reactor, over the idle-free
+/// p99. A reactor that walks or wakes per connection blows through
+/// this; a readiness poller leaves the active path untouched.
+const CONN_P99_RATIO_CEILING: f64 = 1.5;
+
+/// Noise escape hatch for the ratio check: when the probe is fast, a
+/// few milliseconds of scheduler jitter can swing a p99 ratio on a
+/// shared CI runner, so an absolute regression this small passes even
+/// above the ceiling. Real reactor regressions (a wakeup or walk per
+/// idle connection) cost tens of milliseconds at a thousand parked
+/// connections and still trip the check.
+const CONN_P99_ABS_SLACK_MS: f64 = 5.0;
+
+/// Floor on owned-vs-borrowed request-decode churn: the borrowed path
+/// allocates only the parse tree (no per-field `String`s), so it must
+/// stay well below the owned tree's churn. Measured ~1.4x; a drop to
+/// ~1.0x means the zero-copy path regressed into per-field allocation.
+const DECODE_CHURN_RATIO_FLOOR: f64 = 1.2;
 
 fn gate_serve(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     gate.check(
@@ -303,6 +325,70 @@ fn gate_serve(gate: &mut Gate, fresh: &Value, baseline: &Value) {
         warm_pseudo == Some(0),
         &format!("BENCH_serve.warm_pseudo3d_runs: {warm_pseudo:?} == Some(0) after restart"),
     );
+    // Zero-copy decode economics: the borrowed request-decode path must
+    // churn strictly — and substantially — less than the owned tree.
+    let owned = fresh
+        .get("decode_churn_owned_bytes")
+        .and_then(Value::as_u64);
+    let borrowed = fresh
+        .get("decode_churn_borrowed_bytes")
+        .and_then(Value::as_u64);
+    gate.check(
+        owned.zip(borrowed).is_some_and(|(o, b)| b < o),
+        &format!(
+            "BENCH_serve: borrowed decode churn {borrowed:?} B < owned {owned:?} B per request"
+        ),
+    );
+    let churn_ratio = fresh
+        .get("decode_churn_ratio")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NEG_INFINITY);
+    gate.check(
+        churn_ratio >= DECODE_CHURN_RATIO_FLOOR,
+        &format!(
+            "BENCH_serve.decode_churn_ratio: {churn_ratio} >= floor {DECODE_CHURN_RATIO_FLOOR}"
+        ),
+    );
+    // Connection scaling over the event-driven TCP front: served
+    // responses byte-identical across worker counts and to the
+    // in-process engine, and a thousand parked idle connections may not
+    // move the active path's p99.
+    gate.check(
+        fresh
+            .get("conn_identical_across_workers")
+            .and_then(Value::as_bool)
+            == Some(true),
+        "BENCH_serve: TCP-served responses were byte-identical at 1 and 4 workers",
+    );
+    gate.check(
+        fresh
+            .get("conn_identical_to_engine")
+            .and_then(Value::as_bool)
+            == Some(true),
+        "BENCH_serve: TCP-served responses were byte-identical to the in-process engine",
+    );
+    for lane in ["1w", "4w"] {
+        let ratio = fresh
+            .get(&format!("conn_p99_ratio_{lane}"))
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::INFINITY);
+        let free = fresh
+            .get(&format!("conn_p99_idle_free_ms_{lane}"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let with = fresh
+            .get(&format!("conn_p99_with_idle_ms_{lane}"))
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::INFINITY);
+        gate.check(
+            ratio <= CONN_P99_RATIO_CEILING || with - free <= CONN_P99_ABS_SLACK_MS,
+            &format!(
+                "BENCH_serve.conn_p99_ratio_{lane}: {ratio} <= ceiling {CONN_P99_RATIO_CEILING} \
+                 (p99 {free} -> {with} ms under {:?} idle connections)",
+                fresh.get("conn_idle_connections").and_then(Value::as_u64)
+            ),
+        );
+    }
 }
 
 /// Per-rung fields of the scale ladder that must match the baseline bit

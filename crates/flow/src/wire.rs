@@ -13,7 +13,8 @@
 use crate::compare::Comparison;
 use crate::config::{Config, FlowOptions};
 use crate::ppac::{DeltaRow, Ppac};
-use m3d_json::{Cur, DecodeError, FromJson, Obj, ToJson, Value};
+use m3d_json::borrow;
+use m3d_json::{Cur, DecodeError, FromJson, FromJsonBorrowed, Obj, ToJson, Value};
 use m3d_netgen::Benchmark;
 use m3d_netlist::Netlist;
 use m3d_tech::Drive;
@@ -21,6 +22,10 @@ use m3d_tech::Drive;
 // ---------------------------------------------------------------------
 // leaf enums
 // ---------------------------------------------------------------------
+//
+// Each enum has one name table shared by three surfaces: the writer,
+// the owned decoder, and the borrowed (zero-copy) decoder the service
+// uses on request lines.
 
 fn config_wire_name(c: Config) -> &'static str {
     match c {
@@ -32,18 +37,25 @@ fn config_wire_name(c: Config) -> &'static str {
     }
 }
 
-fn config_from_wire(cur: &Cur<'_>) -> Result<Config, DecodeError> {
-    match cur.str()? {
-        "2d9t" => Ok(Config::TwoD9T),
-        "2d12t" => Ok(Config::TwoD12T),
-        "3d9t" => Ok(Config::ThreeD9T),
-        "3d12t" => Ok(Config::ThreeD12T),
-        "hetero3d" => Ok(Config::Hetero3d),
-        _ => Err(DecodeError::new(
-            cur.path(),
-            "a configuration (2d9t|2d12t|3d9t|3d12t|hetero3d)",
-        )),
+fn config_from_name(name: &str) -> Option<Config> {
+    match name {
+        "2d9t" => Some(Config::TwoD9T),
+        "2d12t" => Some(Config::TwoD12T),
+        "3d9t" => Some(Config::ThreeD9T),
+        "3d12t" => Some(Config::ThreeD12T),
+        "hetero3d" => Some(Config::Hetero3d),
+        _ => None,
     }
+}
+
+const CONFIG_EXPECTED: &str = "a configuration (2d9t|2d12t|3d9t|3d12t|hetero3d)";
+
+fn config_from_wire(cur: &Cur<'_>) -> Result<Config, DecodeError> {
+    config_from_name(cur.str()?).ok_or_else(|| DecodeError::new(cur.path(), CONFIG_EXPECTED))
+}
+
+fn config_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Config, DecodeError> {
+    config_from_name(cur.str()?).ok_or_else(|| cur.err(CONFIG_EXPECTED))
 }
 
 impl ToJson for Config {
@@ -68,15 +80,25 @@ fn drive_wire_name(d: Drive) -> &'static str {
     }
 }
 
-fn drive_from_wire(cur: &Cur<'_>) -> Result<Drive, DecodeError> {
-    match cur.str()? {
-        "x1" => Ok(Drive::X1),
-        "x2" => Ok(Drive::X2),
-        "x4" => Ok(Drive::X4),
-        "x8" => Ok(Drive::X8),
-        "x16" => Ok(Drive::X16),
-        _ => Err(DecodeError::new(cur.path(), "a drive (x1|x2|x4|x8|x16)")),
+fn drive_from_name(name: &str) -> Option<Drive> {
+    match name {
+        "x1" => Some(Drive::X1),
+        "x2" => Some(Drive::X2),
+        "x4" => Some(Drive::X4),
+        "x8" => Some(Drive::X8),
+        "x16" => Some(Drive::X16),
+        _ => None,
     }
+}
+
+const DRIVE_EXPECTED: &str = "a drive (x1|x2|x4|x8|x16)";
+
+fn drive_from_wire(cur: &Cur<'_>) -> Result<Drive, DecodeError> {
+    drive_from_name(cur.str()?).ok_or_else(|| DecodeError::new(cur.path(), DRIVE_EXPECTED))
+}
+
+fn drive_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Drive, DecodeError> {
+    drive_from_name(cur.str()?).ok_or_else(|| cur.err(DRIVE_EXPECTED))
 }
 
 fn benchmark_wire_name(b: Benchmark) -> &'static str {
@@ -88,17 +110,24 @@ fn benchmark_wire_name(b: Benchmark) -> &'static str {
     }
 }
 
-fn benchmark_from_wire(cur: &Cur<'_>) -> Result<Benchmark, DecodeError> {
-    match cur.str()? {
-        "aes" => Ok(Benchmark::Aes),
-        "ldpc" => Ok(Benchmark::Ldpc),
-        "netcard" => Ok(Benchmark::Netcard),
-        "cpu" => Ok(Benchmark::Cpu),
-        _ => Err(DecodeError::new(
-            cur.path(),
-            "a benchmark (aes|ldpc|netcard|cpu)",
-        )),
+fn benchmark_from_name(name: &str) -> Option<Benchmark> {
+    match name {
+        "aes" => Some(Benchmark::Aes),
+        "ldpc" => Some(Benchmark::Ldpc),
+        "netcard" => Some(Benchmark::Netcard),
+        "cpu" => Some(Benchmark::Cpu),
+        _ => None,
     }
+}
+
+const BENCHMARK_EXPECTED: &str = "a benchmark (aes|ldpc|netcard|cpu)";
+
+fn benchmark_from_wire(cur: &Cur<'_>) -> Result<Benchmark, DecodeError> {
+    benchmark_from_name(cur.str()?).ok_or_else(|| DecodeError::new(cur.path(), BENCHMARK_EXPECTED))
+}
+
+fn benchmark_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Benchmark, DecodeError> {
+    benchmark_from_name(cur.str()?).ok_or_else(|| cur.err(BENCHMARK_EXPECTED))
 }
 
 // ---------------------------------------------------------------------
@@ -172,6 +201,16 @@ impl FromJson for NetlistSpec {
     }
 }
 
+impl FromJsonBorrowed for NetlistSpec {
+    fn from_json_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Self, DecodeError> {
+        Ok(NetlistSpec {
+            benchmark: benchmark_from_borrowed(&cur.get("benchmark")?)?,
+            scale: cur.get("scale")?.f64()?,
+            seed: cur.get("seed")?.u64()?,
+        })
+    }
+}
+
 /// What a request asks the flow to do — the service-side mirror of the
 /// three library entry points.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,6 +275,24 @@ impl FromJson for FlowCommand {
     }
 }
 
+impl FromJsonBorrowed for FlowCommand {
+    fn from_json_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Self, DecodeError> {
+        let op = cur.get("op")?;
+        match op.str()? {
+            "run_flow" => Ok(FlowCommand::RunFlow {
+                config: config_from_borrowed(&cur.get("config")?)?,
+                frequency_ghz: cur.get("frequency_ghz")?.f64()?,
+            }),
+            "find_fmax" => Ok(FlowCommand::FindFmax {
+                config: config_from_borrowed(&cur.get("config")?)?,
+                start_ghz: cur.get("start_ghz")?.f64()?,
+            }),
+            "compare_configs" => Ok(FlowCommand::CompareConfigs),
+            _ => Err(op.err("an op (run_flow|find_fmax|compare_configs)")),
+        }
+    }
+}
+
 /// One unit of service work: which netlist, which knobs, which command.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowRequest {
@@ -291,6 +348,23 @@ impl FromJson for FlowRequest {
             netlist: NetlistSpec::from_json(cur.get("netlist")?)?,
             options: FlowOptions::from_json(cur.get("options")?)?,
             command: FlowCommand::from_json(cur.get("command")?)?,
+            deadline_ms: cur.opt("deadline_ms").map(|d| d.u64()).transpose()?,
+        };
+        request.validate()?;
+        Ok(request)
+    }
+}
+
+/// The service's hot decode path: same shape, same validation, same
+/// errors as the owned impl, but every string comparison reads straight
+/// from the request buffer — no per-field allocation on success.
+impl FromJsonBorrowed for FlowRequest {
+    fn from_json_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Self, DecodeError> {
+        let request = FlowRequest {
+            id: cur.get("id")?.u64()?,
+            netlist: NetlistSpec::from_json_borrowed(&cur.get("netlist")?)?,
+            options: FlowOptions::from_json_borrowed(&cur.get("options")?)?,
+            command: FlowCommand::from_json_borrowed(&cur.get("command")?)?,
             deadline_ms: cur.opt("deadline_ms").map(|d| d.u64()).transpose()?,
         };
         request.validate()?;
@@ -471,6 +545,46 @@ impl FromJson for FlowOptions {
             max_fanout: cts.get("max_fanout")?.usize()?,
             fast_drive: drive_from_wire(&cts.get("fast_drive")?)?,
             slow_drive: drive_from_wire(&cts.get("slow_drive")?)?,
+        };
+        Ok(out)
+    }
+}
+
+impl FromJsonBorrowed for FlowOptions {
+    fn from_json_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Self, DecodeError> {
+        let mut out = FlowOptions {
+            utilization: cur.get("utilization")?.f64()?,
+            seed: cur.get("seed")?.u64()?,
+            timing_partition_cap: cur.get("timing_partition_cap")?.f64()?,
+            enable_timing_partition: cur.get("enable_timing_partition")?.bool()?,
+            enable_3d_cts: cur.get("enable_3d_cts")?.bool()?,
+            enable_repartition: cur.get("enable_repartition")?.bool()?,
+            input_activity: cur.get("input_activity")?.f64()?,
+            max_fanout: cur.get("max_fanout")?.usize()?,
+            partition_bins: cur.get("partition_bins")?.usize()?,
+            wns_tolerance: cur.get("wns_tolerance")?.f64()?,
+            threads: cur.get("threads")?.usize()?,
+            ..FlowOptions::default()
+        };
+        let placer = cur.get("placer")?;
+        *out.placer_mut() = m3d_place::PlacerConfig {
+            iterations: placer.get("iterations")?.usize()?,
+            relax_sweeps: placer.get("relax_sweeps")?.usize()?,
+            bins: placer.get("bins")?.usize()?,
+            target_fill: placer.get("target_fill")?.f64()?,
+            seed: placer.get("seed")?.u64()?,
+        };
+        let route = cur.get("route")?;
+        *out.route_mut() = m3d_route::RouteConfig {
+            bins: route.get("bins")?.usize()?,
+            congestion_exponent: route.get("congestion_exponent")?.f64()?,
+            overflow_threshold: route.get("overflow_threshold")?.f64()?,
+        };
+        let cts = cur.get("cts")?;
+        *out.cts_mut() = m3d_cts::CtsConfig {
+            max_fanout: cts.get("max_fanout")?.usize()?,
+            fast_drive: drive_from_borrowed(&cts.get("fast_drive")?)?,
+            slow_drive: drive_from_borrowed(&cts.get("slow_drive")?)?,
         };
         Ok(out)
     }
@@ -895,5 +1009,77 @@ mod tests {
         let doc = parse(r#"{"op": "run_flow", "config": "4d", "frequency_ghz": 1.0}"#).unwrap();
         let err = FlowCommand::from_json(Cur::root(&doc)).unwrap_err();
         assert_eq!(err.path, "config");
+    }
+
+    #[test]
+    fn borrowed_request_decode_matches_owned() {
+        let mut options = FlowOptions::pin3d_baseline();
+        options.seed = 123;
+        options.cts_mut().fast_drive = Drive::X8;
+        let requests = [
+            FlowRequest {
+                id: 7,
+                netlist: NetlistSpec {
+                    benchmark: Benchmark::Ldpc,
+                    scale: 0.013,
+                    seed: 11,
+                },
+                options,
+                command: FlowCommand::FindFmax {
+                    config: Config::Hetero3d,
+                    start_ghz: 1.1,
+                },
+                deadline_ms: Some(30_000),
+            },
+            FlowRequest {
+                id: u64::MAX >> 12,
+                netlist: NetlistSpec {
+                    benchmark: Benchmark::Cpu,
+                    scale: 1.0,
+                    seed: 0,
+                },
+                options: FlowOptions::default(),
+                command: FlowCommand::CompareConfigs,
+                deadline_ms: None,
+            },
+        ];
+        for req in &requests {
+            let text = req.to_json().render();
+            let owned: FlowRequest = m3d_json::decode(&text).expect("owned decode");
+            let borrowed: FlowRequest = m3d_json::decode_borrowed(&text).expect("borrowed decode");
+            assert_eq!(&owned, req);
+            assert_eq!(borrowed, owned);
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_reports_the_same_error_paths() {
+        let base = FlowRequest {
+            id: 1,
+            netlist: NetlistSpec {
+                benchmark: Benchmark::Aes,
+                scale: 0.02,
+                seed: 5,
+            },
+            options: FlowOptions::default(),
+            command: FlowCommand::RunFlow {
+                config: Config::TwoD9T,
+                frequency_ghz: 1.0,
+            },
+            deadline_ms: None,
+        };
+        let good = base.to_json().render();
+        for broken in [
+            good.replace("\"2d9t\"", "\"4d\""),
+            good.replace("\"aes\"", "\"des\""),
+            good.replace("\"x4\"", "\"x3\""),
+            good.replace("\"scale\":0.02", "\"scale\":1e9"),
+            good.replace("\"iterations\":18", "\"iterations\":\"twelve\""),
+        ] {
+            assert_ne!(broken, good, "replacement must have matched");
+            let owned_err = m3d_json::decode::<FlowRequest>(&broken).unwrap_err();
+            let borrowed_err = m3d_json::decode_borrowed::<FlowRequest>(&broken).unwrap_err();
+            assert_eq!(borrowed_err, owned_err, "input: {broken}");
+        }
     }
 }

@@ -17,6 +17,19 @@
 //! Decoding structured types goes through [`Cur`], a cursor that carries
 //! its path from the document root, so shape errors ([`DecodeError`])
 //! name the offending member (`options/placer/iterations: expected u64`).
+//!
+//! There is one parser but two surfaces. [`parse_borrowed`] returns a
+//! [`borrow::Value`] whose strings point into the input buffer —
+//! escape-free strings (everything this workspace's writer emits) cost
+//! zero per-field allocations, and the matching [`borrow::Cur`] builds
+//! its error path only when a decode fails. [`parse`] is the owned
+//! surface the rest of the workspace speaks: it runs the same parser
+//! and detaches the tree with [`borrow::Value::into_owned`]. The flow
+//! service decodes request lines on the borrowed surface.
+
+pub mod borrow;
+
+pub use borrow::{decode_borrowed, FromJsonBorrowed};
 
 use std::fmt;
 
@@ -61,11 +74,8 @@ impl Value {
     /// than returned off by one.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
-        /// 2^53: the first integer a double cannot distinguish from its
-        /// successor.
-        const MAX_EXACT: f64 = 9_007_199_254_740_992.0;
         match self {
-            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v < MAX_EXACT => Some(*v as u64),
+            Value::Num(v) => num_to_u64(*v),
             _ => None,
         }
     }
@@ -186,6 +196,18 @@ impl From<String> for Value {
 impl From<Vec<Value>> for Value {
     fn from(v: Vec<Value>) -> Value {
         Value::Arr(v)
+    }
+}
+
+/// The shared u64 view of a JSON number: non-negative, integral, below
+/// 2^53 — the first integer a double cannot distinguish from its
+/// successor.
+pub(crate) fn num_to_u64(v: f64) -> Option<u64> {
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0;
+    if v >= 0.0 && v.fract() == 0.0 && v < MAX_EXACT {
+        Some(v as u64)
+    } else {
+        None
     }
 }
 
@@ -475,13 +497,26 @@ pub fn decode<T: FromJson>(text: &str) -> Result<T, JsonError> {
 // parsing
 // ---------------------------------------------------------------------
 
-/// Parses one JSON document. Errors carry a byte offset.
+/// Parses one JSON document into the owned [`Value`]. Errors carry a
+/// byte offset.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first offending byte for malformed input
 /// (including trailing garbage after the document).
 pub fn parse(src: &str) -> Result<Value, String> {
+    parse_borrowed(src).map(borrow::Value::into_owned)
+}
+
+/// Parses one JSON document into a [`borrow::Value`] whose strings
+/// borrow from `src` (escape-free strings allocate nothing). Same
+/// strictness and error messages as [`parse`] — it *is* the same parser.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending byte for malformed input
+/// (including trailing garbage after the document).
+pub fn parse_borrowed(src: &str) -> Result<borrow::Value<'_>, String> {
     let mut p = Parser {
         bytes: src.as_bytes(),
         pos: 0,
@@ -499,7 +534,7 @@ struct Parser<'a> {
     pos: usize,
 }
 
-impl Parser<'_> {
+impl<'a> Parser<'a> {
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             if b.is_ascii_whitespace() {
@@ -527,7 +562,7 @@ impl Parser<'_> {
         }
     }
 
-    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+    fn literal(&mut self, word: &str, v: borrow::Value<'a>) -> Result<borrow::Value<'a>, String> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
@@ -536,24 +571,24 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    fn value(&mut self) -> Result<borrow::Value<'a>, String> {
         match self.peek()? {
             b'{' => self.object(),
             b'[' => self.array(),
-            b'"' => Ok(Value::Str(self.string()?)),
-            b't' => self.literal("true", Value::Bool(true)),
-            b'f' => self.literal("false", Value::Bool(false)),
-            b'n' => self.literal("null", Value::Null),
+            b'"' => Ok(borrow::Value::Str(self.string()?)),
+            b't' => self.literal("true", borrow::Value::Bool(true)),
+            b'f' => self.literal("false", borrow::Value::Bool(false)),
+            b'n' => self.literal("null", borrow::Value::Null),
             _ => self.number(),
         }
     }
 
-    fn object(&mut self) -> Result<Value, String> {
+    fn object(&mut self) -> Result<borrow::Value<'a>, String> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
-            return Ok(Value::Obj(members));
+            return Ok(borrow::Value::Obj(members));
         }
         loop {
             self.skip_ws();
@@ -564,19 +599,19 @@ impl Parser<'_> {
                 b',' => self.pos += 1,
                 b'}' => {
                     self.pos += 1;
-                    return Ok(Value::Obj(members));
+                    return Ok(borrow::Value::Obj(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
             }
         }
     }
 
-    fn array(&mut self) -> Result<Value, String> {
+    fn array(&mut self) -> Result<borrow::Value<'a>, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
-            return Ok(Value::Arr(items));
+            return Ok(borrow::Value::Arr(items));
         }
         loop {
             items.push(self.value()?);
@@ -584,16 +619,44 @@ impl Parser<'_> {
                 b',' => self.pos += 1,
                 b']' => {
                     self.pos += 1;
-                    return Ok(Value::Arr(items));
+                    return Ok(borrow::Value::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    /// Reads one string. Escape-free strings — every string the
+    /// workspace's own writer produces — come back as a borrowed slice
+    /// of the input; the first escape falls into the owned builder.
+    fn string(&mut self) -> Result<std::borrow::Cow<'a, str>, String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    self.pos += 1;
+                    return Ok(std::borrow::Cow::Borrowed(s));
+                }
+                b'\\' => {
+                    let prefix = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    return self
+                        .string_tail(prefix.to_string())
+                        .map(std::borrow::Cow::Owned);
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    /// The owned slow path: continues a string that contains escapes,
+    /// starting at the first backslash, with the escape-free prefix
+    /// already in `out`.
+    fn string_tail(&mut self, mut out: String) -> Result<String, String> {
         loop {
             match self
                 .bytes
@@ -682,7 +745,7 @@ impl Parser<'_> {
         u32::from_str_radix(text, 16).map_err(|e| e.to_string())
     }
 
-    fn number(&mut self) -> Result<Value, String> {
+    fn number(&mut self) -> Result<borrow::Value<'a>, String> {
         let start = self.pos;
         while let Some(b) = self.bytes.get(self.pos) {
             if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
@@ -701,7 +764,7 @@ impl Parser<'_> {
         if !v.is_finite() {
             return Err(format!("number out of range at byte {start}"));
         }
-        Ok(Value::Num(v))
+        Ok(borrow::Value::Num(v))
     }
 }
 

@@ -1,8 +1,7 @@
 //! A blocking line-protocol client for the flow service.
 
-use crate::protocol::{encode_line, Response};
+use crate::protocol::{decode_response, encode_line, Response};
 use m3d_flow::FlowRequest;
-use m3d_json::{parse, Cur, FromJson};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -93,8 +92,7 @@ impl Client {
         if self.reader.read_line(&mut line)? == 0 {
             return Err(ClientError::Closed);
         }
-        let doc = parse(line.trim()).map_err(ClientError::BadResponse)?;
-        Response::from_json(Cur::root(&doc)).map_err(|e| ClientError::BadResponse(e.to_string()))
+        decode_response(&line).map_err(ClientError::BadResponse)
     }
 
     /// Sends one request and blocks for one response.

@@ -22,9 +22,16 @@
 //!   persistent [`m3d_store::Store`] tier that survives restarts
 //!   (misses rehydrate from disk, completed sessions write through,
 //!   evictions spill).
+//! * [`reactor`] + per-connection framing — a vendored,
+//!   zero-dependency readiness poller (epoll on Linux, poll(2)
+//!   fallback) that the TCP front's shard threads multiplex all
+//!   connections over: no thread per connection, bounded per-tick work,
+//!   write backpressure that pauses reads instead of buffering without
+//!   limit. Requests decode on `m3d-json`'s borrowed zero-copy path.
 //! * [`server`] — the [`Server`] engine (bounded queue, explicit
 //!   `overloaded` backpressure, per-request deadlines, graceful
-//!   drain-on-shutdown) and its [`TcpServer`] front.
+//!   drain-on-shutdown) and its event-driven [`TcpServer`] front
+//!   (tunable via [`TcpTuning`]).
 //! * [`client`] — a blocking pipelined [`Client`], also the substrate
 //!   of the `serve_client` load generator.
 //!
@@ -56,12 +63,17 @@
 
 pub mod cache;
 pub mod client;
+mod conn;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use cache::{SessionCache, SessionKey};
 pub use client::{Client, ClientError};
 pub use m3d_flow::{FlowCommand, FlowReport, FlowRequest, NetlistSpec};
 pub use m3d_store::{Store, StoreError, StoreKey};
-pub use protocol::{decode_request, encode_line, ProtocolError, RejectKind, Response};
-pub use server::{Pending, Server, ServerConfig, StatsSnapshot, TcpServer};
+pub use protocol::{
+    decode_request, decode_response, encode_line, ProtocolError, RejectKind, Response,
+};
+pub use reactor::{raise_nofile_limit, set_send_buffer, ReactorKind};
+pub use server::{Pending, Server, ServerConfig, StatsSnapshot, TcpServer, TcpTuning};

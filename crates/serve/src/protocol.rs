@@ -10,7 +10,10 @@
 //! malformed line.
 
 use m3d_flow::{FlowReport, FlowRequest};
-use m3d_json::{parse, Cur, DecodeError, FromJson, Obj, ToJson, Value};
+use m3d_json::{
+    decode_borrowed, parse, parse_borrowed, Cur, DecodeError, FromJson, JsonError, Obj, ToJson,
+    Value,
+};
 use std::fmt;
 
 /// Why the service rejected a request (the `kind` of a rejection).
@@ -193,22 +196,41 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
-/// Decodes one request line.
+/// Decodes one request line on the zero-copy path: the JSON tree
+/// borrows its strings from `line`, and a well-formed request decodes
+/// without a single per-field allocation.
 ///
 /// # Errors
 ///
 /// Returns a [`ProtocolError`] for anything that is not a well-formed
-/// [`FlowRequest`]; decoding never panics.
+/// [`FlowRequest`]; decoding never panics. Errors (and only errors)
+/// allocate their path/message strings.
 pub fn decode_request(line: &str) -> Result<FlowRequest, ProtocolError> {
-    let doc = parse(line).map_err(ProtocolError::Parse)?;
-    FlowRequest::from_json(Cur::root(&doc)).map_err(ProtocolError::Decode)
+    decode_borrowed(line).map_err(|e| match e {
+        JsonError::Parse(msg) => ProtocolError::Parse(msg),
+        JsonError::Decode(err) => ProtocolError::Decode(err),
+    })
 }
 
 /// Best-effort extraction of the `id` field from a line that failed to
 /// decode, so its rejection can still be correlated.
 #[must_use]
 pub fn salvage_id(line: &str) -> Option<u64> {
-    parse(line).ok().and_then(|v| v.get("id")?.as_u64())
+    parse_borrowed(line)
+        .ok()
+        .and_then(|v| v.get("id")?.as_u64())
+}
+
+/// Decodes one response line — the client side of the wire. (Response
+/// decoding stays on the owned cursor: reports carry arrays, and the
+/// client's read path is not the hot one.)
+///
+/// # Errors
+///
+/// Returns the parse or shape error as text.
+pub fn decode_response(line: &str) -> Result<Response, String> {
+    let doc = parse(line.trim())?;
+    Response::from_json(Cur::root(&doc)).map_err(|e| e.to_string())
 }
 
 /// Renders one value as a protocol line (JSON + trailing newline).

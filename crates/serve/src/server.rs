@@ -1,6 +1,6 @@
 //! The service engine: a bounded worker pool over a backpressured
-//! queue, with graceful drain-on-shutdown — plus the TCP front that
-//! feeds it newline-delimited JSON.
+//! queue, with graceful drain-on-shutdown — plus the event-driven TCP
+//! front that feeds it newline-delimited JSON.
 //!
 //! # Life of a request
 //!
@@ -26,26 +26,53 @@
 //!    `catch_unwind`: a panicking flow answers the request with a
 //!    [`RejectKind::Flow`] rejection and the worker survives, so one
 //!    pathological request can never shrink the pool.
-//! 4. **Reply**: the response is sent to the job's reply channel (the
-//!    connection's writer, or the in-process [`Pending`] handle).
+//! 4. **Reply**: the response goes back through the job's reply route —
+//!    an in-process [`Pending`] channel, or a message to the reactor
+//!    shard that owns the connection. Responses bound for a socket are
+//!    rendered to their wire line *on the worker thread*, so a shard's
+//!    event loop never serializes a large report.
+//!
+//! # The TCP front
+//!
+//! [`TcpServer`] runs a small fixed number of **shard** threads, each
+//! owning a readiness poller (see [`crate::reactor`]), a clone of the
+//! nonblocking listener, and the full state of the connections it
+//! accepted. Nothing in a shard blocks on a socket: reads, writes and
+//! accepts are all readiness-driven and partial, so thousands of idle
+//! connections cost a shard nothing but registered fds, and one slow
+//! peer cannot stall the others. Flow execution stays on the worker
+//! pool — a shard only frames lines, decodes requests (on `m3d-json`'s
+//! borrowed zero-copy path) and shuttles rendered response lines.
+//! Per-connection write buffers are bounded: past
+//! [`TcpTuning::write_high_water`] the shard stops *reading* from that
+//! connection (natural TCP backpressure) instead of buffering without
+//! limit, resuming below half the mark.
 //!
 //! # Shutdown
 //!
 //! [`Server::begin_drain`] atomically stops admission; workers keep
 //! draining until the queue is empty, then exit. Every accepted request
 //! is answered — the drain test in `tests/service.rs` holds the server
-//! to that.
+//! to that. [`TcpServer::shutdown`] first tells every shard to drain:
+//! the shard stops accepting, stops reading (idle clients see EOF when
+//! their connection closes), answers and flushes everything in flight,
+//! and only then does the engine itself drain — the same
+//! everything-admitted-is-answered guarantee as the old
+//! thread-per-connection front, at thousands of connections.
 
 use crate::cache::SessionCache;
+use crate::conn::{Conn, FrameEnd};
 use crate::protocol::{decode_request, encode_line, salvage_id, RejectKind, Response};
+use crate::reactor::{wake_pair, Event, Interest, Poller, ReactorKind, WakeReader, Waker};
 use m3d_flow::FlowRequest;
 use m3d_obs::Obs;
 use m3d_store::Store;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -79,6 +106,44 @@ impl Default for ServerConfig {
             cache_capacity: 8,
             obs: Obs::disabled(),
             store: None,
+        }
+    }
+}
+
+/// Tuning for the TCP front's reactor shards. Separate from
+/// [`ServerConfig`] so the engine's knobs stay orthogonal to the
+/// socket-facing ones (and existing `ServerConfig` literals keep
+/// compiling).
+#[derive(Debug, Clone)]
+pub struct TcpTuning {
+    /// Reactor shard threads. Each owns a poller and its accepted
+    /// connections; connections are distributed by whichever shard's
+    /// accept wins.
+    pub shards: usize,
+    /// Hard cap on one request line; a longer line is answered with a
+    /// `protocol` rejection and the connection's read half ends.
+    pub max_line_bytes: usize,
+    /// Per-connection outbound buffer level above which the shard stops
+    /// reading from that connection until the peer drains (resumes at
+    /// half this mark).
+    pub write_high_water: usize,
+    /// Shrink each accepted socket's kernel send buffer (`SO_SNDBUF`).
+    /// Tests use this to make write backpressure reachable with small
+    /// data volumes; production leaves it `None`.
+    pub send_buffer_bytes: Option<usize>,
+    /// Which poller backend to use (`Auto`: epoll on Linux unless
+    /// `M3D_REACTOR=poll`).
+    pub reactor: ReactorKind,
+}
+
+impl Default for TcpTuning {
+    fn default() -> TcpTuning {
+        TcpTuning {
+            shards: 2,
+            max_line_bytes: 1 << 20,
+            write_high_water: 256 << 10,
+            send_buffer_bytes: None,
+            reactor: ReactorKind::Auto,
         }
     }
 }
@@ -131,10 +196,62 @@ struct Stats {
     rejected_protocol: AtomicU64,
 }
 
+/// Where a job's response goes: back to an in-process caller, or to the
+/// reactor shard owning the connection it arrived on.
+enum ReplyTo {
+    Channel(Sender<Response>),
+    Conn { shard: ShardHandle, conn: u64 },
+}
+
+impl ReplyTo {
+    fn send(&self, response: Response) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplyTo::Conn { shard, conn } => {
+                // Render on this (worker or rejecting caller) thread:
+                // shard event loops never serialize reports.
+                shard.reply(*conn, encode_line(&response));
+            }
+        }
+    }
+}
+
+/// A shard's mailbox address: messages plus the waker that pops its
+/// poller out of `wait`.
+#[derive(Clone)]
+struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    waker: Arc<Waker>,
+}
+
+impl ShardHandle {
+    fn reply(&self, conn: u64, line: String) {
+        if self.tx.send(ShardMsg::Reply { conn, line }).is_ok() {
+            self.waker.wake();
+        }
+    }
+
+    fn drain(&self) {
+        if self.tx.send(ShardMsg::Drain).is_ok() {
+            self.waker.wake();
+        }
+    }
+}
+
+enum ShardMsg {
+    /// A rendered response line for one of the shard's connections.
+    Reply { conn: u64, line: String },
+    /// Stop accepting and reading; answer and flush what's in flight,
+    /// then exit.
+    Drain,
+}
+
 struct Job {
     request: FlowRequest,
     enqueued: Instant,
-    reply: Sender<Response>,
+    reply: ReplyTo,
 }
 
 struct QueueState {
@@ -221,15 +338,15 @@ impl Server {
     /// ever see inputs the flow can safely size buffers for. Capacity
     /// control runs under the queue lock, so the depth bound is exact.
     pub fn enqueue(&self, request: FlowRequest, reply: &Sender<Response>) {
+        self.enqueue_to(request, ReplyTo::Channel(reply.clone()));
+    }
+
+    fn enqueue_to(&self, request: FlowRequest, reply: ReplyTo) {
         let obs = &self.inner.config.obs;
         let id = request.id;
         if let Err(e) = request.validate() {
-            self.inner
-                .stats
-                .rejected_protocol
-                .fetch_add(1, Ordering::Relaxed);
-            obs.perf_add("serve/rejected_protocol", 1);
-            let _ = reply.send(Response::reject(
+            self.note_rejected_protocol();
+            reply.send(Response::reject(
                 Some(id),
                 RejectKind::Protocol,
                 format!("request out of bounds: {e}"),
@@ -239,14 +356,14 @@ impl Server {
         let verdict = {
             let mut state = self.inner.state.lock().expect("server queue poisoned");
             if !state.accepting {
-                Err(RejectKind::Shutdown)
+                Err((RejectKind::Shutdown, reply))
             } else if state.queue.len() >= self.inner.config.queue_depth {
-                Err(RejectKind::Overloaded)
+                Err((RejectKind::Overloaded, reply))
             } else {
                 state.queue.push_back(Job {
                     request,
                     enqueued: Instant::now(),
-                    reply: reply.clone(),
+                    reply,
                 });
                 obs.gauge_max("serve/queue_depth_peak", state.queue.len() as f64);
                 Ok(())
@@ -258,7 +375,7 @@ impl Server {
                 obs.perf_add("serve/accepted", 1);
                 self.inner.available.notify_one();
             }
-            Err(kind) => {
+            Err((kind, reply)) => {
                 let (stat, message) = match kind {
                     RejectKind::Overloaded => (
                         &self.inner.stats.rejected_overloaded,
@@ -274,9 +391,23 @@ impl Server {
                 };
                 stat.fetch_add(1, Ordering::Relaxed);
                 obs.perf_add(&format!("serve/rejected_{kind}"), 1);
-                let _ = reply.send(Response::reject(Some(id), kind, message));
+                reply.send(Response::reject(Some(id), kind, message));
             }
         }
+    }
+
+    /// Counts one `protocol` rejection that never became a request
+    /// (malformed wire lines — the shards answer those in-line).
+    fn note_rejected_protocol(&self) {
+        self.inner
+            .stats
+            .rejected_protocol
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.config.obs.perf_add("serve/rejected_protocol", 1);
+    }
+
+    fn obs(&self) -> &Obs {
+        &self.inner.config.obs
     }
 
     /// One worker's loop: drain jobs until shutdown empties the queue.
@@ -314,7 +445,7 @@ impl Server {
                     .rejected_deadline
                     .fetch_add(1, Ordering::Relaxed);
                 obs.perf_add("serve/rejected_deadline", 1);
-                let _ = job.reply.send(Response::reject(
+                job.reply.send(Response::reject(
                     Some(id),
                     RejectKind::Deadline,
                     format!("deadline of {deadline_ms} ms elapsed while queued"),
@@ -360,7 +491,7 @@ impl Server {
                 self.inner.stats.failed_flow.fetch_add(1, Ordering::Relaxed);
                 obs.perf_add("serve/failed_flow", 1);
                 obs.perf_add("serve/panicked", 1);
-                let _ = job.reply.send(Response::reject(
+                job.reply.send(Response::reject(
                     Some(id),
                     RejectKind::Flow,
                     format!("flow execution panicked: {}", panic_text(&payload)),
@@ -386,7 +517,7 @@ impl Server {
                 Response::reject(Some(id), RejectKind::Flow, e.to_string())
             }
         };
-        let _ = job.reply.send(response);
+        job.reply.send(response);
     }
 
     /// Stops admission. Already-queued requests still run to
@@ -440,79 +571,85 @@ impl Server {
 }
 
 // ---------------------------------------------------------------------
-// TCP front
+// TCP front: reactor shards
 // ---------------------------------------------------------------------
 
-/// The TCP face of a [`Server`]: an acceptor thread plus one
-/// reader/writer thread pair per connection, all feeding the shared
-/// worker pool.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// The TCP face of a [`Server`]: a fixed set of reactor shard threads
+/// multiplexing all connections over readiness polling, feeding the
+/// shared worker pool.
 pub struct TcpServer {
     server: Server,
     local_addr: SocketAddr,
-    stopping: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    shards: Vec<ShardHandle>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl TcpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving.
+    /// serving with default [`TcpTuning`].
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
-    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<TcpServer> {
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<TcpServer> {
+        Self::bind_with(addr, config, TcpTuning::default())
+    }
+
+    /// [`TcpServer::bind`] with explicit reactor tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind and poller setup failures.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        tuning: TcpTuning,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let server = Server::start(config);
-        let stopping = Arc::new(AtomicBool::new(false));
-        let acceptor = {
-            let server = server.clone();
-            let stopping = Arc::clone(&stopping);
-            std::thread::spawn(move || {
-                // Live connections' read halves, so shutdown can unblock
-                // readers parked in `read_line` on idle clients. Handlers
-                // deregister themselves on exit to keep the map (and its
-                // fds) bounded by *live* connections, not total served.
-                let live: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::default();
-                let mut connections: Vec<JoinHandle<()>> = Vec::new();
-                let mut next_id: u64 = 0;
-                for stream in listener.incoming() {
-                    if stopping.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let conn_id = next_id;
-                    next_id += 1;
-                    if let Ok(clone) = stream.try_clone() {
-                        live.lock()
-                            .expect("connection registry poisoned")
-                            .insert(conn_id, clone);
-                    }
-                    let server = server.clone();
-                    let live = Arc::clone(&live);
-                    connections.push(std::thread::spawn(move || {
-                        handle_connection(&server, stream);
-                        live.lock()
-                            .expect("connection registry poisoned")
-                            .remove(&conn_id);
-                    }));
-                }
-                // Close the read half of every still-open connection:
-                // idle readers see EOF and exit, while write halves stay
-                // up so in-flight responses still drain to clients.
-                for conn in live.lock().expect("connection registry poisoned").values() {
-                    let _ = conn.shutdown(Shutdown::Read);
-                }
-                for c in connections {
-                    let _ = c.join();
-                }
-            })
-        };
+        let shard_count = tuning.shards.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut threads = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let poller = Poller::new(tuning.reactor)?;
+            if shards.is_empty() {
+                server
+                    .obs()
+                    .label_set("serve/reactor", poller.backend_name());
+            }
+            let (waker, wake_reader) = wake_pair()?;
+            let (tx, rx) = channel();
+            let handle = ShardHandle {
+                tx,
+                waker: Arc::new(waker),
+            };
+            shards.push(handle.clone());
+            let shard = Shard {
+                server: server.clone(),
+                tuning: tuning.clone(),
+                listener: listener.try_clone()?,
+                poller,
+                wake_reader,
+                rx,
+                handle,
+                conns: HashMap::new(),
+                next_token: FIRST_CONN_TOKEN,
+                inflight: 0,
+                draining: false,
+            };
+            threads.push(std::thread::spawn(move || shard.run()));
+        }
         Ok(TcpServer {
             server,
             local_addr,
-            stopping,
-            acceptor: Some(acceptor),
+            shards,
+            threads,
         })
     }
 
@@ -528,18 +665,17 @@ impl TcpServer {
         &self.server
     }
 
-    /// Graceful shutdown: stop accepting connections, close the read
-    /// half of every open connection (so idle clients cannot stall the
-    /// drain — their readers see EOF while in-flight responses still
-    /// reach them), drain the queue, answer everything admitted, and
-    /// return the final counters.
+    /// Graceful shutdown: every shard stops accepting and reading,
+    /// answers and flushes everything in flight (idle clients see EOF —
+    /// they cannot stall the drain), then the engine drains its queue.
+    /// Returns the final counters.
     #[must_use]
     pub fn shutdown(mut self) -> StatsSnapshot {
-        self.stopping.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for shard in &self.shards {
+            shard.drain();
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
         self.server.shutdown()
     }
@@ -547,67 +683,290 @@ impl TcpServer {
     /// Blocks forever serving requests (the `serve` binary's main
     /// loop).
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
     }
 }
 
-/// One connection: the reader decodes lines and feeds the pool; a
-/// dedicated writer serializes responses back (workers finish out of
-/// order — ids correlate). Malformed lines are answered in-line with a
-/// `protocol` rejection and the connection stays usable.
-fn handle_connection(server: &Server, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (tx, rx) = channel::<Response>();
-    let writer = std::thread::spawn(move || {
-        let mut out = BufWriter::new(write_half);
-        for response in rx {
-            if out.write_all(encode_line(&response).as_bytes()).is_err() {
-                break;
+/// One reactor shard: a poller, a listener clone, the connections this
+/// shard accepted, and the mailbox workers answer through.
+struct Shard {
+    server: Server,
+    tuning: TcpTuning,
+    listener: TcpListener,
+    poller: Poller,
+    wake_reader: WakeReader,
+    rx: Receiver<ShardMsg>,
+    handle: ShardHandle,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Requests handed to the engine from this shard's connections
+    /// whose replies have not yet come back. Counted per-shard (not
+    /// per-connection) so replies to connections that died early still
+    /// balance the books.
+    inflight: u64,
+    draining: bool,
+}
+
+impl Shard {
+    fn run(mut self) {
+        let listener_ok = self
+            .poller
+            .register(
+                self.listener.as_raw_fd(),
+                TOKEN_LISTENER,
+                Interest {
+                    read: true,
+                    write: false,
+                },
+            )
+            .is_ok();
+        let waker_ok = self
+            .poller
+            .register(
+                self.wake_reader.fd(),
+                TOKEN_WAKER,
+                Interest {
+                    read: true,
+                    write: false,
+                },
+            )
+            .is_ok();
+        if !listener_ok || !waker_ok {
+            return;
+        }
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            events.clear();
+            if self.poller.wait(&mut events, -1).is_err() {
+                return;
             }
-            if out.flush().is_err() {
-                break;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.wake_reader.drain(),
+                    token => self.conn_event(token, ev),
+                }
             }
-        }
-    });
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        match decode_request(text) {
-            Ok(request) => server.enqueue(request, &tx),
-            Err(e) => {
-                server
-                    .inner
-                    .stats
-                    .rejected_protocol
-                    .fetch_add(1, Ordering::Relaxed);
-                server
-                    .inner
-                    .config
-                    .obs
-                    .perf_add("serve/rejected_protocol", 1);
-                let _ = tx.send(Response::reject(
-                    salvage_id(text),
-                    RejectKind::Protocol,
-                    e.to_string(),
-                ));
+            self.drain_messages();
+            if self.draining && self.inflight == 0 && self.conns.is_empty() {
+                return;
             }
         }
     }
-    drop(tx);
-    let _ = writer.join();
+
+    /// Accepts until the listener would block. All shards poll the same
+    /// listener; whoever wins the `accept` race owns the connection.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining {
+                        continue; // dropped: no new connections while draining
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if let Some(bytes) = self.tuning.send_buffer_bytes {
+                        let _ = crate::reactor::set_send_buffer(&stream, bytes);
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let mut conn = Conn::new(stream);
+                    let want = Interest {
+                        read: true,
+                        write: false,
+                    };
+                    if self.poller.register(conn.fd(), token, want).is_ok() {
+                        conn.registered = want;
+                        self.conns.insert(token, conn);
+                        self.server.obs().perf_add("serve/conns_accepted", 1);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: Event) {
+        if !self.conns.contains_key(&token) {
+            return; // closed earlier in this batch
+        }
+        if ev.error {
+            // Peer is gone (reset/hangup): nothing written here can
+            // arrive, and any in-flight replies will be discarded when
+            // they come back.
+            self.close_conn(token);
+            return;
+        }
+        if ev.writable {
+            let flushed = self.conns.get_mut(&token).map_or(Ok(()), Conn::flush);
+            if flushed.is_err() {
+                self.close_conn(token);
+                return;
+            }
+        }
+        if ev.readable {
+            let wants_read = self
+                .conns
+                .get(&token)
+                .is_some_and(|c| !c.read_closed && !c.paused);
+            if wants_read && !self.read_conn(token) {
+                return;
+            }
+        }
+        self.refresh(token);
+    }
+
+    /// One bounded read pass: fill the buffer, frame complete lines,
+    /// decode each on the borrowed zero-copy path, and either enqueue
+    /// the request or answer the malformed line in-line. Returns
+    /// `false` when the connection died during the pass.
+    fn read_conn(&mut self, token: u64) -> bool {
+        let conn = self.conns.get_mut(&token).expect("conn lookup");
+        let eof = match conn.fill() {
+            Ok(eof) => eof,
+            Err(_) => {
+                self.close_conn(token);
+                return false;
+            }
+        };
+        let mut parsed: Vec<Result<FlowRequest, Response>> = Vec::new();
+        let end = conn.extract_lines(self.tuning.max_line_bytes, &mut |line| {
+            parsed.push(match decode_request(line) {
+                Ok(request) => Ok(request),
+                Err(e) => Err(Response::reject(
+                    salvage_id(line),
+                    RejectKind::Protocol,
+                    e.to_string(),
+                )),
+            });
+        });
+        if eof {
+            conn.read_closed = true;
+        }
+        match end {
+            FrameEnd::Clean => {}
+            // Matches the old front: a non-UTF-8 stream ended the
+            // reader without a response.
+            FrameEnd::BadUtf8 => conn.read_closed = true,
+            FrameEnd::TooLong { limit } => {
+                conn.read_closed = true;
+                parsed.push(Err(Response::reject(
+                    None,
+                    RejectKind::Protocol,
+                    format!("request line exceeds {limit} bytes"),
+                )));
+            }
+        }
+        for item in parsed {
+            match item {
+                Ok(request) => {
+                    self.inflight += 1;
+                    self.conns.get_mut(&token).expect("conn lookup").inflight += 1;
+                    self.server.enqueue_to(
+                        request,
+                        ReplyTo::Conn {
+                            shard: self.handle.clone(),
+                            conn: token,
+                        },
+                    );
+                }
+                Err(response) => {
+                    self.server.note_rejected_protocol();
+                    let line = encode_line(&response);
+                    let conn = self.conns.get_mut(&token).expect("conn lookup");
+                    conn.queue_write(line.as_bytes());
+                    if conn.flush().is_err() {
+                        self.close_conn(token);
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn drain_messages(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                ShardMsg::Reply { conn, line } => {
+                    self.inflight = self.inflight.saturating_sub(1);
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        c.inflight = c.inflight.saturating_sub(1);
+                        c.queue_write(line.as_bytes());
+                        if c.flush().is_err() {
+                            self.close_conn(conn);
+                            continue;
+                        }
+                        self.refresh(conn);
+                    }
+                    // else: the connection died before its reply —
+                    // discarded, exactly as the old writer thread did.
+                }
+                ShardMsg::Drain => self.begin_shard_drain(),
+            }
+        }
+    }
+
+    fn begin_shard_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.poller
+            .deregister(self.listener.as_raw_fd(), TOKEN_LISTENER);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.read_closed = true;
+            }
+            self.refresh(token);
+        }
+    }
+
+    /// Re-derives a connection's lifecycle state after any change:
+    /// write backpressure (pause reads over the high-water mark, resume
+    /// below half), close-when-finished, and the poller interest set.
+    fn refresh(&mut self, token: u64) {
+        let high = self.tuning.write_high_water;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.paused && conn.write_pending() > high {
+            conn.paused = true;
+            self.server.obs().perf_add("serve/read_paused", 1);
+        } else if conn.paused && conn.write_pending() <= high / 2 {
+            conn.paused = false;
+        }
+        self.server
+            .obs()
+            .gauge_max("serve/write_buffer_peak", conn.write_pending() as f64);
+        if conn.read_closed && conn.inflight == 0 && conn.write_pending() == 0 {
+            self.close_conn(token);
+            return;
+        }
+        let want = Interest {
+            read: !conn.read_closed && !conn.paused,
+            write: conn.write_pending() > 0,
+        };
+        if want != conn.registered {
+            conn.registered = want;
+            let fd = conn.fd();
+            let _ = self.poller.reregister(fd, token, want);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(conn.fd(), token);
+            self.server.obs().perf_add("serve/conns_closed", 1);
+        }
+    }
 }
 
 /// Best-effort text of a panic payload (`panic!` carries a `&str` or

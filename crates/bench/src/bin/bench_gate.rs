@@ -4,10 +4,11 @@
 //!
 //! Usage: `bench_gate [--fresh <dir>] [--baseline <dir>] [--only <section>]`
 //! (defaults: fresh `fresh/`, baseline `results/`; `--only
-//! sta|flow|serve|scale` gates a single manifest, for split CI jobs).
-//! The fresh directory is produced in CI by `flow_obs`, `serve_bench`,
-//! `sta_incr --scale tiny` and `scale_bench` with `--out fresh`; the
-//! baseline directory is the committed `results/`.
+//! sta|flow|serve|scale|pareto` gates a single manifest, for split CI
+//! jobs). The fresh directory is produced in CI by `flow_obs`,
+//! `serve_bench`, `sta_incr --scale tiny`, `scale_bench` and
+//! `pareto_bench` with `--out fresh`; the baseline directory is the
+//! committed `results/`.
 //!
 //! The tolerance model has two classes:
 //!
@@ -466,6 +467,75 @@ fn gate_scale(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     }
 }
 
+/// Absolute floor on the Pareto sweep's scenario throughput. The smoke
+/// sweep measures ~45 scenarios/s; only an order-of-magnitude
+/// regression (a sweep that recomputes checkpoints per grid point, or a
+/// serialized fan-out) should trip it on a noisy CI runner.
+const PARETO_SCENARIOS_PER_SEC_FLOOR: f64 = 4.0;
+
+fn gate_pareto(gate: &mut Gate, fresh: &Value, baseline: &Value) {
+    gate.check(
+        run_params(fresh) == run_params(baseline),
+        &format!(
+            "BENCH_pareto: fresh run parameters {:?} match baseline {:?}",
+            run_params(fresh),
+            run_params(baseline)
+        ),
+    );
+    gate.check(
+        fresh.get("deterministic_identity").and_then(Value::as_bool) == Some(true),
+        "BENCH_pareto: 1-thread and 4-thread sweeps were bit-identical in-process",
+    );
+    // The tentpole invariant: the pseudo-3-D stage ran exactly once per
+    // distinct 3-D scenario — every frequency rung of a scenario forked
+    // its checkpoint instead of recomputing it.
+    let scenarios = fresh.get("scenarios").and_then(Value::as_u64);
+    let pseudo = fresh.get("pseudo3d_runs").and_then(Value::as_u64);
+    gate.check(
+        scenarios.is_some() && pseudo == scenarios,
+        &format!(
+            "BENCH_pareto: pseudo-3D runs {pseudo:?} == distinct scenarios {scenarios:?} \
+             (one checkpoint per scenario, never per grid point)"
+        ),
+    );
+    for field in ["scenarios", "pseudo3d_runs", "frontier_points"] {
+        let f = fresh.get(field).and_then(Value::as_u64);
+        let b = baseline.get(field).and_then(Value::as_u64);
+        gate.check(
+            f.is_some() && f == b,
+            &format!("BENCH_pareto.{field}: deterministic count {f:?} == baseline {b:?}"),
+        );
+    }
+    // The swept points — metrics, sign-off corners and frontier flags —
+    // are deterministic end to end, so the whole table must match the
+    // baseline bit for bit.
+    match (fresh.get("points"), baseline.get("points")) {
+        (Some(f), Some(b)) => {
+            let mut diffs = Vec::new();
+            diff(f, b, "points", &mut diffs);
+            let mut what = String::from("BENCH_pareto: swept point table matches baseline exactly");
+            if !diffs.is_empty() {
+                let _ = write!(what, " — first diffs: {}", diffs.join("; "));
+            }
+            gate.check(diffs.is_empty(), &what);
+            let n = f.as_arr().map(|a| a.len());
+            gate.check(
+                n.is_some_and(|n| n > 0),
+                &format!("BENCH_pareto: sweep produced points ({n:?})"),
+            );
+        }
+        _ => gate.check(false, "BENCH_pareto: both files carry a points table"),
+    }
+    let v = fresh
+        .get("scenarios_per_sec")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NEG_INFINITY);
+    gate.check(
+        v >= PARETO_SCENARIOS_PER_SEC_FLOOR,
+        &format!("BENCH_pareto.scenarios_per_sec: {v} >= floor {PARETO_SCENARIOS_PER_SEC_FLOOR}"),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let dir_arg = |flag: &str, default: &str| {
@@ -495,11 +565,12 @@ fn main() -> ExitCode {
         checks: 0,
     };
     type Section = (&'static str, &'static str, fn(&mut Gate, &Value, &Value));
-    let sections: [Section; 4] = [
+    let sections: [Section; 5] = [
         ("sta", "BENCH_sta.json", gate_sta),
         ("flow", "BENCH_flow.json", gate_flow),
         ("serve", "BENCH_serve.json", gate_serve),
         ("scale", "BENCH_scale.json", gate_scale),
+        ("pareto", "BENCH_pareto.json", gate_pareto),
     ];
     let selected: Vec<_> = sections
         .iter()
@@ -507,7 +578,7 @@ fn main() -> ExitCode {
         .collect();
     if selected.is_empty() {
         println!(
-            "bench_gate: unknown --only section {:?} (expected sta|flow|serve|scale)",
+            "bench_gate: unknown --only section {:?} (expected sta|flow|serve|scale|pareto)",
             only.as_deref().unwrap_or("")
         );
         return ExitCode::FAILURE;
@@ -538,8 +609,9 @@ fn main() -> ExitCode {
             "If the change is intentional, refresh the baselines: \
              `cargo run --release -p m3d-bench --bin sta_incr -- --scale tiny`, \
              `cargo run --release -p m3d-bench --bin flow_obs`, \
-             `cargo run --release -p m3d-bench --bin serve_bench` and \
-             `cargo run --release -p m3d-bench --bin scale_bench`, then commit results/."
+             `cargo run --release -p m3d-bench --bin serve_bench`, \
+             `cargo run --release -p m3d-bench --bin scale_bench` and \
+             `cargo run --release -p m3d-bench --bin pareto_bench`, then commit results/."
         );
         ExitCode::FAILURE
     }

@@ -79,7 +79,7 @@ fn main() {
             out,
             "{:>10.2} {:>12.0} {:>8.3} {:>8.3} {:>14.3} {:>14.3} {:>14.3}",
             area,
-            m.dies_per_wafer(area),
+            m.try_dies_per_wafer(area).expect("positive area"),
             m.die_yield_2d(area),
             m.die_yield_3d(area / 2.0),
             m.die_cost(area, false) * 1e6,

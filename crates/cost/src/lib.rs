@@ -7,6 +7,14 @@
 //! cost, cost per cm², and the two composite metrics the paper optimizes —
 //! power-delay product (PDP) and performance per cost (PPC).
 //!
+//! Two 3-D stacking styles are costed. **Monolithic** (the paper's
+//! subject) pays the sequential-integration adder `α` and the β yield
+//! hit. **F2F hybrid bonding** replaces `α` with a (cheaper)
+//! wafer-bonding adder, carries its own bond-yield degradation, and —
+//! unlike monolithic MIVs, which are free — pays a small cost *per
+//! bonded connection* ([`CostModel::die_cost_f2f`]), so MIV-rich
+//! partitions erode its wafer-cost advantage.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +50,17 @@ pub struct CostModel {
     pub wafer_yield: f64,
     /// 3-D yield degradation `β` (0.95).
     pub yield_degradation_3d: f64,
+    /// F2F wafer-bonding cost adder replacing `α` for bonded stacks
+    /// (0.03 — wafer-on-wafer bonding skips the sequential
+    /// thermal-budget processing that makes monolithic integration
+    /// expensive).
+    pub f2f_bond_fraction: f64,
+    /// F2F bond-yield degradation, the bonded analogue of `β` (0.95).
+    pub f2f_yield_degradation: f64,
+    /// Incremental cost per hybrid-bond connection, in units of `C'`
+    /// (10⁻¹² — negligible alone, material for MIV-rich partitions of
+    /// the paper-scale sub-mm² dies).
+    pub f2f_cost_per_connection: f64,
 }
 
 impl Default for CostModel {
@@ -55,9 +74,32 @@ impl Default for CostModel {
             defect_density_per_mm2: 0.2,
             wafer_yield: 0.95,
             yield_degradation_3d: 0.95,
+            f2f_bond_fraction: 0.03,
+            f2f_yield_degradation: 0.95,
+            f2f_cost_per_connection: 1e-12,
         }
     }
 }
+
+/// The error of the `try_*` cost entry points: a die area that is not
+/// a positive finite number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidDieArea {
+    /// The offending area, mm².
+    pub die_area_mm2: f64,
+}
+
+impl std::fmt::Display for InvalidDieArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "die area must be positive, got {} mm2",
+            self.die_area_mm2
+        )
+    }
+}
+
+impl std::error::Error for InvalidDieArea {}
 
 impl CostModel {
     /// Wafer area, mm².
@@ -85,12 +127,39 @@ impl CostModel {
     /// `DPW = A_w/A_d − √(2π·A_w/A_d)` (the second term discounts edge
     /// dies). `die_area_mm2` is the die footprint.
     ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDieArea`] when `die_area_mm2` is not a
+    /// positive finite number.
+    pub fn try_dies_per_wafer(&self, die_area_mm2: f64) -> Result<f64, InvalidDieArea> {
+        if !(die_area_mm2.is_finite() && die_area_mm2 > 0.0) {
+            return Err(InvalidDieArea { die_area_mm2 });
+        }
+        Ok(self.dpw_unchecked(die_area_mm2))
+    }
+
+    /// Formula (1), panicking flavor.
+    ///
     /// # Panics
     ///
     /// Panics if `die_area_mm2` is not positive.
+    #[deprecated(
+        since = "0.9.0",
+        note = "panicking wrapper, kept for tests only — use `try_dies_per_wafer`"
+    )]
     #[must_use]
     pub fn dies_per_wafer(&self, die_area_mm2: f64) -> f64 {
+        self.checked_dpw(die_area_mm2)
+    }
+
+    /// Shared panicking check for the internal call sites (`good_dies`,
+    /// `die_cost`, …) that keep formula (1)'s historical contract.
+    fn checked_dpw(&self, die_area_mm2: f64) -> f64 {
         assert!(die_area_mm2 > 0.0, "die area must be positive");
+        self.dpw_unchecked(die_area_mm2)
+    }
+
+    fn dpw_unchecked(&self, die_area_mm2: f64) -> f64 {
         let ratio = self.wafer_area_mm2() / die_area_mm2;
         (ratio - (2.0 * PI * ratio).sqrt()).max(0.0)
     }
@@ -115,7 +184,7 @@ impl CostModel {
         } else {
             self.die_yield_2d(die_area_mm2)
         };
-        self.dies_per_wafer(die_area_mm2) * y
+        self.checked_dpw(die_area_mm2) * y
     }
 
     /// Formula (5): die cost `C_wafer / (N_GD × Y)` in units of `C'`.
@@ -136,6 +205,37 @@ impl CostModel {
     #[must_use]
     pub fn cost_per_cm2(&self, die_area_mm2: f64, si_area_mm2: f64, is_3d: bool) -> f64 {
         self.die_cost(die_area_mm2, is_3d) / (si_area_mm2 * 1e-2)
+    }
+
+    /// F2F 3-D wafer cost: two FEOLs, two six-metal BEOLs and the
+    /// wafer-bonding adder instead of the monolithic integration adder
+    /// — `(2·(0.3 + 0.66) + 0.03) C' = 1.95 C'` at the defaults.
+    #[must_use]
+    pub fn wafer_cost_3d_f2f(&self) -> f64 {
+        (2.0 * (self.feol_fraction + self.beol6_fraction) + self.f2f_bond_fraction) * self.c_prime
+    }
+
+    /// F2F 3-D die yield: formula (3) with the bond-yield degradation
+    /// in place of `β`.
+    #[must_use]
+    pub fn die_yield_3d_f2f(&self, die_area_mm2: f64) -> f64 {
+        self.f2f_yield_degradation * self.die_yield_2d(die_area_mm2)
+    }
+
+    /// Formula (5) for an F2F hybrid-bonded stack: the bonded wafer
+    /// cost over good bonded dies, plus the per-connection bonding
+    /// cost of the stack's `bond_connections` inter-tier bonds. In
+    /// units of `C'`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_area_mm2` is not positive (same contract as
+    /// [`CostModel::die_cost`]).
+    #[must_use]
+    pub fn die_cost_f2f(&self, die_area_mm2: f64, bond_connections: usize) -> f64 {
+        let y = self.die_yield_3d_f2f(die_area_mm2);
+        let per_die = self.wafer_cost_3d_f2f() / (self.checked_dpw(die_area_mm2) * y * y);
+        per_die + bond_connections as f64 * self.f2f_cost_per_connection
     }
 }
 
@@ -166,6 +266,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn dpw_decreases_with_die_area() {
         let m = CostModel::default();
         assert!(m.dies_per_wafer(1.0) > m.dies_per_wafer(10.0));
@@ -239,7 +340,120 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "die area")]
+    #[allow(deprecated)]
     fn zero_area_panics() {
         let _ = CostModel::default().dies_per_wafer(0.0);
+    }
+
+    #[test]
+    fn try_dies_per_wafer_rejects_bad_areas_and_matches_the_panicking_path() {
+        let m = CostModel::default();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = m.try_dies_per_wafer(bad).unwrap_err();
+            assert_eq!(err.die_area_mm2.to_bits(), bad.to_bits());
+            assert!(err.to_string().contains("die area must be positive"));
+        }
+        #[allow(deprecated)]
+        let old = m.dies_per_wafer(0.25);
+        assert_eq!(m.try_dies_per_wafer(0.25).unwrap().to_bits(), old.to_bits());
+    }
+
+    #[test]
+    fn f2f_wafer_is_cheaper_but_pays_per_connection() {
+        let m = CostModel::default();
+        assert!((m.wafer_cost_3d_f2f() - 1.95).abs() < 1e-12);
+        assert!(m.wafer_cost_3d_f2f() < m.wafer_cost_3d());
+        // Bond-free F2F die beats monolithic at the defaults (cheaper
+        // wafer, same yield degradation)...
+        let mono = m.die_cost(0.2, true);
+        let f2f = m.die_cost_f2f(0.2, 0);
+        assert!(f2f < mono);
+        // ...but every bonded connection eats into the margin, and
+        // enough of them flip the comparison.
+        assert!(m.die_cost_f2f(0.2, 100) > f2f);
+        let break_even = (mono - f2f) / m.f2f_cost_per_connection;
+        assert!(m.die_cost_f2f(0.2, break_even as usize + 10) > mono);
+    }
+
+    #[test]
+    #[should_panic(expected = "die area")]
+    fn f2f_zero_area_panics_like_monolithic() {
+        let _ = CostModel::default().die_cost_f2f(0.0, 0);
+    }
+
+    /// Formats one Table IV cost row: per-footprint wafer cost, yield
+    /// and die cost (µC') for a stacking style.
+    fn table_iv_row(m: &CostModel, style: &str, area: f64, bonds: usize) -> String {
+        let (wafer, yield_, die_uc) = match style {
+            "2d" => (
+                m.wafer_cost_2d(),
+                m.die_yield_2d(area),
+                m.die_cost(area, false) * 1e6,
+            ),
+            "monolithic" => (
+                m.wafer_cost_3d(),
+                m.die_yield_3d(area),
+                m.die_cost(area, true) * 1e6,
+            ),
+            "f2f" => (
+                m.wafer_cost_3d_f2f(),
+                m.die_yield_3d_f2f(area),
+                m.die_cost_f2f(area, bonds) * 1e6,
+            ),
+            _ => unreachable!(),
+        };
+        format!("{style:<10} {area:>8.3} {bonds:>6} {wafer:>8.3} {yield_:>8.5} {die_uc:>12.6}")
+    }
+
+    fn render_table_iv(m: &CostModel) -> String {
+        let mut out = String::from("style       area_mm2  bonds  wafer_c    yield  die_cost_uc\n");
+        for &(area, bonds) in &[(0.1, 64), (0.2, 128), (0.4, 256)] {
+            for style in ["2d", "monolithic", "f2f"] {
+                out.push_str(&table_iv_row(
+                    m,
+                    style,
+                    area,
+                    if style == "f2f" { bonds } else { 0 },
+                ));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    const GOLDEN_TABLE4: &str = "\
+style       area_mm2  bonds  wafer_c    yield  die_cost_uc
+2d            0.100      0    0.960  0.93128     1.570630
+monolithic    0.100      0    1.970  0.88472     3.571262
+f2f           0.100     64    1.950  0.88472     3.535069
+2d            0.200      0    0.960  0.91311     3.271578
+monolithic    0.200      0    1.970  0.86745     7.438838
+f2f           0.200    128    1.950  0.86745     7.363445
+2d            0.400      0    0.960  0.87833     7.084062
+monolithic    0.400      0    1.970  0.83441    16.107574
+f2f           0.400    256    1.950  0.83441    15.944302
+";
+
+    /// Golden snapshot of the Table IV cost rows for all stacking
+    /// styles — catches cost-model drift the way Tables VI/VII do for
+    /// the flow. Regenerate with
+    /// `cargo test -p m3d-cost -- --ignored print_golden --nocapture`.
+    #[test]
+    fn table_iv_rows_match_golden() {
+        let actual = render_table_iv(&CostModel::default());
+        for (line, (a, g)) in actual.lines().zip(GOLDEN_TABLE4.lines()).enumerate() {
+            assert_eq!(a, g, "table4 line {line} drifted");
+        }
+        assert_eq!(
+            actual.lines().count(),
+            GOLDEN_TABLE4.lines().count(),
+            "table4 row count drifted"
+        );
+    }
+
+    #[test]
+    #[ignore = "golden regenerator"]
+    fn print_golden_table4() {
+        println!("{}", render_table_iv(&CostModel::default()));
     }
 }

@@ -32,7 +32,7 @@ use m3d_place::{Floorplan, Placement};
 use m3d_power::PowerResult;
 use m3d_route::RoutingResult;
 use m3d_sta::{NetModel, Parasitics, StaResult, TimingEdit};
-use m3d_tech::{Drive, Tier, TierStack};
+use m3d_tech::{Drive, TechContext, Tier, TierStack};
 use std::fmt;
 use std::sync::Arc;
 
@@ -290,6 +290,7 @@ pub struct DesignDb {
     stack: Arc<TierStack>,
     tiers: Arc<Vec<Tier>>,
     period_ns: f64,
+    tech: TechContext,
     floorplan: Option<Arc<Floorplan>>,
     placement: Option<Arc<Placement>>,
     global_placement: Option<Arc<Placement>>,
@@ -312,6 +313,7 @@ impl DesignDb {
             stack: Arc::new(stack),
             tiers: Arc::new(tiers),
             period_ns,
+            tech: TechContext::default(),
             floorplan: None,
             placement: None,
             global_placement: None,
@@ -335,6 +337,7 @@ impl DesignDb {
             stack: Arc::new(stack),
             tiers: Arc::new(tiers),
             period_ns,
+            tech: TechContext::default(),
             floorplan: None,
             placement: None,
             global_placement: None,
@@ -345,6 +348,22 @@ impl DesignDb {
             power: None,
             journal: Journal::default(),
         }
+    }
+
+    /// Tags the database with the technology scenario it is being
+    /// implemented under (builder style; the default is monolithic
+    /// stacking at the typical corner). The scenario rides along
+    /// through [`DesignDb::fork`] so checkpoints stay distinguishable.
+    #[must_use]
+    pub fn with_tech(mut self, tech: TechContext) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// The technology scenario this database is implemented under.
+    #[must_use]
+    pub fn tech(&self) -> TechContext {
+        self.tech
     }
 
     /// An O(1) copy-on-write snapshot: shares every artifact with `self`,
@@ -770,6 +789,21 @@ mod tests {
         db.set_parasitics(parasitics);
         let _ = db.take_journal();
         db
+    }
+
+    #[test]
+    fn tech_scenario_defaults_and_survives_forks() {
+        let db = small_db();
+        assert!(db.tech().is_default());
+        let scenario = TechContext {
+            stacking: m3d_tech::StackingStyle::F2fHybridBond,
+            corners: m3d_tech::CornerSet::Worst,
+        };
+        let tagged = db.fork().with_tech(scenario);
+        assert_eq!(tagged.tech(), scenario);
+        assert_eq!(tagged.fork().tech(), scenario);
+        // The original is untouched.
+        assert!(db.tech().is_default());
     }
 
     fn first_gate(db: &DesignDb) -> CellId {

@@ -2,7 +2,7 @@ use m3d_cts::CtsConfig;
 use m3d_obs::Obs;
 use m3d_place::PlacerConfig;
 use m3d_route::RouteConfig;
-use m3d_tech::{Library, TierStack};
+use m3d_tech::{Corner, Library, TechContext, TierStack};
 use std::fmt;
 use std::sync::Arc;
 
@@ -39,7 +39,8 @@ impl Config {
         Config::ThreeD12T,
     ];
 
-    /// Builds the technology stack for this configuration.
+    /// Builds the technology stack for this configuration (typical
+    /// corner, monolithic inter-tier vias — the default scenario).
     #[must_use]
     pub fn stack(self) -> TierStack {
         match self {
@@ -49,6 +50,30 @@ impl Config {
             Config::ThreeD12T => TierStack::homogeneous_3d(Library::twelve_track()),
             Config::Hetero3d => TierStack::heterogeneous(),
         }
+    }
+
+    /// The configuration's stack with every library characterized at
+    /// `corner` ([`Corner::Typical`] reproduces [`Config::stack`] bit
+    /// for bit).
+    #[must_use]
+    pub fn stack_at(self, corner: Corner) -> TierStack {
+        match self {
+            Config::TwoD9T => TierStack::two_d(Library::nine_track_at(corner)),
+            Config::TwoD12T => TierStack::two_d(Library::twelve_track_at(corner)),
+            Config::ThreeD9T => TierStack::homogeneous_3d(Library::nine_track_at(corner)),
+            Config::ThreeD12T => TierStack::homogeneous_3d(Library::twelve_track_at(corner)),
+            Config::Hetero3d => TierStack::heterogeneous_at(corner),
+        }
+    }
+
+    /// The stack the optimization pipeline runs on under `tech`:
+    /// typical-corner libraries (sign-off corners are additional
+    /// analyses, not different implementations) with the scenario's
+    /// inter-tier via bound. The default scenario reproduces
+    /// [`Config::stack`] exactly.
+    #[must_use]
+    pub fn stack_for(self, tech: &TechContext) -> TierStack {
+        self.stack().with_stacking(tech.stacking)
     }
 
     /// Returns `true` for the two-tier configurations.
@@ -85,7 +110,7 @@ impl fmt::Display for Config {
 /// The three `enable_*` flags distinguish the Pin-3-D baseline from the
 /// enhanced heterogeneous flow (Table V): the baseline runs with all three
 /// disabled, the Hetero-Pin-3-D flow with all three enabled.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct FlowOptions {
     /// Target standard-cell utilization.
     pub utilization: f64,
@@ -126,6 +151,42 @@ pub struct FlowOptions {
     /// into a manifest. Equality is handle identity, so two options
     /// structs feeding the same collector still compare equal.
     pub obs: Obs,
+    /// The technology scenario: stacking style + sign-off corners.
+    /// Defaults to monolithic/typical, which reproduces the
+    /// pre-scenario flow (and its fingerprints) bit for bit.
+    pub tech: TechContext,
+}
+
+/// Hand-rolled to render exactly like the pre-`tech` derived `Debug`
+/// when the scenario is the default: [`FlowOptions::fingerprint`]
+/// hashes this rendering, and every existing checkpoint/cache key and
+/// committed benchmark baseline was minted from the field list below.
+/// The `tech` field is appended only when it deviates from the
+/// default, so new scenarios get new fingerprints and the default
+/// scenario keeps the historical ones.
+impl fmt::Debug for FlowOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("FlowOptions");
+        d.field("utilization", &self.utilization)
+            .field("seed", &self.seed)
+            .field("placer", &self.placer)
+            .field("route", &self.route)
+            .field("cts", &self.cts)
+            .field("timing_partition_cap", &self.timing_partition_cap)
+            .field("enable_timing_partition", &self.enable_timing_partition)
+            .field("enable_3d_cts", &self.enable_3d_cts)
+            .field("enable_repartition", &self.enable_repartition)
+            .field("input_activity", &self.input_activity)
+            .field("max_fanout", &self.max_fanout)
+            .field("partition_bins", &self.partition_bins)
+            .field("wns_tolerance", &self.wns_tolerance)
+            .field("threads", &self.threads)
+            .field("obs", &self.obs);
+        if !self.tech.is_default() {
+            d.field("tech", &self.tech);
+        }
+        d.finish()
+    }
 }
 
 impl Default for FlowOptions {
@@ -146,6 +207,7 @@ impl Default for FlowOptions {
             wns_tolerance: 0.07,
             threads: 0,
             obs: Obs::disabled(),
+            tech: TechContext::default(),
         }
     }
 }
@@ -266,6 +328,62 @@ mod tests {
         g.placer_mut().iterations = 10;
         assert_eq!(f.placer.iterations, 9, "mutating a fork must not leak back");
         assert_eq!(g.placer.iterations, 10);
+    }
+
+    #[test]
+    fn default_scenario_keeps_the_historical_debug_rendering() {
+        // The fingerprint hashes the Debug rendering; the default
+        // scenario must not mention `tech` at all, so every cache key
+        // and committed baseline minted before the scenario axis
+        // existed stays valid.
+        let d = FlowOptions::default();
+        let rendered = format!("{d:?}");
+        assert!(
+            !rendered.contains("tech"),
+            "default options must render without the tech field: {rendered}"
+        );
+        let scenario = FlowOptions {
+            tech: TechContext {
+                stacking: m3d_tech::StackingStyle::F2fHybridBond,
+                corners: m3d_tech::CornerSet::Worst,
+            },
+            ..Default::default()
+        };
+        assert!(format!("{scenario:?}").contains("tech"));
+        assert_ne!(d.fingerprint(), scenario.fingerprint());
+        // Corner-set and stacking each get distinct fingerprints.
+        let worst_only = FlowOptions {
+            tech: TechContext {
+                corners: m3d_tech::CornerSet::Worst,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_ne!(scenario.fingerprint(), worst_only.fingerprint());
+        assert_ne!(d.fingerprint(), worst_only.fingerprint());
+    }
+
+    #[test]
+    fn corner_stacks_reproduce_the_default_at_typical() {
+        for config in Config::ALL {
+            let typ = config.stack_at(Corner::Typical);
+            let base = config.stack();
+            assert_eq!(
+                typ.library(m3d_tech::Tier::Bottom).name,
+                base.library(m3d_tech::Tier::Bottom).name
+            );
+            assert_eq!(typ.metal, base.metal);
+            let scenario = config.stack_for(&TechContext::default());
+            assert_eq!(scenario.metal, base.metal);
+            // Slow corner lowers every supply.
+            let slow = config.stack_at(Corner::Slow);
+            assert!(slow.vdd_high() < base.vdd_high());
+        }
+        let f2f = Config::Hetero3d.stack_for(&TechContext {
+            stacking: m3d_tech::StackingStyle::F2fHybridBond,
+            ..Default::default()
+        });
+        assert_eq!(f2f.metal.miv, m3d_tech::StackingStyle::F2fHybridBond.via());
     }
 
     #[test]

@@ -40,6 +40,17 @@ pub enum FlowError {
     /// A comparison job's implementation never arrived (the parallel
     /// fan-out returned fewer results than configurations).
     MissingImplementation(Config),
+    /// A Pareto sweep's frequency grid was malformed: non-finite or
+    /// non-positive bounds, an inverted range, or a step count outside
+    /// `1..=MAX_PARETO_STEPS`.
+    InvalidSweep {
+        /// Lower frequency bound, GHz.
+        freq_min_ghz: f64,
+        /// Upper frequency bound, GHz.
+        freq_max_ghz: f64,
+        /// Requested grid size.
+        freq_steps: usize,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -62,6 +73,19 @@ impl fmt::Display for FlowError {
             }
             FlowError::MissingImplementation(config) => {
                 write!(f, "no implementation was produced for {config}")
+            }
+            FlowError::InvalidSweep {
+                freq_min_ghz,
+                freq_max_ghz,
+                freq_steps,
+            } => {
+                write!(
+                    f,
+                    "invalid pareto sweep: {freq_steps} steps over \
+                     [{freq_min_ghz}, {freq_max_ghz}] GHz (bounds must be \
+                     positive and finite with max >= min, steps in 1..={})",
+                    crate::pareto::MAX_PARETO_STEPS
+                )
             }
         }
     }

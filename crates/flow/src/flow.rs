@@ -10,7 +10,7 @@ use m3d_place::{Floorplan, Placement};
 use m3d_power::PowerResult;
 use m3d_route::RoutingResult;
 use m3d_sta::StaResult;
-use m3d_tech::{Tier, TierStack};
+use m3d_tech::{TechContext, Tier, TierStack};
 use std::sync::Arc;
 
 /// A finished implementation of one configuration: a read-only view over
@@ -21,6 +21,9 @@ use std::sync::Arc;
 pub struct Implementation {
     /// Which configuration this is.
     pub config: Config,
+    /// The technology scenario (stacking style and corner set) the
+    /// run was signed off under.
+    pub tech: TechContext,
     /// Target clock frequency, GHz.
     pub frequency_ghz: f64,
     /// The (optimized: buffered + resized) netlist.
@@ -74,6 +77,7 @@ impl Implementation {
         let db = state.db();
         Ok(Implementation {
             config: state.config(),
+            tech: options.tech,
             frequency_ghz: 1.0 / state.period_ns(),
             netlist: db.netlist_arc(),
             stack: db.stack_arc(),

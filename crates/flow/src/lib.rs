@@ -47,6 +47,7 @@ mod config;
 mod error;
 #[allow(clippy::module_inception)]
 mod flow;
+mod pareto;
 mod ppac;
 mod session;
 mod stage;
@@ -60,6 +61,7 @@ pub use error::FlowError;
 #[allow(deprecated)]
 pub use flow::{find_fmax, run_flow};
 pub use flow::{try_find_fmax, try_run_flow, Implementation};
+pub use pareto::{pareto_from_base, ParetoPoint, ParetoSummary, MAX_PARETO_STEPS};
 pub use ppac::{percent_delta, DeltaRow, Ppac};
 pub use session::{FlowSession, FlowSessionBuilder};
 pub use stage::{

@@ -59,7 +59,15 @@ impl Ppac {
         let si_area_mm2 = report_fp.silicon_area_um2(is_3d) * 1e-6;
         let total_power_mw = imp.power.total_mw();
         let effective_delay_ns = imp.sta.effective_delay_ns();
-        let die_cost = cost.die_cost(footprint_mm2.max(1e-6), is_3d);
+        // An F2F hybrid-bonded stack swaps the monolithic wafer premium
+        // for a per-bond cost on every inter-tier connection; a 2-D
+        // implementation has no bonded stack, so it always prices as
+        // plain 2-D regardless of the scenario's stacking style.
+        let die_cost = if is_3d && imp.tech.stacking.is_bonded() {
+            cost.die_cost_f2f(footprint_mm2.max(1e-6), imp.routing.total_mivs)
+        } else {
+            cost.die_cost(footprint_mm2.max(1e-6), is_3d)
+        };
         let die_cost_uc = die_cost * 1e6;
         Ppac {
             config: imp.config,
@@ -77,11 +85,7 @@ impl Ppac {
             effective_delay_ns,
             pdp_pj: pdp_pj(total_power_mw, effective_delay_ns),
             die_cost_uc,
-            cost_per_cm2_uc: cost.cost_per_cm2(
-                footprint_mm2.max(1e-6),
-                si_area_mm2.max(1e-6),
-                is_3d,
-            ) * 1e6,
+            cost_per_cm2_uc: die_cost / (si_area_mm2.max(1e-6) * 1e-2) * 1e6,
             // PPC uses the *achieved* frequency (1/effective delay):
             // configurations that miss timing do not get credit for the
             // target they failed to reach.

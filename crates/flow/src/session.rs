@@ -19,6 +19,7 @@ use crate::compare::{compare_from_base, Comparison};
 use crate::config::{Config, FlowOptions};
 use crate::error::FlowError;
 use crate::flow::{fmax_from_base, Implementation};
+use crate::pareto::{pareto_from_base, ParetoSummary};
 use crate::stage::{prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, PseudoCheckpoint};
 use crate::wire::{FlowCommand, FlowReport, PpacSummary};
 use m3d_cost::CostModel;
@@ -251,6 +252,37 @@ impl FlowSession {
         compare_from_base(&self.base, self.pseudo()?, &self.options, cost)
     }
 
+    /// Sweeps `config` over stacking style × sign-off corner ×
+    /// frequency and returns the power–performance–cost frontier.
+    ///
+    /// Scenario runs fork the session's base; the per-scenario pseudo
+    /// checkpoints are computed inside the sweep (one per distinct 3-D
+    /// scenario — they carry scenario-specific fingerprints, so the
+    /// session's own typical-monolithic checkpoint is not reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidSweep`] for a malformed grid and
+    /// propagates the first failure of any scenario run.
+    pub fn pareto(
+        &self,
+        config: Config,
+        freq_min_ghz: f64,
+        freq_max_ghz: f64,
+        freq_steps: usize,
+        cost: &CostModel,
+    ) -> Result<ParetoSummary, FlowError> {
+        pareto_from_base(
+            &self.base,
+            config,
+            freq_min_ghz,
+            freq_max_ghz,
+            freq_steps,
+            &self.options,
+            cost,
+        )
+    }
+
     /// Executes one wire-format command and rolls the result up into its
     /// serializable report — the single execution path shared by direct
     /// library callers and the flow service (which is how the service
@@ -283,6 +315,15 @@ impl FlowSession {
                 Ok(FlowReport::Compare {
                     comparison: (&comparison).into(),
                 })
+            }
+            FlowCommand::Pareto {
+                config,
+                freq_min_ghz,
+                freq_max_ghz,
+                freq_steps,
+            } => {
+                let summary = self.pareto(config, freq_min_ghz, freq_max_ghz, freq_steps, &cost)?;
+                Ok(FlowReport::Pareto { summary })
             }
         }
     }

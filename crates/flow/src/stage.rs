@@ -41,9 +41,10 @@ use m3d_place::{global_place, try_legalize_with_stats, Floorplan, LegalStats, Pl
 use m3d_power::{analyze_power, PowerConfig};
 use m3d_route::{global_route, try_extract_parasitics_with_stats, ExtractStats, RoutingResult};
 use m3d_sta::{
-    analyze, worst_paths, ClockSpec, Parasitics, StaResult, Timer, TimingContext, TimingEdit,
+    analyze, worst_paths, ClockSpec, CornerResults, MultiCornerTimer, Parasitics, StaResult, Timer,
+    TimingContext, TimingEdit,
 };
-use m3d_tech::{Library, Tier, TierStack};
+use m3d_tech::{Corner, Library, Tier, TierStack};
 use std::sync::Arc;
 
 /// The flow's immutable starting point: the validated, fanout-buffered
@@ -376,7 +377,12 @@ pub fn run_from_base(
     let mut state = FlowState {
         config,
         period_ns: period,
-        db: DesignDb::from_shared(base.netlist.clone(), config.stack(), period),
+        db: DesignDb::from_shared(
+            base.netlist.clone(),
+            config.stack_for(&options.tech),
+            period,
+        )
+        .with_tech(options.tech),
         pseudo: pseudo.cloned(),
         timing_assignment: None,
         eco: None,
@@ -1043,6 +1049,19 @@ impl Stage for SignOff {
             &[],
         );
         record_timer(&options.obs, &state.timer);
+        let sta = if options.tech.corners.is_typical_only() {
+            sta
+        } else {
+            worst_corner_sta(
+                state,
+                options,
+                sta,
+                &netlist,
+                &tiers,
+                &parasitics,
+                &clock_tree,
+            )
+        };
         let power = analyze_power(
             &netlist,
             &stack,
@@ -1059,4 +1078,75 @@ impl Stage for SignOff {
         state.db.set_power(power);
         Ok(())
     }
+}
+
+/// Re-analyzes the signed-off artifacts at every corner of the
+/// configured set and returns the worst (minimum-WNS) result.
+///
+/// Each extra corner gets its own derated stack ([`Config::stack_at`])
+/// with the scenario's stacking style applied; the netlist, tier
+/// assignment, parasitics and clock tree are shared — a process corner
+/// moves cell timing, not wires. The typical result computed by the
+/// flow's incremental timer is reused verbatim, so the default
+/// scenario's numbers are untouched; the extra corners run on a fresh
+/// [`MultiCornerTimer`], whose first update is bit-identical to a cold
+/// analysis at any thread count. Power sign-off stays at the typical
+/// corner: the paper's Table IV comparisons are typical-corner power,
+/// and only the timing sign-off is corner-dependent.
+#[allow(clippy::too_many_arguments)]
+fn worst_corner_sta(
+    state: &FlowState,
+    options: &FlowOptions,
+    typical: StaResult,
+    netlist: &Netlist,
+    tiers: &[Tier],
+    parasitics: &Parasitics,
+    clock_tree: &ClockTree,
+) -> StaResult {
+    let corners = options.tech.corners.corners();
+    let extra: Vec<Corner> = corners
+        .iter()
+        .copied()
+        .filter(|&c| c != Corner::Typical)
+        .collect();
+    let stacks: Vec<(Corner, TierStack)> = extra
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                state
+                    .config
+                    .stack_at(c)
+                    .with_stacking(options.tech.stacking),
+            )
+        })
+        .collect();
+    let clock = clock_spec(state.period_ns, Some(clock_tree));
+    let ctxs: Vec<(Corner, TimingContext)> = stacks
+        .iter()
+        .map(|(c, stack)| {
+            (
+                *c,
+                timing_context(netlist, stack, tiers, parasitics, clock.clone()),
+            )
+        })
+        .collect();
+    let mut timers = MultiCornerTimer::new(&extra);
+    let analyzed = timers.update_journaled(&ctxs, &[]);
+    options
+        .obs
+        .counter_add("sta/corner_analyses", extra.len() as u64);
+    let mut results = Vec::with_capacity(corners.len());
+    for &corner in corners {
+        if corner == Corner::Typical {
+            results.push((corner, typical.clone()));
+        } else {
+            let r = analyzed
+                .get(corner)
+                .expect("every non-typical corner was analyzed")
+                .clone();
+            results.push((corner, r));
+        }
+    }
+    CornerResults::new(results).into_worst().1
 }

@@ -12,12 +12,13 @@
 
 use crate::compare::Comparison;
 use crate::config::{Config, FlowOptions};
+use crate::pareto::{ParetoPoint, ParetoSummary, MAX_PARETO_STEPS};
 use crate::ppac::{DeltaRow, Ppac};
 use m3d_json::borrow;
 use m3d_json::{Cur, DecodeError, FromJson, FromJsonBorrowed, Obj, ToJson, Value};
 use m3d_netgen::Benchmark;
 use m3d_netlist::Netlist;
-use m3d_tech::Drive;
+use m3d_tech::{Corner, CornerSet, Drive, StackingStyle, TechContext};
 
 // ---------------------------------------------------------------------
 // leaf enums
@@ -99,6 +100,109 @@ fn drive_from_wire(cur: &Cur<'_>) -> Result<Drive, DecodeError> {
 
 fn drive_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Drive, DecodeError> {
     drive_from_name(cur.str()?).ok_or_else(|| cur.err(DRIVE_EXPECTED))
+}
+
+fn stacking_wire_name(s: StackingStyle) -> &'static str {
+    match s {
+        StackingStyle::Monolithic => "monolithic",
+        StackingStyle::F2fHybridBond => "f2f",
+    }
+}
+
+fn stacking_from_name(name: &str) -> Option<StackingStyle> {
+    match name {
+        "monolithic" => Some(StackingStyle::Monolithic),
+        "f2f" => Some(StackingStyle::F2fHybridBond),
+        _ => None,
+    }
+}
+
+const STACKING_EXPECTED: &str = "a stacking style (monolithic|f2f)";
+
+fn stacking_from_wire(cur: &Cur<'_>) -> Result<StackingStyle, DecodeError> {
+    stacking_from_name(cur.str()?).ok_or_else(|| DecodeError::new(cur.path(), STACKING_EXPECTED))
+}
+
+fn stacking_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<StackingStyle, DecodeError> {
+    stacking_from_name(cur.str()?).ok_or_else(|| cur.err(STACKING_EXPECTED))
+}
+
+fn corner_wire_name(c: Corner) -> &'static str {
+    match c {
+        Corner::Slow => "slow",
+        Corner::Typical => "typical",
+        Corner::Fast => "fast",
+    }
+}
+
+fn corner_from_name(name: &str) -> Option<Corner> {
+    match name {
+        "slow" => Some(Corner::Slow),
+        "typical" => Some(Corner::Typical),
+        "fast" => Some(Corner::Fast),
+        _ => None,
+    }
+}
+
+const CORNER_EXPECTED: &str = "a corner (slow|typical|fast)";
+
+fn corner_from_wire(cur: &Cur<'_>) -> Result<Corner, DecodeError> {
+    corner_from_name(cur.str()?).ok_or_else(|| DecodeError::new(cur.path(), CORNER_EXPECTED))
+}
+
+/// A corner *set* collapses to one word: the two multi-corner modes plus
+/// the single-corner scenarios ([`CornerSet::single`] normalizes
+/// `Single(Typical)` to `Typical`, so the mapping is a bijection).
+fn corner_set_wire_name(s: CornerSet) -> &'static str {
+    match s {
+        CornerSet::Typical => "typical",
+        CornerSet::Worst => "worst",
+        CornerSet::Single(c) => corner_wire_name(c),
+    }
+}
+
+fn corner_set_from_name(name: &str) -> Option<CornerSet> {
+    match name {
+        "typical" => Some(CornerSet::Typical),
+        "worst" => Some(CornerSet::Worst),
+        "slow" => Some(CornerSet::Single(Corner::Slow)),
+        "fast" => Some(CornerSet::Single(Corner::Fast)),
+        _ => None,
+    }
+}
+
+const CORNER_SET_EXPECTED: &str = "a corner set (typical|worst|slow|fast)";
+
+fn corner_set_from_wire(cur: &Cur<'_>) -> Result<CornerSet, DecodeError> {
+    corner_set_from_name(cur.str()?)
+        .ok_or_else(|| DecodeError::new(cur.path(), CORNER_SET_EXPECTED))
+}
+
+fn corner_set_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<CornerSet, DecodeError> {
+    corner_set_from_name(cur.str()?).ok_or_else(|| cur.err(CORNER_SET_EXPECTED))
+}
+
+// `TechContext` lives in `m3d_tech` and the JSON traits in `m3d_json`,
+// so the orphan rule forces free functions here instead of trait impls.
+fn tech_to_json(tech: &TechContext) -> Value {
+    Obj::new()
+        .put("stacking", stacking_wire_name(tech.stacking))
+        .put("corners", corner_set_wire_name(tech.corners))
+        .build()
+}
+
+fn tech_from_wire(cur: &Cur<'_>) -> Result<TechContext, DecodeError> {
+    Ok(TechContext {
+        stacking: stacking_from_wire(&cur.get("stacking")?)?,
+        corners: corner_set_from_wire(&cur.get("corners")?)?,
+    })
+}
+
+fn tech_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<TechContext, DecodeError> {
+    Ok(TechContext {
+        stacking: stacking_from_borrowed(&cur.get("stacking")?)?,
+        corners: corner_set_from_borrowed(&cur.get("corners")?)?,
+    })
 }
 
 fn benchmark_wire_name(b: Benchmark) -> &'static str {
@@ -231,6 +335,55 @@ pub enum FlowCommand {
     },
     /// Run the five-way iso-performance comparison (Tables VI/VII).
     CompareConfigs,
+    /// Sweep one configuration over stacking style × sign-off corner ×
+    /// frequency and return the power–performance–cost frontier.
+    Pareto {
+        /// Which configuration.
+        config: Config,
+        /// Lower frequency bound, GHz.
+        freq_min_ghz: f64,
+        /// Upper frequency bound, GHz.
+        freq_max_ghz: f64,
+        /// Grid size (1..=[`MAX_PARETO_STEPS`], endpoints inclusive).
+        freq_steps: usize,
+    },
+}
+
+impl FlowCommand {
+    /// Validates the command's own numeric bounds (currently only the
+    /// Pareto sweep grid — the other commands carry no resource-shaping
+    /// parameters beyond what [`FlowOptions::validate_bounds`] covers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the out-of-range member.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        if let FlowCommand::Pareto {
+            freq_min_ghz,
+            freq_max_ghz,
+            freq_steps,
+            ..
+        } = *self
+        {
+            let bounds_ok = freq_min_ghz.is_finite()
+                && freq_max_ghz.is_finite()
+                && freq_min_ghz > 0.0
+                && freq_max_ghz >= freq_min_ghz;
+            if !bounds_ok {
+                return Err(DecodeError::new(
+                    "command/freq_min_ghz",
+                    "positive finite bounds with freq_max_ghz >= freq_min_ghz",
+                ));
+            }
+            if !(1..=MAX_PARETO_STEPS).contains(&freq_steps) {
+                return Err(DecodeError::new(
+                    "command/freq_steps",
+                    format!("an integer in 1..={MAX_PARETO_STEPS}"),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl ToJson for FlowCommand {
@@ -250,6 +403,18 @@ impl ToJson for FlowCommand {
                 .put("start_ghz", start_ghz)
                 .build(),
             FlowCommand::CompareConfigs => Obj::new().put("op", "compare_configs").build(),
+            FlowCommand::Pareto {
+                config,
+                freq_min_ghz,
+                freq_max_ghz,
+                freq_steps,
+            } => Obj::new()
+                .put("op", "pareto")
+                .put("config", config.to_json())
+                .put("freq_min_ghz", freq_min_ghz)
+                .put("freq_max_ghz", freq_max_ghz)
+                .put("freq_steps", freq_steps)
+                .build(),
         }
     }
 }
@@ -267,9 +432,15 @@ impl FromJson for FlowCommand {
                 start_ghz: cur.get("start_ghz")?.f64()?,
             }),
             "compare_configs" => Ok(FlowCommand::CompareConfigs),
+            "pareto" => Ok(FlowCommand::Pareto {
+                config: config_from_wire(&cur.get("config")?)?,
+                freq_min_ghz: cur.get("freq_min_ghz")?.f64()?,
+                freq_max_ghz: cur.get("freq_max_ghz")?.f64()?,
+                freq_steps: cur.get("freq_steps")?.usize()?,
+            }),
             _ => Err(DecodeError::new(
                 op.path(),
-                "an op (run_flow|find_fmax|compare_configs)",
+                "an op (run_flow|find_fmax|compare_configs|pareto)",
             )),
         }
     }
@@ -288,7 +459,13 @@ impl FromJsonBorrowed for FlowCommand {
                 start_ghz: cur.get("start_ghz")?.f64()?,
             }),
             "compare_configs" => Ok(FlowCommand::CompareConfigs),
-            _ => Err(op.err("an op (run_flow|find_fmax|compare_configs)")),
+            "pareto" => Ok(FlowCommand::Pareto {
+                config: config_from_borrowed(&cur.get("config")?)?,
+                freq_min_ghz: cur.get("freq_min_ghz")?.f64()?,
+                freq_max_ghz: cur.get("freq_max_ghz")?.f64()?,
+                freq_steps: cur.get("freq_steps")?.usize()?,
+            }),
+            _ => Err(op.err("an op (run_flow|find_fmax|compare_configs|pareto)")),
         }
     }
 }
@@ -337,7 +514,8 @@ impl FlowRequest {
     /// Returns a [`DecodeError`] naming the out-of-range member.
     pub fn validate(&self) -> Result<(), DecodeError> {
         self.netlist.validate()?;
-        self.options.validate_bounds()
+        self.options.validate_bounds()?;
+        self.command.validate()
     }
 }
 
@@ -468,7 +646,11 @@ impl FlowOptions {
 
 impl ToJson for FlowOptions {
     fn to_json(&self) -> Value {
-        Obj::new()
+        // The `tech` key is omitted for the default scenario, mirroring
+        // the fingerprint's Debug rendering: requests minted before the
+        // technology axis existed decode (and hash) unchanged, and the
+        // default scenario's rendered requests stay byte-identical.
+        let mut o = Obj::new()
             .put("utilization", self.utilization)
             .put("seed", self.seed)
             .put(
@@ -505,8 +687,11 @@ impl ToJson for FlowOptions {
             .put("max_fanout", self.max_fanout)
             .put("partition_bins", self.partition_bins)
             .put("wns_tolerance", self.wns_tolerance)
-            .put("threads", self.threads)
-            .build()
+            .put("threads", self.threads);
+        if !self.tech.is_default() {
+            o = o.put("tech", tech_to_json(&self.tech));
+        }
+        o.build()
     }
 }
 
@@ -546,6 +731,9 @@ impl FromJson for FlowOptions {
             fast_drive: drive_from_wire(&cts.get("fast_drive")?)?,
             slow_drive: drive_from_wire(&cts.get("slow_drive")?)?,
         };
+        if let Some(tech) = cur.opt("tech") {
+            out.tech = tech_from_wire(&tech)?;
+        }
         Ok(out)
     }
 }
@@ -586,6 +774,9 @@ impl FromJsonBorrowed for FlowOptions {
             fast_drive: drive_from_borrowed(&cts.get("fast_drive")?)?,
             slow_drive: drive_from_borrowed(&cts.get("slow_drive")?)?,
         };
+        if let Some(tech) = cur.opt("tech") {
+            out.tech = tech_from_borrowed(&tech)?;
+        }
         Ok(out)
     }
 }
@@ -838,6 +1029,68 @@ impl ToJson for Comparison {
     }
 }
 
+impl ToJson for ParetoPoint {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .put("stacking", stacking_wire_name(self.stacking))
+            .put("corner", corner_wire_name(self.corner))
+            .put("frequency_ghz", self.frequency_ghz)
+            .put("total_power_mw", self.total_power_mw)
+            .put("effective_delay_ns", self.effective_delay_ns)
+            .put("die_cost_uc", self.die_cost_uc)
+            .put("pdp_pj", self.pdp_pj)
+            .put("ppc", self.ppc)
+            .put("wns_ns", self.wns_ns)
+            .put("timing_met", self.timing_met)
+            .put("on_frontier", self.on_frontier)
+            .build()
+    }
+}
+
+impl FromJson for ParetoPoint {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        Ok(ParetoPoint {
+            stacking: stacking_from_wire(&cur.get("stacking")?)?,
+            corner: corner_from_wire(&cur.get("corner")?)?,
+            frequency_ghz: cur.get("frequency_ghz")?.f64()?,
+            total_power_mw: cur.get("total_power_mw")?.f64()?,
+            effective_delay_ns: cur.get("effective_delay_ns")?.f64()?,
+            die_cost_uc: cur.get("die_cost_uc")?.f64()?,
+            pdp_pj: cur.get("pdp_pj")?.f64()?,
+            ppc: cur.get("ppc")?.f64()?,
+            wns_ns: cur.get("wns_ns")?.f64()?,
+            timing_met: cur.get("timing_met")?.bool()?,
+            on_frontier: cur.get("on_frontier")?.bool()?,
+        })
+    }
+}
+
+impl ToJson for ParetoSummary {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .put("config", self.config.to_json())
+            .put(
+                "points",
+                Value::Arr(self.points.iter().map(ToJson::to_json).collect()),
+            )
+            .build()
+    }
+}
+
+impl FromJson for ParetoSummary {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        Ok(ParetoSummary {
+            config: config_from_wire(&cur.get("config")?)?,
+            points: cur
+                .get("points")?
+                .arr()?
+                .into_iter()
+                .map(ParetoPoint::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 /// What a successful request returns: one variant per [`FlowCommand`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowReport {
@@ -857,6 +1110,11 @@ pub enum FlowReport {
     Compare {
         /// The five-way table.
         comparison: ComparisonSummary,
+    },
+    /// Result of [`FlowCommand::Pareto`].
+    Pareto {
+        /// The full swept point set, frontier membership marked.
+        summary: ParetoSummary,
     },
 }
 
@@ -878,6 +1136,12 @@ impl FlowReport {
                 "`{}` five-way comparison at {:.2} GHz iso-performance",
                 comparison.design, comparison.target_ghz
             ),
+            FlowReport::Pareto { summary } => format!(
+                "{} pareto sweep: {} points, {} on the frontier",
+                summary.config,
+                summary.points.len(),
+                summary.frontier().count()
+            ),
         }
     }
 }
@@ -898,6 +1162,10 @@ impl ToJson for FlowReport {
                 .put("kind", "compare")
                 .put("comparison", comparison.to_json())
                 .build(),
+            FlowReport::Pareto { summary } => Obj::new()
+                .put("kind", "pareto")
+                .put("summary", summary.to_json())
+                .build(),
         }
     }
 }
@@ -916,7 +1184,13 @@ impl FromJson for FlowReport {
             "compare" => Ok(FlowReport::Compare {
                 comparison: ComparisonSummary::from_json(cur.get("comparison")?)?,
             }),
-            _ => Err(DecodeError::new(kind.path(), "a kind (run|fmax|compare)")),
+            "pareto" => Ok(FlowReport::Pareto {
+                summary: ParetoSummary::from_json(cur.get("summary")?)?,
+            }),
+            _ => Err(DecodeError::new(
+                kind.path(),
+                "a kind (run|fmax|compare|pareto)",
+            )),
         }
     }
 }
@@ -1002,6 +1276,98 @@ mod tests {
             deltas: vec![],
         };
         roundtrip(&FlowReport::Compare { comparison: cmp });
+    }
+
+    #[test]
+    fn default_options_render_without_a_tech_key() {
+        // Backward compatibility: requests rendered before the
+        // technology axis existed must stay byte-identical, so the
+        // default scenario omits the key entirely.
+        let text = FlowOptions::default().to_json().render();
+        assert!(!text.contains("tech"), "default rendering leaked: {text}");
+        let mut scenario = FlowOptions::default();
+        scenario.tech.corners = CornerSet::Worst;
+        assert!(scenario.to_json().render().contains("\"tech\""));
+    }
+
+    #[test]
+    fn tech_scenarios_round_trip_owned_and_borrowed() {
+        let scenarios = [
+            TechContext::default(),
+            TechContext {
+                stacking: StackingStyle::F2fHybridBond,
+                corners: CornerSet::Worst,
+            },
+            TechContext {
+                stacking: StackingStyle::Monolithic,
+                corners: CornerSet::single(Corner::Slow),
+            },
+            TechContext {
+                stacking: StackingStyle::F2fHybridBond,
+                corners: CornerSet::single(Corner::Fast),
+            },
+        ];
+        for tech in scenarios {
+            let options = FlowOptions {
+                tech,
+                ..FlowOptions::default()
+            };
+            roundtrip(&options);
+            let req = FlowRequest {
+                id: 3,
+                netlist: NetlistSpec {
+                    benchmark: Benchmark::Aes,
+                    scale: 0.02,
+                    seed: 5,
+                },
+                options,
+                command: FlowCommand::Pareto {
+                    config: Config::Hetero3d,
+                    freq_min_ghz: 0.8,
+                    freq_max_ghz: 1.4,
+                    freq_steps: 4,
+                },
+                deadline_ms: None,
+            };
+            roundtrip(&req);
+            let text = req.to_json().render();
+            let borrowed: FlowRequest = m3d_json::decode_borrowed(&text).expect("borrowed");
+            assert_eq!(borrowed, req);
+        }
+    }
+
+    #[test]
+    fn pareto_reports_round_trip_and_bad_sweeps_are_rejected() {
+        let point = ParetoPoint {
+            stacking: StackingStyle::F2fHybridBond,
+            corner: Corner::Slow,
+            frequency_ghz: 1.1,
+            total_power_mw: 12.5,
+            effective_delay_ns: 0.95,
+            die_cost_uc: 7.4,
+            pdp_pj: 11.875,
+            ppc: 0.011,
+            wns_ns: -0.04,
+            timing_met: false,
+            on_frontier: true,
+        };
+        roundtrip(&point);
+        roundtrip(&FlowReport::Pareto {
+            summary: ParetoSummary {
+                config: Config::Hetero3d,
+                points: vec![point],
+            },
+        });
+        // Sweep bounds are enforced at request admission.
+        for (lo, hi, steps) in [(0.0, 1.0, 4), (1.2, 0.8, 4), (0.8, 1.2, 0), (0.8, 1.2, 65)] {
+            let cmd = FlowCommand::Pareto {
+                config: Config::TwoD12T,
+                freq_min_ghz: lo,
+                freq_max_ghz: hi,
+                freq_steps: steps,
+            };
+            assert!(cmd.validate().is_err(), "({lo}, {hi}, {steps})");
+        }
     }
 
     #[test]

@@ -4,14 +4,21 @@
 //! ```text
 //! serve_client --addr HOST:PORT [--requests N] [--scale F] [--seed N]
 //!              [--keys K] [--deadline-ms MS]
+//! serve_client pareto --addr HOST:PORT [--config C] [--freq-min F]
+//!              [--freq-max F] [--steps N] [--scale F] [--seed N]
+//!              [--deadline-ms MS]
 //! ```
 //!
-//! Requests cycle through the five configurations plus an fmax sweep,
-//! spread across `K` distinct option variants (so a run exercises both
-//! cache hits and misses). Responses are matched by id; the summary
-//! counts outcomes and the service's reported cache hits.
+//! The default mode cycles requests through the five configurations plus
+//! an fmax sweep, spread across `K` distinct option variants (so a run
+//! exercises both cache hits and misses). Responses are matched by id;
+//! the summary counts outcomes and the service's reported cache hits.
+//!
+//! The `pareto` mode sends one [`FlowCommand::Pareto`] sweep and prints
+//! the returned stacking × corner × frequency point table with the
+//! power–performance–cost frontier marked.
 
-use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+use m3d_flow::{Config, FlowCommand, FlowOptions, FlowReport, FlowRequest, NetlistSpec};
 use m3d_netgen::Benchmark;
 use m3d_serve::{Client, Response};
 use std::time::Instant;
@@ -20,9 +27,123 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_client --addr HOST:PORT [--requests N] [--scale F] [--seed N]\n\
          \x20                 [--keys K] [--deadline-ms MS]\n\
-         defaults: --requests 12 --scale 0.02 --seed 1 --keys 2"
+         \x20      serve_client pareto --addr HOST:PORT [--config C] [--freq-min F]\n\
+         \x20                 [--freq-max F] [--steps N] [--scale F] [--seed N]\n\
+         \x20                 [--deadline-ms MS]\n\
+         defaults: --requests 12 --scale 0.02 --seed 1 --keys 2\n\
+         pareto defaults: --config hetero3d --freq-min 0.8 --freq-max 1.2 --steps 3"
     );
     std::process::exit(2);
+}
+
+fn config_arg(name: &str) -> Config {
+    match name {
+        "2d9t" => Config::TwoD9T,
+        "2d12t" => Config::TwoD12T,
+        "3d9t" => Config::ThreeD9T,
+        "3d12t" => Config::ThreeD12T,
+        "hetero3d" => Config::Hetero3d,
+        _ => usage(),
+    }
+}
+
+/// The `pareto` subcommand: one sweep request, pretty-printed frontier.
+fn run_pareto(mut args: std::env::Args) -> ! {
+    let mut addr = None;
+    let mut config = Config::Hetero3d;
+    let mut freq_min = 0.8f64;
+    let mut freq_max = 1.2f64;
+    let mut steps = 3usize;
+    let mut scale = 0.02f64;
+    let mut seed = 1u64;
+    let mut deadline_ms = None;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = Some(value()),
+            "--config" => config = config_arg(&value()),
+            "--freq-min" => freq_min = value().parse().unwrap_or_else(|_| usage()),
+            "--freq-max" => freq_max = value().parse().unwrap_or_else(|_| usage()),
+            "--steps" => steps = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client = Client::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("serve_client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let request = FlowRequest {
+        id: 0,
+        netlist: NetlistSpec {
+            benchmark: Benchmark::Aes,
+            scale,
+            seed,
+        },
+        options: FlowOptions::default(),
+        command: FlowCommand::Pareto {
+            config,
+            freq_min_ghz: freq_min,
+            freq_max_ghz: freq_max,
+            freq_steps: steps,
+        },
+        deadline_ms,
+    };
+    let started = Instant::now();
+    if let Err(e) = client.send(&request) {
+        eprintln!("serve_client: send failed: {e}");
+        std::process::exit(1);
+    }
+    match client.recv() {
+        Ok(Response::Ok {
+            cache_hit, report, ..
+        }) => {
+            let FlowReport::Pareto { summary } = *report else {
+                eprintln!("serve_client: unexpected report kind");
+                std::process::exit(1);
+            };
+            println!(
+                "{} pareto sweep ({} points, cache {}):",
+                summary.config,
+                summary.points.len(),
+                if cache_hit { "hit" } else { "miss" }
+            );
+            println!(
+                "  {:<10} {:>7} {:>8} {:>9} {:>10} {:>9} {:>4} {:>8}",
+                "stacking", "corner", "f_GHz", "power_mW", "delay_ns", "cost_uc", "met", "frontier"
+            );
+            for p in &summary.points {
+                println!(
+                    "  {:<10} {:>7} {:>8.3} {:>9.3} {:>10.4} {:>9.4} {:>4} {:>8}",
+                    p.stacking.to_string(),
+                    p.corner.to_string(),
+                    p.frequency_ghz,
+                    p.total_power_mw,
+                    p.effective_delay_ns,
+                    p.die_cost_uc,
+                    if p.timing_met { "yes" } else { "no" },
+                    if p.on_frontier { "*" } else { "" }
+                );
+            }
+            println!(
+                "{} frontier points in {:.2} s",
+                summary.frontier().count(),
+                started.elapsed().as_secs_f64()
+            );
+            std::process::exit(0);
+        }
+        Ok(Response::Rejected { kind, message, .. }) => {
+            eprintln!("serve_client: rejected [{kind}] {message}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("serve_client: receive failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The request mix: one command per request, round-robin.
@@ -54,14 +175,19 @@ fn options_variant(k: usize) -> FlowOptions {
 }
 
 fn main() {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let mut first = args.next();
+    if first.as_deref() == Some("pareto") {
+        run_pareto(args);
+    }
     let mut addr = None;
     let mut requests = 12usize;
     let mut scale = 0.02f64;
     let mut seed = 1u64;
     let mut keys = 2usize;
     let mut deadline_ms = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
+    while let Some(flag) = first.take().or_else(|| args.next()) {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--addr" => addr = Some(value()),

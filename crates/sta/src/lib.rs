@@ -46,6 +46,7 @@
 
 mod cache;
 mod context;
+mod corners;
 mod engine;
 pub mod fxhash;
 mod incremental;
@@ -53,6 +54,7 @@ mod paths;
 
 pub use cache::DelayCache;
 pub use context::{ClockSpec, NetModel, Parasitics, TimingContext};
+pub use corners::{CornerResults, MultiCornerTimer};
 pub use engine::{analyze, StaResult};
 pub use incremental::{Timer, TimerStats, TimingEdit};
 pub use paths::{worst_paths, PathStage, TimingPath};

@@ -167,6 +167,15 @@ impl StackSpec {
                 "technology stack uses a non-preset library".into(),
             ));
         }
+        // The presets all carry the default metal stack; a modified BEOL
+        // (e.g. an F2F hybrid-bond via swapped in by a technology
+        // scenario) would rehydrate as the monolithic default, so it
+        // must be rejected rather than silently renamed.
+        if stack.metal != m3d_tech::MetalStack::six_layer_28nm() {
+            return Err(StoreError::Unencodable(
+                "technology stack uses a non-default metal stack".into(),
+            ));
+        }
         let spec = match (stack.is_3d(), bottom.track, top.track) {
             (false, TrackHeight::Nine, _) => StackSpec::TwoD9,
             (false, TrackHeight::Twelve, _) => StackSpec::TwoD12,
@@ -620,5 +629,21 @@ mod tests {
             Err(StoreError::Unencodable(_))
         ));
         assert!(StackSpec::from_tag(9).is_err());
+    }
+
+    #[test]
+    fn stack_specs_reject_non_default_metal_stacks() {
+        // A derated library already fails the preset check by name, but a
+        // scenario that only swaps the inter-tier via (F2F hybrid bond)
+        // keeps both libraries pristine — the metal guard must catch it,
+        // or a warm restart would silently rebuild a monolithic stack.
+        let f2f = TierStack::heterogeneous().with_stacking(m3d_tech::StackingStyle::F2fHybridBond);
+        assert!(matches!(
+            StackSpec::of(&f2f),
+            Err(StoreError::Unencodable(_))
+        ));
+        let monolithic =
+            TierStack::heterogeneous().with_stacking(m3d_tech::StackingStyle::Monolithic);
+        assert_eq!(StackSpec::of(&monolithic).unwrap(), StackSpec::Hetero);
     }
 }

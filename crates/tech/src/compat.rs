@@ -10,6 +10,13 @@ use crate::library::Library;
 /// The paper's level-shifter rule: shifters are required when
 /// `VDDH − VDDL ≥ 0.3 × VDDH`.
 ///
+/// The comparison is **inclusive**: a delta landing *exactly on* the
+/// 30 % threshold already requires shifters; only strictly-inside
+/// deltas (`VDDH − VDDL < 0.3 × VDDH`) are shifter-free. Both sides
+/// are evaluated in `f64` exactly as written — `vddh - vddl` against
+/// `0.3 * vddh` — with no epsilon, so callers comparing against the
+/// boundary get bit-exact, order-independent answers.
+///
 /// # Examples
 ///
 /// ```
@@ -17,6 +24,9 @@ use crate::library::Library;
 /// assert!(!m3d_tech::needs_level_shifter(0.90, 0.81));
 /// // 0.90 V vs 0.55 V: 39 % difference, shifters required.
 /// assert!(m3d_tech::needs_level_shifter(0.90, 0.55));
+/// // Exactly on the 30 % boundary (0.90 − 0.63 == 0.27 in f64):
+/// // inclusive, so shifters are required.
+/// assert!(m3d_tech::needs_level_shifter(0.90, 0.63));
 /// ```
 #[must_use]
 pub fn needs_level_shifter(vdd_a: f64, vdd_b: f64) -> bool {
@@ -99,6 +109,28 @@ mod tests {
         assert!(!needs_level_shifter(1.0, 0.71));
         // Order-independent.
         assert_eq!(needs_level_shifter(0.7, 1.0), needs_level_shifter(1.0, 0.7));
+    }
+
+    #[test]
+    fn shifter_rule_is_inclusive_at_the_exact_boundary() {
+        // VDDH = 0.9 hits the threshold exactly in f64: both
+        // `vddh - vddl` and `0.3 * vddh` evaluate to the same double
+        // (0.27), so this exercises the `>=` equality case bit-for-bit
+        // rather than landing one ulp to either side.
+        let vddh = 0.9;
+        let threshold = 0.3 * vddh;
+        let vddl = vddh - threshold;
+        assert_eq!(
+            vddh - vddl,
+            threshold,
+            "test precondition: the boundary must be representable exactly"
+        );
+        // Inclusive rule: exact equality already requires shifters.
+        assert!(needs_level_shifter(vddh, vddl));
+        // A delta even a couple of ulps inside the boundary does not.
+        assert!(!needs_level_shifter(vddh, vddl + f64::EPSILON));
+        // And a couple of ulps outside still does.
+        assert!(needs_level_shifter(vddh, vddl - f64::EPSILON));
     }
 
     #[test]

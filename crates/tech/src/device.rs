@@ -1,4 +1,55 @@
 use crate::THERMAL_VOLTAGE;
+use std::fmt;
+
+/// A process-voltage (PVT) corner at which libraries are generated and
+/// timing is signed off.
+///
+/// [`Corner::Typical`] is the nominal corner every library preset ships
+/// at; [`Corner::Slow`] and [`Corner::Fast`] derate the supply and
+/// threshold in the pessimistic and optimistic directions
+/// (see [`CornerParams::derated`]). Ordering is slow → typical → fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Corner {
+    /// Worst-case corner: lowered supply, raised threshold (SS-like).
+    Slow,
+    /// The nominal corner — derating is the identity here.
+    Typical,
+    /// Best-case corner: raised supply, lowered threshold (FF-like).
+    Fast,
+}
+
+impl Corner {
+    /// All corners, slow first (the sign-off sweep order).
+    pub const ALL: [Corner; 3] = [Corner::Slow, Corner::Typical, Corner::Fast];
+
+    /// Conventional library-name suffix (`ss`/`tt`/`ff`).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Corner::Slow => "ss",
+            Corner::Typical => "tt",
+            Corner::Fast => "ff",
+        }
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corner::Slow => f.write_str("slow"),
+            Corner::Typical => f.write_str("typical"),
+            Corner::Fast => f.write_str("fast"),
+        }
+    }
+}
+
+/// Supply derating applied at the slow corner (−8 % VDD).
+const SLOW_VDD_FACTOR: f64 = 0.92;
+/// Supply derating applied at the fast corner (+8 % VDD).
+const FAST_VDD_FACTOR: f64 = 1.08;
+/// Threshold shift (volts) applied at the derated corners: up at slow,
+/// down at fast.
+const CORNER_VTH_SHIFT: f64 = 0.03;
 
 /// Physical parameters of one technology corner (one track-height library).
 ///
@@ -75,6 +126,60 @@ impl CornerParams {
             unit_parasitic_cap_ff: 0.55,
             subthreshold_n: 1.5,
             leak_prefactor_ua: 310.0,
+        }
+    }
+
+    /// The 12-track parameters derated to `corner`
+    /// (`Corner::Typical` returns [`CornerParams::twelve_track`]
+    /// unchanged, bit for bit).
+    #[must_use]
+    pub fn twelve_track_at(corner: Corner) -> Self {
+        let name = match corner {
+            Corner::Slow => "28nm_12T_ss",
+            Corner::Typical => "28nm_12T",
+            Corner::Fast => "28nm_12T_ff",
+        };
+        Self::twelve_track().derated(corner, name)
+    }
+
+    /// The 9-track parameters derated to `corner`
+    /// (`Corner::Typical` returns [`CornerParams::nine_track`]
+    /// unchanged, bit for bit).
+    #[must_use]
+    pub fn nine_track_at(corner: Corner) -> Self {
+        let name = match corner {
+            Corner::Slow => "28nm_9T_ss",
+            Corner::Typical => "28nm_9T",
+            Corner::Fast => "28nm_9T_ff",
+        };
+        Self::nine_track().derated(corner, name)
+    }
+
+    /// Derates these parameters to `corner`: the slow corner lowers VDD
+    /// and raises Vth (strictly slower at every operating point under
+    /// the alpha-power law), the fast corner does the opposite, and the
+    /// typical corner is the identity — including the name, so typical
+    /// libraries are indistinguishable from the undecorated presets.
+    ///
+    /// `name` is the library name the *derated* corner takes (corner
+    /// names are static because they participate in cell naming and
+    /// checkpoint tags).
+    #[must_use]
+    pub fn derated(&self, corner: Corner, name: &'static str) -> Self {
+        match corner {
+            Corner::Typical => self.clone(),
+            Corner::Slow => CornerParams {
+                name,
+                vdd: self.vdd * SLOW_VDD_FACTOR,
+                vth: self.vth + CORNER_VTH_SHIFT,
+                ..self.clone()
+            },
+            Corner::Fast => CornerParams {
+                name,
+                vdd: self.vdd * FAST_VDD_FACTOR,
+                vth: self.vth - CORNER_VTH_SHIFT,
+                ..self.clone()
+            },
         }
     }
 }
@@ -222,6 +327,49 @@ mod tests {
         let on = m.drive_current_ma(1.0, 0.9);
         let off = m.drive_current_ma(1.0, 0.1);
         assert!(on / off > 100.0);
+    }
+
+    #[test]
+    fn typical_derating_is_the_identity() {
+        assert_eq!(
+            CornerParams::twelve_track_at(Corner::Typical),
+            CornerParams::twelve_track()
+        );
+        assert_eq!(
+            CornerParams::nine_track_at(Corner::Typical),
+            CornerParams::nine_track()
+        );
+    }
+
+    #[test]
+    fn corner_ordering_is_strict_in_delay_and_leakage() {
+        for base in [CornerParams::twelve_track_at, CornerParams::nine_track_at] {
+            let slow = DeviceModel::new(base(Corner::Slow));
+            let typ = DeviceModel::new(base(Corner::Typical));
+            let fast = DeviceModel::new(base(Corner::Fast));
+            // Overdrive stays positive at every corner.
+            assert!(slow.params().vdd > slow.params().vth);
+            for (slew, load) in [(0.002, 0.2), (0.02, 4.0), (0.5, 120.0), (2.0, 400.0)] {
+                let d = |m: &DeviceModel| m.stage_delay_ns(1.0, slew, load);
+                assert!(d(&slow) > d(&typ) && d(&typ) > d(&fast), "{slew}/{load}");
+                let s = |m: &DeviceModel| m.output_slew_ns(1.0, slew, load);
+                assert!(s(&slow) > s(&typ) && s(&typ) > s(&fast), "{slew}/{load}");
+            }
+            // Higher Vth at the slow corner leaks less; lower at fast leaks more.
+            assert!(slow.leakage_uw(1.0) < typ.leakage_uw(1.0));
+            assert!(fast.leakage_uw(1.0) > typ.leakage_uw(1.0));
+        }
+    }
+
+    #[test]
+    fn corner_names_and_suffixes_are_distinct() {
+        let names: Vec<&str> = Corner::ALL
+            .iter()
+            .map(|&c| CornerParams::twelve_track_at(c).name)
+            .collect();
+        assert_eq!(names, ["28nm_12T_ss", "28nm_12T", "28nm_12T_ff"]);
+        assert_eq!(Corner::Slow.suffix(), "ss");
+        assert_eq!(Corner::Typical.to_string(), "typical");
     }
 
     #[test]

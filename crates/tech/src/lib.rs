@@ -35,14 +35,16 @@ mod compat;
 mod device;
 mod library;
 mod lut;
+mod stacking;
 mod tier;
 
 pub use beol::{MetalLayer, MetalStack, Miv, WireRc};
 pub use cell::{CellKind, Drive, MasterCell, TimingArc};
 pub use compat::{needs_level_shifter, slew_range_overlap, BoundaryCheck};
-pub use device::{CornerParams, DeviceModel};
+pub use device::{Corner, CornerParams, DeviceModel};
 pub use library::{Library, TrackHeight};
 pub use lut::Lut2d;
+pub use stacking::{CornerSet, StackingStyle, TechContext};
 pub use tier::{Tier, TierStack};
 
 /// Boltzmann thermal voltage at 300 K, in volts.

@@ -1,5 +1,5 @@
 use crate::cell::{CellKind, Drive, MasterCell, TimingArc};
-use crate::device::{CornerParams, DeviceModel};
+use crate::device::{Corner, CornerParams, DeviceModel};
 use crate::lut::{log_axis, Lut2d};
 use std::collections::HashMap;
 
@@ -111,6 +111,22 @@ impl Library {
     #[must_use]
     pub fn nine_track() -> Self {
         Library::from_corner(TrackHeight::Nine, CornerParams::nine_track())
+    }
+
+    /// The 12-track library characterized at `corner`
+    /// ([`Corner::Typical`] reproduces [`Library::twelve_track`]
+    /// bit for bit).
+    #[must_use]
+    pub fn twelve_track_at(corner: Corner) -> Self {
+        Library::from_corner(TrackHeight::Twelve, CornerParams::twelve_track_at(corner))
+    }
+
+    /// The 9-track library characterized at `corner`
+    /// ([`Corner::Typical`] reproduces [`Library::nine_track`]
+    /// bit for bit).
+    #[must_use]
+    pub fn nine_track_at(corner: Corner) -> Self {
+        Library::from_corner(TrackHeight::Nine, CornerParams::nine_track_at(corner))
     }
 
     /// Looks up a characterized cell, or `None` for `Macro`/unknown combos.

@@ -1,5 +1,7 @@
 use crate::beol::MetalStack;
+use crate::device::Corner;
 use crate::library::Library;
+use crate::stacking::StackingStyle;
 use std::fmt;
 use std::sync::Arc;
 
@@ -112,6 +114,26 @@ impl TierStack {
         TierStack::three_d(Library::twelve_track(), Library::nine_track())
     }
 
+    /// [`TierStack::heterogeneous`] with both libraries derated to
+    /// `corner` ([`Corner::Typical`] reproduces `heterogeneous()`
+    /// bit for bit).
+    #[must_use]
+    pub fn heterogeneous_at(corner: Corner) -> Self {
+        TierStack::three_d(
+            Library::twelve_track_at(corner),
+            Library::nine_track_at(corner),
+        )
+    }
+
+    /// Rebinds the inter-tier via technology to `style`'s (builder
+    /// style). [`StackingStyle::Monolithic`] is the identity on the
+    /// default stack: its via *is* [`crate::Miv::default`].
+    #[must_use]
+    pub fn with_stacking(mut self, style: StackingStyle) -> Self {
+        self.metal.miv = style.via();
+        self
+    }
+
     /// Returns `true` for a two-tier (3-D) stack.
     #[must_use]
     pub fn is_3d(&self) -> bool {
@@ -211,6 +233,29 @@ mod tests {
         assert!(s.is_3d());
         assert!(!s.is_heterogeneous());
         assert_eq!(s.fast_tier(), Tier::Bottom);
+    }
+
+    #[test]
+    fn default_stacking_is_the_identity_and_f2f_swaps_the_via() {
+        let base = TierStack::heterogeneous();
+        let mono = TierStack::heterogeneous().with_stacking(StackingStyle::Monolithic);
+        assert_eq!(base.metal, mono.metal);
+        let f2f = TierStack::heterogeneous().with_stacking(StackingStyle::F2fHybridBond);
+        assert_eq!(f2f.metal.miv, StackingStyle::F2fHybridBond.via());
+        // The routing layers themselves are untouched.
+        assert_eq!(f2f.metal.layer_count(), base.metal.layer_count());
+    }
+
+    #[test]
+    fn corner_derated_heterogeneous_stack_keeps_its_shape() {
+        let typ = TierStack::heterogeneous_at(Corner::Typical);
+        assert_eq!(typ.library(Tier::Bottom).name, "28nm_12T");
+        let slow = TierStack::heterogeneous_at(Corner::Slow);
+        assert!(slow.is_heterogeneous());
+        assert_eq!(slow.library(Tier::Bottom).name, "28nm_12T_ss");
+        assert_eq!(slow.library(Tier::Top).name, "28nm_9T_ss");
+        assert_eq!(slow.fast_tier(), Tier::Bottom);
+        assert!(slow.vdd_high() < typ.vdd_high());
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Property tests for the corner axis: clamped bilinear interpolation
+//! never leaves the table's value range, and the slow/typical/fast
+//! derating applied by [`CornerParams::derated`] orders every
+//! NLDM-style table point monotonically.
+
+use m3d_tech::{Corner, CornerParams, DeviceModel, Lut2d};
+use proptest::prelude::*;
+
+const SLEW_AXIS: [f64; 7] = [0.002, 0.0063, 0.02, 0.063, 0.2, 0.63, 2.0];
+const LOAD_AXIS: [f64; 7] = [0.2, 0.75, 2.8, 10.4, 39.0, 117.0, 400.0];
+
+fn table_from(f: impl Fn(f64, f64) -> f64) -> Lut2d {
+    Lut2d::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), f)
+}
+
+/// Min/max of the table's stored values, probed at the exact grid
+/// points (where clamped bilinear lookup returns the raw entry).
+fn value_range(lut: &Lut2d) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &s in &SLEW_AXIS {
+        for &l in &LOAD_AXIS {
+            let v = lut.lookup(s, l);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    (lo, hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bilinear_lookup_stays_within_table_bounds(
+        a in -5.0..5.0f64,
+        b in -3.0..3.0f64,
+        c in -0.05..0.05f64,
+        d in -0.01..0.01f64,
+        slew in 0.0001..10.0f64,
+        load in 0.01..2000.0f64,
+    ) {
+        // An arbitrary bilinear-in-the-cells surface, signs and all:
+        // interpolation is a convex combination of four table entries
+        // and clamping pins out-of-range queries to the border, so no
+        // query may escape the stored value range.
+        let lut = table_from(|s, l| a + b * s + c * l + d * s * l);
+        let (lo, hi) = value_range(&lut);
+        let v = lut.lookup(slew, load);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{lo} <= {v} <= {hi}");
+    }
+
+    #[test]
+    fn corner_derating_orders_delay_tables_monotonically(
+        width in 1.0..16.0f64,
+        slew in 0.0005..5.0f64,
+        load in 0.05..1000.0f64,
+        pick in 0.0..1.0f64,
+    ) {
+        // Build the same NLDM delay table at each corner, exactly the
+        // way library characterization does, and require the slow >
+        // typical > fast ordering to survive interpolation at an
+        // arbitrary query point (in or out of table range).
+        let base: fn(Corner) -> CornerParams = if pick < 0.5 {
+            CornerParams::nine_track_at
+        } else {
+            CornerParams::twelve_track_at
+        };
+        let lut_at = |corner: Corner| {
+            let model = DeviceModel::new(base(corner));
+            table_from(|s, l| model.stage_delay_ns(width, s, l))
+        };
+        let slow = lut_at(Corner::Slow).lookup(slew, load);
+        let typ = lut_at(Corner::Typical).lookup(slew, load);
+        let fast = lut_at(Corner::Fast).lookup(slew, load);
+        prop_assert!(slow > typ, "slow {slow} <= typical {typ}");
+        prop_assert!(typ > fast, "typical {typ} <= fast {fast}");
+        // All three stay within their own table bounds.
+        for (corner, v) in [(Corner::Slow, slow), (Corner::Typical, typ), (Corner::Fast, fast)] {
+            let (lo, hi) = value_range(&lut_at(corner));
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{corner}: {lo} <= {v} <= {hi}");
+        }
+    }
+}

@@ -235,6 +235,16 @@ const SERVE_EXACT: &[&str] = &[
     "warm_pseudo3d_runs",
     "conn_idle_connections",
     "conn_samples",
+    "sweep_points",
+    "sweep_scenarios",
+    "sweep_pseudo3d_runs",
+    "sweep_quota_deferred",
+    "fair_inflight_cap",
+    "fair_sweep_points",
+    "fair_quota_deferred",
+    "router_shards",
+    "router_distinct_keys",
+    "router_pseudo3d_runs",
 ];
 
 /// Absolute floor on the serve bench's checkpoint-cache hit rate: the
@@ -261,6 +271,22 @@ const CONN_P99_ABS_SLACK_MS: f64 = 5.0;
 /// stay well below the owned tree's churn. Measured ~1.4x; a drop to
 /// ~1.0x means the zero-copy path regressed into per-field allocation.
 const DECODE_CHURN_RATIO_FLOOR: f64 = 1.2;
+
+/// Ceiling on the fairness phase's interactive p99 ratio: probe
+/// latency on a second connection while a 64-point sweep streams, over
+/// the sweep-free baseline. The in-flight cap (2, below the worker
+/// count) means the probe only ever pays CPU sharing with a couple of
+/// sweep points — a small multiple of its own service time. Without
+/// admission fairness the probe queues behind the sweep's remaining
+/// tail (~60 points, hundreds of milliseconds) and blows through this
+/// by an order of magnitude.
+const FAIR_P99_RATIO_CEILING: f64 = 8.0;
+
+/// Absolute escape hatch for the fairness ratio on noisy runners: an
+/// absolute p99 regression this small passes even above the ceiling.
+/// A probe starved behind an uncapped sweep tail regresses by hundreds
+/// of milliseconds and still trips the check.
+const FAIR_P99_ABS_SLACK_MS: f64 = 150.0;
 
 fn gate_serve(gate: &mut Gate, fresh: &Value, baseline: &Value) {
     gate.check(
@@ -390,6 +416,79 @@ fn gate_serve(gate: &mut Gate, fresh: &Value, baseline: &Value) {
             ),
         );
     }
+    // Protocol v2: streamed sweeps are semantically the v1 sequence,
+    // worker-count-invariant, with one checkpoint per scenario.
+    gate.check(
+        fresh.get("sweep_identical_to_v1").and_then(Value::as_bool) == Some(true),
+        "BENCH_serve: streamed sweep points were byte-identical to the v1 single-shot sequence",
+    );
+    gate.check(
+        fresh
+            .get("sweep_identical_across_workers")
+            .and_then(Value::as_bool)
+            == Some(true),
+        "BENCH_serve: sweep streams were byte-identical at 1 and 4 workers",
+    );
+    let sweep_scenarios = fresh.get("sweep_scenarios").and_then(Value::as_u64);
+    let sweep_pseudo = fresh.get("sweep_pseudo3d_runs").and_then(Value::as_u64);
+    gate.check(
+        sweep_scenarios.is_some() && sweep_pseudo == sweep_scenarios,
+        &format!(
+            "BENCH_serve: sweep pseudo-3D runs {sweep_pseudo:?} == scenarios {sweep_scenarios:?} \
+             (one checkpoint per technology scenario, never per grid point)"
+        ),
+    );
+    // Fairness admission: the deferral counter is the deterministic
+    // footprint of the cap, and the interactive p99 stays bounded.
+    let fair_points = fresh.get("fair_sweep_points").and_then(Value::as_u64);
+    let fair_cap = fresh.get("fair_inflight_cap").and_then(Value::as_u64);
+    let fair_deferred = fresh.get("fair_quota_deferred").and_then(Value::as_u64);
+    gate.check(
+        fair_points.zip(fair_cap).map(|(p, c)| p - c) == fair_deferred,
+        &format!(
+            "BENCH_serve: quota deferrals {fair_deferred:?} == sweep points {fair_points:?} \
+             minus cap {fair_cap:?} (every point past the cap deferred exactly once)"
+        ),
+    );
+    let fair_ratio = fresh
+        .get("fair_p99_ratio")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::INFINITY);
+    let fair_free = fresh
+        .get("fair_p99_free_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let fair_during = fresh
+        .get("fair_p99_during_sweep_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::INFINITY);
+    gate.check(
+        fair_ratio <= FAIR_P99_RATIO_CEILING || fair_during - fair_free <= FAIR_P99_ABS_SLACK_MS,
+        &format!(
+            "BENCH_serve.fair_p99_ratio: {fair_ratio} <= ceiling {FAIR_P99_RATIO_CEILING} \
+             (probe p99 {fair_free} -> {fair_during} ms during a \
+             {fair_points:?}-point sweep)"
+        ),
+    );
+    // Shard router: byte-identity behind 1 and 4 shards, and every
+    // checkpoint key built on exactly one shard cluster-wide.
+    gate.check(
+        fresh.get("router_identical").and_then(Value::as_bool) == Some(true),
+        "BENCH_serve: routed responses were byte-identical to a direct server at 1 and 4 shards",
+    );
+    gate.check(
+        fresh.get("router_single_build").and_then(Value::as_bool) == Some(true),
+        "BENCH_serve: cluster-wide cache misses == distinct keys (one build per key)",
+    );
+    let router_keys = fresh.get("router_distinct_keys").and_then(Value::as_u64);
+    let router_pseudo = fresh.get("router_pseudo3d_runs").and_then(Value::as_u64);
+    gate.check(
+        router_keys.is_some() && router_pseudo == router_keys,
+        &format!(
+            "BENCH_serve: routed pseudo-3D runs {router_pseudo:?} == distinct keys \
+             {router_keys:?} across the 4-shard cluster"
+        ),
+    );
 }
 
 /// Per-rung fields of the scale ladder that must match the baseline bit

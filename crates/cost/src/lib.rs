@@ -138,20 +138,6 @@ impl CostModel {
         Ok(self.dpw_unchecked(die_area_mm2))
     }
 
-    /// Formula (1), panicking flavor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `die_area_mm2` is not positive.
-    #[deprecated(
-        since = "0.9.0",
-        note = "panicking wrapper, kept for tests only — use `try_dies_per_wafer`"
-    )]
-    #[must_use]
-    pub fn dies_per_wafer(&self, die_area_mm2: f64) -> f64 {
-        self.checked_dpw(die_area_mm2)
-    }
-
     /// Shared panicking check for the internal call sites (`good_dies`,
     /// `die_cost`, …) that keep formula (1)'s historical contract.
     fn checked_dpw(&self, die_area_mm2: f64) -> f64 {
@@ -266,13 +252,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn dpw_decreases_with_die_area() {
         let m = CostModel::default();
-        assert!(m.dies_per_wafer(1.0) > m.dies_per_wafer(10.0));
-        assert!(m.dies_per_wafer(10.0) > m.dies_per_wafer(100.0));
+        let dpw = |a| m.try_dies_per_wafer(a).expect("positive area");
+        assert!(dpw(1.0) > dpw(10.0));
+        assert!(dpw(10.0) > dpw(100.0));
         // 300 mm wafer, 100 mm2 die: ~640 gross dies.
-        let dpw = m.dies_per_wafer(100.0);
+        let dpw = dpw(100.0);
         assert!((600.0..700.0).contains(&dpw), "dpw {dpw}");
     }
 
@@ -340,22 +326,29 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "die area")]
-    #[allow(deprecated)]
-    fn zero_area_panics() {
-        let _ = CostModel::default().dies_per_wafer(0.0);
+    fn zero_area_panics_on_the_internal_path() {
+        // `good_dies` keeps formula (1)'s historical assert for the
+        // internal call sites; the public surface is `try_dies_per_wafer`.
+        let _ = CostModel::default().good_dies(0.0, false);
     }
 
     #[test]
-    fn try_dies_per_wafer_rejects_bad_areas_and_matches_the_panicking_path() {
+    fn try_dies_per_wafer_rejects_bad_areas_and_matches_the_internal_path() {
         let m = CostModel::default();
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             let err = m.try_dies_per_wafer(bad).unwrap_err();
             assert_eq!(err.die_area_mm2.to_bits(), bad.to_bits());
             assert!(err.to_string().contains("die area must be positive"));
         }
-        #[allow(deprecated)]
-        let old = m.dies_per_wafer(0.25);
-        assert_eq!(m.try_dies_per_wafer(0.25).unwrap().to_bits(), old.to_bits());
+        // Same arithmetic as the internal panicking path: good dies at
+        // perfect yield reduce to gross dies per wafer.
+        let perfect = CostModel {
+            wafer_yield: 1.0,
+            defect_density_per_mm2: 0.0,
+            ..CostModel::default()
+        };
+        let gross = m.try_dies_per_wafer(0.25).expect("positive area");
+        assert!((perfect.good_dies(0.25, false) - gross).abs() < 1e-9);
     }
 
     #[test]

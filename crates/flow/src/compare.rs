@@ -142,21 +142,6 @@ pub(crate) fn compare_from_base(
     })
 }
 
-/// [`try_compare_configs`] for callers that treat flow failure as fatal.
-///
-/// # Panics
-///
-/// Panics if the fmax sweep or any configuration job fails.
-#[deprecated(
-    since = "0.5.0",
-    note = "panicking wrapper, kept for tests only — use `FlowSession::compare` or `try_compare_configs`"
-)]
-#[must_use]
-pub fn compare_configs(netlist: &Netlist, options: &FlowOptions, cost: &CostModel) -> Comparison {
-    try_compare_configs(netlist, options, cost)
-        .unwrap_or_else(|e| panic!("compare_configs failed: {e}"))
-}
-
 /// Table V: the same heterogeneous design through the Pin-3-D baseline
 /// flow and the enhanced Hetero-Pin-3-D flow.
 #[derive(Debug, Clone)]

@@ -5,9 +5,9 @@
 //! [`FlowError::InvalidFrequency`]), the fallible substrate passes
 //! ([`FlowError::Legalize`], [`FlowError::Extract`]) and the pipeline's
 //! own sequencing invariants ([`FlowError::MissingStageOutput`],
-//! [`FlowError::MissingImplementation`]). The panicking entry points
-//! (`run_flow`, `find_fmax`, `compare_configs`) are thin wrappers over
-//! the `try_*` variants that surface these errors.
+//! [`FlowError::MissingImplementation`]). Every entry point — the
+//! `try_*` free functions, [`FlowSession`](crate::FlowSession) commands
+//! and the wire layer — surfaces these errors instead of panicking.
 
 use crate::config::Config;
 use m3d_netlist::ValidateNetlistError;

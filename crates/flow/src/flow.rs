@@ -128,27 +128,6 @@ pub fn try_run_flow(
         .run(config, frequency_ghz)
 }
 
-/// [`try_run_flow`] for callers that treat flow failure as fatal.
-///
-/// # Panics
-///
-/// Panics if `frequency_ghz` is not positive, the netlist fails
-/// validation, or any pipeline stage rejects its inputs.
-#[deprecated(
-    since = "0.5.0",
-    note = "panicking wrapper, kept for tests only — use `FlowSession` or `try_run_flow`"
-)]
-#[must_use]
-pub fn run_flow(
-    netlist: &Netlist,
-    config: Config,
-    frequency_ghz: f64,
-    options: &FlowOptions,
-) -> Implementation {
-    try_run_flow(netlist, config, frequency_ghz, options)
-        .unwrap_or_else(|e| panic!("run_flow failed: {e}"))
-}
-
 /// Fixed ladder of period multipliers evaluated around the Newton
 /// estimate during the fmax sweep. Constant (never derived from the
 /// worker count) so the candidate set — and with it the sweep's result —
@@ -251,26 +230,6 @@ pub fn try_find_fmax(
         .options(options.clone())
         .build()?
         .fmax(config, start_ghz)
-}
-
-/// [`try_find_fmax`] for callers that treat flow failure as fatal.
-///
-/// # Panics
-///
-/// Panics if any probe or rung run fails.
-#[deprecated(
-    since = "0.5.0",
-    note = "panicking wrapper, kept for tests only — use `FlowSession` or `try_find_fmax`"
-)]
-#[must_use]
-pub fn find_fmax(
-    netlist: &Netlist,
-    config: Config,
-    options: &FlowOptions,
-    start_ghz: f64,
-) -> (f64, Implementation) {
-    try_find_fmax(netlist, config, options, start_ghz)
-        .unwrap_or_else(|e| panic!("find_fmax failed: {e}"))
 }
 
 #[cfg(test)]

@@ -17,8 +17,8 @@
 //! * sign-off STA/power and the PPAC roll-up ([`Ppac`]) including die
 //!   cost, PDP and PPC,
 //! * the fmax sweep used to set the iso-performance target
-//!   ([`find_fmax`]), and five-way comparison helpers
-//!   ([`compare_configs`]).
+//!   ([`try_find_fmax`]), and five-way comparison helpers
+//!   ([`try_compare_configs`]).
 //!
 //! # Examples
 //!
@@ -51,15 +51,12 @@ mod pareto;
 mod ppac;
 mod session;
 mod stage;
+mod sweep;
 mod wire;
 
-#[allow(deprecated)]
-pub use compare::compare_configs;
 pub use compare::{pin3d_baseline_comparison, try_compare_configs, BaselineComparison, Comparison};
 pub use config::{Config, FlowOptions};
 pub use error::FlowError;
-#[allow(deprecated)]
-pub use flow::{find_fmax, run_flow};
 pub use flow::{try_find_fmax, try_run_flow, Implementation};
 pub use pareto::{pareto_from_base, ParetoPoint, ParetoSummary, MAX_PARETO_STEPS};
 pub use ppac::{percent_delta, DeltaRow, Ppac};
@@ -68,4 +65,7 @@ pub use stage::{
     prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, Cts, FlowState, Partition,
     PseudoCheckpoint, PseudoThreeD, Route, SignOff, Size, Stage, TierLegalize,
 };
-pub use wire::{ComparisonSummary, FlowCommand, FlowReport, FlowRequest, NetlistSpec, PpacSummary};
+pub use sweep::{sweep_from_base, SweepPoint, SweepSpec, MAX_SWEEP_POINTS};
+pub use wire::{
+    ComparisonSummary, FlowCommand, FlowReport, FlowRequest, NetlistSpec, PpacSummary, Proto,
+};

@@ -99,7 +99,7 @@ pub(crate) fn mark_frontier(points: &mut [ParetoPoint]) {
 /// The scenarios a configuration is swept under: every stacking style
 /// for a 3-D configuration, monolithic only for 2-D (a 2-D die has no
 /// inter-tier interface, so the styles would produce identical points).
-fn scenario_axis(config: Config) -> Vec<(StackingStyle, Corner)> {
+pub(crate) fn scenario_axis(config: Config) -> Vec<(StackingStyle, Corner)> {
     let styles: &[StackingStyle] = if config.is_3d() {
         &StackingStyle::ALL
     } else {
@@ -116,7 +116,7 @@ fn scenario_axis(config: Config) -> Vec<(StackingStyle, Corner)> {
 
 /// The evenly spaced frequency grid, ascending. `steps == 1` collapses
 /// to the lower bound.
-fn frequency_grid(freq_min_ghz: f64, freq_max_ghz: f64, steps: usize) -> Vec<f64> {
+pub(crate) fn frequency_grid(freq_min_ghz: f64, freq_max_ghz: f64, steps: usize) -> Vec<f64> {
     if steps == 1 {
         return vec![freq_min_ghz];
     }

@@ -21,6 +21,7 @@ use crate::error::FlowError;
 use crate::flow::{fmax_from_base, Implementation};
 use crate::pareto::{pareto_from_base, ParetoSummary};
 use crate::stage::{prepare_base, pseudo_checkpoint, run_from_base, BaseDesign, PseudoCheckpoint};
+use crate::sweep::sweep_from_base;
 use crate::wire::{FlowCommand, FlowReport, PpacSummary};
 use m3d_cost::CostModel;
 use m3d_netlist::Netlist;
@@ -293,18 +294,18 @@ impl FlowSession {
     /// Propagates the underlying command's [`FlowError`].
     pub fn execute(&self, command: &FlowCommand) -> Result<FlowReport, FlowError> {
         let cost = CostModel::default();
-        match *command {
+        match command {
             FlowCommand::RunFlow {
                 config,
                 frequency_ghz,
             } => {
-                let imp = self.run(config, frequency_ghz)?;
+                let imp = self.run(*config, *frequency_ghz)?;
                 Ok(FlowReport::Run {
                     ppac: PpacSummary::from(&imp.ppac(&cost)),
                 })
             }
             FlowCommand::FindFmax { config, start_ghz } => {
-                let (fmax_ghz, imp) = self.fmax(config, start_ghz)?;
+                let (fmax_ghz, imp) = self.fmax(*config, *start_ghz)?;
                 Ok(FlowReport::Fmax {
                     fmax_ghz,
                     ppac: PpacSummary::from(&imp.ppac(&cost)),
@@ -322,8 +323,13 @@ impl FlowSession {
                 freq_max_ghz,
                 freq_steps,
             } => {
-                let summary = self.pareto(config, freq_min_ghz, freq_max_ghz, freq_steps, &cost)?;
+                let summary =
+                    self.pareto(*config, *freq_min_ghz, *freq_max_ghz, *freq_steps, &cost)?;
                 Ok(FlowReport::Pareto { summary })
+            }
+            FlowCommand::Sweep { spec } => {
+                let points = sweep_from_base(&self.base, spec, &self.options, &cost)?;
+                Ok(FlowReport::Sweep { points })
             }
         }
     }
@@ -417,6 +423,57 @@ mod tests {
             ppac: PpacSummary::from(&imp.ppac(&CostModel::default())),
         };
         assert_eq!(report, expected);
+    }
+
+    #[test]
+    fn sweep_execute_matches_decomposed_single_shot_sessions() {
+        use crate::sweep::SweepSpec;
+        use crate::wire::{NetlistSpec, Proto};
+        use m3d_tech::{Corner, StackingStyle};
+
+        let spec = NetlistSpec {
+            benchmark: Benchmark::Aes,
+            scale: 0.012,
+            seed: 31,
+        };
+        let n = spec.materialize();
+        let options = quick_options();
+        let request = crate::wire::FlowRequest {
+            id: 1,
+            netlist: spec,
+            options: options.clone(),
+            command: FlowCommand::Sweep {
+                spec: SweepSpec {
+                    configs: vec![Config::Hetero3d],
+                    stacking: vec![StackingStyle::Monolithic, StackingStyle::F2fHybridBond],
+                    corners: vec![Corner::Typical],
+                    freq_min_ghz: 0.9,
+                    freq_max_ghz: 1.1,
+                    freq_steps: 2,
+                },
+            },
+            deadline_ms: None,
+            proto: Proto::V2,
+        };
+        let session = FlowSession::builder(&n)
+            .options(options.clone())
+            .build()
+            .unwrap();
+        let FlowReport::Sweep { points } = session.execute(&request.command).unwrap() else {
+            panic!("expected a sweep report")
+        };
+        let singles = request.decompose_sweep().expect("decomposes");
+        assert_eq!(points.len(), singles.len());
+        for (point, single) in points.iter().zip(&singles) {
+            let single_session = FlowSession::builder(&n)
+                .options(single.options.clone())
+                .build()
+                .unwrap();
+            let FlowReport::Run { ppac } = single_session.execute(&single.command).unwrap() else {
+                panic!("expected a run report")
+            };
+            assert_eq!(point, &ppac, "sweep point must equal the v1 single-shot");
+        }
     }
 
     #[test]

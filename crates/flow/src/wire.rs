@@ -14,6 +14,7 @@ use crate::compare::Comparison;
 use crate::config::{Config, FlowOptions};
 use crate::pareto::{ParetoPoint, ParetoSummary, MAX_PARETO_STEPS};
 use crate::ppac::{DeltaRow, Ppac};
+use crate::sweep::SweepSpec;
 use m3d_json::borrow;
 use m3d_json::{Cur, DecodeError, FromJson, FromJsonBorrowed, Obj, ToJson, Value};
 use m3d_netgen::Benchmark;
@@ -150,6 +151,10 @@ fn corner_from_wire(cur: &Cur<'_>) -> Result<Corner, DecodeError> {
     corner_from_name(cur.str()?).ok_or_else(|| DecodeError::new(cur.path(), CORNER_EXPECTED))
 }
 
+fn corner_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Corner, DecodeError> {
+    corner_from_name(cur.str()?).ok_or_else(|| cur.err(CORNER_EXPECTED))
+}
+
 /// A corner *set* collapses to one word: the two multi-corner modes plus
 /// the single-corner scenarios ([`CornerSet::single`] normalizes
 /// `Single(Typical)` to `Typical`, so the mapping is a bijection).
@@ -238,6 +243,34 @@ fn benchmark_from_borrowed(cur: &borrow::Cur<'_, '_>) -> Result<Benchmark, Decod
 // requests
 // ---------------------------------------------------------------------
 
+/// The wire-protocol version a request speaks.
+///
+/// The version rides on the request as an optional `proto` field that is
+/// **omitted when v1** — the same compatibility trick as the options'
+/// `tech` key: every request minted before the field existed decodes
+/// (and renders, and hashes) unchanged, and v1 rendered requests stay
+/// byte-identical. Protocol v2 adds the streaming
+/// [`FlowCommand::Sweep`]; unknown versions are rejected at decode with
+/// a typed error at path `proto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// The original single-shot request/response protocol.
+    #[default]
+    V1,
+    /// Adds the streaming design-space sweep.
+    V2,
+}
+
+const PROTO_EXPECTED: &str = "a protocol version (1|2)";
+
+fn proto_from_u64(v: u64) -> Option<Proto> {
+    match v {
+        1 => Some(Proto::V1),
+        2 => Some(Proto::V2),
+        _ => None,
+    }
+}
+
 /// A netlist named *by recipe* rather than by value: benchmark generator
 /// plus its scale/seed parameters. The generators are deterministic, so
 /// a spec pins down the exact circuit — two services materializing the
@@ -316,8 +349,8 @@ impl FromJsonBorrowed for NetlistSpec {
 }
 
 /// What a request asks the flow to do — the service-side mirror of the
-/// three library entry points.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// library entry points.
+#[derive(Debug, Clone, PartialEq)]
 pub enum FlowCommand {
     /// Implement one configuration at a fixed target frequency.
     RunFlow {
@@ -347,60 +380,70 @@ pub enum FlowCommand {
         /// Grid size (1..=[`MAX_PARETO_STEPS`], endpoints inclusive).
         freq_steps: usize,
     },
+    /// Sweep a design-space grid (protocol v2): the cross product of
+    /// configurations × stacking styles × corners × frequencies, served
+    /// as individually streamed points (see [`SweepSpec`]).
+    Sweep {
+        /// The grid description.
+        spec: SweepSpec,
+    },
 }
 
 impl FlowCommand {
-    /// Validates the command's own numeric bounds (currently only the
-    /// Pareto sweep grid — the other commands carry no resource-shaping
-    /// parameters beyond what [`FlowOptions::validate_bounds`] covers).
+    /// Validates the command's own numeric bounds (the Pareto and Sweep
+    /// grids — the other commands carry no resource-shaping parameters
+    /// beyond what [`FlowOptions::validate_bounds`] covers).
     ///
     /// # Errors
     ///
     /// Returns a [`DecodeError`] naming the out-of-range member.
     pub fn validate(&self) -> Result<(), DecodeError> {
-        if let FlowCommand::Pareto {
-            freq_min_ghz,
-            freq_max_ghz,
-            freq_steps,
-            ..
-        } = *self
-        {
-            let bounds_ok = freq_min_ghz.is_finite()
-                && freq_max_ghz.is_finite()
-                && freq_min_ghz > 0.0
-                && freq_max_ghz >= freq_min_ghz;
-            if !bounds_ok {
-                return Err(DecodeError::new(
-                    "command/freq_min_ghz",
-                    "positive finite bounds with freq_max_ghz >= freq_min_ghz",
-                ));
+        match self {
+            FlowCommand::Pareto {
+                freq_min_ghz,
+                freq_max_ghz,
+                freq_steps,
+                ..
+            } => {
+                let bounds_ok = freq_min_ghz.is_finite()
+                    && freq_max_ghz.is_finite()
+                    && *freq_min_ghz > 0.0
+                    && freq_max_ghz >= freq_min_ghz;
+                if !bounds_ok {
+                    return Err(DecodeError::new(
+                        "command/freq_min_ghz",
+                        "positive finite bounds with freq_max_ghz >= freq_min_ghz",
+                    ));
+                }
+                if !(1..=MAX_PARETO_STEPS).contains(freq_steps) {
+                    return Err(DecodeError::new(
+                        "command/freq_steps",
+                        format!("an integer in 1..={MAX_PARETO_STEPS}"),
+                    ));
+                }
+                Ok(())
             }
-            if !(1..=MAX_PARETO_STEPS).contains(&freq_steps) {
-                return Err(DecodeError::new(
-                    "command/freq_steps",
-                    format!("an integer in 1..={MAX_PARETO_STEPS}"),
-                ));
-            }
+            FlowCommand::Sweep { spec } => spec.validate(),
+            _ => Ok(()),
         }
-        Ok(())
     }
 }
 
 impl ToJson for FlowCommand {
     fn to_json(&self) -> Value {
-        match *self {
+        match self {
             FlowCommand::RunFlow {
                 config,
                 frequency_ghz,
             } => Obj::new()
                 .put("op", "run_flow")
                 .put("config", config.to_json())
-                .put("frequency_ghz", frequency_ghz)
+                .put("frequency_ghz", *frequency_ghz)
                 .build(),
             FlowCommand::FindFmax { config, start_ghz } => Obj::new()
                 .put("op", "find_fmax")
                 .put("config", config.to_json())
-                .put("start_ghz", start_ghz)
+                .put("start_ghz", *start_ghz)
                 .build(),
             FlowCommand::CompareConfigs => Obj::new().put("op", "compare_configs").build(),
             FlowCommand::Pareto {
@@ -411,9 +454,37 @@ impl ToJson for FlowCommand {
             } => Obj::new()
                 .put("op", "pareto")
                 .put("config", config.to_json())
-                .put("freq_min_ghz", freq_min_ghz)
-                .put("freq_max_ghz", freq_max_ghz)
-                .put("freq_steps", freq_steps)
+                .put("freq_min_ghz", *freq_min_ghz)
+                .put("freq_max_ghz", *freq_max_ghz)
+                .put("freq_steps", *freq_steps)
+                .build(),
+            FlowCommand::Sweep { spec } => Obj::new()
+                .put("op", "sweep")
+                .put(
+                    "configs",
+                    Value::Arr(spec.configs.iter().map(ToJson::to_json).collect()),
+                )
+                .put(
+                    "stacking",
+                    Value::Arr(
+                        spec.stacking
+                            .iter()
+                            .map(|&s| Value::Str(stacking_wire_name(s).to_string()))
+                            .collect(),
+                    ),
+                )
+                .put(
+                    "corners",
+                    Value::Arr(
+                        spec.corners
+                            .iter()
+                            .map(|&c| Value::Str(corner_wire_name(c).to_string()))
+                            .collect(),
+                    ),
+                )
+                .put("freq_min_ghz", spec.freq_min_ghz)
+                .put("freq_max_ghz", spec.freq_max_ghz)
+                .put("freq_steps", spec.freq_steps)
                 .build(),
         }
     }
@@ -438,9 +509,34 @@ impl FromJson for FlowCommand {
                 freq_max_ghz: cur.get("freq_max_ghz")?.f64()?,
                 freq_steps: cur.get("freq_steps")?.usize()?,
             }),
+            "sweep" => Ok(FlowCommand::Sweep {
+                spec: SweepSpec {
+                    configs: cur
+                        .get("configs")?
+                        .arr()?
+                        .iter()
+                        .map(config_from_wire)
+                        .collect::<Result<_, _>>()?,
+                    stacking: cur
+                        .get("stacking")?
+                        .arr()?
+                        .iter()
+                        .map(stacking_from_wire)
+                        .collect::<Result<_, _>>()?,
+                    corners: cur
+                        .get("corners")?
+                        .arr()?
+                        .iter()
+                        .map(corner_from_wire)
+                        .collect::<Result<_, _>>()?,
+                    freq_min_ghz: cur.get("freq_min_ghz")?.f64()?,
+                    freq_max_ghz: cur.get("freq_max_ghz")?.f64()?,
+                    freq_steps: cur.get("freq_steps")?.usize()?,
+                },
+            }),
             _ => Err(DecodeError::new(
                 op.path(),
-                "an op (run_flow|find_fmax|compare_configs|pareto)",
+                "an op (run_flow|find_fmax|compare_configs|pareto|sweep)",
             )),
         }
     }
@@ -465,7 +561,37 @@ impl FromJsonBorrowed for FlowCommand {
                 freq_max_ghz: cur.get("freq_max_ghz")?.f64()?,
                 freq_steps: cur.get("freq_steps")?.usize()?,
             }),
-            _ => Err(op.err("an op (run_flow|find_fmax|compare_configs|pareto)")),
+            "sweep" => {
+                let configs_cur = cur.get("configs")?;
+                let configs = configs_cur
+                    .arr()?
+                    .iter()
+                    .map(config_from_borrowed)
+                    .collect::<Result<_, _>>()?;
+                let stacking_cur = cur.get("stacking")?;
+                let stacking = stacking_cur
+                    .arr()?
+                    .iter()
+                    .map(stacking_from_borrowed)
+                    .collect::<Result<_, _>>()?;
+                let corners_cur = cur.get("corners")?;
+                let corners = corners_cur
+                    .arr()?
+                    .iter()
+                    .map(corner_from_borrowed)
+                    .collect::<Result<_, _>>()?;
+                Ok(FlowCommand::Sweep {
+                    spec: SweepSpec {
+                        configs,
+                        stacking,
+                        corners,
+                        freq_min_ghz: cur.get("freq_min_ghz")?.f64()?,
+                        freq_max_ghz: cur.get("freq_max_ghz")?.f64()?,
+                        freq_steps: cur.get("freq_steps")?.usize()?,
+                    },
+                })
+            }
+            _ => Err(op.err("an op (run_flow|find_fmax|compare_configs|pareto|sweep)")),
         }
     }
 }
@@ -484,6 +610,9 @@ pub struct FlowRequest {
     /// Per-request deadline in milliseconds, measured from acceptance;
     /// a request still queued past its deadline is rejected, not run.
     pub deadline_ms: Option<u64>,
+    /// Protocol version. Rendered only when ≥ v2, so v1 requests stay
+    /// byte-identical to those minted before the field existed.
+    pub proto: Proto,
 }
 
 impl ToJson for FlowRequest {
@@ -495,6 +624,9 @@ impl ToJson for FlowRequest {
             .put("command", self.command.to_json());
         if let Some(d) = self.deadline_ms {
             o = o.put("deadline_ms", d);
+        }
+        if self.proto == Proto::V2 {
+            o = o.put("proto", 2u64);
         }
         o.build()
     }
@@ -515,7 +647,47 @@ impl FlowRequest {
     pub fn validate(&self) -> Result<(), DecodeError> {
         self.netlist.validate()?;
         self.options.validate_bounds()?;
-        self.command.validate()
+        self.command.validate()?;
+        if matches!(self.command, FlowCommand::Sweep { .. }) && self.proto == Proto::V1 {
+            return Err(DecodeError::new("proto", "protocol version 2 for op sweep"));
+        }
+        Ok(())
+    }
+
+    /// Decomposes a v2 sweep into its equivalent v1 single-shot
+    /// requests, one per grid point in point order. Each point request
+    /// carries the parent's id, netlist and deadline; its options are
+    /// the parent's with the point's technology scenario folded in —
+    /// exactly what a v1 client exploring the grid by hand would send,
+    /// so point cache keys, checkpoints and reports all match the
+    /// single-shot path bit for bit.
+    ///
+    /// Returns `None` for non-sweep commands.
+    #[must_use]
+    pub fn decompose_sweep(&self) -> Option<Vec<FlowRequest>> {
+        let FlowCommand::Sweep { spec } = &self.command else {
+            return None;
+        };
+        Some(
+            spec.points()
+                .iter()
+                .map(|p| {
+                    let mut options = self.options.clone();
+                    options.tech = p.tech();
+                    FlowRequest {
+                        id: self.id,
+                        netlist: self.netlist,
+                        options,
+                        command: FlowCommand::RunFlow {
+                            config: p.config,
+                            frequency_ghz: p.frequency_ghz,
+                        },
+                        deadline_ms: self.deadline_ms,
+                        proto: Proto::V1,
+                    }
+                })
+                .collect(),
+        )
     }
 }
 
@@ -527,6 +699,11 @@ impl FromJson for FlowRequest {
             options: FlowOptions::from_json(cur.get("options")?)?,
             command: FlowCommand::from_json(cur.get("command")?)?,
             deadline_ms: cur.opt("deadline_ms").map(|d| d.u64()).transpose()?,
+            proto: match cur.opt("proto") {
+                None => Proto::V1,
+                Some(p) => proto_from_u64(p.u64()?)
+                    .ok_or_else(|| DecodeError::new(p.path(), PROTO_EXPECTED))?,
+            },
         };
         request.validate()?;
         Ok(request)
@@ -544,6 +721,10 @@ impl FromJsonBorrowed for FlowRequest {
             options: FlowOptions::from_json_borrowed(&cur.get("options")?)?,
             command: FlowCommand::from_json_borrowed(&cur.get("command")?)?,
             deadline_ms: cur.opt("deadline_ms").map(|d| d.u64()).transpose()?,
+            proto: match cur.opt("proto") {
+                None => Proto::V1,
+                Some(p) => proto_from_u64(p.u64()?).ok_or_else(|| p.err(PROTO_EXPECTED))?,
+            },
         };
         request.validate()?;
         Ok(request)
@@ -1116,6 +1297,12 @@ pub enum FlowReport {
         /// The full swept point set, frontier membership marked.
         summary: ParetoSummary,
     },
+    /// Result of [`FlowCommand::Sweep`] when executed in-process (the
+    /// service streams the points individually instead).
+    Sweep {
+        /// One PPAC roll-up per grid point, in point order.
+        points: Vec<PpacSummary>,
+    },
 }
 
 impl FlowReport {
@@ -1142,6 +1329,9 @@ impl FlowReport {
                 summary.points.len(),
                 summary.frontier().count()
             ),
+            FlowReport::Sweep { points } => {
+                format!("design-space sweep: {} points", points.len())
+            }
         }
     }
 }
@@ -1166,6 +1356,13 @@ impl ToJson for FlowReport {
                 .put("kind", "pareto")
                 .put("summary", summary.to_json())
                 .build(),
+            FlowReport::Sweep { points } => Obj::new()
+                .put("kind", "sweep")
+                .put(
+                    "points",
+                    Value::Arr(points.iter().map(ToJson::to_json).collect()),
+                )
+                .build(),
         }
     }
 }
@@ -1187,9 +1384,17 @@ impl FromJson for FlowReport {
             "pareto" => Ok(FlowReport::Pareto {
                 summary: ParetoSummary::from_json(cur.get("summary")?)?,
             }),
+            "sweep" => Ok(FlowReport::Sweep {
+                points: cur
+                    .get("points")?
+                    .arr()?
+                    .into_iter()
+                    .map(PpacSummary::from_json)
+                    .collect::<Result<_, _>>()?,
+            }),
             _ => Err(DecodeError::new(
                 kind.path(),
-                "a kind (run|fmax|compare|pareto)",
+                "a kind (run|fmax|compare|pareto|sweep)",
             )),
         }
     }
@@ -1236,6 +1441,7 @@ mod tests {
                 start_ghz: 1.1,
             },
             deadline_ms: Some(30_000),
+            proto: Proto::V1,
         };
         roundtrip(&req);
         for cfg in Config::ALL {
@@ -1328,6 +1534,7 @@ mod tests {
                     freq_steps: 4,
                 },
                 deadline_ms: None,
+                proto: Proto::V1,
             };
             roundtrip(&req);
             let text = req.to_json().render();
@@ -1396,6 +1603,7 @@ mod tests {
                     start_ghz: 1.1,
                 },
                 deadline_ms: Some(30_000),
+                proto: Proto::V1,
             },
             FlowRequest {
                 id: u64::MAX >> 12,
@@ -1407,6 +1615,7 @@ mod tests {
                 options: FlowOptions::default(),
                 command: FlowCommand::CompareConfigs,
                 deadline_ms: None,
+                proto: Proto::V1,
             },
         ];
         for req in &requests {
@@ -1416,6 +1625,159 @@ mod tests {
             assert_eq!(&owned, req);
             assert_eq!(borrowed, owned);
         }
+    }
+
+    fn sweep_request(proto: Proto) -> FlowRequest {
+        FlowRequest {
+            id: 42,
+            netlist: NetlistSpec {
+                benchmark: Benchmark::Aes,
+                scale: 0.02,
+                seed: 5,
+            },
+            options: FlowOptions::default(),
+            command: FlowCommand::Sweep {
+                spec: SweepSpec {
+                    configs: vec![Config::Hetero3d, Config::TwoD12T],
+                    stacking: vec![StackingStyle::Monolithic, StackingStyle::F2fHybridBond],
+                    corners: vec![Corner::Typical, Corner::Slow],
+                    freq_min_ghz: 0.8,
+                    freq_max_ghz: 1.2,
+                    freq_steps: 3,
+                },
+            },
+            deadline_ms: None,
+            proto,
+        }
+    }
+
+    #[test]
+    fn v2_sweep_requests_round_trip_owned_and_borrowed() {
+        let req = sweep_request(Proto::V2);
+        roundtrip(&req);
+        let text = req.to_json().render();
+        assert!(text.contains("\"proto\":2"), "v2 marker missing: {text}");
+        let borrowed: FlowRequest = m3d_json::decode_borrowed(&text).expect("borrowed");
+        assert_eq!(borrowed, req);
+    }
+
+    #[test]
+    fn v1_requests_render_without_a_proto_key() {
+        // Backward compatibility: v1 requests must stay byte-identical
+        // to those minted before the version field existed.
+        let req = FlowRequest {
+            id: 9,
+            netlist: NetlistSpec {
+                benchmark: Benchmark::Ldpc,
+                scale: 0.013,
+                seed: 11,
+            },
+            options: FlowOptions::default(),
+            command: FlowCommand::CompareConfigs,
+            deadline_ms: None,
+            proto: Proto::V1,
+        };
+        let text = req.to_json().render();
+        assert!(!text.contains("proto"), "v1 rendering leaked: {text}");
+    }
+
+    #[test]
+    fn unknown_protocol_versions_are_rejected_at_the_proto_path() {
+        let good = sweep_request(Proto::V2).to_json().render();
+        let broken = good.replace("\"proto\":2", "\"proto\":7");
+        assert_ne!(broken, good);
+        for err in [
+            m3d_json::decode::<FlowRequest>(&broken).unwrap_err(),
+            m3d_json::decode_borrowed::<FlowRequest>(&broken).unwrap_err(),
+        ] {
+            let m3d_json::JsonError::Decode(e) = err else {
+                panic!("expected a decode error")
+            };
+            assert_eq!(e.path, "proto");
+            assert!(e.expected.contains("protocol version"), "{e}");
+        }
+    }
+
+    #[test]
+    fn sweeps_require_protocol_v2() {
+        let req = sweep_request(Proto::V1);
+        let err = req.validate().unwrap_err();
+        assert_eq!(err.path, "proto");
+        // The wire decoders enforce the same rule: a sweep without the
+        // version marker is rejected in both decode paths.
+        let text = req.to_json().render();
+        assert!(m3d_json::decode::<FlowRequest>(&text).is_err());
+        assert!(m3d_json::decode_borrowed::<FlowRequest>(&text).is_err());
+    }
+
+    #[test]
+    fn sweep_axis_decode_errors_name_indexed_paths() {
+        let good = sweep_request(Proto::V2).to_json().render();
+        let broken = good.replace("\"f2f\"", "\"w2w\"");
+        assert_ne!(broken, good);
+        let owned_err = m3d_json::decode::<FlowRequest>(&broken).unwrap_err();
+        let borrowed_err = m3d_json::decode_borrowed::<FlowRequest>(&broken).unwrap_err();
+        assert_eq!(borrowed_err, owned_err);
+        let m3d_json::JsonError::Decode(e) = owned_err else {
+            panic!("expected a decode error")
+        };
+        assert_eq!(e.path, "command/stacking[1]");
+    }
+
+    #[test]
+    fn sweep_decomposition_matches_hand_built_v1_requests() {
+        let req = sweep_request(Proto::V2);
+        let FlowCommand::Sweep { spec } = &req.command else {
+            unreachable!()
+        };
+        let singles = req.decompose_sweep().expect("sweep decomposes");
+        assert_eq!(singles.len(), spec.point_count());
+        for (point, single) in spec.points().iter().zip(&singles) {
+            assert_eq!(single.id, req.id);
+            assert_eq!(single.proto, Proto::V1);
+            assert!(single.validate().is_ok());
+            assert_eq!(single.options.tech, point.tech());
+            assert_eq!(
+                single.command,
+                FlowCommand::RunFlow {
+                    config: point.config,
+                    frequency_ghz: point.frequency_ghz,
+                }
+            );
+        }
+        // Non-sweep commands do not decompose.
+        assert!(singles[0].decompose_sweep().is_none());
+    }
+
+    #[test]
+    fn sweep_reports_round_trip() {
+        let ppac = PpacSummary {
+            config: Config::Hetero3d,
+            frequency_ghz: 1.0,
+            footprint_mm2: 0.1,
+            si_area_mm2: 0.2,
+            chip_width_um: 351.0,
+            density_pct: 81.25,
+            wirelength_mm: 5.5,
+            mivs: 1234,
+            switching_mw: 1.0,
+            internal_mw: 2.0,
+            leakage_mw: 0.5,
+            clock_mw: 0.75,
+            total_power_mw: 4.25,
+            wns_ns: -0.012,
+            tns_ns: -1.5,
+            effective_delay_ns: 1.012,
+            pdp_pj: 4.301,
+            die_cost_uc: 3.21,
+            cost_per_cm2_uc: 16.05,
+            ppc: 0.072,
+        };
+        let report = FlowReport::Sweep {
+            points: vec![ppac.clone(), ppac],
+        };
+        roundtrip(&report);
+        assert!(report.headline().contains("2 points"));
     }
 
     #[test]
@@ -1433,6 +1795,7 @@ mod tests {
                 frequency_ghz: 1.0,
             },
             deadline_ms: None,
+            proto: Proto::V1,
         };
         let good = base.to_json().render();
         for broken in [

@@ -14,9 +14,9 @@
 //! path only when a decode actually fails — the success path touches
 //! the allocator not at all. The trade-off is lexical: a child cursor
 //! borrows its parent, so intermediate cursors must be `let`-bound
-//! rather than chained across statements. Array indexing is not
-//! offered; the request vocabulary is object-shaped, and response-side
-//! decoding (which does use arrays) stays on the owned cursor.
+//! rather than chained across statements. [`Cur::arr`] mirrors the
+//! owned cursor's array access and reports the same `key[index]`
+//! paths, so array-shaped requests decode with identical errors.
 
 use crate::{num_to_u64, DecodeError, JsonError};
 use std::borrow::Cow;
@@ -106,9 +106,16 @@ impl<'a> Value<'a> {
 #[derive(Debug, Clone, Copy)]
 pub struct Cur<'c, 'a> {
     value: &'c Value<'a>,
-    /// Member name this cursor was reached through (`None` at the root).
-    seg: Option<&'c str>,
+    /// Path segment this cursor was reached through (`None` at the root).
+    seg: Option<Seg<'c>>,
     parent: Option<&'c Cur<'c, 'a>>,
+}
+
+/// One step of a cursor's path: an object member or an array index.
+#[derive(Debug, Clone, Copy)]
+enum Seg<'c> {
+    Key(&'c str),
+    Index(usize),
 }
 
 impl<'c, 'a> Cur<'c, 'a> {
@@ -140,7 +147,23 @@ impl<'c, 'a> Cur<'c, 'a> {
             at = c.parent;
         }
         segs.reverse();
-        segs.join("/")
+        let mut out = String::new();
+        for s in segs {
+            match s {
+                Seg::Key(k) => {
+                    if !out.is_empty() {
+                        out.push('/');
+                    }
+                    out.push_str(k);
+                }
+                Seg::Index(i) => {
+                    out.push('[');
+                    out.push_str(&i.to_string());
+                    out.push(']');
+                }
+            }
+        }
+        out
     }
 
     /// Builds a [`DecodeError`] at this cursor's path. Public so typed
@@ -165,7 +188,7 @@ impl<'c, 'a> Cur<'c, 'a> {
             Value::Obj(_) => match self.value.get(key) {
                 Some(v) => Ok(Cur {
                     value: v,
-                    seg: Some(key),
+                    seg: Some(Seg::Key(key)),
                     parent: Some(self),
                 }),
                 None => Err(self.err(format!("member `{key}`"))),
@@ -181,9 +204,30 @@ impl<'c, 'a> Cur<'c, 'a> {
             None | Some(Value::Null) => None,
             Some(v) => Some(Cur {
                 value: v,
-                seg: Some(key),
+                seg: Some(Seg::Key(key)),
                 parent: Some(self),
             }),
+        }
+    }
+
+    /// Array elements, each with an indexed path segment — the borrowed
+    /// analogue of [`crate::Cur::arr`], reporting identical paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the value is not an array.
+    pub fn arr<'s>(&'s self) -> Result<Vec<Cur<'s, 'a>>, DecodeError> {
+        match self.value {
+            Value::Arr(items) => Ok(items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| Cur {
+                    value: v,
+                    seg: Some(Seg::Index(i)),
+                    parent: Some(self),
+                })
+                .collect()),
+            _ => Err(self.err("an array")),
         }
     }
 
@@ -316,6 +360,32 @@ mod tests {
         let missing = placer.get("nope").unwrap_err();
         assert_eq!(missing.path, "options/placer");
         assert!(missing.to_string().contains("`nope`"));
+    }
+
+    #[test]
+    fn array_elements_report_indexed_paths() {
+        let src = r#"{"command": {"configs": ["a", 7, "c"]}}"#;
+        let v = parse_borrowed(src).expect("parse");
+        let root = Cur::root(&v);
+        let command = root.get("command").expect("command");
+        let configs = command.get("configs").expect("configs");
+        let items = configs.arr().expect("array");
+        assert_eq!(items.len(), 3);
+        let err = items[1].str().unwrap_err();
+        assert_eq!(err.path, "command/configs[1]");
+        // Identical to the owned cursor's rendering of the same path.
+        let owned = crate::parse(src).expect("owned parse");
+        let owned_err = crate::Cur::root(&owned)
+            .get("command")
+            .and_then(|c| c.get("configs"))
+            .and_then(|c| Ok(c.arr()?[1].clone()))
+            .expect("cursor")
+            .str()
+            .unwrap_err();
+        assert_eq!(owned_err, err);
+        let not_array = command.get("configs").expect("configs");
+        let items = not_array.arr().expect("array");
+        assert!(items[0].arr().is_err());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The `m3d-router` front: one TCP address consistent-hashing flow
+//! requests across N backend `serve` daemons, so every checkpoint key
+//! is built on exactly one shard cluster-wide.
+//!
+//! ```text
+//! m3d-router --backend HOST:PORT [--backend HOST:PORT ...] [--addr 127.0.0.1:7332] [--vnodes 64]
+//! ```
+//!
+//! Backend order matters: it is the shard's identity on the hash ring,
+//! so every router instance pointed at the same ordered list places
+//! keys identically.
+
+use m3d_serve::{Router, RouterConfig};
+use std::net::ToSocketAddrs;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: m3d-router --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT] [--vnodes N]\n\
+         defaults: --addr 127.0.0.1:7332 --vnodes 64"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7332".to_string();
+    let mut backends = Vec::new();
+    let mut vnodes = 64usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = take("HOST:PORT"),
+            "--backend" => {
+                let spec = take("HOST:PORT");
+                let resolved = spec
+                    .to_socket_addrs()
+                    .ok()
+                    .and_then(|mut addrs| addrs.next())
+                    .unwrap_or_else(|| {
+                        eprintln!("m3d-router: cannot resolve backend {spec}");
+                        std::process::exit(1);
+                    });
+                backends.push(resolved);
+            }
+            "--vnodes" => {
+                vnodes = take("a count").parse().unwrap_or_else(|_| {
+                    eprintln!("not a count");
+                    usage()
+                });
+            }
+            _ => usage(),
+        }
+    }
+    if backends.is_empty() {
+        eprintln!("m3d-router: at least one --backend is required");
+        usage();
+    }
+    let shards = backends.len();
+    let config = RouterConfig { backends, vnodes };
+    let router = Router::bind(addr.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("m3d-router: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "m3d-router listening on {} ({shards} backend shards, {vnodes} vnodes each)",
+        router.local_addr()
+    );
+    router.join();
+}

@@ -1,39 +1,61 @@
-//! The `serve_client` load generator: pipelines a mixed stream of flow
-//! requests at a running `serve` daemon and reports what came back.
+//! The `serve_client` CLI: one connection, five subcommands, one shared
+//! request builder and one shared printer.
 //!
 //! ```text
-//! serve_client --addr HOST:PORT [--requests N] [--scale F] [--seed N]
-//!              [--keys K] [--deadline-ms MS]
-//! serve_client pareto --addr HOST:PORT [--config C] [--freq-min F]
-//!              [--freq-max F] [--steps N] [--scale F] [--seed N]
-//!              [--deadline-ms MS]
+//! serve_client run     --addr HOST:PORT [--config C] [--freq F] [common]
+//! serve_client fmax    --addr HOST:PORT [--config C] [--start F] [common]
+//! serve_client compare --addr HOST:PORT [common]
+//! serve_client pareto  --addr HOST:PORT [--config C] [--freq-min F]
+//!                      [--freq-max F] [--steps N] [common]
+//! serve_client sweep   --addr HOST:PORT [--configs C,C,..] [--stacking S,S]
+//!                      [--corners X,X,..] [--freq-min F] [--freq-max F]
+//!                      [--steps N] [common]
+//! serve_client load    --addr HOST:PORT [--requests N] [--keys K] [common]
+//!
+//! common: [--scale F] [--seed N] [--deadline-ms MS] [--json]
 //! ```
 //!
-//! The default mode cycles requests through the five configurations plus
-//! an fmax sweep, spread across `K` distinct option variants (so a run
-//! exercises both cache hits and misses). Responses are matched by id;
-//! the summary counts outcomes and the service's reported cache hits.
+//! Every subcommand builds its [`FlowRequest`] through the same
+//! builder (same netlist recipe, options, deadline handling) and prints
+//! through the same printer: human headlines by default, raw wire JSON
+//! lines with `--json`. The `sweep` subcommand speaks protocol v2 and
+//! streams `progress`/`point`/`done` events as they arrive; everything
+//! else is v1 and byte-compatible with older servers.
 //!
-//! The `pareto` mode sends one [`FlowCommand::Pareto`] sweep and prints
-//! the returned stacking × corner × frequency point table with the
-//! power–performance–cost frontier marked.
+//! `load` is the pipelined mixed-workload generator the earlier
+//! flag-only CLI exposed (that spelling, with no subcommand, still
+//! works).
 
-use m3d_flow::{Config, FlowCommand, FlowOptions, FlowReport, FlowRequest, NetlistSpec};
+use m3d_flow::{
+    Config, FlowCommand, FlowOptions, FlowReport, FlowRequest, NetlistSpec, Proto, SweepSpec,
+};
 use m3d_netgen::Benchmark;
+use m3d_serve::protocol::{encode_line, ServerMessage, StreamEvent};
 use m3d_serve::{Client, Response};
+use m3d_tech::{Corner, StackingStyle};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_client --addr HOST:PORT [--requests N] [--scale F] [--seed N]\n\
-         \x20                 [--keys K] [--deadline-ms MS]\n\
-         \x20      serve_client pareto --addr HOST:PORT [--config C] [--freq-min F]\n\
-         \x20                 [--freq-max F] [--steps N] [--scale F] [--seed N]\n\
-         \x20                 [--deadline-ms MS]\n\
-         defaults: --requests 12 --scale 0.02 --seed 1 --keys 2\n\
-         pareto defaults: --config hetero3d --freq-min 0.8 --freq-max 1.2 --steps 3"
+        "usage: serve_client <run|fmax|compare|pareto|sweep|load> --addr HOST:PORT [options]\n\
+         \x20 run:     [--config C] [--freq F]\n\
+         \x20 fmax:    [--config C] [--start F]\n\
+         \x20 compare: (no extra options)\n\
+         \x20 pareto:  [--config C] [--freq-min F] [--freq-max F] [--steps N]\n\
+         \x20 sweep:   [--configs C,C,..] [--stacking monolithic,f2f] [--corners slow,typical,fast]\n\
+         \x20          [--freq-min F] [--freq-max F] [--steps N]\n\
+         \x20 load:    [--requests N] [--keys K]\n\
+         \x20 common:  [--scale F] [--seed N] [--deadline-ms MS] [--json]\n\
+         configs: 2d9t 2d12t 3d9t 3d12t hetero3d\n\
+         defaults: --scale 0.02 --seed 1 --config hetero3d --freq 1.0 --start 1.0\n\
+         \x20         --freq-min 0.8 --freq-max 1.2 --steps 3 --requests 12 --keys 2"
     );
     std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("serve_client: {message}");
+    std::process::exit(1);
 }
 
 fn config_arg(name: &str) -> Config {
@@ -47,207 +69,376 @@ fn config_arg(name: &str) -> Config {
     }
 }
 
-/// The `pareto` subcommand: one sweep request, pretty-printed frontier.
-fn run_pareto(mut args: std::env::Args) -> ! {
-    let mut addr = None;
-    let mut config = Config::Hetero3d;
-    let mut freq_min = 0.8f64;
-    let mut freq_max = 1.2f64;
-    let mut steps = 3usize;
-    let mut scale = 0.02f64;
-    let mut seed = 1u64;
-    let mut deadline_ms = None;
-    while let Some(flag) = args.next() {
-        let mut value = || args.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--addr" => addr = Some(value()),
-            "--config" => config = config_arg(&value()),
-            "--freq-min" => freq_min = value().parse().unwrap_or_else(|_| usage()),
-            "--freq-max" => freq_max = value().parse().unwrap_or_else(|_| usage()),
-            "--steps" => steps = value().parse().unwrap_or_else(|_| usage()),
-            "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
-            "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
-            _ => usage(),
+fn stacking_arg(name: &str) -> StackingStyle {
+    match name {
+        "monolithic" => StackingStyle::Monolithic,
+        "f2f" => StackingStyle::F2fHybridBond,
+        _ => usage(),
+    }
+}
+
+fn corner_arg(name: &str) -> Corner {
+    match name {
+        "slow" => Corner::Slow,
+        "typical" => Corner::Typical,
+        "fast" => Corner::Fast,
+        _ => usage(),
+    }
+}
+
+fn list_arg<T>(csv: &str, one: impl Fn(&str) -> T) -> Vec<T> {
+    csv.split(',').filter(|s| !s.is_empty()).map(one).collect()
+}
+
+/// Everything the subcommands share: the connection target, the netlist
+/// recipe, the deadline, and the output mode.
+struct Common {
+    addr: Option<String>,
+    scale: f64,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    json: bool,
+}
+
+impl Common {
+    fn new() -> Common {
+        Common {
+            addr: None,
+            scale: 0.02,
+            seed: 1,
+            deadline_ms: None,
+            json: false,
         }
     }
-    let Some(addr) = addr else { usage() };
-    let mut client = Client::connect(addr.as_str()).unwrap_or_else(|e| {
-        eprintln!("serve_client: cannot connect to {addr}: {e}");
-        std::process::exit(1);
-    });
-    let request = FlowRequest {
-        id: 0,
-        netlist: NetlistSpec {
-            benchmark: Benchmark::Aes,
-            scale,
-            seed,
-        },
-        options: FlowOptions::default(),
-        command: FlowCommand::Pareto {
-            config,
-            freq_min_ghz: freq_min,
-            freq_max_ghz: freq_max,
-            freq_steps: steps,
-        },
-        deadline_ms,
-    };
+
+    /// Tries one shared flag; returns whether it was consumed.
+    fn take_flag(&mut self, flag: &str, value: &mut dyn FnMut() -> String) -> bool {
+        match flag {
+            "--addr" => self.addr = Some(value()),
+            "--scale" => self.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => self.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => self.deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--json" => self.json = true,
+            _ => return false,
+        }
+        true
+    }
+
+    /// The shared request builder: every subcommand's wire request goes
+    /// through here, so recipe, deadline and protocol-version handling
+    /// exist exactly once. Sweeps are stamped v2; everything else stays
+    /// v1 (and its line stays byte-identical to the pre-v2 client's).
+    fn build_request(&self, id: u64, options: FlowOptions, command: FlowCommand) -> FlowRequest {
+        let proto = if matches!(command, FlowCommand::Sweep { .. }) {
+            Proto::V2
+        } else {
+            Proto::V1
+        };
+        FlowRequest {
+            id,
+            netlist: NetlistSpec {
+                benchmark: Benchmark::Aes,
+                scale: self.scale,
+                seed: self.seed,
+            },
+            options,
+            proto,
+            command,
+            deadline_ms: self.deadline_ms,
+        }
+    }
+
+    fn connect(&self) -> Client {
+        let Some(addr) = self.addr.as_deref() else {
+            usage()
+        };
+        Client::connect(addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")))
+    }
+}
+
+/// The shared printer for single responses. Returns whether the
+/// response was `ok`.
+fn print_response(response: &Response, json: bool) -> bool {
+    if json {
+        print!("{}", encode_line(response));
+        return response.is_ok();
+    }
+    match response {
+        Response::Ok {
+            id,
+            cache_hit,
+            report,
+        } => {
+            println!(
+                "#{id}: {} (cache {})",
+                report.headline(),
+                if *cache_hit { "hit" } else { "miss" }
+            );
+            true
+        }
+        Response::Rejected { id, kind, message } => {
+            let id = id.map_or_else(|| "?".to_string(), |i| i.to_string());
+            println!("#{id}: rejected [{kind}] {message}");
+            false
+        }
+    }
+}
+
+/// The shared printer for stream events (the `sweep` subcommand).
+fn print_event(event: &StreamEvent, json: bool) {
+    if json {
+        print!("{}", encode_line(event));
+        return;
+    }
+    match event {
+        StreamEvent::Progress { id, total } => println!("#{id}: sweep of {total} points"),
+        StreamEvent::Point {
+            id,
+            index,
+            cache_hit,
+            report,
+        } => println!(
+            "#{id}[{index}]: {} (cache {})",
+            report.headline(),
+            if *cache_hit { "hit" } else { "miss" }
+        ),
+        StreamEvent::Error {
+            id,
+            index,
+            kind,
+            message,
+        } => println!("#{id}[{index}]: error [{kind}] {message}"),
+        StreamEvent::Done { id, points, errors } => {
+            println!("#{id}: done ({points} points, {errors} errors)");
+        }
+    }
+}
+
+/// One-shot subcommands (`run`, `fmax`, `compare`, `pareto`): build,
+/// send, print, exit.
+fn run_single(common: &Common, command: FlowCommand) -> ! {
+    let mut client = common.connect();
+    let request = common.build_request(0, FlowOptions::default(), command);
     let started = Instant::now();
-    if let Err(e) = client.send(&request) {
-        eprintln!("serve_client: send failed: {e}");
-        std::process::exit(1);
-    }
-    match client.recv() {
-        Ok(Response::Ok {
+    let response = client
+        .call(&request)
+        .unwrap_or_else(|e| fail(&format!("call failed: {e}")));
+    let ok = print_response(&response, common.json);
+    // The pareto table is the one report worth more than a headline.
+    if let (
+        false,
+        Response::Ok {
             cache_hit, report, ..
-        }) => {
-            let FlowReport::Pareto { summary } = *report else {
-                eprintln!("serve_client: unexpected report kind");
-                std::process::exit(1);
-            };
-            println!(
-                "{} pareto sweep ({} points, cache {}):",
-                summary.config,
-                summary.points.len(),
-                if cache_hit { "hit" } else { "miss" }
-            );
-            println!(
-                "  {:<10} {:>7} {:>8} {:>9} {:>10} {:>9} {:>4} {:>8}",
-                "stacking", "corner", "f_GHz", "power_mW", "delay_ns", "cost_uc", "met", "frontier"
-            );
-            for p in &summary.points {
-                println!(
-                    "  {:<10} {:>7} {:>8.3} {:>9.3} {:>10.4} {:>9.4} {:>4} {:>8}",
-                    p.stacking.to_string(),
-                    p.corner.to_string(),
-                    p.frequency_ghz,
-                    p.total_power_mw,
-                    p.effective_delay_ns,
-                    p.die_cost_uc,
-                    if p.timing_met { "yes" } else { "no" },
-                    if p.on_frontier { "*" } else { "" }
-                );
+        },
+    ) = (common.json, &response)
+    {
+        if let FlowReport::Pareto { summary } = report.as_ref() {
+            print_pareto_table(summary, *cache_hit, started);
+        }
+    }
+    std::process::exit(i32::from(!ok));
+}
+
+fn print_pareto_table(summary: &m3d_flow::ParetoSummary, cache_hit: bool, started: Instant) {
+    println!(
+        "{} pareto sweep ({} points, cache {}):",
+        summary.config,
+        summary.points.len(),
+        if cache_hit { "hit" } else { "miss" }
+    );
+    println!(
+        "  {:<10} {:>7} {:>8} {:>9} {:>10} {:>9} {:>4} {:>8}",
+        "stacking", "corner", "f_GHz", "power_mW", "delay_ns", "cost_uc", "met", "frontier"
+    );
+    for p in &summary.points {
+        println!(
+            "  {:<10} {:>7} {:>8.3} {:>9.3} {:>10.4} {:>9.4} {:>4} {:>8}",
+            p.stacking.to_string(),
+            p.corner.to_string(),
+            p.frequency_ghz,
+            p.total_power_mw,
+            p.effective_delay_ns,
+            p.die_cost_uc,
+            if p.timing_met { "yes" } else { "no" },
+            if p.on_frontier { "*" } else { "" }
+        );
+    }
+    println!(
+        "{} frontier points in {:.2} s",
+        summary.frontier().count(),
+        started.elapsed().as_secs_f64()
+    );
+}
+
+/// The `sweep` subcommand: one v2 request, events printed as streamed.
+fn run_sweep(common: &Common, spec: SweepSpec) -> ! {
+    let mut client = common.connect();
+    let request = common.build_request(0, FlowOptions::default(), FlowCommand::Sweep { spec });
+    let started = Instant::now();
+    let messages = client
+        .call_stream(&request)
+        .unwrap_or_else(|e| fail(&format!("stream failed: {e}")));
+    let mut failed = false;
+    for message in &messages {
+        match message {
+            ServerMessage::Response(response) => {
+                failed |= !print_response(response, common.json);
             }
-            println!(
-                "{} frontier points in {:.2} s",
-                summary.frontier().count(),
-                started.elapsed().as_secs_f64()
-            );
-            std::process::exit(0);
-        }
-        Ok(Response::Rejected { kind, message, .. }) => {
-            eprintln!("serve_client: rejected [{kind}] {message}");
-            std::process::exit(1);
-        }
-        Err(e) => {
-            eprintln!("serve_client: receive failed: {e}");
-            std::process::exit(1);
+            ServerMessage::Event(event) => {
+                if let StreamEvent::Done { errors, .. } = event {
+                    failed |= *errors > 0;
+                }
+                print_event(event, common.json);
+            }
         }
     }
-}
-
-/// The request mix: one command per request, round-robin.
-fn command(i: usize) -> FlowCommand {
-    const CONFIGS: [Config; 5] = [
-        Config::Hetero3d,
-        Config::TwoD12T,
-        Config::ThreeD9T,
-        Config::TwoD9T,
-        Config::ThreeD12T,
-    ];
-    match i % 6 {
-        5 => FlowCommand::FindFmax {
-            config: Config::Hetero3d,
-            start_ghz: 1.0,
-        },
-        r => FlowCommand::RunFlow {
-            config: CONFIGS[r],
-            frequency_ghz: 1.0,
-        },
+    if !common.json {
+        println!("sweep finished in {:.2} s", started.elapsed().as_secs_f64());
     }
+    std::process::exit(i32::from(failed));
 }
 
-/// `K` option variants (distinct cache keys) differing in placer effort.
-fn options_variant(k: usize) -> FlowOptions {
-    let mut o = FlowOptions::default();
-    o.placer_mut().iterations = 12 + k;
-    o
+/// The `load` subcommand: the pipelined mixed workload (five configs
+/// plus an fmax search, spread over `keys` option variants).
+fn run_load(common: &Common, requests: usize, keys: usize) -> ! {
+    fn command(i: usize) -> FlowCommand {
+        const CONFIGS: [Config; 5] = [
+            Config::Hetero3d,
+            Config::TwoD12T,
+            Config::ThreeD9T,
+            Config::TwoD9T,
+            Config::ThreeD12T,
+        ];
+        match i % 6 {
+            5 => FlowCommand::FindFmax {
+                config: Config::Hetero3d,
+                start_ghz: 1.0,
+            },
+            r => FlowCommand::RunFlow {
+                config: CONFIGS[r],
+                frequency_ghz: 1.0,
+            },
+        }
+    }
+    fn options_variant(k: usize) -> FlowOptions {
+        let mut o = FlowOptions::default();
+        o.placer_mut().iterations = 12 + k;
+        o
+    }
+    let mut client = common.connect();
+    let started = Instant::now();
+    for i in 0..requests {
+        let request = common.build_request(i as u64, options_variant(i % keys), command(i));
+        if let Err(e) = client.send(&request) {
+            fail(&format!("send failed: {e}"));
+        }
+    }
+    let (mut ok, mut hits, mut rejected) = (0u64, 0u64, 0u64);
+    for _ in 0..requests {
+        let response = client
+            .recv()
+            .unwrap_or_else(|e| fail(&format!("receive failed: {e}")));
+        if print_response(&response, common.json) {
+            ok += 1;
+            if let Response::Ok { cache_hit, .. } = &response {
+                hits += u64::from(*cache_hit);
+            }
+        } else {
+            rejected += 1;
+        }
+    }
+    if !common.json {
+        println!(
+            "{requests} requests in {:.2} s: {ok} ok ({hits} cache hits), {rejected} rejected",
+            started.elapsed().as_secs_f64()
+        );
+    }
+    std::process::exit(i32::from(rejected > 0));
 }
 
 fn main() {
     let mut args = std::env::args();
     let _argv0 = args.next();
-    let mut first = args.next();
-    if first.as_deref() == Some("pareto") {
-        run_pareto(args);
-    }
-    let mut addr = None;
+    let first = args.next().unwrap_or_else(|| usage());
+    // Flag-only invocations (the old CLI shape) mean `load`.
+    let (subcommand, mut pending) = if first.starts_with("--") {
+        ("load".to_string(), Some(first))
+    } else {
+        (first, None)
+    };
+
+    let mut common = Common::new();
+    // Subcommand-specific knobs, all optional.
+    let mut config = Config::Hetero3d;
+    let mut freq = 1.0f64;
+    let mut start = 1.0f64;
+    let mut freq_min = 0.8f64;
+    let mut freq_max = 1.2f64;
+    let mut steps = 3usize;
+    let mut configs = vec![Config::Hetero3d];
+    let mut stacking = StackingStyle::ALL.to_vec();
+    let mut corners = vec![Corner::Typical];
     let mut requests = 12usize;
-    let mut scale = 0.02f64;
-    let mut seed = 1u64;
     let mut keys = 2usize;
-    let mut deadline_ms = None;
-    while let Some(flag) = first.take().or_else(|| args.next()) {
+
+    while let Some(flag) = pending.take().or_else(|| args.next()) {
         let mut value = || args.next().unwrap_or_else(|| usage());
+        if common.take_flag(&flag, &mut value) {
+            continue;
+        }
         match flag.as_str() {
-            "--addr" => addr = Some(value()),
+            "--config" => config = config_arg(&value()),
+            "--freq" => freq = value().parse().unwrap_or_else(|_| usage()),
+            "--start" => start = value().parse().unwrap_or_else(|_| usage()),
+            "--freq-min" => freq_min = value().parse().unwrap_or_else(|_| usage()),
+            "--freq-max" => freq_max = value().parse().unwrap_or_else(|_| usage()),
+            "--steps" => steps = value().parse().unwrap_or_else(|_| usage()),
+            "--configs" => configs = list_arg(&value(), config_arg),
+            "--stacking" => stacking = list_arg(&value(), stacking_arg),
+            "--corners" => corners = list_arg(&value(), corner_arg),
             "--requests" => requests = value().parse().unwrap_or_else(|_| usage()),
-            "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--keys" => keys = value().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
-            "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
-    let Some(addr) = addr else { usage() };
 
-    let mut client = Client::connect(addr.as_str()).unwrap_or_else(|e| {
-        eprintln!("serve_client: cannot connect to {addr}: {e}");
-        std::process::exit(1);
-    });
-    let started = Instant::now();
-    for i in 0..requests {
-        let request = FlowRequest {
-            id: i as u64,
-            netlist: NetlistSpec {
-                benchmark: Benchmark::Aes,
-                scale,
-                seed,
+    match subcommand.as_str() {
+        "run" => run_single(
+            &common,
+            FlowCommand::RunFlow {
+                config,
+                frequency_ghz: freq,
             },
-            options: options_variant(i % keys),
-            command: command(i),
-            deadline_ms,
-        };
-        if let Err(e) = client.send(&request) {
-            eprintln!("serve_client: send failed: {e}");
-            std::process::exit(1);
-        }
+        ),
+        "fmax" => run_single(
+            &common,
+            FlowCommand::FindFmax {
+                config,
+                start_ghz: start,
+            },
+        ),
+        "compare" => run_single(&common, FlowCommand::CompareConfigs),
+        "pareto" => run_single(
+            &common,
+            FlowCommand::Pareto {
+                config,
+                freq_min_ghz: freq_min,
+                freq_max_ghz: freq_max,
+                freq_steps: steps,
+            },
+        ),
+        "sweep" => run_sweep(
+            &common,
+            SweepSpec {
+                configs,
+                stacking,
+                corners,
+                freq_min_ghz: freq_min,
+                freq_max_ghz: freq_max,
+                freq_steps: steps,
+            },
+        ),
+        "load" => run_load(&common, requests, keys),
+        _ => usage(),
     }
-    let (mut ok, mut hits, mut rejected) = (0u64, 0u64, 0u64);
-    for _ in 0..requests {
-        match client.recv() {
-            Ok(Response::Ok { id, cache_hit, .. }) => {
-                ok += 1;
-                hits += u64::from(cache_hit);
-                println!(
-                    "#{id}: ok (cache {})",
-                    if cache_hit { "hit" } else { "miss" }
-                );
-            }
-            Ok(Response::Rejected { id, kind, message }) => {
-                rejected += 1;
-                let id = id.map_or_else(|| "?".to_string(), |i| i.to_string());
-                println!("#{id}: rejected [{kind}] {message}");
-            }
-            Err(e) => {
-                eprintln!("serve_client: receive failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-    let elapsed = started.elapsed();
-    println!(
-        "{requests} requests in {:.2} s: {ok} ok ({hits} cache hits), {rejected} rejected",
-        elapsed.as_secs_f64()
-    );
 }

@@ -1,6 +1,6 @@
 //! A blocking line-protocol client for the flow service.
 
-use crate::protocol::{decode_response, encode_line, Response};
+use crate::protocol::{decode_message, decode_response, encode_line, Response, ServerMessage};
 use m3d_flow::FlowRequest;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -95,6 +95,22 @@ impl Client {
         decode_response(&line).map_err(ClientError::BadResponse)
     }
 
+    /// Reads the next server line as a [`ServerMessage`] — either a v1
+    /// `Response` or a v2 stream event. This is the receive path for
+    /// sweep streams.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on a clean EOF, [`ClientError::Io`] /
+    /// [`ClientError::BadResponse`] otherwise.
+    pub fn recv_message(&mut self) -> Result<ServerMessage, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Closed);
+        }
+        decode_message(&line).map_err(ClientError::BadResponse)
+    }
+
     /// Sends one request and blocks for one response.
     ///
     /// # Errors
@@ -103,5 +119,31 @@ impl Client {
     pub fn call(&mut self, request: &FlowRequest) -> Result<Response, ClientError> {
         self.send(request)?;
         self.recv()
+    }
+
+    /// Sends one request and collects its full message stream: for a
+    /// v1 request, the single `Response`; for a v2 sweep, everything
+    /// through the terminal `done` (or a single rejection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] / [`Client::recv_message`] failures.
+    pub fn call_stream(
+        &mut self,
+        request: &FlowRequest,
+    ) -> Result<Vec<ServerMessage>, ClientError> {
+        self.send(request)?;
+        let mut messages = Vec::new();
+        loop {
+            let message = self.recv_message()?;
+            let terminal = match &message {
+                ServerMessage::Response(_) => true,
+                ServerMessage::Event(event) => event.is_terminal(),
+            };
+            messages.push(message);
+            if terminal {
+                return Ok(messages);
+            }
+        }
     }
 }

@@ -34,6 +34,10 @@
 //!   (tunable via [`TcpTuning`]).
 //! * [`client`] — a blocking pipelined [`Client`], also the substrate
 //!   of the `serve_client` load generator.
+//! * [`router`] — a consistent-hash shard [`Router`] front: N backend
+//!   services behind one address, every request placed on the shard
+//!   that owns its checkpoint key, so each key is built exactly once
+//!   cluster-wide and answers stay byte-identical to a single server.
 //!
 //! Service responses are **bit-identical to direct library calls** at
 //! any worker count: workers execute through the same
@@ -43,7 +47,7 @@
 //!
 //! ```no_run
 //! use m3d_serve::{Client, ServerConfig, TcpServer};
-//! use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+//! use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec, Proto};
 //! use m3d_netgen::Benchmark;
 //!
 //! let server = TcpServer::bind("127.0.0.1:0", ServerConfig::default())?;
@@ -54,6 +58,7 @@
 //!     options: FlowOptions::default(),
 //!     command: FlowCommand::RunFlow { config: Config::Hetero3d, frequency_ghz: 1.2 },
 //!     deadline_ms: None,
+//!     proto: Proto::V1,
 //! })?;
 //! assert!(response.is_ok());
 //! let stats = server.shutdown();
@@ -66,6 +71,7 @@ pub mod client;
 mod conn;
 pub mod protocol;
 pub mod reactor;
+pub mod router;
 pub mod server;
 
 pub use cache::{SessionCache, SessionKey};
@@ -73,7 +79,11 @@ pub use client::{Client, ClientError};
 pub use m3d_flow::{FlowCommand, FlowReport, FlowRequest, NetlistSpec};
 pub use m3d_store::{Store, StoreError, StoreKey};
 pub use protocol::{
-    decode_request, decode_response, encode_line, ProtocolError, RejectKind, Response,
+    decode_message, decode_request, decode_response, encode_line, ProtocolError, RejectKind,
+    Response, ServerMessage, StreamEvent,
 };
 pub use reactor::{raise_nofile_limit, set_send_buffer, ReactorKind};
-pub use server::{Pending, Server, ServerConfig, StatsSnapshot, TcpServer, TcpTuning};
+pub use router::{route_key, Ring, Router, RouterConfig, RouterStatsSnapshot};
+pub use server::{
+    Pending, PendingStream, Server, ServerConfig, StatsSnapshot, TcpServer, TcpTuning,
+};

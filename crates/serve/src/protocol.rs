@@ -8,6 +8,16 @@
 //! [`RejectKind::Protocol`] rejection (never a dropped connection, a
 //! panic or a hang), echoing the `id` when one can be salvaged from the
 //! malformed line.
+//!
+//! Protocol **v2** adds one streaming request shape: a `sweep` command
+//! (sent with `"proto": 2`) is answered not with a single response line
+//! but with a framed stream of [`StreamEvent`] lines — `progress`, one
+//! `point`/`error` per grid point, and a terminal `done` — each carrying
+//! the request's `id` (and, for per-point events, the point `index` in
+//! the sweep's deterministic scenario-major order). Event lines are
+//! distinguished from v1 responses by `"status": "event"`, so a v1
+//! client that never sends a sweep never sees one; [`decode_message`]
+//! decodes either shape.
 
 use m3d_flow::{FlowReport, FlowRequest};
 use m3d_json::{
@@ -174,6 +184,193 @@ impl FromJson for Response {
     }
 }
 
+/// One event line in a protocol-v2 sweep stream. Every event carries
+/// the originating request's `id`; per-point events add the point's
+/// `index` in the sweep's deterministic scenario-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// Emitted once, before any point: the sweep was admitted and will
+    /// produce `total` per-point events followed by `done`.
+    Progress {
+        /// Echo of the sweep request's id.
+        id: u64,
+        /// Number of grid points the sweep decomposes into.
+        total: u64,
+    },
+    /// One grid point completed.
+    Point {
+        /// Echo of the sweep request's id.
+        id: u64,
+        /// The point's index in scenario-major order.
+        index: u64,
+        /// Whether the point's scenario session was already cached.
+        cache_hit: bool,
+        /// The point's flow report (a `run` report).
+        report: Box<FlowReport>,
+    },
+    /// One grid point failed; the rest of the sweep continues.
+    Error {
+        /// Echo of the sweep request's id.
+        id: u64,
+        /// The point's index in scenario-major order.
+        index: u64,
+        /// Why, using the same taxonomy as v1 rejections.
+        kind: RejectKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Terminal event: every point is accounted for. After `done`,
+    /// no further event with this `id` will arrive.
+    Done {
+        /// Echo of the sweep request's id.
+        id: u64,
+        /// Points that completed and streamed a `point` event.
+        points: u64,
+        /// Points that failed and streamed an `error` event.
+        errors: u64,
+    },
+}
+
+impl StreamEvent {
+    /// The originating request's id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            StreamEvent::Progress { id, .. }
+            | StreamEvent::Point { id, .. }
+            | StreamEvent::Error { id, .. }
+            | StreamEvent::Done { id, .. } => *id,
+        }
+    }
+
+    /// Whether this is the stream's terminal event.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, StreamEvent::Done { .. })
+    }
+}
+
+impl ToJson for StreamEvent {
+    fn to_json(&self) -> Value {
+        let o = Obj::new();
+        match self {
+            StreamEvent::Progress { id, total } => o
+                .put("id", *id)
+                .put("status", "event")
+                .put("event", "progress")
+                .put("total", *total)
+                .build(),
+            StreamEvent::Point {
+                id,
+                index,
+                cache_hit,
+                report,
+            } => o
+                .put("id", *id)
+                .put("status", "event")
+                .put("event", "point")
+                .put("index", *index)
+                .put("cache_hit", *cache_hit)
+                .put("report", report.to_json())
+                .build(),
+            StreamEvent::Error {
+                id,
+                index,
+                kind,
+                message,
+            } => o
+                .put("id", *id)
+                .put("status", "event")
+                .put("event", "error")
+                .put("index", *index)
+                .put("kind", kind.wire_name())
+                .put("message", message.as_str())
+                .build(),
+            StreamEvent::Done { id, points, errors } => o
+                .put("id", *id)
+                .put("status", "event")
+                .put("event", "done")
+                .put("points", *points)
+                .put("errors", *errors)
+                .build(),
+        }
+    }
+}
+
+impl FromJson for StreamEvent {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        let id = cur.get("id")?.u64()?;
+        let event = cur.get("event")?;
+        match event.str()? {
+            "progress" => Ok(StreamEvent::Progress {
+                id,
+                total: cur.get("total")?.u64()?,
+            }),
+            "point" => Ok(StreamEvent::Point {
+                id,
+                index: cur.get("index")?.u64()?,
+                cache_hit: cur.get("cache_hit")?.bool()?,
+                report: Box::new(FlowReport::from_json(cur.get("report")?)?),
+            }),
+            "error" => Ok(StreamEvent::Error {
+                id,
+                index: cur.get("index")?.u64()?,
+                kind: RejectKind::from_wire(&cur.get("kind")?)?,
+                message: cur.get("message")?.str()?.to_string(),
+            }),
+            "done" => Ok(StreamEvent::Done {
+                id,
+                points: cur.get("points")?.u64()?,
+                errors: cur.get("errors")?.u64()?,
+            }),
+            _ => Err(DecodeError::new(
+                event.path(),
+                "an event (progress|point|error|done)",
+            )),
+        }
+    }
+}
+
+/// Anything the server can put on the wire: a v1 [`Response`], or a v2
+/// sweep [`StreamEvent`]. The `status` field discriminates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMessage {
+    /// A single-shot response (or rejection).
+    Response(Response),
+    /// One event of a sweep stream.
+    Event(StreamEvent),
+}
+
+impl ServerMessage {
+    /// The correlation id, when known.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            ServerMessage::Response(r) => r.id(),
+            ServerMessage::Event(e) => Some(e.id()),
+        }
+    }
+}
+
+impl ToJson for ServerMessage {
+    fn to_json(&self) -> Value {
+        match self {
+            ServerMessage::Response(r) => r.to_json(),
+            ServerMessage::Event(e) => e.to_json(),
+        }
+    }
+}
+
+impl FromJson for ServerMessage {
+    fn from_json(cur: Cur<'_>) -> Result<Self, DecodeError> {
+        let status = cur.get("status")?;
+        match status.str()? {
+            "event" => Ok(ServerMessage::Event(StreamEvent::from_json(cur)?)),
+            _ => Ok(ServerMessage::Response(Response::from_json(cur)?)),
+        }
+    }
+}
+
 /// A malformed request line, as a typed error: JSON-level failures keep
 /// the parser's message, shape-level failures keep the offending path
 /// and what was expected there.
@@ -231,6 +428,18 @@ pub fn salvage_id(line: &str) -> Option<u64> {
 pub fn decode_response(line: &str) -> Result<Response, String> {
     let doc = parse(line.trim())?;
     Response::from_json(Cur::root(&doc)).map_err(|e| e.to_string())
+}
+
+/// Decodes one server line of either protocol shape: a v1 response or a
+/// v2 sweep event. Clients that mix single-shot and sweep requests on
+/// one connection read everything through this.
+///
+/// # Errors
+///
+/// Returns the parse or shape error as text.
+pub fn decode_message(line: &str) -> Result<ServerMessage, String> {
+    let doc = parse(line.trim())?;
+    ServerMessage::from_json(Cur::root(&doc)).map_err(|e| e.to_string())
 }
 
 /// Renders one value as a protocol line (JSON + trailing newline).

@@ -62,9 +62,11 @@
 
 use crate::cache::SessionCache;
 use crate::conn::{Conn, FrameEnd};
-use crate::protocol::{decode_request, encode_line, salvage_id, RejectKind, Response};
+use crate::protocol::{
+    decode_request, encode_line, salvage_id, RejectKind, Response, ServerMessage, StreamEvent,
+};
 use crate::reactor::{wake_pair, Event, Interest, Poller, ReactorKind, WakeReader, Waker};
-use m3d_flow::FlowRequest;
+use m3d_flow::{FlowCommand, FlowRequest};
 use m3d_obs::Obs;
 use m3d_store::Store;
 use std::collections::{HashMap, VecDeque};
@@ -72,7 +74,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -96,6 +98,12 @@ pub struct ServerConfig {
     /// restarted server pointed at the same directory answers its first
     /// repeat request from disk instead of re-running the flow prefix.
     pub store: Option<Arc<Store>>,
+    /// Fairness cap: at most this many of one client's sweep points may
+    /// be queued or executing at once. Points past the cap are deferred
+    /// (counted in [`StatsSnapshot::quota_deferred`]) and promoted one
+    /// at a time as the client's earlier points finish, so a large sweep
+    /// shares the pool instead of monopolizing it. Floored at 1.
+    pub sweep_inflight_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +114,7 @@ impl Default for ServerConfig {
             cache_capacity: 8,
             obs: Obs::disabled(),
             store: None,
+            sweep_inflight_cap: 4,
         }
     }
 }
@@ -182,6 +191,23 @@ pub struct StatsSnapshot {
     pub store_spills: u64,
     /// Corrupt store records detected (and evicted) during lookups.
     pub store_corrupt_evicted: u64,
+    /// Protocol-v2 sweep requests admitted. Sweeps and their points are
+    /// counted here and in the `sweep_*` fields only — never in the v1
+    /// counters above, whose values stay comparable across protocol
+    /// versions.
+    pub sweeps: u64,
+    /// Sweep points that completed and streamed a `point` event.
+    pub sweep_points: u64,
+    /// Sweep points that failed and streamed an `error` event.
+    pub sweep_point_errors: u64,
+    /// Sweep points deferred at admission or promotion because their
+    /// client was at [`ServerConfig::sweep_inflight_cap`]. Deterministic
+    /// for a lone sweep: `total points - cap` when the sweep is larger
+    /// than the cap.
+    pub quota_deferred: u64,
+    /// Sweep points dropped without running because their client
+    /// disconnected (or its sweep was otherwise cancelled) mid-stream.
+    pub sweep_cancelled_points: u64,
 }
 
 #[derive(Default)]
@@ -194,12 +220,19 @@ struct Stats {
     rejected_deadline: AtomicU64,
     rejected_shutdown: AtomicU64,
     rejected_protocol: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_points: AtomicU64,
+    sweep_point_errors: AtomicU64,
+    quota_deferred: AtomicU64,
+    sweep_cancelled_points: AtomicU64,
 }
 
-/// Where a job's response goes: back to an in-process caller, or to the
-/// reactor shard owning the connection it arrived on.
+/// Where a job's response goes: back to an in-process caller (single
+/// response or message stream), or to the reactor shard owning the
+/// connection it arrived on.
 enum ReplyTo {
     Channel(Sender<Response>),
+    Stream(Sender<ServerMessage>),
     Conn { shard: ShardHandle, conn: u64 },
 }
 
@@ -209,12 +242,86 @@ impl ReplyTo {
             ReplyTo::Channel(tx) => {
                 let _ = tx.send(response);
             }
+            ReplyTo::Stream(tx) => {
+                let _ = tx.send(ServerMessage::Response(response));
+            }
             ReplyTo::Conn { shard, conn } => {
                 // Render on this (worker or rejecting caller) thread:
-                // shard event loops never serialize reports.
-                shard.reply(*conn, encode_line(&response));
+                // shard event loops never serialize reports. A single
+                // response is always its request's terminal line.
+                shard.reply(*conn, encode_line(&response), true);
             }
         }
+    }
+}
+
+/// Where a sweep's event stream goes. Split from [`ReplyTo`] because a
+/// plain response channel cannot carry a stream.
+enum EventRoute {
+    Stream(Sender<ServerMessage>),
+    Conn { shard: ShardHandle, conn: u64 },
+}
+
+impl EventRoute {
+    /// Ships one event. `last` marks the stream's terminal line so the
+    /// owning shard can balance its in-flight accounting exactly once
+    /// per request, however many event lines precede it.
+    fn send(&self, event: StreamEvent, last: bool) {
+        match self {
+            EventRoute::Stream(tx) => {
+                let _ = tx.send(ServerMessage::Event(event));
+            }
+            EventRoute::Conn { shard, conn } => {
+                shard.reply(*conn, encode_line(&event), last);
+            }
+        }
+    }
+
+    /// Answers a sweep that never started (admission rejection) with a
+    /// plain v1 rejection as its terminal line.
+    fn reject(&self, response: Response) {
+        match self {
+            EventRoute::Stream(tx) => {
+                let _ = tx.send(ServerMessage::Response(response));
+            }
+            EventRoute::Conn { shard, conn } => {
+                shard.reply(*conn, encode_line(&response), true);
+            }
+        }
+    }
+}
+
+/// Shared state of one in-flight sweep: the event route plus the
+/// counters that decide when `done` fires. Workers touch it from many
+/// threads; the terminal event is emitted by whichever worker (or
+/// cancellation path) brings `remaining` to zero.
+struct SweepShared {
+    id: u64,
+    client: u64,
+    route: EventRoute,
+    remaining: AtomicU64,
+    delivered: AtomicU64,
+    errors: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl SweepShared {
+    /// Accounts one finished (delivered, failed, or dropped) point and
+    /// emits `done` when it was the last. Returns whether it was.
+    fn finish_point(&self) -> bool {
+        let remaining = self.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+        if remaining == 0 {
+            self.route.send(
+                StreamEvent::Done {
+                    id: self.id,
+                    points: self.delivered.load(Ordering::Acquire),
+                    errors: self.errors.load(Ordering::Acquire),
+                },
+                true,
+            );
+            return true;
+        }
+        false
     }
 }
 
@@ -227,8 +334,8 @@ struct ShardHandle {
 }
 
 impl ShardHandle {
-    fn reply(&self, conn: u64, line: String) {
-        if self.tx.send(ShardMsg::Reply { conn, line }).is_ok() {
+    fn reply(&self, conn: u64, line: String, last: bool) {
+        if self.tx.send(ShardMsg::Reply { conn, line, last }).is_ok() {
             self.waker.wake();
         }
     }
@@ -241,22 +348,41 @@ impl ShardHandle {
 }
 
 enum ShardMsg {
-    /// A rendered response line for one of the shard's connections.
-    Reply { conn: u64, line: String },
+    /// A rendered server line for one of the shard's connections.
+    /// `last` is set on the terminal line of a request (the single
+    /// response, or a sweep's `done`), which is what balances the
+    /// shard's and connection's in-flight counters.
+    Reply { conn: u64, line: String, last: bool },
     /// Stop accepting and reading; answer and flush what's in flight,
     /// then exit.
     Drain,
 }
 
+/// How a job answers: a whole request, or one point of a sweep.
+enum JobReply {
+    Single(ReplyTo),
+    SweepPoint {
+        shared: Arc<SweepShared>,
+        index: u64,
+    },
+}
+
 struct Job {
     request: FlowRequest,
     enqueued: Instant,
-    reply: ReplyTo,
+    reply: JobReply,
 }
 
 struct QueueState {
     queue: VecDeque<Job>,
     accepting: bool,
+    /// Per-client count of sweep points currently queued or executing.
+    sweep_inflight: HashMap<u64, u64>,
+    /// Per-client sweep points held back by the fairness cap, promoted
+    /// one at a time as that client's in-flight points finish.
+    deferred: HashMap<u64, VecDeque<Job>>,
+    /// Live sweeps by client, so a disconnect can cancel them.
+    sweeps: HashMap<u64, Vec<Arc<SweepShared>>>,
 }
 
 struct Inner {
@@ -266,6 +392,10 @@ struct Inner {
     available: Condvar,
     stats: Stats,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Fairness client ids for in-process streaming submitters. TCP
+    /// clients get ids derived from their shard and connection token
+    /// instead (disjoint: those have the shard index in the high bits).
+    next_client: AtomicU64,
 }
 
 /// An in-process handle to one submitted request's eventual response.
@@ -283,6 +413,29 @@ impl Pending {
         self.rx.recv().unwrap_or_else(|_| {
             Response::reject(None, RejectKind::Shutdown, "worker dropped the request")
         })
+    }
+}
+
+/// An in-process handle to one streaming submission: every
+/// [`ServerMessage`] the request produces, in emission order. A v1
+/// request yields exactly one `Response` message; a v2 sweep yields
+/// `progress`, one `point`/`error` per grid point, and a terminal
+/// `done`.
+pub struct PendingStream {
+    rx: Receiver<ServerMessage>,
+}
+
+impl PendingStream {
+    /// Blocks for the next message; `None` once the stream is finished.
+    #[must_use]
+    pub fn next(&self) -> Option<ServerMessage> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks until the stream finishes and returns every message.
+    #[must_use]
+    pub fn wait(self) -> Vec<ServerMessage> {
+        self.rx.iter().collect()
     }
 }
 
@@ -308,10 +461,14 @@ impl Server {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 accepting: true,
+                sweep_inflight: HashMap::new(),
+                deferred: HashMap::new(),
+                sweeps: HashMap::new(),
             }),
             available: Condvar::new(),
             stats: Stats::default(),
             workers: Mutex::new(Vec::new()),
+            next_client: AtomicU64::new(1),
         });
         let server = Server { inner };
         let mut handles = Vec::with_capacity(workers);
@@ -325,11 +482,25 @@ impl Server {
 
     /// Submits a request from in-process callers; the response arrives
     /// on the returned [`Pending`] handle (including rejections).
+    /// Streaming (`sweep`) requests are rejected here — a single
+    /// response cannot carry a stream; use [`Server::submit_stream`].
     #[must_use]
     pub fn submit(&self, request: FlowRequest) -> Pending {
         let (tx, rx) = channel();
         self.enqueue(request, &tx);
         Pending { rx }
+    }
+
+    /// Submits a request and streams back everything it produces: one
+    /// `Response` message for a single-shot request, or the full
+    /// `progress`/`point`/`done` event stream for a v2 sweep. Each call
+    /// is its own fairness client for the sweep in-flight cap.
+    #[must_use]
+    pub fn submit_stream(&self, request: FlowRequest) -> PendingStream {
+        let (tx, rx) = channel();
+        let client = self.inner.next_client.fetch_add(1, Ordering::Relaxed);
+        self.enqueue_as(request, ReplyTo::Stream(tx), client);
+        PendingStream { rx }
     }
 
     /// Admits `request` or rejects it, answering through `reply`.
@@ -338,10 +509,10 @@ impl Server {
     /// ever see inputs the flow can safely size buffers for. Capacity
     /// control runs under the queue lock, so the depth bound is exact.
     pub fn enqueue(&self, request: FlowRequest, reply: &Sender<Response>) {
-        self.enqueue_to(request, ReplyTo::Channel(reply.clone()));
+        self.enqueue_as(request, ReplyTo::Channel(reply.clone()), 0);
     }
 
-    fn enqueue_to(&self, request: FlowRequest, reply: ReplyTo) {
+    fn enqueue_as(&self, request: FlowRequest, reply: ReplyTo, client: u64) {
         let obs = &self.inner.config.obs;
         let id = request.id;
         if let Err(e) = request.validate() {
@@ -351,6 +522,10 @@ impl Server {
                 RejectKind::Protocol,
                 format!("request out of bounds: {e}"),
             ));
+            return;
+        }
+        if matches!(request.command, FlowCommand::Sweep { .. }) {
+            self.enqueue_sweep(request, reply, client);
             return;
         }
         let verdict = {
@@ -363,7 +538,7 @@ impl Server {
                 state.queue.push_back(Job {
                     request,
                     enqueued: Instant::now(),
-                    reply,
+                    reply: JobReply::Single(reply),
                 });
                 obs.gauge_max("serve/queue_depth_peak", state.queue.len() as f64);
                 Ok(())
@@ -392,6 +567,146 @@ impl Server {
                 stat.fetch_add(1, Ordering::Relaxed);
                 obs.perf_add(&format!("serve/rejected_{kind}"), 1);
                 reply.send(Response::reject(Some(id), kind, message));
+            }
+        }
+    }
+
+    /// Admits a validated v2 sweep: decomposes it into per-point v1
+    /// requests that run through the exact single-shot path (same
+    /// cache, same execute), emits `progress` up front, and queues at
+    /// most [`ServerConfig::sweep_inflight_cap`] points for this client
+    /// — the rest wait in a per-client deferred list and are promoted
+    /// one at a time as earlier points finish.
+    fn enqueue_sweep(&self, request: FlowRequest, reply: ReplyTo, client: u64) {
+        let obs = &self.inner.config.obs;
+        let id = request.id;
+        if matches!(reply, ReplyTo::Channel(_)) {
+            // A single-response channel cannot carry a stream; this is
+            // a caller error, not a capacity condition.
+            self.note_rejected_protocol();
+            reply.send(Response::reject(
+                Some(id),
+                RejectKind::Protocol,
+                "sweep responses are a stream; use submit_stream or a streaming TCP client",
+            ));
+            return;
+        }
+        // The request passed `validate`, so the (sweep) command's grid
+        // is in bounds and decomposes.
+        let points = request
+            .decompose_sweep()
+            .expect("a validated sweep decomposes");
+        let route = match reply {
+            ReplyTo::Stream(tx) => EventRoute::Stream(tx),
+            ReplyTo::Conn { shard, conn } => EventRoute::Conn { shard, conn },
+            ReplyTo::Channel(_) => unreachable!("rejected above"),
+        };
+        let total = points.len() as u64;
+        let cap = self.inner.config.sweep_inflight_cap.max(1) as u64;
+        let deferred_count = {
+            let mut guard = self.inner.state.lock().expect("server queue poisoned");
+            if !guard.accepting {
+                drop(guard);
+                self.inner
+                    .stats
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/rejected_shutdown", 1);
+                route.reject(Response::reject(
+                    Some(id),
+                    RejectKind::Shutdown,
+                    "server is draining; no new work accepted",
+                ));
+                return;
+            }
+            // Sweep points deliberately bypass `queue_depth`: the
+            // per-client cap is their backpressure, and a grid larger
+            // than the queue must not be unschedulable by construction.
+            let state = &mut *guard;
+            let shared = Arc::new(SweepShared {
+                id,
+                client,
+                route,
+                remaining: AtomicU64::new(total),
+                delivered: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            });
+            self.inner.stats.sweeps.fetch_add(1, Ordering::Relaxed);
+            obs.perf_add("serve/sweeps", 1);
+            state
+                .sweeps
+                .entry(client)
+                .or_default()
+                .push(Arc::clone(&shared));
+            // Emitted under the lock, before any point job is visible
+            // to a worker: `progress` is always the stream's first line.
+            shared
+                .route
+                .send(StreamEvent::Progress { id, total }, false);
+            let now = Instant::now();
+            let mut deferred = 0u64;
+            for (index, point) in points.into_iter().enumerate() {
+                let job = Job {
+                    request: point,
+                    enqueued: now,
+                    reply: JobReply::SweepPoint {
+                        shared: Arc::clone(&shared),
+                        index: index as u64,
+                    },
+                };
+                let inflight = state.sweep_inflight.entry(client).or_insert(0);
+                if *inflight < cap {
+                    *inflight += 1;
+                    state.queue.push_back(job);
+                } else {
+                    state.deferred.entry(client).or_default().push_back(job);
+                    deferred += 1;
+                }
+            }
+            obs.gauge_max("serve/queue_depth_peak", state.queue.len() as f64);
+            deferred
+        };
+        if deferred_count > 0 {
+            self.inner
+                .stats
+                .quota_deferred
+                .fetch_add(deferred_count, Ordering::Relaxed);
+            obs.perf_add("serve/quota_deferred", deferred_count);
+        }
+        self.inner.available.notify_all();
+    }
+
+    /// Cancels everything a disconnected client had in flight: live
+    /// sweeps are flagged (queued points retire unrun at dequeue) and
+    /// deferred points are dropped here, each balancing its sweep's
+    /// `remaining` so `done` accounting still closes.
+    fn cancel_client(&self, client: u64) {
+        let (sweeps, dropped) = {
+            let mut state = self.inner.state.lock().expect("server queue poisoned");
+            let sweeps = state.sweeps.remove(&client).unwrap_or_default();
+            let dropped = state.deferred.remove(&client).unwrap_or_default();
+            (sweeps, dropped)
+        };
+        for shared in &sweeps {
+            shared.cancelled.store(true, Ordering::Release);
+        }
+        if dropped.is_empty() {
+            return;
+        }
+        self.inner
+            .stats
+            .sweep_cancelled_points
+            .fetch_add(dropped.len() as u64, Ordering::Relaxed);
+        self.inner
+            .config
+            .obs
+            .perf_add("serve/sweep_cancelled_points", dropped.len() as u64);
+        for job in dropped {
+            if let JobReply::SweepPoint { shared, .. } = job.reply {
+                // May emit `done` to a dead route — discarded there,
+                // but it keeps the shard's in-flight books balanced.
+                let _ = shared.finish_point();
             }
         }
     }
@@ -434,18 +749,33 @@ impl Server {
     }
 
     fn process(&self, job: Job) {
+        let Job {
+            request,
+            enqueued,
+            reply,
+        } = job;
+        match reply {
+            JobReply::Single(reply) => self.process_single(request, enqueued, &reply),
+            JobReply::SweepPoint { shared, index } => {
+                self.process_sweep_point(&shared, index, &request, enqueued);
+                self.retire_sweep_point(&shared);
+            }
+        }
+    }
+
+    fn process_single(&self, request: FlowRequest, enqueued: Instant, reply: &ReplyTo) {
         let obs = &self.inner.config.obs;
         self.inner.stats.started.fetch_add(1, Ordering::Relaxed);
         let _span = obs.span("serve/request");
-        let id = job.request.id;
-        if let Some(deadline_ms) = job.request.deadline_ms {
-            if job.enqueued.elapsed() > Duration::from_millis(deadline_ms) {
+        let id = request.id;
+        if let Some(deadline_ms) = request.deadline_ms {
+            if enqueued.elapsed() > Duration::from_millis(deadline_ms) {
                 self.inner
                     .stats
                     .rejected_deadline
                     .fetch_add(1, Ordering::Relaxed);
                 obs.perf_add("serve/rejected_deadline", 1);
-                job.reply.send(Response::reject(
+                reply.send(Response::reject(
                     Some(id),
                     RejectKind::Deadline,
                     format!("deadline of {deadline_ms} ms elapsed while queued"),
@@ -458,11 +788,8 @@ impl Server {
         // unwind barrier makes them survivable. The cache's lock is
         // released before any flow code runs, so no lock is poisoned.
         let executed = catch_unwind(AssertUnwindSafe(|| {
-            let netlist = job.request.netlist.materialize();
-            let (session, cache_hit) = self
-                .inner
-                .cache
-                .get_or_build(&netlist, &job.request.options);
+            let netlist = request.netlist.materialize();
+            let (session, cache_hit) = self.inner.cache.get_or_build(&netlist, &request.options);
             obs.perf_add(
                 if cache_hit {
                     "serve/cache_hit"
@@ -472,7 +799,7 @@ impl Server {
                 1,
             );
             let outcome = session.and_then(|s| {
-                let outcome = s.execute(&job.request.command);
+                let outcome = s.execute(&request.command);
                 if outcome.is_ok() {
                     // Write-through: the session (now warm, possibly
                     // with a freshly computed pseudo-3-D checkpoint)
@@ -491,7 +818,7 @@ impl Server {
                 self.inner.stats.failed_flow.fetch_add(1, Ordering::Relaxed);
                 obs.perf_add("serve/failed_flow", 1);
                 obs.perf_add("serve/panicked", 1);
-                job.reply.send(Response::reject(
+                reply.send(Response::reject(
                     Some(id),
                     RejectKind::Flow,
                     format!("flow execution panicked: {}", panic_text(&payload)),
@@ -517,15 +844,164 @@ impl Server {
                 Response::reject(Some(id), RejectKind::Flow, e.to_string())
             }
         };
-        job.reply.send(response);
+        reply.send(response);
+    }
+
+    /// Runs one sweep point through the exact v1 execution path (same
+    /// cache lookup, same [`m3d_flow::FlowSession::execute`]) and
+    /// streams its `point` or `error` event. Counted only in the
+    /// `sweep_*` stats — never in the v1 request counters.
+    fn process_sweep_point(
+        &self,
+        shared: &Arc<SweepShared>,
+        index: u64,
+        request: &FlowRequest,
+        enqueued: Instant,
+    ) {
+        let obs = &self.inner.config.obs;
+        let stats = &self.inner.stats;
+        if shared.cancelled.load(Ordering::Acquire) {
+            // Individually preemptible: a cancelled sweep's queued
+            // points retire here without running.
+            stats.sweep_cancelled_points.fetch_add(1, Ordering::Relaxed);
+            obs.perf_add("serve/sweep_cancelled_points", 1);
+            return;
+        }
+        let _span = obs.span("serve/sweep_point");
+        if let Some(deadline_ms) = request.deadline_ms {
+            if enqueued.elapsed() > Duration::from_millis(deadline_ms) {
+                stats.sweep_point_errors.fetch_add(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Release);
+                shared.route.send(
+                    StreamEvent::Error {
+                        id: shared.id,
+                        index,
+                        kind: RejectKind::Deadline,
+                        message: format!("deadline of {deadline_ms} ms elapsed while queued"),
+                    },
+                    false,
+                );
+                return;
+            }
+        }
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            let netlist = request.netlist.materialize();
+            let (session, cache_hit) = self.inner.cache.get_or_build(&netlist, &request.options);
+            obs.perf_add(
+                if cache_hit {
+                    "serve/cache_hit"
+                } else {
+                    "serve/cache_miss"
+                },
+                1,
+            );
+            let outcome = session.and_then(|s| {
+                let outcome = s.execute(&request.command);
+                if outcome.is_ok() {
+                    self.inner.cache.persist(&s);
+                }
+                outcome
+            });
+            (outcome, cache_hit)
+        }));
+        match executed {
+            Ok((Ok(report), cache_hit)) => {
+                stats.sweep_points.fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/sweep_points", 1);
+                shared.delivered.fetch_add(1, Ordering::Release);
+                shared.route.send(
+                    StreamEvent::Point {
+                        id: shared.id,
+                        index,
+                        cache_hit,
+                        report: Box::new(report),
+                    },
+                    false,
+                );
+            }
+            Ok((Err(e), _)) => {
+                stats.sweep_point_errors.fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/sweep_point_errors", 1);
+                shared.errors.fetch_add(1, Ordering::Release);
+                shared.route.send(
+                    StreamEvent::Error {
+                        id: shared.id,
+                        index,
+                        kind: RejectKind::Flow,
+                        message: e.to_string(),
+                    },
+                    false,
+                );
+            }
+            Err(payload) => {
+                stats.sweep_point_errors.fetch_add(1, Ordering::Relaxed);
+                obs.perf_add("serve/sweep_point_errors", 1);
+                obs.perf_add("serve/panicked", 1);
+                shared.errors.fetch_add(1, Ordering::Release);
+                shared.route.send(
+                    StreamEvent::Error {
+                        id: shared.id,
+                        index,
+                        kind: RejectKind::Flow,
+                        message: format!("flow execution panicked: {}", panic_text(&payload)),
+                    },
+                    false,
+                );
+            }
+        }
+    }
+
+    /// Books one finished point: emits `done` (and unregisters the
+    /// sweep) when it was the last, then frees the client's fairness
+    /// slot and promotes its next deferred point, if any.
+    fn retire_sweep_point(&self, shared: &Arc<SweepShared>) {
+        let finished = shared.finish_point();
+        let mut guard = self.inner.state.lock().expect("server queue poisoned");
+        let state = &mut *guard;
+        if finished {
+            if let Some(list) = state.sweeps.get_mut(&shared.client) {
+                list.retain(|s| !Arc::ptr_eq(s, shared));
+                if list.is_empty() {
+                    state.sweeps.remove(&shared.client);
+                }
+            }
+        }
+        let mut promoted = false;
+        if let Some(inflight) = state.sweep_inflight.get_mut(&shared.client) {
+            *inflight = inflight.saturating_sub(1);
+            if let Some(waiting) = state.deferred.get_mut(&shared.client) {
+                if let Some(job) = waiting.pop_front() {
+                    *inflight += 1;
+                    if waiting.is_empty() {
+                        state.deferred.remove(&shared.client);
+                    }
+                    state.queue.push_back(job);
+                    promoted = true;
+                }
+            }
+            if !promoted && *inflight == 0 {
+                state.sweep_inflight.remove(&shared.client);
+            }
+        }
+        drop(guard);
+        if promoted {
+            self.inner.available.notify_one();
+        }
     }
 
     /// Stops admission. Already-queued requests still run to
-    /// completion; new ones are rejected `shutdown`.
+    /// completion; new ones are rejected `shutdown`. Deferred sweep
+    /// points are promoted wholesale — admitted work is never stranded
+    /// behind a fairness cap at shutdown.
     pub fn begin_drain(&self) {
-        let mut state = self.inner.state.lock().expect("server queue poisoned");
+        let mut guard = self.inner.state.lock().expect("server queue poisoned");
+        let state = &mut *guard;
         state.accepting = false;
-        drop(state);
+        for (client, waiting) in state.deferred.drain() {
+            *state.sweep_inflight.entry(client).or_insert(0) += waiting.len() as u64;
+            state.queue.extend(waiting);
+        }
+        drop(guard);
         self.inner.available.notify_all();
     }
 
@@ -560,6 +1036,11 @@ impl Server {
             store_misses: self.inner.cache.store_misses(),
             store_spills: self.inner.cache.store_spills(),
             store_corrupt_evicted: self.inner.cache.store_corrupt_evicted(),
+            sweeps: s.sweeps.load(Ordering::Relaxed),
+            sweep_points: s.sweep_points.load(Ordering::Relaxed),
+            sweep_point_errors: s.sweep_point_errors.load(Ordering::Relaxed),
+            quota_deferred: s.quota_deferred.load(Ordering::Relaxed),
+            sweep_cancelled_points: s.sweep_cancelled_points.load(Ordering::Relaxed),
         }
     }
 
@@ -616,7 +1097,7 @@ impl TcpServer {
         let shard_count = tuning.shards.max(1);
         let mut shards = Vec::with_capacity(shard_count);
         let mut threads = Vec::with_capacity(shard_count);
-        for _ in 0..shard_count {
+        for shard_id in 0..shard_count {
             let poller = Poller::new(tuning.reactor)?;
             if shards.is_empty() {
                 server
@@ -631,6 +1112,7 @@ impl TcpServer {
             };
             shards.push(handle.clone());
             let shard = Shard {
+                shard_id: shard_id as u64,
                 server: server.clone(),
                 tuning: tuning.clone(),
                 listener: listener.try_clone()?,
@@ -692,6 +1174,10 @@ impl TcpServer {
 /// One reactor shard: a poller, a listener clone, the connections this
 /// shard accepted, and the mailbox workers answer through.
 struct Shard {
+    /// This shard's index, folded into its connections' fairness client
+    /// ids (high bits) so they can never collide across shards or with
+    /// in-process `submit_stream` clients (whose high bits are zero).
+    shard_id: u64,
     server: Server,
     tuning: TcpTuning,
     listener: TcpListener,
@@ -868,12 +1354,13 @@ impl Shard {
                 Ok(request) => {
                     self.inflight += 1;
                     self.conns.get_mut(&token).expect("conn lookup").inflight += 1;
-                    self.server.enqueue_to(
+                    self.server.enqueue_as(
                         request,
                         ReplyTo::Conn {
                             shard: self.handle.clone(),
                             conn: token,
                         },
+                        self.client_of(token),
                     );
                 }
                 Err(response) => {
@@ -891,13 +1378,24 @@ impl Shard {
         true
     }
 
+    /// The fairness client id of one of this shard's connections.
+    fn client_of(&self, token: u64) -> u64 {
+        ((self.shard_id + 1) << 32) | token
+    }
+
     fn drain_messages(&mut self) {
         while let Ok(msg) = self.rx.try_recv() {
             match msg {
-                ShardMsg::Reply { conn, line } => {
-                    self.inflight = self.inflight.saturating_sub(1);
+                ShardMsg::Reply { conn, line, last } => {
+                    // Only a request's terminal line balances the
+                    // in-flight books; a sweep's event lines don't.
+                    if last {
+                        self.inflight = self.inflight.saturating_sub(1);
+                    }
                     if let Some(c) = self.conns.get_mut(&conn) {
-                        c.inflight = c.inflight.saturating_sub(1);
+                        if last {
+                            c.inflight = c.inflight.saturating_sub(1);
+                        }
                         c.queue_write(line.as_bytes());
                         if c.flush().is_err() {
                             self.close_conn(conn);
@@ -965,6 +1463,9 @@ impl Shard {
         if let Some(conn) = self.conns.remove(&token) {
             self.poller.deregister(conn.fd(), token);
             self.server.obs().perf_add("serve/conns_closed", 1);
+            // A mid-stream disconnect cancels the connection's sweeps:
+            // its queued points retire unrun, its deferred points drop.
+            self.server.cancel_client(self.client_of(token));
         }
     }
 }

@@ -6,7 +6,7 @@
 //! to epoll.
 
 use m3d_flow::{
-    Config, FlowCommand, FlowOptions, FlowReport, FlowRequest, FlowSession, NetlistSpec,
+    Config, FlowCommand, FlowOptions, FlowReport, FlowRequest, FlowSession, NetlistSpec, Proto,
 };
 use m3d_netgen::Benchmark;
 use m3d_obs::Obs;
@@ -29,6 +29,7 @@ fn request(id: u64, seed: u64) -> FlowRequest {
             seed,
         },
         options,
+        proto: Proto::V1,
         command: FlowCommand::RunFlow {
             config: Config::TwoD9T,
             frequency_ghz: 1.0,

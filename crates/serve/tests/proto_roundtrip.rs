@@ -4,11 +4,11 @@
 //! panic or hang — malformed input always comes back as a typed
 //! [`ProtocolError`].
 
-use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec, Proto, SweepSpec};
 use m3d_json::{parse, Cur, FromJson, ToJson};
 use m3d_netgen::Benchmark;
 use m3d_serve::protocol::{decode_request, salvage_id, ProtocolError};
-use m3d_tech::Drive;
+use m3d_tech::{Corner, Drive, StackingStyle};
 use proptest::prelude::*;
 
 const CONFIGS: [Config; 5] = [
@@ -60,17 +60,36 @@ fn arb_options() -> impl Strategy<Value = FlowOptions> {
 }
 
 fn arb_command() -> impl Strategy<Value = FlowCommand> {
-    (0..3usize, 0..5usize, 0.1..4.0f64).prop_map(|(op, cfg, ghz)| match op {
-        0 => FlowCommand::RunFlow {
-            config: CONFIGS[cfg],
-            frequency_ghz: ghz,
-        },
-        1 => FlowCommand::FindFmax {
-            config: CONFIGS[cfg],
-            start_ghz: ghz,
-        },
-        _ => FlowCommand::CompareConfigs,
-    })
+    (
+        0..4usize,
+        0..5usize,
+        0.1..4.0f64,
+        (1..6usize, 1..3usize, 1..4usize, 1..8usize),
+    )
+        .prop_map(
+            |(op, cfg, ghz, (n_configs, n_styles, n_corners, steps))| match op {
+                0 => FlowCommand::RunFlow {
+                    config: CONFIGS[cfg],
+                    frequency_ghz: ghz,
+                },
+                1 => FlowCommand::FindFmax {
+                    config: CONFIGS[cfg],
+                    start_ghz: ghz,
+                },
+                2 => FlowCommand::CompareConfigs,
+                // Duplicate-free axes as prefixes of the canonical orders.
+                _ => FlowCommand::Sweep {
+                    spec: SweepSpec {
+                        configs: CONFIGS[..n_configs].to_vec(),
+                        stacking: StackingStyle::ALL[..n_styles].to_vec(),
+                        corners: Corner::ALL[..n_corners].to_vec(),
+                        freq_min_ghz: ghz,
+                        freq_max_ghz: ghz * 1.5,
+                        freq_steps: steps,
+                    },
+                },
+            },
+        )
 }
 
 fn arb_request() -> impl Strategy<Value = FlowRequest> {
@@ -84,9 +103,10 @@ fn arb_request() -> impl Strategy<Value = FlowRequest> {
         arb_options(),
         arb_command(),
         0..120_000u64,
+        0..2u64,
     )
         .prop_map(
-            |((id, bench, scale, seed), options, command, deadline)| FlowRequest {
+            |((id, bench, scale, seed), options, command, deadline, v2)| FlowRequest {
                 id,
                 netlist: NetlistSpec {
                     benchmark: BENCHMARKS[bench],
@@ -94,6 +114,13 @@ fn arb_request() -> impl Strategy<Value = FlowRequest> {
                     seed,
                 },
                 options,
+                // Sweeps only exist on v2; other commands exercise both
+                // the omitted-proto (v1) and explicit `"proto":2` paths.
+                proto: if v2 == 1 || matches!(command, FlowCommand::Sweep { .. }) {
+                    Proto::V2
+                } else {
+                    Proto::V1
+                },
                 command,
                 // Exercise both the present and absent deadline encodings.
                 deadline_ms: (deadline % 2 == 0).then_some(deadline),
@@ -164,6 +191,7 @@ fn sample_request() -> FlowRequest {
         options: FlowOptions::default(),
         command: FlowCommand::CompareConfigs,
         deadline_ms: None,
+        proto: Proto::V1,
     }
 }
 

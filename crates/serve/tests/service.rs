@@ -5,7 +5,7 @@
 //! for malformed input over real TCP.
 
 use m3d_flow::{
-    Config, FlowCommand, FlowOptions, FlowReport, FlowRequest, FlowSession, NetlistSpec,
+    Config, FlowCommand, FlowOptions, FlowReport, FlowRequest, FlowSession, NetlistSpec, Proto,
 };
 use m3d_json::ToJson;
 use m3d_netgen::Benchmark;
@@ -41,6 +41,7 @@ fn request(
         options,
         command,
         deadline_ms: None,
+        proto: Proto::V1,
     }
 }
 
@@ -113,6 +114,7 @@ fn concurrent_responses_are_bit_identical_to_library_calls() {
             cache_capacity: 8,
             obs: obs.clone(),
             store: None,
+            sweep_inflight_cap: 4,
         });
         let pending: Vec<Pending> = requests.iter().map(|r| server.submit(r.clone())).collect();
         let responses = wait_all(pending);
@@ -162,6 +164,7 @@ fn saturated_queue_rejects_with_overloaded() {
         cache_capacity: 4,
         obs: Obs::disabled(),
         store: None,
+        sweep_inflight_cap: 4,
     });
     // A slow request (the full five-way comparison) occupies the one
     // worker...
@@ -210,6 +213,7 @@ fn queue_time_deadlines_reject_instead_of_running() {
         cache_capacity: 4,
         obs: Obs::disabled(),
         store: None,
+        sweep_inflight_cap: 4,
     });
     let slow = server.submit(request(
         0,
@@ -261,6 +265,7 @@ fn drain_completes_every_accepted_request() {
         cache_capacity: 4,
         obs: Obs::disabled(),
         store: None,
+        sweep_inflight_cap: 4,
     });
     let accepted: Vec<Pending> = (0..6)
         .map(|i| {
@@ -327,6 +332,7 @@ fn out_of_bounds_requests_are_protocol_rejections_and_the_worker_survives() {
         cache_capacity: 4,
         obs: Obs::disabled(),
         store: None,
+        sweep_inflight_cap: 4,
     });
     // Scales that would saturate the f64 → usize cast when sizing the
     // netlist (or are outright nonsense) must be bounced at admission —

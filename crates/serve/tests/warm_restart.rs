@@ -6,7 +6,7 @@
 //! is evicted, the request is still answered (cold), and the store is
 //! repaired by the write-through.
 
-use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+use m3d_flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec, Proto};
 use m3d_netgen::Benchmark;
 use m3d_obs::Obs;
 use m3d_serve::{encode_line, Client, Response, ServerConfig, Store, TcpServer};
@@ -40,6 +40,7 @@ fn request(id: u64) -> FlowRequest {
             seed: 31,
         },
         options,
+        proto: Proto::V1,
         command: FlowCommand::RunFlow {
             config: Config::Hetero3d,
             frequency_ghz: 1.0,
@@ -55,6 +56,7 @@ fn config(obs: &Obs, store: &Arc<Store>) -> ServerConfig {
         cache_capacity: 8,
         obs: obs.clone(),
         store: Some(Arc::clone(store)),
+        sweep_inflight_cap: 4,
     }
 }
 

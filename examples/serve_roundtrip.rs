@@ -12,7 +12,7 @@
 //! `serve_client --addr HOST:PORT` (or your own newline-delimited JSON
 //! speaker) at it.
 
-use hetero3d::flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec};
+use hetero3d::flow::{Config, FlowCommand, FlowOptions, FlowRequest, NetlistSpec, Proto};
 use hetero3d::netgen::Benchmark;
 use hetero3d::serve::{Client, Response, ServerConfig, TcpServer};
 
@@ -65,8 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             id: i as u64,
             netlist,
             options: FlowOptions::default(),
-            command: *command,
+            command: command.clone(),
             deadline_ms: None,
+            proto: Proto::V1,
         })?;
     }
     for _ in &commands {

@@ -1,19 +1,16 @@
 //! Determinism regression tests for the parallel flow engine.
 //!
-//! The contract under test: every result produced by `run_flow` /
-//! `compare_configs` is **bit-identical** at any thread count. Threads are
-//! a performance knob only — `FlowOptions::threads`, the process-global
+//! The contract under test: every result produced by `try_run_flow` /
+//! `try_compare_configs` is **bit-identical** at any thread count. Threads
+//! are a performance knob only — `FlowOptions::threads`, the process-global
 //! `par::set_threads`, and the `HETERO3D_THREADS` environment variable may
 //! change wall-clock time but never a single output bit.
 
-// Integration tests intentionally exercise the deprecated panicking
-// wrappers alongside the `FlowSession` path; `tests/` is the one place
-// they remain allowed.
-#![allow(deprecated)]
-
 use hetero3d::cost::CostModel;
 use hetero3d::db::DesignDb;
-use hetero3d::flow::{compare_configs, run_flow, Config, FlowOptions, Implementation};
+use hetero3d::flow::{
+    try_compare_configs, try_run_flow, Comparison, Config, FlowOptions, Implementation,
+};
 use hetero3d::geom::{Point, Rect};
 use hetero3d::netgen::Benchmark;
 use hetero3d::netlist::{CellId, NetId};
@@ -36,6 +33,18 @@ fn quick_options(threads: usize) -> FlowOptions {
     o.placer_mut().iterations = 6;
     o.threads = threads;
     o
+}
+
+fn run_flow(n: &hetero3d::netlist::Netlist, c: Config, f: f64, o: &FlowOptions) -> Implementation {
+    try_run_flow(n, c, f, o).expect("flow succeeds on a valid netlist")
+}
+
+fn compare_configs(
+    n: &hetero3d::netlist::Netlist,
+    o: &FlowOptions,
+    cost: &CostModel,
+) -> Comparison {
+    try_compare_configs(n, o, cost).expect("comparison succeeds on a valid netlist")
 }
 
 /// Exact fingerprint of an implementation: float metrics as raw bits plus

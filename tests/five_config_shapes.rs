@@ -3,20 +3,26 @@
 //! the workspace: netgen → place → partition → route → cts → sta → power
 //! → cost → flow.
 
-// Integration tests intentionally exercise the deprecated panicking
-// wrappers alongside the `FlowSession` path; `tests/` is the one place
-// they remain allowed.
-#![allow(deprecated)]
-
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{compare_configs, run_flow, Config, FlowOptions};
+use hetero3d::flow::{
+    try_compare_configs, try_run_flow, Comparison, Config, FlowOptions, Implementation,
+};
 use hetero3d::netgen::Benchmark;
+use hetero3d::netlist::Netlist;
 use hetero3d::tech::Tier;
 
 fn options() -> FlowOptions {
     let mut o = FlowOptions::default();
     o.placer_mut().iterations = 8;
     o
+}
+
+fn run_flow(n: &Netlist, c: Config, f: f64, o: &FlowOptions) -> Implementation {
+    try_run_flow(n, c, f, o).expect("flow succeeds on a valid netlist")
+}
+
+fn compare_configs(n: &Netlist, o: &FlowOptions, cost: &CostModel) -> Comparison {
+    try_compare_configs(n, o, cost).expect("comparison succeeds on a valid netlist")
 }
 
 #[test]

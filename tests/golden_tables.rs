@@ -8,13 +8,8 @@
 //! `cargo test --test golden_tables -- --ignored --nocapture`), never to
 //! silence an unexplained change.
 
-// Integration tests intentionally exercise the deprecated panicking
-// wrappers alongside the `FlowSession` path; `tests/` is the one place
-// they remain allowed.
-#![allow(deprecated)]
-
 use hetero3d::cost::CostModel;
-use hetero3d::flow::{compare_configs, Comparison, FlowOptions};
+use hetero3d::flow::{try_compare_configs, Comparison, FlowOptions};
 use hetero3d::netgen::Benchmark;
 use hetero3d::report::{format_comparison, format_table7};
 
@@ -22,7 +17,8 @@ fn comparison() -> Comparison {
     let netlist = Benchmark::Aes.generate(0.012, 41);
     let mut options = FlowOptions::default();
     options.placer_mut().iterations = 6;
-    compare_configs(&netlist, &options, &CostModel::default())
+    try_compare_configs(&netlist, &options, &CostModel::default())
+        .expect("comparison succeeds on a valid netlist")
 }
 
 const GOLDEN_TABLE6: &str = "\

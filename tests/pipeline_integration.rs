@@ -3,14 +3,9 @@
 //! independently computed quantities (MIVs vs cut size, clock sinks vs
 //! registers, power vs frequency).
 
-// Integration tests intentionally exercise the deprecated panicking
-// wrappers alongside the `FlowSession` path; `tests/` is the one place
-// they remain allowed.
-#![allow(deprecated)]
-
-use hetero3d::flow::{run_flow, Config, FlowOptions};
+use hetero3d::flow::{try_run_flow, Config, FlowOptions, Implementation};
 use hetero3d::netgen::Benchmark;
-use hetero3d::netlist::verilog;
+use hetero3d::netlist::{verilog, Netlist};
 use hetero3d::partition::cut_size;
 use hetero3d::tech::Tier;
 
@@ -18,6 +13,10 @@ fn options() -> FlowOptions {
     let mut o = FlowOptions::default();
     o.placer_mut().iterations = 6;
     o
+}
+
+fn run_flow(n: &Netlist, c: Config, f: f64, o: &FlowOptions) -> Implementation {
+    try_run_flow(n, c, f, o).expect("flow succeeds on a valid netlist")
 }
 
 #[test]
